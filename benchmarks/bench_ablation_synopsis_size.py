@@ -1,0 +1,54 @@
+"""Ablation: synopsis size (aggregation ratio) vs accuracy and stage-1 cost.
+
+The paper fixes a "100x smaller" rule of thumb; this ablation sweeps the
+target aggregation ratio and reports (a) the initial-result accuracy loss
+(synopsis only, depth 0) and (b) the stage-1 work relative to a full
+scan.  Expected: smaller ratios (finer synopses) improve the initial
+result but erode the latency headroom that makes stage 1 cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.formatting import format_table
+from repro.experiments.search_service import (
+    SearchAccuracyService,
+    SearchServiceConfig,
+)
+
+
+def _loss_at_ratio(ratio: float) -> tuple[float, float, int]:
+    svc = SearchAccuracyService(SearchServiceConfig(
+        n_partitions=4, docs_per_partition=400, n_topics=12,
+        n_requests=30, synopsis_ratio=ratio, svd_iters=25, seed=3))
+    n, p = svc.config.n_requests, svc.n_partitions
+    loss0 = svc.at_loss_percent(np.zeros((n, p)))
+    groups = int(np.mean([s.n_aggregated for s in svc.synopses]))
+    stage1_fraction = groups / svc.config.docs_per_partition
+    return loss0, stage1_fraction, groups
+
+
+def test_ablation_synopsis_size(benchmark):
+    ratios = (8.0, 16.0, 32.0, 64.0)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for ratio in ratios:
+            loss0, stage1, groups = _loss_at_ratio(ratio)
+            rows.append([ratio, groups, 100.0 * stage1, loss0])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["target ratio", "groups/partition", "stage-1 work (% of scan)",
+         "initial-result loss (%)"],
+        rows, title="Ablation: synopsis aggregation ratio (search service)"))
+
+    stage1 = [r[2] for r in rows]
+    # Finer synopses always cost more in stage 1 ...
+    assert all(stage1[i] >= stage1[i + 1] for i in range(len(stage1) - 1))
+    # ... and the coarsest synopsis must still be far cheaper than a scan.
+    assert stage1[-1] < 15.0

@@ -1,0 +1,39 @@
+"""Figure 5: per-session p99.9 component latency, search workloads,
+hours 9 (increasing), 10 (steady) and 24 (decreasing).
+
+Paper shapes: the Basic approach has the highest tails, growing with
+load within hour 9; request reissue sits clearly below Basic; the
+AccuracyTrader rows are flat near the deadline in all three hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.hourly import run_hour
+
+
+def test_fig5(benchmark, hourly_results, search_profile, bench_scale):
+    # Time one fresh session-level run (hour 10, 2 sessions).
+    benchmark.pedantic(
+        run_hour, args=(10,),
+        kwargs=dict(profile=search_profile, scale=bench_scale,
+                    n_sessions=2, peak_rate=100.0, seed=99),
+        rounds=1, iterations=1)
+
+    print()
+    for hour in (9, 10, 24):
+        r = hourly_results[hour]
+        print(r.text())
+        print()
+        basic = np.array(r.tails_ms["basic"])
+        at = np.array(r.tails_ms["at"])
+        reissue = np.array(r.tails_ms["reissue"])
+        # Basic worst on average, AT flat near the deadline.
+        assert basic.mean() >= reissue.mean() * 0.8
+        assert np.all(at < 300.0)
+        assert at.std() < 100.0
+
+    # Hour 9 ramps: basic's tail in the last sessions exceeds the first.
+    h9 = hourly_results[9]
+    assert h9.session_rates[-1] > h9.session_rates[0]

@@ -1,0 +1,32 @@
+"""Figure 6: per-session accuracy losses, search workloads, hours 9/10/24.
+
+Paper shapes: losses of both approximate techniques fluctuate with the
+request arrival rate; AccuracyTrader's losses are much smaller and far
+less load-sensitive than partial execution's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_fig6(benchmark, hourly_results, search_service):
+    n, p = search_service.config.n_requests, search_service.n_partitions
+    benchmark.pedantic(search_service.at_loss_percent,
+                       args=(np.full((n, p), 0.5),), rounds=1, iterations=1)
+
+    print()
+    all_pe, all_at = [], []
+    for hour in (9, 10, 24):
+        r = hourly_results[hour]
+        pe = np.array(r.losses["partial"])
+        at = np.array(r.losses["at"])
+        all_pe.append(pe)
+        all_at.append(at)
+        print(f"hour {hour}: partial loss {pe.mean():6.2f}% (+/-{pe.std():.2f})  "
+              f"AT loss {at.mean():5.2f}% (+/-{at.std():.2f})")
+    all_pe = np.concatenate(all_pe)
+    all_at = np.concatenate(all_at)
+    assert all_at.mean() < all_pe.mean(), "AT loses less accuracy overall"
+    assert all_at.std() <= all_pe.std() + 1.0, \
+        "AT is less load-sensitive than partial execution"

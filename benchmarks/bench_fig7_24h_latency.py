@@ -1,0 +1,38 @@
+"""Figure 7: 24-hour search workloads — arrival rates and p99.9 latency.
+
+Paper shapes: (a) diurnal rates with a night trough and evening peak;
+(b-d) request reissue has the lowest tails in the light-load hours
+(roughly hours 2-8), AccuracyTrader has the lowest everywhere else, and
+the Basic approach is never better than both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.daily import run_daily
+
+
+def test_fig7(benchmark, daily_result, search_profile, bench_scale):
+    benchmark.pedantic(
+        run_daily,
+        kwargs=dict(profile=search_profile, scale=bench_scale,
+                    peak_rate=100.0, hours=(5, 22), seed=99),
+        rounds=1, iterations=1)
+
+    r = daily_result
+    print()
+    print(r.text())
+    rates = np.array(r.rates)
+    # (a) diurnal shape.
+    assert rates.argmin() in (3, 4, 5)
+    assert rates.argmax() in (20, 21, 22)
+    # (b-d) who wins where.
+    best = r.best_technique_hours()
+    print("\nbest technique per hour:", best)
+    trough = [h for h in best["reissue"] if 2 <= h <= 9]
+    assert trough, "reissue should win some light-load hour"
+    peak_hours = [r.hours.index(h) for h in range(18, 25)]
+    for i in peak_hours:
+        assert r.tails_ms["at"][i] <= r.tails_ms["basic"][i]
+        assert r.tails_ms["at"][i] <= r.tails_ms["reissue"][i]

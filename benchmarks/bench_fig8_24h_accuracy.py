@@ -1,0 +1,27 @@
+"""Figure 8: 24-hour accuracy losses — partial execution vs AccuracyTrader.
+
+Paper shape: AccuracyTrader's losses are dramatically smaller than partial
+execution's in every hour, with the gap widening at peak-load hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_fig8(benchmark, daily_result, search_service):
+    n = search_service.config.n_requests
+    benchmark.pedantic(search_service.partial_loss_percent,
+                       args=(np.full(n, 0.5),), rounds=1, iterations=1)
+
+    r = daily_result
+    print()
+    pe = np.array(r.losses["partial"])
+    at = np.array(r.losses["at"])
+    for i, h in enumerate(r.hours):
+        print(f"hour {h:2d}: rate {r.rates[i]:6.1f} req/s  "
+              f"partial {pe[i]:6.2f}%  AT {at[i]:5.2f}%")
+    assert np.nanmean(at) < np.nanmean(pe)
+    # Peak hours: the gap is large.
+    peak = [i for i, h in enumerate(r.hours) if h in (21, 22, 23)]
+    assert np.mean(pe[peak]) > 2 * np.mean(at[peak]) or np.mean(at[peak]) < 5.0

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the hot substrate operations.
+
+These are genuine multi-round pytest-benchmark measurements (unlike the
+experiment benches, which time one full run) and guard against
+performance regressions in the paths the simulators and the synopsis
+pipeline hammer: R-tree insertion, STR bulk loading, Pearson weighting,
+TF-IDF scoring, Funk-SVD epochs and the FIFO fan-out recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.fanout import FanoutSimulator
+from repro.cluster.topology import ClusterSpec
+from repro.recommender.similarity import pearson
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.tree import RTree
+from repro.search.index import InvertedIndex
+from repro.search.scoring import score_query
+from repro.strategies.basic import BasicStrategy
+from repro.svd.incremental import FunkSVD
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def points():
+    return make_rng(0, "micro").random((2000, 3))
+
+
+def test_rtree_insert_2000_points(benchmark, points):
+    def build():
+        tree = RTree(max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert_point(i, p)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 2000
+
+
+def test_rtree_bulk_load_2000_points(benchmark, points):
+    tree = benchmark(str_bulk_load, points, max_entries=8)
+    assert len(tree) == 2000
+
+
+def test_pearson_pair(benchmark):
+    rng = make_rng(1, "micro")
+    items = np.sort(rng.choice(1000, size=60, replace=False))
+    a = rng.uniform(1, 5, 60)
+    b = rng.uniform(1, 5, 60)
+    w = benchmark(pearson, items, a, items, b)
+    assert -1.0 <= w <= 1.0
+
+
+def test_tfidf_score_query(benchmark):
+    rng = make_rng(2, "micro")
+    idx = InvertedIndex()
+    for d in range(1000):
+        idx.add_document(d, [f"w{int(x)}" for x in rng.integers(0, 500, 80)])
+    scores = benchmark(score_query, idx, ["w3", "w17", "w123"])
+    assert scores
+
+
+def test_funk_svd_fit(benchmark):
+    rng = make_rng(3, "micro")
+    rows, cols = np.nonzero(rng.random((500, 100)) < 0.1)
+    vals = rng.uniform(1, 5, rows.size)
+
+    def fit():
+        return FunkSVD(n_dims=3, n_iters=20, seed=0).fit(
+            rows, cols, vals, n_rows=500, n_cols=100)
+
+    model = benchmark(fit)
+    assert model.row_factors.shape == (500, 3)
+
+
+def test_fanout_recurrence(benchmark):
+    cluster = ClusterSpec(n_components=16, n_nodes=4, base_speed=1e5, seed=0)
+    sim = FanoutSimulator(cluster)
+    arrivals = np.sort(make_rng(4, "micro").random(2000) * 60.0)
+    stats = benchmark(sim.run, arrivals, BasicStrategy(1000.0))
+    assert stats.n_requests == 2000

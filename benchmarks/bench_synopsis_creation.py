@@ -1,0 +1,66 @@
+"""§4.2 creation overheads: the three synopsis-creation steps.
+
+Paper reference points (one 4,000-user / 0.5M-page partition on one
+node): recommender synopsis created within 30 s, search synopsis within
+40 min; aggregation ratios 133.01 users and 42.55 pages per aggregated
+point.  We report the same step timings and ratios for our scaled
+partitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.adapters import CFAdapter, SearchAdapter
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.experiments.formatting import format_table
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+
+
+def test_cf_synopsis_creation(benchmark):
+    data = generate_ratings(MovieLensConfig(n_users=4000, n_items=1000,
+                                            density=0.0675, seed=0))
+    builder = SynopsisBuilder(CFAdapter(), SynopsisConfig(
+        n_dims=3, n_iters=100, target_ratio=133.0, seed=0))
+
+    synopsis, _ = benchmark.pedantic(builder.build, args=(data.matrix,),
+                                     rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["users in partition", synopsis.n_original],
+            ["aggregated users", synopsis.n_aggregated],
+            ["aggregation ratio (paper: 133.01)", synopsis.aggregation_ratio],
+            ["step 1 SVD (s)", synopsis.meta["step1_s"]],
+            ["step 2 R-tree (s)", synopsis.meta["step2_s"]],
+            ["step 3 aggregation (s)", synopsis.meta["step3_s"]],
+            ["total (paper: <30 s)", synopsis.meta["total_s"]],
+        ],
+        title="Synopsis creation, CF partition (4,000 users x 1,000 items)",
+    ))
+    assert synopsis.meta["total_s"] < 30.0
+
+
+def test_search_synopsis_creation(benchmark):
+    corpus = generate_corpus(CorpusConfig(n_docs=3000, n_topics=20,
+                                          vocab_size=5000, seed=0))
+    builder = SynopsisBuilder(SearchAdapter(), SynopsisConfig(
+        n_dims=3, n_iters=100, target_ratio=42.55, seed=0))
+
+    synopsis, _ = benchmark.pedantic(builder.build, args=(corpus.partition,),
+                                     rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["pages in partition", synopsis.n_original],
+            ["aggregated pages", synopsis.n_aggregated],
+            ["aggregation ratio (paper: 42.55)", synopsis.aggregation_ratio],
+            ["step 1 SVD (s)", synopsis.meta["step1_s"]],
+            ["step 2 R-tree (s)", synopsis.meta["step2_s"]],
+            ["step 3 aggregation (s)", synopsis.meta["step3_s"]],
+            ["total (paper partition was 167x larger; <40 min)",
+             synopsis.meta["total_s"]],
+        ],
+        title="Synopsis creation, search partition (3,000 pages)",
+    ))

@@ -1,0 +1,34 @@
+"""Table 2: accuracy losses (%), CF workloads.
+
+Paper reference rows (arrival rates 20 / 40 / 60 / 80 / 100 req/s):
+
+    Partial execution  0.26   4.50   23.39   81.48   99.56
+    AccuracyTrader     0.08   0.70    1.59    2.69    4.82
+
+Shapes: both grow with load; AccuracyTrader stays in single digits while
+partial execution collapses once most components miss the deadline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_table2(benchmark, cf_tables_result, cf_service):
+    # Time one accuracy evaluation (the at-depth replay on the substrate).
+    n, p = cf_service.config.n_requests, cf_service.n_partitions
+    benchmark.pedantic(cf_service.at_rmse,
+                       args=(np.full((n, p), 0.5),), rounds=1, iterations=1)
+
+    r = cf_tables_result
+    print()
+    print(r.table2_text())
+
+    i100 = r.rates.index(100)
+    assert r.loss_percent["at"][i100] < 10.0, \
+        "AT loss stays in single digits at peak load (paper: 4.82%)"
+    assert r.loss_percent["partial"][i100] > 5 * r.loss_percent["at"][i100], \
+        "partial execution collapses at peak load"
+    # Both rows grow (weakly) with load.
+    assert r.loss_percent["partial"][i100] >= r.loss_percent["partial"][0]
+    assert r.loss_percent["at"][i100] >= r.loss_percent["at"][0]

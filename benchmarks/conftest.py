@@ -1,0 +1,86 @@
+"""Shared state for the benchmark harness.
+
+Every paper artifact (table/figure) gets one bench module; the expensive
+experiment runs are computed once per session here and shared, while each
+bench module times a representative slice of its experiment through
+pytest-benchmark and prints the paper-shaped rows.
+
+Scale knobs: the default is a scaled-down cluster (36 components, 60 s
+sessions) that reproduces the paper's *shapes* in minutes.  Set
+``REPRO_BENCH_FULL=1`` to run at the paper's deployment size (108
+components; substantially slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.cf_service import CFAccuracyService, CFServiceConfig
+from repro.experiments.cf_tables import run_cf_tables
+from repro.experiments.common import ExperimentScale, ServiceLatencyProfile, paper_scale
+from repro.experiments.daily import run_daily
+from repro.experiments.hourly import run_hours
+from repro.experiments.search_service import (
+    SearchAccuracyService,
+    SearchServiceConfig,
+)
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    if FULL:
+        return paper_scale(session_s=60.0)
+    return ExperimentScale(n_components=36, n_nodes=9, session_s=60.0)
+
+
+@pytest.fixture(scope="session")
+def cf_profile() -> ServiceLatencyProfile:
+    return ServiceLatencyProfile.cf()
+
+
+@pytest.fixture(scope="session")
+def search_profile() -> ServiceLatencyProfile:
+    return ServiceLatencyProfile.search()
+
+
+@pytest.fixture(scope="session")
+def cf_service() -> CFAccuracyService:
+    return CFAccuracyService(CFServiceConfig(
+        n_partitions=8, users_per_partition=250, n_items=200,
+        n_requests=40, reveal_items=50, n_targets=8,
+        synopsis_ratio=20.0, svd_iters=40, seed=0,
+    ))
+
+
+@pytest.fixture(scope="session")
+def search_service() -> SearchAccuracyService:
+    return SearchAccuracyService(SearchServiceConfig(
+        n_partitions=8, docs_per_partition=400, n_topics=12,
+        n_requests=50, synopsis_ratio=12.0, svd_iters=30, seed=0,
+    ))
+
+
+@pytest.fixture(scope="session")
+def cf_tables_result(cf_profile, bench_scale, cf_service):
+    """Tables 1 & 2 at the paper's five arrival rates (shared)."""
+    return run_cf_tables(rates=(20, 40, 60, 80, 100), profile=cf_profile,
+                         scale=bench_scale, service=cf_service, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hourly_results(search_profile, bench_scale, search_service):
+    """Figures 5 & 6: hours 9, 10, 24 (shared)."""
+    return run_hours(hours=(9, 10, 24), profile=search_profile,
+                     scale=bench_scale, service=search_service,
+                     n_sessions=8, peak_rate=100.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def daily_result(search_profile, bench_scale, search_service):
+    """Figures 7 & 8: the 24-hour sweep (shared)."""
+    return run_daily(profile=search_profile, scale=bench_scale,
+                     service=search_service, peak_rate=100.0, seed=0)

@@ -1,0 +1,102 @@
+"""Recommender scenario: accuracy vs deadline across a partitioned service.
+
+Deploys the CF service over several partitions (as the paper fans a
+request across components), then sweeps the per-component deadline and
+reports the accuracy loss of the merged approximate predictions relative
+to exact processing — the trade AccuracyTrader exposes.  Time is
+simulated (one work unit = one user scanned), so results are exact and
+machine-independent.
+
+Run:  python examples/recommender_deadline_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    AccuracyAwareProcessor,
+    CFAdapter,
+    CFRequest,
+    SimulatedClock,
+    SynopsisBuilder,
+    SynopsisConfig,
+)
+from repro.recommender import RatingMatrix, merge_predictions, rmse
+from repro.recommender.metrics import accuracy_loss_percent
+from repro.util import make_rng
+from repro.workloads import MovieLensConfig, generate_ratings
+
+N_PARTITIONS = 4
+SCAN_TIME_S = 0.016  # idle full-partition scan, anchors simulated speed
+
+
+def main() -> None:
+    data = generate_ratings(MovieLensConfig(
+        n_users=1600, n_items=250, density=0.15, seed=3))
+    users, items, vals = data.matrix.to_triples()
+
+    adapter = CFAdapter()
+    builder = SynopsisBuilder(adapter, SynopsisConfig(
+        n_iters=60, target_ratio=25.0, seed=3))
+    partitions, synopses = [], []
+    for p in range(N_PARTITIONS):
+        mask = (users % N_PARTITIONS) == p
+        part = RatingMatrix(users[mask] // N_PARTITIONS, items[mask],
+                            vals[mask], n_users=1600 // N_PARTITIONS,
+                            n_items=250)
+        synopsis, _ = builder.build(part)
+        partitions.append(part)
+        synopses.append(synopsis)
+    print(f"{N_PARTITIONS} partitions x {partitions[0].n_users} users, "
+          f"{synopses[0].n_aggregated} aggregated users each")
+
+    # Requests: jittered copies of stored users, targets held out.
+    rng = make_rng(3, "sweep")
+    requests, actuals = [], []
+    for _ in range(30):
+        proto = int(rng.integers(0, 1600))
+        f = data.user_factors[proto] + rng.normal(0, 0.2, data.user_factors.shape[1])
+        chosen = rng.choice(250, size=60, replace=False)
+        reveal, targets = chosen[:50], chosen[50:]
+        raw = data.item_factors[reveal] @ f
+        revealed = np.clip(1 + 4 / (1 + np.exp(-raw)), 1, 5)
+        actual = 1 + 4 / (1 + np.exp(-(data.item_factors[targets] @ f)))
+        requests.append(CFRequest(reveal, revealed, [int(t) for t in targets]))
+        actuals.append(actual)
+
+    exact_preds = [
+        merge_predictions([adapter.exact(p, req) for p in partitions],
+                          active_mean=req.active_mean)
+        for req in requests
+    ]
+    exact_rmse = rmse(
+        np.concatenate([e.predict_many(r.target_items)
+                        for e, r in zip(exact_preds, requests)]),
+        np.concatenate(actuals))
+    print(f"exact RMSE: {exact_rmse:.4f}\n")
+    print(f"{'deadline (ms)':>13}  {'groups seen':>11}  {'accuracy loss':>13}")
+
+    speed = partitions[0].n_users / SCAN_TIME_S
+    for deadline_ms in (0.2, 1.0, 2.0, 5.0, 10.0, 20.0):
+        preds, seen = [], []
+        for req in requests:
+            parts = []
+            for part, syn in zip(partitions, synopses):
+                proc = AccuracyAwareProcessor(adapter, part, syn)
+                result, rep = proc.process(req, deadline_ms / 1000.0,
+                                           clock=SimulatedClock(speed=speed))
+                parts.append(result)
+                seen.append(rep.groups_processed / syn.n_aggregated)
+            preds.append(merge_predictions(parts, active_mean=req.active_mean))
+        approx_rmse = rmse(
+            np.concatenate([a.predict_many(r.target_items)
+                            for a, r in zip(preds, requests)]),
+            np.concatenate(actuals))
+        loss = accuracy_loss_percent(approx_rmse, exact_rmse)
+        print(f"{deadline_ms:>13.1f}  {100 * np.mean(seen):>10.0f}%  "
+              f"{loss:>12.2f}%")
+
+
+if __name__ == "__main__":
+    main()

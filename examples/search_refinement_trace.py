@@ -1,0 +1,57 @@
+"""Search scenario: watch Algorithm 1 refine a query's top-10.
+
+Builds a topic-structured corpus partition and its synopsis, then replays
+one query at increasing refinement depths, printing how the retrieved
+top-10 converges to the exact answer — the Figure 4(b) mechanism made
+visible.
+
+Run:  python examples/search_refinement_trace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SearchAdapter, SearchQuery, SynopsisBuilder, SynopsisConfig
+from repro.core.processor import refine_to_depth
+from repro.search import topk_overlap
+from repro.workloads import CorpusConfig, generate_corpus
+
+
+def main() -> None:
+    corpus = generate_corpus(CorpusConfig(
+        n_docs=1200, n_topics=15, vocab_size=5000, seed=5))
+    adapter = SearchAdapter()
+    synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+        n_iters=50, target_ratio=15.0, seed=5)).build(corpus.partition)
+    print(f"corpus: {corpus.partition.n_docs} pages, "
+          f"synopsis: {synopsis.n_aggregated} aggregated pages")
+
+    query = SearchQuery(terms=corpus.topic_words(2, n=3), k=10)
+    print(f"query terms: {query.terms}")
+
+    exact = adapter.exact(corpus.partition, query)
+    exact_ids = [h.doc_id for h in exact]
+    print(f"actual top-10 (full scan): {exact_ids}\n")
+
+    # Where do the actual top-10 live in the correlation ranking?
+    _, corr = adapter.initial_result(synopsis, query)
+    order = list(np.argsort(-corr, kind="stable"))
+    ranks = sorted(order.index(synopsis.index.group_of(d)) for d in exact_ids)
+    print(f"rank positions of their groups (of {synopsis.n_aggregated}): {ranks}\n")
+
+    print(f"{'depth':>5}  {'% groups':>8}  {'overlap':>7}   retrieved top-10")
+    m = synopsis.n_aggregated
+    for depth in (0, max(1, m // 10), max(1, m // 5), int(0.4 * m), m):
+        hits = refine_to_depth(adapter, corpus.partition, synopsis, query,
+                               depth)
+        ids = [h.doc_id for h in hits]
+        ov = topk_overlap(ids, exact_ids)
+        print(f"{depth:>5}  {100 * depth / m:>7.0f}%  {ov:>7.2f}   {ids}")
+
+    print("\nThe paper's 40% rule: refining the top 40% ranked groups "
+          "recovers (nearly) the whole actual top-10.")
+
+
+if __name__ == "__main__":
+    main()

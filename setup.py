@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network and no ``wheel``
+distribution, so the PEP 660 editable path fails; this shim lets the
+legacy ``setup.py develop`` editable path work instead
+(``pip install -e . --no-build-isolation``).  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""Cluster topology: components, their host nodes, and base speeds.
+
+Mirrors the paper's deployment shape: one partition-processing component
+per VM, VMs spread over physical nodes, components co-located with batch
+workloads that steal capacity.  Heterogeneity enters through per-component
+base speeds (hardware/software variance, §1) and through the time-varying
+interference model (:mod:`repro.cluster.interference`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass
+class ClusterSpec:
+    """Static description of the simulated cluster.
+
+    Attributes
+    ----------
+    n_components:
+        Number of parallel partition-processing components (paper: 108).
+    n_nodes:
+        Physical nodes hosting the components round-robin (paper: 30).
+    base_speed:
+        Nominal work units/second of a component on an idle node.  One
+        work unit = one original data point scanned, so ``base_speed =
+        partition_size / t_scan`` where ``t_scan`` is the idle full-scan
+        time.
+    speed_jitter:
+        Lognormal sigma of static per-component speed variation
+        (hardware/software heterogeneity).  0 disables.
+    seed:
+        Seed for drawing the static speeds.
+    """
+
+    n_components: int = 108
+    n_nodes: int = 27
+    base_speed: float = 40_000.0
+    speed_jitter: float = 0.15
+    seed: int = 0
+    component_speeds: np.ndarray = field(init=False, repr=False)
+    component_nodes: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1 or self.n_nodes < 1:
+            raise ValueError("cluster needs at least one component and node")
+        if self.base_speed <= 0:
+            raise ValueError("base_speed must be positive")
+        if self.speed_jitter < 0:
+            raise ValueError("speed_jitter must be non-negative")
+        rng = make_rng(self.seed, "cluster-speeds")
+        jitter = (
+            rng.lognormal(mean=0.0, sigma=self.speed_jitter, size=self.n_components)
+            if self.speed_jitter > 0
+            else np.ones(self.n_components)
+        )
+        self.component_speeds = self.base_speed * jitter
+        self.component_nodes = np.arange(self.n_components) % self.n_nodes
+
+    def mirror_of(self, component: int) -> int:
+        """Partner component hosting the replica partition for reissue.
+
+        Components are paired half-way around the ring; if that partner
+        happens to share the component's node (ring stride divisible by
+        the node count), the offset is bumped until the mirror sits on a
+        different node — replicas must not share the straggler's fate.
+        """
+        if not (0 <= component < self.n_components):
+            raise IndexError(f"component {component} out of range")
+        if self.n_components == 1:
+            return 0
+        offset = self.n_components // 2
+        for bump in range(self.n_nodes):
+            mirror = (component + offset + bump) % self.n_components
+            if mirror != component and (
+                self.component_nodes[mirror] != self.component_nodes[component]
+                or self.n_nodes == 1
+            ):
+                return int(mirror)
+        return (component + offset) % self.n_components  # single-node cluster

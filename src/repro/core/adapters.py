@@ -1,0 +1,391 @@
+"""Service adapters: bind the generic synopsis pipeline to real services.
+
+The builder, updater and online processor are all generic over a
+:class:`ServiceAdapter`, which answers the service-specific questions:
+
+- how to turn a partition into SVD triples (creation step 1);
+- how to aggregate a group of original points (creation step 3);
+- how to produce an initial result + correlations from a synopsis, and how
+  to refine it with one group of original points (Algorithm 1);
+- how much *work* (abstract units, 1 unit = one original data point
+  scanned) each of those operations costs — the quantity the simulated
+  clock converts into latency.
+
+Two adapters are provided, matching the paper's two modified services:
+:class:`CFAdapter` (user-based collaborative filtering over a
+:class:`~repro.recommender.matrix.RatingMatrix`) and
+:class:`SearchAdapter` (TF-IDF top-k retrieval over a
+:class:`~repro.search.partition.SearchPartition`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.recommender.aggregation import aggregate_group
+from repro.recommender.cf import CFComponent, CFPrediction
+from repro.recommender.matrix import RatingMatrix
+from repro.search.engine import SearchComponent, SearchHit, merge_topk
+from repro.search.partition import SearchPartition
+
+__all__ = ["ServiceAdapter", "CFAdapter", "CFRequest", "SearchAdapter", "SearchQuery"]
+
+
+class ServiceAdapter(abc.ABC):
+    """Interface between the generic AccuracyTrader pipeline and a service."""
+
+    # -- offline: creation --------------------------------------------
+
+    @abc.abstractmethod
+    def record_ids(self, partition) -> np.ndarray:
+        """Ids of the original data points in the partition (dense 0..n-1)."""
+
+    @abc.abstractmethod
+    def svd_triples(self, partition, record_ids=None):
+        """(local_rows, cols, vals, n_rows, n_cols) for SVD fitting.
+
+        With ``record_ids`` given, rows are local to that subset in order
+        (the layout FunkSVD fold-in/refit expects).
+        """
+
+    def postprocess_reduced(self, factors: np.ndarray) -> np.ndarray:
+        """Hook applied to SVD row factors before R-tree grouping.
+
+        Default: identity.  Services whose similarity measure is
+        scale-invariant (e.g. Pearson-based CF) override this to project
+        points onto a common scale so the R-tree groups by direction.
+        """
+        return factors
+
+    @abc.abstractmethod
+    def aggregate_group(self, partition, member_ids) -> Any:
+        """Step-3 aggregation of one group; returns an opaque group vector."""
+
+    @abc.abstractmethod
+    def assemble_payload(self, partition, group_vectors: list) -> Any:
+        """Combine per-group vectors into the query-able synopsis payload."""
+
+    # -- online: Algorithm 1 -------------------------------------------
+
+    @abc.abstractmethod
+    def initial_result(self, synopsis, request) -> tuple[Any, np.ndarray]:
+        """Process the synopsis: (result state, per-group correlations)."""
+
+    @abc.abstractmethod
+    def refine(self, partition, synopsis, group_id: int, request, state) -> Any:
+        """Improve the result state with group ``group_id``'s originals."""
+
+    @abc.abstractmethod
+    def finalize(self, state, request) -> Any:
+        """Turn internal result state into the component's answer."""
+
+    @abc.abstractmethod
+    def exact(self, partition, request) -> Any:
+        """Full computation over the entire partition (baselines/ground truth)."""
+
+    # -- work accounting -------------------------------------------------
+
+    @abc.abstractmethod
+    def synopsis_work(self, synopsis) -> float:
+        """Work units to process the synopsis (stage-1 cost)."""
+
+    @abc.abstractmethod
+    def group_work(self, synopsis, group_id: int) -> float:
+        """Work units to process one group's original points."""
+
+    @abc.abstractmethod
+    def full_work(self, partition) -> float:
+        """Work units for exact processing of the whole partition."""
+
+
+# ---------------------------------------------------------------------------
+# Collaborative filtering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CFRequest:
+    """An active user asking for rating predictions on target items.
+
+    ``active_items``/``active_vals`` are the user's known ratings (sorted
+    by item id); ``target_items`` are the items to predict.
+    """
+
+    active_items: np.ndarray
+    active_vals: np.ndarray
+    target_items: list[int]
+    active_mean: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.active_items = np.asarray(self.active_items, dtype=np.int64)
+        self.active_vals = np.asarray(self.active_vals, dtype=float)
+        if self.active_items.shape != self.active_vals.shape:
+            raise ValueError("active items/vals length mismatch")
+        order = np.argsort(self.active_items)
+        self.active_items = self.active_items[order]
+        self.active_vals = self.active_vals[order]
+        self.target_items = [int(i) for i in self.target_items]
+        self.active_mean = float(self.active_vals.mean()) if self.active_vals.size else 0.0
+
+
+class CFAdapter(ServiceAdapter):
+    """Adapter for the user-based CF recommender.
+
+    Original data points are users; an aggregated user's rating on item i
+    is the mean rating of its members who rated i; the correlation of an
+    aggregated user to a request is |Pearson weight| against the active
+    user (§2.3: high |w| marks highly related users).
+    """
+
+    def __init__(self) -> None:
+        self._components: dict[int, CFComponent] = {}
+
+    def _component(self, matrix: RatingMatrix) -> CFComponent:
+        comp = self._components.get(id(matrix))
+        if comp is None or comp.matrix is not matrix:
+            comp = CFComponent(matrix)
+            self._components[id(matrix)] = comp
+        return comp
+
+    # -- offline -------------------------------------------------------
+
+    def record_ids(self, partition: RatingMatrix) -> np.ndarray:
+        return np.arange(partition.n_users, dtype=np.int64)
+
+    def svd_triples(self, partition: RatingMatrix, record_ids=None):
+        # Ratings are mean-centred per user before reduction: Pearson-style
+        # CF similarity is invariant to a user's rating bias, so grouping
+        # users by *taste* requires removing the bias first — otherwise the
+        # first latent dimension merely encodes how generously a user rates
+        # and the R-tree groups generous users with generous users.
+        if record_ids is None:
+            users, items, vals = partition.to_triples()
+            means = np.array([partition.user_mean(u) for u in range(partition.n_users)])
+            return users, items, vals - means[users], partition.n_users, partition.n_items
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        rows_l, cols_l, vals_l = [], [], []
+        for local, u in enumerate(record_ids):
+            ids, vals = partition.user_ratings(int(u))
+            rows_l.append(np.full(ids.size, local, dtype=np.int64))
+            cols_l.append(ids)
+            vals_l.append(vals - (vals.mean() if vals.size else 0.0))
+        rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=np.int64)
+        cols = np.concatenate(cols_l) if cols_l else np.empty(0, dtype=np.int64)
+        vals = np.concatenate(vals_l) if vals_l else np.empty(0, dtype=float)
+        return rows, cols, vals, record_ids.size, partition.n_items
+
+    def postprocess_reduced(self, factors: np.ndarray) -> np.ndarray:
+        # Pearson similarity is invariant to rating scale, so users should
+        # be grouped by taste *direction*: L2-normalise each reduced row
+        # (zero rows — users with no signal — stay at the origin).
+        norms = np.linalg.norm(factors, axis=1, keepdims=True)
+        return np.divide(factors, norms, out=np.zeros_like(factors),
+                         where=norms > 0)
+
+    def aggregate_group(self, partition: RatingMatrix, member_ids):
+        return aggregate_group(partition, member_ids)  # (item_ids, means)
+
+    def assemble_payload(self, partition: RatingMatrix, group_vectors: list):
+        users_l, items_l, vals_l = [], [], []
+        for g, (ids, means) in enumerate(group_vectors):
+            users_l.append(np.full(len(ids), g, dtype=np.int64))
+            items_l.append(np.asarray(ids, dtype=np.int64))
+            vals_l.append(np.asarray(means, dtype=float))
+        if users_l:
+            users = np.concatenate(users_l)
+            items = np.concatenate(items_l)
+            vals = np.concatenate(vals_l)
+        else:
+            users = items = np.empty(0, dtype=np.int64)
+            vals = np.empty(0, dtype=float)
+        agg = RatingMatrix(users, items, vals,
+                           n_users=len(group_vectors), n_items=partition.n_items)
+        return CFComponent(agg)
+
+    # -- online ----------------------------------------------------------
+
+    def initial_result(self, synopsis, request: CFRequest):
+        payload: CFComponent = synopsis.payload
+        m = payload.n_users
+        weights = payload.weights_for(request.active_items, request.active_vals,
+                                      np.arange(m))
+        correlations = np.abs(weights)
+        state: dict[int, CFPrediction] = {}
+        target_set = set(request.target_items)
+        for g in range(m):
+            w = weights[g]
+            contrib = CFPrediction(active_mean=request.active_mean)
+            if w != 0.0:
+                ids, vals = payload.matrix.user_ratings(g)
+                mean_g = payload.user_means[g]
+                for item, r in zip(ids.tolist(), vals.tolist()):
+                    if item in target_set:
+                        contrib.numer[item] = contrib.numer.get(item, 0.0) + w * (r - mean_g)
+                        contrib.denom[item] = contrib.denom.get(item, 0.0) + abs(w)
+            state[g] = contrib
+        return state, correlations
+
+    def refine(self, partition: RatingMatrix, synopsis, group_id: int,
+               request: CFRequest, state):
+        comp = self._component(partition)
+        members = synopsis.index.members(group_id)
+        state[group_id] = comp.partial_prediction(
+            request.active_items, request.active_vals, request.target_items,
+            request.active_mean, user_ids=members,
+        )
+        return state
+
+    def finalize(self, state, request: CFRequest) -> CFPrediction:
+        merged = CFPrediction(active_mean=request.active_mean)
+        for contrib in state.values():
+            merged.absorb(contrib)
+        return merged
+
+    def exact(self, partition: RatingMatrix, request: CFRequest) -> CFPrediction:
+        comp = self._component(partition)
+        return comp.partial_prediction(
+            request.active_items, request.active_vals, request.target_items,
+            request.active_mean,
+        )
+
+    # -- work --------------------------------------------------------------
+
+    def synopsis_work(self, synopsis) -> float:
+        return float(synopsis.n_aggregated)
+
+    def group_work(self, synopsis, group_id: int) -> float:
+        return float(synopsis.index.members(group_id).size)
+
+    def full_work(self, partition: RatingMatrix) -> float:
+        return float(partition.n_users)
+
+
+# ---------------------------------------------------------------------------
+# Web search
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SearchQuery:
+    """A tokenised query asking for the top-k pages."""
+
+    terms: list[str]
+    k: int = 10
+
+    def __post_init__(self) -> None:
+        self.terms = [str(t) for t in self.terms]
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+
+class SearchAdapter(ServiceAdapter):
+    """Adapter for the TF-IDF web search engine.
+
+    Original data points are pages; an aggregated page is the bag-union of
+    its members' contents; the correlation of an aggregated page to a
+    query is its similarity score (§2.3).
+    """
+
+    def __init__(self) -> None:
+        self._components: dict[int, SearchComponent] = {}
+
+    def _component(self, partition: SearchPartition) -> SearchComponent:
+        comp = self._components.get(id(partition))
+        if comp is None or comp.index is not partition.index:
+            comp = SearchComponent(partition.index)
+            self._components[id(partition)] = comp
+        return comp
+
+    # -- offline -------------------------------------------------------
+
+    def record_ids(self, partition: SearchPartition) -> np.ndarray:
+        return np.arange(partition.n_docs, dtype=np.int64)
+
+    def svd_triples(self, partition: SearchPartition, record_ids=None):
+        if record_ids is None:
+            rows, cols, vals = partition.matrix.triples()
+            return rows, cols, vals, partition.matrix.n_docs, partition.matrix.n_terms
+        record_ids = [int(r) for r in record_ids]
+        rows, cols, vals = partition.matrix.triples(record_ids)
+        return rows, cols, vals, len(record_ids), partition.matrix.n_terms
+
+    def aggregate_group(self, partition: SearchPartition, member_ids):
+        counts: dict[str, int] = {}
+        for d in member_ids:
+            for t in partition.tokens_of(int(d)):
+                counts[t] = counts.get(t, 0) + 1
+        return counts
+
+    def assemble_payload(self, partition: SearchPartition, group_vectors: list):
+        from repro.search.index import InvertedIndex
+
+        synopsis_index = InvertedIndex()
+        for g, counts in enumerate(group_vectors):
+            synopsis_index.add_document_counts(g, counts)
+        return SearchComponent(synopsis_index)
+
+    # -- online ----------------------------------------------------------
+
+    def initial_result(self, synopsis, request: SearchQuery):
+        payload: SearchComponent = synopsis.payload
+        hits = payload.search(request.terms)
+        m = synopsis.n_aggregated
+        correlations = np.zeros(m)
+        for h in hits:
+            correlations[h.doc_id] = h.score
+        # Initial approximate result: members of matching groups inherit
+        # their group's score (the synopsis cannot distinguish members yet).
+        estimates: dict[int, list[SearchHit]] = {g: [] for g in range(m)}
+        for h in hits:
+            members = synopsis.index.members(h.doc_id)
+            estimates[h.doc_id] = [SearchHit.make(int(d), h.score)
+                                   for d in members]
+        state = {"refined": {}, "estimated": estimates}
+        return state, correlations
+
+    def refine(self, partition: SearchPartition, synopsis, group_id: int,
+               request: SearchQuery, state):
+        comp = self._component(partition)
+        members = synopsis.index.members(group_id)
+        # Exact per-page scores supersede the group's estimate entirely.
+        state["refined"][group_id] = comp.search(request.terms,
+                                                 doc_ids=members)
+        state["estimated"].pop(group_id, None)
+        return state
+
+    def finalize(self, state, request: SearchQuery) -> list[SearchHit]:
+        """Top-k preferring exact (refined) scores over synopsis estimates.
+
+        Estimated hits carry their whole group's aggregated score, which
+        can exceed any individual page's exact score; letting them compete
+        directly would allow one coarse unrefined group to crowd out
+        exactly-scored answers.  They are therefore only used to pad the
+        tail when fewer than k refined hits exist — exactly the "initial
+        result, then improve" semantics of Algorithm 1.
+        """
+        refined = merge_topk(state["refined"].values(), request.k)
+        if len(refined) >= request.k:
+            return refined
+        pad = merge_topk(state["estimated"].values(),
+                         request.k - len(refined))
+        seen = {h.doc_id for h in refined}
+        return refined + [h for h in pad if h.doc_id not in seen]
+
+    def exact(self, partition: SearchPartition, request: SearchQuery) -> list[SearchHit]:
+        comp = self._component(partition)
+        return comp.search(request.terms, k=request.k)
+
+    # -- work --------------------------------------------------------------
+
+    def synopsis_work(self, synopsis) -> float:
+        return float(synopsis.n_aggregated)
+
+    def group_work(self, synopsis, group_id: int) -> float:
+        return float(synopsis.index.members(group_id).size)
+
+    def full_work(self, partition: SearchPartition) -> float:
+        return float(partition.n_docs)

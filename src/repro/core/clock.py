@@ -1,0 +1,83 @@
+"""Deadline clocks for Algorithm 1.
+
+The online processor (``repro.core.processor``) is written against the
+small :class:`DeadlineClock` protocol so the *same* control flow runs in
+two worlds:
+
+- :class:`WallClock` — real time, used by the runnable examples; work
+  advances the clock by actually taking time.
+- :class:`SimulatedClock` — virtual time, used by the discrete-event
+  experiments; each unit of algorithmic work advances time by
+  ``1 / speed`` where ``speed`` models the component's current capacity
+  (interference included).  This sidesteps the GIL: simulated tail
+  latencies depend only on modelled work, never on Python scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["DeadlineClock", "WallClock", "SimulatedClock"]
+
+
+@runtime_checkable
+class DeadlineClock(Protocol):
+    """What Algorithm 1 needs from time: read it, and account for work."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin arbitrary but fixed)."""
+        ...
+
+    def charge(self, work_units: float) -> None:
+        """Account for ``work_units`` of processing."""
+        ...
+
+
+class WallClock:
+    """Real wall-clock time; ``charge`` is a no-op (real work takes real time)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def charge(self, work_units: float) -> None:
+        # Real computation already consumed wall time.
+        del work_units
+
+
+class SimulatedClock:
+    """Virtual clock advancing ``work / speed`` seconds per charge.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time (e.g. the instant a component dequeues the
+        request, so queueing delay is part of the elapsed service time —
+        matching the paper's latency definition).
+    speed:
+        Work units per second this component currently sustains.  May be
+        changed between requests (interference); a speed change mid-request
+        applies to subsequent charges.
+    """
+
+    def __init__(self, start: float = 0.0, speed: float = 1.0):
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self._now = float(start)
+        self.speed = float(speed)
+        self.work_charged = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def charge(self, work_units: float) -> None:
+        if work_units < 0:
+            raise ValueError("work_units must be non-negative")
+        self.work_charged += work_units
+        self._now += work_units / self.speed
+
+    def advance(self, seconds: float) -> None:
+        """Advance time without work (idle/queueing)."""
+        if seconds < 0:
+            raise ValueError("cannot advance backwards")
+        self._now += seconds

@@ -1,0 +1,126 @@
+"""Load-adaptive multi-resolution synopses (the paper's §2.3 extension).
+
+The paper notes: "Applying a load-adaptive approach that dynamically
+selects a synopsis of a different size according to the current load is
+possible and it is studied in our previous work [SARP], but it is beyond
+the scope of this paper."  This module implements that extension on top
+of the existing pipeline: one R-tree build yields synopses at *several*
+levels (coarse -> fine), and a selector picks the largest synopsis whose
+stage-1 pass still fits the request's remaining deadline budget at the
+component's current speed.
+
+Because every level of a depth-balanced R-tree partitions the same record
+set, all resolutions share the build artifacts; only step 3 (aggregation)
+is repeated per level, bounded by the total synopsis sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adapters import ServiceAdapter
+from repro.core.builder import BuildArtifacts, SynopsisBuilder, SynopsisConfig
+from repro.core.synopsis import IndexFile, Synopsis
+
+__all__ = ["MultiResolutionSynopsis", "build_multires"]
+
+
+@dataclass
+class MultiResolutionSynopsis:
+    """Synopses of one partition at several aggregation granularities.
+
+    ``levels`` maps R-tree level -> :class:`Synopsis`, ordered coarse
+    (few aggregated points) to fine (many).
+    """
+
+    levels: dict[int, Synopsis] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("need at least one resolution")
+
+    @property
+    def resolutions(self) -> list[int]:
+        """Levels ordered coarse -> fine (by aggregated-point count)."""
+        return sorted(self.levels, key=lambda lv: self.levels[lv].n_aggregated)
+
+    @property
+    def finest(self) -> Synopsis:
+        return self.levels[self.resolutions[-1]]
+
+    @property
+    def coarsest(self) -> Synopsis:
+        return self.levels[self.resolutions[0]]
+
+    def select(self, budget_s: float, speed: float,
+               stage1_share: float = 0.2) -> Synopsis:
+        """Pick the finest synopsis whose stage-1 pass fits the budget.
+
+        Parameters
+        ----------
+        budget_s:
+            Remaining time before the request's deadline (seconds).
+        speed:
+            The component's current speed in work units / second.
+        stage1_share:
+            Fraction of the budget stage 1 may consume; the rest is kept
+            for ranked refinement (a stage-1 pass that eats the whole
+            deadline would leave AccuracyTrader no time to be
+            accuracy-aware).
+
+        Always returns at least the coarsest synopsis — a component must
+        produce *some* initial result, exactly as Algorithm 1 always runs
+        its stage 1.
+        """
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if not (0.0 < stage1_share <= 1.0):
+            raise ValueError("stage1_share must be in (0, 1]")
+        allowance = max(0.0, budget_s) * stage1_share * speed
+        chosen = self.coarsest
+        for level in self.resolutions:
+            synopsis = self.levels[level]
+            if synopsis.n_aggregated <= allowance:
+                chosen = synopsis
+            else:
+                break
+        return chosen
+
+
+def build_multires(adapter: ServiceAdapter, partition,
+                   config: SynopsisConfig | None = None,
+                   n_resolutions: int = 3,
+                   ) -> tuple[MultiResolutionSynopsis, BuildArtifacts]:
+    """Build synopses at up to ``n_resolutions`` adjacent R-tree levels.
+
+    The finest resolution is the level the plain builder would choose;
+    coarser resolutions are its ancestors.  Aggregation (step 3) reuses
+    the shared tree, so the extra cost over a single build is one
+    aggregation pass per added level — each 1/max_entries the size of the
+    previous.
+    """
+    if n_resolutions < 1:
+        raise ValueError("n_resolutions must be >= 1")
+    config = config if config is not None else SynopsisConfig()
+    builder = SynopsisBuilder(adapter, config)
+    base, artifacts = builder.build(partition)
+    levels = {base.level: base}
+
+    tree = artifacts.tree
+    for level in range(base.level + 1,
+                       min(base.level + n_resolutions, tree.root.level + 1)):
+        t0 = time.perf_counter()
+        groups = [np.asarray(sorted(tree.records_under(nd)), dtype=np.int64)
+                  for nd in tree.nodes_at_level(level)]
+        index = IndexFile(groups)
+        vectors = [adapter.aggregate_group(partition, g) for g in groups]
+        payload = adapter.assemble_payload(partition, vectors)
+        levels[level] = Synopsis(
+            index=index, payload=payload, level=level,
+            n_original=index.n_records,
+            meta={"total_s": time.perf_counter() - t0, "derived_from": base.level},
+        )
+    return MultiResolutionSynopsis(levels=levels), artifacts

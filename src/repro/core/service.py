@@ -1,0 +1,148 @@
+"""High-level facade: a partitioned AccuracyTrader service in one object.
+
+Wires together what the examples assemble by hand — partitioning, synopsis
+creation, per-component processors, result merging — behind the smallest
+API a downstream user needs:
+
+    service = AccuracyTraderService(adapter, partitions)
+    answer, reports = service.process(request, deadline=0.1)
+
+Components run sequentially under per-component clocks (simulated or wall);
+the fan-out *queueing* behaviour belongs to :mod:`repro.cluster`, which is
+about measuring latency, not producing answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.adapters import CFAdapter, SearchAdapter, ServiceAdapter
+from repro.core.builder import BuildArtifacts, SynopsisBuilder, SynopsisConfig
+from repro.core.clock import DeadlineClock, SimulatedClock
+from repro.core.processor import AccuracyAwareProcessor, ProcessingReport
+from repro.core.synopsis import Synopsis
+from repro.core.updater import SynopsisUpdater
+
+__all__ = ["AccuracyTraderService"]
+
+
+class AccuracyTraderService:
+    """A complete n-component AccuracyTrader deployment over one dataset.
+
+    Parameters
+    ----------
+    adapter:
+        Service adapter (:class:`CFAdapter` or :class:`SearchAdapter`,
+        or any custom :class:`ServiceAdapter`).
+    partitions:
+        The input data, already divided into per-component subsets.
+    config:
+        Synopsis-creation configuration (shared by all components).
+    i_max / i_max_fraction:
+        Algorithm 1's refinement cap (see
+        :class:`~repro.core.processor.AccuracyAwareProcessor`).
+    merge:
+        Combines the per-component results into the service answer.
+        Defaults: CF -> merged :class:`~repro.recommender.cf.CFPrediction`;
+        search -> global top-k via :func:`~repro.search.engine.merge_topk`.
+    """
+
+    def __init__(self, adapter: ServiceAdapter, partitions,
+                 config: SynopsisConfig | None = None,
+                 i_max: int | None = None,
+                 i_max_fraction: float | None = None,
+                 merge: Callable | None = None):
+        self.adapter = adapter
+        self.partitions = list(partitions)
+        if not self.partitions:
+            raise ValueError("need at least one partition")
+        self.config = config if config is not None else SynopsisConfig()
+        builder = SynopsisBuilder(adapter, self.config)
+        self.synopses: list[Synopsis] = []
+        self.updaters: list[SynopsisUpdater] = []
+        for part in self.partitions:
+            synopsis, artifacts = builder.build(part)
+            self.synopses.append(synopsis)
+            self.updaters.append(SynopsisUpdater(adapter, self.config, part,
+                                                 synopsis, artifacts))
+        self._processors = [
+            AccuracyAwareProcessor(adapter, part, upd.synopsis,
+                                   i_max=i_max, i_max_fraction=i_max_fraction)
+            for part, upd in zip(self.partitions, self.updaters)
+        ]
+        self._merge = merge if merge is not None else self._default_merge()
+
+    # ------------------------------------------------------------------
+
+    def _default_merge(self) -> Callable:
+        if isinstance(self.adapter, CFAdapter):
+            from repro.recommender.cf import merge_predictions
+
+            def merge_cf(results, request):
+                return merge_predictions(results,
+                                         active_mean=request.active_mean)
+
+            return merge_cf
+        if isinstance(self.adapter, SearchAdapter):
+            from repro.search.engine import merge_topk
+
+            def merge_search(results, request):
+                return merge_topk(results, request.k)
+
+            return merge_search
+        raise ValueError("custom adapters must supply a merge function")
+
+    @property
+    def n_components(self) -> int:
+        return len(self.partitions)
+
+    # ------------------------------------------------------------------
+
+    def process(self, request, deadline: float,
+                clocks: list[DeadlineClock] | None = None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Answer ``request`` with per-component deadline ``deadline``.
+
+        ``clocks`` supplies one deadline clock per component (e.g.
+        :class:`SimulatedClock` with per-component speeds); by default each
+        component gets a fresh simulated clock at unit speed — pass real
+        speeds to study latency/accuracy trade-offs.
+        """
+        if clocks is None:
+            clocks = [SimulatedClock(speed=1e12) for _ in self.partitions]
+        if len(clocks) != self.n_components:
+            raise ValueError("need one clock per component")
+        results, reports = [], []
+        for proc, upd, clock in zip(self._processors, self.updaters, clocks):
+            # Processors follow the updater's current synopsis.
+            proc.synopsis = upd.synopsis
+            result, report = proc.process(request, deadline, clock=clock)
+            results.append(result)
+            reports.append(report)
+        return self._merge(results, request), reports
+
+    def exact(self, request) -> Any:
+        """Full exact computation across all partitions (ground truth)."""
+        results = [self.adapter.exact(p, request) for p in self.partitions]
+        return self._merge(results, request)
+
+    # ------------------------------------------------------------------
+
+    def add_points(self, component: int, partition, new_record_ids):
+        """Apply an add-points update to one component's synopsis."""
+        report = self.updaters[component].add_points(partition, new_record_ids)
+        self.partitions[component] = partition
+        self._processors[component].partition = partition
+        self._processors[component].synopsis = self.updaters[component].synopsis
+        self.synopses[component] = self.updaters[component].synopsis
+        return report
+
+    def change_points(self, component: int, partition, changed_record_ids):
+        """Apply a change-points update to one component's synopsis."""
+        report = self.updaters[component].change_points(partition,
+                                                        changed_record_ids)
+        self.partitions[component] = partition
+        self._processors[component].partition = partition
+        self._processors[component].synopsis = self.updaters[component].synopsis
+        self.synopses[component] = self.updaters[component].synopsis
+        return report

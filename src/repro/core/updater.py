@@ -1,0 +1,168 @@
+"""Incremental synopsis updating (paper §2.2, updating sub-module).
+
+Two situations of input-data change are supported, matching the paper's
+Figure 3 scenarios:
+
+- **add_points** — new data points arrive: fold their reduced vectors into
+  the SVD (cost independent of existing data size), insert new R-tree
+  leaves, and re-aggregate only the groups whose membership changed.
+- **change_points** — existing points change: re-train just their reduced
+  vectors, delete + re-insert their leaves, re-aggregate affected groups.
+
+The updater caches each group's step-3 aggregation keyed by its membership
+signature; after the tree mutation it recomputes the node set at the
+chosen level and re-aggregates *only* groups with a new signature.  Update
+cost therefore scales with the amount of change, not the partition size —
+the property Figure 3 demonstrates (and why change_points, which touches
+two leaves per point instead of one, is the slower category).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import ServiceAdapter
+from repro.core.builder import BuildArtifacts, SynopsisConfig
+from repro.core.synopsis import IndexFile, Synopsis
+
+__all__ = ["UpdateReport", "SynopsisUpdater"]
+
+
+@dataclass
+class UpdateReport:
+    """What one update did and what it cost."""
+
+    kind: str                 # "add" or "change"
+    n_points: int             # points added/changed
+    n_groups_before: int
+    n_groups_after: int
+    n_groups_reaggregated: int
+    seconds: float
+
+
+class SynopsisUpdater:
+    """Holds a partition's synopsis plus build artifacts and applies updates."""
+
+    def __init__(self, adapter: ServiceAdapter, config: SynopsisConfig,
+                 partition, synopsis: Synopsis, artifacts: BuildArtifacts):
+        self.adapter = adapter
+        self.config = config
+        self.partition = partition
+        self.synopsis = synopsis
+        self.artifacts = artifacts
+        # signature -> aggregated group vector.
+        self._cache: dict[tuple, object] = {}
+        for members, vec in zip(synopsis.index.groups(), artifacts.group_vectors):
+            self._cache[tuple(members.tolist())] = vec
+
+    # ------------------------------------------------------------------
+
+    def add_points(self, partition, new_record_ids) -> UpdateReport:
+        """Situation 1: ``new_record_ids`` were appended to the partition.
+
+        ``partition`` is the partition *after* the addition; new ids must
+        extend the previous dense id range contiguously (they are row ids).
+        """
+        t0 = time.perf_counter()
+        new_ids = np.asarray(sorted(int(r) for r in new_record_ids), dtype=np.int64)
+        if new_ids.size == 0:
+            return self._finish("add", 0, self.synopsis.n_aggregated, t0)
+        expected_start = self.artifacts.svd.n_rows
+        if new_ids[0] != expected_start or not np.array_equal(
+                new_ids, np.arange(new_ids[0], new_ids[0] + new_ids.size)):
+            raise ValueError("new record ids must contiguously extend the partition")
+
+        self.partition = partition
+        rows, cols, vals, _, _ = self.adapter.svd_triples(partition, new_ids)
+        new_vecs = self.adapter.postprocess_reduced(
+            self.artifacts.svd.fold_in_rows(rows, cols, vals,
+                                            n_new_rows=new_ids.size,
+                                            ignore_unknown_cols=True))
+        for rid, vec in zip(new_ids.tolist(), new_vecs):
+            self.artifacts.tree.insert_point(rid, vec)
+
+        n_before = self.synopsis.n_aggregated
+        n_re = self._rebuild_groups()
+        return self._finish("add", new_ids.size, n_before, t0, n_re)
+
+    def change_points(self, partition, changed_record_ids) -> UpdateReport:
+        """Situation 2: existing points' attributes/contents changed.
+
+        ``partition`` is the partition after the change; ids must already
+        exist in the synopsis.
+        """
+        t0 = time.perf_counter()
+        changed = np.asarray(sorted(int(r) for r in changed_record_ids), dtype=np.int64)
+        if changed.size == 0:
+            return self._finish("change", 0, self.synopsis.n_aggregated, t0)
+        if changed.min() < 0 or changed.max() >= self.artifacts.svd.n_rows:
+            raise ValueError("changed record id outside partition")
+
+        self.partition = partition
+        rows, cols, vals, _, _ = self.adapter.svd_triples(partition, changed)
+        new_vecs = self.adapter.postprocess_reduced(
+            self.artifacts.svd.refit_rows(changed, rows, cols, vals,
+                                          ignore_unknown_cols=True))
+        for rid, vec in zip(changed.tolist(), new_vecs):
+            self.artifacts.tree.delete(rid)
+            self.artifacts.tree.insert_point(rid, vec)
+
+        # Changed originals invalidate their groups' aggregates even when
+        # membership happens to stay identical.
+        changed_set = set(changed.tolist())
+        stale = [sig for sig in self._cache if changed_set.intersection(sig)]
+        for sig in stale:
+            del self._cache[sig]
+
+        n_before = self.synopsis.n_aggregated
+        n_re = self._rebuild_groups()
+        return self._finish("change", changed.size, n_before, t0, n_re)
+
+    # ------------------------------------------------------------------
+
+    def _rebuild_groups(self) -> int:
+        """Recompute groups at the stored level; re-aggregate changed ones.
+
+        Returns the number of groups actually re-aggregated.
+        """
+        tree = self.artifacts.tree
+        level = min(self.artifacts.level, tree.root.level)
+        nodes = tree.nodes_at_level(level)
+        groups = [np.asarray(sorted(tree.records_under(nd)), dtype=np.int64)
+                  for nd in nodes]
+        new_cache: dict[tuple, object] = {}
+        vectors = []
+        n_re = 0
+        for g in groups:
+            sig = tuple(g.tolist())
+            vec = self._cache.get(sig)
+            if vec is None:
+                vec = self.adapter.aggregate_group(self.partition, g)
+                n_re += 1
+            new_cache[sig] = vec
+            vectors.append(vec)
+        self._cache = new_cache
+        index = IndexFile(groups)
+        index.validate(expected_records=self.adapter.record_ids(self.partition))
+        payload = self.adapter.assemble_payload(self.partition, vectors)
+        self.synopsis = Synopsis(
+            index=index, payload=payload, level=level,
+            n_original=index.n_records, meta=dict(self.synopsis.meta),
+        )
+        self.artifacts.level = level
+        self.artifacts.group_vectors = vectors
+        return n_re
+
+    def _finish(self, kind: str, n_points: int, n_before: int, t0: float,
+                n_re: int = 0) -> UpdateReport:
+        return UpdateReport(
+            kind=kind,
+            n_points=n_points,
+            n_groups_before=n_before,
+            n_groups_after=self.synopsis.n_aggregated,
+            n_groups_reaggregated=n_re,
+            seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,197 @@
+"""Scaled CF recommender instance for coupled accuracy evaluation.
+
+The latency simulation decides *how much* each component processed (AT
+refinement depths, partial-execution completion fractions); this module
+replays those decisions through a real — but smaller — instance of the
+recommender (partitions, synopses, Algorithm 1) and measures the paper's
+accuracy metric: the percentage RMSE increase over exact processing.
+
+Active users are synthesised from the same latent taste model as the
+stored users (paper §4.3: 1,000 randomly selected active users, 80% of
+ratings revealed); RMSE ground truth is the noiseless model rating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.processor import refine_to_depth
+from repro.core.synopsis import Synopsis
+from repro.recommender.cf import CFPrediction, merge_predictions
+from repro.recommender.matrix import RatingMatrix
+from repro.recommender.metrics import accuracy_loss_percent, rmse
+from repro.util.rng import make_rng
+from repro.workloads.movielens import MovieLensConfig, SyntheticRatings, generate_ratings
+
+__all__ = ["CFServiceConfig", "CFAccuracyService"]
+
+
+@dataclass(frozen=True)
+class CFServiceConfig:
+    """Size of the accuracy substrate (scaled from the paper's 108x4,000
+    users to keep exact ground-truth computation tractable in Python)."""
+
+    n_partitions: int = 8
+    users_per_partition: int = 300
+    n_items: int = 250
+    n_requests: int = 50
+    reveal_items: int = 60         # active user's known ratings
+    n_targets: int = 10            # items to predict per request
+    density: float = 0.12
+    synopsis_ratio: float = 25.0
+    svd_iters: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("need at least one partition")
+        if self.reveal_items + self.n_targets > self.n_items:
+            raise ValueError("reveal + target items exceed item count")
+
+
+class CFAccuracyService:
+    """Partitioned recommender + synopses + a fixed request workload."""
+
+    def __init__(self, config: CFServiceConfig | None = None):
+        self.config = config if config is not None else CFServiceConfig()
+        cfg = self.config
+        self.adapter = CFAdapter()
+
+        n_users = cfg.n_partitions * cfg.users_per_partition
+        self.data: SyntheticRatings = generate_ratings(MovieLensConfig(
+            n_users=n_users, n_items=cfg.n_items, density=cfg.density,
+            seed=cfg.seed,
+        ))
+
+        # Round-robin users into partitions (paper: input data divided
+        # into n subsets), re-indexing users locally per partition.
+        self.partitions: list[RatingMatrix] = []
+        self._partition_users: list[np.ndarray] = []
+        users, items, vals = self.data.matrix.to_triples()
+        for p in range(cfg.n_partitions):
+            mask = (users % cfg.n_partitions) == p
+            local = users[mask] // cfg.n_partitions
+            self.partitions.append(RatingMatrix(
+                local, items[mask], vals[mask],
+                n_users=cfg.users_per_partition, n_items=cfg.n_items,
+            ))
+            self._partition_users.append(
+                np.arange(p, n_users, cfg.n_partitions, dtype=np.int64))
+
+        builder = SynopsisBuilder(self.adapter, SynopsisConfig(
+            n_iters=cfg.svd_iters, target_ratio=cfg.synopsis_ratio,
+            seed=cfg.seed,
+        ))
+        self.synopses: list[Synopsis] = [
+            builder.build(part)[0] for part in self.partitions
+        ]
+
+        self.requests: list[CFRequest] = []
+        self._actuals: list[np.ndarray] = []
+        self._build_requests()
+        self._exact_cache: list[CFPrediction | None] = [None] * cfg.n_requests
+
+    # ------------------------------------------------------------------
+
+    def _build_requests(self) -> None:
+        cfg = self.config
+        rng = make_rng(cfg.seed, "cf-requests")
+        n_users = self.data.user_factors.shape[0]
+        for _ in range(cfg.n_requests):
+            # Active user: jittered copy of a stored user's tastes
+            # ("similar-minded users" exist by construction).
+            proto = int(rng.integers(0, n_users))
+            factors = self.data.user_factors[proto] + rng.normal(
+                0.0, 0.2, self.data.user_factors.shape[1])
+            chosen = rng.choice(cfg.n_items, size=cfg.reveal_items + cfg.n_targets,
+                                replace=False)
+            reveal, targets = chosen[: cfg.reveal_items], chosen[cfg.reveal_items:]
+            raw = self.data.item_factors[reveal] @ factors
+            mcfg = self.data.config
+            span = mcfg.rating_max - mcfg.rating_min
+            revealed_vals = np.clip(
+                mcfg.rating_min + span / (1.0 + np.exp(-raw))
+                + rng.normal(0.0, mcfg.noise, raw.shape),
+                mcfg.rating_min, mcfg.rating_max,
+            )
+            raw_t = self.data.item_factors[targets] @ factors
+            actual = mcfg.rating_min + span / (1.0 + np.exp(-raw_t))
+            self.requests.append(CFRequest(
+                active_items=reveal, active_vals=revealed_vals,
+                target_items=[int(i) for i in targets],
+            ))
+            self._actuals.append(actual)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_partitions(self) -> int:
+        return self.config.n_partitions
+
+    def acc_group_counts(self) -> np.ndarray:
+        """Groups per partition synopsis (for depth-fraction mapping)."""
+        return np.array([s.n_aggregated for s in self.synopses], dtype=np.int64)
+
+    def exact_prediction(self, r: int) -> CFPrediction:
+        """Exact merged prediction for request ``r`` (cached)."""
+        if self._exact_cache[r] is None:
+            parts = [self.adapter.exact(p, self.requests[r]) for p in self.partitions]
+            self._exact_cache[r] = merge_predictions(
+                parts, active_mean=self.requests[r].active_mean)
+        return self._exact_cache[r]
+
+    # -- evaluation ------------------------------------------------------
+
+    def _pooled_rmse(self, per_request_preds) -> float:
+        preds, actuals = [], []
+        for r, pred in enumerate(per_request_preds):
+            preds.append(pred.predict_many(self.requests[r].target_items))
+            actuals.append(self._actuals[r])
+        return rmse(np.concatenate(preds), np.concatenate(actuals))
+
+    def exact_rmse(self) -> float:
+        return self._pooled_rmse(
+            [self.exact_prediction(r) for r in range(self.config.n_requests)])
+
+    def at_rmse(self, depth_fractions: np.ndarray) -> float:
+        """RMSE when partition ``p`` of request ``r`` refined a
+        ``depth_fractions[r, p]`` share of its ranked groups."""
+        depth_fractions = np.asarray(depth_fractions, dtype=float)
+        if depth_fractions.shape != (self.config.n_requests, self.n_partitions):
+            raise ValueError("depth_fractions must be (n_requests, n_partitions)")
+        preds = []
+        for r in range(self.config.n_requests):
+            parts = []
+            for p, (part, syn) in enumerate(zip(self.partitions, self.synopses)):
+                depth = int(round(depth_fractions[r, p] * syn.n_aggregated))
+                parts.append(refine_to_depth(self.adapter, part, syn,
+                                             self.requests[r], depth))
+            preds.append(merge_predictions(
+                parts, active_mean=self.requests[r].active_mean))
+        return self._pooled_rmse(preds)
+
+    def partial_rmse(self, used_fractions: np.ndarray, seed: int = 1) -> float:
+        """RMSE when only a ``used_fractions[r]`` share of partitions'
+        exact results reach the composer (the rest missed the deadline)."""
+        used_fractions = np.asarray(used_fractions, dtype=float)
+        if used_fractions.shape != (self.config.n_requests,):
+            raise ValueError("used_fractions must be (n_requests,)")
+        rng = make_rng(self.config.seed, "partial-skip", seed)
+        preds = []
+        for r in range(self.config.n_requests):
+            n_used = int(round(np.clip(used_fractions[r], 0.0, 1.0)
+                               * self.n_partitions))
+            chosen = rng.choice(self.n_partitions, size=n_used, replace=False) \
+                if n_used else np.empty(0, dtype=np.int64)
+            parts = [self.adapter.exact(self.partitions[p], self.requests[r])
+                     for p in chosen]
+            preds.append(merge_predictions(
+                parts, active_mean=self.requests[r].active_mean))
+        return self._pooled_rmse(preds)
+
+    def loss_percent(self, approx_rmse: float) -> float:
+        return accuracy_loss_percent(approx_rmse, self.exact_rmse())

@@ -1,0 +1,54 @@
+"""Couple latency-simulation outcomes to the accuracy substrates.
+
+The latency simulation runs at cluster scale (every request x every
+component); the accuracy substrate is a smaller real service instance.
+The coupling samples, per accuracy-evaluation request, a simulated request
+and a set of simulated components, and carries over:
+
+- AT: the *fraction of the group cap* each component managed to refine
+  (depth / i_max), applied to the substrate partition's own cap;
+- partial execution: the fraction of components that answered before the
+  deadline, applied as the fraction of substrate partitions used.
+
+Fractions (not absolute depths) transfer between scales because both the
+simulated profile and the substrate synopses use the same aggregation-
+ratio geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.strategies.accuracytrader import AccuracyTraderStrategy
+from repro.strategies.partial import PartialExecutionStrategy
+
+__all__ = ["at_depth_fractions", "partial_used_fractions"]
+
+
+def at_depth_fractions(strategy: AccuracyTraderStrategy, n_requests: int,
+                       n_partitions: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample an (n_requests, n_partitions) depth-fraction matrix.
+
+    Each accuracy request adopts one simulated request's row and samples
+    ``n_partitions`` of its per-component depths, preserving both the
+    load level (row) and across-component variance (columns).
+    """
+    depths = strategy.groups_processed
+    if depths.size == 0:
+        raise ValueError("simulation recorded no requests")
+    n_sim_req, n_sim_comp = depths.shape
+    cap = max(strategy.i_max, 1)
+    rows = rng.integers(0, n_sim_req, size=n_requests)
+    cols = rng.integers(0, n_sim_comp, size=(n_requests, n_partitions))
+    sampled = depths[rows[:, None], cols].astype(float)
+    return np.clip(sampled / cap, 0.0, 1.0)
+
+
+def partial_used_fractions(strategy: PartialExecutionStrategy, n_requests: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Sample per-accuracy-request used-component fractions."""
+    fractions = strategy.used_fractions()
+    if fractions.size == 0:
+        raise ValueError("simulation recorded no requests")
+    rows = rng.integers(0, fractions.size, size=n_requests)
+    return fractions[rows]

@@ -1,0 +1,120 @@
+"""Figures 7 & 8: search workloads over 24 hours (paper §4.3).
+
+Figure 7: (a) the mean request arrival rate of each hour; (b, c, d) the
+mean 99.9th-percentile component latency of Basic / Request reissue /
+AccuracyTrader per hour.  Figure 8: mean accuracy losses of Partial
+execution vs AccuracyTrader per hour.
+
+Each hour is simulated as one session at the hour's mean rate (the
+paper's per-hour values are averages over its sessions; a single longer
+session at the mean rate estimates the same quantity at a fraction of
+the cost — raise ``sessions_per_hour`` to average like the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    ServiceLatencyProfile,
+    run_techniques,
+)
+from repro.experiments.coupling import at_depth_fractions, partial_used_fractions
+from repro.experiments.formatting import format_table
+from repro.experiments.search_service import SearchAccuracyService
+from repro.util.rng import make_rng
+from repro.workloads.arrival import poisson_arrivals
+from repro.workloads.sogou import hour_arrival_rate
+
+__all__ = ["DailyResult", "run_daily"]
+
+
+@dataclass
+class DailyResult:
+    """Per-hour series for Figures 7 and 8."""
+
+    hours: list[int] = field(default_factory=list)
+    rates: list[float] = field(default_factory=list)                 # Fig 7(a)
+    tails_ms: dict[str, list[float]] = field(default_factory=dict)   # Fig 7(b-d)
+    losses: dict[str, list[float]] = field(default_factory=dict)     # Fig 8
+
+    def text(self) -> str:
+        headers = ["hour", "rate(req/s)", "basic(ms)", "reissue(ms)", "AT(ms)",
+                   "partial loss%", "AT loss%"]
+        rows = []
+        for i, h in enumerate(self.hours):
+            rows.append([
+                h, self.rates[i],
+                self.tails_ms["basic"][i],
+                self.tails_ms["reissue"][i],
+                self.tails_ms["at"][i],
+                self.losses["partial"][i],
+                self.losses["at"][i],
+            ])
+        return format_table(headers, rows, title="Figures 7/8: 24-hour series")
+
+    def reissue_over_at_latency(self) -> float:
+        """Mean Reissue/AT tail ratio over the day (headline: 42.72x)."""
+        re = np.asarray(self.tails_ms["reissue"])
+        at = np.asarray(self.tails_ms["at"])
+        return float(np.mean(re / at))
+
+    def partial_over_at_loss(self) -> float:
+        """Mean Partial/AT loss ratio over the day (headline: 13.85x)."""
+        pe = np.asarray(self.losses["partial"])
+        at = np.maximum(np.asarray(self.losses["at"]), 1e-3)
+        mask = ~np.isnan(pe)
+        return float(np.mean(pe[mask] / at[mask]))
+
+    def best_technique_hours(self) -> dict[str, list[int]]:
+        """Which latency technique wins each hour (paper: reissue during
+        the light-load hours ~2-8, AccuracyTrader elsewhere)."""
+        out: dict[str, list[int]] = {"basic": [], "reissue": [], "at": []}
+        for i, h in enumerate(self.hours):
+            vals = {n: self.tails_ms[n][i] for n in out}
+            out[min(vals, key=vals.get)].append(h)
+        return out
+
+
+def run_daily(profile: ServiceLatencyProfile | None = None,
+              scale: ExperimentScale | None = None,
+              service: SearchAccuracyService | None = None,
+              peak_rate: float = 100.0,
+              hours=range(1, 25),
+              seed: int = 0) -> DailyResult:
+    """Run the 24-hour comparison.
+
+    ``service=None`` skips accuracy coupling (latency-only).
+    """
+    profile = profile if profile is not None else ServiceLatencyProfile.search()
+    scale = scale if scale is not None else ExperimentScale(session_s=60.0)
+
+    result = DailyResult()
+    result.tails_ms = {"basic": [], "reissue": [], "at": []}
+    result.losses = {"partial": [], "at": []}
+
+    for hour in hours:
+        rate = hour_arrival_rate(hour, peak_rate)
+        arrivals = poisson_arrivals(rate, scale.session_s,
+                                    make_rng(seed, "daily", hour))
+        hour_scale = replace(scale, seed=scale.seed + hour)
+        runs = run_techniques(arrivals, profile, hour_scale)
+        result.hours.append(int(hour))
+        result.rates.append(rate)
+        for name in ("basic", "reissue", "at"):
+            result.tails_ms[name].append(runs[name].tail_ms())
+        if service is not None:
+            rng = make_rng(seed, "daily-coupling", hour)
+            n_req = service.config.n_requests
+            at_frac = at_depth_fractions(runs["at"].strategy, n_req,
+                                         service.n_partitions, rng)
+            pe_frac = partial_used_fractions(runs["partial"].strategy, n_req, rng)
+            result.losses["at"].append(service.at_loss_percent(at_frac))
+            result.losses["partial"].append(service.partial_loss_percent(pe_frac))
+        else:
+            result.losses["at"].append(float("nan"))
+            result.losses["partial"].append(float("nan"))
+    return result

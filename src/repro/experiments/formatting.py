@@ -1,0 +1,41 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep that output aligned and readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Monospace table with right-aligned numeric cells."""
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            if cell >= 1000:
+                return f"{cell:,.0f}"
+            if cell >= 10:
+                return f"{cell:.1f}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    cells = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs, ys, x_name: str = "x", y_name: str = "y") -> str:
+    """One figure series as aligned (x, y) pairs."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return format_table([x_name, y_name], rows, title=label)

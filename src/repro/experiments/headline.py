@@ -1,0 +1,58 @@
+"""The abstract's headline numbers, derived from the other experiments.
+
+Paper §4.3 "Results": compared to request reissue, AccuracyTrader reduces
+the 99.9th-percentile component latency 133.38x (CF workloads) and 42.72x
+(search workloads) with accuracy losses of 1.97% and 6.31%; at the same
+service latency it reduces accuracy losses 15.12x and 13.85x versus
+partial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.cf_tables import CFTablesResult
+from repro.experiments.daily import DailyResult
+from repro.experiments.formatting import format_table
+
+__all__ = ["HeadlineNumbers", "compute_headline"]
+
+
+@dataclass
+class HeadlineNumbers:
+    """Measured vs paper headline ratios."""
+
+    cf_latency_reduction: float        # paper: 133.38x
+    cf_at_loss_percent: float          # paper: 1.97%
+    cf_loss_reduction: float           # paper: 15.12x
+    search_latency_reduction: float    # paper: 42.72x
+    search_at_loss_percent: float      # paper: 6.31%
+    search_loss_reduction: float       # paper: 13.85x
+
+    def text(self) -> str:
+        rows = [
+            ["CF: reissue/AT p99.9 ratio", self.cf_latency_reduction, 133.38],
+            ["CF: AT accuracy loss (%)", self.cf_at_loss_percent, 1.97],
+            ["CF: partial/AT loss ratio", self.cf_loss_reduction, 15.12],
+            ["Search: reissue/AT p99.9 ratio", self.search_latency_reduction, 42.72],
+            ["Search: AT accuracy loss (%)", self.search_at_loss_percent, 6.31],
+            ["Search: partial/AT loss ratio", self.search_loss_reduction, 13.85],
+        ]
+        return format_table(["metric", "measured", "paper"], rows,
+                            title="Headline results (abstract / §4.3)")
+
+
+def compute_headline(cf: CFTablesResult, daily: DailyResult) -> HeadlineNumbers:
+    """Derive the headline ratios from Table 1/2 + 24-hour results."""
+    at_losses = np.asarray(daily.losses["at"], dtype=float)
+    at_losses = at_losses[~np.isnan(at_losses)]
+    return HeadlineNumbers(
+        cf_latency_reduction=cf.reissue_over_at_latency(),
+        cf_at_loss_percent=float(np.mean(cf.loss_percent["at"])),
+        cf_loss_reduction=cf.partial_over_at_loss(),
+        search_latency_reduction=daily.reissue_over_at_latency(),
+        search_at_loss_percent=float(np.mean(at_losses)) if at_losses.size else float("nan"),
+        search_loss_reduction=daily.partial_over_at_loss(),
+    )

@@ -1,0 +1,124 @@
+"""Figures 5 & 6: search workloads of hours 9, 10 and 24 (paper §4.3).
+
+Hour 9 has increasing arrival rates (morning ramp), hour 10 is steady,
+hour 24 decreasing.  The paper runs 60 one-minute sessions per hour and
+reports per-session values: Figure 5 shows the arrival-rate panel plus
+the per-session 99.9th-percentile component latency of Basic / Request
+reissue / AccuracyTrader; Figure 6 the per-session accuracy losses of
+Partial execution vs AccuracyTrader.
+
+Sessions are simulated independently (queues drain between paper
+sessions too — each was a fresh one-minute measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentScale,
+    ServiceLatencyProfile,
+    run_techniques,
+)
+from repro.experiments.coupling import at_depth_fractions, partial_used_fractions
+from repro.experiments.formatting import format_table
+from repro.experiments.search_service import SearchAccuracyService
+from repro.util.rng import make_rng
+from repro.workloads.arrival import poisson_arrivals
+from repro.workloads.sogou import HOURLY_RATE_PROFILE
+
+__all__ = ["HourlyResult", "run_hour", "run_hours"]
+
+
+@dataclass
+class HourlyResult:
+    """Per-session series for one hour (one Figure-5 row + Figure-6 panel)."""
+
+    hour: int
+    session_rates: list[float] = field(default_factory=list)      # panel (a/e/i)
+    tails_ms: dict[str, list[float]] = field(default_factory=dict)  # (b,c,d/...)
+    losses: dict[str, list[float]] = field(default_factory=dict)    # Figure 6
+
+    def text(self) -> str:
+        headers = ["session", "rate(req/s)", "basic(ms)", "reissue(ms)",
+                   "AT(ms)", "partial loss%", "AT loss%"]
+        rows = []
+        for s in range(len(self.session_rates)):
+            rows.append([
+                s + 1,
+                self.session_rates[s],
+                self.tails_ms["basic"][s],
+                self.tails_ms["reissue"][s],
+                self.tails_ms["at"][s],
+                self.losses["partial"][s],
+                self.losses["at"][s],
+            ])
+        return format_table(headers, rows,
+                            title=f"Figures 5/6 series, hour {self.hour}")
+
+
+def _session_rate(hour: int, session: int, n_sessions: int, peak_rate: float) -> float:
+    """Arrival rate of one session, linearly interpolated within the hour.
+
+    Reproduces the within-hour trends of the paper's typical hours:
+    increasing through hour 9, steady in hour 10, decreasing in hour 24.
+    """
+    prev_r = HOURLY_RATE_PROFILE[(hour - 2) % 24] * peak_rate
+    cur_r = HOURLY_RATE_PROFILE[hour - 1] * peak_rate
+    next_r = HOURLY_RATE_PROFILE[hour % 24] * peak_rate
+    x = (session + 0.5) / n_sessions
+    if x < 0.5:
+        start = 0.5 * (prev_r + cur_r)
+        return start + (cur_r - start) * (x / 0.5)
+    end = 0.5 * (cur_r + next_r)
+    return cur_r + (end - cur_r) * ((x - 0.5) / 0.5)
+
+
+def run_hour(hour: int,
+             profile: ServiceLatencyProfile | None = None,
+             scale: ExperimentScale | None = None,
+             service: SearchAccuracyService | None = None,
+             n_sessions: int = 12,
+             peak_rate: float = 100.0,
+             seed: int = 0) -> HourlyResult:
+    """Simulate one hour as ``n_sessions`` independent sessions.
+
+    ``service=None`` skips the accuracy coupling (latency-only run).
+    """
+    if not (1 <= hour <= 24):
+        raise ValueError("hour must be 1..24")
+    profile = profile if profile is not None else ServiceLatencyProfile.search()
+    scale = scale if scale is not None else ExperimentScale(session_s=60.0)
+
+    result = HourlyResult(hour=hour)
+    result.tails_ms = {"basic": [], "reissue": [], "at": []}
+    result.losses = {"partial": [], "at": []}
+
+    for s in range(n_sessions):
+        rate = _session_rate(hour, s, n_sessions, peak_rate)
+        arrivals = poisson_arrivals(rate, scale.session_s,
+                                    make_rng(seed, "hour", hour, s))
+        session_scale = replace(scale, seed=scale.seed + 100 * hour + s)
+        runs = run_techniques(arrivals, profile, session_scale)
+        result.session_rates.append(rate)
+        for name in ("basic", "reissue", "at"):
+            result.tails_ms[name].append(runs[name].tail_ms())
+        if service is not None:
+            rng = make_rng(seed, "hour-coupling", hour, s)
+            n_req = service.config.n_requests
+            at_frac = at_depth_fractions(runs["at"].strategy, n_req,
+                                         service.n_partitions, rng)
+            pe_frac = partial_used_fractions(runs["partial"].strategy, n_req, rng)
+            result.losses["at"].append(service.at_loss_percent(at_frac))
+            result.losses["partial"].append(service.partial_loss_percent(pe_frac))
+        else:
+            result.losses["at"].append(float("nan"))
+            result.losses["partial"].append(float("nan"))
+    return result
+
+
+def run_hours(hours=(9, 10, 24), **kwargs) -> dict[int, HourlyResult]:
+    """The paper's three typical hours (Figures 5 and 6)."""
+    return {h: run_hour(h, **kwargs) for h in hours}

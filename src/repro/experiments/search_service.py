@@ -1,0 +1,172 @@
+"""Scaled search-engine instance for coupled accuracy evaluation.
+
+Mirror of :mod:`repro.experiments.cf_service` for the text service: a
+partitioned corpus with per-partition synopses; the latency simulation's
+refinement depths / completion fractions are replayed through the real
+retrieval path; accuracy is the paper's top-10 overlap metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import SearchAdapter, SearchQuery
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.processor import refine_to_depth
+from repro.core.synopsis import Synopsis
+from repro.search.engine import merge_topk
+from repro.search.metrics import topk_overlap
+from repro.search.partition import SearchPartition
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler
+from repro.workloads.corpus import CorpusConfig, SyntheticCorpus, generate_corpus
+
+__all__ = ["SearchServiceConfig", "SearchAccuracyService"]
+
+
+@dataclass(frozen=True)
+class SearchServiceConfig:
+    """Size of the search accuracy substrate."""
+
+    n_partitions: int = 8
+    docs_per_partition: int = 600
+    n_topics: int = 20
+    n_requests: int = 80
+    k: int = 10
+    synopsis_ratio: float = 30.0
+    i_max_fraction: float = 0.4    # the paper's top-40% refinement rule
+    svd_iters: int = 30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("need at least one partition")
+        if not (0.0 < self.i_max_fraction <= 1.0):
+            raise ValueError("i_max_fraction must be in (0, 1]")
+
+
+class SearchAccuracyService:
+    """Partitioned corpus + synopses + a fixed query workload."""
+
+    def __init__(self, config: SearchServiceConfig | None = None):
+        self.config = config if config is not None else SearchServiceConfig()
+        cfg = self.config
+        self.adapter = SearchAdapter()
+
+        # Partitions share one topic model (same CorpusConfig, different
+        # seeds): a query is relevant to pages in every partition, as when
+        # a crawl is hash-partitioned across components.
+        base = CorpusConfig(n_docs=cfg.docs_per_partition, n_topics=cfg.n_topics,
+                            seed=cfg.seed)
+        self.corpora: list[SyntheticCorpus] = [
+            generate_corpus(base, seed=cfg.seed * 1000 + p)
+            for p in range(cfg.n_partitions)
+        ]
+        self.partitions: list[SearchPartition] = [c.partition for c in self.corpora]
+
+        builder = SynopsisBuilder(self.adapter, SynopsisConfig(
+            n_iters=cfg.svd_iters, target_ratio=cfg.synopsis_ratio, seed=cfg.seed,
+        ))
+        self.synopses: list[Synopsis] = [
+            builder.build(part)[0] for part in self.partitions
+        ]
+
+        self.requests: list[SearchQuery] = []
+        self._build_requests()
+        self._exact_cache: list[list | None] = [None] * cfg.n_requests
+
+    # ------------------------------------------------------------------
+
+    def _build_requests(self) -> None:
+        cfg = self.config
+        rng = make_rng(cfg.seed, "search-requests")
+        topic_sampler = ZipfSampler(cfg.n_topics, 0.9, rng)
+        for _ in range(cfg.n_requests):
+            topic = int(topic_sampler.sample())
+            n_terms = max(1, int(rng.poisson(1.6)) + 1)
+            terms = self.corpora[0].topic_words(topic, n=n_terms, rng=rng)
+            self.requests.append(SearchQuery(terms=terms, k=cfg.k))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_partitions(self) -> int:
+        return self.config.n_partitions
+
+    def _global_id(self, partition: int, doc_id: int) -> int:
+        """Partition-local doc ids mapped into one global id space."""
+        return partition * 10_000_000 + doc_id
+
+    def exact_topk(self, r: int) -> list[int]:
+        """Ground-truth global top-k for request ``r`` (cached)."""
+        if self._exact_cache[r] is None:
+            from repro.search.engine import SearchHit
+
+            all_hits = []
+            for p, part in enumerate(self.partitions):
+                hits = self.adapter.exact(part, self.requests[r])
+                all_hits.append([SearchHit.make(self._global_id(p, h.doc_id),
+                                                h.score) for h in hits])
+            merged = merge_topk(all_hits, self.requests[r].k)
+            self._exact_cache[r] = [h.doc_id for h in merged]
+        return self._exact_cache[r]
+
+    # -- evaluation ------------------------------------------------------
+
+    def _mean_loss(self, per_request_ids) -> float:
+        losses = [
+            100.0 * (1.0 - topk_overlap(ids, self.exact_topk(r),
+                                        k=self.requests[r].k))
+            for r, ids in enumerate(per_request_ids)
+        ]
+        return float(np.mean(losses))
+
+    def at_loss_percent(self, depth_fractions: np.ndarray) -> float:
+        """Mean top-k accuracy loss when partition ``p`` of request ``r``
+        refined ``depth_fractions[r, p]`` of its *capped* group budget
+        (cap = ``i_max_fraction`` of groups, the paper's 40% rule)."""
+        from repro.search.engine import SearchHit
+
+        cfg = self.config
+        depth_fractions = np.asarray(depth_fractions, dtype=float)
+        if depth_fractions.shape != (cfg.n_requests, self.n_partitions):
+            raise ValueError("depth_fractions must be (n_requests, n_partitions)")
+        results = []
+        for r in range(cfg.n_requests):
+            all_hits = []
+            for p, (part, syn) in enumerate(zip(self.partitions, self.synopses)):
+                cap = max(1, int(np.ceil(cfg.i_max_fraction * syn.n_aggregated)))
+                depth = int(round(np.clip(depth_fractions[r, p], 0, 1) * cap))
+                hits = refine_to_depth(self.adapter, part, syn,
+                                       self.requests[r], depth)
+                all_hits.append([SearchHit.make(self._global_id(p, h.doc_id),
+                                                h.score) for h in hits])
+            merged = merge_topk(all_hits, self.requests[r].k)
+            results.append([h.doc_id for h in merged])
+        return self._mean_loss(results)
+
+    def partial_loss_percent(self, used_fractions: np.ndarray, seed: int = 1) -> float:
+        """Mean top-k loss when only a fraction of partitions answered."""
+        from repro.search.engine import SearchHit
+
+        cfg = self.config
+        used_fractions = np.asarray(used_fractions, dtype=float)
+        if used_fractions.shape != (cfg.n_requests,):
+            raise ValueError("used_fractions must be (n_requests,)")
+        rng = make_rng(cfg.seed, "partial-skip", seed)
+        results = []
+        for r in range(cfg.n_requests):
+            n_used = int(round(np.clip(used_fractions[r], 0.0, 1.0)
+                               * self.n_partitions))
+            chosen = rng.choice(self.n_partitions, size=n_used, replace=False) \
+                if n_used else np.empty(0, dtype=np.int64)
+            all_hits = []
+            for p in chosen:
+                hits = self.adapter.exact(self.partitions[p], self.requests[r])
+                all_hits.append([SearchHit.make(self._global_id(int(p), h.doc_id),
+                                                h.score) for h in hits])
+            merged = merge_topk(all_hits, self.requests[r].k)
+            results.append([h.doc_id for h in merged])
+        return self._mean_loss(results)

@@ -1,0 +1,28 @@
+"""User-based collaborative-filtering recommender (paper §3.2, service 1).
+
+A partition of the user-item rating matrix lives on each service
+component.  For an active user the component computes Pearson weights
+against its local users and a weighted-average rating prediction; the
+composer merges per-component numerator/denominator sums so the merged
+prediction equals the prediction a single machine would have produced.
+
+Accuracy is RMSE over a test set; the paper's accuracy-loss metric is the
+relative RMSE increase of an approximate prediction versus the exact one.
+"""
+
+from repro.recommender.matrix import RatingMatrix
+from repro.recommender.similarity import pearson_weights
+from repro.recommender.cf import CFComponent, CFPrediction, merge_predictions
+from repro.recommender.aggregation import build_aggregated_users
+from repro.recommender.metrics import rmse, accuracy_loss_percent
+
+__all__ = [
+    "RatingMatrix",
+    "pearson_weights",
+    "CFComponent",
+    "CFPrediction",
+    "merge_predictions",
+    "build_aggregated_users",
+    "rmse",
+    "accuracy_loss_percent",
+]

@@ -1,0 +1,81 @@
+"""Aggregated-user construction (synopsis step 3, numeric datasets).
+
+Paper §2.2: "suppose an aggregated user corresponds to a set U of original
+users, in which a subset Ui of U have rated item i.  The aggregated user's
+rating on item i is the users' average rating on i in set Ui."
+
+The output is itself a :class:`repro.recommender.matrix.RatingMatrix`
+whose "users" are the aggregated data points, so the *same* CF code path
+processes synopses and original data — the paper's key implementation
+property (§3.2: no change to the request-processing algorithm, only to the
+dataset fed to it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recommender.matrix import RatingMatrix
+
+__all__ = ["build_aggregated_users", "aggregate_group"]
+
+
+def aggregate_group(matrix: RatingMatrix, user_ids) -> tuple[np.ndarray, np.ndarray]:
+    """Mean rating per item over the users of one group.
+
+    Returns (item_ids, mean_ratings), items sorted ascending.  Items rated
+    by nobody in the group are absent (not zero-filled) — the aggregated
+    user simply "hasn't rated" them, matching the paper's Ui definition.
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    if user_ids.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=float)
+    all_items = []
+    all_vals = []
+    for u in user_ids:
+        ids, vals = matrix.user_ratings(int(u))
+        all_items.append(ids)
+        all_vals.append(vals)
+    items = np.concatenate(all_items)
+    vals = np.concatenate(all_vals)
+    if items.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=float)
+    uniq, inverse = np.unique(items, return_inverse=True)
+    sums = np.bincount(inverse, weights=vals, minlength=uniq.size)
+    cnts = np.bincount(inverse, minlength=uniq.size)
+    return uniq, sums / cnts
+
+
+def build_aggregated_users(matrix: RatingMatrix, groups) -> RatingMatrix:
+    """Aggregate each group of users into one synthetic user.
+
+    Parameters
+    ----------
+    matrix:
+        The partition's rating matrix.
+    groups:
+        Sequence of user-id arrays; group *g* becomes aggregated user *g*.
+        (Typically the record sets under each chosen R-tree node.)
+
+    Returns
+    -------
+    RatingMatrix
+        Matrix of shape (len(groups), matrix.n_items); row *g* holds group
+        *g*'s per-item mean ratings.
+    """
+    groups = list(groups)
+    users_l, items_l, vals_l = [], [], []
+    for g, user_ids in enumerate(groups):
+        ids, means = aggregate_group(matrix, user_ids)
+        users_l.append(np.full(ids.size, g, dtype=np.int64))
+        items_l.append(ids)
+        vals_l.append(means)
+    if users_l:
+        users = np.concatenate(users_l)
+        items = np.concatenate(items_l)
+        vals = np.concatenate(vals_l)
+    else:
+        users = items = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=float)
+    return RatingMatrix(users, items, vals,
+                        n_users=len(groups), n_items=matrix.n_items)

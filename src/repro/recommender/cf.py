@@ -1,0 +1,142 @@
+"""User-based CF prediction, partitioned the way the paper deploys it.
+
+Each service component owns a partition of the rating matrix.  For an
+active user *u* and target item *i* the classic two-step algorithm is
+
+1. weight every local user *v* who rated *i*: ``w_uv = Pearson(u, v)``;
+2. predict ``p(u,i) = mean_u + sum_v w_uv (r_vi - mean_v) / sum_v |w_uv|``
+   (mean-centred weighted average — the standard Resnick formula).
+
+Components return *partial sums* (numerator, denominator, per item) so the
+composer can merge any subset of components/users and still produce
+exactly the prediction a single machine scanning those users would give.
+That additivity is what lets AccuracyTrader refine a prediction
+incrementally, one ranked user-group at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.recommender.matrix import RatingMatrix
+from repro.recommender.similarity import pearson
+
+__all__ = ["CFPrediction", "CFComponent", "merge_predictions"]
+
+
+@dataclass
+class CFPrediction:
+    """Mergeable partial prediction state for one active user.
+
+    ``numer[i]``/``denom[i]`` accumulate the Resnick sums for target item
+    ``i``; ``active_mean`` is the active user's own mean rating (the
+    fallback prediction when no neighbour rated an item).
+    """
+
+    active_mean: float
+    numer: dict[int, float] = field(default_factory=dict)
+    denom: dict[int, float] = field(default_factory=dict)
+
+    def absorb(self, other: "CFPrediction") -> "CFPrediction":
+        """Merge another partial into this one (commutative, associative)."""
+        for i, n in other.numer.items():
+            self.numer[i] = self.numer.get(i, 0.0) + n
+            self.denom[i] = self.denom.get(i, 0.0) + other.denom[i]
+        return self
+
+    def predict(self, item: int) -> float:
+        """Point prediction for ``item`` given the evidence absorbed so far."""
+        den = self.denom.get(item, 0.0)
+        if den == 0.0:
+            return self.active_mean
+        return self.active_mean + self.numer[item] / den
+
+    def predict_many(self, items) -> np.ndarray:
+        return np.array([self.predict(int(i)) for i in items])
+
+
+class CFComponent:
+    """One component's share of the recommender: a rating-matrix partition.
+
+    Precomputes user means and the item->raters inverted view once; each
+    request then touches only the users it actually scans.
+    """
+
+    def __init__(self, matrix: RatingMatrix):
+        self.matrix = matrix
+        counts = np.diff(matrix.indptr)
+        sums = np.zeros(matrix.n_users)
+        np.add.at(sums, np.repeat(np.arange(matrix.n_users), counts), matrix.values)
+        self.user_means = np.divide(sums, counts, out=np.zeros_like(sums),
+                                    where=counts > 0)
+        self._raters = matrix.item_raters()
+
+    @property
+    def n_users(self) -> int:
+        return self.matrix.n_users
+
+    # ------------------------------------------------------------------
+
+    def weights_for(self, active_items, active_vals, user_ids) -> np.ndarray:
+        """Pearson weight of the active user vs each user in ``user_ids``."""
+        active_items = np.asarray(active_items, dtype=np.int64)
+        active_vals = np.asarray(active_vals, dtype=float)
+        out = np.empty(len(user_ids))
+        for k, v in enumerate(user_ids):
+            ids, vals = self.matrix.user_ratings(int(v))
+            out[k] = pearson(ids, vals, active_items, active_vals)
+        return out
+
+    def partial_prediction(self, active_items, active_vals, target_items,
+                           active_mean: float,
+                           user_ids=None) -> CFPrediction:
+        """Resnick partial sums over ``user_ids`` (default: all local users).
+
+        Only users who actually rated a target item contribute to that
+        item's sums; weight computation is still paid for every scanned
+        user, which is what makes exact processing expensive — and is the
+        work the synopsis avoids.
+        """
+        if user_ids is None:
+            user_ids = np.arange(self.matrix.n_users)
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        target_items = [int(i) for i in target_items]
+        pred = CFPrediction(active_mean=active_mean)
+        if user_ids.size == 0:
+            return pred
+        weights = self.weights_for(active_items, active_vals, user_ids)
+        target_set = set(target_items)
+        for v, w in zip(user_ids, weights):
+            if w == 0.0:
+                continue
+            ids, vals = self.matrix.user_ratings(int(v))
+            mean_v = self.user_means[v]
+            for item, r in zip(ids.tolist(), vals.tolist()):
+                if item in target_set:
+                    pred.numer[item] = pred.numer.get(item, 0.0) + w * (r - mean_v)
+                    pred.denom[item] = pred.denom.get(item, 0.0) + abs(w)
+        return pred
+
+    def raters_of(self, item: int) -> np.ndarray:
+        """Local users who rated ``item`` (empty array if none)."""
+        return self._raters.get(int(item), np.empty(0, dtype=np.int64))
+
+
+def merge_predictions(parts, active_mean: float | None = None) -> CFPrediction:
+    """Merge partial predictions from many components into one.
+
+    ``active_mean`` defaults to the first part's mean (all parts of one
+    request share the same active user).
+    """
+    parts = list(parts)
+    if not parts:
+        if active_mean is None:
+            raise ValueError("merge of zero parts needs an explicit active_mean")
+        return CFPrediction(active_mean=active_mean)
+    merged = CFPrediction(active_mean=active_mean if active_mean is not None
+                          else parts[0].active_mean)
+    for p in parts:
+        merged.absorb(p)
+    return merged

@@ -1,0 +1,135 @@
+"""Sparse user-item rating matrix in CSR layout.
+
+Rows are users, columns are items, values are ratings.  CSR gives O(1)
+access to one user's rating vector — the access pattern of both Pearson
+weight computation (active user vs all locals) and SVD triple extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RatingMatrix"]
+
+
+class RatingMatrix:
+    """Immutable-ish CSR rating matrix with an append/replace API.
+
+    Built from COO triples; per-user slices are contiguous views (no
+    copies), following the HPC guide's views-over-copies advice.
+    """
+
+    def __init__(self, users, items, ratings, n_users: int | None = None,
+                 n_items: int | None = None):
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        ratings = np.asarray(ratings, dtype=float)
+        if not (users.shape == items.shape == ratings.shape) or users.ndim != 1:
+            raise ValueError("users/items/ratings must be equal-length 1-D arrays")
+        if users.size and (users.min() < 0 or items.min() < 0):
+            raise ValueError("indices must be non-negative")
+        self.n_users = int(n_users if n_users is not None else (users.max() + 1 if users.size else 0))
+        self.n_items = int(n_items if n_items is not None else (items.max() + 1 if items.size else 0))
+        if users.size and (users.max() >= self.n_users or items.max() >= self.n_items):
+            raise ValueError("index exceeds declared shape")
+        # Sort by (user, item) then build CSR.
+        order = np.lexsort((items, users))
+        users, items, ratings = users[order], items[order], ratings[order]
+        if users.size:
+            dup = (np.diff(users) == 0) & (np.diff(items) == 0)
+            if np.any(dup):
+                raise ValueError("duplicate (user, item) rating")
+        self.indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+        np.add.at(self.indptr, users + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self.item_ids = items
+        self.values = ratings
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def user_ratings(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        """(item_ids, ratings) views for one user, sorted by item id."""
+        if not (0 <= user < self.n_users):
+            raise IndexError(f"user {user} out of range")
+        s, e = self.indptr[user], self.indptr[user + 1]
+        return self.item_ids[s:e], self.values[s:e]
+
+    def user_mean(self, user: int) -> float:
+        """Mean rating of a user (0.0 if the user rated nothing)."""
+        ids, vals = self.user_ratings(user)
+        return float(vals.mean()) if vals.size else 0.0
+
+    def rating(self, user: int, item: int) -> float | None:
+        """The rating of (user, item), or None if unrated."""
+        ids, vals = self.user_ratings(user)
+        pos = np.searchsorted(ids, item)
+        if pos < ids.size and ids[pos] == item:
+            return float(vals[pos])
+        return None
+
+    def to_triples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triples (users, items, ratings)."""
+        users = np.repeat(np.arange(self.n_users), np.diff(self.indptr))
+        return users, self.item_ids.copy(), self.values.copy()
+
+    def dense(self, fill: float = 0.0) -> np.ndarray:
+        """Dense (n_users, n_items) copy — test/debug helper only."""
+        out = np.full((self.n_users, self.n_items), fill, dtype=float)
+        users = np.repeat(np.arange(self.n_users), np.diff(self.indptr))
+        out[users, self.item_ids] = self.values
+        return out
+
+    def item_raters(self) -> dict[int, np.ndarray]:
+        """item -> array of users who rated it (inverted view)."""
+        users = np.repeat(np.arange(self.n_users), np.diff(self.indptr))
+        order = np.argsort(self.item_ids, kind="stable")
+        items_sorted = self.item_ids[order]
+        users_sorted = users[order]
+        bounds = np.searchsorted(items_sorted, np.arange(self.n_items + 1))
+        return {
+            i: users_sorted[bounds[i]:bounds[i + 1]]
+            for i in range(self.n_items)
+            if bounds[i] < bounds[i + 1]
+        }
+
+    # ------------------------------------------------------------------
+
+    def with_rows_appended(self, users, items, ratings) -> "RatingMatrix":
+        """New matrix with additional users appended (ids continue on).
+
+        ``users`` here are *local* indices of the new block (0-based).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        old_u, old_i, old_v = self.to_triples()
+        new_u = users + self.n_users
+        n_new = int(users.max() + 1) if users.size else 0
+        return RatingMatrix(
+            np.concatenate([old_u, new_u]),
+            np.concatenate([old_i, np.asarray(items, dtype=np.int64)]),
+            np.concatenate([old_v, np.asarray(ratings, dtype=float)]),
+            n_users=self.n_users + n_new,
+            n_items=max(self.n_items, int(np.asarray(items).max() + 1) if len(items) else 0),
+        )
+
+    def with_users_replaced(self, replaced: dict[int, tuple[np.ndarray, np.ndarray]]) -> "RatingMatrix":
+        """New matrix where each user in ``replaced`` gets a fresh rating
+        vector ``(item_ids, ratings)`` — models changed data points."""
+        users_l, items_l, vals_l = [], [], []
+        for u in range(self.n_users):
+            if u in replaced:
+                ids, vals = replaced[u]
+                ids = np.asarray(ids, dtype=np.int64)
+                vals = np.asarray(vals, dtype=float)
+            else:
+                ids, vals = self.user_ratings(u)
+            users_l.append(np.full(ids.size, u, dtype=np.int64))
+            items_l.append(ids)
+            vals_l.append(vals)
+        return RatingMatrix(
+            np.concatenate(users_l), np.concatenate(items_l), np.concatenate(vals_l),
+            n_users=self.n_users, n_items=self.n_items,
+        )

@@ -1,0 +1,41 @@
+"""Recommender accuracy metrics (paper §4.1).
+
+RMSE over a test set of (user, item) pairs, and the accuracy-loss
+percentage: the relative increase of approximate RMSE over exact RMSE.
+A loss of 0% means the approximation predicts exactly as well as full
+computation; 100% means its error doubled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "accuracy_loss_percent"]
+
+
+def rmse(predicted, actual) -> float:
+    """Root-mean-square error between prediction and ground-truth arrays."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError("prediction/actual shape mismatch")
+    if predicted.size == 0:
+        raise ValueError("RMSE of an empty test set is undefined")
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))
+
+
+def accuracy_loss_percent(approx_rmse: float, exact_rmse: float) -> float:
+    """Percentage accuracy loss of an approximate result (RMSE metric).
+
+    Defined as ``100 * (approx_rmse - exact_rmse) / exact_rmse``, floored
+    at 0 (an approximation can fluctuate slightly *below* exact RMSE on a
+    finite test set; the paper reports losses, not gains).
+
+    ``exact_rmse == 0`` (perfect exact predictor) maps to 0% loss if the
+    approximation is also perfect, else 100%.
+    """
+    if approx_rmse < 0 or exact_rmse < 0:
+        raise ValueError("RMSE values must be non-negative")
+    if exact_rmse == 0.0:
+        return 0.0 if approx_rmse == 0.0 else 100.0
+    return max(0.0, 100.0 * (approx_rmse - exact_rmse) / exact_rmse)

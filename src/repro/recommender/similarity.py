@@ -1,0 +1,77 @@
+"""Pearson correlation weights between an active user and stored users.
+
+Pearson's correlation coefficient over co-rated items is the paper's CF
+weight measure (§3.2) *and* its correlation-to-result-accuracy estimate
+for aggregated users (§2.3): processing an aggregated user's Pearson
+weight predicts how much its member users will improve the prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson", "pearson_weights"]
+
+# Below this many co-rated items a Pearson estimate is statistically
+# meaningless; standard CF practice treats such pairs as uncorrelated.
+MIN_OVERLAP = 2
+
+
+def pearson(items_a, vals_a, items_b, vals_b) -> float:
+    """Pearson correlation of two users over their co-rated items.
+
+    Inputs are (sorted item-id array, rating array) pairs as returned by
+    :meth:`repro.recommender.matrix.RatingMatrix.user_ratings`.  Returns
+    0.0 when the overlap is smaller than :data:`MIN_OVERLAP` or either
+    side is constant on the overlap (undefined correlation).
+    """
+    items_a = np.asarray(items_a)
+    items_b = np.asarray(items_b)
+    ia = np.searchsorted(items_a, items_b)
+    mask = (ia < items_a.size)
+    mask[mask] &= items_a[ia[mask]] == items_b[mask]
+    if np.count_nonzero(mask) < MIN_OVERLAP:
+        return 0.0
+    xa = np.asarray(vals_a, dtype=float)[ia[mask]]
+    xb = np.asarray(vals_b, dtype=float)[mask]
+    xa = xa - xa.mean()
+    xb = xb - xb.mean()
+    denom = np.sqrt((xa @ xa) * (xb @ xb))
+    if denom == 0.0:
+        return 0.0
+    r = float((xa @ xb) / denom)
+    # Clamp float noise so downstream |w|<=1 assumptions hold exactly.
+    return max(-1.0, min(1.0, r))
+
+
+def pearson_weights(matrix, active_items, active_vals,
+                    user_ids=None) -> np.ndarray:
+    """Pearson weight of the active user against each user of ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`repro.recommender.matrix.RatingMatrix`.
+    active_items, active_vals:
+        The active user's (sorted) rated item ids and ratings.
+    user_ids:
+        Optional subset of matrix users to score (default: all users).
+
+    Returns
+    -------
+    numpy.ndarray
+        Weight per requested user, in ``user_ids`` order.
+    """
+    if user_ids is None:
+        user_ids = range(matrix.n_users)
+    active_items = np.asarray(active_items, dtype=np.int64)
+    active_vals = np.asarray(active_vals, dtype=float)
+    if active_items.size > 1 and np.any(np.diff(active_items) < 0):
+        order = np.argsort(active_items)
+        active_items, active_vals = active_items[order], active_vals[order]
+    out = np.empty(len(list(user_ids)) if not hasattr(user_ids, "__len__") else len(user_ids))
+    user_list = list(user_ids)
+    for k, u in enumerate(user_list):
+        ids, vals = matrix.user_ratings(int(u))
+        out[k] = pearson(ids, vals, active_items, active_vals)
+    return out

@@ -1,0 +1,24 @@
+"""From-scratch R-tree used for synopsis creation and incremental update.
+
+The paper (§2.2) relies on three R-tree properties:
+
+1. construction groups points that are close in feature space into the
+   same node;
+2. the tree is depth-balanced, so all nodes at one level approximate the
+   dataset at the same granularity;
+3. leaves support dynamic insertion and deletion, enabling incremental
+   synopsis updates.
+
+This package provides a Guttman R-tree with quadratic split
+(:class:`repro.rtree.tree.RTree`), Sort-Tile-Recursive bulk loading
+(:func:`repro.rtree.bulk.str_bulk_load`) for the initial build, and the
+level-extraction helper the synopsis builder uses to choose its
+aggregation granularity.
+"""
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.tree import RTree
+from repro.rtree.bulk import str_bulk_load
+
+__all__ = ["Rect", "Entry", "Node", "RTree", "str_bulk_load"]

@@ -1,0 +1,82 @@
+"""R-tree node and entry types.
+
+A :class:`Node` is either a leaf (its entries reference data records by
+integer id) or internal (its entries reference child nodes).  Entries carry
+the MBR; nodes cache the union of their entries' MBRs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.rtree.geometry import Rect
+
+__all__ = ["Entry", "Node"]
+
+
+class Entry:
+    """One slot in a node: an MBR plus either a record id or a child node."""
+
+    __slots__ = ("rect", "record_id", "child")
+
+    def __init__(self, rect: Rect, record_id: Optional[int] = None,
+                 child: Optional["Node"] = None):
+        if (record_id is None) == (child is None):
+            raise ValueError("Entry must reference exactly one of record_id/child")
+        self.rect = rect
+        self.record_id = record_id
+        self.child = child
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.record_id is not None
+
+    def __repr__(self) -> str:
+        ref = f"record {self.record_id}" if self.is_leaf_entry else "child"
+        return f"Entry({ref}, {self.rect})"
+
+
+class Node:
+    """A depth-balanced R-tree node.
+
+    ``level`` counts from 0 at the leaves upward; all leaves in a valid
+    tree share level 0, which is what gives every node at a fixed level the
+    same approximation granularity (paper §2.2, reason 2).
+    """
+
+    __slots__ = ("level", "entries", "parent")
+
+    def __init__(self, level: int, entries: Optional[list[Entry]] = None,
+                 parent: Optional["Node"] = None):
+        self.level = level
+        self.entries: list[Entry] = entries if entries is not None else []
+        self.parent = parent
+        for e in self.entries:
+            if e.child is not None:
+                e.child.parent = self
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Union of all entry MBRs. Undefined (raises) for an empty node."""
+        return Rect.union_of(e.rect for e in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        self.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = self
+
+    def entry_for_child(self, child: "Node") -> Entry:
+        for e in self.entries:
+            if e.child is child:
+                return e
+        raise KeyError("child not found in node")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node({kind}, {len(self.entries)} entries)"

@@ -1,0 +1,414 @@
+"""Guttman R-tree with quadratic split, dynamic insert and delete.
+
+The synopsis pipeline uses the tree in three ways:
+
+- **build**: bulk-loaded (``repro.rtree.bulk``) or incrementally inserted;
+- **level extraction**: :meth:`RTree.nodes_at_level` /
+  :meth:`RTree.records_under` pick the aggregation granularity;
+- **update**: :meth:`RTree.insert` / :meth:`RTree.delete` implement the two
+  input-data-change situations of §2.2 (new points added, existing points
+  changed = delete + re-insert).
+
+Record ids are caller-chosen non-negative integers (row indices of the
+reduced dataset); each id may appear at most once in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+
+__all__ = ["RTree"]
+
+
+class RTree:
+    """Dynamic R-tree over point (or rectangle) records.
+
+    Parameters
+    ----------
+    max_entries:
+        Node capacity M (Guttman's M); nodes split when they would exceed it.
+    min_entries:
+        Minimum fill m (defaults to ``ceil(M * 0.4)``); nodes underflowing
+        after a delete are condensed and their entries re-inserted.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: Optional[int] = None):
+        if max_entries < 2:
+            raise ValueError("max_entries must be >= 2")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max(1, int(np.ceil(max_entries * 0.4)))
+        )
+        if not (1 <= self.min_entries <= max_entries // 2):
+            raise ValueError("min_entries must satisfy 1 <= m <= M/2")
+        self.root = Node(level=0)
+        self._record_rects: dict[int, Rect] = {}
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._record_rects)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._record_rects
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        return self.root.level + 1
+
+    def record_rect(self, record_id: int) -> Rect:
+        """MBR under which ``record_id`` was inserted."""
+        return self._record_rects[record_id]
+
+    def record_ids(self) -> Iterator[int]:
+        return iter(self._record_rects)
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert_point(self, record_id: int, point) -> None:
+        """Insert a point record (degenerate rectangle)."""
+        self.insert(record_id, Rect.from_point(point))
+
+    def insert(self, record_id: int, rect: Rect) -> None:
+        """Insert ``record_id`` with bounding box ``rect``.
+
+        Raises
+        ------
+        KeyError
+            If ``record_id`` is already present (records are unique).
+        """
+        record_id = int(record_id)
+        if record_id in self._record_rects:
+            raise KeyError(f"record {record_id} already in tree")
+        self._record_rects[record_id] = rect
+        self._insert_entry(Entry(rect, record_id=record_id), level=0)
+
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        """Insert ``entry`` at tree level ``level`` (0 = leaf)."""
+        node = self._choose_node(entry.rect, level)
+        node.add(entry)
+        split = self._split(node) if len(node) > self.max_entries else None
+        self._adjust_tree(node, split)
+
+    def _choose_node(self, rect: Rect, level: int) -> Node:
+        """Guttman ChooseLeaf generalised to any target level."""
+        node = self.root
+        while node.level > level:
+            best = None
+            best_key = None
+            for e in node.entries:
+                enlargement = e.rect.enlargement(rect)
+                key = (enlargement, e.rect.area())
+                if best_key is None or key < best_key:
+                    best, best_key = e, key
+            node = best.child
+        return node
+
+    # -- quadratic split ----------------------------------------------
+
+    def _split(self, node: Node) -> Node:
+        """Quadratic split of an overfull node; returns the new sibling."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while remaining:
+            # Force assignment when one group must take everything left to
+            # reach minimum fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                rect_a = Rect.union_of([rect_a] + [e.rect for e in remaining])
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                rect_b = Rect.union_of([rect_b] + [e.rect for e in remaining])
+                remaining = []
+                break
+            idx, prefer_a = self._pick_next(remaining, rect_a, rect_b,
+                                            len(group_a), len(group_b))
+            e = remaining.pop(idx)
+            if prefer_a:
+                group_a.append(e)
+                rect_a = rect_a.union(e.rect)
+            else:
+                group_b.append(e)
+                rect_b = rect_b.union(e.rect)
+
+        node.entries = group_a
+        for e in group_a:
+            if e.child is not None:
+                e.child.parent = node
+        sibling = Node(level=node.level, entries=group_b)
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """Pair of entries wasting the most area if grouped (PickSeeds)."""
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                combined = entries[i].rect.union(entries[j].rect).area()
+                waste = combined - entries[i].rect.area() - entries[j].rect.area()
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next(remaining: list[Entry], rect_a: Rect, rect_b: Rect,
+                   size_a: int, size_b: int) -> tuple[int, bool]:
+        """Entry with max group-preference difference (PickNext) + its group."""
+        best_idx = 0
+        best_diff = -1.0
+        prefer_a = True
+        for i, e in enumerate(remaining):
+            da = rect_a.enlargement(e.rect)
+            db = rect_b.enlargement(e.rect)
+            diff = abs(da - db)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = i
+                if da != db:
+                    prefer_a = da < db
+                elif rect_a.area() != rect_b.area():
+                    prefer_a = rect_a.area() < rect_b.area()
+                else:
+                    prefer_a = size_a <= size_b
+        return best_idx, prefer_a
+
+    def _adjust_tree(self, node: Node, split: Optional[Node]) -> None:
+        """Propagate MBR updates and splits to the root (AdjustTree)."""
+        while node is not self.root:
+            parent = node.parent
+            parent.entry_for_child(node).rect = node.mbr()
+            if split is not None:
+                parent.add(Entry(split.mbr(), child=split))
+                split = self._split(parent) if len(parent) > self.max_entries else None
+            node = parent
+        if split is not None:
+            # Root split: grow the tree by one level.
+            old_root = self.root
+            self.root = Node(
+                level=old_root.level + 1,
+                entries=[Entry(old_root.mbr(), child=old_root),
+                         Entry(split.mbr(), child=split)],
+            )
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, record_id: int) -> None:
+        """Remove ``record_id``; underflowing nodes are condensed and their
+        surviving entries re-inserted at their original level (Guttman
+        CondenseTree), preserving depth balance.
+
+        Raises
+        ------
+        KeyError
+            If the record is not in the tree.
+        """
+        record_id = int(record_id)
+        rect = self._record_rects.get(record_id)
+        if rect is None:
+            raise KeyError(f"record {record_id} not in tree")
+        leaf = self._find_leaf(self.root, record_id, rect)
+        if leaf is None:  # pragma: no cover - defended by _record_rects
+            raise KeyError(f"record {record_id} not reachable in tree")
+        leaf.entries = [e for e in leaf.entries if e.record_id != record_id]
+        del self._record_rects[record_id]
+        self._condense_tree(leaf)
+        # Shrink the root while it has a single child.
+        while not self.root.is_leaf and len(self.root) == 1:
+            self.root = self.root.entries[0].child
+            self.root.parent = None
+
+    def _find_leaf(self, node: Node, record_id: int, rect: Rect) -> Optional[Node]:
+        if node.is_leaf:
+            for e in node.entries:
+                if e.record_id == record_id:
+                    return node
+            return None
+        for e in node.entries:
+            if e.rect.intersects(rect):
+                found = self._find_leaf(e.child, record_id, rect)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense_tree(self, node: Node) -> None:
+        orphans: list[Entry] = []
+        while node is not self.root:
+            parent = node.parent
+            if len(node) < self.min_entries:
+                parent.entries = [e for e in parent.entries if e.child is not node]
+                orphans.extend(node.entries)
+            else:
+                parent.entry_for_child(node).rect = node.mbr()
+            node = parent
+        for entry in orphans:
+            if entry.is_leaf_entry:
+                self._insert_entry(entry, level=0)
+                continue
+            # An entry referencing a child at level c belongs in a node at
+            # level c+1, preserving depth balance.  If the (possibly
+            # shrunk) tree is no taller than the subtree, fall back to
+            # re-inserting its leaf records individually.
+            child_level = entry.child.level
+            if child_level + 1 <= self.root.level:
+                self._insert_entry(entry, level=child_level + 1)
+            else:
+                for rec, rect in self._collect_records(entry.child):
+                    self._insert_entry(Entry(rect, record_id=rec), level=0)
+
+    @staticmethod
+    def _collect_records(node: Node) -> list[tuple[int, Rect]]:
+        out: list[tuple[int, Rect]] = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            for e in n.entries:
+                if e.is_leaf_entry:
+                    out.append((e.record_id, e.rect))
+                else:
+                    stack.append(e.child)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries and level extraction
+    # ------------------------------------------------------------------
+
+    def search(self, rect: Rect) -> list[int]:
+        """Record ids whose MBR intersects ``rect``."""
+        out: list[int] = []
+        if len(self._record_rects) == 0:
+            return out
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for e in node.entries:
+                if not e.rect.intersects(rect):
+                    continue
+                if e.is_leaf_entry:
+                    out.append(e.record_id)
+                else:
+                    stack.append(e.child)
+        return out
+
+    def nodes_at_level(self, level: int) -> list[Node]:
+        """All nodes at ``level`` (0 = leaves), left-to-right."""
+        if not (0 <= level <= self.root.level):
+            raise ValueError(f"level {level} outside tree of height {self.height}")
+        nodes = [self.root]
+        while nodes and nodes[0].level > level:
+            nodes = [e.child for n in nodes for e in n.entries]
+        return nodes
+
+    def records_under(self, node: Node) -> list[int]:
+        """All record ids in the subtree rooted at ``node``."""
+        return [rec for rec, _ in self._collect_records(node)]
+
+    def level_sizes(self) -> list[int]:
+        """Node count per level from root (index 0) down to the leaves."""
+        sizes = []
+        nodes = [self.root]
+        while True:
+            sizes.append(len(nodes))
+            if nodes[0].is_leaf:
+                break
+            nodes = [e.child for n in nodes for e in n.entries]
+        return sizes
+
+    def choose_level(self, max_groups: int) -> int:
+        """Deepest level with at most ``max_groups`` nodes.
+
+        This implements the paper's step-2 rule: pick the level whose node
+        count is "sufficiently small" relative to the dataset (the synopsis
+        size bound) while remaining as fine-grained as possible.
+        """
+        if max_groups < 1:
+            raise ValueError("max_groups must be >= 1")
+        best = self.root.level
+        for level in range(0, self.root.level + 1):
+            if len(self.nodes_at_level(level)) <= max_groups:
+                best = level
+                break
+        return best
+
+    def closest_level(self, target_groups: int) -> int:
+        """Level whose node count is geometrically closest to the target.
+
+        Node counts jump by roughly ``max_entries`` between adjacent
+        levels, so the strict at-most rule of :meth:`choose_level` can
+        overshoot coarseness by almost that factor; when the synopsis
+        granularity matters more than the strict size bound (the paper's
+        "sufficient number of nodes for fine-grained differentiation"),
+        picking the nearest level in log space is the better trade.
+        Ties prefer the deeper (finer) level.
+        """
+        if target_groups < 1:
+            raise ValueError("target_groups must be >= 1")
+        sizes = self.level_sizes()  # root (index 0) down to leaves
+        best_level = self.root.level
+        best_score = float("inf")
+        for idx, count in enumerate(sizes):
+            level = self.root.level - idx
+            score = abs(float(np.log(count / target_groups)))
+            if score < best_score or (score == best_score
+                                      and level < best_level):
+                best_score = score
+                best_level = level
+        return best_level
+
+    # ------------------------------------------------------------------
+    # invariant checking (used heavily by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on any structural violation.
+
+        Checked: parent MBR containment, level consistency (children are
+        exactly one level below), fill bounds on non-root nodes, leaf depth
+        balance, and record-set consistency with the id map.
+        """
+        seen: set[int] = set()
+
+        def visit(node: Node, expected_level: Optional[int]) -> None:
+            if expected_level is not None:
+                assert node.level == expected_level, "level mismatch"
+            if node is not self.root:
+                assert self.min_entries <= len(node) <= self.max_entries, (
+                    f"fill violation: {len(node)} entries at level {node.level}"
+                )
+            else:
+                assert len(node) <= self.max_entries, "root overfull"
+            for e in node.entries:
+                if e.is_leaf_entry:
+                    assert node.is_leaf, "record entry in internal node"
+                    assert e.record_id not in seen, "duplicate record"
+                    seen.add(e.record_id)
+                else:
+                    assert not node.is_leaf, "child entry in leaf"
+                    assert e.child.parent is node, "broken parent pointer"
+                    assert e.rect.contains(e.child.mbr()), "MBR does not cover child"
+                    visit(e.child, node.level - 1)
+
+        if len(self._record_rects) > 0 or len(self.root) > 0:
+            visit(self.root, self.root.level)
+        assert seen == set(self._record_rects), "record map out of sync"

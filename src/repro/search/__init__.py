@@ -1,0 +1,29 @@
+"""Inverted-index web search engine (paper §3.2, service 2).
+
+Implements the Lucene-style pipeline the paper modifies: tokenise pages,
+build an inverted index per partition, score candidate pages against the
+query terms with TF-IDF cosine-style similarity, return the top-k.
+
+Accuracy metric (§4.1): the fraction of the *actual* top-10 pages (full
+scan over everything) present in the *retrieved* top-10.
+"""
+
+from repro.search.tokenizer import tokenize
+from repro.search.index import InvertedIndex
+from repro.search.scoring import tf_weight, idf_weight
+from repro.search.engine import SearchComponent, SearchHit, merge_topk
+from repro.search.aggregation import build_aggregated_pages
+from repro.search.metrics import topk_overlap, topk_accuracy_loss_percent
+
+__all__ = [
+    "tokenize",
+    "InvertedIndex",
+    "tf_weight",
+    "idf_weight",
+    "SearchComponent",
+    "SearchHit",
+    "merge_topk",
+    "build_aggregated_pages",
+    "topk_overlap",
+    "topk_accuracy_loss_percent",
+]

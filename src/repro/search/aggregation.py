@@ -1,0 +1,50 @@
+"""Aggregated-page construction (synopsis step 3, text datasets).
+
+Paper §2.2: "suppose an aggregated web page corresponds to a set of web
+pages, this page contains all the contents in these pages."  An aggregated
+page is therefore the *bag-union* of its members' term occurrences; the
+synopsis index over aggregated pages is just another
+:class:`repro.search.index.InvertedIndex`, so the untouched scoring code
+processes it (the paper's no-algorithm-change property).
+"""
+
+from __future__ import annotations
+
+from repro.search.index import InvertedIndex
+
+__all__ = ["merge_page_terms", "build_aggregated_pages"]
+
+
+def merge_page_terms(token_lists) -> list[str]:
+    """Concatenate member pages' token lists into one aggregated page.
+
+    Token multiplicity is preserved (term frequencies add), matching
+    "contains all the contents in these pages".
+    """
+    merged: list[str] = []
+    for tokens in token_lists:
+        merged.extend(tokens)
+    return merged
+
+
+def build_aggregated_pages(doc_tokens: dict[int, list[str]], groups) -> InvertedIndex:
+    """Build the synopsis index: one aggregated page per group.
+
+    Parameters
+    ----------
+    doc_tokens:
+        doc id -> tokenised content for every page in the partition.
+    groups:
+        Sequence of doc-id collections; group *g* becomes aggregated page
+        *g* in the returned index.
+
+    Returns
+    -------
+    InvertedIndex
+        Index over aggregated pages, ids ``0..len(groups)-1``.
+    """
+    synopsis = InvertedIndex()
+    for g, doc_ids in enumerate(groups):
+        tokens = merge_page_terms(doc_tokens[int(d)] for d in doc_ids)
+        synopsis.add_document(g, tokens)
+    return synopsis

@@ -1,0 +1,129 @@
+"""Inverted index over a partition of web pages.
+
+Maps term -> postings (doc id, term frequency).  Supports the operations
+the paper's pipeline needs: build from tokenised docs, dynamic add /
+replace of documents (for synopsis-updating experiments), document
+frequency lookups for IDF, and per-document lengths for normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Term -> postings-list index with document add/replace.
+
+    Postings are kept as parallel Python lists during building and exposed
+    as NumPy arrays on query (cached per term, invalidated on mutation):
+    build cost stays linear while query-time scoring is vectorised.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[tuple[int, int]]] = {}
+        self._doc_len: dict[int, int] = {}
+        self._doc_terms: dict[int, dict[str, int]] = {}
+        self._cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_docs(self) -> int:
+        return len(self._doc_len)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._postings)
+
+    def doc_ids(self) -> list[int]:
+        return sorted(self._doc_len)
+
+    def doc_length(self, doc_id: int) -> int:
+        """Token count of a document (0 for unknown ids)."""
+        return self._doc_len.get(doc_id, 0)
+
+    def doc_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def term_frequency(self, term: str, doc_id: int) -> int:
+        return self._doc_terms.get(doc_id, {}).get(term, 0)
+
+    # ------------------------------------------------------------------
+
+    def add_document(self, doc_id: int, terms) -> None:
+        """Index a tokenised document under ``doc_id``.
+
+        Raises
+        ------
+        KeyError
+            If ``doc_id`` is already indexed (use :meth:`replace_document`).
+        """
+        doc_id = int(doc_id)
+        if doc_id in self._doc_len:
+            raise KeyError(f"document {doc_id} already indexed")
+        counts: dict[str, int] = {}
+        n = 0
+        for t in terms:
+            counts[t] = counts.get(t, 0) + 1
+            n += 1
+        for t, c in counts.items():
+            self._postings.setdefault(t, []).append((doc_id, c))
+            self._cache.pop(t, None)
+        self._doc_len[doc_id] = n
+        self._doc_terms[doc_id] = counts
+
+    def add_document_counts(self, doc_id: int, counts: dict[str, int]) -> None:
+        """Index a document given term -> count directly (no token list).
+
+        Used when assembling aggregated pages, whose "content" is already
+        a merged term-count bag.
+        """
+        doc_id = int(doc_id)
+        if doc_id in self._doc_len:
+            raise KeyError(f"document {doc_id} already indexed")
+        counts = {t: int(c) for t, c in counts.items() if c > 0}
+        for t, c in counts.items():
+            self._postings.setdefault(t, []).append((doc_id, c))
+            self._cache.pop(t, None)
+        self._doc_len[doc_id] = sum(counts.values())
+        self._doc_terms[doc_id] = counts
+
+    def remove_document(self, doc_id: int) -> None:
+        doc_id = int(doc_id)
+        counts = self._doc_terms.pop(doc_id, None)
+        if counts is None:
+            raise KeyError(f"document {doc_id} not indexed")
+        del self._doc_len[doc_id]
+        for t in counts:
+            plist = self._postings[t]
+            plist[:] = [(d, c) for d, c in plist if d != doc_id]
+            if not plist:
+                del self._postings[t]
+            self._cache.pop(t, None)
+
+    def replace_document(self, doc_id: int, terms) -> None:
+        """Atomically re-index a document (changed web page)."""
+        self.remove_document(doc_id)
+        self.add_document(doc_id, terms)
+
+    # ------------------------------------------------------------------
+
+    def postings(self, term: str) -> tuple[np.ndarray, np.ndarray]:
+        """(doc_ids, term_freqs) arrays for ``term`` (empty if absent)."""
+        cached = self._cache.get(term)
+        if cached is not None:
+            return cached
+        plist = self._postings.get(term)
+        if not plist:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return empty
+        docs = np.fromiter((d for d, _ in plist), dtype=np.int64, count=len(plist))
+        tfs = np.fromiter((c for _, c in plist), dtype=np.int64, count=len(plist))
+        self._cache[term] = (docs, tfs)
+        return docs, tfs
+
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)

@@ -1,0 +1,37 @@
+"""Search accuracy metrics (paper §4.1).
+
+Accuracy = |retrieved top-k ∩ actual top-k| / k, where "actual" is the
+top-k from a full scan of all pages.  Accuracy loss is the percentage
+drop relative to the exact result (whose accuracy is 1 by definition).
+"""
+
+from __future__ import annotations
+
+__all__ = ["topk_overlap", "topk_accuracy_loss_percent"]
+
+
+def topk_overlap(retrieved_ids, actual_ids, k: int | None = None) -> float:
+    """Fraction of the actual top-k found in the retrieved top-k.
+
+    ``k`` defaults to ``len(actual_ids)``.  Both inputs are truncated to
+    ``k`` before comparison; order within the lists does not matter (the
+    paper's metric is set overlap of the top-10s).
+
+    An empty actual set (query matching nothing) counts as full accuracy:
+    there was nothing to miss.
+    """
+    actual = list(actual_ids)
+    if k is None:
+        k = len(actual)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    actual_set = set(actual[:k])
+    if not actual_set:
+        return 1.0
+    retrieved_set = set(list(retrieved_ids)[:k])
+    return len(retrieved_set & actual_set) / len(actual_set)
+
+
+def topk_accuracy_loss_percent(retrieved_ids, actual_ids, k: int | None = None) -> float:
+    """Percentage accuracy loss of a retrieved top-k vs the actual top-k."""
+    return 100.0 * (1.0 - topk_overlap(retrieved_ids, actual_ids, k=k))

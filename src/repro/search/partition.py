@@ -1,0 +1,58 @@
+"""A component's corpus partition: pages + inverted index + term-doc matrix.
+
+Bundles the three synchronized views of one partition's pages that the
+synopsis pipeline needs:
+
+- raw token lists (for aggregated-page construction),
+- the inverted index (for exact scoring),
+- the term-document count matrix (for SVD reduction).
+
+Page ids within a partition must be dense ``0..n-1`` (they double as
+R-tree record ids and matrix row ids); the workload generator assigns
+globally unique ids per partition via an offset.
+"""
+
+from __future__ import annotations
+
+from repro.search.index import InvertedIndex
+from repro.svd.textmatrix import TermDocumentMatrix
+
+__all__ = ["SearchPartition"]
+
+
+class SearchPartition:
+    """Mutable page partition with synchronized index/matrix views."""
+
+    def __init__(self) -> None:
+        self.index = InvertedIndex()
+        self.matrix = TermDocumentMatrix()
+        self.doc_tokens: dict[int, list[str]] = {}
+
+    @property
+    def n_docs(self) -> int:
+        return len(self.doc_tokens)
+
+    def add_page(self, tokens) -> int:
+        """Append a page; returns its id (dense, 0-based)."""
+        tokens = list(tokens)
+        doc_id = self.n_docs
+        self.index.add_document(doc_id, tokens)
+        row = self.matrix.add_document(tokens)
+        assert row == doc_id, "matrix row desynchronised from doc id"
+        self.doc_tokens[doc_id] = tokens
+        return doc_id
+
+    def add_pages(self, token_lists) -> list[int]:
+        return [self.add_page(t) for t in token_lists]
+
+    def replace_page(self, doc_id: int, tokens) -> None:
+        """Overwrite an existing page's content (changed web page)."""
+        if doc_id not in self.doc_tokens:
+            raise KeyError(f"page {doc_id} not in partition")
+        tokens = list(tokens)
+        self.index.replace_document(doc_id, tokens)
+        self.matrix.replace_document(doc_id, tokens)
+        self.doc_tokens[doc_id] = tokens
+
+    def tokens_of(self, doc_id: int) -> list[str]:
+        return self.doc_tokens[doc_id]

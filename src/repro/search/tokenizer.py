@@ -1,0 +1,37 @@
+"""Minimal deterministic tokenizer.
+
+Lower-cases, splits on non-alphanumeric runs, and drops a small English
+stop-word list.  Deliberately simple: retrieval quality in the experiments
+comes from the synthetic corpus's topic structure, not linguistic
+sophistication, and a deterministic tokenizer keeps results reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "STOP_WORDS"]
+
+STOP_WORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the
+    to was were will with this those these or not but they you your i we
+    our us them his her she him had have do does did""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str, drop_stop_words: bool = True) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw document or query text.
+    drop_stop_words:
+        When true (default), common English function words are removed.
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stop_words:
+        return [t for t in tokens if t not in STOP_WORDS]
+    return tokens

@@ -1,0 +1,42 @@
+"""Work-model interface between strategies and the fan-out simulator.
+
+The simulator owns queueing (FIFO per component) and time; the strategy
+owns *how much work* a sub-operation performs given when it starts, and
+whatever per-request accounting its accuracy metric later needs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ComponentWorkModel"]
+
+
+class ComponentWorkModel(abc.ABC):
+    """Per-sub-operation work decision + bookkeeping hooks."""
+
+    @abc.abstractmethod
+    def begin_run(self, n_requests: int, n_components: int) -> None:
+        """Reset per-run accounting before a simulation starts."""
+
+    @abc.abstractmethod
+    def service_work(self, request: int, component: int,
+                     arrival: float, start: float, speed: float) -> float:
+        """Work units the component spends on this sub-operation.
+
+        Parameters
+        ----------
+        request, component:
+            Indices of the sub-operation.
+        arrival:
+            Request submission time (queueing started here).
+        start:
+            Time the component dequeued the sub-operation.
+        speed:
+            The component's current speed in work units / second.
+        """
+
+    def on_complete(self, request: int, component: int,
+                    arrival: float, done: float) -> None:
+        """Called when a sub-operation finishes (default: no-op)."""
+        del request, component, arrival, done

@@ -1,0 +1,36 @@
+"""The basic approach: exact processing, no tail-latency technique.
+
+Every component scans its whole partition for every request; under heavy
+load queueing delay grows without bound (the paper's Table 1 "Basic" row
+reaching 202,834 ms at 100 req/s).
+"""
+
+from __future__ import annotations
+
+from repro.strategies.base import ComponentWorkModel
+
+__all__ = ["BasicStrategy"]
+
+
+class BasicStrategy(ComponentWorkModel):
+    """Constant full-partition work per sub-operation.
+
+    Parameters
+    ----------
+    full_work:
+        Work units of one exact partition scan (= partition size in
+        original data points).
+    """
+
+    def __init__(self, full_work: float):
+        if full_work <= 0:
+            raise ValueError("full_work must be positive")
+        self.full_work = float(full_work)
+
+    def begin_run(self, n_requests: int, n_components: int) -> None:
+        del n_requests, n_components
+
+    def service_work(self, request: int, component: int,
+                     arrival: float, start: float, speed: float) -> float:
+        del request, component, arrival, start, speed
+        return self.full_work

@@ -1,0 +1,74 @@
+"""Partial execution: skip components that miss the deadline.
+
+Each component still performs the exact full-partition computation; the
+composer waits only until the specified deadline and produces the
+approximate result from whichever components answered in time (paper §4.1
+compared technique 2; He et al. Zeta, Jalaparti et al. Kwiken).
+
+Latency is bounded by construction (the composer cuts off), so this
+strategy appears in the *accuracy* comparisons: the quantity that matters
+is, per request, how many components' results were skipped — under heavy
+load the majority, which is where the large accuracy losses come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.strategies.base import ComponentWorkModel
+
+__all__ = ["PartialExecutionStrategy"]
+
+
+class PartialExecutionStrategy(ComponentWorkModel):
+    """Full-scan work model that records per-request completion-by-deadline.
+
+    Parameters
+    ----------
+    full_work:
+        Work units of one exact partition scan.
+    deadline:
+        Composer cut-off in seconds, measured from request submission
+        (the paper uses the same deadline it gives AccuracyTrader).
+
+    Attributes
+    ----------
+    completed_by_deadline:
+        After a run: array (n_requests,) of how many components answered
+        within the deadline.
+    n_components:
+        Fan-out width of the run (to turn counts into fractions).
+    """
+
+    def __init__(self, full_work: float, deadline: float):
+        if full_work <= 0:
+            raise ValueError("full_work must be positive")
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.full_work = float(full_work)
+        self.deadline = float(deadline)
+        self.completed_by_deadline = np.empty(0, dtype=np.int64)
+        self.n_components = 0
+
+    def begin_run(self, n_requests: int, n_components: int) -> None:
+        self.completed_by_deadline = np.zeros(n_requests, dtype=np.int64)
+        self.n_components = n_components
+
+    def service_work(self, request: int, component: int,
+                     arrival: float, start: float, speed: float) -> float:
+        del request, component, arrival, start, speed
+        return self.full_work
+
+    def on_complete(self, request: int, component: int,
+                    arrival: float, done: float) -> None:
+        del component
+        if done - arrival <= self.deadline:
+            self.completed_by_deadline[request] += 1
+
+    # ------------------------------------------------------------------
+
+    def used_fractions(self) -> np.ndarray:
+        """Per-request fraction of components whose results were used."""
+        if self.n_components == 0:
+            raise RuntimeError("no run recorded")
+        return self.completed_by_deadline / float(self.n_components)

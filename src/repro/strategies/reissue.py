@@ -1,0 +1,88 @@
+"""Request reissue (hedged requests) configuration.
+
+The paper's first compared technique (§4.1): "if some sub-operations of a
+request have been executed for more than a high percentile of the expected
+latency for this class of sub-operations, a replica of each straggling
+sub-operation is sent and only the quicker replica is used.  The
+percentile is set to 95th."
+
+Reissue couples components (replicas load the mirror component), so it is
+simulated by the event-driven :class:`repro.cluster.hedged.HedgedFanoutSimulator`;
+this class carries its parameters and the adaptive threshold estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.stats import percentile
+
+__all__ = ["ReissueStrategy"]
+
+
+class ReissueStrategy:
+    """Parameters + adaptive p95 threshold for hedged execution.
+
+    Parameters
+    ----------
+    full_work:
+        Work units of one exact partition scan (replicas repeat it).
+    hedge_percentile:
+        Straggler threshold percentile of the expected sub-operation
+        latency class (paper: 95).
+    initial_expected_latency:
+        Prior for the class latency before any completions are observed
+        (an idle-cluster scan time is a good prior).
+    window:
+        Number of most recent completions the threshold is estimated from.
+    recompute_every:
+        Refresh cadence of the threshold (completions between refreshes);
+        avoids re-sorting the window on every event.
+    """
+
+    def __init__(self, full_work: float, hedge_percentile: float = 95.0,
+                 initial_expected_latency: float = 0.1,
+                 window: int = 2000, recompute_every: int = 200):
+        if full_work <= 0:
+            raise ValueError("full_work must be positive")
+        if not (0.0 < hedge_percentile <= 100.0):
+            raise ValueError("hedge_percentile must be in (0, 100]")
+        if initial_expected_latency <= 0:
+            raise ValueError("initial_expected_latency must be positive")
+        if window < 10:
+            raise ValueError("window too small to estimate a percentile")
+        self.full_work = float(full_work)
+        self.hedge_percentile = float(hedge_percentile)
+        self.window = int(window)
+        self.recompute_every = int(recompute_every)
+        self._samples: list[float] = []
+        self._since_recompute = 0
+        self._threshold = float(initial_expected_latency)
+
+    @property
+    def threshold(self) -> float:
+        """Current straggler threshold (seconds since submission)."""
+        return self._threshold
+
+    def observe(self, latency: float) -> None:
+        """Record a completed sub-operation's effective latency."""
+        self._samples.append(float(latency))
+        if len(self._samples) > self.window:
+            del self._samples[: len(self._samples) - self.window]
+        self._since_recompute += 1
+        if self._since_recompute >= self.recompute_every and len(self._samples) >= 20:
+            self._threshold = percentile(self._samples, self.hedge_percentile)
+            self._since_recompute = 0
+
+    def reset(self, initial_expected_latency: float | None = None) -> None:
+        """Clear observations between runs."""
+        self._samples.clear()
+        self._since_recompute = 0
+        if initial_expected_latency is not None:
+            if initial_expected_latency <= 0:
+                raise ValueError("initial_expected_latency must be positive")
+            self._threshold = float(initial_expected_latency)
+
+    def expected_scan_time(self, base_speed: float) -> float:
+        """Idle-cluster scan time — the natural threshold prior."""
+        return self.full_work / base_speed

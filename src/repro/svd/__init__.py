@@ -1,0 +1,14 @@
+"""Incremental (Funk/Gorrell-style) SVD dimensionality reduction.
+
+Synopsis creation step 1 (paper §2.2) reduces each input-data partition to
+a low-dimensional dense dataset before R-tree construction.  The paper uses
+Simon Funk's incremental SVD [5]/[17]: gradient descent on the observed
+entries, trained one latent dimension at a time, with O(j x i) cost per
+row (j dimensions, i iterations each) — independent of total matrix size,
+which is what makes periodic incremental updates cheap.
+"""
+
+from repro.svd.incremental import FunkSVD, reduce_dense
+from repro.svd.textmatrix import TermDocumentMatrix
+
+__all__ = ["FunkSVD", "reduce_dense", "TermDocumentMatrix"]

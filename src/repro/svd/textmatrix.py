@@ -1,0 +1,108 @@
+"""Term-document count matrix for text partitions.
+
+Paper §2.2 step 1: a text dataset (web pages) is first turned into a
+numeric dataset whose attributes are the vocabulary words and whose values
+are per-page word occurrence counts; that matrix is then SVD-reduced like
+any numeric partition.
+
+The matrix is kept in COO triple form (doc, term, count) because that is
+exactly what :class:`repro.svd.incremental.FunkSVD` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TermDocumentMatrix"]
+
+
+class TermDocumentMatrix:
+    """Sparse doc x term occurrence-count matrix with an append API.
+
+    Documents are sequences of already-tokenised terms (see
+    :mod:`repro.search.tokenizer`).  The vocabulary grows as documents are
+    added; term ids are assigned in first-seen order so that ids are stable
+    under appends (required by SVD fold-in).
+    """
+
+    def __init__(self) -> None:
+        self.vocabulary: dict[str, int] = {}
+        self._doc_rows: list[np.ndarray] = []   # per-doc term-id arrays
+        self._doc_counts: list[np.ndarray] = []  # matching counts
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_docs(self) -> int:
+        return len(self._doc_rows)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.vocabulary)
+
+    def add_document(self, terms) -> int:
+        """Add one tokenised document; returns its row id."""
+        counts: dict[int, int] = {}
+        for t in terms:
+            tid = self.vocabulary.get(t)
+            if tid is None:
+                tid = len(self.vocabulary)
+                self.vocabulary[t] = tid
+            counts[tid] = counts.get(tid, 0) + 1
+        ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+        order = np.argsort(ids)
+        self._doc_rows.append(ids[order])
+        self._doc_counts.append(vals[order])
+        return self.n_docs - 1
+
+    def add_documents(self, docs) -> list[int]:
+        return [self.add_document(d) for d in docs]
+
+    def replace_document(self, doc_id: int, terms) -> None:
+        """Overwrite an existing document's term counts (changed page)."""
+        if not (0 <= doc_id < self.n_docs):
+            raise IndexError(f"doc_id {doc_id} out of range")
+        counts: dict[int, int] = {}
+        for t in terms:
+            tid = self.vocabulary.get(t)
+            if tid is None:
+                tid = len(self.vocabulary)
+                self.vocabulary[t] = tid
+            counts[tid] = counts.get(tid, 0) + 1
+        ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+        order = np.argsort(ids)
+        self._doc_rows[doc_id] = ids[order]
+        self._doc_counts[doc_id] = vals[order]
+
+    # ------------------------------------------------------------------
+
+    def triples(self, doc_ids=None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triples (docs, terms, counts), optionally restricted.
+
+        When ``doc_ids`` is given, the returned row indices are *local*
+        (0..len(doc_ids)-1, in ``doc_ids`` order) — the layout FunkSVD's
+        fold-in and refit operations expect.
+        """
+        if doc_ids is None:
+            doc_ids = range(self.n_docs)
+        rows, cols, vals = [], [], []
+        for local, d in enumerate(doc_ids):
+            if not (0 <= d < self.n_docs):
+                raise IndexError(f"doc_id {d} out of range")
+            ids = self._doc_rows[d]
+            rows.append(np.full(ids.size, local, dtype=np.int64))
+            cols.append(ids)
+            vals.append(self._doc_counts[d].astype(float))
+        if not rows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, np.empty(0, dtype=float)
+        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+
+    def doc_vector(self, doc_id: int) -> dict[int, int]:
+        """Term-id -> count mapping for one document."""
+        if not (0 <= doc_id < self.n_docs):
+            raise IndexError(f"doc_id {doc_id} out of range")
+        return dict(zip(self._doc_rows[doc_id].tolist(),
+                        self._doc_counts[doc_id].tolist()))

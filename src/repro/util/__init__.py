@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG management, statistics, and samplers.
+
+These helpers are deliberately dependency-light; every experiment in the
+reproduction is driven through :func:`repro.util.rng.make_rng` so that all
+randomness is reproducible from a single integer seed.
+"""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.stats import (
+    OnlineStats,
+    PercentileTracker,
+    percentile,
+    tail_latency,
+)
+from repro.util.zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "OnlineStats",
+    "PercentileTracker",
+    "percentile",
+    "tail_latency",
+    "ZipfSampler",
+    "zipf_weights",
+]

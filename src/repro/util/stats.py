@@ -1,0 +1,158 @@
+"""Latency/accuracy statistics helpers.
+
+The paper's headline performance metric is the 99.9th-percentile component
+latency; this module provides a percentile implementation that matches the
+"nearest-rank" convention used by serving-systems papers (the reported
+percentile is an actually-observed latency, never an interpolated one), an
+online mean/variance accumulator, and a bounded-memory percentile tracker
+for long simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["percentile", "tail_latency", "OnlineStats", "PercentileTracker"]
+
+
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of ``samples``.
+
+    ``q`` is in percent (e.g. ``99.9``).  The nearest-rank definition picks
+    the smallest observed value such that at least ``q``% of samples are
+    less than or equal to it — the convention of tail-latency papers, where
+    a percentile must be a latency some request actually saw.
+
+    Raises
+    ------
+    ValueError
+        If ``samples`` is empty or ``q`` is outside ``(0, 100]``.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sample set is undefined")
+    if not (0.0 < q <= 100.0):
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    arr = np.sort(arr, kind="stable")
+    # Small epsilon guards against float round-up (99.9/100*2000 is
+    # 1998.0000000000002 in IEEE-754, which would ceil to the wrong rank).
+    rank = int(np.ceil(q / 100.0 * arr.size - 1e-9))
+    return float(arr[max(rank, 1) - 1])
+
+
+def tail_latency(samples, q: float = 99.9) -> float:
+    """The paper's tail-latency metric: the ``q``-th percentile (default 99.9)."""
+    return percentile(samples, q)
+
+
+@dataclass
+class OnlineStats:
+    """Welford online accumulator for mean/variance/min/max.
+
+    Numerically stable for long streams — used by the simulator to track
+    per-component service-time statistics without storing every sample.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        self.mean = (self.mean * self.count + other.mean * other.count) / n
+        self.count = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+
+@dataclass
+class PercentileTracker:
+    """Stores samples for exact percentile queries, with optional cap.
+
+    With ``max_samples`` unset every sample is kept (exact percentiles).
+    With a cap set, reservoir sampling keeps a uniform subsample so memory
+    stays bounded on very long simulations; percentiles then carry the
+    usual reservoir estimation error.  Tail experiments in this repo keep
+    all samples (a 24-hour run is only ~10^6 floats).
+    """
+
+    max_samples: int | None = None
+    seed: int = 0
+    _samples: list = field(default_factory=list)
+    _seen: int = 0
+    _rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise ValueError("max_samples must be positive when set")
+        if self.max_samples is not None:
+            self._rng = np.random.default_rng(self.seed)
+
+    def add(self, x: float) -> None:
+        self._seen += 1
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(float(x))
+        else:
+            # Reservoir sampling: replace with probability cap/seen.
+            j = int(self._rng.integers(0, self._seen))
+            if j < self.max_samples:
+                self._samples[j] = float(x)
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed (not necessarily retained)."""
+        return self._seen
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the retained samples."""
+        return np.asarray(self._samples, dtype=float)

@@ -1,0 +1,58 @@
+"""Bounded Zipf sampling.
+
+Web-search term frequencies and e-commerce item popularities are
+Zipf-distributed; the corpus and query-log generators both draw from a
+*bounded* Zipf (finite support ``1..n``), which NumPy does not provide
+directly (``numpy.random.Generator.zipf`` has unbounded support).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_weights", "ZipfSampler"]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf probability vector ``p_k ∝ k^-exponent`` for k=1..n."""
+    if n <= 0:
+        raise ValueError("zipf support size must be positive")
+    if exponent < 0:
+        raise ValueError("zipf exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+class ZipfSampler:
+    """Draw ranks from a bounded Zipf distribution via inverse-CDF lookup.
+
+    Sampling is vectorised: a single sorted ``searchsorted`` over the
+    precomputed CDF, O(log n) per draw.
+
+    Parameters
+    ----------
+    n:
+        Support size; samples are integers in ``[0, n)`` (rank order:
+        0 is the most popular element).
+    exponent:
+        Zipf skew ``s``; ``s=0`` degenerates to uniform.
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(self, n: int, exponent: float, rng: np.random.Generator):
+        self._cdf = np.cumsum(zipf_weights(n, exponent))
+        # Guard against float round-off leaving the last CDF bin < 1.0.
+        self._cdf[-1] = 1.0
+        self._rng = rng
+        self.n = n
+        self.exponent = exponent
+
+    def sample(self, size: int | None = None) -> np.ndarray | int:
+        """Draw ``size`` ranks (or a scalar when ``size`` is ``None``)."""
+        u = self._rng.random(size=size)
+        idx = np.searchsorted(self._cdf, u, side="left")
+        if size is None:
+            return int(idx)
+        return idx.astype(np.int64)

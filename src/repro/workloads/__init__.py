@@ -1,0 +1,44 @@
+"""Workload generators standing in for the paper's datasets and traces.
+
+Each generator documents the real artifact it substitutes and which
+properties it preserves (see DESIGN.md §2):
+
+- :mod:`repro.workloads.movielens` — MovieLens 10M rating matrix;
+- :mod:`repro.workloads.corpus` — Sogou web-page collection;
+- :mod:`repro.workloads.sogou` — Sogou 24-hour user-query log (terms +
+  diurnal arrival rates);
+- :mod:`repro.workloads.mapreduce` — SWIM/Facebook MapReduce co-location
+  trace (interference);
+- :mod:`repro.workloads.arrival` — Poisson / nonhomogeneous-Poisson
+  open-loop request arrival processes.
+"""
+
+from repro.workloads.arrival import poisson_arrivals, nhpp_arrivals
+from repro.workloads.movielens import MovieLensConfig, SyntheticRatings, generate_ratings
+from repro.workloads.corpus import CorpusConfig, SyntheticCorpus, generate_corpus
+from repro.workloads.sogou import (
+    HOURLY_RATE_PROFILE,
+    QueryLogConfig,
+    SyntheticQueryLog,
+    generate_query_log,
+    hour_arrival_rate,
+)
+from repro.workloads.mapreduce import MapReduceTraceConfig, generate_interference_jobs
+
+__all__ = [
+    "poisson_arrivals",
+    "nhpp_arrivals",
+    "MovieLensConfig",
+    "SyntheticRatings",
+    "generate_ratings",
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "HOURLY_RATE_PROFILE",
+    "QueryLogConfig",
+    "SyntheticQueryLog",
+    "generate_query_log",
+    "hour_arrival_rate",
+    "MapReduceTraceConfig",
+    "generate_interference_jobs",
+]

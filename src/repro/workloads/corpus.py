@@ -1,0 +1,102 @@
+"""Synthetic web corpus (substitute for the Sogou page collection).
+
+Retrieval accuracy experiments need a corpus where (a) pages cluster by
+topic — so R-tree grouping of SVD-reduced pages is meaningful — and
+(b) term frequencies are Zipfian — so TF-IDF behaves realistically.
+
+Pages are generated from a topic-mixture model: each topic owns a band of
+the vocabulary with its own Zipf distribution; a page draws most tokens
+from its primary topic and the rest from a background Zipf over the whole
+vocabulary.  Queries (see :mod:`repro.workloads.sogou`) sample topic words
+the same way, so each query has a well-defined set of truly relevant pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.partition import SearchPartition
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler
+
+__all__ = ["CorpusConfig", "SyntheticCorpus", "generate_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of the synthetic corpus."""
+
+    n_docs: int = 2000
+    n_topics: int = 20
+    vocab_size: int = 5000
+    words_per_topic: int = 200     # vocabulary band owned by each topic
+    doc_length_mean: float = 120.0  # lognormal page lengths
+    doc_length_sigma: float = 0.4
+    topic_affinity: float = 0.7    # fraction of tokens from the page's topic
+    zipf_exponent: float = 1.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_docs < 1 or self.n_topics < 1:
+            raise ValueError("need at least one doc and topic")
+        if self.n_topics * self.words_per_topic > self.vocab_size:
+            raise ValueError("vocabulary too small for the topic bands")
+        if not (0.0 <= self.topic_affinity <= 1.0):
+            raise ValueError("topic_affinity must be in [0, 1]")
+
+
+@dataclass
+class SyntheticCorpus:
+    """A generated partition plus its topic ground truth."""
+
+    partition: SearchPartition
+    doc_topic: np.ndarray
+    config: CorpusConfig
+
+    def topic_words(self, topic: int, n: int = 3,
+                    rng: np.random.Generator | None = None) -> list[str]:
+        """Representative query terms for a topic (most popular band words)."""
+        cfg = self.config
+        if not (0 <= topic < cfg.n_topics):
+            raise IndexError(f"topic {topic} out of range")
+        base = topic * cfg.words_per_topic
+        if rng is None:
+            offsets = range(n)
+        else:
+            # Popular-word bias: geometric offsets into the band.
+            offsets = np.minimum(
+                rng.geometric(p=0.15, size=n) - 1, cfg.words_per_topic - 1
+            )
+        return [f"w{base + int(o)}" for o in offsets]
+
+
+def generate_corpus(config: CorpusConfig | None = None,
+                    seed: int | None = None) -> SyntheticCorpus:
+    """Generate one partition's worth of pages."""
+    cfg = config if config is not None else CorpusConfig()
+    rng = make_rng(cfg.seed if seed is None else seed, "corpus")
+
+    topic_sampler = ZipfSampler(cfg.words_per_topic, cfg.zipf_exponent, rng)
+    backgr_sampler = ZipfSampler(cfg.vocab_size, cfg.zipf_exponent, rng)
+
+    partition = SearchPartition()
+    doc_topic = rng.integers(0, cfg.n_topics, cfg.n_docs)
+    lengths = np.maximum(
+        rng.lognormal(np.log(cfg.doc_length_mean), cfg.doc_length_sigma,
+                      cfg.n_docs).astype(int),
+        5,
+    )
+    for d in range(cfg.n_docs):
+        topic = int(doc_topic[d])
+        base = topic * cfg.words_per_topic
+        n_tok = int(lengths[d])
+        from_topic = rng.random(n_tok) < cfg.topic_affinity
+        n_topic_tok = int(from_topic.sum())
+        words = np.empty(n_tok, dtype=np.int64)
+        words[from_topic] = base + topic_sampler.sample(n_topic_tok)
+        words[~from_topic] = backgr_sampler.sample(n_tok - n_topic_tok)
+        partition.add_page([f"w{w}" for w in words])
+
+    return SyntheticCorpus(partition=partition, doc_topic=doc_topic, config=cfg)

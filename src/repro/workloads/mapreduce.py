@@ -1,0 +1,99 @@
+"""Co-located MapReduce interference traces (substitute for SWIM/Facebook).
+
+The paper co-locates each service node with short-running Hadoop jobs
+replayed by BigDataBench-MT from the Facebook SWIM trace: a mix of
+CPU-intensive (WordCount) and I/O-intensive (Sort) jobs with input sizes
+from 1MB to 10GB.  What the latency experiments need from that trace is
+*when* each node is slowed and *by how much*; this generator reproduces
+those two marginals:
+
+- job inter-arrival per node: exponential (SWIM jobs are bursty but
+  memoryless at hour scale);
+- job duration: lognormal, heavy-tailed like the 1MB-10GB input mix
+  (most jobs are seconds, a few run minutes);
+- slowdown while running: CPU jobs contend ~evenly (slowdown ~2), I/O
+  jobs stall the service harder (slowdown up to ~6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["MapReduceTraceConfig", "generate_interference_jobs"]
+
+
+@dataclass(frozen=True)
+class MapReduceTraceConfig:
+    """Statistical shape of the co-located batch workload."""
+
+    jobs_per_hour_per_node: float = 25.0   # short-running job arrival rate
+    duration_mean_s: float = 1.5           # lognormal median duration
+    duration_sigma: float = 0.6            # tail from the 1MB-10GB input mix
+    cpu_job_fraction: float = 0.6          # WordCount vs Sort mix
+    cpu_slowdown: float = 1.5              # service slowdown while CPU job runs
+    io_slowdown_min: float = 1.8
+    io_slowdown_max: float = 2.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs_per_hour_per_node < 0:
+            raise ValueError("job rate must be non-negative")
+        if self.duration_mean_s <= 0:
+            raise ValueError("duration mean must be positive")
+        if not (0.0 <= self.cpu_job_fraction <= 1.0):
+            raise ValueError("cpu_job_fraction must be in [0, 1]")
+        if self.cpu_slowdown < 1 or self.io_slowdown_min < 1:
+            raise ValueError("slowdowns must be >= 1")
+        if self.io_slowdown_max < self.io_slowdown_min:
+            raise ValueError("io slowdown range inverted")
+
+
+def generate_interference_jobs(n_nodes: int, duration: float,
+                               config: MapReduceTraceConfig | None = None,
+                               seed: int | None = None) -> list[tuple[int, float, float, float]]:
+    """Generate ``(node, start, end, slowdown)`` job intervals.
+
+    Suitable for feeding straight into
+    :class:`repro.cluster.interference.InterferenceTimeline`.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes to co-locate jobs on.
+    duration:
+        Trace window in seconds (jobs start within it; a job may end
+        after it, as in any real trace cut).
+    config:
+        Trace statistics (defaults to :class:`MapReduceTraceConfig`).
+    seed:
+        Overrides ``config.seed``.
+    """
+    cfg = config if config is not None else MapReduceTraceConfig()
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    rng = make_rng(cfg.seed if seed is None else seed, "mapreduce")
+    rate = cfg.jobs_per_hour_per_node / 3600.0
+    jobs: list[tuple[int, float, float, float]] = []
+    if rate == 0 or duration == 0:
+        return jobs
+    log_mean = float(np.log(cfg.duration_mean_s))
+    for node in range(n_nodes):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= duration:
+                break
+            length = float(rng.lognormal(log_mean, cfg.duration_sigma))
+            if rng.random() < cfg.cpu_job_fraction:
+                slowdown = cfg.cpu_slowdown
+            else:
+                slowdown = float(rng.uniform(cfg.io_slowdown_min,
+                                             cfg.io_slowdown_max))
+            jobs.append((node, t, t + length, slowdown))
+    return jobs

@@ -1,0 +1,172 @@
+"""Diurnal query-log model (substitute for the Sogou 24-hour query log).
+
+Figures 5-8 use only two properties of the real log: the per-hour arrival
+*rates* (night trough, morning ramp, evening peak — Figure 7(a)) and the
+query *terms*.  :data:`HOURLY_RATE_PROFILE` encodes the paper's rate shape
+normalised to a peak of 1.0; hour 9 is on the morning ramp (increasing),
+hour 10 is near-steady, and hour 24 decays — matching the paper's choice
+of the three "typical hours".  Query terms are topic draws against a
+:class:`~repro.workloads.corpus.SyntheticCorpus` with Zipfian topic
+popularity, so popular topics recur like popular real-world queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler, zipf_weights
+from repro.workloads.arrival import nhpp_arrivals
+from repro.workloads.corpus import SyntheticCorpus
+
+__all__ = [
+    "HOURLY_RATE_PROFILE",
+    "QueryLogConfig",
+    "SyntheticQueryLog",
+    "generate_query_log",
+    "hour_arrival_rate",
+]
+
+# Relative request rate per hour-of-day (index 0 = hour 1 of the paper,
+# i.e. midnight-1am), normalised to max 1.0.  Shape follows Figure 7(a):
+# evening peak around hours 21-23, deep trough hours 3-7, steep morning
+# ramp through hours 8-11.
+HOURLY_RATE_PROFILE: np.ndarray = np.array([
+    0.52,  # hour 1   (00-01)
+    0.38,  # hour 2
+    0.26,  # hour 3
+    0.18,  # hour 4
+    0.14,  # hour 5
+    0.13,  # hour 6
+    0.16,  # hour 7
+    0.24,  # hour 8
+    0.42,  # hour 9   (morning ramp: increasing within the hour)
+    0.60,  # hour 10  (steady-ish)
+    0.72,  # hour 11
+    0.78,  # hour 12
+    0.74,  # hour 13
+    0.72,  # hour 14
+    0.76,  # hour 15
+    0.80,  # hour 16
+    0.82,  # hour 17
+    0.80,  # hour 18
+    0.78,  # hour 19
+    0.84,  # hour 20
+    0.94,  # hour 21
+    1.00,  # hour 22  (evening peak)
+    0.92,  # hour 23
+    0.70,  # hour 24  (decreasing within the hour)
+])
+HOURLY_RATE_PROFILE.setflags(write=False)
+
+
+def hour_arrival_rate(hour: int, peak_rate: float) -> float:
+    """Mean arrival rate (req/s) of 1-based ``hour`` given the peak rate."""
+    if not (1 <= hour <= 24):
+        raise ValueError("hour must be 1..24")
+    if peak_rate <= 0:
+        raise ValueError("peak_rate must be positive")
+    return float(HOURLY_RATE_PROFILE[hour - 1] * peak_rate)
+
+
+@dataclass(frozen=True)
+class QueryLogConfig:
+    """Knobs of the synthetic query log."""
+
+    peak_rate: float = 100.0        # req/s at the busiest hour
+    terms_per_query_mean: float = 2.6  # real logs average ~2-3 terms
+    topic_zipf_exponent: float = 0.9   # popular topics recur
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if self.terms_per_query_mean < 1:
+            raise ValueError("queries need at least one term on average")
+
+
+@dataclass
+class SyntheticQueryLog:
+    """Arrival times and query terms for one hour of simulated load."""
+
+    hour: int
+    arrivals: np.ndarray                 # seconds within the hour, sorted
+    queries: list = field(default_factory=list)  # list[list[str]] terms
+    query_topics: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_queries(self) -> int:
+        return self.arrivals.size
+
+    def mean_rate(self, duration: float = 3600.0) -> float:
+        return self.n_queries / duration
+
+
+def _hour_rate_fn(hour: int, peak_rate: float):
+    """Instantaneous rate within the hour, linear between neighbours.
+
+    Interpolating toward the adjacent hours reproduces the paper's
+    "increasing / steady / decreasing within the hour" patterns for hours
+    9, 10 and 24.
+    """
+    prev_rate = HOURLY_RATE_PROFILE[(hour - 2) % 24] * peak_rate
+    cur_rate = HOURLY_RATE_PROFILE[hour - 1] * peak_rate
+    next_rate = HOURLY_RATE_PROFILE[hour % 24] * peak_rate
+    # Midpoint of the hour carries the nominal rate; edges blend halves.
+    start_rate = 0.5 * (prev_rate + cur_rate)
+    end_rate = 0.5 * (cur_rate + next_rate)
+
+    def rate(t: float) -> float:
+        x = t / 3600.0
+        if x < 0.5:
+            return start_rate + (cur_rate - start_rate) * (x / 0.5)
+        return cur_rate + (end_rate - cur_rate) * ((x - 0.5) / 0.5)
+
+    return rate, max(start_rate, cur_rate, end_rate)
+
+
+def generate_query_log(corpus: SyntheticCorpus, hour: int,
+                       config: QueryLogConfig | None = None,
+                       duration: float = 3600.0) -> SyntheticQueryLog:
+    """Generate one hour's arrivals + queries against ``corpus``.
+
+    Parameters
+    ----------
+    corpus:
+        The corpus queries are aimed at (topics define term choices).
+    hour:
+        1-based hour of day (1..24), selecting the rate profile segment.
+    config:
+        Log parameters (defaults to :class:`QueryLogConfig`).
+    duration:
+        Simulated window in seconds (default one hour; shorter windows
+        subsample the same process for cheaper experiments).
+    """
+    cfg = config if config is not None else QueryLogConfig()
+    rng = make_rng(cfg.seed, "sogou", hour)
+    rate_fn, rate_max = _hour_rate_fn(hour, cfg.peak_rate)
+    # Scale the profile to `duration` by compressing the hour.
+    scale = 3600.0 / duration if duration > 0 else 1.0
+
+    def scaled_rate(t: float) -> float:
+        return rate_fn(t * scale)
+
+    arrivals = nhpp_arrivals(scaled_rate, rate_max, duration, rng)
+
+    n_topics = corpus.config.n_topics
+    topic_sampler = ZipfSampler(n_topics, cfg.topic_zipf_exponent, rng)
+    # Map Zipf rank -> topic id with a fixed permutation so "popular"
+    # topics are stable across hours of the same seed.
+    perm = make_rng(cfg.seed, "sogou-topic-perm").permutation(n_topics)
+    topics = perm[topic_sampler.sample(arrivals.size)] if arrivals.size else \
+        np.empty(0, dtype=np.int64)
+
+    queries = []
+    for topic in topics:
+        n_terms = max(1, int(rng.poisson(cfg.terms_per_query_mean - 1)) + 1)
+        queries.append(corpus.topic_words(int(topic), n=n_terms, rng=rng))
+
+    return SyntheticQueryLog(hour=hour, arrivals=arrivals, queries=queries,
+                             query_topics=np.asarray(topics, dtype=np.int64))

@@ -1,0 +1,96 @@
+"""Tests for the FIFO fan-out simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fanout import FanoutSimulator
+from repro.cluster.interference import ConstantSpeed, InterferenceTimeline
+from repro.cluster.topology import ClusterSpec
+from repro.strategies.basic import BasicStrategy
+
+
+def cluster(n=2, speed=100.0):
+    return ClusterSpec(n_components=n, n_nodes=n, base_speed=speed,
+                       speed_jitter=0.0)
+
+
+class TestQueueMechanics:
+    def test_single_request_latency_is_service_time(self):
+        sim = FanoutSimulator(cluster(speed=100.0))
+        stats = sim.run([0.0], BasicStrategy(50.0))
+        np.testing.assert_allclose(stats.sub_latencies, 0.5)
+        np.testing.assert_allclose(stats.request_latencies, [0.5])
+
+    def test_fifo_queueing_delay(self):
+        # Two simultaneous arrivals: the second waits for the first.
+        sim = FanoutSimulator(cluster(n=1, speed=100.0))
+        stats = sim.run([0.0, 0.0], BasicStrategy(100.0))
+        np.testing.assert_allclose(np.sort(stats.sub_latencies), [1.0, 2.0])
+
+    def test_idle_gap_resets_queue(self):
+        sim = FanoutSimulator(cluster(n=1, speed=100.0))
+        stats = sim.run([0.0, 10.0], BasicStrategy(100.0))
+        np.testing.assert_allclose(stats.sub_latencies, [1.0, 1.0])
+
+    def test_request_latency_is_max_over_components(self):
+        spec = ClusterSpec(n_components=2, n_nodes=2, base_speed=100.0,
+                           speed_jitter=0.0)
+        # Slow down node 1 permanently.
+        speed_model = InterferenceTimeline(2, [(1, 0.0, 1e9, 4.0)])
+        sim = FanoutSimulator(spec, speed_model)
+        stats = sim.run([0.0], BasicStrategy(100.0))
+        assert stats.request_latencies[0] == pytest.approx(4.0)
+
+    def test_unstable_load_grows_queue(self):
+        # Service 1s per request at 2 req/s: latencies must trend upward.
+        sim = FanoutSimulator(cluster(n=1, speed=100.0))
+        arrivals = np.arange(0, 20, 0.5)
+        stats = sim.run(arrivals, BasicStrategy(100.0))
+        lat = stats.sub_latencies
+        assert lat[-1] > lat[0]
+        assert lat[-1] > 5.0
+
+    def test_interference_slows_service(self):
+        spec = cluster(n=1, speed=100.0)
+        slow = InterferenceTimeline(1, [(0, 0.0, 100.0, 2.0)])
+        fast_stats = FanoutSimulator(spec).run([0.0], BasicStrategy(100.0))
+        slow_stats = FanoutSimulator(spec, slow).run([0.0], BasicStrategy(100.0))
+        assert slow_stats.sub_latencies[0] == pytest.approx(
+            2 * fast_stats.sub_latencies[0])
+
+
+class TestValidation:
+    def test_unsorted_arrivals_rejected(self):
+        sim = FanoutSimulator(cluster())
+        with pytest.raises(ValueError):
+            sim.run([1.0, 0.5], BasicStrategy(10.0))
+
+    def test_non_1d_rejected(self):
+        sim = FanoutSimulator(cluster())
+        with pytest.raises(ValueError):
+            sim.run([[0.0]], BasicStrategy(10.0))
+
+    def test_empty_arrivals(self):
+        sim = FanoutSimulator(cluster())
+        stats = sim.run([], BasicStrategy(10.0))
+        assert stats.n_requests == 0
+        assert stats.sub_latencies.size == 0
+
+
+class TestStats:
+    def test_tail_functions(self):
+        sim = FanoutSimulator(cluster(n=4, speed=100.0))
+        stats = sim.run(np.linspace(0, 10, 50), BasicStrategy(10.0))
+        assert stats.tail_ms() == pytest.approx(stats.component_tail() * 1000)
+        assert stats.mean_latency() > 0
+
+    def test_on_complete_called_per_subop(self):
+        calls = []
+
+        class Spy(BasicStrategy):
+            def on_complete(self, request, component, arrival, done):
+                calls.append((request, component))
+
+        sim = FanoutSimulator(cluster(n=3))
+        sim.run([0.0, 1.0], Spy(10.0))
+        assert sorted(calls) == [(r, c) for r in range(2) for c in range(3)]

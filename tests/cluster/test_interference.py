@@ -1,0 +1,67 @@
+"""Tests for interference speed models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interference import ConstantSpeed, InterferenceTimeline
+
+
+class TestConstantSpeed:
+    def test_always_factor(self):
+        m = ConstantSpeed(0.5)
+        assert m.multiplier(0, 0.0) == 0.5
+        assert m.multiplier(3, 1e9) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantSpeed(0.0)
+
+
+class TestInterferenceTimeline:
+    def test_idle_node_full_speed(self):
+        t = InterferenceTimeline(2, [])
+        assert t.multiplier(0, 5.0) == 1.0
+
+    def test_single_job_window(self):
+        t = InterferenceTimeline(1, [(0, 10.0, 20.0, 2.0)])
+        assert t.multiplier(0, 5.0) == 1.0
+        assert t.multiplier(0, 15.0) == pytest.approx(0.5)
+        assert t.multiplier(0, 25.0) == 1.0
+
+    def test_overlapping_jobs_multiply(self):
+        t = InterferenceTimeline(1, [(0, 0.0, 10.0, 2.0), (0, 5.0, 15.0, 2.0)])
+        assert t.multiplier(0, 7.0) == pytest.approx(0.25)
+        assert t.multiplier(0, 12.0) == pytest.approx(0.5)
+
+    def test_floor(self):
+        t = InterferenceTimeline(1, [(0, 0.0, 10.0, 100.0)], floor=0.1)
+        assert t.multiplier(0, 5.0) == pytest.approx(0.1)
+
+    def test_per_node_isolation(self):
+        t = InterferenceTimeline(2, [(0, 0.0, 10.0, 2.0)])
+        assert t.multiplier(0, 5.0) == pytest.approx(0.5)
+        assert t.multiplier(1, 5.0) == 1.0
+
+    def test_vectorised_matches_scalar(self):
+        jobs = [(0, 1.0, 3.0, 2.0), (0, 2.0, 6.0, 3.0)]
+        t = InterferenceTimeline(1, jobs)
+        ts = np.linspace(0, 8, 50)
+        vec = t.multipliers(0, ts)
+        scal = [t.multiplier(0, float(x)) for x in ts]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceTimeline(0, [])
+        with pytest.raises(ValueError):
+            InterferenceTimeline(1, [(5, 0, 1, 2.0)])   # unknown node
+        with pytest.raises(ValueError):
+            InterferenceTimeline(1, [(0, 5, 1, 2.0)])   # end < start
+        with pytest.raises(ValueError):
+            InterferenceTimeline(1, [(0, 0, 1, 0.5)])   # slowdown < 1
+        with pytest.raises(IndexError):
+            InterferenceTimeline(1, []).multiplier(4, 0.0)
+
+    def test_zero_length_job_ignored(self):
+        t = InterferenceTimeline(1, [(0, 5.0, 5.0, 3.0)])
+        assert t.multiplier(0, 5.0) == 1.0

@@ -1,0 +1,67 @@
+"""Tests for cluster topology."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+
+
+class TestClusterSpec:
+    def test_speeds_and_nodes(self):
+        c = ClusterSpec(n_components=12, n_nodes=4, base_speed=100.0, seed=1)
+        assert c.component_speeds.shape == (12,)
+        assert np.all(c.component_speeds > 0)
+        assert set(c.component_nodes.tolist()) == {0, 1, 2, 3}
+
+    def test_no_jitter(self):
+        c = ClusterSpec(n_components=5, n_nodes=5, base_speed=50.0,
+                        speed_jitter=0.0)
+        np.testing.assert_allclose(c.component_speeds, 50.0)
+
+    def test_jitter_centred_on_base(self):
+        c = ClusterSpec(n_components=2000, n_nodes=10, base_speed=100.0,
+                        speed_jitter=0.2, seed=2)
+        assert abs(np.median(c.component_speeds) - 100.0) < 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_components=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(base_speed=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(speed_jitter=-1)
+
+    def test_deterministic(self):
+        a = ClusterSpec(n_components=10, seed=3)
+        b = ClusterSpec(n_components=10, seed=3)
+        np.testing.assert_array_equal(a.component_speeds, b.component_speeds)
+
+
+class TestMirror:
+    def test_mirror_on_other_node(self):
+        # 36 components over 9 nodes: naive half-ring stride lands on the
+        # same node; mirror_of must avoid that.
+        c = ClusterSpec(n_components=36, n_nodes=9)
+        for comp in range(36):
+            m = c.mirror_of(comp)
+            assert m != comp
+            assert c.component_nodes[m] != c.component_nodes[comp]
+
+    def test_mirror_valid_range(self):
+        c = ClusterSpec(n_components=7, n_nodes=3)
+        for comp in range(7):
+            assert 0 <= c.mirror_of(comp) < 7
+
+    def test_single_component(self):
+        c = ClusterSpec(n_components=1, n_nodes=1)
+        assert c.mirror_of(0) == 0
+
+    def test_single_node_cluster(self):
+        c = ClusterSpec(n_components=4, n_nodes=1)
+        for comp in range(4):
+            assert c.mirror_of(comp) != comp
+
+    def test_out_of_range(self):
+        c = ClusterSpec(n_components=4, n_nodes=2)
+        with pytest.raises(IndexError):
+            c.mirror_of(4)

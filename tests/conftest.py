@@ -1,0 +1,72 @@
+"""Shared fixtures: small, fast instances of both services."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.util.rng import make_rng
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+
+
+@pytest.fixture(scope="session")
+def small_ratings():
+    """~200-user rating partition with clear cluster structure."""
+    return generate_ratings(MovieLensConfig(
+        n_users=200, n_items=80, density=0.25, n_clusters=5,
+        cluster_spread=0.3, noise=0.3, seed=11,
+    ))
+
+
+@pytest.fixture(scope="session")
+def cf_adapter():
+    return CFAdapter()
+
+
+@pytest.fixture(scope="session")
+def cf_synopsis(small_ratings, cf_adapter):
+    builder = SynopsisBuilder(cf_adapter, SynopsisConfig(
+        n_iters=40, target_ratio=15.0, seed=3))
+    synopsis, artifacts = builder.build(small_ratings.matrix)
+    return synopsis, artifacts
+
+
+@pytest.fixture()
+def cf_request(small_ratings):
+    rng = make_rng(5, "cf-req")
+    ids, vals = small_ratings.matrix.user_ratings(0)
+    n = max(2, int(0.8 * ids.size))
+    keep = np.sort(rng.choice(ids.size, size=n, replace=False))
+    targets = [i for i in range(10) if i not in set(ids[keep].tolist())][:5]
+    return CFRequest(active_items=ids[keep], active_vals=vals[keep],
+                     target_items=targets)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """~300-page corpus with 8 topics."""
+    return generate_corpus(CorpusConfig(
+        n_docs=300, n_topics=8, vocab_size=1600, words_per_topic=150,
+        doc_length_mean=60.0, seed=13,
+    ))
+
+
+@pytest.fixture(scope="session")
+def search_adapter():
+    return SearchAdapter()
+
+
+@pytest.fixture(scope="session")
+def search_synopsis(small_corpus, search_adapter):
+    builder = SynopsisBuilder(search_adapter, SynopsisConfig(
+        n_iters=30, target_ratio=20.0, seed=3))
+    synopsis, artifacts = builder.build(small_corpus.partition)
+    return synopsis, artifacts
+
+
+@pytest.fixture()
+def search_query(small_corpus):
+    return SearchQuery(terms=small_corpus.topic_words(2, n=3), k=10)

@@ -1,0 +1,151 @@
+"""Tests for the service adapters."""
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
+
+
+class TestCFRequest:
+    def test_sorts_items(self):
+        r = CFRequest(active_items=[3, 1], active_vals=[3.0, 1.0],
+                      target_items=[7])
+        np.testing.assert_array_equal(r.active_items, [1, 3])
+        np.testing.assert_array_equal(r.active_vals, [1.0, 3.0])
+
+    def test_mean(self):
+        r = CFRequest(active_items=[0, 1], active_vals=[2.0, 4.0],
+                      target_items=[])
+        assert r.active_mean == 3.0
+
+    def test_empty_active(self):
+        r = CFRequest(active_items=[], active_vals=[], target_items=[1])
+        assert r.active_mean == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CFRequest(active_items=[1], active_vals=[1.0, 2.0],
+                      target_items=[])
+
+
+class TestSearchQuery:
+    def test_terms_stringified(self):
+        q = SearchQuery(terms=["a", "b"], k=5)
+        assert q.terms == ["a", "b"]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            SearchQuery(terms=["a"], k=0)
+
+
+class TestCFAdapterOffline:
+    def test_svd_triples_mean_centred(self, small_ratings, cf_adapter):
+        rows, cols, vals, nr, nc = cf_adapter.svd_triples(small_ratings.matrix)
+        assert nr == small_ratings.matrix.n_users
+        # Per-user mean of centred values must be ~0.
+        sums = np.bincount(rows, weights=vals, minlength=nr)
+        counts = np.maximum(np.bincount(rows, minlength=nr), 1)
+        np.testing.assert_allclose(sums / counts, 0.0, atol=1e-9)
+
+    def test_svd_triples_subset_local_rows(self, small_ratings, cf_adapter):
+        rows, cols, vals, nr, nc = cf_adapter.svd_triples(
+            small_ratings.matrix, record_ids=[5, 9])
+        assert nr == 2
+        assert set(rows.tolist()) <= {0, 1}
+
+    def test_postprocess_normalises(self, cf_adapter):
+        f = np.array([[3.0, 4.0], [0.0, 0.0]])
+        out = cf_adapter.postprocess_reduced(f)
+        assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+        np.testing.assert_array_equal(out[1], [0.0, 0.0])
+
+    def test_work_accounting(self, small_ratings, cf_adapter, cf_synopsis):
+        synopsis, _ = cf_synopsis
+        assert cf_adapter.synopsis_work(synopsis) == synopsis.n_aggregated
+        assert cf_adapter.full_work(small_ratings.matrix) == \
+            small_ratings.matrix.n_users
+        total = sum(cf_adapter.group_work(synopsis, g)
+                    for g in range(synopsis.n_aggregated))
+        assert total == synopsis.n_original
+
+
+class TestCFAdapterOnline:
+    def test_initial_result_correlations_bounded(self, cf_adapter, cf_synopsis,
+                                                 cf_request):
+        synopsis, _ = cf_synopsis
+        state, corr = cf_adapter.initial_result(synopsis, cf_request)
+        assert corr.shape == (synopsis.n_aggregated,)
+        assert np.all(corr >= 0) and np.all(corr <= 1)
+        assert set(state) == set(range(synopsis.n_aggregated))
+
+    def test_refine_replaces_group_contribution(self, small_ratings, cf_adapter,
+                                                cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        state, _ = cf_adapter.initial_result(synopsis, cf_request)
+        before = state[0]
+        state = cf_adapter.refine(small_ratings.matrix, synopsis, 0,
+                                  cf_request, state)
+        assert state[0] is not before
+
+    def test_finalize_merges_all_groups(self, small_ratings, cf_adapter,
+                                        cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        state, _ = cf_adapter.initial_result(synopsis, cf_request)
+        for g in range(synopsis.n_aggregated):
+            state = cf_adapter.refine(small_ratings.matrix, synopsis, g,
+                                      cf_request, state)
+        final = cf_adapter.finalize(state, cf_request)
+        exact = cf_adapter.exact(small_ratings.matrix, cf_request)
+        for item in cf_request.target_items:
+            assert final.predict(item) == pytest.approx(exact.predict(item))
+
+
+class TestSearchAdapterOnline:
+    def test_correlations_are_scores(self, search_adapter, search_synopsis,
+                                     search_query):
+        synopsis, _ = search_synopsis
+        state, corr = search_adapter.initial_result(synopsis, search_query)
+        assert corr.shape == (synopsis.n_aggregated,)
+        assert np.all(corr >= 0)
+        assert corr.max() > 0  # the query matches something
+
+    def test_initial_state_assigns_group_scores_to_members(
+            self, search_adapter, search_synopsis, search_query):
+        synopsis, _ = search_synopsis
+        state, corr = search_adapter.initial_result(synopsis, search_query)
+        g = int(np.argmax(corr))
+        member_hits = state["estimated"][g]
+        assert {h.doc_id for h in member_hits} == \
+            set(synopsis.index.members(g).tolist())
+        assert all(h.score == pytest.approx(corr[g]) for h in member_hits)
+        assert state["refined"] == {}
+
+    def test_refine_moves_group_to_exact(self, small_corpus, search_adapter,
+                                         search_synopsis, search_query):
+        synopsis, _ = search_synopsis
+        state, corr = search_adapter.initial_result(synopsis, search_query)
+        g = int(np.argmax(corr))
+        state = search_adapter.refine(small_corpus.partition, synopsis, g,
+                                      search_query, state)
+        assert g in state["refined"]
+        assert g not in state["estimated"]
+
+    def test_full_refinement_equals_exact(self, small_corpus, search_adapter,
+                                          search_synopsis, search_query):
+        synopsis, _ = search_synopsis
+        state, _ = search_adapter.initial_result(synopsis, search_query)
+        for g in range(synopsis.n_aggregated):
+            state = search_adapter.refine(small_corpus.partition, synopsis, g,
+                                          search_query, state)
+        final = search_adapter.finalize(state, search_query)
+        exact = search_adapter.exact(small_corpus.partition, search_query)
+        assert [h.doc_id for h in final] == [h.doc_id for h in exact]
+
+    def test_work_accounting(self, small_corpus, search_adapter,
+                             search_synopsis):
+        synopsis, _ = search_synopsis
+        assert search_adapter.full_work(small_corpus.partition) == \
+            small_corpus.partition.n_docs
+        total = sum(search_adapter.group_work(synopsis, g)
+                    for g in range(synopsis.n_aggregated))
+        assert total == synopsis.n_original

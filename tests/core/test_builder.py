@@ -1,0 +1,119 @@
+"""Tests for synopsis creation (both services)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.recommender.matrix import RatingMatrix
+
+
+class TestConfig:
+    def test_ratio_validated(self):
+        with pytest.raises(ValueError):
+            SynopsisConfig(target_ratio=0.5)
+
+
+class TestCFBuild:
+    def test_index_partitions_users(self, small_ratings, cf_synopsis):
+        synopsis, _ = cf_synopsis
+        synopsis.index.validate(
+            expected_records=range(small_ratings.matrix.n_users))
+        assert synopsis.n_original == small_ratings.matrix.n_users
+
+    def test_ratio_near_target(self, cf_synopsis):
+        synopsis, _ = cf_synopsis
+        # The "closest" level rule lands within a node-capacity factor of
+        # the target group count (levels jump by ~max_entries).
+        target = synopsis.n_original / 15.0
+        assert target / 8.0 <= synopsis.n_aggregated <= target * 8.0
+
+    def test_at_most_rule_enforces_bound(self, small_ratings, cf_adapter):
+        synopsis, _ = SynopsisBuilder(cf_adapter, SynopsisConfig(
+            n_iters=10, target_ratio=15.0, level_rule="at_most",
+            seed=3)).build(small_ratings.matrix)
+        assert synopsis.n_aggregated <= small_ratings.matrix.n_users / 15.0
+
+    def test_bad_level_rule(self):
+        with pytest.raises(ValueError):
+            SynopsisConfig(level_rule="nope")
+
+    def test_payload_is_cf_component(self, cf_synopsis):
+        from repro.recommender.cf import CFComponent
+
+        synopsis, _ = cf_synopsis
+        assert isinstance(synopsis.payload, CFComponent)
+        assert synopsis.payload.n_users == synopsis.n_aggregated
+
+    def test_meta_records_step_times(self, cf_synopsis):
+        synopsis, _ = cf_synopsis
+        for key in ("step1_s", "step2_s", "step3_s", "total_s"):
+            assert synopsis.meta[key] >= 0.0
+
+    def test_artifacts_consistent(self, small_ratings, cf_synopsis):
+        synopsis, artifacts = cf_synopsis
+        artifacts.tree.check_invariants()
+        assert len(artifacts.tree) == small_ratings.matrix.n_users
+        assert artifacts.svd.n_rows == small_ratings.matrix.n_users
+        assert len(artifacts.group_vectors) == synopsis.n_aggregated
+        assert artifacts.level == synopsis.level
+
+    def test_aggregated_ratings_are_group_means(self, small_ratings, cf_synopsis):
+        from repro.recommender.aggregation import aggregate_group
+
+        synopsis, _ = cf_synopsis
+        g = 0
+        ids, means = aggregate_group(small_ratings.matrix,
+                                     synopsis.index.members(g))
+        got_ids, got_means = synopsis.payload.matrix.user_ratings(g)
+        np.testing.assert_array_equal(got_ids, ids)
+        np.testing.assert_allclose(got_means, means)
+
+    def test_empty_partition(self, cf_adapter):
+        empty = RatingMatrix([], [], [], n_users=0, n_items=5)
+        synopsis, artifacts = SynopsisBuilder(cf_adapter).build(empty)
+        assert synopsis.n_aggregated == 0
+        assert synopsis.n_original == 0
+
+    def test_similar_users_grouped(self, small_ratings, cf_synopsis):
+        # Groups should be purer in taste clusters than random grouping.
+        synopsis, _ = cf_synopsis
+        clusters = small_ratings.user_cluster
+        purities = []
+        for g in range(synopsis.n_aggregated):
+            members = synopsis.index.members(g)
+            counts = np.bincount(clusters[members])
+            purities.append(counts.max() / members.size)
+        n_clusters = small_ratings.config.n_clusters
+        assert np.mean(purities) > 1.5 / n_clusters
+
+
+class TestSearchBuild:
+    def test_index_partitions_docs(self, small_corpus, search_synopsis):
+        synopsis, _ = search_synopsis
+        synopsis.index.validate(
+            expected_records=range(small_corpus.partition.n_docs))
+
+    def test_payload_is_search_component(self, search_synopsis):
+        from repro.search.engine import SearchComponent
+
+        synopsis, _ = search_synopsis
+        assert isinstance(synopsis.payload, SearchComponent)
+        assert synopsis.payload.n_docs == synopsis.n_aggregated
+
+    def test_aggregated_page_is_bag_union(self, small_corpus, search_synopsis):
+        synopsis, _ = search_synopsis
+        g = 0
+        members = synopsis.index.members(g)
+        total_len = sum(len(small_corpus.partition.tokens_of(int(d)))
+                        for d in members)
+        assert synopsis.payload.index.doc_length(g) == total_len
+
+    def test_topic_purity_above_random(self, small_corpus, search_synopsis):
+        synopsis, _ = search_synopsis
+        topics = small_corpus.doc_topic
+        purities = []
+        for g in range(synopsis.n_aggregated):
+            members = synopsis.index.members(g)
+            counts = np.bincount(topics[members])
+            purities.append(counts.max() / members.size)
+        assert np.mean(purities) > 1.5 / small_corpus.config.n_topics

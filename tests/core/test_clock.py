@@ -1,0 +1,57 @@
+"""Tests for deadline clocks."""
+
+import time
+
+import pytest
+
+from repro.core.clock import DeadlineClock, SimulatedClock, WallClock
+
+
+class TestWallClock:
+    def test_advances_with_real_time(self):
+        c = WallClock()
+        t0 = c.now()
+        time.sleep(0.01)
+        assert c.now() > t0
+
+    def test_charge_is_noop(self):
+        c = WallClock()
+        t0 = c.now()
+        c.charge(10_000)
+        assert c.now() - t0 < 0.5
+
+    def test_satisfies_protocol(self):
+        assert isinstance(WallClock(), DeadlineClock)
+
+
+class TestSimulatedClock:
+    def test_charge_advances_by_work_over_speed(self):
+        c = SimulatedClock(start=5.0, speed=100.0)
+        c.charge(50)
+        assert c.now() == pytest.approx(5.5)
+        assert c.work_charged == 50
+
+    def test_speed_change_applies_forward(self):
+        c = SimulatedClock(speed=10.0)
+        c.charge(10)        # +1.0s
+        c.speed = 100.0
+        c.charge(10)        # +0.1s
+        assert c.now() == pytest.approx(1.1)
+
+    def test_advance_idle(self):
+        c = SimulatedClock()
+        c.advance(2.5)
+        assert c.now() == 2.5
+        assert c.work_charged == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(speed=0)
+        c = SimulatedClock()
+        with pytest.raises(ValueError):
+            c.charge(-1)
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimulatedClock(), DeadlineClock)

@@ -1,0 +1,70 @@
+"""Tests for load-adaptive multi-resolution synopses."""
+
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.multires import MultiResolutionSynopsis, build_multires
+
+
+@pytest.fixture(scope="module")
+def multires(small_ratings, cf_adapter):
+    return build_multires(cf_adapter, small_ratings.matrix,
+                          SynopsisConfig(n_iters=30, target_ratio=8.0, seed=2),
+                          n_resolutions=3)
+
+
+class TestBuild:
+    def test_resolutions_ordered_coarse_to_fine(self, multires):
+        mr, _ = multires
+        sizes = [mr.levels[lv].n_aggregated for lv in mr.resolutions]
+        assert sizes == sorted(sizes)
+        assert mr.coarsest.n_aggregated <= mr.finest.n_aggregated
+
+    def test_each_level_partitions_records(self, small_ratings, multires):
+        mr, _ = multires
+        n = small_ratings.matrix.n_users
+        for synopsis in mr.levels.values():
+            synopsis.index.validate(expected_records=range(n))
+
+    def test_all_levels_answer_requests(self, small_ratings, cf_adapter,
+                                        multires, cf_request):
+        mr, _ = multires
+        for synopsis in mr.levels.values():
+            state, corr = cf_adapter.initial_result(synopsis, cf_request)
+            assert corr.shape == (synopsis.n_aggregated,)
+
+    def test_validation(self, small_ratings, cf_adapter):
+        with pytest.raises(ValueError):
+            build_multires(cf_adapter, small_ratings.matrix, n_resolutions=0)
+        with pytest.raises(ValueError):
+            MultiResolutionSynopsis(levels={})
+
+
+class TestSelect:
+    def test_big_budget_selects_finest(self, multires):
+        mr, _ = multires
+        assert mr.select(budget_s=10.0, speed=1e9) is mr.finest
+
+    def test_tiny_budget_selects_coarsest(self, multires):
+        mr, _ = multires
+        assert mr.select(budget_s=1e-9, speed=1.0) is mr.coarsest
+
+    def test_negative_budget_still_answers(self, multires):
+        mr, _ = multires
+        # Past the deadline: the component still produces an initial
+        # result from the smallest synopsis (Algorithm 1 semantics).
+        assert mr.select(budget_s=-1.0, speed=100.0) is mr.coarsest
+
+    def test_monotone_in_budget(self, multires):
+        mr, _ = multires
+        speed = 1000.0
+        sizes = [mr.select(b, speed).n_aggregated
+                 for b in (0.0, 0.01, 0.1, 1.0, 100.0)]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_args(self, multires):
+        mr, _ = multires
+        with pytest.raises(ValueError):
+            mr.select(1.0, speed=0.0)
+        with pytest.raises(ValueError):
+            mr.select(1.0, speed=1.0, stage1_share=0.0)

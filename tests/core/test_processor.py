@@ -1,0 +1,179 @@
+"""Tests for Algorithm 1 (online accuracy-aware processing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.core.processor import AccuracyAwareProcessor, refine_to_depth
+
+
+class TestProcessorCF:
+    def make(self, small_ratings, cf_adapter, cf_synopsis, **kw):
+        synopsis, _ = cf_synopsis
+        return AccuracyAwareProcessor(cf_adapter, small_ratings.matrix,
+                                      synopsis, **kw)
+
+    def test_generous_deadline_processes_all(self, small_ratings, cf_adapter,
+                                             cf_synopsis, cf_request):
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        clock = SimulatedClock(speed=1e9)
+        result, report = proc.process(cf_request, deadline=10.0, clock=clock)
+        assert report.exhausted
+        assert report.groups_processed == proc.synopsis.n_aggregated
+
+    def test_result_matches_exact_when_all_processed(self, small_ratings,
+                                                     cf_adapter, cf_synopsis,
+                                                     cf_request):
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        result, _ = proc.process(cf_request, deadline=10.0,
+                                 clock=SimulatedClock(speed=1e9))
+        exact = cf_adapter.exact(small_ratings.matrix, cf_request)
+        for item in cf_request.target_items:
+            assert result.predict(item) == pytest.approx(exact.predict(item))
+
+    def test_zero_deadline_still_produces_result(self, small_ratings,
+                                                 cf_adapter, cf_synopsis,
+                                                 cf_request):
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        result, report = proc.process(cf_request, deadline=0.0,
+                                      clock=SimulatedClock(speed=1e9))
+        assert report.groups_processed == 0
+        assert report.hit_deadline
+        # Synopsis pass still produced a usable prediction.
+        assert np.isfinite(result.predict(cf_request.target_items[0]))
+
+    def test_tight_deadline_stops_early(self, small_ratings, cf_adapter,
+                                        cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        # Speed such that ~2 groups fit after the synopsis pass.
+        group_w = synopsis.index.group_sizes().mean()
+        speed = (synopsis.n_aggregated + 2 * group_w) / 0.1
+        _, report = proc.process(cf_request, deadline=0.1,
+                                 clock=SimulatedClock(speed=speed))
+        assert 0 < report.groups_processed < synopsis.n_aggregated
+        assert report.hit_deadline
+
+    def test_i_max_cap(self, small_ratings, cf_adapter, cf_synopsis, cf_request):
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis, i_max=2)
+        _, report = proc.process(cf_request, deadline=10.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert report.groups_processed == 2
+        assert report.hit_imax
+
+    def test_i_max_fraction(self, small_ratings, cf_adapter, cf_synopsis,
+                            cf_request):
+        synopsis, _ = cf_synopsis
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis,
+                         i_max_fraction=0.5)
+        expected = int(np.ceil(0.5 * synopsis.n_aggregated))
+        assert proc.i_max == expected
+
+    def test_mutually_exclusive_caps(self, small_ratings, cf_adapter,
+                                     cf_synopsis):
+        with pytest.raises(ValueError):
+            self.make(small_ratings, cf_adapter, cf_synopsis,
+                      i_max=1, i_max_fraction=0.5)
+
+    def test_invalid_params(self, small_ratings, cf_adapter, cf_synopsis,
+                            cf_request):
+        with pytest.raises(ValueError):
+            self.make(small_ratings, cf_adapter, cf_synopsis, i_max=-1)
+        with pytest.raises(ValueError):
+            self.make(small_ratings, cf_adapter, cf_synopsis,
+                      i_max_fraction=1.5)
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        with pytest.raises(ValueError):
+            proc.process(cf_request, deadline=-1.0)
+
+    def test_queueing_delay_counts_against_deadline(self, small_ratings,
+                                                    cf_adapter, cf_synopsis,
+                                                    cf_request):
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        clock = SimulatedClock(start=5.0, speed=1e9)  # dequeued at t=5
+        # Submitted at t=0, deadline 1s: already expired while queueing.
+        _, report = proc.process(cf_request, deadline=1.0, clock=clock,
+                                 start_time=0.0)
+        assert report.groups_processed == 0
+        assert report.hit_deadline
+
+    def test_ranking_is_correlation_descending(self, small_ratings, cf_adapter,
+                                               cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        proc = self.make(small_ratings, cf_adapter, cf_synopsis)
+        _, report = proc.process(cf_request, deadline=10.0,
+                                 clock=SimulatedClock(speed=1e9))
+        _, corr = cf_adapter.initial_result(synopsis, cf_request)
+        ranked = report.groups_ranked
+        vals = [corr[g] for g in ranked]
+        assert all(vals[i] >= vals[i + 1] - 1e-12 for i in range(len(vals) - 1))
+
+    def test_accuracy_improves_with_depth(self, small_ratings, cf_adapter,
+                                          cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        exact = cf_adapter.exact(small_ratings.matrix, cf_request)
+        errors = []
+        for depth in (0, synopsis.n_aggregated // 2, synopsis.n_aggregated):
+            approx = refine_to_depth(cf_adapter, small_ratings.matrix,
+                                     synopsis, cf_request, depth)
+            err = np.mean([
+                abs(approx.predict(i) - exact.predict(i))
+                for i in cf_request.target_items
+            ])
+            errors.append(err)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+        assert errors[0] >= errors[-1]
+
+
+class TestProcessorSearch:
+    def test_full_refinement_matches_exact(self, small_corpus, search_adapter,
+                                           search_synopsis, search_query):
+        synopsis, _ = search_synopsis
+        proc = AccuracyAwareProcessor(search_adapter, small_corpus.partition,
+                                      synopsis)
+        result, report = proc.process(search_query, deadline=10.0,
+                                      clock=SimulatedClock(speed=1e9))
+        exact = search_adapter.exact(small_corpus.partition, search_query)
+        assert [h.doc_id for h in result] == [h.doc_id for h in exact]
+
+    def test_i_max_fraction_rule(self, small_corpus, search_adapter,
+                                 search_synopsis, search_query):
+        synopsis, _ = search_synopsis
+        proc = AccuracyAwareProcessor(search_adapter, small_corpus.partition,
+                                      synopsis, i_max_fraction=0.4)
+        _, report = proc.process(search_query, deadline=10.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert report.groups_processed <= int(np.ceil(0.4 * synopsis.n_aggregated))
+
+    def test_overlap_improves_with_depth(self, small_corpus, search_adapter,
+                                         search_synopsis, search_query):
+        from repro.search.metrics import topk_overlap
+
+        synopsis, _ = search_synopsis
+        exact_ids = [h.doc_id for h in
+                     search_adapter.exact(small_corpus.partition, search_query)]
+        overlaps = []
+        for depth in (0, synopsis.n_aggregated):
+            hits = refine_to_depth(search_adapter, small_corpus.partition,
+                                   synopsis, search_query, depth)
+            overlaps.append(topk_overlap([h.doc_id for h in hits], exact_ids))
+        assert overlaps[-1] == 1.0
+        assert overlaps[0] <= overlaps[-1]
+
+
+class TestRefineToDepth:
+    def test_negative_depth(self, small_ratings, cf_adapter, cf_synopsis,
+                            cf_request):
+        synopsis, _ = cf_synopsis
+        with pytest.raises(ValueError):
+            refine_to_depth(cf_adapter, small_ratings.matrix, synopsis,
+                            cf_request, -1)
+
+    def test_depth_beyond_groups_clamped(self, small_ratings, cf_adapter,
+                                         cf_synopsis, cf_request):
+        synopsis, _ = cf_synopsis
+        full = refine_to_depth(cf_adapter, small_ratings.matrix, synopsis,
+                               cf_request, synopsis.n_aggregated + 100)
+        exact = cf_adapter.exact(small_ratings.matrix, cf_request)
+        for item in cf_request.target_items:
+            assert full.predict(item) == pytest.approx(exact.predict(item))

@@ -1,0 +1,72 @@
+"""Tests for the AccuracyTraderService facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.service import AccuracyTraderService
+from repro.recommender.matrix import RatingMatrix
+
+
+@pytest.fixture(scope="module")
+def cf_service_facade(small_ratings, cf_adapter):
+    users, items, vals = small_ratings.matrix.to_triples()
+    parts = []
+    for p in range(2):
+        mask = (users % 2) == p
+        parts.append(RatingMatrix(users[mask] // 2, items[mask], vals[mask],
+                                  n_users=small_ratings.matrix.n_users // 2,
+                                  n_items=small_ratings.matrix.n_items))
+    return AccuracyTraderService(
+        cf_adapter, parts,
+        config=SynopsisConfig(n_iters=30, target_ratio=15.0, seed=4))
+
+
+class TestProcess:
+    def test_generous_deadline_matches_exact(self, cf_service_facade,
+                                             cf_request):
+        svc = cf_service_facade
+        answer, reports = svc.process(cf_request, deadline=10.0)
+        exact = svc.exact(cf_request)
+        assert len(reports) == svc.n_components
+        for item in cf_request.target_items:
+            assert answer.predict(item) == pytest.approx(exact.predict(item))
+
+    def test_per_component_clocks(self, cf_service_facade, cf_request):
+        svc = cf_service_facade
+        # One fast, one starved component.
+        clocks = [SimulatedClock(speed=1e12), SimulatedClock(speed=1.0)]
+        _, reports = svc.process(cf_request, deadline=0.01, clocks=clocks)
+        assert reports[0].groups_processed > reports[1].groups_processed
+
+    def test_clock_count_validated(self, cf_service_facade, cf_request):
+        with pytest.raises(ValueError):
+            cf_service_facade.process(cf_request, deadline=1.0,
+                                      clocks=[SimulatedClock()])
+
+    def test_empty_partitions_rejected(self, cf_adapter):
+        with pytest.raises(ValueError):
+            AccuracyTraderService(cf_adapter, [])
+
+
+class TestUpdates:
+    def test_add_points_flows_to_processing(self, small_ratings, cf_adapter,
+                                            cf_request):
+        users, items, vals = small_ratings.matrix.to_triples()
+        part = RatingMatrix(users, items, vals,
+                            n_users=small_ratings.matrix.n_users,
+                            n_items=small_ratings.matrix.n_items)
+        svc = AccuracyTraderService(
+            cf_adapter, [part],
+            config=SynopsisConfig(n_iters=20, target_ratio=15.0, seed=5))
+        n = part.n_users
+        new = part.with_rows_appended(
+            np.zeros(3, dtype=np.int64), np.array([0, 1, 2]),
+            np.array([5.0, 4.0, 3.0]))
+        report = svc.add_points(0, new, [n])
+        assert report.n_points == 1
+        answer, _ = svc.process(cf_request, deadline=10.0)
+        exact = svc.exact(cf_request)
+        for item in cf_request.target_items:
+            assert answer.predict(item) == pytest.approx(exact.predict(item))

@@ -1,0 +1,72 @@
+"""Tests for the synopsis / index-file data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.synopsis import IndexFile, Synopsis
+
+
+class TestIndexFile:
+    def test_members_sorted(self):
+        f = IndexFile([[3, 1, 2], [5, 4]])
+        np.testing.assert_array_equal(f.members(0), [1, 2, 3])
+
+    def test_group_of(self):
+        f = IndexFile([[0, 1], [2]])
+        assert f.group_of(1) == 0
+        assert f.group_of(2) == 1
+
+    def test_group_of_missing(self):
+        f = IndexFile([[0]])
+        with pytest.raises(KeyError):
+            f.group_of(9)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            IndexFile([[0, 1], [1, 2]])
+
+    def test_counts(self):
+        f = IndexFile([[0, 1], [2], [3, 4, 5]])
+        assert f.n_groups == 3
+        assert f.n_records == 6
+        np.testing.assert_array_equal(f.group_sizes(), [2, 1, 3])
+
+    def test_validate_against_expected(self):
+        f = IndexFile([[0, 1], [2]])
+        f.validate(expected_records=[0, 1, 2])
+        with pytest.raises(ValueError):
+            f.validate(expected_records=[0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            f.validate(expected_records=[0, 1])
+
+    def test_members_bad_group(self):
+        f = IndexFile([[0]])
+        with pytest.raises(IndexError):
+            f.members(5)
+
+    def test_json_roundtrip(self):
+        f = IndexFile([[0, 2], [1]])
+        g = IndexFile.from_json(f.to_json())
+        assert f == g
+
+    def test_groups_returns_copies(self):
+        f = IndexFile([[0, 1]])
+        f.groups()[0][0] = 99
+        assert f.members(0)[0] == 0
+
+    def test_empty(self):
+        f = IndexFile([])
+        assert f.n_groups == 0 and f.n_records == 0
+        f.validate(expected_records=[])
+
+
+class TestSynopsis:
+    def test_aggregation_ratio(self):
+        s = Synopsis(index=IndexFile([[0, 1], [2, 3]]), payload=None,
+                     level=1, n_original=4)
+        assert s.n_aggregated == 2
+        assert s.aggregation_ratio == 2.0
+
+    def test_empty_ratio(self):
+        s = Synopsis(index=IndexFile([]), payload=None, level=0, n_original=0)
+        assert s.aggregation_ratio == 0.0

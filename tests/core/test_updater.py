@@ -1,0 +1,178 @@
+"""Tests for incremental synopsis updating."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.updater import SynopsisUpdater
+from repro.util.rng import make_rng
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+
+
+@pytest.fixture()
+def cf_updater(small_ratings, cf_adapter, cf_synopsis):
+    synopsis, artifacts = cf_synopsis
+    return SynopsisUpdater(cf_adapter, SynopsisConfig(n_iters=40, target_ratio=15.0),
+                           small_ratings.matrix,
+                           copy.deepcopy(synopsis), copy.deepcopy(artifacts))
+
+
+def new_user_block(data, k, seed=0):
+    rng = make_rng(seed, "new-users")
+    cfg = data.config
+    users, items, vals = [], [], []
+    for local in range(k):
+        proto = int(rng.integers(0, data.user_factors.shape[0]))
+        f = data.user_factors[proto]
+        chosen = rng.choice(cfg.n_items, size=15, replace=False)
+        raw = data.item_factors[chosen] @ f
+        span = cfg.rating_max - cfg.rating_min
+        v = np.clip(cfg.rating_min + span / (1 + np.exp(-raw)), 1, 5)
+        users.append(np.full(15, local))
+        items.append(chosen)
+        vals.append(v)
+    return (np.concatenate(users), np.concatenate(items), np.concatenate(vals))
+
+
+class TestAddPoints:
+    def test_adds_and_stays_consistent(self, small_ratings, cf_updater):
+        n = small_ratings.matrix.n_users
+        u, i, v = new_user_block(small_ratings, 10)
+        m2 = small_ratings.matrix.with_rows_appended(u, i, v)
+        report = cf_updater.add_points(m2, np.arange(n, n + 10))
+        assert report.kind == "add"
+        assert report.n_points == 10
+        cf_updater.artifacts.tree.check_invariants()
+        cf_updater.synopsis.index.validate(expected_records=range(n + 10))
+
+    def test_only_affected_groups_reaggregated(self, small_ratings, cf_updater):
+        n = small_ratings.matrix.n_users
+        u, i, v = new_user_block(small_ratings, 3)
+        m2 = small_ratings.matrix.with_rows_appended(u, i, v)
+        report = cf_updater.add_points(m2, np.arange(n, n + 3))
+        # 3 new points can touch at most ~3 groups (plus splits).
+        assert report.n_groups_reaggregated <= 6
+        assert report.n_groups_reaggregated >= 1
+
+    def test_noncontiguous_ids_rejected(self, small_ratings, cf_updater):
+        n = small_ratings.matrix.n_users
+        u, i, v = new_user_block(small_ratings, 2)
+        m2 = small_ratings.matrix.with_rows_appended(u, i, v)
+        with pytest.raises(ValueError):
+            cf_updater.add_points(m2, [n + 5, n + 6])
+
+    def test_empty_add_is_noop(self, small_ratings, cf_updater):
+        before = cf_updater.synopsis.n_aggregated
+        report = cf_updater.add_points(small_ratings.matrix, [])
+        assert report.n_points == 0
+        assert cf_updater.synopsis.n_aggregated == before
+
+    def test_new_points_queryable(self, small_ratings, cf_adapter, cf_updater):
+        n = small_ratings.matrix.n_users
+        u, i, v = new_user_block(small_ratings, 5)
+        m2 = small_ratings.matrix.with_rows_appended(u, i, v)
+        cf_updater.add_points(m2, np.arange(n, n + 5))
+        # The new users must be reachable through the index file.
+        for rid in range(n, n + 5):
+            g = cf_updater.synopsis.index.group_of(rid)
+            assert rid in cf_updater.synopsis.index.members(g)
+
+
+class TestChangePoints:
+    def test_change_reaggregates_their_groups(self, small_ratings, cf_updater):
+        rng = make_rng(3, "change")
+        changed = rng.choice(small_ratings.matrix.n_users, size=5, replace=False)
+        replaced = {}
+        for uid in changed:
+            ids, _ = small_ratings.matrix.user_ratings(int(uid))
+            replaced[int(uid)] = (ids, rng.uniform(1, 5, ids.size))
+        m2 = small_ratings.matrix.with_users_replaced(replaced)
+        report = cf_updater.change_points(m2, changed)
+        assert report.kind == "change"
+        assert report.n_points == 5
+        assert report.n_groups_reaggregated >= 1
+        cf_updater.artifacts.tree.check_invariants()
+        cf_updater.synopsis.index.validate(
+            expected_records=range(small_ratings.matrix.n_users))
+
+    def test_changed_aggregates_reflect_new_data(self, small_ratings,
+                                                 cf_adapter, cf_updater):
+        # Change one user's ratings to all-5s and verify its group's
+        # aggregated rating moved.
+        uid = 0
+        ids, _ = small_ratings.matrix.user_ratings(uid)
+        m2 = small_ratings.matrix.with_users_replaced(
+            {uid: (ids, np.full(ids.size, 5.0))})
+        cf_updater.change_points(m2, [uid])
+        g = cf_updater.synopsis.index.group_of(uid)
+        from repro.recommender.aggregation import aggregate_group
+
+        agg_ids, agg_means = aggregate_group(
+            m2, cf_updater.synopsis.index.members(g))
+        got_ids, got_means = cf_updater.synopsis.payload.matrix.user_ratings(g)
+        np.testing.assert_array_equal(got_ids, agg_ids)
+        np.testing.assert_allclose(got_means, agg_means)
+
+    def test_unknown_id_rejected(self, small_ratings, cf_updater):
+        with pytest.raises(ValueError):
+            cf_updater.change_points(small_ratings.matrix, [10**6])
+
+    def test_empty_change_is_noop(self, small_ratings, cf_updater):
+        report = cf_updater.change_points(small_ratings.matrix, [])
+        assert report.n_points == 0
+
+
+class TestUpdateVsRebuild:
+    def test_update_much_cheaper_than_rebuild(self, small_ratings, cf_adapter):
+        """The paper's Figure-3 property: update time << creation time."""
+        import time
+
+        config = SynopsisConfig(n_iters=40, target_ratio=15.0, seed=3)
+        builder = SynopsisBuilder(cf_adapter, config)
+        t0 = time.perf_counter()
+        synopsis, artifacts = builder.build(small_ratings.matrix)
+        create_s = time.perf_counter() - t0
+
+        upd = SynopsisUpdater(cf_adapter, config, small_ratings.matrix,
+                              synopsis, artifacts)
+        n = small_ratings.matrix.n_users
+        u, i, v = new_user_block(small_ratings, max(1, n // 100))
+        m2 = small_ratings.matrix.with_rows_appended(u, i, v)
+        report = upd.add_points(m2, np.arange(n, n + max(1, n // 100)))
+        assert report.seconds < create_s
+
+
+class TestSearchUpdater:
+    def test_add_pages(self, small_corpus, search_adapter, search_synopsis):
+        import copy as _copy
+
+        synopsis, artifacts = search_synopsis
+        part = _copy.deepcopy(small_corpus.partition)
+        upd = SynopsisUpdater(search_adapter,
+                              SynopsisConfig(n_iters=30, target_ratio=20.0),
+                              part, _copy.deepcopy(synopsis),
+                              _copy.deepcopy(artifacts))
+        n = part.n_docs
+        new_ids = part.add_pages([["w0", "w1", "w0"], ["w5", "w6"]])
+        report = upd.add_points(part, new_ids)
+        assert report.n_points == 2
+        upd.artifacts.tree.check_invariants()
+        upd.synopsis.index.validate(expected_records=range(n + 2))
+
+    def test_change_pages(self, small_corpus, search_adapter, search_synopsis):
+        import copy as _copy
+
+        synopsis, artifacts = search_synopsis
+        part = _copy.deepcopy(small_corpus.partition)
+        upd = SynopsisUpdater(search_adapter,
+                              SynopsisConfig(n_iters=30, target_ratio=20.0),
+                              part, _copy.deepcopy(synopsis),
+                              _copy.deepcopy(artifacts))
+        part.replace_page(0, ["changed", "content", "changed"])
+        report = upd.change_points(part, [0])
+        assert report.n_points == 1
+        g = upd.synopsis.index.group_of(0)
+        # The aggregated page must now contain the new terms.
+        assert upd.synopsis.payload.index.term_frequency("changed", g) >= 2

@@ -1,0 +1,97 @@
+"""Tests for the shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ExperimentScale,
+    ServiceLatencyProfile,
+    build_cluster,
+    paper_scale,
+    run_techniques,
+)
+from repro.workloads.arrival import poisson_arrivals
+from repro.util.rng import make_rng
+
+
+class TestProfiles:
+    def test_cf_profile_geometry(self):
+        p = ServiceLatencyProfile.cf()
+        assert p.full_work == 4000.0
+        assert p.n_groups == round(4000 / 133.0)
+        assert p.i_max is None
+        assert p.group_works.sum() == pytest.approx(4000.0)
+        assert p.base_speed == pytest.approx(4000 / 0.016)
+
+    def test_search_profile_imax_rule(self):
+        p = ServiceLatencyProfile.search()
+        m = p.n_groups
+        assert p.i_max == int(np.ceil(0.4 * m))
+
+    def test_custom_sizes(self):
+        p = ServiceLatencyProfile.cf(partition_points=1000, agg_ratio=50.0)
+        assert p.n_groups == 20
+
+
+class TestScale:
+    def test_paper_scale(self):
+        s = paper_scale()
+        assert s.n_components == 108
+        assert s.n_nodes == 27
+
+    def test_paper_scale_overrides(self):
+        s = paper_scale(session_s=30.0)
+        assert s.n_components == 108 and s.session_s == 30.0
+
+    def test_build_cluster(self):
+        profile = ServiceLatencyProfile.cf()
+        cluster, speed = build_cluster(profile, ExperimentScale(
+            n_components=6, n_nodes=3, session_s=10.0))
+        assert cluster.n_components == 6
+        assert speed.multiplier(0, 0.0) > 0
+
+    def test_no_interference(self):
+        from repro.cluster.interference import ConstantSpeed
+
+        profile = ServiceLatencyProfile.cf()
+        _, speed = build_cluster(profile, ExperimentScale(
+            n_components=2, n_nodes=2, interference=None))
+        assert isinstance(speed, ConstantSpeed)
+
+
+class TestRunTechniques:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        profile = ServiceLatencyProfile.cf(partition_points=1000)
+        scale = ExperimentScale(n_components=8, n_nodes=4, session_s=15.0)
+        arrivals = poisson_arrivals(30.0, 15.0, make_rng(0, "t"))
+        return run_techniques(arrivals, profile, scale), arrivals
+
+    def test_all_techniques_present(self, runs):
+        out, _ = runs
+        assert set(out) == {"basic", "reissue", "partial", "at"}
+
+    def test_stats_dimensions(self, runs):
+        out, arrivals = runs
+        for run in out.values():
+            assert run.stats.n_requests == arrivals.size
+            assert run.stats.n_components == 8
+
+    def test_at_bounded_by_deadline_plus_group(self, runs):
+        out, _ = runs
+        # AT's tail can exceed the deadline only by one group + synopsis.
+        assert out["at"].tail_ms() < 200.0
+
+    def test_partial_and_basic_same_latencies(self, runs):
+        # Partial execution performs identical full scans; only the
+        # composer differs, so the component latencies must match basic.
+        out, _ = runs
+        np.testing.assert_allclose(
+            np.sort(out["partial"].stats.sub_latencies),
+            np.sort(out["basic"].stats.sub_latencies))
+
+    def test_unknown_technique(self):
+        profile = ServiceLatencyProfile.cf()
+        with pytest.raises(ValueError):
+            run_techniques([0.0], profile, ExperimentScale(
+                n_components=2, n_nodes=2), techniques=("nope",))

@@ -1,0 +1,54 @@
+"""Tests for the latency->accuracy coupling."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.coupling import at_depth_fractions, partial_used_fractions
+from repro.strategies.accuracytrader import AccuracyTraderStrategy
+from repro.strategies.partial import PartialExecutionStrategy
+from repro.util.rng import make_rng
+
+
+class TestATCoupling:
+    def make_strategy(self, depths):
+        s = AccuracyTraderStrategy(synopsis_work=1.0,
+                                   group_works=np.ones(10),
+                                   deadline=1.0)
+        s.groups_processed = np.asarray(depths, dtype=np.int16)
+        return s
+
+    def test_fraction_range(self):
+        s = self.make_strategy([[10, 0], [5, 5]])
+        f = at_depth_fractions(s, 6, 3, make_rng(0))
+        assert f.shape == (6, 3)
+        assert np.all(f >= 0) and np.all(f <= 1)
+
+    def test_full_depth_maps_to_one(self):
+        s = self.make_strategy([[10, 10]])
+        f = at_depth_fractions(s, 4, 2, make_rng(1))
+        np.testing.assert_allclose(f, 1.0)
+
+    def test_zero_depth_maps_to_zero(self):
+        s = self.make_strategy([[0, 0]])
+        f = at_depth_fractions(s, 4, 2, make_rng(2))
+        np.testing.assert_allclose(f, 0.0)
+
+    def test_empty_run_rejected(self):
+        s = self.make_strategy(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            at_depth_fractions(s, 1, 1, make_rng(3))
+
+
+class TestPartialCoupling:
+    def test_samples_from_run(self):
+        s = PartialExecutionStrategy(1.0, 1.0)
+        s.begin_run(4, 10)
+        s.completed_by_deadline = np.array([10, 5, 0, 10])
+        f = partial_used_fractions(s, 100, make_rng(4))
+        assert set(np.round(f, 2)) <= {0.0, 0.5, 1.0}
+
+    def test_empty_run_rejected(self):
+        s = PartialExecutionStrategy(1.0, 1.0)
+        s.begin_run(0, 4)
+        with pytest.raises(ValueError):
+            partial_used_fractions(s, 1, make_rng(5))

@@ -1,0 +1,34 @@
+"""Tests for table formatting."""
+
+from repro.experiments.formatting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("name")
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_large_floats_grouped(self):
+        out = format_table(["v"], [[123456.0]])
+        assert "123,456" in out
+
+    def test_small_floats_precision(self):
+        out = format_table(["v"], [[0.123]])
+        assert "0.12" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", [1, 2], [10.0, 20.0], "hour", "ms")
+        assert "hour" in out and "ms" in out
+        assert "s" == out.splitlines()[0]

@@ -1,0 +1,158 @@
+"""Smoke tests for the per-table/figure experiment runners (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cf_service import CFAccuracyService, CFServiceConfig
+from repro.experiments.cf_tables import run_cf_tables
+from repro.experiments.common import ExperimentScale, ServiceLatencyProfile
+from repro.experiments.daily import run_daily
+from repro.experiments.fig3 import run_fig3_cf, run_fig3_search
+from repro.experiments.fig4 import run_fig4_cf, run_fig4_search
+from repro.experiments.headline import compute_headline
+from repro.experiments.hourly import run_hour
+from repro.experiments.search_service import (
+    SearchAccuracyService,
+    SearchServiceConfig,
+)
+
+TINY_SCALE = ExperimentScale(n_components=6, n_nodes=3, session_s=10.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_cf_service():
+    return CFAccuracyService(CFServiceConfig(
+        n_partitions=3, users_per_partition=80, n_items=100,
+        n_requests=8, reveal_items=30, n_targets=5, svd_iters=20, seed=1))
+
+
+@pytest.fixture(scope="module")
+def tiny_search_service():
+    return SearchAccuracyService(SearchServiceConfig(
+        n_partitions=3, docs_per_partition=120, n_topics=8,
+        n_requests=10, svd_iters=15, seed=1))
+
+
+class TestCFTables:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_cf_service):
+        return run_cf_tables(rates=(20, 100),
+                             profile=ServiceLatencyProfile.cf(),
+                             scale=TINY_SCALE, service=tiny_cf_service)
+
+    def test_rows_complete(self, result):
+        assert result.rates == [20, 100]
+        for name in ("basic", "reissue", "at"):
+            assert len(result.latency_ms[name]) == 2
+        for name in ("partial", "at"):
+            assert len(result.loss_percent[name]) == 2
+
+    def test_paper_shape_at_heavy_load(self, result):
+        # At 100 req/s: basic explodes, AT stays near the deadline.
+        assert result.latency_ms["basic"][1] > 10 * result.latency_ms["at"][1]
+        assert result.latency_ms["at"][1] < 250.0
+
+    def test_at_loss_bounded(self, result):
+        # At this 6-component smoke scale, partial execution skips few
+        # partitions, so the AT-beats-partial ordering is only asserted at
+        # bench scale (benchmarks/bench_table2_accuracy.py); here we check
+        # AT's loss stays moderate even at the heaviest rate.
+        assert 0.0 <= result.loss_percent["at"][1] < 30.0
+        assert result.loss_percent["partial"][1] >= 0.0
+
+    def test_text_rendering(self, result):
+        assert "Table 1" in result.table1_text()
+        assert "Table 2" in result.table2_text()
+
+    def test_ratios_positive(self, result):
+        # At this smoke-test scale only finiteness and direction are
+        # asserted; the paper-magnitude ratios are checked by the
+        # default-scale benchmarks.
+        assert result.reissue_over_at_latency() > 1.0
+        assert np.isfinite(result.partial_over_at_loss())
+
+
+class TestHourly:
+    def test_latency_only_run(self):
+        res = run_hour(9, scale=TINY_SCALE, n_sessions=3, peak_rate=60.0)
+        assert len(res.session_rates) == 3
+        assert all(len(v) == 3 for v in res.tails_ms.values())
+        assert np.isnan(res.losses["at"][0])  # no service coupled
+
+    def test_hour9_rates_increase(self):
+        res = run_hour(9, scale=TINY_SCALE, n_sessions=6, peak_rate=60.0)
+        rates = res.session_rates
+        assert rates[-1] > rates[0]
+
+    def test_hour24_rates_decrease(self):
+        res = run_hour(24, scale=TINY_SCALE, n_sessions=6, peak_rate=60.0)
+        assert res.session_rates[-1] < res.session_rates[0]
+
+    def test_with_accuracy(self, tiny_search_service):
+        res = run_hour(10, scale=TINY_SCALE, n_sessions=2, peak_rate=80.0,
+                       service=tiny_search_service)
+        assert all(np.isfinite(res.losses["partial"]))
+        assert "hour 10" in res.text()
+
+    def test_bad_hour(self):
+        with pytest.raises(ValueError):
+            run_hour(0)
+
+
+class TestDaily:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_search_service):
+        return run_daily(scale=TINY_SCALE, service=tiny_search_service,
+                         peak_rate=80.0, hours=(5, 22))
+
+    def test_rates_follow_profile(self, result):
+        assert result.rates[1] > result.rates[0]  # hour 22 >> hour 5
+
+    def test_at_wins_at_peak(self, result):
+        i = result.hours.index(22)
+        assert result.tails_ms["at"][i] < result.tails_ms["basic"][i]
+
+    def test_text(self, result):
+        assert "24-hour" in result.text()
+
+    def test_headline_composition(self, result, tiny_cf_service):
+        cf = run_cf_tables(rates=(100,), scale=TINY_SCALE,
+                           service=tiny_cf_service)
+        head = compute_headline(cf, result)
+        assert head.cf_latency_reduction > 1.0
+        assert "Headline" in head.text()
+
+    def test_best_technique_partition(self, result):
+        best = result.best_technique_hours()
+        assert sorted(h for hs in best.values() for h in hs) == [5, 22]
+
+
+class TestFig3:
+    def test_cf_updating(self):
+        # Moderate scale: creation must be dominated by the full-data SVD
+        # for the paper's update-beats-creation property to be honest.
+        res = run_fig3_cf(n_users=800, n_items=150, percents=(3,),
+                          repeats=1, seed=1)
+        assert len(res.add_s) == 1
+        assert res.updates_faster_than_creation()
+        assert "Figure 3" in res.text()
+
+    def test_search_updating(self):
+        res = run_fig3_search(n_docs=600, percents=(3,), repeats=1, seed=1)
+        assert len(res.change_s) == 1
+        assert res.updates_faster_than_creation()
+
+
+class TestFig4:
+    def test_cf_sections_decrease(self):
+        res = run_fig4_cf(n_users=500, n_items=150, n_requests=20,
+                          synopsis_ratio=15.0, seed=2)
+        assert len(res.section_percent) == 10
+        # First sections must dominate the last ones.
+        assert res.section_percent[0] > 2 * np.mean(res.section_percent[5:])
+
+    def test_search_top_section_dominates(self):
+        res = run_fig4_search(n_docs=500, n_requests=30,
+                              synopsis_ratio=10.0, seed=2)
+        assert res.section_percent[0] > 50.0
+        assert sum(res.section_percent) == pytest.approx(100.0, abs=1.0)

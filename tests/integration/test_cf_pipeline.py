@@ -1,0 +1,118 @@
+"""End-to-end integration: CF service offline -> online -> update."""
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.processor import AccuracyAwareProcessor
+from repro.core.updater import SynopsisUpdater
+from repro.recommender.cf import merge_predictions
+from repro.recommender.metrics import accuracy_loss_percent, rmse
+from repro.util.rng import make_rng
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Two partitions + synopses + updaters, as one mini deployment."""
+    adapter = CFAdapter()
+    config = SynopsisConfig(n_iters=40, target_ratio=20.0, seed=0)
+    data = generate_ratings(MovieLensConfig(
+        n_users=400, n_items=120, density=0.2, seed=21))
+    users, items, vals = data.matrix.to_triples()
+    partitions, updaters = [], []
+    from repro.recommender.matrix import RatingMatrix
+
+    for p in range(2):
+        mask = (users % 2) == p
+        local = users[mask] // 2
+        part = RatingMatrix(local, items[mask], vals[mask],
+                            n_users=200, n_items=120)
+        synopsis, artifacts = SynopsisBuilder(adapter, config).build(part)
+        partitions.append(part)
+        updaters.append(SynopsisUpdater(adapter, config, part, synopsis,
+                                        artifacts))
+    return adapter, data, partitions, updaters
+
+
+def make_request(data, seed):
+    rng = make_rng(seed, "integration")
+    proto = int(rng.integers(0, 400))
+    f = data.user_factors[proto]
+    chosen = rng.choice(120, size=40, replace=False)
+    reveal, targets = chosen[:30], chosen[30:]
+    raw = data.item_factors[reveal] @ f
+    vals = np.clip(1 + 4 / (1 + np.exp(-raw)), 1, 5)
+    actual = 1 + 4 / (1 + np.exp(-(data.item_factors[targets] @ f)))
+    return CFRequest(reveal, vals, [int(t) for t in targets]), actual
+
+
+class TestEndToEnd:
+    def test_deadline_sweep_monotone_accuracy(self, pipeline):
+        """Longer deadlines must not hurt accuracy (Algorithm 1 refines)."""
+        adapter, data, partitions, updaters = pipeline
+        request, actual = make_request(data, 1)
+        losses = []
+        exact = merge_predictions(
+            [adapter.exact(p, request) for p in partitions],
+            active_mean=request.active_mean)
+        exact_rmse = rmse(exact.predict_many(request.target_items), actual)
+        for deadline in (0.0005, 0.005, 0.5):
+            parts = []
+            for part, upd in zip(partitions, updaters):
+                proc = AccuracyAwareProcessor(adapter, part, upd.synopsis)
+                # Speed: full partition scan in ~10 ms.
+                clock = SimulatedClock(speed=part.n_users / 0.01)
+                result, _ = proc.process(request, deadline, clock=clock)
+                parts.append(result)
+            merged = merge_predictions(parts, active_mean=request.active_mean)
+            approx_rmse = rmse(merged.predict_many(request.target_items), actual)
+            losses.append(accuracy_loss_percent(approx_rmse, exact_rmse))
+        assert losses[-1] == pytest.approx(0.0, abs=1e-6)
+        assert losses[0] >= losses[-1]
+
+    def test_update_then_query_consistent(self, pipeline):
+        """After adding users, the synopsis still answers correctly."""
+        adapter, data, partitions, updaters = pipeline
+        part, upd = partitions[0], updaters[0]
+        n = part.n_users
+
+        rng = make_rng(2, "newblock")
+        k = 8
+        proto = rng.integers(0, 400, k)
+        users_l, items_l, vals_l = [], [], []
+        for local in range(k):
+            f = data.user_factors[proto[local]]
+            its = rng.choice(120, size=20, replace=False)
+            raw = data.item_factors[its] @ f
+            users_l.append(np.full(20, local))
+            items_l.append(its)
+            vals_l.append(np.clip(1 + 4 / (1 + np.exp(-raw)), 1, 5))
+        m2 = part.with_rows_appended(np.concatenate(users_l),
+                                     np.concatenate(items_l),
+                                     np.concatenate(vals_l))
+        report = upd.add_points(m2, np.arange(n, n + k))
+        assert report.n_points == k
+
+        request, _ = make_request(data, 3)
+        proc = AccuracyAwareProcessor(adapter, m2, upd.synopsis)
+        result, rep = proc.process(request, deadline=10.0,
+                                   clock=SimulatedClock(speed=1e9))
+        exact = adapter.exact(m2, request)
+        for item in request.target_items:
+            assert result.predict(item) == pytest.approx(exact.predict(item))
+
+    def test_merged_prediction_equals_unpartitioned(self, pipeline):
+        """Partitioning must not change the exact prediction."""
+        adapter, data, partitions, _ = pipeline
+        request, _ = make_request(data, 4)
+        merged = merge_predictions(
+            [adapter.exact(p, request) for p in partitions],
+            active_mean=request.active_mean)
+        whole = adapter.exact(data.matrix, request)
+        # Note: partition-local user ids differ but the *set* of users is
+        # identical, so the Resnick sums agree.
+        for item in request.target_items:
+            assert merged.predict(item) == pytest.approx(whole.predict(item))

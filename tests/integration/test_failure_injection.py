@@ -1,0 +1,121 @@
+"""Failure-injection tests: degenerate inputs and extreme conditions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.fanout import FanoutSimulator
+from repro.cluster.interference import InterferenceTimeline
+from repro.cluster.topology import ClusterSpec
+from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.processor import AccuracyAwareProcessor
+from repro.recommender.matrix import RatingMatrix
+from repro.search.partition import SearchPartition
+from repro.strategies.accuracytrader import AccuracyTraderStrategy
+from repro.strategies.basic import BasicStrategy
+
+
+class TestDegenerateCFData:
+    def test_constant_ratings(self):
+        """All users rate everything identically: correlations are all
+        zero, but the pipeline must still run and fall back gracefully."""
+        n_u, n_i = 60, 20
+        users = np.repeat(np.arange(n_u), n_i)
+        items = np.tile(np.arange(n_i), n_u)
+        matrix = RatingMatrix(users, items, np.full(users.size, 3.0))
+        adapter = CFAdapter()
+        synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+            n_iters=10, target_ratio=10.0)).build(matrix)
+        request = CFRequest(np.arange(5), np.full(5, 3.0), [10, 11])
+        proc = AccuracyAwareProcessor(adapter, matrix, synopsis)
+        result, report = proc.process(request, deadline=1.0,
+                                      clock=SimulatedClock(speed=1e9))
+        # No correlation signal: prediction falls back near the mean.
+        assert np.isfinite(result.predict(10))
+
+    def test_single_user_partition(self):
+        matrix = RatingMatrix([0, 0], [0, 1], [4.0, 2.0], n_users=1, n_items=3)
+        adapter = CFAdapter()
+        synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+            n_iters=5, target_ratio=2.0)).build(matrix)
+        assert synopsis.n_aggregated == 1
+        request = CFRequest([0], [4.0], [2])
+        proc = AccuracyAwareProcessor(adapter, matrix, synopsis)
+        result, _ = proc.process(request, deadline=1.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert np.isfinite(result.predict(2))
+
+    def test_request_with_no_overlap(self):
+        """Active user rated only items nobody else rated."""
+        matrix = RatingMatrix([0, 1], [0, 1], [5.0, 1.0], n_users=2, n_items=10)
+        adapter = CFAdapter()
+        synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+            n_iters=5, target_ratio=2.0)).build(matrix)
+        request = CFRequest([7, 8], [3.0, 4.0], [9])
+        proc = AccuracyAwareProcessor(adapter, matrix, synopsis)
+        result, _ = proc.process(request, deadline=1.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert result.predict(9) == request.active_mean
+
+
+class TestDegenerateSearch:
+    def test_query_matching_nothing(self):
+        part = SearchPartition()
+        for i in range(30):
+            part.add_page([f"word{i}", "common"])
+        adapter = SearchAdapter()
+        synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+            n_iters=5, target_ratio=5.0)).build(part)
+        query = SearchQuery(terms=["unseen-term"], k=10)
+        proc = AccuracyAwareProcessor(adapter, part, synopsis)
+        result, _ = proc.process(query, deadline=1.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert result == []
+
+    def test_identical_pages(self):
+        part = SearchPartition()
+        for _ in range(40):
+            part.add_page(["same", "content", "everywhere"])
+        adapter = SearchAdapter()
+        synopsis, _ = SynopsisBuilder(adapter, SynopsisConfig(
+            n_iters=5, target_ratio=8.0)).build(part)
+        query = SearchQuery(terms=["content"], k=5)
+        proc = AccuracyAwareProcessor(adapter, part, synopsis)
+        result, _ = proc.process(query, deadline=1.0,
+                                 clock=SimulatedClock(speed=1e9))
+        assert len(result) == 5
+
+
+class TestExtremeCluster:
+    def test_interference_spike_recovery(self):
+        """A massive mid-session spike: queues must drain afterwards."""
+        spec = ClusterSpec(n_components=2, n_nodes=2, base_speed=1000.0,
+                           speed_jitter=0.0)
+        spike = InterferenceTimeline(2, [(0, 10.0, 15.0, 50.0),
+                                         (1, 10.0, 15.0, 50.0)])
+        sim = FanoutSimulator(spec, spike)
+        arrivals = np.arange(0, 60, 0.5)
+        stats = sim.run(arrivals, BasicStrategy(100.0))
+        # Latency at the very end is back to the idle scan time.
+        late = stats.sub_latencies.reshape(2, -1)[:, -1]
+        assert np.all(late < 0.5)
+
+    def test_at_immune_to_spike(self):
+        spec = ClusterSpec(n_components=2, n_nodes=2, base_speed=1000.0,
+                           speed_jitter=0.0)
+        spike = InterferenceTimeline(2, [(0, 10.0, 15.0, 50.0)])
+        sim = FanoutSimulator(spec, spike)
+        at = AccuracyTraderStrategy(synopsis_work=5.0,
+                                    group_works=np.full(10, 10.0),
+                                    deadline=0.1)
+        stats = sim.run(np.arange(0, 30, 0.2), at)
+        # AT sheds refinement during the spike: tail stays near deadline
+        # (one started group can overshoot, plus the slowed synopsis pass).
+        assert stats.component_tail(100.0) < 1.0
+
+    def test_zero_deadline_at(self):
+        at = AccuracyTraderStrategy(synopsis_work=5.0,
+                                    group_works=np.ones(3), deadline=0.0)
+        at.begin_run(1, 1)
+        assert at.service_work(0, 0, 0.0, 0.0, 100.0) == 5.0

@@ -1,0 +1,81 @@
+"""End-to-end integration: search service offline -> online -> update."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import SearchAdapter, SearchQuery
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.processor import AccuracyAwareProcessor
+from repro.core.updater import SynopsisUpdater
+from repro.search.metrics import topk_overlap
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    adapter = SearchAdapter()
+    config = SynopsisConfig(n_iters=30, target_ratio=25.0, seed=0)
+    corpus = generate_corpus(CorpusConfig(n_docs=500, n_topics=10, seed=31))
+    synopsis, artifacts = SynopsisBuilder(adapter, config).build(corpus.partition)
+    return adapter, corpus, config, synopsis, artifacts
+
+
+class TestEndToEnd:
+    def test_overlap_improves_with_deadline(self, deployment):
+        adapter, corpus, _, synopsis, _ = deployment
+        query = SearchQuery(terms=corpus.topic_words(1, n=3), k=10)
+        exact_ids = [h.doc_id for h in adapter.exact(corpus.partition, query)]
+        proc = AccuracyAwareProcessor(adapter, corpus.partition, synopsis,
+                                      i_max_fraction=0.4)
+        overlaps = []
+        speed = corpus.partition.n_docs / 0.01  # full scan in 10 ms
+        for deadline in (0.0001, 0.004, 1.0):
+            result, _ = proc.process(query, deadline,
+                                     clock=SimulatedClock(speed=speed))
+            overlaps.append(topk_overlap([h.doc_id for h in result],
+                                         exact_ids))
+        assert overlaps[-1] >= overlaps[0]
+        assert overlaps[-1] >= 0.8  # the 40% rule recovers most of top-10
+
+    def test_i_max_rule_covers_most_answers(self, deployment):
+        """The paper's Figure-4(b) claim: the top 40% ranked groups hold
+        the overwhelming share of actual top-10 pages."""
+        adapter, corpus, _, synopsis, _ = deployment
+        covered, total = 0, 0
+        for topic in range(5):
+            query = SearchQuery(terms=corpus.topic_words(topic, n=2), k=10)
+            exact = adapter.exact(corpus.partition, query)
+            if not exact:
+                continue
+            _, corr = adapter.initial_result(synopsis, query)
+            order = np.argsort(-corr, kind="stable")
+            cap = int(np.ceil(0.4 * synopsis.n_aggregated))
+            top_groups = set(int(g) for g in order[:cap])
+            for h in exact:
+                total += 1
+                if synopsis.index.group_of(h.doc_id) in top_groups:
+                    covered += 1
+        assert total > 0
+        assert covered / total > 0.9
+
+    def test_update_then_query(self, deployment):
+        adapter, corpus, config, synopsis, artifacts = deployment
+        part = copy.deepcopy(corpus.partition)
+        upd = SynopsisUpdater(adapter, config, part,
+                              copy.deepcopy(synopsis),
+                              copy.deepcopy(artifacts))
+        # Add pages heavy in topic-3 words; they should become findable.
+        words = corpus.topic_words(3, n=3)
+        new_ids = part.add_pages([words * 20 for _ in range(4)])
+        upd.add_points(part, new_ids)
+
+        query = SearchQuery(terms=words, k=10)
+        proc = AccuracyAwareProcessor(adapter, part, upd.synopsis,
+                                      i_max_fraction=0.4)
+        result, _ = proc.process(query, deadline=10.0,
+                                 clock=SimulatedClock(speed=1e9))
+        got = {h.doc_id for h in result}
+        assert got & set(new_ids), "new pages must surface in the top-k"

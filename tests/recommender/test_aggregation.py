@@ -1,0 +1,67 @@
+"""Tests for aggregated-user construction."""
+
+import numpy as np
+import pytest
+
+from repro.recommender.aggregation import aggregate_group, build_aggregated_users
+from repro.recommender.matrix import RatingMatrix
+
+
+def matrix():
+    # users 0,1 rate item 0 as 2 and 4; user 1 rates item 1 as 5.
+    return RatingMatrix([0, 1, 1, 2], [0, 0, 1, 2], [2.0, 4.0, 5.0, 1.0],
+                        n_users=3, n_items=3)
+
+
+class TestAggregateGroup:
+    def test_mean_over_raters_only(self):
+        # Paper: the aggregated rating on item i averages only the members
+        # who rated i (subset Ui), not the whole group.
+        ids, means = aggregate_group(matrix(), [0, 1])
+        np.testing.assert_array_equal(ids, [0, 1])
+        np.testing.assert_array_equal(means, [3.0, 5.0])
+
+    def test_empty_group(self):
+        ids, means = aggregate_group(matrix(), [])
+        assert ids.size == 0 and means.size == 0
+
+    def test_single_member(self):
+        ids, means = aggregate_group(matrix(), [2])
+        np.testing.assert_array_equal(ids, [2])
+        np.testing.assert_array_equal(means, [1.0])
+
+    def test_members_without_ratings(self):
+        m = RatingMatrix([0], [0], [3.0], n_users=5, n_items=2)
+        ids, means = aggregate_group(m, [0, 3, 4])
+        np.testing.assert_array_equal(ids, [0])
+        np.testing.assert_array_equal(means, [3.0])
+
+
+class TestBuildAggregatedUsers:
+    def test_shape_and_values(self):
+        agg = build_aggregated_users(matrix(), [[0, 1], [2]])
+        assert agg.n_users == 2
+        assert agg.n_items == 3
+        assert agg.rating(0, 0) == 3.0
+        assert agg.rating(0, 1) == 5.0
+        assert agg.rating(1, 2) == 1.0
+        assert agg.rating(1, 0) is None
+
+    def test_empty_groups_list(self):
+        agg = build_aggregated_users(matrix(), [])
+        assert agg.n_users == 0
+
+    def test_group_order_preserved(self):
+        agg = build_aggregated_users(matrix(), [[2], [0, 1]])
+        assert agg.rating(0, 2) == 1.0
+        assert agg.rating(1, 0) == 3.0
+
+    def test_aggregation_is_unchanged_cf_input(self):
+        # The synopsis payload must be process-able by the untouched CF
+        # code path (the paper's no-algorithm-change property).
+        from repro.recommender.cf import CFComponent
+
+        agg = build_aggregated_users(matrix(), [[0, 1], [2]])
+        comp = CFComponent(agg)
+        pred = comp.partial_prediction([0, 1], [3.0, 5.0], [2], 4.0)
+        assert isinstance(pred.predict(2), float)

@@ -1,0 +1,111 @@
+"""Tests for user-based CF prediction and partial-sum merging."""
+
+import numpy as np
+import pytest
+
+from repro.recommender.cf import CFComponent, CFPrediction, merge_predictions
+from repro.recommender.matrix import RatingMatrix
+from repro.util.rng import make_rng
+
+
+def clustered_matrix(seed=0, n_users=40, n_items=20):
+    """Two taste groups: first half loves even items, second half odd."""
+    rng = make_rng(seed, "cf-test")
+    users, items, vals = [], [], []
+    for u in range(n_users):
+        likes_even = u < n_users // 2
+        for i in range(n_items):
+            if rng.random() < 0.7:
+                base = 4.5 if (i % 2 == 0) == likes_even else 1.5
+                users.append(u)
+                items.append(i)
+                vals.append(np.clip(base + rng.normal(0, 0.3), 1, 5))
+    return RatingMatrix(users, items, vals, n_users=n_users, n_items=n_items)
+
+
+class TestCFPrediction:
+    def test_fallback_to_mean(self):
+        p = CFPrediction(active_mean=3.3)
+        assert p.predict(5) == 3.3
+
+    def test_predict_with_evidence(self):
+        p = CFPrediction(active_mean=3.0)
+        p.numer[1] = 2.0
+        p.denom[1] = 1.0
+        assert p.predict(1) == 5.0
+
+    def test_absorb_merges_sums(self):
+        a = CFPrediction(active_mean=3.0, numer={1: 1.0}, denom={1: 0.5})
+        b = CFPrediction(active_mean=3.0, numer={1: 1.0, 2: -0.5},
+                         denom={1: 0.5, 2: 0.5})
+        a.absorb(b)
+        assert a.predict(1) == pytest.approx(3.0 + 2.0 / 1.0)
+        assert a.predict(2) == pytest.approx(3.0 - 1.0)
+
+    def test_predict_many(self):
+        p = CFPrediction(active_mean=2.0)
+        out = p.predict_many([1, 2, 3])
+        np.testing.assert_array_equal(out, [2.0, 2.0, 2.0])
+
+
+class TestCFComponent:
+    def test_prediction_follows_taste_cluster(self):
+        m = clustered_matrix()
+        comp = CFComponent(m)
+        # Active user who loves even items.
+        active_items = np.array([0, 1, 2, 3])
+        active_vals = np.array([5.0, 1.0, 4.5, 1.5])
+        mean = float(active_vals.mean())
+        pred = comp.partial_prediction(active_items, active_vals, [4, 5],
+                                       mean)
+        assert pred.predict(4) > pred.predict(5)
+
+    def test_subset_equals_sum_of_parts(self):
+        m = clustered_matrix(seed=1)
+        comp = CFComponent(m)
+        active_items = np.array([0, 1, 2, 3, 4])
+        active_vals = np.array([5.0, 1.0, 4.0, 2.0, 4.5])
+        mean = float(active_vals.mean())
+        whole = comp.partial_prediction(active_items, active_vals, [6], mean)
+        first = comp.partial_prediction(active_items, active_vals, [6], mean,
+                                        user_ids=np.arange(0, 20))
+        second = comp.partial_prediction(active_items, active_vals, [6], mean,
+                                         user_ids=np.arange(20, 40))
+        merged = merge_predictions([first, second])
+        assert merged.predict(6) == pytest.approx(whole.predict(6))
+
+    def test_empty_user_subset(self):
+        m = clustered_matrix(seed=2)
+        comp = CFComponent(m)
+        pred = comp.partial_prediction([0], [4.0], [1], 4.0,
+                                       user_ids=np.empty(0, dtype=np.int64))
+        assert pred.predict(1) == 4.0
+
+    def test_user_means_cached(self):
+        m = clustered_matrix(seed=3)
+        comp = CFComponent(m)
+        for u in (0, 5, 39):
+            assert comp.user_means[u] == pytest.approx(m.user_mean(u))
+
+    def test_raters_of(self):
+        m = RatingMatrix([0, 1, 2], [7, 7, 3], [1.0, 2.0, 3.0])
+        comp = CFComponent(m)
+        np.testing.assert_array_equal(np.sort(comp.raters_of(7)), [0, 1])
+        assert comp.raters_of(99).size == 0
+
+
+class TestMergePredictions:
+    def test_empty_needs_mean(self):
+        with pytest.raises(ValueError):
+            merge_predictions([])
+        p = merge_predictions([], active_mean=2.5)
+        assert p.predict(0) == 2.5
+
+    def test_merge_commutative(self):
+        a = CFPrediction(active_mean=3.0, numer={1: 1.0}, denom={1: 1.0})
+        b = CFPrediction(active_mean=3.0, numer={1: 3.0}, denom={1: 2.0})
+        ab = merge_predictions([CFPrediction(3.0, dict(a.numer), dict(a.denom)),
+                                CFPrediction(3.0, dict(b.numer), dict(b.denom))])
+        ba = merge_predictions([CFPrediction(3.0, dict(b.numer), dict(b.denom)),
+                                CFPrediction(3.0, dict(a.numer), dict(a.denom))])
+        assert ab.predict(1) == pytest.approx(ba.predict(1))

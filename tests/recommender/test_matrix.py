@@ -1,0 +1,113 @@
+"""Tests for the CSR rating matrix."""
+
+import numpy as np
+import pytest
+
+from repro.recommender.matrix import RatingMatrix
+
+
+def simple_matrix():
+    #        items: 0    1    2
+    # user 0:      5.0   -   3.0
+    # user 1:       -   4.0   -
+    # user 2:      1.0  2.0  3.0
+    return RatingMatrix(
+        users=[0, 0, 1, 2, 2, 2],
+        items=[0, 2, 1, 0, 1, 2],
+        ratings=[5.0, 3.0, 4.0, 1.0, 2.0, 3.0],
+    )
+
+
+class TestConstruction:
+    def test_shape_inferred(self):
+        m = simple_matrix()
+        assert m.n_users == 3 and m.n_items == 3 and m.nnz == 6
+
+    def test_explicit_shape(self):
+        m = RatingMatrix([0], [0], [1.0], n_users=10, n_items=20)
+        assert m.n_users == 10 and m.n_items == 20
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix([0, 0], [1, 1], [3.0, 4.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix([-1], [0], [1.0])
+
+    def test_index_exceeds_declared_shape(self):
+        with pytest.raises(ValueError):
+            RatingMatrix([5], [0], [1.0], n_users=3, n_items=3)
+
+    def test_unsorted_input_ok(self):
+        m = RatingMatrix([2, 0, 1], [0, 0, 0], [1.0, 2.0, 3.0])
+        assert m.rating(0, 0) == 2.0
+        assert m.rating(2, 0) == 1.0
+
+    def test_empty_matrix(self):
+        m = RatingMatrix([], [], [], n_users=4, n_items=4)
+        assert m.nnz == 0
+        ids, vals = m.user_ratings(2)
+        assert ids.size == 0
+
+
+class TestAccess:
+    def test_user_ratings_sorted(self):
+        m = simple_matrix()
+        ids, vals = m.user_ratings(2)
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+        np.testing.assert_array_equal(vals, [1.0, 2.0, 3.0])
+
+    def test_rating_lookup(self):
+        m = simple_matrix()
+        assert m.rating(0, 0) == 5.0
+        assert m.rating(0, 1) is None
+
+    def test_user_mean(self):
+        m = simple_matrix()
+        assert m.user_mean(0) == 4.0
+        assert m.user_mean(2) == 2.0
+
+    def test_mean_of_unrated_user(self):
+        m = RatingMatrix([0], [0], [3.0], n_users=2, n_items=1)
+        assert m.user_mean(1) == 0.0
+
+    def test_out_of_range_user(self):
+        with pytest.raises(IndexError):
+            simple_matrix().user_ratings(99)
+
+    def test_dense_roundtrip(self):
+        m = simple_matrix()
+        d = m.dense()
+        assert d[0, 0] == 5.0 and d[1, 1] == 4.0 and d[1, 0] == 0.0
+
+    def test_to_triples_roundtrip(self):
+        m = simple_matrix()
+        u, i, v = m.to_triples()
+        m2 = RatingMatrix(u, i, v, n_users=m.n_users, n_items=m.n_items)
+        np.testing.assert_array_equal(m.dense(), m2.dense())
+
+    def test_item_raters(self):
+        m = simple_matrix()
+        raters = m.item_raters()
+        np.testing.assert_array_equal(np.sort(raters[0]), [0, 2])
+        np.testing.assert_array_equal(np.sort(raters[1]), [1, 2])
+        assert 2 in raters
+
+
+class TestMutation:
+    def test_append_rows(self):
+        m = simple_matrix()
+        m2 = m.with_rows_appended([0, 0], [0, 1], [2.5, 3.5])
+        assert m2.n_users == 4
+        assert m2.rating(3, 0) == 2.5
+        # Original untouched.
+        assert m.n_users == 3
+
+    def test_replace_users(self):
+        m = simple_matrix()
+        m2 = m.with_users_replaced({0: (np.array([1]), np.array([9.0]))})
+        assert m2.rating(0, 1) == 9.0
+        assert m2.rating(0, 0) is None
+        assert m2.rating(2, 2) == 3.0  # others untouched
+        assert m2.n_users == m.n_users

@@ -1,0 +1,48 @@
+"""Tests for RMSE and accuracy-loss metrics."""
+
+import numpy as np
+import pytest
+
+from repro.recommender.metrics import accuracy_loss_percent, rmse
+
+
+class TestRMSE:
+    def test_zero_for_perfect(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_symmetric(self):
+        a, b = np.array([1.0, 5.0]), np.array([2.0, 3.0])
+        assert rmse(a, b) == rmse(b, a)
+
+
+class TestAccuracyLoss:
+    def test_zero_loss(self):
+        assert accuracy_loss_percent(1.0, 1.0) == 0.0
+
+    def test_doubling_error_is_100(self):
+        assert accuracy_loss_percent(2.0, 1.0) == pytest.approx(100.0)
+
+    def test_floor_at_zero(self):
+        # Approximation slightly better than exact on a finite test set.
+        assert accuracy_loss_percent(0.9, 1.0) == 0.0
+
+    def test_exact_zero_cases(self):
+        assert accuracy_loss_percent(0.0, 0.0) == 0.0
+        assert accuracy_loss_percent(0.5, 0.0) == 100.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_loss_percent(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            accuracy_loss_percent(1.0, -1.0)

@@ -1,0 +1,101 @@
+"""Tests for Pearson similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.recommender.matrix import RatingMatrix
+from repro.recommender.similarity import pearson, pearson_weights
+
+
+def as_user(d: dict):
+    ids = np.array(sorted(d), dtype=np.int64)
+    vals = np.array([d[i] for i in sorted(d)], dtype=float)
+    return ids, vals
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        a = as_user({0: 1, 1: 2, 2: 3})
+        b = as_user({0: 2, 1: 4, 2: 6})
+        assert pearson(*a, *b) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        a = as_user({0: 1, 1: 2, 2: 3})
+        b = as_user({0: 3, 1: 2, 2: 1})
+        assert pearson(*a, *b) == pytest.approx(-1.0)
+
+    def test_no_overlap_zero(self):
+        a = as_user({0: 1, 1: 2})
+        b = as_user({2: 3, 3: 4})
+        assert pearson(*a, *b) == 0.0
+
+    def test_single_overlap_zero(self):
+        a = as_user({0: 1, 1: 5})
+        b = as_user({1: 3, 2: 4})
+        assert pearson(*a, *b) == 0.0  # overlap below MIN_OVERLAP
+
+    def test_constant_side_zero(self):
+        a = as_user({0: 2, 1: 2, 2: 2})
+        b = as_user({0: 1, 1: 5, 2: 3})
+        assert pearson(*a, *b) == 0.0
+
+    def test_symmetry(self):
+        a = as_user({0: 1.5, 1: 4.0, 2: 2.5, 5: 3.0})
+        b = as_user({0: 2.0, 2: 4.5, 5: 1.0, 7: 3.3})
+        assert pearson(*a, *b) == pytest.approx(pearson(*b, *a))
+
+    def test_matches_numpy_on_overlap(self):
+        a = as_user({0: 1.0, 1: 3.0, 2: 2.0, 3: 5.0})
+        b = as_user({0: 2.0, 1: 2.5, 2: 1.0, 3: 4.0})
+        expected = np.corrcoef([1, 3, 2, 5], [2, 2.5, 1, 4])[0, 1]
+        assert pearson(*a, *b) == pytest.approx(expected)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = rng.integers(2, 10)
+            items = np.sort(rng.choice(30, size=n, replace=False))
+            a = (items, rng.random(n) * 5)
+            b = (items, rng.random(n) * 5)
+            w = pearson(*a, *b)
+            assert -1.0 <= w <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20),
+                          st.floats(min_value=1, max_value=5, allow_nan=False)),
+                min_size=0, max_size=15, unique_by=lambda t: t[0]),
+       st.lists(st.tuples(st.integers(0, 20),
+                          st.floats(min_value=1, max_value=5, allow_nan=False)),
+                min_size=0, max_size=15, unique_by=lambda t: t[0]))
+def test_pearson_always_bounded_and_symmetric(da, db):
+    a = as_user(dict(da))
+    b = as_user(dict(db))
+    w = pearson(*a, *b)
+    assert -1.0 <= w <= 1.0
+    assert w == pytest.approx(pearson(*b, *a))
+
+
+class TestPearsonWeights:
+    def test_against_matrix(self):
+        m = RatingMatrix([0, 0, 1, 1], [0, 1, 0, 1], [1.0, 2.0, 2.0, 4.0])
+        active = as_user({0: 1.0, 1: 2.0})
+        w = pearson_weights(m, *active)
+        assert w.shape == (2,)
+        assert w[0] == pytest.approx(1.0)
+        assert w[1] == pytest.approx(1.0)
+
+    def test_subset_of_users(self):
+        m = RatingMatrix([0, 0, 1, 1, 2, 2], [0, 1, 0, 1, 0, 1],
+                         [1.0, 2.0, 2.0, 1.0, 1.0, 2.0])
+        active = as_user({0: 1.0, 1: 2.0})
+        w = pearson_weights(m, *active, user_ids=[2, 0])
+        assert w.shape == (2,)
+        assert w[0] == pytest.approx(1.0)   # user 2
+        assert w[1] == pytest.approx(1.0)   # user 0
+
+    def test_unsorted_active_items_handled(self):
+        m = RatingMatrix([0, 0, 0], [0, 1, 2], [1.0, 2.0, 3.0])
+        w = pearson_weights(m, [2, 0, 1], [3.0, 1.0, 2.0])
+        assert w[0] == pytest.approx(1.0)

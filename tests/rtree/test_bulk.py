@@ -1,0 +1,77 @@
+"""Tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.geometry import Rect
+from repro.util.rng import make_rng
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = str_bulk_load(np.empty((0, 2)))
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_single_point(self):
+        tree = str_bulk_load([[0.5, 0.5]])
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_all_points_present(self):
+        rng = make_rng(1)
+        pts = rng.random((500, 3))
+        tree = str_bulk_load(pts, max_entries=8)
+        assert len(tree) == 500
+        tree.check_invariants()
+        assert set(tree.search(Rect([0, 0, 0], [1, 1, 1]))) == set(range(500))
+
+    def test_custom_record_ids(self):
+        pts = make_rng(2).random((20, 2))
+        ids = np.arange(100, 120)
+        tree = str_bulk_load(pts, record_ids=ids)
+        assert set(tree.record_ids()) == set(range(100, 120))
+        tree.check_invariants()
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            str_bulk_load([[0, 0], [1, 1]], record_ids=[5, 5])
+
+    def test_id_length_mismatch(self):
+        with pytest.raises(ValueError):
+            str_bulk_load([[0, 0], [1, 1]], record_ids=[1])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            str_bulk_load([1.0, 2.0])
+
+    def test_dynamic_ops_after_bulk_load(self):
+        pts = make_rng(3).random((100, 2))
+        tree = str_bulk_load(pts)
+        tree.insert_point(100, [0.5, 0.5])
+        tree.delete(7)
+        tree.check_invariants()
+        assert 100 in tree and 7 not in tree
+
+    def test_high_fill_factor(self):
+        # STR should pack close to max_entries per leaf.
+        pts = make_rng(4).random((640, 2))
+        tree = str_bulk_load(pts, max_entries=8)
+        leaves = tree.nodes_at_level(0)
+        mean_fill = np.mean([len(n) for n in leaves])
+        assert mean_fill >= 6.0
+
+    def test_spatial_locality(self):
+        # Leaf MBRs should be small relative to the unit square.
+        pts = make_rng(5).random((800, 2))
+        tree = str_bulk_load(pts, max_entries=8)
+        areas = [n.mbr().area() for n in tree.nodes_at_level(0)]
+        assert np.mean(areas) < 0.02
+
+    def test_various_sizes_keep_invariants(self):
+        for n in (2, 3, 7, 8, 9, 63, 64, 65, 200):
+            pts = make_rng(6).random((n, 2))
+            tree = str_bulk_load(pts, max_entries=4)
+            tree.check_invariants()
+            assert len(tree) == n

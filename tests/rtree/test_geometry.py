@@ -1,0 +1,101 @@
+"""Tests for MBR geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtree.geometry import Rect
+
+
+def rect_2d(x0, y0, x1, y1):
+    return Rect([min(x0, x1), min(y0, y1)], [max(x0, x1), max(y0, y1)])
+
+
+class TestConstruction:
+    def test_point_rect_is_degenerate(self):
+        r = Rect.from_point([1.0, 2.0])
+        assert r.area() == 0.0
+        assert r.contains_point([1.0, 2.0])
+
+    def test_lo_must_not_exceed_hi(self):
+        with pytest.raises(ValueError):
+            Rect([1.0], [0.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect([0.0, 0.0], [1.0])
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([], [])
+
+    def test_immutable(self):
+        r = Rect([0.0], [1.0])
+        with pytest.raises(TypeError):
+            r.lo[0] = 5.0  # tuples reject item assignment
+        with pytest.raises(AttributeError):
+            r.lo = (5.0,)  # attributes are frozen
+
+
+class TestMeasures:
+    def test_area(self):
+        assert rect_2d(0, 0, 2, 3).area() == 6.0
+
+    def test_margin(self):
+        assert rect_2d(0, 0, 2, 3).margin() == 5.0
+
+    def test_center(self):
+        np.testing.assert_array_equal(rect_2d(0, 0, 2, 4).center(), [1, 2])
+
+
+class TestRelations:
+    def test_union(self):
+        u = rect_2d(0, 0, 1, 1).union(rect_2d(2, 2, 3, 3))
+        assert u == rect_2d(0, 0, 3, 3)
+
+    def test_union_of_many(self):
+        u = Rect.union_of([Rect.from_point([i, -i]) for i in range(5)])
+        assert u == rect_2d(0, 0, 4, -4)
+
+    def test_union_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.union_of([])
+
+    def test_enlargement_zero_when_contained(self):
+        big, small = rect_2d(0, 0, 10, 10), rect_2d(1, 1, 2, 2)
+        assert big.enlargement(small) == 0.0
+
+    def test_enlargement_positive_when_outside(self):
+        a = rect_2d(0, 0, 1, 1)
+        assert a.enlargement(rect_2d(2, 0, 3, 1)) == pytest.approx(2.0)
+
+    def test_contains(self):
+        assert rect_2d(0, 0, 4, 4).contains(rect_2d(1, 1, 2, 2))
+        assert not rect_2d(0, 0, 4, 4).contains(rect_2d(3, 3, 5, 5))
+
+    def test_intersects_touching_edges(self):
+        assert rect_2d(0, 0, 1, 1).intersects(rect_2d(1, 1, 2, 2))
+
+    def test_disjoint(self):
+        assert not rect_2d(0, 0, 1, 1).intersects(rect_2d(2, 2, 3, 3))
+
+    def test_hash_eq_consistent(self):
+        a, b = rect_2d(0, 0, 1, 1), rect_2d(0, 0, 1, 1)
+        assert a == b and hash(a) == hash(b)
+
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@given(coords, coords, coords, coords, coords, coords, coords, coords)
+def test_union_contains_both(ax0, ay0, ax1, ay1, bx0, by0, bx1, by1):
+    a, b = rect_2d(ax0, ay0, ax1, ay1), rect_2d(bx0, by0, bx1, by1)
+    u = a.union(b)
+    assert u.contains(a) and u.contains(b)
+    assert u.area() >= max(a.area(), b.area())
+
+
+@given(coords, coords, coords, coords, coords, coords, coords, coords)
+def test_enlargement_consistent_with_union(ax0, ay0, ax1, ay1, bx0, by0, bx1, by1):
+    a, b = rect_2d(ax0, ay0, ax1, ay1), rect_2d(bx0, by0, bx1, by1)
+    assert a.enlargement(b) == pytest.approx(a.union(b).area() - a.area(), abs=1e-6)

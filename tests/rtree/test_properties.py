@@ -1,0 +1,78 @@
+"""Property-based tests: R-tree invariants under random operation mixes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.geometry import Rect
+from repro.rtree.tree import RTree
+
+point = st.tuples(st.floats(min_value=0, max_value=1, allow_nan=False),
+                  st.floats(min_value=0, max_value=1, allow_nan=False))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(point, min_size=0, max_size=120))
+def test_insert_only_invariants_and_membership(pts):
+    tree = RTree(max_entries=4)
+    for i, p in enumerate(pts):
+        tree.insert_point(i, p)
+    tree.check_invariants()
+    assert len(tree) == len(pts)
+    found = set(tree.search(Rect([0, 0], [1, 1])))
+    assert found == set(range(len(pts)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(point, min_size=1, max_size=80), st.data())
+def test_insert_delete_mix(pts, data):
+    tree = RTree(max_entries=4)
+    alive = set()
+    for i, p in enumerate(pts):
+        tree.insert_point(i, p)
+        alive.add(i)
+        # Randomly delete ~1/3 of the time.
+        if alive and data.draw(st.integers(0, 2)) == 0:
+            victim = data.draw(st.sampled_from(sorted(alive)))
+            tree.delete(victim)
+            alive.remove(victim)
+    tree.check_invariants()
+    assert set(tree.search(Rect([0, 0], [1, 1]))) == alive
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(point, min_size=1, max_size=100))
+def test_bulk_load_equals_incremental_membership(pts):
+    arr = np.array(pts)
+    bulk = str_bulk_load(arr, max_entries=4)
+    bulk.check_invariants()
+    inc = RTree(max_entries=4)
+    for i, p in enumerate(pts):
+        inc.insert_point(i, p)
+    q = Rect([0.25, 0.25], [0.75, 0.75])
+    assert set(bulk.search(q)) == set(inc.search(q))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(point, min_size=5, max_size=100))
+def test_levels_partition_at_every_depth(pts):
+    tree = str_bulk_load(np.array(pts), max_entries=4)
+    n = len(pts)
+    for level in range(tree.height):
+        ids = [r for nd in tree.nodes_at_level(level)
+               for r in tree.records_under(nd)]
+        assert sorted(ids) == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(point, min_size=2, max_size=60),
+       st.lists(point, min_size=1, max_size=20))
+def test_search_correct_after_bulk_then_inserts(base, extra):
+    tree = str_bulk_load(np.array(base), max_entries=4)
+    for j, p in enumerate(extra):
+        tree.insert_point(len(base) + j, p)
+    tree.check_invariants()
+    q = Rect([0.0, 0.0], [0.5, 0.5])
+    all_pts = list(base) + list(extra)
+    expected = {i for i, p in enumerate(all_pts) if q.contains_point(p)}
+    assert set(tree.search(q)) == expected

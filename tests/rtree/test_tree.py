@@ -1,0 +1,177 @@
+"""Tests for the dynamic R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.rtree.tree import RTree
+from repro.util.rng import make_rng
+
+
+def build_random(n, seed=0, max_entries=4, dim=2):
+    rng = make_rng(seed, "rtree")
+    pts = rng.random((n, dim))
+    tree = RTree(max_entries=max_entries)
+    for i, p in enumerate(pts):
+        tree.insert_point(i, p)
+    return tree, pts
+
+
+class TestConstruction:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)  # m > M/2
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.check_invariants()
+
+
+class TestInsert:
+    def test_single(self):
+        tree = RTree()
+        tree.insert_point(7, [0.5, 0.5])
+        assert 7 in tree and len(tree) == 1
+        tree.check_invariants()
+
+    def test_duplicate_id_rejected(self):
+        tree = RTree()
+        tree.insert_point(1, [0, 0])
+        with pytest.raises(KeyError):
+            tree.insert_point(1, [1, 1])
+
+    def test_many_inserts_keep_invariants(self):
+        tree, _ = build_random(200, seed=1)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+    def test_tree_grows_in_height(self):
+        tree, _ = build_random(100, seed=2, max_entries=4)
+        assert tree.height >= 3
+
+    def test_identical_points_allowed(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert_point(i, [0.5, 0.5])
+        tree.check_invariants()
+        assert len(tree) == 20
+
+
+class TestSearch:
+    def test_finds_all_in_range(self):
+        tree, pts = build_random(150, seed=3)
+        query = Rect([0.2, 0.2], [0.6, 0.6])
+        found = set(tree.search(query))
+        expected = {i for i, p in enumerate(pts) if query.contains_point(p)}
+        assert found == expected
+
+    def test_whole_space(self):
+        tree, _ = build_random(50, seed=4)
+        assert set(tree.search(Rect([0, 0], [1, 1]))) == set(range(50))
+
+    def test_empty_region(self):
+        tree, _ = build_random(50, seed=5)
+        assert tree.search(Rect([5, 5], [6, 6])) == []
+
+    def test_search_empty_tree(self):
+        assert RTree().search(Rect([0, 0], [1, 1])) == []
+
+
+class TestDelete:
+    def test_delete_all(self):
+        tree, _ = build_random(80, seed=6)
+        for i in range(80):
+            tree.delete(i)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        tree, _ = build_random(5, seed=7)
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_then_reinsert(self):
+        tree, pts = build_random(60, seed=8)
+        for i in range(0, 60, 3):
+            tree.delete(i)
+        tree.check_invariants()
+        for i in range(0, 60, 3):
+            tree.insert_point(i, pts[i])
+        tree.check_invariants()
+        assert len(tree) == 60
+
+    def test_root_shrinks(self):
+        tree, _ = build_random(100, seed=9, max_entries=4)
+        h = tree.height
+        for i in range(95):
+            tree.delete(i)
+        assert tree.height < h
+        tree.check_invariants()
+
+    def test_search_consistent_after_deletes(self):
+        tree, pts = build_random(120, seed=10)
+        removed = set(range(0, 120, 2))
+        for i in removed:
+            tree.delete(i)
+        found = set(tree.search(Rect([0, 0], [1, 1])))
+        assert found == set(range(120)) - removed
+
+
+class TestLevels:
+    def test_level_sizes_shape(self):
+        tree, _ = build_random(200, seed=11, max_entries=4)
+        sizes = tree.level_sizes()
+        assert sizes[0] == 1  # root
+        assert all(sizes[i] <= sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_nodes_at_level_partition_records(self):
+        tree, _ = build_random(150, seed=12)
+        for level in range(tree.height):
+            nodes = tree.nodes_at_level(level)
+            ids = [r for nd in nodes for r in tree.records_under(nd)]
+            assert sorted(ids) == list(range(150))
+
+    def test_nodes_at_bad_level(self):
+        tree, _ = build_random(10, seed=13)
+        with pytest.raises(ValueError):
+            tree.nodes_at_level(99)
+
+    def test_choose_level_respects_bound(self):
+        tree, _ = build_random(200, seed=14, max_entries=4)
+        for max_groups in (1, 5, 20, 100):
+            level = tree.choose_level(max_groups)
+            assert len(tree.nodes_at_level(level)) <= max_groups
+
+    def test_choose_level_prefers_deepest(self):
+        tree, _ = build_random(200, seed=15, max_entries=4)
+        level = tree.choose_level(10**9)
+        assert level == 0  # leaves qualify
+
+    def test_choose_level_invalid(self):
+        tree, _ = build_random(10, seed=16)
+        with pytest.raises(ValueError):
+            tree.choose_level(0)
+
+
+class TestSimilarityGrouping:
+    def test_nearby_points_share_leaves_more_than_far_points(self):
+        # Two well-separated blobs: leaves should rarely mix them.
+        rng = make_rng(17)
+        a = rng.normal(0.0, 0.05, (50, 2))
+        b = rng.normal(5.0, 0.05, (50, 2))
+        tree = RTree(max_entries=4)
+        for i, p in enumerate(np.vstack([a, b])):
+            tree.insert_point(i, p)
+        mixed = 0
+        for leaf in tree.nodes_at_level(0):
+            ids = tree.records_under(leaf)
+            kinds = {i < 50 for i in ids}
+            if len(kinds) > 1:
+                mixed += 1
+        assert mixed == 0

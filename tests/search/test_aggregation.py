@@ -1,0 +1,45 @@
+"""Tests for aggregated-page construction."""
+
+from repro.search.aggregation import build_aggregated_pages, merge_page_terms
+from repro.search.scoring import score_query
+
+
+class TestMergePageTerms:
+    def test_concatenates_with_multiplicity(self):
+        merged = merge_page_terms([["a", "b"], ["a"]])
+        assert sorted(merged) == ["a", "a", "b"]
+
+    def test_empty(self):
+        assert merge_page_terms([]) == []
+
+
+class TestBuildAggregatedPages:
+    def make_tokens(self):
+        return {
+            0: ["cat", "dog"],
+            1: ["cat", "cat"],
+            2: ["fish"],
+            3: ["bird", "fish"],
+        }
+
+    def test_group_contents_merged(self):
+        syn = build_aggregated_pages(self.make_tokens(), [[0, 1], [2, 3]])
+        assert syn.n_docs == 2
+        assert syn.term_frequency("cat", 0) == 3
+        assert syn.term_frequency("fish", 1) == 2
+        assert syn.doc_length(0) == 4
+
+    def test_group_order_is_id(self):
+        syn = build_aggregated_pages(self.make_tokens(), [[2], [0]])
+        assert syn.term_frequency("fish", 0) == 1
+        assert syn.term_frequency("cat", 1) == 1
+
+    def test_scorable_by_unchanged_pipeline(self):
+        # The synopsis index must go through the untouched scoring code.
+        syn = build_aggregated_pages(self.make_tokens(), [[0, 1], [2, 3]])
+        scores = score_query(syn, ["cat"])
+        assert set(scores) == {0}
+
+    def test_empty_groups(self):
+        syn = build_aggregated_pages(self.make_tokens(), [])
+        assert syn.n_docs == 0

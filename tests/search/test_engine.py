@@ -1,0 +1,89 @@
+"""Tests for the search component and top-k merging."""
+
+import pytest
+
+from repro.search.engine import SearchComponent, SearchHit, merge_topk
+from repro.search.index import InvertedIndex
+
+
+def component():
+    comp = SearchComponent()
+    comp.add_page(0, ["cat", "dog", "cat"])
+    comp.add_page(1, ["dog", "fish"])
+    comp.add_page(2, ["cat"])
+    comp.add_page(3, ["whale", "whale"])
+    return comp
+
+
+class TestSearchHit:
+    def test_ordering_best_first(self):
+        hits = sorted([SearchHit.make(1, 0.5), SearchHit.make(2, 0.9),
+                       SearchHit.make(3, 0.5)])
+        assert [h.doc_id for h in hits] == [2, 1, 3]  # ties by lower id
+
+    def test_score_roundtrip(self):
+        h = SearchHit.make(7, 1.25)
+        assert h.score == 1.25 and h.doc_id == 7
+
+
+class TestSearchComponent:
+    def test_search_ranks_by_score(self):
+        hits = component().search(["cat"])
+        assert [h.doc_id for h in hits][0] in (0, 2)
+        assert all(hits[i].score >= hits[i + 1].score
+                   for i in range(len(hits) - 1))
+
+    def test_top_k_truncation(self):
+        hits = component().search(["cat", "dog"], k=2)
+        assert len(hits) == 2
+
+    def test_k_zero(self):
+        assert component().search(["cat"], k=0) == []
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            component().search(["cat"], k=-1)
+
+    def test_doc_ids_restriction(self):
+        hits = component().search(["cat"], doc_ids=[2])
+        assert [h.doc_id for h in hits] == [2]
+
+    def test_no_match(self):
+        assert component().search(["zebra"]) == []
+
+    def test_wraps_existing_index(self):
+        idx = InvertedIndex()
+        idx.add_document(9, ["x"])
+        comp = SearchComponent(idx)
+        assert comp.n_docs == 1
+        assert comp.search(["x"])[0].doc_id == 9
+
+
+class TestMergeTopk:
+    def test_merges_across_lists(self):
+        a = [SearchHit.make(0, 3.0), SearchHit.make(1, 1.0)]
+        b = [SearchHit.make(2, 2.0)]
+        merged = merge_topk([a, b], k=2)
+        assert [h.doc_id for h in merged] == [0, 2]
+
+    def test_duplicate_takes_max_score(self):
+        a = [SearchHit.make(0, 1.0)]
+        b = [SearchHit.make(0, 5.0)]
+        merged = merge_topk([a, b], k=1)
+        assert merged[0].score == 5.0
+
+    def test_k_larger_than_hits(self):
+        merged = merge_topk([[SearchHit.make(0, 1.0)]], k=10)
+        assert len(merged) == 1
+
+    def test_empty_input(self):
+        assert merge_topk([], k=5) == []
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            merge_topk([], k=-1)
+
+    def test_deterministic_tiebreak(self):
+        a = [SearchHit.make(5, 1.0), SearchHit.make(3, 1.0)]
+        merged = merge_topk([a], k=1)
+        assert merged[0].doc_id == 3

@@ -1,0 +1,43 @@
+"""Tests for top-k overlap metrics."""
+
+import pytest
+
+from repro.search.metrics import topk_accuracy_loss_percent, topk_overlap
+
+
+class TestTopkOverlap:
+    def test_perfect(self):
+        assert topk_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert topk_overlap([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert topk_overlap([1, 2, 3, 4], [1, 2, 9, 8]) == 0.5
+
+    def test_order_ignored(self):
+        assert topk_overlap([4, 3, 2, 1], [1, 2, 3, 4]) == 1.0
+
+    def test_k_truncates_both(self):
+        assert topk_overlap([1, 9, 9, 9], [1, 2, 3, 4], k=1) == 1.0
+
+    def test_empty_actual_is_full_accuracy(self):
+        assert topk_overlap([1, 2], []) == 1.0
+
+    def test_empty_retrieved(self):
+        assert topk_overlap([], [1, 2]) == 0.0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            topk_overlap([1], [1], k=-2)
+
+
+class TestLossPercent:
+    def test_zero_loss(self):
+        assert topk_accuracy_loss_percent([1, 2], [2, 1]) == 0.0
+
+    def test_full_loss(self):
+        assert topk_accuracy_loss_percent([9], [1]) == 100.0
+
+    def test_half_loss(self):
+        assert topk_accuracy_loss_percent([1, 9], [1, 2]) == pytest.approx(50.0)

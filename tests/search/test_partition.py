@@ -1,0 +1,39 @@
+"""Tests for the synchronized search partition."""
+
+import pytest
+
+from repro.search.partition import SearchPartition
+
+
+class TestSearchPartition:
+    def test_add_assigns_dense_ids(self):
+        p = SearchPartition()
+        assert p.add_page(["a"]) == 0
+        assert p.add_page(["b"]) == 1
+        assert p.n_docs == 2
+
+    def test_views_synchronized(self):
+        p = SearchPartition()
+        p.add_page(["x", "y", "x"])
+        assert p.index.term_frequency("x", 0) == 2
+        row = p.matrix.doc_vector(0)
+        assert row[p.matrix.vocabulary["x"]] == 2
+        assert p.tokens_of(0) == ["x", "y", "x"]
+
+    def test_replace_updates_all_views(self):
+        p = SearchPartition()
+        p.add_page(["old"])
+        p.replace_page(0, ["new", "new"])
+        assert p.index.doc_frequency("old") == 0
+        assert p.index.term_frequency("new", 0) == 2
+        assert p.matrix.doc_vector(0)[p.matrix.vocabulary["new"]] == 2
+        assert p.tokens_of(0) == ["new", "new"]
+
+    def test_replace_missing(self):
+        with pytest.raises(KeyError):
+            SearchPartition().replace_page(0, ["x"])
+
+    def test_add_pages_bulk(self):
+        p = SearchPartition()
+        ids = p.add_pages([["a"], ["b"], ["c"]])
+        assert ids == [0, 1, 2]

@@ -1,0 +1,81 @@
+"""Tests for TF-IDF scoring."""
+
+import numpy as np
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.scoring import idf_weight, score_query, tf_weight
+
+
+class TestTF:
+    def test_sqrt(self):
+        np.testing.assert_allclose(tf_weight([0, 1, 4, 9]), [0, 1, 2, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            tf_weight([-1])
+
+
+class TestIDF:
+    def test_rare_term_weighs_more(self):
+        assert idf_weight(1000, 1) > idf_weight(1000, 500)
+
+    def test_floor_zero(self):
+        assert idf_weight(2, 5) == 0.0
+
+    def test_empty_index(self):
+        assert idf_weight(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            idf_weight(-1, 0)
+
+
+class TestScoreQuery:
+    def make(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["cat", "dog", "cat"])
+        idx.add_document(1, ["dog", "fish"])
+        idx.add_document(2, ["bird"] * 10)
+        return idx
+
+    def test_matching_docs_only(self):
+        scores = score_query(self.make(), ["cat"])
+        assert set(scores) == {0}
+
+    def test_higher_tf_higher_score(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["x", "x", "x", "pad"])
+        idx.add_document(1, ["x", "pad", "pad", "pad"])
+        scores = score_query(idx, ["x"])
+        assert scores[0] > scores[1]
+
+    def test_length_normalisation(self):
+        idx = InvertedIndex()
+        idx.add_document(0, ["x"])
+        idx.add_document(1, ["x"] + ["pad"] * 99)
+        scores = score_query(idx, ["x"])
+        assert scores[0] > scores[1]
+
+    def test_multi_term_sums(self):
+        idx = self.make()
+        both = score_query(idx, ["cat", "dog"])
+        cat = score_query(idx, ["cat"])
+        assert both[0] > cat[0]
+
+    def test_repeated_query_term_doubles_contribution(self):
+        idx = self.make()
+        once = score_query(idx, ["cat"])
+        twice = score_query(idx, ["cat", "cat"])
+        assert twice[0] == pytest.approx(2 * once[0])
+
+    def test_doc_restriction(self):
+        idx = self.make()
+        scores = score_query(idx, ["dog"], doc_ids=[1])
+        assert set(scores) == {1}
+
+    def test_unknown_term_no_hits(self):
+        assert score_query(self.make(), ["unicorn"]) == {}
+
+    def test_empty_query(self):
+        assert score_query(self.make(), []) == {}

@@ -1,0 +1,33 @@
+"""Tests for the tokenizer."""
+
+from repro.search.tokenizer import STOP_WORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("foo-bar, baz!") == ["foo", "bar", "baz"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("top 10 pages") == ["top", "10", "pages"]
+
+    def test_drops_stop_words(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_keep_stop_words_optional(self):
+        assert "the" in tokenize("the cat", drop_stop_words=False)
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("!!! ... ???") == []
+
+    def test_duplicates_preserved(self):
+        assert tokenize("spam spam spam") == ["spam"] * 3
+
+    def test_stop_words_frozen(self):
+        assert "the" in STOP_WORDS
+        assert isinstance(STOP_WORDS, frozenset)

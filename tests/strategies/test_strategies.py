@@ -1,0 +1,121 @@
+"""Tests for the basic / partial / AccuracyTrader work models."""
+
+import numpy as np
+import pytest
+
+from repro.strategies.accuracytrader import AccuracyTraderStrategy
+from repro.strategies.basic import BasicStrategy
+from repro.strategies.partial import PartialExecutionStrategy
+
+
+class TestBasic:
+    def test_constant_work(self):
+        s = BasicStrategy(123.0)
+        s.begin_run(5, 3)
+        assert s.service_work(0, 0, 0.0, 0.0, 10.0) == 123.0
+        assert s.service_work(4, 2, 5.0, 99.0, 1.0) == 123.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasicStrategy(0.0)
+
+
+class TestPartial:
+    def test_records_deadline_compliance(self):
+        s = PartialExecutionStrategy(full_work=100.0, deadline=1.0)
+        s.begin_run(2, 3)
+        s.on_complete(0, 0, arrival=0.0, done=0.5)    # in time
+        s.on_complete(0, 1, arrival=0.0, done=1.5)    # late
+        s.on_complete(0, 2, arrival=0.0, done=1.0)    # exactly on time
+        s.on_complete(1, 0, arrival=5.0, done=9.0)    # late
+        np.testing.assert_array_equal(s.completed_by_deadline, [2, 0])
+        np.testing.assert_allclose(s.used_fractions(), [2 / 3, 0.0])
+
+    def test_work_is_full_scan(self):
+        s = PartialExecutionStrategy(100.0, 0.1)
+        s.begin_run(1, 1)
+        assert s.service_work(0, 0, 0.0, 50.0, 1.0) == 100.0
+
+    def test_used_fractions_requires_run(self):
+        with pytest.raises(RuntimeError):
+            PartialExecutionStrategy(1.0, 1.0).used_fractions()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartialExecutionStrategy(0.0, 1.0)
+        with pytest.raises(ValueError):
+            PartialExecutionStrategy(1.0, 0.0)
+
+
+class TestAccuracyTrader:
+    def make(self, m=10, group=100.0, syn=10.0, deadline=1.0, i_max=None):
+        s = AccuracyTraderStrategy(synopsis_work=syn,
+                                   group_works=np.full(m, group),
+                                   deadline=deadline, i_max=i_max)
+        s.begin_run(4, 2)
+        return s
+
+    def test_idle_component_processes_everything(self):
+        s = self.make()
+        # speed so high the deadline never binds.
+        work = s.service_work(0, 0, arrival=0.0, start=0.0, speed=1e9)
+        assert work == pytest.approx(10.0 + 10 * 100.0)
+        assert s.groups_processed[0, 0] == 10
+
+    def test_queue_delay_eats_budget(self):
+        s = self.make()
+        # Dequeued after the deadline: synopsis only.
+        work = s.service_work(0, 0, arrival=0.0, start=2.0, speed=1e9)
+        assert work == 10.0
+        assert s.groups_processed[0, 0] == 0
+
+    def test_partial_budget(self):
+        s = self.make()
+        # budget work = 1.0s * 510 - 10 = 500 -> groups with cum < 500:
+        # cum = 0,100,...,900 -> k = 5.
+        work = s.service_work(0, 0, 0.0, 0.0, 510.0)
+        assert s.groups_processed[0, 0] == 5
+        assert work == pytest.approx(10.0 + 500.0)
+
+    def test_group_started_runs_to_completion(self):
+        # The paper checks elapsed < deadline *before* each group, so a
+        # group that starts just in time overshoots the deadline.
+        s = self.make(m=1, group=1000.0, syn=0.0, deadline=0.5)
+        work = s.service_work(0, 0, 0.0, 0.499, speed=10.0)
+        assert work == 1000.0  # started before deadline, runs fully
+
+    def test_i_max_caps(self):
+        s = self.make(i_max=3)
+        work = s.service_work(0, 0, 0.0, 0.0, 1e9)
+        assert s.groups_processed[0, 0] == 3
+        assert work == pytest.approx(10.0 + 300.0)
+
+    def test_mean_refined_fraction(self):
+        s = self.make()
+        s.service_work(0, 0, 0.0, 0.0, 1e9)
+        s.service_work(0, 1, 0.0, 10.0, 1e9)
+        assert 0.0 < s.mean_refined_fraction() <= 1.0
+
+    def test_refinement_depths_requires_run(self):
+        s = AccuracyTraderStrategy(1.0, [1.0], 1.0)
+        with pytest.raises(RuntimeError):
+            s.refinement_depths()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyTraderStrategy(-1.0, [1.0], 1.0)
+        with pytest.raises(ValueError):
+            AccuracyTraderStrategy(1.0, [[1.0]], 1.0)
+        with pytest.raises(ValueError):
+            AccuracyTraderStrategy(1.0, [-5.0], 1.0)
+        with pytest.raises(ValueError):
+            AccuracyTraderStrategy(1.0, [1.0], -1.0)
+
+    def test_monotone_in_start_time(self):
+        # Later dequeue -> never more groups processed.
+        s = self.make()
+        depths = []
+        for start in np.linspace(0, 1.2, 8):
+            s.service_work(0, 0, 0.0, float(start), 500.0)
+            depths.append(int(s.groups_processed[0, 0]))
+        assert all(depths[i] >= depths[i + 1] for i in range(len(depths) - 1))

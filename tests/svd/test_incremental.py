@@ -1,0 +1,185 @@
+"""Tests for Funk incremental SVD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svd.incremental import FunkSVD, reduce_dense
+from repro.util.rng import make_rng
+
+
+def low_rank_triples(n_rows=60, n_cols=40, rank=3, density=0.5, noise=0.05,
+                     seed=0):
+    rng = make_rng(seed, "svd-test")
+    u = rng.normal(0, 1, (n_rows, rank))
+    v = rng.normal(0, 1, (n_cols, rank))
+    full = u @ v.T
+    mask = rng.random((n_rows, n_cols)) < density
+    rows, cols = np.nonzero(mask)
+    vals = full[rows, cols] + rng.normal(0, noise, rows.size)
+    return rows, cols, vals, n_rows, n_cols, full
+
+
+class TestFit:
+    def test_reconstruction_improves_over_dims(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=3, n_iters=100, seed=1).fit(rows, cols, vals, nr, nc)
+        errs = m.train_errors_
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_low_rank_matrix_recovered(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples(noise=0.01)
+        m = FunkSVD(n_dims=3, n_iters=200, seed=2).fit(rows, cols, vals, nr, nc)
+        assert m.reconstruction_rmse(rows, cols, vals) < 0.3 * np.std(vals)
+
+    def test_factor_shapes(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=4, n_iters=10).fit(rows, cols, vals, nr, nc)
+        assert m.row_factors.shape == (nr, 4)
+        assert m.col_factors.shape == (nc, 4)
+
+    def test_deterministic(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        a = FunkSVD(n_dims=2, n_iters=20, seed=5).fit(rows, cols, vals, nr, nc)
+        b = FunkSVD(n_dims=2, n_iters=20, seed=5).fit(rows, cols, vals, nr, nc)
+        np.testing.assert_array_equal(a.row_factors, b.row_factors)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FunkSVD().fit([], [], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FunkSVD().fit([0, 1], [0], [1.0, 2.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            FunkSVD().fit([-1], [0], [1.0])
+
+    def test_index_exceeding_shape_rejected(self):
+        with pytest.raises(ValueError):
+            FunkSVD().fit([5], [0], [1.0], n_rows=3, n_cols=2)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            FunkSVD(n_dims=0)
+        with pytest.raises(ValueError):
+            FunkSVD(n_iters=0)
+        with pytest.raises(ValueError):
+            FunkSVD(learning_rate=0)
+        with pytest.raises(ValueError):
+            FunkSVD(reg=-1)
+
+
+class TestFoldIn:
+    def test_fold_in_appends_rows(self):
+        rows, cols, vals, nr, nc, full = low_rank_triples()
+        m = FunkSVD(n_dims=3, n_iters=80, seed=3).fit(rows, cols, vals, nr, nc)
+        # New rows drawn from the same latent model.
+        rng = make_rng(4)
+        k = 5
+        new_rows = np.repeat(np.arange(k), nc // 2)
+        new_cols = np.tile(np.arange(nc // 2), k)
+        new_vals = full[:k, : nc // 2][new_rows, new_cols]
+        block = m.fold_in_rows(new_rows, new_cols, new_vals, n_new_rows=k)
+        assert block.shape == (k, 3)
+        assert m.n_rows == nr + k
+        assert m.row_factors.shape == (nr + k, 3)
+
+    def test_fold_in_predictions_reasonable(self):
+        rows, cols, vals, nr, nc, full = low_rank_triples(noise=0.01)
+        m = FunkSVD(n_dims=3, n_iters=150, seed=5).fit(rows, cols, vals, nr, nc)
+        # Fold in a copy of row 0; its factors should predict row 0's data.
+        ids, seen_cols = np.zeros(nc, dtype=int), np.arange(nc)
+        m.fold_in_rows(ids, seen_cols, full[0], n_new_rows=1)
+        pred = m.predict(np.full(nc, nr), seen_cols)
+        err = np.sqrt(np.mean((pred - full[0]) ** 2))
+        assert err < 0.4 * np.std(full[0])
+
+    def test_fold_in_does_not_touch_existing(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=2, n_iters=30, seed=6).fit(rows, cols, vals, nr, nc)
+        before = m.row_factors[:nr].copy()
+        cols_before = m.col_factors.copy()
+        m.fold_in_rows([0], [1], [0.7], n_new_rows=1)
+        np.testing.assert_array_equal(m.row_factors[:nr], before)
+        np.testing.assert_array_equal(m.col_factors, cols_before)
+
+    def test_fold_in_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FunkSVD().fold_in_rows([0], [0], [1.0], n_new_rows=1)
+
+    def test_fold_in_validates_cols(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=2, n_iters=10).fit(rows, cols, vals, nr, nc)
+        with pytest.raises(ValueError):
+            m.fold_in_rows([0], [nc + 5], [1.0], n_new_rows=1)
+
+    def test_fold_in_zero_rows_rejected(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=2, n_iters=10).fit(rows, cols, vals, nr, nc)
+        with pytest.raises(ValueError):
+            m.fold_in_rows([], [], [], n_new_rows=0)
+
+
+class TestRefitRows:
+    def test_refit_changes_only_targets(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=2, n_iters=30, seed=7).fit(rows, cols, vals, nr, nc)
+        before = m.row_factors.copy()
+        target = np.array([3, 8])
+        local = np.repeat(np.arange(2), 5)
+        cols2 = np.tile(np.arange(5), 2)
+        m.refit_rows(target, local, cols2, np.ones(10))
+        mask = np.ones(nr, dtype=bool)
+        mask[target] = False
+        np.testing.assert_array_equal(m.row_factors[mask], before[mask])
+        assert not np.array_equal(m.row_factors[target], before[target])
+
+    def test_refit_validates_ids(self):
+        rows, cols, vals, nr, nc, _ = low_rank_triples()
+        m = FunkSVD(n_dims=2, n_iters=10).fit(rows, cols, vals, nr, nc)
+        with pytest.raises(ValueError):
+            m.refit_rows([nr + 1], [0], [0], [1.0])
+        with pytest.raises(ValueError):
+            m.refit_rows([], [], [], [])
+
+
+class TestReduceDense:
+    def test_shape(self):
+        X = make_rng(8).random((30, 10))
+        out = reduce_dense(X, n_dims=3, n_iters=20)
+        assert out.shape == (30, 3)
+
+    def test_similar_rows_stay_similar(self):
+        rng = make_rng(9)
+        base = rng.random(12)
+        X = np.vstack([base + rng.normal(0, 0.01, 12) for _ in range(6)]
+                      + [rng.random(12) * 5 for _ in range(6)])
+        out = reduce_dense(X, n_dims=2, n_iters=150)
+        close = np.linalg.norm(out[0] - out[1])
+        far = np.linalg.norm(out[0] - out[-1])
+        assert close < far
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_dense([1.0, 2.0])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=2, max_value=15))
+def test_training_error_never_degrades_with_dims(nr, nc):
+    rng = make_rng(nr * 100 + nc)
+    rows, cols = np.nonzero(rng.random((nr, nc)) < 0.8)
+    if rows.size == 0:
+        return
+    vals = rng.random(rows.size)
+    m = FunkSVD(n_dims=3, n_iters=40, seed=0).fit(rows, cols, vals, nr, nc)
+    errs = m.train_errors_
+    # Gradient descent is not strictly monotone (a later dimension can
+    # overshoot on tiny matrices), but each added dimension must not
+    # degrade the fit by more than a fraction of the data's scale, and
+    # the full model must be at least as good as the first dimension.
+    tol = 0.1 * float(np.std(vals)) + 1e-6
+    assert all(errs[i] >= errs[i + 1] - tol for i in range(len(errs) - 1))
+    assert errs[-1] <= errs[0] + tol

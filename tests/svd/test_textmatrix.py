@@ -1,0 +1,83 @@
+"""Tests for the term-document matrix."""
+
+import numpy as np
+import pytest
+
+from repro.svd.textmatrix import TermDocumentMatrix
+
+
+class TestAddDocument:
+    def test_counts(self):
+        m = TermDocumentMatrix()
+        d = m.add_document(["a", "b", "a", "c", "a"])
+        assert d == 0
+        vec = m.doc_vector(0)
+        assert vec[m.vocabulary["a"]] == 3
+        assert vec[m.vocabulary["b"]] == 1
+
+    def test_vocabulary_grows_stably(self):
+        m = TermDocumentMatrix()
+        m.add_document(["x", "y"])
+        x_id = m.vocabulary["x"]
+        m.add_document(["z", "x"])
+        assert m.vocabulary["x"] == x_id  # ids stable under append
+        assert m.n_terms == 3
+
+    def test_empty_document(self):
+        m = TermDocumentMatrix()
+        d = m.add_document([])
+        assert m.doc_vector(d) == {}
+
+    def test_add_documents_bulk(self):
+        m = TermDocumentMatrix()
+        ids = m.add_documents([["a"], ["b"], ["a", "b"]])
+        assert ids == [0, 1, 2]
+        assert m.n_docs == 3
+
+
+class TestReplace:
+    def test_replace_overwrites(self):
+        m = TermDocumentMatrix()
+        m.add_document(["a", "a"])
+        m.replace_document(0, ["b"])
+        vec = m.doc_vector(0)
+        assert vec == {m.vocabulary["b"]: 1}
+
+    def test_replace_bad_id(self):
+        m = TermDocumentMatrix()
+        with pytest.raises(IndexError):
+            m.replace_document(0, ["a"])
+
+
+class TestTriples:
+    def test_full_triples_roundtrip(self):
+        m = TermDocumentMatrix()
+        m.add_document(["a", "b", "a"])
+        m.add_document(["b", "c"])
+        rows, cols, vals = m.triples()
+        dense = np.zeros((2, m.n_terms))
+        dense[rows, cols] = vals
+        assert dense[0, m.vocabulary["a"]] == 2
+        assert dense[1, m.vocabulary["c"]] == 1
+        assert dense.sum() == 5
+
+    def test_subset_triples_local_rows(self):
+        m = TermDocumentMatrix()
+        for i in range(5):
+            m.add_document([f"t{i}"])
+        rows, cols, vals = m.triples(doc_ids=[3, 1])
+        assert set(rows.tolist()) == {0, 1}
+        assert cols[rows == 0][0] == m.vocabulary["t3"]
+        assert cols[rows == 1][0] == m.vocabulary["t1"]
+
+    def test_empty_matrix_triples(self):
+        rows, cols, vals = TermDocumentMatrix().triples()
+        assert rows.size == cols.size == vals.size == 0
+
+    def test_bad_doc_id(self):
+        m = TermDocumentMatrix()
+        m.add_document(["a"])
+        with pytest.raises(IndexError):
+            m.triples(doc_ids=[5])
+        with pytest.raises(IndexError):
+            m.doc_vector(2)

@@ -1,0 +1,50 @@
+"""Tests for seeded RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_numeric_labels_stable(self):
+        assert derive_seed(7, 123) == derive_seed(7, 123)
+
+    def test_no_concat_ambiguity(self):
+        # ("ab",) and ("a", "b") must not collide (separator byte).
+        assert derive_seed(42, "ab") != derive_seed(42, "a", "b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(42, "x") < 2**64
+
+
+class TestMakeRng:
+    def test_same_stream_same_draws(self):
+        a = make_rng(42, "s").random(5)
+        b = make_rng(42, "s").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = make_rng(42, "s1").random(5)
+        b = make_rng(42, "s2").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_no_labels_uses_root_directly(self):
+        a = make_rng(42).random(3)
+        b = np.random.default_rng(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)

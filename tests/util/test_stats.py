@@ -1,0 +1,124 @@
+"""Tests for percentile and online statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import OnlineStats, PercentileTracker, percentile, tail_latency
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_max(self):
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_nearest_rank_is_a_sample(self):
+        data = [1.5, 2.5, 7.25, 9.0]
+        for q in (10, 25, 50, 75, 99, 99.9):
+            assert percentile(data, q) in data
+
+    def test_p999_nearest_rank_boundaries(self):
+        data = np.ones(999)
+        assert percentile(data, 99.9) == 1.0
+        # ceil(99.9% of 1000) = 999 -> still the 1.0 at sorted rank 999.
+        data = np.concatenate([np.ones(999), [100.0]])
+        assert percentile(data, 99.9) == 1.0
+        # ceil(99.9% of 2000) = 1998 -> with two outliers at the top, the
+        # p99.9 lands on the first outlier.
+        data = np.concatenate([np.ones(1997), [100.0, 150.0, 200.0]])
+        assert percentile(data, 99.9) == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_tail_latency_default_q(self):
+        data = list(range(10000))
+        assert tail_latency(data) == percentile(data, 99.9)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200),
+           st.floats(min_value=0.1, max_value=100.0))
+    def test_matches_nearest_rank_definition(self, xs, q):
+        p = percentile(xs, q)
+        arr = np.sort(xs)
+        frac = np.count_nonzero(arr <= p) / arr.size
+        assert p in xs
+        assert frac * 100 >= q - 1e-9
+
+
+class TestOnlineStats:
+    def test_mean_and_variance(self):
+        s = OnlineStats()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data))
+        assert s.std == pytest.approx(np.std(data))
+        assert s.min == 2.0 and s.max == 9.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+
+    def test_merge_matches_pooled(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(0, 1, 50), rng.normal(5, 2, 70)
+        sa, sb = OnlineStats(), OnlineStats()
+        sa.extend(a)
+        sb.extend(b)
+        sa.merge(sb)
+        pooled = np.concatenate([a, b])
+        assert sa.count == 120
+        assert sa.mean == pytest.approx(pooled.mean())
+        assert sa.variance == pytest.approx(pooled.var())
+
+    def test_merge_with_empty(self):
+        s = OnlineStats()
+        s.add(1.0)
+        s.merge(OnlineStats())
+        assert s.count == 1
+        empty = OnlineStats()
+        empty.merge(s)
+        assert empty.mean == 1.0
+
+
+class TestPercentileTracker:
+    def test_exact_when_uncapped(self):
+        t = PercentileTracker()
+        data = np.arange(1000, dtype=float)
+        t.extend(data)
+        assert t.percentile(50) == percentile(data, 50)
+        assert t.count == 1000
+
+    def test_reservoir_bounds_memory(self):
+        t = PercentileTracker(max_samples=100, seed=1)
+        t.extend(range(10_000))
+        assert len(t.snapshot()) == 100
+        assert t.count == 10_000
+
+    def test_reservoir_estimates_reasonably(self):
+        t = PercentileTracker(max_samples=2000, seed=2)
+        rng = np.random.default_rng(3)
+        data = rng.exponential(1.0, 50_000)
+        t.extend(data)
+        est = t.percentile(90)
+        true = percentile(data, 90)
+        assert abs(est - true) / true < 0.15
+
+    def test_bad_cap_raises(self):
+        with pytest.raises(ValueError):
+            PercentileTracker(max_samples=0)

@@ -1,0 +1,60 @@
+"""Tests for bounded Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 1.2)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_ratio_follows_power_law(self):
+        w = zipf_weights(100, 2.0)
+        assert w[0] / w[1] == pytest.approx(2.0**2.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestZipfSampler:
+    def test_support(self):
+        s = ZipfSampler(20, 1.0, make_rng(0))
+        draws = s.sample(5000)
+        assert draws.min() >= 0 and draws.max() < 20
+
+    def test_scalar_draw(self):
+        s = ZipfSampler(20, 1.0, make_rng(0))
+        x = s.sample()
+        assert isinstance(x, int) and 0 <= x < 20
+
+    def test_empirical_matches_weights(self):
+        n = 30
+        s = ZipfSampler(n, 1.1, make_rng(1))
+        draws = s.sample(200_000)
+        emp = np.bincount(draws, minlength=n) / draws.size
+        np.testing.assert_allclose(emp, zipf_weights(n, 1.1), atol=0.01)
+
+    def test_rank_zero_most_popular(self):
+        s = ZipfSampler(10, 1.5, make_rng(2))
+        draws = s.sample(50_000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts[0] == counts.max()
+
+    def test_deterministic_given_rng(self):
+        a = ZipfSampler(15, 1.0, make_rng(3)).sample(100)
+        b = ZipfSampler(15, 1.0, make_rng(3)).sample(100)
+        np.testing.assert_array_equal(a, b)

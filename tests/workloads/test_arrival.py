@@ -1,0 +1,59 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.arrival import nhpp_arrivals, poisson_arrivals
+
+
+class TestPoisson:
+    def test_sorted_within_window(self):
+        a = poisson_arrivals(50.0, 10.0, make_rng(0))
+        assert np.all(np.diff(a) >= 0)
+        assert a.min() >= 0 and a.max() < 10.0
+
+    def test_rate_respected(self):
+        a = poisson_arrivals(100.0, 100.0, make_rng(1))
+        assert a.size == pytest.approx(10_000, rel=0.05)
+
+    def test_zero_duration(self):
+        assert poisson_arrivals(10.0, 0.0, make_rng(2)).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, -1.0, make_rng(0))
+
+    def test_exponential_gaps(self):
+        a = poisson_arrivals(200.0, 50.0, make_rng(3))
+        gaps = np.diff(a)
+        # Mean gap ~ 1/rate; CV ~ 1 for exponential.
+        assert np.mean(gaps) == pytest.approx(1 / 200.0, rel=0.1)
+        assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, rel=0.15)
+
+
+class TestNHPP:
+    def test_piecewise_rate(self):
+        # Rate 100 in the first half, 10 in the second.
+        def rate(t):
+            return 100.0 if t < 50 else 10.0
+
+        a = nhpp_arrivals(rate, 100.0, 100.0, make_rng(4))
+        first = np.count_nonzero(a < 50)
+        second = a.size - first
+        assert first == pytest.approx(5000, rel=0.1)
+        assert second == pytest.approx(500, rel=0.25)
+
+    def test_rate_exceeding_max_rejected(self):
+        with pytest.raises(ValueError):
+            nhpp_arrivals(lambda t: 20.0, 10.0, 100.0, make_rng(5))
+
+    def test_zero_rate_function(self):
+        a = nhpp_arrivals(lambda t: 0.0, 10.0, 50.0, make_rng(6))
+        assert a.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nhpp_arrivals(lambda t: 1.0, 0.0, 1.0, make_rng(0))

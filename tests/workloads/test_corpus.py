@@ -1,0 +1,66 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+
+
+class TestGenerate:
+    def test_doc_count(self):
+        c = generate_corpus(CorpusConfig(n_docs=100, seed=1))
+        assert c.partition.n_docs == 100
+        assert c.doc_topic.shape == (100,)
+
+    def test_deterministic(self):
+        a = generate_corpus(CorpusConfig(n_docs=40, seed=2))
+        b = generate_corpus(CorpusConfig(n_docs=40, seed=2))
+        assert a.partition.tokens_of(0) == b.partition.tokens_of(0)
+
+    def test_topic_affinity(self):
+        cfg = CorpusConfig(n_docs=60, n_topics=5, vocab_size=1500,
+                           words_per_topic=300, topic_affinity=0.8, seed=3)
+        c = generate_corpus(cfg)
+        for d in range(20):
+            topic = int(c.doc_topic[d])
+            base = topic * cfg.words_per_topic
+            tokens = c.partition.tokens_of(d)
+            in_band = sum(1 for t in tokens
+                          if base <= int(t[1:]) < base + cfg.words_per_topic)
+            # ~80% from the band (plus background hits inside the band).
+            assert in_band / len(tokens) > 0.6
+
+    def test_topic_words_come_from_band(self):
+        cfg = CorpusConfig(n_docs=10, n_topics=4, vocab_size=800,
+                           words_per_topic=200, seed=4)
+        c = generate_corpus(cfg)
+        words = c.topic_words(2, n=5, rng=make_rng(0))
+        for w in words:
+            idx = int(w[1:])
+            assert 400 <= idx < 600
+
+    def test_topic_words_bad_topic(self):
+        c = generate_corpus(CorpusConfig(n_docs=10, seed=5))
+        with pytest.raises(IndexError):
+            c.topic_words(99)
+
+    def test_queries_find_their_topic(self):
+        from repro.search.engine import SearchComponent
+
+        cfg = CorpusConfig(n_docs=120, n_topics=6, vocab_size=1800,
+                           words_per_topic=300, seed=6)
+        c = generate_corpus(cfg)
+        comp = SearchComponent(c.partition.index)
+        hits = comp.search(c.topic_words(1, n=3), k=10)
+        assert hits, "topic query must match something"
+        top_topics = [int(c.doc_topic[h.doc_id]) for h in hits[:5]]
+        assert top_topics.count(1) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_docs=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(n_topics=10, words_per_topic=1000, vocab_size=500)
+        with pytest.raises(ValueError):
+            CorpusConfig(topic_affinity=1.5)

@@ -1,0 +1,59 @@
+"""Tests for the MapReduce interference trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interference import InterferenceTimeline
+from repro.workloads.mapreduce import MapReduceTraceConfig, generate_interference_jobs
+
+
+class TestGenerate:
+    def test_jobs_well_formed(self):
+        jobs = generate_interference_jobs(4, 600.0, seed=1)
+        assert jobs, "default config should produce jobs in 10 minutes"
+        for node, start, end, slowdown in jobs:
+            assert 0 <= node < 4
+            assert 0 <= start < 600.0
+            assert end > start
+            assert slowdown >= 1.0
+
+    def test_rate_scales_with_config(self):
+        lo = generate_interference_jobs(
+            10, 3600.0, MapReduceTraceConfig(jobs_per_hour_per_node=10), seed=2)
+        hi = generate_interference_jobs(
+            10, 3600.0, MapReduceTraceConfig(jobs_per_hour_per_node=100), seed=2)
+        assert len(hi) > 3 * len(lo)
+
+    def test_zero_rate(self):
+        jobs = generate_interference_jobs(
+            2, 100.0, MapReduceTraceConfig(jobs_per_hour_per_node=0.0))
+        assert jobs == []
+
+    def test_deterministic(self):
+        a = generate_interference_jobs(3, 300.0, seed=4)
+        b = generate_interference_jobs(3, 300.0, seed=4)
+        assert a == b
+
+    def test_feeds_timeline(self):
+        jobs = generate_interference_jobs(3, 300.0, seed=5)
+        t = InterferenceTimeline(3, jobs)
+        # Inside a job window the node is slowed; outside, full speed.
+        node, start, end, slowdown = jobs[0]
+        mid = 0.5 * (start + end)
+        assert t.multiplier(node, mid) <= 1.0 / min(slowdown, 1 / 0.05)
+        assert t.multiplier(node, -1.0) == 1.0
+
+    def test_slowdowns_in_configured_range(self):
+        cfg = MapReduceTraceConfig(cpu_job_fraction=0.0,
+                                   io_slowdown_min=2.0, io_slowdown_max=3.0)
+        jobs = generate_interference_jobs(2, 2000.0, cfg, seed=6)
+        for _, _, _, s in jobs:
+            assert 2.0 <= s <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceTraceConfig(jobs_per_hour_per_node=-1)
+        with pytest.raises(ValueError):
+            MapReduceTraceConfig(io_slowdown_min=3.0, io_slowdown_max=2.0)
+        with pytest.raises(ValueError):
+            generate_interference_jobs(0, 100.0)

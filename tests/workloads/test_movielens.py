@@ -1,0 +1,71 @@
+"""Tests for the synthetic rating generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+
+
+class TestGenerate:
+    def test_shape_and_density(self):
+        cfg = MovieLensConfig(n_users=300, n_items=100, density=0.1, seed=1)
+        data = generate_ratings(cfg)
+        assert data.matrix.n_users == 300
+        assert data.matrix.n_items == 100
+        expected = 0.1 * 300 * 100
+        assert data.matrix.nnz == pytest.approx(expected, rel=0.05)
+
+    def test_ratings_in_range(self):
+        data = generate_ratings(MovieLensConfig(n_users=100, n_items=50, seed=2))
+        assert data.matrix.values.min() >= 1.0
+        assert data.matrix.values.max() <= 5.0
+
+    def test_deterministic(self):
+        a = generate_ratings(MovieLensConfig(n_users=50, n_items=30, seed=3))
+        b = generate_ratings(MovieLensConfig(n_users=50, n_items=30, seed=3))
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+
+    def test_seed_override(self):
+        cfg = MovieLensConfig(n_users=50, n_items=30, seed=3)
+        a = generate_ratings(cfg)
+        b = generate_ratings(cfg, seed=99)
+        assert not np.array_equal(a.matrix.values, b.matrix.values)
+
+    def test_cluster_structure_in_ratings(self):
+        # Same-cluster users must rate more similarly than cross-cluster.
+        data = generate_ratings(MovieLensConfig(
+            n_users=200, n_items=80, density=0.5, n_clusters=4,
+            cluster_spread=0.2, noise=0.2, seed=4))
+        dense = data.matrix.dense(fill=np.nan)
+        cl = data.user_cluster
+        rng = np.random.default_rng(0)
+        within, across = [], []
+        for _ in range(400):
+            i, j = rng.integers(0, 200, 2)
+            both = ~np.isnan(dense[i]) & ~np.isnan(dense[j])
+            if both.sum() < 5:
+                continue
+            d = np.nanmean(np.abs(dense[i, both] - dense[j, both]))
+            (within if cl[i] == cl[j] else across).append(d)
+        assert np.mean(within) < np.mean(across)
+
+    def test_zipf_popularity(self):
+        data = generate_ratings(MovieLensConfig(
+            n_users=400, n_items=100, density=0.1,
+            popularity_exponent=1.2, seed=5))
+        counts = np.bincount(data.matrix.item_ids, minlength=100)
+        # Top-decile items get far more ratings than the bottom decile.
+        assert counts[:10].sum() > 3 * counts[-10:].sum()
+
+    def test_true_ratings_in_scale(self):
+        data = generate_ratings(MovieLensConfig(n_users=30, n_items=20, seed=6))
+        vals = data.true_ratings([0, 1, 2], [3, 4, 5])
+        assert np.all(vals >= 1.0) and np.all(vals <= 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MovieLensConfig(n_users=0)
+        with pytest.raises(ValueError):
+            MovieLensConfig(density=0.0)
+        with pytest.raises(ValueError):
+            MovieLensConfig(n_clusters=0)

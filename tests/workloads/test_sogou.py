@@ -1,0 +1,83 @@
+"""Tests for the diurnal query-log model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.sogou import (
+    HOURLY_RATE_PROFILE,
+    QueryLogConfig,
+    generate_query_log,
+    hour_arrival_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(n_docs=50, n_topics=6, seed=1))
+
+
+class TestProfile:
+    def test_24_hours(self):
+        assert HOURLY_RATE_PROFILE.shape == (24,)
+        assert HOURLY_RATE_PROFILE.max() == 1.0
+        assert np.all(HOURLY_RATE_PROFILE > 0)
+
+    def test_trough_at_night_peak_at_evening(self):
+        # Deep trough around hours 4-6, peak around hours 21-23.
+        assert np.argmin(HOURLY_RATE_PROFILE) in (3, 4, 5)
+        assert np.argmax(HOURLY_RATE_PROFILE) in (20, 21, 22)
+
+    def test_hour9_increasing_hour24_decreasing(self):
+        # The paper's typical hours: 9 on the ramp, 24 decaying.
+        assert HOURLY_RATE_PROFILE[8] > HOURLY_RATE_PROFILE[7]
+        assert HOURLY_RATE_PROFILE[23] < HOURLY_RATE_PROFILE[22]
+
+    def test_hour_arrival_rate(self):
+        assert hour_arrival_rate(22, 100.0) == 100.0
+        with pytest.raises(ValueError):
+            hour_arrival_rate(0, 100.0)
+        with pytest.raises(ValueError):
+            hour_arrival_rate(25, 100.0)
+        with pytest.raises(ValueError):
+            hour_arrival_rate(5, 0.0)
+
+
+class TestGenerateLog:
+    def test_rate_tracks_profile(self, corpus):
+        cfg = QueryLogConfig(peak_rate=50.0, seed=2)
+        peak = generate_query_log(corpus, 22, cfg, duration=600.0)
+        trough = generate_query_log(corpus, 5, cfg, duration=600.0)
+        assert peak.n_queries > 3 * trough.n_queries
+
+    def test_queries_have_terms(self, corpus):
+        log = generate_query_log(corpus, 10, QueryLogConfig(seed=3),
+                                 duration=120.0)
+        assert len(log.queries) == log.n_queries
+        assert all(len(q) >= 1 for q in log.queries)
+
+    def test_arrivals_sorted_within_duration(self, corpus):
+        log = generate_query_log(corpus, 9, QueryLogConfig(seed=4),
+                                 duration=300.0)
+        assert np.all(np.diff(log.arrivals) >= 0)
+        assert log.arrivals.max() < 300.0
+
+    def test_hour9_ramps_within_hour(self, corpus):
+        cfg = QueryLogConfig(peak_rate=100.0, seed=5)
+        log = generate_query_log(corpus, 9, cfg, duration=3600.0)
+        first = np.count_nonzero(log.arrivals < 1200)
+        last = np.count_nonzero(log.arrivals >= 2400)
+        assert last > first  # increasing arrivals through hour 9
+
+    def test_topics_recur_zipf(self, corpus):
+        log = generate_query_log(corpus, 22, QueryLogConfig(seed=6),
+                                 duration=1200.0)
+        counts = np.bincount(log.query_topics,
+                             minlength=corpus.config.n_topics)
+        assert counts.max() > 2 * np.median(counts[counts > 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(peak_rate=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(terms_per_query_mean=0.5)
