@@ -1,0 +1,132 @@
+"""Serving throughput: parallel execution backends vs sequential.
+
+The paper's deployment fans each request out to n component *nodes*;
+per-component work is dominated by synopsis/group fetches from component
+storage.  This bench recreates that shape with a 4-component CF service
+whose adapter charges a real stall per online operation
+(:class:`repro.serving.IOStallAdapter`), then serves an identical
+latency-bound request stream through each execution backend.  A parallel
+backend overlaps the four components' stalls, so request latency drops
+toward the slowest single component and throughput rises toward n_x —
+the speedup a sequential Python loop structurally cannot deliver.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -q -s``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    IOStallAdapter,
+    LoadGenerator,
+    SequentialBackend,
+    ServingHarness,
+    ThreadPoolBackend,
+)
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_ratings
+
+N_COMPONENTS = 4
+N_REQUESTS = 24
+STALL_S = 2e-3          # per synopsis/group fetch: one fast-storage access
+DEADLINE_S = 10.0       # generous: every backend does identical full work
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def serving_service() -> AccuracyTraderService:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=400, n_items=60, density=0.25, n_clusters=5,
+        cluster_spread=0.3, noise=0.3, seed=31,
+    ))
+    parts = split_ratings(ratings.matrix, N_COMPONENTS)
+    adapter = IOStallAdapter(CFAdapter(), synopsis_stall=STALL_S,
+                             group_stall=STALL_S)
+    return AccuracyTraderService(
+        adapter, parts,
+        config=SynopsisConfig(n_iters=25, target_ratio=12.0, seed=31))
+
+
+@pytest.fixture(scope="module")
+def request_stream(serving_service) -> LoadGenerator:
+    matrix = serving_service.partitions[0]
+
+    def factory(i, rng):
+        user = i % matrix.n_users
+        ids, vals = matrix.user_ratings(user)
+        targets = [t for t in range(5)
+                   if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def serve_stream(service, backend, load):
+    harness = ServingHarness(service, deadline=DEADLINE_S, backend=backend)
+    return harness.run_closed_loop(load)
+
+
+def test_parallel_backend_speedup(benchmark, serving_service, request_stream):
+    # One closed-loop client: throughput is latency-bound, so the ratio
+    # isolates per-request fan-out parallelism (not cross-request overlap).
+    load = request_stream.closed_loop(n_clients=1, n_requests=N_REQUESTS)
+
+    seq_stats = serve_stream(serving_service, SequentialBackend(), load)
+
+    with ThreadPoolBackend(max_workers=N_COMPONENTS) as thread_backend:
+        # Warm the pool outside the timed run.
+        serve_stream(serving_service, thread_backend,
+                     request_stream.closed_loop(n_clients=1, n_requests=2))
+        thr_stats = benchmark.pedantic(
+            serve_stream,
+            args=(serving_service, thread_backend, load),
+            rounds=1, iterations=1)
+
+    # Identical answers and identical refinement work, backend-independent.
+    for a, b in zip(seq_stats.answers, thr_stats.answers):
+        assert a.numer == b.numer and a.denom == b.denom
+    assert [[r.groups_processed for r in reps] for reps in seq_stats.reports] \
+        == [[r.groups_processed for r in reps] for reps in thr_stats.reports]
+
+    speedup = thr_stats.throughput() / seq_stats.throughput()
+    rows = [("sequential", seq_stats, 1.0), ("thread", thr_stats, speedup)]
+    print()
+    print(f"serving throughput — {N_COMPONENTS}-component CF service, "
+          f"{STALL_S * 1e3:.1f} ms/fetch component storage stall")
+    print(f"{'backend':<12}{'req/s':>9}{'p50 ms':>9}{'p95 ms':>9}"
+          f"{'p99 ms':>9}{'speedup':>9}")
+    for name, stats, ratio in rows:
+        print(f"{name:<12}{stats.throughput():>9.1f}"
+              f"{1e3 * stats.p50():>9.1f}{1e3 * stats.p95():>9.1f}"
+              f"{1e3 * stats.p99():>9.1f}{ratio:>9.2f}x")
+
+    assert speedup > MIN_SPEEDUP, (
+        f"thread backend speedup {speedup:.2f}x <= {MIN_SPEEDUP}x")
+
+
+def test_open_loop_sustained_bursty(benchmark, serving_service,
+                                    request_stream):
+    """Sustained open-loop bursty load through the thread backend."""
+    load = request_stream.bursty(base_rate=10.0, burst_rate=60.0,
+                                 period=0.5, duty=0.4, duration=1.5)
+    with ThreadPoolBackend(max_workers=N_COMPONENTS) as backend:
+        harness = ServingHarness(serving_service, deadline=DEADLINE_S,
+                                 backend=backend, max_concurrency=16)
+        stats = benchmark.pedantic(harness.run_open_loop, args=(load,),
+                                   rounds=1, iterations=1)
+
+    assert stats.n_requests == load.n_requests
+    assert all(a is not None for a in stats.answers)
+    print()
+    print(f"open-loop bursty: {stats.n_requests} requests in "
+          f"{stats.duration:.2f} s -> {stats.throughput():.1f} req/s, "
+          f"p50 {1e3 * stats.p50():.1f} ms, p95 {1e3 * stats.p95():.1f} ms, "
+          f"p99 {1e3 * stats.p99():.1f} ms, "
+          f"miss@100ms {100 * stats.deadline_miss_rate(0.1):.1f}%")
+    assert np.all(stats.request_latencies > 0)

@@ -34,6 +34,7 @@ __all__ = [
     "recommender",
     "search",
     "cluster",
+    "serving",
     "strategies",
     "workloads",
     "experiments",

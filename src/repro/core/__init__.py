@@ -14,6 +14,10 @@ This package is the paper's contribution proper:
 - :mod:`repro.core.clock` — real and simulated deadline clocks, so the
   same Algorithm 1 code runs under wall-clock deadlines (examples) and
   simulated time (tail-latency experiments).
+
+Executing per-component work in parallel (thread/process backends, load
+generation, live serving) lives in :mod:`repro.serving`;
+:class:`AccuracyTraderService` delegates execution placement there.
 """
 
 from repro.core.synopsis import IndexFile, Synopsis
@@ -23,7 +27,7 @@ from repro.core.processor import AccuracyAwareProcessor, ProcessingReport
 from repro.core.clock import DeadlineClock, SimulatedClock, WallClock
 from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
 from repro.core.multires import MultiResolutionSynopsis, build_multires
-from repro.core.service import AccuracyTraderService
+from repro.core.service import AccuracyTraderService, ComponentState
 
 __all__ = [
     "IndexFile",
@@ -44,4 +48,5 @@ __all__ = [
     "MultiResolutionSynopsis",
     "build_multires",
     "AccuracyTraderService",
+    "ComponentState",
 ]

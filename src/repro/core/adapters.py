@@ -21,8 +21,10 @@ Two adapters are provided, matching the paper's two modified services:
 from __future__ import annotations
 
 import abc
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -33,6 +35,41 @@ from repro.search.engine import SearchComponent, SearchHit, merge_topk
 from repro.search.partition import SearchPartition
 
 __all__ = ["ServiceAdapter", "CFAdapter", "CFRequest", "SearchAdapter", "SearchQuery"]
+
+
+class _ComponentMemo:
+    """Small LRU of built service components, keyed by partition identity.
+
+    Bounded because copy-on-swap updates retire partition objects
+    wholesale: an unbounded ``id -> component`` map would pin every
+    superseded partition (the component holds it) for the adapter's
+    lifetime.  The cap only costs a rebuild on overflow.  Thread-safe:
+    adapters are shared across serving backends' worker threads.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        self._maxsize = maxsize
+        self._entries: OrderedDict[int, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, partition, is_current: Callable[[Any], bool],
+            build: Callable[[], Any]):
+        key = id(partition)
+        with self._lock:
+            comp = self._entries.get(key)
+            if comp is not None and is_current(comp):
+                self._entries.move_to_end(key)
+                return comp
+        comp = build()
+        with self._lock:
+            self._entries[key] = comp
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+        return comp
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class ServiceAdapter(abc.ABC):
@@ -142,14 +179,22 @@ class CFAdapter(ServiceAdapter):
     """
 
     def __init__(self) -> None:
-        self._components: dict[int, CFComponent] = {}
+        self._components = _ComponentMemo()
+
+    def __getstate__(self):
+        # The component cache is a per-process memo keyed by object id;
+        # shipping it across process boundaries would be both useless
+        # (ids don't survive) and heavy (it holds whole matrices).
+        return {}
+
+    def __setstate__(self, state):
+        del state
+        self._components = _ComponentMemo()
 
     def _component(self, matrix: RatingMatrix) -> CFComponent:
-        comp = self._components.get(id(matrix))
-        if comp is None or comp.matrix is not matrix:
-            comp = CFComponent(matrix)
-            self._components[id(matrix)] = comp
-        return comp
+        return self._components.get(
+            matrix, lambda comp: comp.matrix is matrix,
+            lambda: CFComponent(matrix))
 
     # -- offline -------------------------------------------------------
 
@@ -291,14 +336,20 @@ class SearchAdapter(ServiceAdapter):
     """
 
     def __init__(self) -> None:
-        self._components: dict[int, SearchComponent] = {}
+        self._components = _ComponentMemo()
+
+    def __getstate__(self):
+        # See CFAdapter.__getstate__: the memo is per-process only.
+        return {}
+
+    def __setstate__(self, state):
+        del state
+        self._components = _ComponentMemo()
 
     def _component(self, partition: SearchPartition) -> SearchComponent:
-        comp = self._components.get(id(partition))
-        if comp is None or comp.index is not partition.index:
-            comp = SearchComponent(partition.index)
-            self._components[id(partition)] = comp
-        return comp
+        return self._components.get(
+            partition, lambda comp: comp.index is partition.index,
+            lambda: SearchComponent(partition.index))
 
     # -- offline -------------------------------------------------------
 

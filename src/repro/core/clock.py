@@ -16,9 +16,16 @@ two worlds:
 from __future__ import annotations
 
 import time
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
-__all__ = ["DeadlineClock", "WallClock", "SimulatedClock"]
+__all__ = [
+    "DeadlineClock",
+    "WallClock",
+    "SimulatedClock",
+    "ClockFactory",
+    "wall_clock_factory",
+    "simulated_clock_factory",
+]
 
 
 @runtime_checkable
@@ -81,3 +88,53 @@ class SimulatedClock:
         if seconds < 0:
             raise ValueError("cannot advance backwards")
         self._now += seconds
+
+
+# ---------------------------------------------------------------------------
+# Clock factories
+#
+# The serving layer issues many requests over the service's lifetime, each
+# needing one *fresh* clock per component (clocks are stateful: simulated
+# clocks accumulate charged work).  A ``ClockFactory`` maps a component
+# index to a new clock, so clock policy — wall time, uniform simulated
+# speed, heterogeneous per-component speeds — is injected once at harness
+# construction rather than re-plumbed through every ``process`` call.
+# ---------------------------------------------------------------------------
+
+ClockFactory = Callable[[int], DeadlineClock]
+"""Maps a component index to a fresh :class:`DeadlineClock` for one request."""
+
+
+def wall_clock_factory() -> ClockFactory:
+    """Factory producing a fresh :class:`WallClock` per component."""
+
+    def factory(component: int) -> DeadlineClock:
+        del component
+        return WallClock()
+
+    return factory
+
+
+def simulated_clock_factory(speeds, start: float = 0.0) -> ClockFactory:
+    """Factory producing :class:`SimulatedClock` instances per component.
+
+    Parameters
+    ----------
+    speeds:
+        Either one speed shared by all components, or a sequence of
+        per-component speeds (work units per second).
+    start:
+        Initial virtual time for every created clock.
+    """
+    try:
+        per_component = [float(s) for s in speeds]
+    except TypeError:
+        per_component = None
+        shared = float(speeds)
+
+    def factory(component: int) -> DeadlineClock:
+        if per_component is None:
+            return SimulatedClock(start=start, speed=shared)
+        return SimulatedClock(start=start, speed=per_component[component])
+
+    return factory

@@ -24,7 +24,31 @@ from repro.core.adapters import ServiceAdapter
 from repro.core.clock import DeadlineClock, WallClock
 from repro.core.synopsis import Synopsis
 
-__all__ = ["ProcessingReport", "AccuracyAwareProcessor", "refine_to_depth"]
+__all__ = ["ProcessingReport", "AccuracyAwareProcessor", "refine_to_depth",
+           "process_component"]
+
+
+def process_component(adapter: ServiceAdapter, partition, synopsis: Synopsis,
+                      request, deadline: float,
+                      clock: DeadlineClock | None = None,
+                      i_max: int | None = None,
+                      i_max_fraction: float | None = None,
+                      start_time: float | None = None):
+    """Run Algorithm 1 once over an explicit ``(partition, synopsis)`` pair.
+
+    This is the stateless, picklable unit of work the serving backends
+    dispatch: everything the computation touches is an argument, so the
+    same call runs inline, on a worker thread, or in a worker process, and
+    a caller holding a consistent snapshot of a component's state never
+    races with concurrent synopsis updates (see
+    :meth:`repro.core.service.AccuracyTraderService.process`).
+
+    Returns ``(result, report)`` exactly like
+    :meth:`AccuracyAwareProcessor.process`.
+    """
+    proc = AccuracyAwareProcessor(adapter, partition, synopsis,
+                                  i_max=i_max, i_max_fraction=i_max_fraction)
+    return proc.process(request, deadline, clock=clock, start_time=start_time)
 
 
 def refine_to_depth(adapter: ServiceAdapter, partition, synopsis: Synopsis,

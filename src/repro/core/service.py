@@ -7,23 +7,54 @@ API a downstream user needs:
     service = AccuracyTraderService(adapter, partitions)
     answer, reports = service.process(request, deadline=0.1)
 
-Components run sequentially under per-component clocks (simulated or wall);
-the fan-out *queueing* behaviour belongs to :mod:`repro.cluster`, which is
-about measuring latency, not producing answers.
+Per-component execution is delegated to a pluggable
+:class:`~repro.serving.backends.ExecutionBackend` (sequential by default;
+thread- or process-pool for real fan-out parallelism).  The fan-out
+*queueing* behaviour still belongs to :mod:`repro.cluster`, which is about
+predicting latency, not producing answers; driving live request streams
+belongs to :mod:`repro.serving`.
+
+Concurrency model (copy-on-swap)
+--------------------------------
+
+Each component's mutable state is published as one immutable
+:class:`ComponentState` snapshot — a ``(partition, synopsis)`` pair that
+is never mutated after publication.  ``process`` reads each component's
+current snapshot exactly once and hands it to the backend as part of a
+self-contained task, so an in-flight request keeps computing against a
+consistent pair even while ``add_points`` / ``change_points`` rebuild the
+synopsis.  Updates run under a per-component lock (serialising writers)
+and finish by swapping in a *new* snapshot — a single atomic reference
+assignment — so concurrent readers observe either the old state or the
+new one, never a torn mix.
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.adapters import CFAdapter, SearchAdapter, ServiceAdapter
-from repro.core.builder import BuildArtifacts, SynopsisBuilder, SynopsisConfig
+from repro.core.builder import SynopsisBuilder, SynopsisConfig
 from repro.core.clock import DeadlineClock, SimulatedClock
-from repro.core.processor import AccuracyAwareProcessor, ProcessingReport
+from repro.core.processor import ProcessingReport
 from repro.core.synopsis import Synopsis
 from repro.core.updater import SynopsisUpdater
 
-__all__ = ["AccuracyTraderService"]
+__all__ = ["ComponentState", "AccuracyTraderService"]
+
+
+@dataclass(frozen=True)
+class ComponentState:
+    """Immutable published state of one component.
+
+    Requests capture one reference to this pair; updates replace the
+    whole object rather than mutating it (copy-on-swap).
+    """
+
+    partition: Any
+    synopsis: Synopsis
 
 
 class AccuracyTraderService:
@@ -33,7 +64,8 @@ class AccuracyTraderService:
     ----------
     adapter:
         Service adapter (:class:`CFAdapter` or :class:`SearchAdapter`,
-        or any custom :class:`ServiceAdapter`).
+        or any custom :class:`ServiceAdapter` — possibly wrapped, e.g.
+        :class:`~repro.serving.adapters.IOStallAdapter`).
     partitions:
         The input data, already divided into per-component subsets.
     config:
@@ -45,37 +77,50 @@ class AccuracyTraderService:
         Combines the per-component results into the service answer.
         Defaults: CF -> merged :class:`~repro.recommender.cf.CFPrediction`;
         search -> global top-k via :func:`~repro.search.engine.merge_topk`.
+    backend:
+        Default :class:`~repro.serving.backends.ExecutionBackend` (or its
+        name: ``"sequential"``, ``"thread"``, ``"process"``) used by
+        :meth:`process` when no per-call backend is given.
     """
 
     def __init__(self, adapter: ServiceAdapter, partitions,
                  config: SynopsisConfig | None = None,
                  i_max: int | None = None,
                  i_max_fraction: float | None = None,
-                 merge: Callable | None = None):
+                 merge: Callable | None = None,
+                 backend=None):
+        from repro.serving.backends import resolve_backend
+
         self.adapter = adapter
-        self.partitions = list(partitions)
-        if not self.partitions:
+        partitions = list(partitions)
+        if not partitions:
             raise ValueError("need at least one partition")
         self.config = config if config is not None else SynopsisConfig()
+        self._i_max = i_max
+        self._i_max_fraction = i_max_fraction
         builder = SynopsisBuilder(adapter, self.config)
-        self.synopses: list[Synopsis] = []
         self.updaters: list[SynopsisUpdater] = []
-        for part in self.partitions:
+        self._states: list[ComponentState] = []
+        for part in partitions:
             synopsis, artifacts = builder.build(part)
-            self.synopses.append(synopsis)
             self.updaters.append(SynopsisUpdater(adapter, self.config, part,
                                                  synopsis, artifacts))
-        self._processors = [
-            AccuracyAwareProcessor(adapter, part, upd.synopsis,
-                                   i_max=i_max, i_max_fraction=i_max_fraction)
-            for part, upd in zip(self.partitions, self.updaters)
-        ]
+            self._states.append(ComponentState(partition=part,
+                                               synopsis=synopsis))
+        self._update_locks = [threading.Lock() for _ in self._states]
         self._merge = merge if merge is not None else self._default_merge()
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
 
     def _default_merge(self) -> Callable:
-        if isinstance(self.adapter, CFAdapter):
+        # Unwrap delegating adapters (e.g. IOStallAdapter) so the default
+        # merge matches the underlying service.
+        adapter = self.adapter
+        while not isinstance(adapter, (CFAdapter, SearchAdapter)) and \
+                hasattr(adapter, "inner"):
+            adapter = adapter.inner
+        if isinstance(adapter, CFAdapter):
             from repro.recommender.cf import merge_predictions
 
             def merge_cf(results, request):
@@ -83,7 +128,7 @@ class AccuracyTraderService:
                                          active_mean=request.active_mean)
 
             return merge_cf
-        if isinstance(self.adapter, SearchAdapter):
+        if isinstance(adapter, SearchAdapter):
             from repro.search.engine import merge_topk
 
             def merge_search(results, request):
@@ -94,55 +139,99 @@ class AccuracyTraderService:
 
     @property
     def n_components(self) -> int:
-        return len(self.partitions)
+        return len(self._states)
+
+    @property
+    def partitions(self) -> list:
+        """Current per-component partitions (snapshot view)."""
+        return [s.partition for s in self._states]
+
+    @property
+    def synopses(self) -> list[Synopsis]:
+        """Current per-component synopses (snapshot view)."""
+        return [s.synopsis for s in self._states]
+
+    def component_state(self, component: int) -> ComponentState:
+        """The component's current published snapshot."""
+        return self._states[component]
 
     # ------------------------------------------------------------------
 
     def process(self, request, deadline: float,
                 clocks: list[DeadlineClock] | None = None,
+                backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
         """Answer ``request`` with per-component deadline ``deadline``.
 
         ``clocks`` supplies one deadline clock per component (e.g.
         :class:`SimulatedClock` with per-component speeds); by default each
         component gets a fresh simulated clock at unit speed — pass real
-        speeds to study latency/accuracy trade-offs.
+        speeds to study latency/accuracy trade-offs.  ``backend``
+        overrides the service's default execution backend for this call.
+
+        Safe to call from many threads concurrently, including while
+        updates are being applied: each component's work runs against the
+        consistent snapshot current at dispatch.
         """
+        from repro.serving.backends import ComponentTask
+
         if clocks is None:
-            clocks = [SimulatedClock(speed=1e12) for _ in self.partitions]
+            clocks = [SimulatedClock(speed=1e12) for _ in self._states]
         if len(clocks) != self.n_components:
             raise ValueError("need one clock per component")
-        results, reports = [], []
-        for proc, upd, clock in zip(self._processors, self.updaters, clocks):
-            # Processors follow the updater's current synopsis.
-            proc.synopsis = upd.synopsis
-            result, report = proc.process(request, deadline, clock=clock)
-            results.append(result)
-            reports.append(report)
+        states = list(self._states)  # one snapshot ref per component
+        tasks = [
+            ComponentTask(
+                component=c,
+                adapter=self.adapter,
+                partition=state.partition,
+                synopsis=state.synopsis,
+                request=request,
+                deadline=deadline,
+                clock=clock,
+                i_max=self._i_max,
+                i_max_fraction=self._i_max_fraction,
+            )
+            for c, (state, clock) in enumerate(zip(states, clocks))
+        ]
+        exec_backend = self.backend if backend is None else backend
+        outcomes = exec_backend.run_tasks(tasks)
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
         return self._merge(results, request), reports
 
     def exact(self, request) -> Any:
         """Full exact computation across all partitions (ground truth)."""
-        results = [self.adapter.exact(p, request) for p in self.partitions]
+        results = [self.adapter.exact(s.partition, request)
+                   for s in self._states]
         return self._merge(results, request)
 
     # ------------------------------------------------------------------
 
     def add_points(self, component: int, partition, new_record_ids):
-        """Apply an add-points update to one component's synopsis."""
-        report = self.updaters[component].add_points(partition, new_record_ids)
-        self.partitions[component] = partition
-        self._processors[component].partition = partition
-        self._processors[component].synopsis = self.updaters[component].synopsis
-        self.synopses[component] = self.updaters[component].synopsis
+        """Apply an add-points update to one component's synopsis.
+
+        Thread-safe with respect to concurrent :meth:`process` calls and
+        updates to other components; updates to the *same* component are
+        serialised by a per-component lock.
+        """
+        with self._update_locks[component]:
+            report = self.updaters[component].add_points(partition,
+                                                         new_record_ids)
+            self._states[component] = ComponentState(
+                partition=partition,
+                synopsis=self.updaters[component].synopsis)
         return report
 
     def change_points(self, component: int, partition, changed_record_ids):
-        """Apply a change-points update to one component's synopsis."""
-        report = self.updaters[component].change_points(partition,
-                                                        changed_record_ids)
-        self.partitions[component] = partition
-        self._processors[component].partition = partition
-        self._processors[component].synopsis = self.updaters[component].synopsis
-        self.synopses[component] = self.updaters[component].synopsis
+        """Apply a change-points update to one component's synopsis.
+
+        Same concurrency contract as :meth:`add_points`.
+        """
+        with self._update_locks[component]:
+            report = self.updaters[component].change_points(
+                partition, changed_record_ids)
+            self._states[component] = ComponentState(
+                partition=partition,
+                synopsis=self.updaters[component].synopsis)
         return report

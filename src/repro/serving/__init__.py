@@ -1,0 +1,81 @@
+"""Parallel serving layer: execute the paper's fan-out for real.
+
+Architecture note — simulator vs serving
+========================================
+
+The reproduction contains two deliberately separate answers to "what does
+an n-component AccuracyTrader deployment do under load?":
+
+- **The simulator** (:mod:`repro.cluster`) predicts *latency*.  It models
+  each component as a FIFO queue in virtual time, charging abstract work
+  units against per-component speeds (interference included).  It never
+  computes real answers; it is exact, fast, and deterministic — the right
+  tool for the paper's tail-latency experiments, where one run covers
+  hours of cluster time.
+- **The serving layer** (this package) produces *answers*.  It executes
+  Algorithm 1's per-component work for real, in parallel, against live
+  synopses that may be updated mid-stream, and measures wall-clock
+  throughput and latency.  It is the right tool for validating that the
+  system actually serves — that parallel execution returns the same
+  answers as sequential, that synopsis updates do not tear in-flight
+  reads, and that fan-out parallelism buys real throughput.
+
+The two layers meet in the middle: both report latency distributions in
+the same shape (:class:`~repro.serving.harness.ServingRunStats` mirrors
+:class:`repro.cluster.FanoutRunStats`), and both drive arrivals from
+:mod:`repro.workloads.arrival`, so simulator predictions and served
+measurements are directly comparable.
+
+Pieces
+------
+
+- :mod:`repro.serving.backends` — :class:`ExecutionBackend` and its
+  sequential / thread-pool / process-pool implementations; per-component
+  work travels as self-contained, picklable :class:`ComponentTask`
+  snapshots, which is what makes execution placement a plug-in.
+- :mod:`repro.serving.loadgen` — deterministic open-loop (Poisson,
+  bursty) and closed-loop request-stream generation.
+- :mod:`repro.serving.harness` — :class:`ServingHarness` drives a stream
+  against a live :class:`~repro.core.service.AccuracyTraderService`,
+  optionally applying synopsis updates concurrently, and reports
+  throughput, p50/p95/p99 latency, and accuracy-vs-deadline curves.
+- :mod:`repro.serving.adapters` — :class:`IOStallAdapter`, a wrapper
+  charging real per-operation stalls (the remote storage/network access
+  the simulator abstracts as work units).
+
+Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
+publishes each component's ``(partition, synopsis)`` as an immutable
+snapshot swapped atomically on update (copy-on-swap); request execution
+reads one snapshot and never a half-updated pair.  See the service's
+docstring for details.
+"""
+
+from repro.serving.adapters import IOStallAdapter
+from repro.serving.backends import (
+    ComponentOutcome,
+    ComponentTask,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
+from repro.serving.harness import AccuracyPoint, ServingHarness, ServingRunStats
+from repro.serving.loadgen import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
+
+__all__ = [
+    "ComponentOutcome",
+    "ComponentTask",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "IOStallAdapter",
+    "LoadGenerator",
+    "OpenLoopLoad",
+    "ClosedLoopLoad",
+    "ServingHarness",
+    "ServingRunStats",
+    "AccuracyPoint",
+]

@@ -1,0 +1,223 @@
+"""Pluggable per-component execution backends for the serving layer.
+
+An n-component request fans out n independent sub-operations (Algorithm 1
+runs per component); an :class:`ExecutionBackend` decides *where* those
+sub-operations run:
+
+- :class:`SequentialBackend` — inline, one after another.  The reference
+  semantics; also the fastest choice for tiny components where dispatch
+  overhead dominates.
+- :class:`ThreadPoolBackend` — a shared :class:`~concurrent.futures.
+  ThreadPoolExecutor`.  Overlaps per-component blocking time (storage /
+  network stalls, GIL-releasing numpy kernels); the right default for a
+  live service whose components do I/O.
+- :class:`ProcessPoolBackend` — a shared :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  True CPU parallelism for pure-Python component
+  work, at the cost of pickling each task; worth it when per-request
+  component work is large relative to its state.
+
+All backends consume :class:`ComponentTask` values — self-contained,
+picklable descriptions of one component's work built from a consistent
+snapshot of that component's ``(partition, synopsis)`` state — and return
+:class:`ComponentOutcome` values in task order.  Because tasks carry their
+state explicitly, a backend never reads mutable service attributes, which
+is what makes concurrent synopsis updates safe (copy-on-swap in
+:class:`~repro.core.service.AccuracyTraderService`).
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.clock import DeadlineClock
+from repro.core.processor import ProcessingReport, process_component
+
+__all__ = [
+    "ComponentTask",
+    "ComponentOutcome",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "run_component_task",
+]
+
+
+@dataclass
+class ComponentTask:
+    """One component's share of one request, with all state inlined.
+
+    The task owns immutable *references*: the partition and synopsis are
+    never mutated by execution (updates replace them wholesale), so tasks
+    can be executed concurrently with updates and with each other.
+    """
+
+    component: int
+    adapter: Any
+    partition: Any
+    synopsis: Any
+    request: Any
+    deadline: float
+    clock: DeadlineClock | None = None
+    i_max: int | None = None
+    i_max_fraction: float | None = None
+    start_time: float | None = None
+
+
+@dataclass
+class ComponentOutcome:
+    """Result of executing one :class:`ComponentTask`."""
+
+    component: int
+    result: Any
+    report: ProcessingReport
+
+
+def run_component_task(task: ComponentTask) -> ComponentOutcome:
+    """Execute one task (module-level so process pools can pickle it)."""
+    result, report = process_component(
+        task.adapter, task.partition, task.synopsis, task.request,
+        task.deadline, clock=task.clock,
+        i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+        start_time=task.start_time,
+    )
+    return ComponentOutcome(component=task.component, result=result,
+                            report=report)
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a request's per-component tasks."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        """Execute ``tasks`` and return their outcomes *in task order*."""
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialBackend(ExecutionBackend):
+    """Run components inline, in order — the reference implementation."""
+
+    name = "sequential"
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        return [run_component_task(t) for t in tasks]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Run components on a shared thread pool.
+
+    Threads overlap any blocking in component work (storage/network
+    stalls, GIL-releasing kernels).  The pool is created lazily and reused
+    across requests; ``max_workers`` defaults to the executor's policy.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-serving")
+            return self._pool
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        return list(self._ensure_pool().map(run_component_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run components on a shared process pool.
+
+    Each task (adapter, partition, synopsis, request, clock) is pickled to
+    a worker and the (result, report) pickled back; mutations the worker
+    makes to its copies — clock charges, adapter caches — do not propagate,
+    which is exactly the isolation that makes the outcome a pure function
+    of the task.  Prefers the ``forkserver`` start method where available:
+    the pool may be created lazily from a harness worker thread, and
+    forking an already-multithreaded process can inherit held locks
+    (deprecated in Python 3.12+); forkserver forks from a clean helper
+    process instead.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None):
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing as mp
+
+                method = self.start_method
+                if method is None:
+                    available = mp.get_all_start_methods()
+                    method = ("forkserver" if "forkserver" in available
+                              else None)
+                ctx = mp.get_context(method) if method is not None else None
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                                 mp_context=ctx)
+            return self._pool
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        return list(self._ensure_pool().map(run_component_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_BACKENDS = {
+    "sequential": SequentialBackend,
+    "thread": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def resolve_backend(backend) -> ExecutionBackend:
+    """Coerce ``backend`` (instance, name, or ``None``) to a backend.
+
+    ``None`` means :class:`SequentialBackend`; strings name one of
+    ``"sequential"``, ``"thread"``, ``"process"``.
+    """
+    if backend is None:
+        return SequentialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        cls = _BACKENDS.get(backend)
+        if cls is None:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}")
+        return cls()
+    raise TypeError(f"cannot interpret {backend!r} as an execution backend")

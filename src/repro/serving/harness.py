@@ -1,0 +1,362 @@
+"""Drive sustained request streams against a live AccuracyTrader service.
+
+Where :mod:`repro.cluster` *simulates* fan-out queueing to predict tail
+latency, the :class:`ServingHarness` actually *serves*: it dispatches a
+generated request stream (open- or closed-loop, see
+:mod:`repro.serving.loadgen`) against a real
+:class:`~repro.core.service.AccuracyTraderService`, executing component
+work through a pluggable :class:`~repro.serving.backends.ExecutionBackend`
+— optionally while synopsis updates land concurrently — and reports the
+measured throughput and latency distribution in the same shape as
+:class:`repro.cluster.FanoutRunStats` (``sub_latencies`` /
+``request_latencies`` / ``n_requests`` / ``n_components``), so the
+simulator's and the server's numbers can be compared side by side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.clock import ClockFactory, wall_clock_factory
+from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
+from repro.util.stats import percentile
+
+__all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness"]
+
+
+@dataclass
+class ServingRunStats:
+    """Measured outcome of one served request stream.
+
+    Field names and semantics deliberately mirror
+    :class:`repro.cluster.FanoutRunStats` so analysis code works on
+    either; serving adds wall-clock ``duration`` (hence throughput),
+    per-request reports, and any concurrent-update log.
+
+    Attributes
+    ----------
+    sub_latencies:
+        Per-component processing elapsed times (seconds), request-major.
+    request_latencies:
+        Per-request service latency: completion minus scheduled arrival
+        (open loop, queueing included) or issue time (closed loop).
+    n_requests, n_components:
+        Run dimensions.
+    duration:
+        Wall-clock seconds from stream start to last completion.
+    answers:
+        The merged per-request answers, in request order.
+    reports:
+        Per-request lists of :class:`~repro.core.processor.ProcessingReport`.
+    update_log:
+        ``(at_seconds, report)`` for every concurrent update applied.
+    """
+
+    sub_latencies: np.ndarray
+    request_latencies: np.ndarray
+    n_requests: int
+    n_components: int
+    duration: float
+    answers: list = field(default_factory=list, repr=False)
+    reports: list = field(default_factory=list, repr=False)
+    update_log: list = field(default_factory=list, repr=False)
+
+    # -- FanoutRunStats-compatible accessors ----------------------------
+
+    def component_tail(self, q: float = 99.9) -> float:
+        """q-th percentile per-component processing latency."""
+        return percentile(self.sub_latencies, q)
+
+    def tail_ms(self, q: float = 99.9) -> float:
+        return 1000.0 * self.component_tail(q)
+
+    def mean_latency(self) -> float:
+        return float(self.sub_latencies.mean())
+
+    # -- serving metrics -------------------------------------------------
+
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.n_requests / self.duration
+
+    def request_percentile(self, q: float) -> float:
+        return percentile(self.request_latencies, q)
+
+    def p50(self) -> float:
+        return self.request_percentile(50.0)
+
+    def p95(self) -> float:
+        return self.request_percentile(95.0)
+
+    def p99(self) -> float:
+        return self.request_percentile(99.0)
+
+    def deadline_miss_rate(self, deadline: float) -> float:
+        """Fraction of requests whose service latency exceeded ``deadline``."""
+        if self.n_requests == 0:
+            return 0.0
+        return float(np.mean(self.request_latencies > deadline))
+
+
+@dataclass
+class AccuracyPoint:
+    """One point on an accuracy-vs-deadline curve."""
+
+    deadline: float
+    accuracy_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    groups_processed_mean: float
+
+
+class ServingHarness:
+    """Serves generated load against one service and measures it.
+
+    Parameters
+    ----------
+    service:
+        The live :class:`~repro.core.service.AccuracyTraderService`.
+    deadline:
+        Per-component deadline (``l_spe``) handed to every request.
+    backend:
+        Execution backend (instance, name, or ``None`` for the service's
+        own default); backends created here from a name are closed by
+        :meth:`close`.
+    clock_factory:
+        Per-component deadline-clock factory for each request; defaults
+        to fresh wall clocks (real serving).  Pass
+        :func:`~repro.core.clock.simulated_clock_factory` for
+        deterministic latency accounting.
+    max_concurrency:
+        Maximum in-flight requests in open-loop mode (the outer dispatch
+        pool; per-component parallelism belongs to ``backend``).
+    time_scale:
+        Multiplier applied to arrival gaps at dispatch time (< 1
+        compresses a long trace into a short wall-clock run).  Latencies
+        are always reported in real wall seconds.
+    """
+
+    def __init__(self, service, deadline: float,
+                 backend: ExecutionBackend | str | None = None,
+                 clock_factory: ClockFactory | None = None,
+                 max_concurrency: int = 64,
+                 time_scale: float = 1.0):
+        if deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.service = service
+        self.deadline = float(deadline)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = (resolve_backend(backend)
+                        if backend is not None else None)
+        self.clock_factory = (clock_factory if clock_factory is not None
+                              else wall_clock_factory())
+        self.max_concurrency = int(max_concurrency)
+        self.time_scale = float(time_scale)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.backend is not None and self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ServingHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _clocks(self) -> list:
+        n = self.service.n_components
+        return [self.clock_factory(c) for c in range(n)]
+
+    def _process(self, request):
+        return self.service.process(request, self.deadline,
+                                    clocks=self._clocks(),
+                                    backend=self.backend)
+
+    @staticmethod
+    def _stats_from(answers, reports, latencies, duration, n_components,
+                    update_log) -> ServingRunStats:
+        subs = np.array([rep.total_elapsed for reps in reports for rep in reps],
+                        dtype=float)
+        return ServingRunStats(
+            sub_latencies=subs,
+            request_latencies=np.asarray(latencies, dtype=float),
+            n_requests=len(answers),
+            n_components=n_components,
+            duration=float(duration),
+            answers=list(answers),
+            reports=list(reports),
+            update_log=list(update_log),
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_open_loop(self, load: OpenLoopLoad,
+                      updates: Sequence[tuple[float, Callable]] | None = None,
+                      ) -> ServingRunStats:
+        """Serve an open-loop stream, pacing dispatch by arrival times.
+
+        ``updates`` is an optional schedule of ``(at_seconds, fn)``; each
+        ``fn(service)`` runs on a background thread once ``at_seconds`` of
+        (scaled) stream time have elapsed — e.g. a closure calling
+        :meth:`~repro.core.service.AccuracyTraderService.add_points` —
+        concurrently with in-flight requests.  Whatever ``fn`` returns is
+        recorded in the stats' ``update_log``; if ``fn`` raises, the
+        exception object is recorded in its slot instead and the
+        remaining schedule still runs.
+        """
+        n = load.n_requests
+        answers: list[Any] = [None] * n
+        reports: list[Any] = [None] * n
+        latencies = np.zeros(n, dtype=float)
+        update_log: list[tuple[float, Any]] = []
+        t0 = time.monotonic()
+
+        stop_updates = threading.Event()
+
+        def apply_updates() -> None:
+            for at, fn in sorted(updates, key=lambda p: p[0]):
+                delay = t0 + at * self.time_scale - time.monotonic()
+                if delay > 0 and stop_updates.wait(delay):
+                    return
+                # A failing update must not silently kill the schedule:
+                # log the exception in its slot and keep going.
+                try:
+                    update_log.append((at, fn(self.service)))
+                except Exception as exc:  # noqa: BLE001 - recorded for caller
+                    update_log.append((at, exc))
+
+        updater_thread = None
+        if updates:
+            updater_thread = threading.Thread(target=apply_updates,
+                                              daemon=True)
+            updater_thread.start()
+
+        def serve(i: int, scheduled: float) -> None:
+            answer, reps = self._process(load.requests[i])
+            done = time.monotonic()
+            answers[i] = answer
+            reports[i] = reps
+            latencies[i] = done - scheduled
+
+        try:
+            with ThreadPoolExecutor(
+                    max_workers=self.max_concurrency,
+                    thread_name_prefix="repro-openloop") as pool:
+                futures = []
+                for i in range(n):
+                    scheduled = t0 + float(load.arrivals[i]) * self.time_scale
+                    delay = scheduled - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    futures.append(pool.submit(serve, i, scheduled))
+                for f in futures:
+                    f.result()
+        finally:
+            stop_updates.set()
+            if updater_thread is not None:
+                updater_thread.join()
+
+        duration = time.monotonic() - t0
+        return self._stats_from(answers, reports, latencies, duration,
+                                self.service.n_components, update_log)
+
+    # ------------------------------------------------------------------
+
+    def run_closed_loop(self, load: ClosedLoopLoad) -> ServingRunStats:
+        """Serve a closed-loop population of ``load.n_clients`` clients.
+
+        Each client thread repeatedly claims the next request, serves it,
+        records issue-to-completion latency, then thinks.
+        """
+        n = load.n_requests
+        answers: list[Any] = [None] * n
+        reports: list[Any] = [None] * n
+        latencies = np.zeros(n, dtype=float)
+        next_index = 0
+        claim_lock = threading.Lock()
+        t0 = time.monotonic()
+
+        def client() -> None:
+            nonlocal next_index
+            while True:
+                with claim_lock:
+                    i = next_index
+                    if i >= n:
+                        return
+                    next_index += 1
+                issued = time.monotonic()
+                answer, reps = self._process(load.requests[i])
+                done = time.monotonic()
+                answers[i] = answer
+                reports[i] = reps
+                latencies[i] = done - issued
+                think = float(load.think_times[i]) * self.time_scale
+                if think > 0:
+                    time.sleep(think)
+
+        threads = [threading.Thread(target=client, daemon=True)
+                   for _ in range(min(load.n_clients, n) or 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        duration = time.monotonic() - t0
+        return self._stats_from(answers, reports, latencies, duration,
+                                self.service.n_components, [])
+
+    # ------------------------------------------------------------------
+
+    def accuracy_vs_deadline(self, requests: Sequence,
+                             deadlines: Sequence[float],
+                             accuracy_fn: Callable[[Any, Any, Any], float],
+                             ) -> list[AccuracyPoint]:
+        """Measure the accuracy-latency trade-off across ``deadlines``.
+
+        For each deadline, every request is served (through this
+        harness's backend and clock factory) and scored by
+        ``accuracy_fn(answer, exact_answer, request)`` against the
+        service's exact ground truth, computed once per request.  Request
+        latency is the slowest component's processing time — the paper's
+        service-latency definition.
+        """
+        requests = list(requests)
+        exacts = [self.service.exact(r) for r in requests]
+        curve: list[AccuracyPoint] = []
+        for deadline in deadlines:
+            accs, lats, depths = [], [], []
+            for request, exact in zip(requests, exacts):
+                answer, reps = self.service.process(
+                    request, float(deadline), clocks=self._clocks(),
+                    backend=self.backend)
+                accs.append(float(accuracy_fn(answer, exact, request)))
+                lats.append(max(rep.total_elapsed for rep in reps))
+                depths.append(np.mean([rep.groups_processed for rep in reps]))
+            lats_arr = np.asarray(lats, dtype=float)
+            curve.append(AccuracyPoint(
+                deadline=float(deadline),
+                accuracy_mean=float(np.mean(accs)),
+                latency_p50=percentile(lats_arr, 50.0),
+                latency_p95=percentile(lats_arr, 95.0),
+                latency_p99=percentile(lats_arr, 99.0),
+                groups_processed_mean=float(np.mean(depths)),
+            ))
+        return curve

@@ -1,0 +1,152 @@
+"""Closed- and open-loop request load generation.
+
+An open-loop generator draws arrival *times* from the processes in
+:mod:`repro.workloads.arrival` (users submit independently of service
+state — the assumption behind all the paper's latency experiments) and
+pairs each with a request drawn from a ``request_factory``.  A
+closed-loop generator instead models a fixed population of clients that
+each wait for their previous answer (plus think time) before submitting
+again; arrival times are then *determined by the service*, so the
+generator only supplies the request sequence and think times, and the
+:class:`~repro.serving.harness.ServingHarness` materialises the timing.
+
+Everything is seeded through :func:`repro.util.rng.make_rng`, so a given
+``(seed, parameters)`` pair always produces the identical load — the
+property the serving tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.workloads.arrival import bursty_arrivals, poisson_arrivals
+
+__all__ = ["OpenLoopLoad", "ClosedLoopLoad", "LoadGenerator"]
+
+
+@dataclass
+class OpenLoopLoad:
+    """A fully materialised open-loop request stream.
+
+    ``arrivals[i]`` is the submission time (seconds from stream start) of
+    ``requests[i]``; arrivals are sorted ascending.
+    """
+
+    arrivals: np.ndarray
+    requests: list = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.arrivals = np.asarray(self.arrivals, dtype=float)
+        if self.arrivals.ndim != 1:
+            raise ValueError("arrivals must be 1-D")
+        if self.arrivals.size != len(self.requests):
+            raise ValueError("arrivals/requests length mismatch")
+        if self.arrivals.size > 1 and np.any(np.diff(self.arrivals) < 0):
+            raise ValueError("arrivals must be sorted")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration(self) -> float:
+        return float(self.arrivals[-1]) if self.arrivals.size else 0.0
+
+
+@dataclass
+class ClosedLoopLoad:
+    """A closed-loop population: requests plus per-request think times.
+
+    Requests are claimed in index order by whichever of the
+    ``n_clients`` clients is free (no client affinity); after serving
+    request ``i``, that client thinks for ``think_times[i]`` seconds
+    before claiming its next request.
+    """
+
+    n_clients: int
+    requests: list = field(repr=False)
+    think_times: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        self.think_times = np.asarray(self.think_times, dtype=float)
+        if self.think_times.shape != (len(self.requests),):
+            raise ValueError("one think time per request required")
+        if np.any(self.think_times < 0):
+            raise ValueError("think times must be non-negative")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+
+class LoadGenerator:
+    """Deterministic request-stream generator.
+
+    Parameters
+    ----------
+    request_factory:
+        ``request_factory(i, rng)`` builds the i-th request; ``rng`` is a
+        per-stream generator so factories can randomise request content
+        reproducibly.
+    seed:
+        Root seed; every stream kind derives its own substream, so e.g.
+        changing the Poisson draw does not perturb request content.
+    """
+
+    def __init__(self, request_factory: Callable[[int, np.random.Generator], Any],
+                 seed: int = 0):
+        self.request_factory = request_factory
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+
+    def _requests(self, n: int, label: str) -> list:
+        rng = make_rng(self.seed, "requests", label)
+        return [self.request_factory(i, rng) for i in range(n)]
+
+    def poisson(self, rate: float, duration: float) -> OpenLoopLoad:
+        """Open-loop homogeneous Poisson stream at ``rate`` req/s."""
+        rng = make_rng(self.seed, "arrivals", "poisson", rate, duration)
+        arrivals = poisson_arrivals(rate, duration, rng)
+        return OpenLoopLoad(arrivals=arrivals,
+                            requests=self._requests(arrivals.size, "poisson"))
+
+    def bursty(self, base_rate: float, burst_rate: float, period: float,
+               duty: float, duration: float) -> OpenLoopLoad:
+        """Open-loop on/off bursty stream (square-wave modulated Poisson)."""
+        rng = make_rng(self.seed, "arrivals", "bursty", base_rate, burst_rate,
+                       period, duty, duration)
+        arrivals = bursty_arrivals(base_rate, burst_rate, period, duty,
+                                   duration, rng)
+        return OpenLoopLoad(arrivals=arrivals,
+                            requests=self._requests(arrivals.size, "bursty"))
+
+    def fixed(self, arrivals) -> OpenLoopLoad:
+        """Open-loop stream replaying explicit ``arrivals`` times."""
+        arrivals = np.asarray(arrivals, dtype=float)
+        return OpenLoopLoad(arrivals=arrivals,
+                            requests=self._requests(arrivals.size, "fixed"))
+
+    def closed_loop(self, n_clients: int, n_requests: int,
+                    think_time: float = 0.0,
+                    think_jitter: float = 0.0) -> ClosedLoopLoad:
+        """Closed-loop population of ``n_clients`` issuing ``n_requests``.
+
+        Think times are ``think_time`` plus uniform jitter in
+        ``[0, think_jitter)``.
+        """
+        if think_time < 0 or think_jitter < 0:
+            raise ValueError("think times must be non-negative")
+        rng = make_rng(self.seed, "think", n_clients, n_requests)
+        think = np.full(n_requests, float(think_time))
+        if think_jitter > 0:
+            think = think + rng.random(n_requests) * think_jitter
+        return ClosedLoopLoad(n_clients=n_clients,
+                              requests=self._requests(n_requests, "closed"),
+                              think_times=think)

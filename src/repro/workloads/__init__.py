@@ -9,11 +9,14 @@ properties it preserves (see DESIGN.md §2):
   diurnal arrival rates);
 - :mod:`repro.workloads.mapreduce` — SWIM/Facebook MapReduce co-location
   trace (interference);
-- :mod:`repro.workloads.arrival` — Poisson / nonhomogeneous-Poisson
-  open-loop request arrival processes.
+- :mod:`repro.workloads.arrival` — Poisson / nonhomogeneous-Poisson /
+  bursty open-loop request arrival processes;
+- :mod:`repro.workloads.partitioning` — round-robin splitting of
+  workload data across service components.
 """
 
-from repro.workloads.arrival import poisson_arrivals, nhpp_arrivals
+from repro.workloads.arrival import bursty_arrivals, poisson_arrivals, nhpp_arrivals
+from repro.workloads.partitioning import split_corpus, split_ratings
 from repro.workloads.movielens import MovieLensConfig, SyntheticRatings, generate_ratings
 from repro.workloads.corpus import CorpusConfig, SyntheticCorpus, generate_corpus
 from repro.workloads.sogou import (
@@ -28,6 +31,9 @@ from repro.workloads.mapreduce import MapReduceTraceConfig, generate_interferenc
 __all__ = [
     "poisson_arrivals",
     "nhpp_arrivals",
+    "bursty_arrivals",
+    "split_ratings",
+    "split_corpus",
     "MovieLensConfig",
     "SyntheticRatings",
     "generate_ratings",

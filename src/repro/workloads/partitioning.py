@@ -1,0 +1,49 @@
+"""Round-robin partitioning of workload data across service components.
+
+The paper deploys each service over n components, each owning a share of
+the input data.  These helpers split the generated workloads the way the
+deployment would: records dealt round-robin by id, so every component
+gets a statistically identical slice.  Handles record counts that do not
+divide evenly — component p receives ``ceil((n_records - p) / n_parts)``
+records with dense local ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.recommender.matrix import RatingMatrix
+from repro.search.partition import SearchPartition
+
+__all__ = ["split_ratings", "split_corpus"]
+
+
+def split_ratings(matrix: RatingMatrix, n_parts: int) -> list[RatingMatrix]:
+    """Partition users round-robin into ``n_parts`` rating matrices.
+
+    User ``u`` goes to component ``u % n_parts`` with local id
+    ``u // n_parts``; all parts share the full item space so predictions
+    merge across components.
+    """
+    if n_parts < 1:
+        raise ValueError("need at least one part")
+    users, items, vals = matrix.to_triples()
+    parts = []
+    for p in range(n_parts):
+        mask = (users % n_parts) == p
+        n_local = (matrix.n_users - p + n_parts - 1) // n_parts
+        parts.append(RatingMatrix(users[mask] // n_parts, items[mask],
+                                  vals[mask],
+                                  n_users=n_local,
+                                  n_items=matrix.n_items))
+    return parts
+
+
+def split_corpus(partition: SearchPartition, n_parts: int) -> list[SearchPartition]:
+    """Partition pages round-robin into ``n_parts`` search partitions."""
+    if n_parts < 1:
+        raise ValueError("need at least one part")
+    parts = [SearchPartition() for _ in range(n_parts)]
+    for doc_id in range(partition.n_docs):
+        parts[doc_id % n_parts].add_page(partition.tokens_of(doc_id))
+    return parts

@@ -149,3 +149,26 @@ class TestSearchAdapterOnline:
         total = sum(search_adapter.group_work(synopsis, g)
                     for g in range(synopsis.n_aggregated))
         assert total == synopsis.n_original
+
+
+class TestComponentMemoEviction:
+    def test_cf_memo_growth_is_bounded(self):
+        import numpy as np
+
+        from repro.core.adapters import CFAdapter
+        from repro.recommender.matrix import RatingMatrix
+
+        adapter = CFAdapter()
+        matrices = []
+        for _ in range(50):
+            matrix = RatingMatrix(np.array([0, 1]), np.array([0, 1]),
+                                  np.array([3.0, 4.0]),
+                                  n_users=2, n_items=2)
+            matrices.append(matrix)  # keep alive: ids must stay distinct
+            adapter._component(matrix)
+        # Copy-on-swap updates retire partitions wholesale; the memo is a
+        # bounded LRU so superseded partitions cannot accumulate forever.
+        assert len(adapter._components) <= 32
+        # The live partition still hits the memo (identity-checked).
+        comp = adapter._component(matrices[-1])
+        assert adapter._component(matrices[-1]) is comp

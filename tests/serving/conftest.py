@@ -1,0 +1,26 @@
+"""Serving-layer fixtures: small live services for both paper workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+
+@pytest.fixture(scope="module")
+def cf_serving_service(small_ratings, cf_adapter):
+    """Two-component CF service (shared across a module; read-only use)."""
+    return AccuracyTraderService(
+        cf_adapter, split_ratings(small_ratings.matrix, 2),
+        config=SynopsisConfig(n_iters=30, target_ratio=15.0, seed=7))
+
+
+@pytest.fixture(scope="module")
+def search_serving_service(small_corpus, search_adapter):
+    """Two-component search service (shared across a module; read-only use)."""
+    return AccuracyTraderService(
+        search_adapter, split_corpus(small_corpus.partition, 2),
+        config=SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7),
+        i_max_fraction=0.4)

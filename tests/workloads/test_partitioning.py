@@ -1,0 +1,47 @@
+"""Round-robin component partitioning of workload data."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+
+class TestSplitRatings:
+    @pytest.mark.parametrize("n_users,n_parts", [(200, 2), (25, 2), (7, 3)])
+    def test_every_rating_lands_once(self, small_ratings, n_users, n_parts):
+        users, items, vals = small_ratings.matrix.to_triples()
+        keep = users < n_users
+        from repro.recommender.matrix import RatingMatrix
+
+        matrix = RatingMatrix(users[keep], items[keep], vals[keep],
+                              n_users=n_users,
+                              n_items=small_ratings.matrix.n_items)
+        parts = split_ratings(matrix, n_parts)
+        assert len(parts) == n_parts
+        # Non-divisible counts: earlier parts absorb the remainder.
+        assert sum(p.n_users for p in parts) == n_users
+        assert all(p.n_items == matrix.n_items for p in parts)
+        total = 0
+        for p_idx, part in enumerate(parts):
+            for local in range(part.n_users):
+                ids, pvals = part.user_ratings(local)
+                gids, gvals = matrix.user_ratings(local * n_parts + p_idx)
+                np.testing.assert_array_equal(ids, gids)
+                np.testing.assert_array_equal(pvals, gvals)
+                total += ids.size
+        assert total == users[keep].size
+
+    def test_zero_parts_rejected(self, small_ratings):
+        with pytest.raises(ValueError):
+            split_ratings(small_ratings.matrix, 0)
+
+
+class TestSplitCorpus:
+    @pytest.mark.parametrize("n_parts", [2, 3])
+    def test_every_page_lands_once(self, small_corpus, n_parts):
+        corpus = small_corpus.partition
+        parts = split_corpus(corpus, n_parts)
+        assert sum(p.n_docs for p in parts) == corpus.n_docs
+        for doc_id in range(corpus.n_docs):
+            part = parts[doc_id % n_parts]
+            assert part.tokens_of(doc_id // n_parts) == corpus.tokens_of(doc_id)
