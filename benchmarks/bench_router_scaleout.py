@@ -1,0 +1,171 @@
+"""Router scale-out: throughput and tail latency for 1/2/4 shards.
+
+Extends ``bench_serving_throughput.py`` to the router tier: the same CF
+dataset is deployed as a :class:`~repro.serving.router.ShardedService`
+at 1, 2, and 4 shards (2 replicas each, one straggler replica stalling
+hard on I/O), and an identical latency-bound request stream is served
+hedged and unhedged.  Two effects are quantified:
+
+- **scale-out**: with the dataset fixed, more shards mean smaller
+  partitions, fewer groups per component, and a shorter critical path —
+  closed-loop throughput rises with the shard count;
+- **hedging**: per shard count, live hedged re-issue rescues requests
+  routed to the straggler replica, collapsing p99 toward the clean
+  replica's latency while leaving p50 untouched.
+
+Emits machine-readable ``BENCH_router.json`` (throughput + p50/p95/p99
+per configuration) so CI can smoke-run it at toy scale and downstream
+tooling can diff runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_router_scaleout.py [--toy]
+          [--out BENCH_router.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    IOStallAdapter,
+    LoadGenerator,
+    ReplicaGroup,
+    ServingHarness,
+    ShardedService,
+    ThreadPoolBackend,
+)
+from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_ratings
+
+SHARD_COUNTS = (1, 2, 4)
+N_REPLICAS = 2
+STALL_S = 2e-3          # clean replica: per synopsis/group fetch
+STRAGGLER_STALL_S = 2e-2  # shard 0's replica 0: 10x slower storage
+HEDGE_TRIGGER_S = 1.5e-2  # well above a clean fetch, far below a straggle
+DEADLINE_S = 10.0       # generous: identical refinement everywhere
+
+
+@dataclass
+class Scale:
+    n_users: int
+    n_items: int
+    n_requests: int
+
+
+FULL = Scale(n_users=400, n_items=60, n_requests=16)
+TOY = Scale(n_users=96, n_items=30, n_requests=6)
+
+
+def build_routed(parts, n_shards: int, backend, hedged: bool):
+    """``n_shards`` single-component shards x 2 replicas over ``parts``."""
+    shards = []
+    for s in range(n_shards):
+        replicas = []
+        for r in range(N_REPLICAS):
+            stall = (STRAGGLER_STALL_S if (s == 0 and r == 0)
+                     else STALL_S)
+            adapter = IOStallAdapter(CFAdapter(), synopsis_stall=stall,
+                                     group_stall=stall)
+            replicas.append(AccuracyTraderService(
+                adapter, [parts[s]],
+                config=SynopsisConfig(n_iters=25, target_ratio=12.0,
+                                      seed=31)))
+        shards.append(ReplicaGroup(replicas))
+    hedge = (ReissueStrategy(100.0,
+                             initial_expected_latency=HEDGE_TRIGGER_S)
+             if hedged else None)
+    return ShardedService(shards, backend=backend, hedge=hedge)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def run(scale: Scale) -> dict:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.25,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=31))
+    loadgen = make_loadgen(ratings.matrix)
+    load = loadgen.closed_loop(n_clients=1, n_requests=scale.n_requests)
+
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        parts = split_ratings(ratings.matrix, n_shards)
+        for hedged in (False, True):
+            with ThreadPoolBackend(max_workers=4 * n_shards + 8) as backend:
+                with build_routed(parts, n_shards, backend, hedged) as svc:
+                    harness = ServingHarness(svc, deadline=DEADLINE_S)
+                    stats = harness.run_closed_loop(load)
+                    rows.append({
+                        "n_shards": n_shards,
+                        "n_replicas": N_REPLICAS,
+                        "hedged": hedged,
+                        "n_requests": stats.n_requests,
+                        "throughput_rps": stats.throughput(),
+                        "p50_s": stats.p50(),
+                        "p95_s": stats.p95(),
+                        "p99_s": stats.p99(),
+                        "hedges_issued": svc.hedges_issued,
+                        "hedge_wins": svc.hedge_wins,
+                    })
+    return {
+        "bench": "router_scaleout",
+        "workload": "cf",
+        "scale": {"n_users": scale.n_users, "n_items": scale.n_items,
+                  "n_requests": scale.n_requests},
+        "stall_s": STALL_S,
+        "straggler_stall_s": STRAGGLER_STALL_S,
+        "rows": rows,
+    }
+
+
+def print_table(result: dict) -> None:
+    print("router scale-out — CF, 2 replicas/shard, straggler on "
+          "shard 0 replica 0")
+    print(f"{'shards':>7}{'hedged':>8}{'req/s':>9}{'p50 ms':>9}"
+          f"{'p95 ms':>9}{'p99 ms':>9}{'hedges':>8}")
+    for row in result["rows"]:
+        print(f"{row['n_shards']:>7}{str(row['hedged']):>8}"
+              f"{row['throughput_rps']:>9.1f}"
+              f"{1e3 * row['p50_s']:>9.1f}{1e3 * row['p95_s']:>9.1f}"
+              f"{1e3 * row['p99_s']:>9.1f}{row['hedges_issued']:>8}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_router.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    # Sanity for CI: hedging must actually have fired somewhere.
+    hedged_rows = [r for r in result["rows"] if r["hedged"]]
+    if not any(r["hedges_issued"] > 0 for r in hedged_rows):
+        print("error: no hedges were issued in any hedged configuration",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from repro.core.processor import AccuracyAwareProcessor, ProcessingReport
 from repro.core.clock import DeadlineClock, SimulatedClock, WallClock
 from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
 from repro.core.multires import MultiResolutionSynopsis, build_multires
+from repro.core.servable import Servable, default_merge, unwrap_adapter
 from repro.core.service import AccuracyTraderService, ComponentState
 
 __all__ = [
@@ -49,4 +50,7 @@ __all__ = [
     "build_multires",
     "AccuracyTraderService",
     "ComponentState",
+    "Servable",
+    "default_merge",
+    "unwrap_adapter",
 ]

@@ -1,0 +1,99 @@
+"""The ``Servable`` protocol: what it means to be "a service" here.
+
+The repo grows services in layers — a single partitioned
+:class:`~repro.core.service.AccuracyTraderService`, replica groups over
+one partition set, and a sharded router tier over many of them
+(:mod:`repro.serving.router`).  Everything that *drives* a service — the
+:class:`~repro.serving.harness.ServingHarness`, the load generators, the
+benchmarks, the examples — depends only on this protocol, so a routed
+64-component cluster and a 2-component toy service are interchangeable
+behind the same three members.
+
+The merge helpers also live here: combining per-component results into
+one service answer is part of the serving *contract* (the router merges
+across shards with the very same functions a single service uses across
+its components), not an implementation detail of one class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.core.adapters import CFAdapter, SearchAdapter
+from repro.core.processor import ProcessingReport
+
+__all__ = ["Servable", "unwrap_adapter", "default_merge"]
+
+
+@runtime_checkable
+class Servable(Protocol):
+    """A deployed service: n components answering deadline-bound requests.
+
+    Implementations: :class:`~repro.core.service.AccuracyTraderService`
+    (one partitioned deployment), :class:`~repro.serving.router.ReplicaGroup`
+    (replicated deployment) and :class:`~repro.serving.router.ShardedService`
+    (routed cluster of replica groups).
+    """
+
+    @property
+    def n_components(self) -> int:
+        """Total partition-processing components behind this service."""
+        ...
+
+    def process(self, request, deadline: float, clocks=None, backend=None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Answer ``request`` under per-component ``deadline`` seconds.
+
+        ``clocks`` optionally supplies one :class:`~repro.core.clock.
+        DeadlineClock` per component; ``backend`` overrides the service's
+        default :class:`~repro.serving.backends.ExecutionBackend` for
+        this call.  Returns the merged answer and one
+        :class:`~repro.core.processor.ProcessingReport` per component.
+        """
+        ...
+
+    def exact(self, request) -> Any:
+        """Full exact computation (ground truth for accuracy scoring)."""
+        ...
+
+
+def unwrap_adapter(adapter):
+    """Strip delegating wrappers (e.g. ``IOStallAdapter``) off an adapter.
+
+    Wrappers expose the wrapped adapter as ``.inner``; unwrapping stops at
+    the first concrete paper adapter (CF or search) so merge selection and
+    workload detection see the underlying service semantics.
+    """
+    while not isinstance(adapter, (CFAdapter, SearchAdapter)) and \
+            hasattr(adapter, "inner"):
+        adapter = adapter.inner
+    return adapter
+
+
+def default_merge(adapter) -> Callable:
+    """The canonical merge function for ``adapter``'s workload.
+
+    CF components (and shards) merge via
+    :func:`~repro.recommender.cf.merge_predictions`; search via
+    :func:`~repro.search.engine.merge_topk`.  Both are associative, which
+    is what lets the router merge across shards with the same function a
+    single service uses across components.  Custom adapters must supply
+    their own merge.
+    """
+    adapter = unwrap_adapter(adapter)
+    if isinstance(adapter, CFAdapter):
+        from repro.recommender.cf import merge_predictions
+
+        def merge_cf(results, request):
+            return merge_predictions(results,
+                                     active_mean=request.active_mean)
+
+        return merge_cf
+    if isinstance(adapter, SearchAdapter):
+        from repro.search.engine import merge_topk
+
+        def merge_search(results, request):
+            return merge_topk(results, request.k)
+
+        return merge_search
+    raise ValueError("custom adapters must supply a merge function")

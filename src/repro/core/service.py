@@ -35,10 +35,11 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.adapters import CFAdapter, SearchAdapter, ServiceAdapter
+from repro.core.adapters import ServiceAdapter
 from repro.core.builder import SynopsisBuilder, SynopsisConfig
 from repro.core.clock import DeadlineClock, SimulatedClock
 from repro.core.processor import ProcessingReport
+from repro.core.servable import default_merge
 from repro.core.synopsis import Synopsis
 from repro.core.updater import SynopsisUpdater
 
@@ -89,12 +90,18 @@ class AccuracyTraderService:
                  i_max_fraction: float | None = None,
                  merge: Callable | None = None,
                  backend=None):
-        from repro.serving.backends import resolve_backend
+        from repro.serving.backends import ExecutionBackend, resolve_backend
 
         self.adapter = adapter
         partitions = list(partitions)
         if not partitions:
             raise ValueError("need at least one partition")
+        for i, part in enumerate(partitions):
+            if len(adapter.record_ids(part)) == 0:
+                raise ValueError(
+                    f"partition {i} of {len(partitions)} has no records; "
+                    "splitting a dataset into more parts than records "
+                    "produces empty components — use fewer parts")
         self.config = config if config is not None else SynopsisConfig()
         self._i_max = i_max
         self._i_max_fraction = i_max_fraction
@@ -108,38 +115,36 @@ class AccuracyTraderService:
             self._states.append(ComponentState(partition=part,
                                                synopsis=synopsis))
         self._update_locks = [threading.Lock() for _ in self._states]
-        self._merge = merge if merge is not None else self._default_merge()
+        self._merge = merge if merge is not None else default_merge(adapter)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
 
-    def _default_merge(self) -> Callable:
-        # Unwrap delegating adapters (e.g. IOStallAdapter) so the default
-        # merge matches the underlying service.
-        adapter = self.adapter
-        while not isinstance(adapter, (CFAdapter, SearchAdapter)) and \
-                hasattr(adapter, "inner"):
-            adapter = adapter.inner
-        if isinstance(adapter, CFAdapter):
-            from repro.recommender.cf import merge_predictions
+    def close(self) -> None:
+        """Release the default backend if this service created it.
 
-            def merge_cf(results, request):
-                return merge_predictions(results,
-                                         active_mean=request.active_mean)
+        A backend passed in as an instance is shared caller-owned state
+        and is left alone; one resolved here from a name (or ``None``)
+        is owned by the service and shut down (idempotent).
+        """
+        if self._owns_backend:
+            self.backend.close()
 
-            return merge_cf
-        if isinstance(adapter, SearchAdapter):
-            from repro.search.engine import merge_topk
+    def __enter__(self) -> "AccuracyTraderService":
+        return self
 
-            def merge_search(results, request):
-                return merge_topk(results, request.k)
-
-            return merge_search
-        raise ValueError("custom adapters must supply a merge function")
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def n_components(self) -> int:
         return len(self._states)
+
+    @property
+    def merge(self) -> Callable:
+        """The merge function combining per-component results."""
+        return self._merge
 
     @property
     def partitions(self) -> list:
@@ -157,6 +162,38 @@ class AccuracyTraderService:
 
     # ------------------------------------------------------------------
 
+    def build_tasks(self, request, deadline: float,
+                    clocks: list[DeadlineClock] | None = None) -> list:
+        """Self-contained per-component tasks for one request.
+
+        Each task captures the component's current published snapshot, so
+        the list is safe to execute on any backend, at any later time,
+        concurrently with updates.  The router tier uses this to dispatch
+        (and hedge) a service's components without going through
+        :meth:`process`.
+        """
+        from repro.serving.backends import ComponentTask
+
+        if clocks is None:
+            clocks = [SimulatedClock(speed=1e12) for _ in self._states]
+        if len(clocks) != self.n_components:
+            raise ValueError("need one clock per component")
+        states = list(self._states)  # one snapshot ref per component
+        return [
+            ComponentTask(
+                component=c,
+                adapter=self.adapter,
+                partition=state.partition,
+                synopsis=state.synopsis,
+                request=request,
+                deadline=deadline,
+                clock=clock,
+                i_max=self._i_max,
+                i_max_fraction=self._i_max_fraction,
+            )
+            for c, (state, clock) in enumerate(zip(states, clocks))
+        ]
+
     def process(self, request, deadline: float,
                 clocks: list[DeadlineClock] | None = None,
                 backend=None,
@@ -173,38 +210,21 @@ class AccuracyTraderService:
         updates are being applied: each component's work runs against the
         consistent snapshot current at dispatch.
         """
-        from repro.serving.backends import ComponentTask
-
-        if clocks is None:
-            clocks = [SimulatedClock(speed=1e12) for _ in self._states]
-        if len(clocks) != self.n_components:
-            raise ValueError("need one clock per component")
-        states = list(self._states)  # one snapshot ref per component
-        tasks = [
-            ComponentTask(
-                component=c,
-                adapter=self.adapter,
-                partition=state.partition,
-                synopsis=state.synopsis,
-                request=request,
-                deadline=deadline,
-                clock=clock,
-                i_max=self._i_max,
-                i_max_fraction=self._i_max_fraction,
-            )
-            for c, (state, clock) in enumerate(zip(states, clocks))
-        ]
+        tasks = self.build_tasks(request, deadline, clocks)
         exec_backend = self.backend if backend is None else backend
         outcomes = exec_backend.run_tasks(tasks)
         results = [o.result for o in outcomes]
         reports = [o.report for o in outcomes]
         return self._merge(results, request), reports
 
+    def exact_components(self, request) -> list:
+        """Unmerged exact per-component results (for cross-shard merging)."""
+        return [self.adapter.exact(s.partition, request)
+                for s in self._states]
+
     def exact(self, request) -> Any:
         """Full exact computation across all partitions (ground truth)."""
-        results = [self.adapter.exact(s.partition, request)
-                   for s in self._states]
-        return self._merge(results, request)
+        return self._merge(self.exact_components(request), request)
 
     # ------------------------------------------------------------------
 

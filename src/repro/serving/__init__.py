@@ -42,6 +42,12 @@ Pieces
 - :mod:`repro.serving.adapters` — :class:`IOStallAdapter`, a wrapper
   charging real per-operation stalls (the remote storage/network access
   the simulator abstracts as work units).
+- :mod:`repro.serving.router` — the scale-out tier: :class:`ReplicaGroup`
+  (replicated services, updates fanned out) and :class:`ShardedService`
+  (sharded routing with per-shard deadline budgets and live hedged
+  re-issue across replicas).  Both are
+  :class:`~repro.core.servable.Servable`, so the harness drives a routed
+  cluster through the same API as a single service.
 
 Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
 publishes each component's ``(partition, synopsis)`` as an immutable
@@ -62,6 +68,7 @@ from repro.serving.backends import (
 )
 from repro.serving.harness import AccuracyPoint, ServingHarness, ServingRunStats
 from repro.serving.loadgen import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
+from repro.serving.router import ReplicaGroup, ShardedService
 
 __all__ = [
     "ComponentOutcome",
@@ -78,4 +85,6 @@ __all__ = [
     "ServingHarness",
     "ServingRunStats",
     "AccuracyPoint",
+    "ReplicaGroup",
+    "ShardedService",
 ]

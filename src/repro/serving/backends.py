@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -99,6 +99,27 @@ class ExecutionBackend(abc.ABC):
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
         """Execute ``tasks`` and return their outcomes *in task order*."""
 
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        """Submit one task, returning a future for its outcome.
+
+        The futures interface is what the router tier's hedged dispatch
+        needs: it watches per-shard completion, re-issues stragglers, and
+        cancels the losing copy — :meth:`Future.cancel` only takes effect
+        while the task is still queued, which is exactly Dean & Barroso's
+        tied-request semantics (an in-service copy runs to completion).
+
+        The base implementation executes inline and returns an
+        already-completed future, so backends without queues (sequential)
+        still satisfy the interface — they simply can never hedge.
+        """
+        future: Future = Future()
+        if future.set_running_or_notify_cancel():
+            try:
+                future.set_result(run_component_task(task))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                future.set_exception(exc)
+        return future
+
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
 
@@ -143,6 +164,9 @@ class ThreadPoolBackend(ExecutionBackend):
 
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
         return list(self._ensure_pool().map(run_component_task, tasks))
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        return self._ensure_pool().submit(run_component_task, task)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -190,6 +214,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
         return list(self._ensure_pool().map(run_component_task, tasks))
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        return self._ensure_pool().submit(run_component_task, task)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -3,8 +3,11 @@
 Where :mod:`repro.cluster` *simulates* fan-out queueing to predict tail
 latency, the :class:`ServingHarness` actually *serves*: it dispatches a
 generated request stream (open- or closed-loop, see
-:mod:`repro.serving.loadgen`) against a real
-:class:`~repro.core.service.AccuracyTraderService`, executing component
+:mod:`repro.serving.loadgen`) against any live
+:class:`~repro.core.servable.Servable` — a single
+:class:`~repro.core.service.AccuracyTraderService` or a routed
+:class:`~repro.serving.router.ShardedService` cluster, identically —
+executing component
 work through a pluggable :class:`~repro.serving.backends.ExecutionBackend`
 — optionally while synopsis updates land concurrently — and reports the
 measured throughput and latency distribution in the same shape as
@@ -125,7 +128,10 @@ class ServingHarness:
     Parameters
     ----------
     service:
-        The live :class:`~repro.core.service.AccuracyTraderService`.
+        The live :class:`~repro.core.servable.Servable` — a single
+        :class:`~repro.core.service.AccuracyTraderService`, a
+        :class:`~repro.serving.router.ReplicaGroup`, or a routed
+        :class:`~repro.serving.router.ShardedService`.
     deadline:
         Per-component deadline (``l_spe``) handed to every request.
     backend:

@@ -1,0 +1,408 @@
+"""Router tier: scale-out serving over sharded, replicated services.
+
+After PR 1 the live path served one monolithic
+:class:`~repro.core.service.AccuracyTraderService`; only the *simulator*
+(:mod:`repro.cluster.hedged`) knew about shards, replicas, and hedging.
+This module closes that gap with two more :class:`~repro.core.servable.
+Servable` implementations, so :class:`~repro.serving.harness.
+ServingHarness` and :class:`~repro.serving.loadgen.LoadGenerator` drive
+a routed cluster completely unchanged:
+
+- :class:`ReplicaGroup` — N replica services over the *same* partitions.
+  Requests round-robin across replicas; synopsis updates fan out to all
+  of them, keeping every replica able to answer for the group.
+- :class:`ShardedService` — a router over many replica groups, each
+  owning one shard of the data (build shards with the
+  :class:`~repro.workloads.partitioning.ShardMap` helpers).  A request
+  fans out to every shard with a per-shard deadline budget, and the
+  per-component results merge across shards through the same associative
+  merge functions a single service uses — so a routed answer is
+  bit-identical to the unsharded one over the same partitions.
+
+Live hedged re-issue
+--------------------
+
+With a :class:`~repro.strategies.reissue.ReissueStrategy` attached, the
+router mirrors :class:`~repro.cluster.hedged.HedgedFanoutSimulator`
+semantics on the live path (Dean & Barroso's tied requests, paper §4.1):
+
+- a shard call outstanding longer than the strategy's adaptive p95
+  threshold is re-issued once on a sibling replica;
+- the first copy to complete wins; the loser is cancelled *best-effort*
+  — a queued copy is dropped (``Future.cancel``), a copy already
+  executing runs to completion and its answer is discarded;
+- every shard call's effective latency (first copy to finish) feeds the
+  strategy's threshold estimator, so measured and simulated hedging are
+  directly comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from typing import Any, Callable, Sequence
+
+from repro.core.clock import ClockFactory, wall_clock_factory
+from repro.core.processor import ProcessingReport
+from repro.core.service import AccuracyTraderService
+from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.strategies.reissue import ReissueStrategy
+
+__all__ = ["ReplicaGroup", "ShardedService"]
+
+
+class ReplicaGroup:
+    """N replica services over the same partitions — one logical shard.
+
+    All replicas must agree on component count; with the deterministic
+    seeded synopsis build, replicas constructed from the same inputs hold
+    bit-identical state, so any replica can answer for the group.
+    Replicas may still differ *operationally* (e.g. one wrapped in
+    :class:`~repro.serving.adapters.IOStallAdapter` to model a slow
+    node), which is what live hedging exploits.
+
+    Parameters
+    ----------
+    replicas:
+        Pre-built :class:`~repro.core.service.AccuracyTraderService`
+        instances (use :meth:`build` to construct identical ones).
+    """
+
+    def __init__(self, replicas: Sequence[AccuracyTraderService]):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("need at least one replica")
+        n0 = replicas[0].n_components
+        if any(r.n_components != n0 for r in replicas):
+            raise ValueError("replicas must have the same component count")
+        self.replicas = replicas
+        self._next = 0
+        self._pick_lock = threading.Lock()
+
+    @classmethod
+    def build(cls, adapter, partitions, n_replicas: int,
+              **service_kwargs) -> "ReplicaGroup":
+        """Construct ``n_replicas`` identical services over ``partitions``."""
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        partitions = list(partitions)
+        return cls([AccuracyTraderService(adapter, partitions,
+                                          **service_kwargs)
+                    for _ in range(n_replicas)])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def n_components(self) -> int:
+        return self.replicas[0].n_components
+
+    @property
+    def merge(self) -> Callable:
+        return self.replicas[0].merge
+
+    def next_replica(self) -> int:
+        """Round-robin replica index for the next request (thread-safe)."""
+        with self._pick_lock:
+            i = self._next % self.n_replicas
+            self._next += 1
+            return i
+
+    def sibling_of(self, replica: int) -> int:
+        """The replica a straggling call on ``replica`` is hedged to."""
+        return (replica + 1) % self.n_replicas
+
+    # -- Servable ------------------------------------------------------
+
+    def process(self, request, deadline: float, clocks=None, backend=None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Answer on the next replica in round-robin order."""
+        replica = self.replicas[self.next_replica()]
+        return replica.process(request, deadline, clocks=clocks,
+                               backend=backend)
+
+    def exact_components(self, request) -> list:
+        return self.replicas[0].exact_components(request)
+
+    def exact(self, request) -> Any:
+        return self.replicas[0].exact(request)
+
+    # -- updates: fan out so replicas stay interchangeable -------------
+
+    def add_points(self, component: int, partition, new_record_ids) -> list:
+        """Apply an add-points update on *every* replica; list of reports."""
+        return [r.add_points(component, partition, new_record_ids)
+                for r in self.replicas]
+
+    def change_points(self, component: int, partition,
+                      changed_record_ids) -> list:
+        """Apply a change-points update on *every* replica; list of reports."""
+        return [r.change_points(component, partition, changed_record_ids)
+                for r in self.replicas]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        for r in self.replicas:
+            r.close()
+
+    def __enter__(self) -> "ReplicaGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedService:
+    """A routed cluster of replica groups, itself a ``Servable``.
+
+    Parameters
+    ----------
+    shards:
+        One :class:`ReplicaGroup` (or bare ``AccuracyTraderService``,
+        wrapped as a single-replica group) per shard.  Global component
+        index is the concatenation in shard order, so clocks, reports and
+        merges line up with an unsharded service over the same partition
+        sequence.
+    merge:
+        Cross-shard merge; defaults to shard 0's merge function (the
+        paper merges are associative, so component-level merging across
+        shards equals the unsharded merge).
+    deadline_budgets:
+        Per-shard multipliers on the request deadline (default 1.0 each):
+        shard s's components run under ``deadline * budgets[s]``, letting
+        a deployment grant slow/large shards more refinement time.
+    backend:
+        Default :class:`~repro.serving.backends.ExecutionBackend`
+        (instance, name, or ``None``); one resolved here from a spec is
+        owned and closed by :meth:`close`.
+    hedge:
+        Optional :class:`~repro.strategies.reissue.ReissueStrategy`
+        enabling live hedged re-issue (see module docstring).  Requires a
+        backend with real queues (thread/process) to have any effect and
+        at least one shard with two replicas.
+    clock_factory:
+        Supplies fresh per-component deadline clocks for *hedged* copies
+        (primary copies use the ``clocks`` passed to :meth:`process`).
+        Defaults to wall clocks — the live-serving setting where hedging
+        is meaningful.
+    """
+
+    def __init__(self, shards: Sequence,
+                 merge: Callable | None = None,
+                 deadline_budgets: Sequence[float] | None = None,
+                 backend: ExecutionBackend | str | None = None,
+                 hedge: ReissueStrategy | None = None,
+                 clock_factory: ClockFactory | None = None):
+        groups = []
+        for shard in shards:
+            if isinstance(shard, ReplicaGroup):
+                groups.append(shard)
+            elif isinstance(shard, AccuracyTraderService):
+                groups.append(ReplicaGroup([shard]))
+            else:
+                raise TypeError(
+                    f"cannot interpret {shard!r} as a shard; expected a "
+                    "ReplicaGroup or AccuracyTraderService")
+        if not groups:
+            raise ValueError("need at least one shard")
+        self.shards: list[ReplicaGroup] = groups
+        if deadline_budgets is None:
+            self._budgets = [1.0] * len(groups)
+        else:
+            self._budgets = [float(b) for b in deadline_budgets]
+            if len(self._budgets) != len(groups):
+                raise ValueError("need one deadline budget per shard")
+            if any(b <= 0 for b in self._budgets):
+                raise ValueError("deadline budgets must be positive")
+        # Global component index = concatenation in shard order.
+        self._offsets = []
+        off = 0
+        for g in groups:
+            self._offsets.append(off)
+            off += g.n_components
+        self._total_components = off
+        self.merge = merge if merge is not None else groups[0].merge
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
+        self.hedge = hedge
+        self._clock_factory = (clock_factory if clock_factory is not None
+                               else wall_clock_factory())
+        self._hedge_lock = threading.Lock()
+        self.hedges_issued = 0
+        self.hedge_wins = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_components(self) -> int:
+        return self._total_components
+
+    @property
+    def deadline_budgets(self) -> list[float]:
+        return list(self._budgets)
+
+    def _shard_clocks(self, clocks, shard: int):
+        if clocks is None:
+            return None
+        off = self._offsets[shard]
+        return list(clocks[off:off + self.shards[shard].n_components])
+
+    # -- Servable ------------------------------------------------------
+
+    def process(self, request, deadline: float, clocks=None, backend=None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Fan ``request`` out to every shard and merge the answers.
+
+        ``clocks`` (optional) supplies one clock per *global* component.
+        Thread-safe: concurrent calls round-robin replicas independently
+        and hedging state is lock-protected.
+        """
+        if clocks is not None and len(clocks) != self.n_components:
+            raise ValueError("need one clock per component")
+        exec_backend = self.backend if backend is None else backend
+        picks = [g.next_replica() for g in self.shards]
+        if self.hedge is None:
+            outcomes = self._run_unhedged(request, deadline, clocks,
+                                          exec_backend, picks)
+        else:
+            outcomes = self._run_hedged(request, deadline, clocks,
+                                        exec_backend, picks)
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
+        return self.merge(results, request), reports
+
+    def exact_components(self, request) -> list:
+        return [r for g in self.shards for r in g.exact_components(request)]
+
+    def exact(self, request) -> Any:
+        return self.merge(self.exact_components(request), request)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _build_tasks(self, request, deadline: float, clocks, shard: int,
+                     replica: int) -> list:
+        group = self.shards[shard]
+        return group.replicas[replica].build_tasks(
+            request, deadline * self._budgets[shard],
+            self._shard_clocks(clocks, shard))
+
+    def _run_unhedged(self, request, deadline, clocks, exec_backend,
+                      picks) -> list:
+        # One flat dispatch: all shards' components fan out together, so
+        # a parallel backend overlaps work across shards, not just within.
+        tasks = [t for s in range(self.n_shards)
+                 for t in self._build_tasks(request, deadline, clocks, s,
+                                            picks[s])]
+        return exec_backend.run_tasks(tasks)
+
+    def _run_hedged(self, request, deadline, clocks, exec_backend,
+                    picks) -> list:
+        t0 = time.monotonic()
+        primary = []
+        for s in range(self.n_shards):
+            tasks = self._build_tasks(request, deadline, clocks, s, picks[s])
+            primary.append([exec_backend.submit_task(t) for t in tasks])
+        hedges: list[list | None] = [None] * self.n_shards
+        winners: list[list | None] = [None] * self.n_shards
+        unfinished = set(range(self.n_shards))
+
+        while unfinished:
+            # Completion first: first copy whose components all finished
+            # wins (an already-answered shard call must never hedge).
+            for s in list(unfinished):
+                if all(f.done() for f in primary[s]):
+                    winners[s], loser = primary[s], hedges[s]
+                elif hedges[s] is not None and \
+                        all(f.done() for f in hedges[s]):
+                    winners[s], loser = hedges[s], primary[s]
+                    with self._hedge_lock:
+                        self.hedge_wins += 1
+                else:
+                    continue
+                unfinished.discard(s)
+                with self._hedge_lock:
+                    self.hedge.observe(time.monotonic() - t0)
+                if loser:
+                    # Best-effort tied-request cancellation: only queued
+                    # copies can be cancelled; running ones complete and
+                    # their answers are discarded.
+                    for f in loser:
+                        f.cancel()
+            if not unfinished:
+                break
+            now = time.monotonic()
+            threshold = self.hedge.threshold
+            # Trigger: shard call outstanding beyond the adaptive p95.
+            issued_now = False
+            for s in list(unfinished):
+                group = self.shards[s]
+                if (hedges[s] is None and group.n_replicas > 1
+                        and now - t0 >= threshold):
+                    sibling = group.sibling_of(picks[s])
+                    off = self._offsets[s]
+                    fresh = [self._clock_factory(off + c)
+                             for c in range(group.n_components)]
+                    tasks = group.replicas[sibling].build_tasks(
+                        request, deadline * self._budgets[s], fresh)
+                    hedges[s] = [exec_backend.submit_task(t) for t in tasks]
+                    issued_now = True
+                    with self._hedge_lock:
+                        self.hedges_issued += 1
+            if issued_now:
+                # A hedge copy may already have completed while it was
+                # being issued; re-run the completion check before
+                # blocking, or we would wait on the losing primary.
+                continue
+            outstanding = [
+                f for s in unfinished
+                for f in [*primary[s], *(hedges[s] or [])]
+                if not f.done()
+            ]
+            can_hedge_more = any(
+                hedges[s] is None and self.shards[s].n_replicas > 1
+                for s in unfinished)
+            timeout = (max(0.0, threshold - (time.monotonic() - t0))
+                       if can_hedge_more else None)
+            if outstanding:
+                wait(outstanding, timeout=timeout,
+                     return_when=FIRST_COMPLETED)
+        return [f.result() for s in range(self.n_shards)
+                for f in winners[s]]
+
+    # -- updates: routed by shard, fanned out by the group -------------
+
+    def add_points(self, shard: int, component: int, partition,
+                   new_record_ids) -> list:
+        """Add-points on one shard's component, on every replica."""
+        return self.shards[shard].add_points(component, partition,
+                                             new_record_ids)
+
+    def change_points(self, shard: int, component: int, partition,
+                      changed_record_ids) -> list:
+        """Change-points on one shard's component, on every replica."""
+        return self.shards[shard].change_points(component, partition,
+                                                changed_record_ids)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the owned backend and every shard's replicas."""
+        if self._owns_backend:
+            self.backend.close()
+        for g in self.shards:
+            g.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -9,6 +9,11 @@ percentile is set to 95th."
 Reissue couples components (replicas load the mirror component), so it is
 simulated by the event-driven :class:`repro.cluster.hedged.HedgedFanoutSimulator`;
 this class carries its parameters and the adaptive threshold estimator.
+The *live* serving path reuses the same strategy object: the router tier
+(:class:`repro.serving.router.ShardedService`) triggers a real re-issue on
+a sibling replica whenever a shard call is outstanding beyond
+:attr:`threshold`, and feeds every effective shard-call latency back into
+:meth:`observe` — so simulated and measured hedging share one estimator.
 """
 
 from __future__ import annotations

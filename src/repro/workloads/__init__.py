@@ -11,12 +11,19 @@ properties it preserves (see DESIGN.md §2):
   trace (interference);
 - :mod:`repro.workloads.arrival` — Poisson / nonhomogeneous-Poisson /
   bursty open-loop request arrival processes;
-- :mod:`repro.workloads.partitioning` — round-robin splitting of
-  workload data across service components.
+- :mod:`repro.workloads.partitioning` — shard maps (round-robin / hash /
+  locality) splitting workload data across service components and shards.
 """
 
 from repro.workloads.arrival import bursty_arrivals, poisson_arrivals, nhpp_arrivals
-from repro.workloads.partitioning import split_corpus, split_ratings
+from repro.workloads.partitioning import (
+    ShardMap,
+    make_shard_map,
+    shard_corpus,
+    shard_ratings,
+    split_corpus,
+    split_ratings,
+)
 from repro.workloads.movielens import MovieLensConfig, SyntheticRatings, generate_ratings
 from repro.workloads.corpus import CorpusConfig, SyntheticCorpus, generate_corpus
 from repro.workloads.sogou import (
@@ -34,6 +41,10 @@ __all__ = [
     "bursty_arrivals",
     "split_ratings",
     "split_corpus",
+    "ShardMap",
+    "make_shard_map",
+    "shard_ratings",
+    "shard_corpus",
     "MovieLensConfig",
     "SyntheticRatings",
     "generate_ratings",

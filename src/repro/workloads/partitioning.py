@@ -1,49 +1,195 @@
-"""Round-robin partitioning of workload data across service components.
+"""Partitioning of workload data across service components and shards.
 
 The paper deploys each service over n components, each owning a share of
-the input data.  These helpers split the generated workloads the way the
-deployment would: records dealt round-robin by id, so every component
-gets a statistically identical slice.  Handles record counts that do not
-divide evenly — component p receives ``ceil((n_records - p) / n_parts)``
-records with dense local ids.
+the input data.  A :class:`ShardMap` decides which share: it assigns
+every global record id to one shard and a dense local id within it,
+under one of three placement strategies:
+
+- ``round_robin`` — record ``r`` to shard ``r % n`` (the paper's
+  deployment default: every shard gets a statistically identical slice);
+- ``hash`` — a seeded integer hash of the id picks the shard, so
+  placement is stable under growth of the id space (adding records never
+  moves existing ones between shards the way round-robin renumbering
+  conceptually would);
+- ``locality`` — contiguous id ranges, keeping neighbouring records
+  (e.g. consecutive users or crawl-ordered pages) co-resident, the
+  layout range queries and locality-sensitive caches want.
+
+:func:`shard_ratings` / :func:`shard_corpus` materialise a map into
+per-shard datasets; :func:`split_ratings` / :func:`split_corpus` are the
+original round-robin conveniences, now thin wrappers over the same code
+path.  Uneven counts are handled: shard p of a round-robin map over N
+records gets ``ceil((N - p) / n_shards)`` records, always with dense
+local ids.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.recommender.matrix import RatingMatrix
 from repro.search.partition import SearchPartition
 
-__all__ = ["split_ratings", "split_corpus"]
+__all__ = ["ShardMap", "make_shard_map", "shard_ratings", "shard_corpus",
+           "split_ratings", "split_corpus"]
+
+_STRATEGIES = ("round_robin", "hash", "locality")
 
 
-def split_ratings(matrix: RatingMatrix, n_parts: int) -> list[RatingMatrix]:
-    """Partition users round-robin into ``n_parts`` rating matrices.
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit mixer (splitmix64 finaliser), vectorised.
 
-    User ``u`` goes to component ``u % n_parts`` with local id
-    ``u // n_parts``; all parts share the full item space so predictions
-    merge across components.
+    Python's builtin ``hash`` is salted per process, so shard placement
+    must come from an explicit mixer to be reproducible across runs.
     """
-    if n_parts < 1:
-        raise ValueError("need at least one part")
+    with np.errstate(over="ignore"):
+        z = x + np.uint64(0x9E3779B97F4A7C15)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
+
+
+@dataclass(frozen=True, eq=False)
+class ShardMap:
+    """Assignment of ``n_records`` global record ids to ``n_shards``.
+
+    ``assignments[r]`` is record r's shard; ``local_ids[r]`` its dense
+    id within that shard (0..count-1, ascending with the global id).
+    Built through :func:`make_shard_map`.  Equality is identity
+    (``eq=False``): the generated field-tuple comparison would apply
+    ``bool()`` to elementwise ndarray equality and raise.
+    """
+
+    n_shards: int
+    n_records: int
+    strategy: str
+    assignments: np.ndarray = field(repr=False)
+    local_ids: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.n_records < 0:
+            raise ValueError("n_records must be non-negative")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}; "
+                             f"expected one of {_STRATEGIES}")
+
+    def shard_of(self, record_id: int) -> int:
+        """The shard owning global ``record_id`` (update routing)."""
+        return int(self.assignments[record_id])
+
+    def local_id(self, record_id: int) -> int:
+        """``record_id``'s dense id within its shard."""
+        return int(self.local_ids[record_id])
+
+    def counts(self) -> np.ndarray:
+        """Records per shard."""
+        return np.bincount(self.assignments, minlength=self.n_shards)
+
+    def members_of(self, shard: int) -> np.ndarray:
+        """Global record ids owned by ``shard``, in local-id order."""
+        if not (0 <= shard < self.n_shards):
+            raise IndexError(f"shard {shard} out of range")
+        return np.flatnonzero(self.assignments == shard)
+
+
+def make_shard_map(n_records: int, n_shards: int,
+                   strategy: str = "round_robin", seed: int = 0) -> ShardMap:
+    """Build a :class:`ShardMap` under the named placement strategy.
+
+    ``seed`` only affects ``hash`` placement.  Local ids are always
+    assigned in ascending global-id order within each shard, so any two
+    maps with the same assignment vector give identical datasets.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    ids = np.arange(n_records, dtype=np.int64)
+    if strategy == "round_robin":
+        assignments = (ids % n_shards).astype(np.int64)
+        local = ids // n_shards
+        return ShardMap(n_shards, n_records, strategy, assignments, local)
+    if strategy == "hash":
+        seed_mix = _splitmix64(np.array([seed], dtype=np.uint64))[0]
+        mixed = _splitmix64(ids.astype(np.uint64) ^ seed_mix)
+        assignments = (mixed % np.uint64(n_shards)).astype(np.int64)
+    elif strategy == "locality":
+        # Balanced contiguous ranges: shard boundaries at r*N/n.
+        assignments = (ids * n_shards // max(n_records, 1)).astype(np.int64)
+        assignments = np.minimum(assignments, n_shards - 1)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; "
+                         f"expected one of {_STRATEGIES}")
+    # Dense local ids in ascending global-id order within each shard:
+    # one stable sort instead of a per-shard scan of the whole vector.
+    counts = np.bincount(assignments, minlength=n_shards)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    order = np.argsort(assignments, kind="stable")
+    local = np.empty(n_records, dtype=np.int64)
+    local[order] = np.arange(n_records, dtype=np.int64) - \
+        np.repeat(starts, counts)
+    return ShardMap(n_shards, n_records, strategy, assignments, local)
+
+
+# ---------------------------------------------------------------------------
+# Materialising a map into per-shard datasets
+# ---------------------------------------------------------------------------
+
+
+def shard_ratings(matrix: RatingMatrix, shard_map: ShardMap) -> list[RatingMatrix]:
+    """Partition users into per-shard rating matrices under ``shard_map``.
+
+    All shards share the full item space so predictions merge across
+    components/shards.
+    """
+    if shard_map.n_records != matrix.n_users:
+        raise ValueError(
+            f"shard map covers {shard_map.n_records} records but the "
+            f"matrix has {matrix.n_users} users")
     users, items, vals = matrix.to_triples()
+    counts = shard_map.counts()
     parts = []
-    for p in range(n_parts):
-        mask = (users % n_parts) == p
-        n_local = (matrix.n_users - p + n_parts - 1) // n_parts
-        parts.append(RatingMatrix(users[mask] // n_parts, items[mask],
-                                  vals[mask],
-                                  n_users=n_local,
+    for p in range(shard_map.n_shards):
+        mask = shard_map.assignments[users] == p
+        parts.append(RatingMatrix(shard_map.local_ids[users[mask]],
+                                  items[mask], vals[mask],
+                                  n_users=int(counts[p]),
                                   n_items=matrix.n_items))
     return parts
 
 
-def split_corpus(partition: SearchPartition, n_parts: int) -> list[SearchPartition]:
-    """Partition pages round-robin into ``n_parts`` search partitions."""
+def shard_corpus(partition: SearchPartition,
+                 shard_map: ShardMap) -> list[SearchPartition]:
+    """Partition pages into per-shard search partitions under ``shard_map``."""
+    if shard_map.n_records != partition.n_docs:
+        raise ValueError(
+            f"shard map covers {shard_map.n_records} records but the "
+            f"corpus has {partition.n_docs} pages")
+    parts = [SearchPartition() for _ in range(shard_map.n_shards)]
+    # Ascending doc-id order makes append order equal local-id order.
+    for doc_id in range(partition.n_docs):
+        parts[shard_map.shard_of(doc_id)].add_page(partition.tokens_of(doc_id))
+    return parts
+
+
+def split_ratings(matrix: RatingMatrix, n_parts: int) -> list[RatingMatrix]:
+    """Round-robin partition of users into ``n_parts`` rating matrices.
+
+    User ``u`` goes to component ``u % n_parts`` with local id
+    ``u // n_parts``.  Equivalent to :func:`shard_ratings` with a
+    round-robin :class:`ShardMap`.
+    """
     if n_parts < 1:
         raise ValueError("need at least one part")
-    parts = [SearchPartition() for _ in range(n_parts)]
-    for doc_id in range(partition.n_docs):
-        parts[doc_id % n_parts].add_page(partition.tokens_of(doc_id))
-    return parts
+    return shard_ratings(matrix, make_shard_map(matrix.n_users, n_parts))
+
+
+def split_corpus(partition: SearchPartition, n_parts: int) -> list[SearchPartition]:
+    """Round-robin partition of pages into ``n_parts`` search partitions."""
+    if n_parts < 1:
+        raise ValueError("need at least one part")
+    return shard_corpus(partition, make_shard_map(partition.n_docs, n_parts))

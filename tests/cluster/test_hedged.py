@@ -73,6 +73,73 @@ class TestHedging:
         assert stats.hedge_rate() == 0.0
 
 
+class TestCancellationSemantics:
+    """Pin the module docstring's three tied-request promises exactly.
+
+    All scenarios use base_speed=100 and full_work=100 (1 s service), so
+    every event time is closed-form; the adaptive threshold stays at its
+    prior 3 * expected_scan_time = 3.0 s throughout (too few completions
+    to trigger a recompute).
+    """
+
+    @staticmethod
+    def spec():
+        return ClusterSpec(n_components=2, n_nodes=2, base_speed=100.0,
+                           speed_jitter=0.0)
+
+    def test_queued_copy_cancelled_on_sibling_completion(self):
+        # Node 0 is 3.4x slow only for jobs starting in [0, 0.1]:
+        #   comp0: req0 0-3.4 | req1 3.4-4.4 | req2 4.4-5.4 | req3 5.4-6.4
+        #   comp1: req0 0-1.0 | req1 1.3-2.3 | req2 2.6-3.6 | ...
+        # req0-c0's hedge fires at t=3.0 while comp1 is busy, so the
+        # replica R0 is *queued*; the primary answers at 3.4.  When comp1
+        # frees at 3.6 it must skip the dead R0 and serve req3-c1
+        # immediately (3.6-4.6).  Without queued-copy cancellation,
+        # req3-c1 would start a full second later.
+        slow = InterferenceTimeline(2, [(0, 0.0, 0.1, 3.4)])
+        sim = HedgedFanoutSimulator(self.spec(), slow)
+        arrivals = np.array([0.0, 1.3, 2.6, 3.45])
+        stats = sim.run(arrivals, ReissueStrategy(100.0))
+        # R0 (req0-c0 at 3.0) and R1 (req1-c0 at 4.3) are both queued
+        # behind busy comp1 and both cancelled before entering service.
+        assert stats.replicas_issued == 2
+        expected = np.array([
+            3.4, 1.0,            # req0: slow primary, clean c1
+            3.1, 1.0,            # req1: c0 done 4.4 (queued behind req0)
+            2.8, 1.0,            # req2
+            2.95, 1.15,          # req3: c1 = 4.6 - 3.45 — NOT 2.15
+        ])
+        np.testing.assert_allclose(stats.sub_latencies, expected)
+
+    def test_in_service_copy_runs_to_completion(self):
+        # comp0: req0 0-3.5 | req1 3.5-4.5;  comp1: req0 0-1.0.
+        # req0-c0's hedge at t=3.0 finds comp1 idle: replica R0 enters
+        # service (3.0-4.0).  The primary answers first (3.5), but R0 is
+        # *in service* and must run to completion — req1-c1 (arrived 3.2)
+        # waits for comp1 until 4.0 and finishes at 5.0.  Preemption
+        # would have freed comp1 at 3.5 and given 1.3 instead of 1.8.
+        slow = InterferenceTimeline(2, [(0, 0.0, 0.1, 3.5)])
+        sim = HedgedFanoutSimulator(self.spec(), slow)
+        stats = sim.run(np.array([0.0, 3.2]), ReissueStrategy(100.0))
+        assert stats.replicas_issued == 1
+        expected = np.array([
+            3.5, 1.0,            # req0: primary beats the 3.0-4.0 replica
+            1.3, 1.8,            # req1: c1 blocked behind the live replica
+        ])
+        np.testing.assert_allclose(stats.sub_latencies, expected)
+
+    def test_at_most_one_replica_per_suboperation(self):
+        # comp0 stuck 50x slow: req0-c0 outstanding for 50 s, i.e. more
+        # than 16 thresholds — still exactly one replica is issued, and
+        # it rescues the sub-operation at 4.0 (hedge at 3.0 + 1 s scan).
+        slow = InterferenceTimeline(2, [(0, 0.0, 1e9, 50.0)])
+        sim = HedgedFanoutSimulator(self.spec(), slow)
+        stats = sim.run(np.array([0.0]), ReissueStrategy(100.0))
+        assert stats.replicas_issued == 1
+        np.testing.assert_allclose(stats.sub_latencies, [4.0, 1.0])
+        assert stats.hedge_rate() == 0.5
+
+
 class TestReissueStrategy:
     def test_threshold_adapts(self):
         s = ReissueStrategy(100.0, window=100, recompute_every=10)

@@ -49,6 +49,63 @@ class TestProcess:
         with pytest.raises(ValueError):
             AccuracyTraderService(cf_adapter, [])
 
+    def test_degenerate_split_rejected(self, cf_adapter):
+        # Regression: splitting 3 users into 5 parts silently produces
+        # two empty components; the service must refuse them loudly
+        # instead of building meaningless synopses.
+        from repro.workloads.partitioning import split_ratings
+
+        tiny = RatingMatrix(np.array([0, 1, 2]), np.array([0, 1, 0]),
+                            np.array([4.0, 3.0, 5.0]), n_users=3, n_items=2)
+        parts = split_ratings(tiny, 5)
+        assert sum(p.n_users == 0 for p in parts) == 2
+        with pytest.raises(ValueError, match="no records"):
+            AccuracyTraderService(cf_adapter, parts)
+
+    def test_degenerate_corpus_split_rejected(self, search_adapter):
+        from repro.search.partition import SearchPartition
+        from repro.workloads.partitioning import split_corpus
+
+        tiny = SearchPartition()
+        tiny.add_page(["alpha", "beta"])
+        tiny.add_page(["beta", "gamma"])
+        parts = split_corpus(tiny, 3)
+        with pytest.raises(ValueError, match="no records"):
+            AccuracyTraderService(search_adapter, parts)
+
+
+class TestBackendLifecycle:
+    def test_service_closes_backend_resolved_from_spec(self, small_ratings,
+                                                       cf_adapter,
+                                                       cf_request):
+        from repro.core.builder import SynopsisConfig
+        from repro.workloads.partitioning import split_ratings
+
+        with AccuracyTraderService(
+                cf_adapter, split_ratings(small_ratings.matrix, 2),
+                config=SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7),
+                backend="thread") as svc:
+            svc.process(cf_request, deadline=10.0)
+            assert svc.backend._pool is not None
+        # Context exit shut the owned pool down; no threads leak.
+        assert svc.backend._pool is None
+
+    def test_service_leaves_shared_backend_alone(self, small_ratings,
+                                                 cf_adapter, cf_request):
+        from repro.core.builder import SynopsisConfig
+        from repro.serving.backends import ThreadPoolBackend
+        from repro.workloads.partitioning import split_ratings
+
+        with ThreadPoolBackend(max_workers=2) as backend:
+            with AccuracyTraderService(
+                    cf_adapter, split_ratings(small_ratings.matrix, 2),
+                    config=SynopsisConfig(n_iters=20, target_ratio=15.0,
+                                          seed=7),
+                    backend=backend) as svc:
+                svc.process(cf_request, deadline=10.0)
+            # The caller's pool survives the service's close.
+            assert backend._pool is not None
+
 
 class TestUpdates:
     def test_add_points_flows_to_processing(self, small_ratings, cf_adapter,

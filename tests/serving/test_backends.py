@@ -124,6 +124,82 @@ class TestBackendMechanics:
         with pytest.raises(TypeError):
             resolve_backend(42)
 
+    def test_submit_task_inline_on_sequential(self, cf_serving_service,
+                                              cf_request):
+        state = cf_serving_service.component_state(0)
+        task = ComponentTask(component=0, adapter=cf_serving_service.adapter,
+                             partition=state.partition,
+                             synopsis=state.synopsis, request=cf_request,
+                             deadline=DEADLINE,
+                             clock=SimulatedClock(speed=SPEED))
+        future = SequentialBackend().submit_task(task)
+        assert future.done()  # inline: completed before returning
+        outcome = future.result()
+        assert outcome.component == 0
+        inline = run_component_task(ComponentTask(
+            component=0, adapter=cf_serving_service.adapter,
+            partition=state.partition, synopsis=state.synopsis,
+            request=cf_request, deadline=DEADLINE,
+            clock=SimulatedClock(speed=SPEED)))
+        assert outcome.report.groups_ranked == inline.report.groups_ranked
+
+    def test_submit_task_carries_exceptions(self, cf_serving_service,
+                                            cf_request):
+        state = cf_serving_service.component_state(0)
+        bad = ComponentTask(component=0, adapter=cf_serving_service.adapter,
+                            partition=state.partition,
+                            synopsis=state.synopsis, request=cf_request,
+                            deadline=-1.0,  # rejected by the processor
+                            clock=SimulatedClock(speed=SPEED))
+        future = SequentialBackend().submit_task(bad)
+        assert isinstance(future.exception(), ValueError)
+
+    def test_submit_task_matches_run_tasks(self, cf_serving_service,
+                                           cf_request, parallel_backend):
+        states = [cf_serving_service.component_state(c)
+                  for c in range(cf_serving_service.n_components)]
+
+        def make_tasks():
+            return [
+                ComponentTask(component=c,
+                              adapter=cf_serving_service.adapter,
+                              partition=s.partition, synopsis=s.synopsis,
+                              request=cf_request, deadline=DEADLINE,
+                              clock=SimulatedClock(speed=SPEED))
+                for c, s in enumerate(states)
+            ]
+
+        futures = [parallel_backend.submit_task(t) for t in make_tasks()]
+        submitted = [f.result() for f in futures]
+        ran = parallel_backend.run_tasks(make_tasks())
+        assert [o.report.groups_ranked for o in submitted] == \
+            [o.report.groups_ranked for o in ran]
+
+    def test_queued_task_cancellable(self, cf_serving_service, cf_request):
+        # One worker: the first (stalling) task occupies it, so the
+        # second is still queued and must be cancellable — the property
+        # the router's tied-request cancellation relies on.
+        from repro.serving.adapters import IOStallAdapter
+
+        state = cf_serving_service.component_state(0)
+        stall_adapter = IOStallAdapter(cf_serving_service.adapter,
+                                       synopsis_stall=0.2)
+
+        def task(adapter):
+            return ComponentTask(component=0, adapter=adapter,
+                                 partition=state.partition,
+                                 synopsis=state.synopsis,
+                                 request=cf_request, deadline=10.0,
+                                 clock=SimulatedClock(speed=SPEED))
+
+        with ThreadPoolBackend(max_workers=1) as backend:
+            running = backend.submit_task(task(stall_adapter))
+            queued = backend.submit_task(task(cf_serving_service.adapter))
+            assert queued.cancel()          # still queued: cancellable
+            assert not running.cancel()     # already running: completes
+            assert running.result().component == 0
+        assert queued.cancelled()
+
     def test_service_accepts_backend_name(self, small_ratings, cf_adapter,
                                           cf_request):
         from repro.core.builder import SynopsisConfig

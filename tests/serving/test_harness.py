@@ -175,6 +175,28 @@ class TestServingHarness:
         assert curve[0].latency_p95 < curve[-1].latency_p95
 
 
+class TestHarnessBackendLifecycle:
+    def test_harness_closes_backend_resolved_from_spec(self,
+                                                       cf_serving_service,
+                                                       cf_loadgen):
+        load = cf_loadgen.closed_loop(n_clients=1, n_requests=2)
+        with ServingHarness(cf_serving_service, deadline=10.0,
+                            backend="thread") as harness:
+            harness.run_closed_loop(load)
+            assert harness.backend._pool is not None
+        # Exit shut the pool the harness created from the string spec.
+        assert harness.backend._pool is None
+
+    def test_harness_leaves_caller_backend_alone(self, cf_serving_service,
+                                                 cf_loadgen):
+        load = cf_loadgen.closed_loop(n_clients=1, n_requests=2)
+        with ThreadPoolBackend(max_workers=2) as backend:
+            with ServingHarness(cf_serving_service, deadline=10.0,
+                                backend=backend) as harness:
+                harness.run_closed_loop(load)
+            assert backend._pool is not None
+
+
 class TestConcurrentUpdates:
     @pytest.fixture()
     def mutable_service(self, small_ratings, cf_adapter):

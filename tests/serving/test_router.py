@@ -1,0 +1,346 @@
+"""Router tier: sharded routing, replica groups, and live hedged re-issue.
+
+The acceptance contract pinned here:
+
+- a ``ShardedService`` (2 shards x 2 replicas) is driven by the
+  ``ServingHarness`` through the exact same API as a single
+  ``AccuracyTraderService``;
+- routed answers are bit-identical to the unsharded service over the
+  same partitions, on both paper workloads (CF + search);
+- with an injected straggler replica (``IOStallAdapter``), hedged
+  routing reduces p99 versus unhedged routing of the same stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import SimulatedClock, simulated_clock_factory
+from repro.core.servable import Servable
+from repro.core.service import AccuracyTraderService
+from repro.serving.adapters import IOStallAdapter
+from repro.serving.backends import SequentialBackend, ThreadPoolBackend
+from repro.serving.harness import ServingHarness
+from repro.serving.loadgen import LoadGenerator
+from repro.serving.router import ReplicaGroup, ShardedService
+from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+from tests.serving.test_harness import cf_request_factory
+
+CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+SEARCH_CONFIG = SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def cf_parts(small_ratings):
+    return split_ratings(small_ratings.matrix, 4)
+
+
+@pytest.fixture(scope="module")
+def cf_unsharded(cf_adapter, cf_parts):
+    return AccuracyTraderService(cf_adapter, cf_parts, config=CF_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def cf_routed(cf_adapter, cf_parts):
+    """2 shards x 2 replicas over the same four partitions."""
+    return ShardedService([
+        ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2, config=CF_CONFIG),
+        ReplicaGroup.build(cf_adapter, cf_parts[2:4], 2, config=CF_CONFIG),
+    ])
+
+
+@pytest.fixture(scope="module")
+def cf_loadgen(small_ratings):
+    return LoadGenerator(cf_request_factory(small_ratings.matrix), seed=29)
+
+
+def sim_clocks(n, speed=400.0):
+    return [SimulatedClock(speed=speed) for _ in range(n)]
+
+
+class TestServableProtocol:
+    def test_implementations_satisfy_protocol(self, cf_unsharded, cf_routed):
+        assert isinstance(cf_unsharded, Servable)
+        assert isinstance(cf_routed, Servable)
+        for shard in cf_routed.shards:
+            assert isinstance(shard, Servable)
+
+    def test_component_accounting(self, cf_routed):
+        assert cf_routed.n_shards == 2
+        assert cf_routed.n_components == 4
+        assert all(g.n_replicas == 2 for g in cf_routed.shards)
+
+
+class TestBitIdenticalRouting:
+    """Routed == unsharded, bit for bit, on both workloads."""
+
+    def test_cf_answers_bit_identical(self, cf_unsharded, cf_routed,
+                                      cf_loadgen):
+        for i in range(4):
+            request = cf_loadgen.request_factory(
+                i, np.random.default_rng(i))
+            base, base_reports = cf_unsharded.process(
+                request, 0.05, clocks=sim_clocks(4))
+            routed, routed_reports = cf_routed.process(
+                request, 0.05, clocks=sim_clocks(4))
+            assert routed.active_mean == base.active_mean
+            assert routed.numer == base.numer
+            assert routed.denom == base.denom
+            assert [r.groups_ranked for r in routed_reports] == \
+                [r.groups_ranked for r in base_reports]
+            assert [r.groups_processed for r in routed_reports] == \
+                [r.groups_processed for r in base_reports]
+
+    def test_cf_exact_bit_identical(self, cf_unsharded, cf_routed,
+                                    cf_loadgen):
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        base = cf_unsharded.exact(request)
+        routed = cf_routed.exact(request)
+        assert routed.numer == base.numer and routed.denom == base.denom
+
+    def test_search_answers_bit_identical(self, small_corpus, search_adapter,
+                                          search_query):
+        parts = split_corpus(small_corpus.partition, 4)
+        base_svc = AccuracyTraderService(search_adapter, parts,
+                                         config=SEARCH_CONFIG,
+                                         i_max_fraction=0.4)
+        routed_svc = ShardedService([
+            ReplicaGroup.build(search_adapter, parts[0:2], 2,
+                               config=SEARCH_CONFIG, i_max_fraction=0.4),
+            ReplicaGroup.build(search_adapter, parts[2:4], 2,
+                               config=SEARCH_CONFIG, i_max_fraction=0.4),
+        ])
+        base, _ = base_svc.process(search_query, 0.05, clocks=sim_clocks(4))
+        routed, _ = routed_svc.process(search_query, 0.05,
+                                       clocks=sim_clocks(4))
+        assert [(h.doc_id, h.score) for h in routed] == \
+            [(h.doc_id, h.score) for h in base]
+        base_exact = base_svc.exact(search_query)
+        routed_exact = routed_svc.exact(search_query)
+        assert [(h.doc_id, h.score) for h in routed_exact] == \
+            [(h.doc_id, h.score) for h in base_exact]
+
+
+class TestHarnessDrivesRouter:
+    """The harness serves a routed cluster through the unchanged API."""
+
+    def test_open_loop_stream(self, cf_routed, cf_loadgen):
+        load = cf_loadgen.poisson(rate=150.0, duration=0.1)
+        assert load.n_requests > 0
+        harness = ServingHarness(
+            cf_routed, deadline=0.05, backend=SequentialBackend(),
+            clock_factory=simulated_clock_factory(400.0))
+        stats = harness.run_open_loop(load)
+        assert stats.n_requests == load.n_requests
+        assert stats.n_components == 4
+        assert stats.sub_latencies.size == load.n_requests * 4
+        assert all(a is not None for a in stats.answers)
+        assert stats.p50() <= stats.p95() <= stats.p99()
+
+    def test_closed_loop_stream(self, cf_routed, cf_loadgen):
+        load = cf_loadgen.closed_loop(n_clients=2, n_requests=6)
+        with ThreadPoolBackend(max_workers=4) as backend:
+            harness = ServingHarness(cf_routed, deadline=10.0,
+                                     backend=backend)
+            stats = harness.run_closed_loop(load)
+        assert stats.n_requests == 6
+        assert all(a is not None for a in stats.answers)
+        assert stats.throughput() > 0
+
+
+class TestReplicaGroup:
+    def test_round_robin_rotation(self, cf_adapter, cf_parts):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 3,
+                                   config=CF_CONFIG)
+        picks = [group.next_replica() for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        assert group.sibling_of(2) == 0
+
+    def test_replica_count_mismatch_rejected(self, cf_adapter, cf_parts):
+        a = AccuracyTraderService(cf_adapter, cf_parts[0:2], config=CF_CONFIG)
+        b = AccuracyTraderService(cf_adapter, cf_parts[0:1], config=CF_CONFIG)
+        with pytest.raises(ValueError):
+            ReplicaGroup([a, b])
+        with pytest.raises(ValueError):
+            ReplicaGroup([])
+
+    def test_updates_fan_out_to_all_replicas(self, cf_adapter, cf_parts,
+                                             cf_loadgen):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
+                                   config=CF_CONFIG)
+        part = group.replicas[0].partitions[0]
+        new = part.with_rows_appended(
+            np.zeros(3, dtype=np.int64), np.array([0, 1, 2]),
+            np.array([4.0, 3.5, 5.0]))
+        reports = group.add_points(0, new, [part.n_users])
+        assert len(reports) == 2
+        # Every replica published the same new synopsis version, so the
+        # group still answers identically no matter which replica is hit.
+        counts = {r.synopses[0].n_aggregated for r in group.replicas}
+        assert len(counts) == 1
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        answers = [r.process(request, 10.0)[0] for r in group.replicas]
+        assert answers[0].numer == answers[1].numer
+        assert answers[0].denom == answers[1].denom
+
+
+class TestDeadlineBudgets:
+    def test_budget_validation(self, cf_adapter, cf_parts):
+        shard = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 1,
+                                   config=CF_CONFIG)
+        with pytest.raises(ValueError):
+            ShardedService([shard], deadline_budgets=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            ShardedService([shard], deadline_budgets=[0.0])
+
+    def test_starved_shard_refines_less(self, cf_adapter, cf_parts,
+                                        cf_loadgen):
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+
+        def run(budgets):
+            svc = ShardedService(
+                [AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                       config=CF_CONFIG),
+                 AccuracyTraderService(cf_adapter, cf_parts[2:4],
+                                       config=CF_CONFIG)],
+                deadline_budgets=budgets)
+            _, reports = svc.process(request, 10.0,
+                                     clocks=sim_clocks(4, speed=400.0))
+            return [r.groups_processed for r in reports]
+
+        fair = run([1.0, 1.0])
+        skewed = run([1.0, 1e-6])
+        assert skewed[0:2] == fair[0:2]          # shard 0 untouched
+        assert sum(skewed[2:4]) < sum(fair[2:4])  # shard 1 starved
+
+
+class TestHedgedRouting:
+    """Live hedging mirrors the simulator's tied-request semantics."""
+
+    # Hedge trigger: wide enough that a clean request (a few ms) never
+    # spuriously hedges onto the straggler even on a loaded CI box, and
+    # far below the straggler's guaranteed >= 4 x 30 ms of serial sleeps.
+    THRESHOLD_S = 0.02
+
+    @pytest.fixture()
+    def straggler_cluster(self, cf_adapter, cf_parts):
+        """2 shards x 2 replicas; shard 0's replica 0 stalls on I/O.
+
+        Shard 0 caps refinement at i_max=3 so a losing stall copy (which
+        runs to completion, no preemption) occupies its worker for a
+        bounded ~0.12 s and cannot starve the pool across requests.
+        """
+        stall = IOStallAdapter(cf_adapter, synopsis_stall=0.03,
+                               group_stall=0.03)
+        shard0 = [AccuracyTraderService(stall, cf_parts[0:2],
+                                        config=CF_CONFIG, i_max=3),
+                  AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                        config=CF_CONFIG, i_max=3)]
+        shard1 = [AccuracyTraderService(cf_adapter, cf_parts[2:4],
+                                        config=CF_CONFIG),
+                  AccuracyTraderService(cf_adapter, cf_parts[2:4],
+                                        config=CF_CONFIG)]
+        return shard0, shard1
+
+    @staticmethod
+    def serve(shard0, shard1, loadgen, hedge):
+        # Fresh groups per run: independent round-robin counters, so both
+        # runs hit the straggler replica on the same request indices.
+        # Losing stall copies run to completion (no preemption), so the
+        # pool must be wide enough that discarded sleepers cannot starve
+        # later hedge copies of workers.
+        load = loadgen.closed_loop(n_clients=1, n_requests=8)
+        with ThreadPoolBackend(max_workers=16) as backend:
+            svc = ShardedService(
+                [ReplicaGroup(shard0), ReplicaGroup(shard1)],
+                backend=backend, hedge=hedge)
+            harness = ServingHarness(svc, deadline=10.0)
+            stats = harness.run_closed_loop(load)
+        return svc, stats
+
+    def test_hedged_routing_beats_unhedged_p99(self, straggler_cluster,
+                                               cf_loadgen):
+        shard0, shard1 = straggler_cluster
+        unhedged_svc, unhedged = self.serve(shard0, shard1, cf_loadgen,
+                                            hedge=None)
+        hedged_svc, hedged = self.serve(
+            shard0, shard1, cf_loadgen,
+            hedge=ReissueStrategy(
+                100.0, initial_expected_latency=self.THRESHOLD_S))
+
+        assert unhedged_svc.hedges_issued == 0
+        assert hedged_svc.hedges_issued > 0
+        assert hedged_svc.hedge_wins > 0
+        # The straggler replica pays 4 serial 30 ms sleeps per request
+        # (synopsis + 3 group fetches), so unhedged p99 is bounded below
+        # by 0.12 s of guaranteed sleep; hedged requests are rescued by
+        # the clean sibling shortly after the 20 ms threshold.
+        assert unhedged.p99() >= 0.1
+        assert hedged.p99() < 0.5 * unhedged.p99()
+        # Both routes produce real merged answers for every request.
+        assert all(a is not None for a in hedged.answers)
+        assert all(a is not None for a in unhedged.answers)
+
+    def test_hedged_answers_match_unhedged(self, straggler_cluster,
+                                           cf_loadgen):
+        # Generous deadline: every replica refines fully, so first-answer-
+        # wins cannot change the merged result.
+        shard0, shard1 = straggler_cluster
+        _, unhedged = self.serve(shard0, shard1, cf_loadgen, hedge=None)
+        _, hedged = self.serve(
+            shard0, shard1, cf_loadgen,
+            hedge=ReissueStrategy(
+                100.0, initial_expected_latency=self.THRESHOLD_S))
+        for a, b in zip(unhedged.answers, hedged.answers):
+            assert a.numer == b.numer and a.denom == b.denom
+
+    def test_sequential_backend_never_hedges(self, cf_adapter, cf_parts,
+                                             cf_loadgen):
+        # An inline backend completes at submit time: hedging cannot
+        # trigger, and the router must still answer correctly.
+        svc = ShardedService(
+            [ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
+                                config=CF_CONFIG)],
+            backend=SequentialBackend(),
+            hedge=ReissueStrategy(100.0, initial_expected_latency=0.0001))
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        answer, reports = svc.process(request, 10.0)
+        assert answer is not None and len(reports) == 2
+        assert svc.hedges_issued == 0
+
+
+class TestRouterLifecycle:
+    def test_router_owns_spec_backend(self, cf_adapter, cf_parts,
+                                      cf_loadgen):
+        svc = ShardedService(
+            [AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                   config=CF_CONFIG)],
+            backend="thread")
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        with svc:
+            svc.process(request, 10.0)
+            assert svc.backend._pool is not None
+        assert svc.backend._pool is None
+
+    def test_router_leaves_shared_backend_alone(self, cf_adapter, cf_parts,
+                                                cf_loadgen):
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        with ThreadPoolBackend(max_workers=2) as backend:
+            with ShardedService(
+                    [AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                           config=CF_CONFIG)],
+                    backend=backend) as svc:
+                svc.process(request, 10.0)
+            # Router exit must not have shut the caller's pool down.
+            assert backend._pool is not None
+            backend.run_tasks([])
+
+    def test_shard_type_validated(self):
+        with pytest.raises(TypeError):
+            ShardedService(["not-a-shard"])
+        with pytest.raises(ValueError):
+            ShardedService([])

@@ -1,9 +1,101 @@
-"""Round-robin component partitioning of workload data."""
+"""Shard maps and component partitioning of workload data."""
 
 import numpy as np
 import pytest
 
-from repro.workloads.partitioning import split_corpus, split_ratings
+from repro.workloads.partitioning import (
+    ShardMap,
+    make_shard_map,
+    shard_corpus,
+    shard_ratings,
+    split_corpus,
+    split_ratings,
+)
+
+
+class TestShardMap:
+    @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
+    def test_total_coverage_and_dense_local_ids(self, strategy):
+        smap = make_shard_map(97, 4, strategy=strategy)
+        counts = smap.counts()
+        assert counts.sum() == 97
+        # Local ids are dense 0..count-1 within each shard, ascending
+        # with the global id.
+        for s in range(4):
+            members = smap.members_of(s)
+            np.testing.assert_array_equal(
+                smap.local_ids[members], np.arange(members.size))
+
+    def test_round_robin_formula(self):
+        smap = make_shard_map(10, 3)
+        np.testing.assert_array_equal(smap.assignments,
+                                      np.arange(10) % 3)
+        np.testing.assert_array_equal(smap.local_ids, np.arange(10) // 3)
+
+    def test_hash_deterministic_and_seeded(self):
+        a = make_shard_map(500, 4, strategy="hash", seed=1)
+        b = make_shard_map(500, 4, strategy="hash", seed=1)
+        c = make_shard_map(500, 4, strategy="hash", seed=2)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        assert not np.array_equal(a.assignments, c.assignments)
+
+    def test_hash_roughly_balanced(self):
+        smap = make_shard_map(4000, 4, strategy="hash", seed=0)
+        counts = smap.counts()
+        # Multinomial(4000, 1/4): 5 sigma is ~137.
+        assert counts.min() > 1000 - 150 and counts.max() < 1000 + 150
+
+    def test_locality_contiguous_ranges(self):
+        smap = make_shard_map(103, 4, strategy="locality")
+        for s in range(4):
+            members = smap.members_of(s)
+            assert members.size > 0
+            np.testing.assert_array_equal(
+                members, np.arange(members[0], members[-1] + 1))
+        # Ranges ordered by shard index and balanced within one record.
+        assert smap.assignments[0] == 0 and smap.assignments[-1] == 3
+        assert np.all(np.diff(smap.assignments) >= 0)
+        assert smap.counts().max() - smap.counts().min() <= 1
+
+    def test_routing_accessors(self):
+        smap = make_shard_map(10, 3)
+        assert smap.shard_of(4) == 1
+        assert smap.local_id(4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_shard_map(10, 0)
+        with pytest.raises(ValueError):
+            make_shard_map(-1, 2)
+        with pytest.raises(ValueError):
+            make_shard_map(10, 2, strategy="modulo")
+        with pytest.raises(ValueError):
+            ShardMap(2, 4, "modulo", np.zeros(4, dtype=np.int64),
+                     np.zeros(4, dtype=np.int64))
+
+
+class TestShardRatings:
+    @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
+    def test_every_rating_lands_once(self, small_ratings, strategy):
+        matrix = small_ratings.matrix
+        smap = make_shard_map(matrix.n_users, 3, strategy=strategy, seed=5)
+        parts = shard_ratings(matrix, smap)
+        assert [p.n_users for p in parts] == smap.counts().tolist()
+        assert all(p.n_items == matrix.n_items for p in parts)
+        total = 0
+        for user in range(matrix.n_users):
+            part = parts[smap.shard_of(user)]
+            ids, vals = part.user_ratings(smap.local_id(user))
+            gids, gvals = matrix.user_ratings(user)
+            np.testing.assert_array_equal(ids, gids)
+            np.testing.assert_array_equal(vals, gvals)
+            total += ids.size
+        assert total == matrix.to_triples()[0].size
+
+    def test_record_count_mismatch_rejected(self, small_ratings):
+        smap = make_shard_map(small_ratings.matrix.n_users + 1, 2)
+        with pytest.raises(ValueError):
+            shard_ratings(small_ratings.matrix, smap)
 
 
 class TestSplitRatings:
@@ -34,6 +126,24 @@ class TestSplitRatings:
     def test_zero_parts_rejected(self, small_ratings):
         with pytest.raises(ValueError):
             split_ratings(small_ratings.matrix, 0)
+
+
+class TestShardCorpus:
+    @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
+    def test_every_page_lands_once(self, small_corpus, strategy):
+        corpus = small_corpus.partition
+        smap = make_shard_map(corpus.n_docs, 3, strategy=strategy, seed=5)
+        parts = shard_corpus(corpus, smap)
+        assert sum(p.n_docs for p in parts) == corpus.n_docs
+        for doc_id in range(corpus.n_docs):
+            part = parts[smap.shard_of(doc_id)]
+            assert part.tokens_of(smap.local_id(doc_id)) == \
+                corpus.tokens_of(doc_id)
+
+    def test_record_count_mismatch_rejected(self, small_corpus):
+        smap = make_shard_map(small_corpus.partition.n_docs + 1, 2)
+        with pytest.raises(ValueError):
+            shard_corpus(small_corpus.partition, smap)
 
 
 class TestSplitCorpus:
