@@ -1,0 +1,290 @@
+"""Async serving tier: event-loop concurrency vs the thread-pool cap.
+
+Three measurements on the CF workload (plus a search cross-check):
+
+- **concurrency headroom** — the same stall-dominated burst (every
+  request parks ~0.3 s on storage stalls) served by the async tier and
+  by the thread tier.  The :class:`~repro.serving.aio.
+  AsyncServingHarness` holds the *entire* burst in flight on one event
+  loop (``inflight_max`` ≥ 1000 at full and toy scale alike), while the
+  thread harness is capped at ``max_concurrency`` blocked workers — the
+  structural limit this PR removes.
+- **bit-identical answers** — the async backend must change *where*
+  work runs, never *what* it computes: CF and search answers through
+  ``aprocess`` + ``AsyncExecutionBackend`` are compared bit-for-bit
+  against ``SequentialBackend``.
+- **hedged sharded run under the budget cap** — a 2-shard x 2-replica
+  cluster with one straggler replica, served async with live hedged
+  re-issue under the default 5% hedge budget: the realized per-run
+  hedge rate must stay at or below the configured fraction.
+
+Emits machine-readable ``BENCH_async.json`` for the CI smoke run.
+
+Run:  PYTHONPATH=src python benchmarks/bench_async_serving.py [--toy]
+          [--out BENCH_async.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import simulated_clock_factory
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+    LoadGenerator,
+    ReplicaGroup,
+    SequentialBackend,
+    ServingHarness,
+    ShardedService,
+)
+from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+SYNOPSIS_STALL_S = 0.25   # per-request storage stall (dominates service time)
+GROUP_STALL_S = 0.05
+THREAD_CAP = 64           # the thread tier's max_concurrency
+STRAGGLER_STALL_S = 0.08  # sharded run: slow replica's per-operation stall
+FAST_STALL_S = 0.002
+HEDGE_TRIGGER_S = 0.02
+HEDGE_BUDGET = 0.05       # Dean & Barroso's ~5% rule (the default)
+DEADLINE_S = 10.0
+
+
+@dataclass
+class Scale:
+    n_async: int      # burst size for the async tier (>= 1000 everywhere)
+    n_thread: int     # burst size for the thread tier (kept small: each
+    #                   request blocks a worker for the full stall time)
+    n_sharded: int
+    n_users: int
+    n_items: int
+
+
+FULL = Scale(n_async=1500, n_thread=192, n_sharded=60,
+             n_users=240, n_items=40)
+TOY = Scale(n_async=1100, n_thread=96, n_sharded=40,
+            n_users=96, n_items=30)
+
+CONFIG = SynopsisConfig(n_iters=25, target_ratio=12.0, seed=31)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def tier_row(tier: str, stats, extra: dict) -> dict:
+    return {
+        "tier": tier,
+        "n_requests": stats.n_requests,
+        "inflight_max": stats.inflight_max,
+        "throughput_rps": stats.throughput(),
+        "duration_s": stats.duration,
+        "p50_s": stats.p50(),
+        "p95_s": stats.p95(),
+        "p99_s": stats.p99(),
+        **extra,
+    }
+
+
+def run_tiers(scale: Scale, matrix) -> list[dict]:
+    """The same stall-dominated burst through the async and thread tiers."""
+    loadgen = make_loadgen(matrix)
+    stall = AsyncStallAdapter(CFAdapter(), synopsis_stall=SYNOPSIS_STALL_S,
+                              group_stall=GROUP_STALL_S)
+    rows = []
+
+    svc = AccuracyTraderService(stall, split_ratings(matrix, 1),
+                                config=CONFIG, i_max=1)
+    with svc, AsyncExecutionBackend() as backend:
+        harness = AsyncServingHarness(svc, deadline=DEADLINE_S,
+                                      backend=backend)
+        stats = harness.run_open_loop(loadgen.fixed(np.zeros(scale.n_async)))
+        rows.append(tier_row("async", stats, {"concurrency_cap": None}))
+
+    svc = AccuracyTraderService(stall, split_ratings(matrix, 1),
+                                config=CONFIG, i_max=1)
+    with svc:
+        # Same adapter, sync path: every stall blocks one of THREAD_CAP
+        # dispatch workers, so at most THREAD_CAP requests are in flight
+        # (inflight_max is measured by the harness, not assumed).
+        harness = ServingHarness(svc, deadline=DEADLINE_S,
+                                 max_concurrency=THREAD_CAP)
+        stats = harness.run_open_loop(
+            loadgen.fixed(np.zeros(scale.n_thread)))
+        rows.append(tier_row("thread", stats,
+                             {"concurrency_cap": THREAD_CAP}))
+    return rows
+
+
+def check_bit_identical(scale: Scale, matrix) -> dict:
+    """Async answers vs SequentialBackend, bit for bit, both workloads."""
+    import asyncio
+
+    clocks = simulated_clock_factory(400.0)
+    outcome = {}
+
+    cf_svc = AccuracyTraderService(CFAdapter(), split_ratings(matrix, 4),
+                                   config=CONFIG)
+    loadgen = make_loadgen(matrix)
+    ok = True
+    with cf_svc, AsyncExecutionBackend() as backend:
+        for i in range(4):
+            request = loadgen.request_factory(i, np.random.default_rng(i))
+            base, _ = cf_svc.process(request, 0.05,
+                                     clocks=[clocks(c) for c in range(4)],
+                                     backend=SequentialBackend())
+            ans, _ = asyncio.run(cf_svc.aprocess(
+                request, 0.05, clocks=[clocks(c) for c in range(4)],
+                backend=backend))
+            ok &= (ans.numer == base.numer and ans.denom == base.denom)
+    outcome["cf"] = bool(ok)
+
+    corpus = generate_corpus(CorpusConfig(n_docs=160, n_topics=8,
+                                          vocab_size=1600, seed=13))
+    from repro.core.adapters import SearchAdapter, SearchQuery
+
+    search_svc = AccuracyTraderService(
+        SearchAdapter(), split_corpus(corpus.partition, 4),
+        config=SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7),
+        i_max_fraction=0.4)
+    query = SearchQuery(terms=corpus.partition.tokens_of(0)[:2], k=10)
+    ok = True
+    with search_svc, AsyncExecutionBackend() as backend:
+        base, _ = search_svc.process(query, 0.05,
+                                     clocks=[clocks(c) for c in range(4)],
+                                     backend=SequentialBackend())
+        ans, _ = asyncio.run(search_svc.aprocess(
+            query, 0.05, clocks=[clocks(c) for c in range(4)],
+            backend=backend))
+        ok &= ([(h.doc_id, h.score) for h in ans]
+               == [(h.doc_id, h.score) for h in base])
+    outcome["search"] = bool(ok)
+    return outcome
+
+
+def run_sharded_async(scale: Scale, matrix) -> dict:
+    """Async hedged routing with the default 5% hedge budget enforced."""
+    parts = split_ratings(matrix, 2)
+
+    def replica(slow: bool, part) -> AccuracyTraderService:
+        stall = STRAGGLER_STALL_S if slow else FAST_STALL_S
+        return AccuracyTraderService(
+            AsyncStallAdapter(CFAdapter(), synopsis_stall=stall,
+                              group_stall=stall),
+            [part], config=CONFIG, i_max=2)
+
+    shards = [
+        ReplicaGroup([replica(True, parts[0]), replica(False, parts[0])]),
+        ReplicaGroup([replica(False, parts[1]), replica(False, parts[1])]),
+    ]
+    loadgen = make_loadgen(matrix)
+    load = loadgen.fixed(np.arange(scale.n_sharded) / 50.0)
+    with AsyncExecutionBackend() as backend:
+        svc = ShardedService(
+            shards, backend=backend,
+            hedge=ReissueStrategy(100.0,
+                                  initial_expected_latency=HEDGE_TRIGGER_S),
+            hedge_budget=HEDGE_BUDGET)
+        with svc:
+            harness = AsyncServingHarness(svc, deadline=DEADLINE_S,
+                                          backend=backend)
+            stats = harness.run_open_loop(load)
+    return {
+        "n_requests": stats.n_requests,
+        "shard_calls": stats.shard_calls,
+        "hedges_issued": stats.hedges_issued,
+        "hedge_wins": stats.hedge_wins,
+        "hedge_rate": stats.hedge_rate(),
+        "hedge_budget": HEDGE_BUDGET,
+        "p50_s": stats.p50(),
+        "p99_s": stats.p99(),
+    }
+
+
+def run(scale: Scale) -> dict:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.25,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=31))
+    return {
+        "bench": "async_serving",
+        "workload": "cf+search",
+        "scale": {"n_async": scale.n_async, "n_thread": scale.n_thread,
+                  "n_sharded": scale.n_sharded,
+                  "n_users": scale.n_users, "n_items": scale.n_items},
+        "stalls_s": {"synopsis": SYNOPSIS_STALL_S, "group": GROUP_STALL_S},
+        "tiers": run_tiers(scale, ratings.matrix),
+        "bit_identical": check_bit_identical(scale, ratings.matrix),
+        "sharded_async": run_sharded_async(scale, ratings.matrix),
+    }
+
+
+def print_table(result: dict) -> None:
+    print("async serving — stall-dominated burst, CF, 1 component")
+    print(f"{'tier':>8}{'reqs':>7}{'inflight':>10}{'req/s':>9}"
+          f"{'p50 ms':>9}{'p99 ms':>9}")
+    for row in result["tiers"]:
+        print(f"{row['tier']:>8}{row['n_requests']:>7}"
+              f"{row['inflight_max']:>10}{row['throughput_rps']:>9.0f}"
+              f"{1e3 * row['p50_s']:>9.0f}{1e3 * row['p99_s']:>9.0f}")
+    print("bit-identical vs sequential:", result["bit_identical"])
+    sharded = result["sharded_async"]
+    print(f"sharded async hedged: {sharded['hedges_issued']} hedges / "
+          f"{sharded['shard_calls']} shard calls "
+          f"(rate {sharded['hedge_rate']:.3f} <= "
+          f"budget {sharded['hedge_budget']})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_async.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    async_row = next(r for r in result["tiers"] if r["tier"] == "async")
+    if async_row["inflight_max"] < 1000:
+        failures.append(
+            f"async tier held only {async_row['inflight_max']} in flight")
+    if not all(result["bit_identical"].values()):
+        failures.append(f"bit-identity broken: {result['bit_identical']}")
+    sharded = result["sharded_async"]
+    if sharded["hedge_rate"] > sharded["hedge_budget"]:
+        failures.append(
+            f"hedge rate {sharded['hedge_rate']:.3f} exceeds the "
+            f"{sharded['hedge_budget']} budget")
+    if sharded["hedges_issued"] < 1:
+        failures.append("no hedges were issued in the sharded run")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

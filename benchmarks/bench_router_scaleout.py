@@ -80,7 +80,10 @@ def build_routed(parts, n_shards: int, backend, hedged: bool):
     hedge = (ReissueStrategy(100.0,
                              initial_expected_latency=HEDGE_TRIGGER_S)
              if hedged else None)
-    return ShardedService(shards, backend=backend, hedge=hedge)
+    # Uncapped hedging: this bench isolates the hedging effect itself;
+    # the budget cap is exercised by bench_async_serving.py.
+    return ShardedService(shards, backend=backend, hedge=hedge,
+                          hedge_budget=None)
 
 
 def make_loadgen(matrix) -> LoadGenerator:

@@ -93,8 +93,12 @@ def main() -> None:
         hedge = (ReissueStrategy(100.0, initial_expected_latency=0.015)
                  if hedged else None)
         with ThreadPoolBackend(max_workers=16) as backend:
+            # hedge_budget=None: this walkthrough wants every straggler
+            # re-issued; see examples/async_serving.py for the capped,
+            # budgeted behaviour a production deployment would run with.
             with ShardedService(build_cluster(parts, with_straggler=True),
-                                backend=backend, hedge=hedge) as svc:
+                                backend=backend, hedge=hedge,
+                                hedge_budget=None) as svc:
                 harness = ServingHarness(svc, deadline=10.0)
                 stats = harness.run_closed_loop(load)
                 name = "hedged" if hedged else "unhedged"

@@ -25,7 +25,28 @@ from repro.core.clock import DeadlineClock, WallClock
 from repro.core.synopsis import Synopsis
 
 __all__ = ["ProcessingReport", "AccuracyAwareProcessor", "refine_to_depth",
-           "process_component"]
+           "process_component", "effective_i_max"]
+
+
+def effective_i_max(n_groups: int, i_max: int | None,
+                    i_max_fraction: float | None) -> int:
+    """The effective ranked-group refinement cap for one execution.
+
+    Shared by the sync processor and the async mirror
+    (:func:`repro.serving.aio.aprocess_component`) so both enforce the
+    identical cap.  Validates the mutually-exclusive pair.
+    """
+    if i_max is not None and i_max_fraction is not None:
+        raise ValueError("pass at most one of i_max / i_max_fraction")
+    if i_max is not None:
+        if i_max < 0:
+            raise ValueError("i_max must be non-negative")
+        return min(i_max, n_groups)
+    if i_max_fraction is not None:
+        if not (0.0 <= i_max_fraction <= 1.0):
+            raise ValueError("i_max_fraction must be within [0, 1]")
+        return min(n_groups, int(np.ceil(i_max_fraction * n_groups)))
+    return n_groups
 
 
 def process_component(adapter: ServiceAdapter, partition, synopsis: Synopsis,
@@ -84,6 +105,9 @@ class ProcessingReport:
     hit_deadline: bool = False      # stopped because time ran out
     hit_imax: bool = False          # stopped because i_max was reached
     exhausted: bool = False         # processed every group
+    cancelled: bool = False         # refinement interrupted by cancellation
+    #   (async tier only: the execution was cancelled mid-refinement and
+    #   finalized from the groups processed so far — see repro.serving.aio)
 
 
 class AccuracyAwareProcessor:
@@ -123,12 +147,8 @@ class AccuracyAwareProcessor:
     @property
     def i_max(self) -> int:
         """Effective group cap for the current synopsis."""
-        m = self.synopsis.n_aggregated
-        if self._i_max is not None:
-            return min(self._i_max, m)
-        if self._i_max_fraction is not None:
-            return min(m, int(np.ceil(self._i_max_fraction * m)))
-        return m
+        return effective_i_max(self.synopsis.n_aggregated,
+                               self._i_max, self._i_max_fraction)
 
     # ------------------------------------------------------------------
 

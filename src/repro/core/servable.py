@@ -52,6 +52,18 @@ class Servable(Protocol):
         """
         ...
 
+    async def aprocess(self, request, deadline: float, clocks=None,
+                       backend=None) -> tuple[Any, list[ProcessingReport]]:
+        """Async :meth:`process`: same contract, awaitable execution.
+
+        On an :class:`~repro.serving.aio.AsyncExecutionBackend` the
+        per-component work is awaited natively (one event loop holds
+        thousands of in-flight requests); any other backend is bridged
+        through an executor so the caller's loop never blocks.  Results
+        are bit-identical to :meth:`process` over the same state.
+        """
+        ...
+
     def exact(self, request) -> Any:
         """Full exact computation (ground truth for accuracy scoring)."""
         ...

@@ -217,6 +217,27 @@ class AccuracyTraderService:
         reports = [o.report for o in outcomes]
         return self._merge(results, request), reports
 
+    async def aprocess(self, request, deadline: float,
+                       clocks: list[DeadlineClock] | None = None,
+                       backend=None,
+                       ) -> tuple[Any, list[ProcessingReport]]:
+        """Async :meth:`process` — same contract, awaitable execution.
+
+        On an :class:`~repro.serving.aio.AsyncExecutionBackend` the
+        component tasks run natively on the calling event loop; any
+        other backend is bridged through an executor so the loop never
+        blocks.  Bit-identical to :meth:`process` over the same
+        snapshots and clocks.
+        """
+        from repro.serving.aio import arun_tasks
+
+        tasks = self.build_tasks(request, deadline, clocks)
+        exec_backend = self.backend if backend is None else backend
+        outcomes = await arun_tasks(exec_backend, tasks)
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
+        return self._merge(results, request), reports
+
     def exact_components(self, request) -> list:
         """Unmerged exact per-component results (for cross-shard merging)."""
         return [self.adapter.exact(s.partition, request)

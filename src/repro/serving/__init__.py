@@ -43,11 +43,23 @@ Pieces
   charging real per-operation stalls (the remote storage/network access
   the simulator abstracts as work units).
 - :mod:`repro.serving.router` — the scale-out tier: :class:`ReplicaGroup`
-  (replicated services, updates fanned out) and :class:`ShardedService`
-  (sharded routing with per-shard deadline budgets and live hedged
-  re-issue across replicas).  Both are
+  (replicated services, updates fanned out, pluggable ring/p2c hedge
+  placement) and :class:`ShardedService` (sharded routing with per-shard
+  deadline budgets, shard-map-routed updates, and live hedged re-issue
+  across replicas under a Dean & Barroso-style hedge budget).  Both are
   :class:`~repro.core.servable.Servable`, so the harness drives a routed
   cluster through the same API as a single service.
+- :mod:`repro.serving.aio` — the async tier: an event-loop
+  :class:`~repro.serving.aio.AsyncExecutionBackend`, the async
+  ``aprocess`` path through every ``Servable`` (hedged fan-out with real
+  cancellation of the losing copy), and the
+  :class:`~repro.serving.aio.AsyncServingHarness` holding thousands of
+  in-flight requests where the thread tier is capped at
+  ``max_concurrency``.
+- :mod:`repro.serving.admission` — admission control for the async
+  tier: bounded pending queue, in-flight concurrency limit, and
+  pluggable shed policies (reject-on-full, deadline-aware early drop),
+  with counters surfaced in :class:`ServingRunStats`.
 
 Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
 publishes each component's ``(partition, synopsis)`` as an immutable
@@ -57,6 +69,18 @@ docstring for details.
 """
 
 from repro.serving.adapters import IOStallAdapter
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionStats,
+    DeadlineAwareDrop,
+    RejectOnFull,
+    ShedPolicy,
+)
+from repro.serving.aio import (
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+)
 from repro.serving.backends import (
     ComponentOutcome,
     ComponentTask,
@@ -87,4 +111,12 @@ __all__ = [
     "AccuracyPoint",
     "ReplicaGroup",
     "ShardedService",
+    "AsyncExecutionBackend",
+    "AsyncServingHarness",
+    "AsyncStallAdapter",
+    "AdmissionController",
+    "AdmissionStats",
+    "ShedPolicy",
+    "RejectOnFull",
+    "DeadlineAwareDrop",
 ]

@@ -1,0 +1,289 @@
+"""Admission control for the async serving tier: queue, limit, shed.
+
+An event loop will happily accept millions of in-flight requests — which
+is exactly how an overloaded service dies.  Real services in the paper's
+setting bound what they accept: a request is either *admitted* (it may
+wait in a bounded pending queue for one of a limited number of execution
+slots) or *shed* immediately with a cheap rejection, so the work the
+service does accept still meets its deadline.  This module provides that
+layer for :class:`~repro.serving.aio.AsyncServingHarness`:
+
+- :class:`AdmissionController` — a bounded pending queue plus an
+  in-flight concurrency limiter (an :class:`asyncio.Semaphore`), with
+  per-reason shed counters and high-water marks surfaced into
+  :class:`~repro.serving.harness.ServingRunStats`;
+- :class:`ShedPolicy` — pluggable shed decisions, consulted both when a
+  request *arrives* (before it may queue) and when it is *dispatched*
+  (after its queue wait, before it burns an execution slot):
+
+  - :class:`RejectOnFull` — classic bounded-queue rejection: arrival
+    with the pending queue at capacity is shed;
+  - :class:`DeadlineAwareDrop` — early drop: a request that has already
+    waited a configurable fraction of its deadline is shed — serving it
+    would burn a slot on an answer the client counts as missed anyway.
+
+Everything here is single-loop asyncio: counters need no locks because
+they are only touched between awaits on one event loop.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AdmissionSnapshot",
+    "AdmissionStats",
+    "ShedPolicy",
+    "RejectOnFull",
+    "DeadlineAwareDrop",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """What a shed policy sees when deciding one request's fate.
+
+    Attributes
+    ----------
+    pending:
+        Requests admitted but still waiting for an execution slot.
+    max_pending:
+        Capacity of the pending queue.
+    inflight:
+        Requests currently holding an execution slot.
+    max_inflight:
+        Number of execution slots.
+    deadline:
+        The request's per-component deadline (seconds).
+    waited:
+        Seconds this request has already spent waiting — queueing delay
+        inherited from the arrival process at arrival time, plus the
+        pending-queue wait by dispatch time.
+    """
+
+    pending: int
+    max_pending: int
+    inflight: int
+    max_inflight: int
+    deadline: float
+    waited: float
+
+
+@dataclass
+class AdmissionStats:
+    """Counter snapshot of one controller (cumulative since reset)."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    shed_reasons: dict = field(default_factory=dict)
+    queue_depth_max: int = 0
+    inflight_max: int = 0
+
+
+class ShedPolicy(abc.ABC):
+    """One pluggable shed decision.
+
+    Either hook returns a short reason string to shed the request, or
+    ``None`` to let it through.  ``on_arrival`` runs before the request
+    may enter the pending queue; ``on_dispatch`` runs after its queue
+    wait, just before it would occupy an execution slot.
+    """
+
+    name: str = "abstract"
+
+    def on_arrival(self, snapshot: AdmissionSnapshot) -> str | None:
+        return None
+
+    def on_dispatch(self, snapshot: AdmissionSnapshot) -> str | None:
+        return None
+
+
+class RejectOnFull(ShedPolicy):
+    """Shed arrivals that would wait behind a full pending queue.
+
+    An arrival is only rejected when it would actually have to queue:
+    the pending queue is at capacity *and* every execution slot is
+    taken.  ``max_pending=0`` therefore means "no queueing, concurrency
+    limit only", not "shed everything".
+    """
+
+    name = "reject_on_full"
+
+    def on_arrival(self, snapshot: AdmissionSnapshot) -> str | None:
+        if snapshot.pending >= snapshot.max_pending and \
+                snapshot.inflight >= snapshot.max_inflight:
+            return "queue_full"
+        return None
+
+
+class DeadlineAwareDrop(ShedPolicy):
+    """Shed requests that already spent too much of their deadline waiting.
+
+    Parameters
+    ----------
+    max_wait_fraction:
+        A request whose accumulated wait reaches this fraction of its
+        deadline is shed (``1.0``: shed once the deadline is provably
+        blown; smaller: leave headroom for actual processing).
+    """
+
+    name = "deadline_aware"
+
+    def __init__(self, max_wait_fraction: float = 1.0):
+        if max_wait_fraction <= 0:
+            raise ValueError("max_wait_fraction must be positive")
+        self.max_wait_fraction = float(max_wait_fraction)
+
+    def _verdict(self, snapshot: AdmissionSnapshot) -> str | None:
+        if snapshot.waited >= self.max_wait_fraction * snapshot.deadline:
+            return "deadline_expired"
+        return None
+
+    on_arrival = _verdict
+    on_dispatch = _verdict
+
+
+class AdmissionController:
+    """Bounded pending queue + concurrency limiter + shed policies.
+
+    Usage (from coroutines on one event loop)::
+
+        reason = await controller.acquire(deadline=0.1, waited=lateness)
+        if reason is not None:
+            ...count the shed request; no slot is held...
+        else:
+            try:
+                ...serve...
+            finally:
+                controller.release()
+
+    Parameters
+    ----------
+    max_pending:
+        Capacity of the pending queue (admitted requests waiting for a
+        slot).
+    max_inflight:
+        Execution slots — requests concurrently past admission.
+    policies:
+        Shed policies consulted in order; the first reason wins.
+        Defaults to ``[RejectOnFull()]``.
+    """
+
+    def __init__(self, max_pending: int = 1024, max_inflight: int = 256,
+                 policies: list[ShedPolicy] | None = None):
+        if max_pending < 0:
+            raise ValueError("max_pending must be non-negative")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_pending = int(max_pending)
+        self.max_inflight = int(max_inflight)
+        self.policies = (list(policies) if policies is not None
+                         else [RejectOnFull()])
+        self._pending = 0
+        self._inflight = 0
+        self._sem: asyncio.Semaphore | None = None
+        self._sem_loop: asyncio.AbstractEventLoop | None = None
+        self._stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+
+    def _snapshot(self, deadline: float, waited: float) -> AdmissionSnapshot:
+        return AdmissionSnapshot(
+            pending=self._pending, max_pending=self.max_pending,
+            inflight=self._inflight, max_inflight=self.max_inflight,
+            deadline=float(deadline), waited=float(waited))
+
+    def _shed(self, reason: str) -> str:
+        self._stats.shed += 1
+        self._stats.shed_reasons[reason] = \
+            self._stats.shed_reasons.get(reason, 0) + 1
+        return reason
+
+    async def acquire(self, deadline: float, waited: float = 0.0,
+                      ) -> str | None:
+        """Admit or shed one request.
+
+        Returns ``None`` when the request was admitted and now holds an
+        execution slot (the caller must :meth:`release`), or the shed
+        reason string when it was dropped (no slot held).  ``waited`` is
+        queueing delay the request accumulated before reaching admission
+        (open-loop lateness), counted against deadline-aware policies.
+        """
+        loop = asyncio.get_running_loop()
+        if self._sem is None or self._sem_loop is not loop:
+            # A fresh loop (e.g. each ``asyncio.run`` of a harness run):
+            # an asyncio.Semaphore binds to the loop it first waits on,
+            # so it must be rebuilt — which is only sound while no slots
+            # or queue places are held on the old loop.
+            if self._pending or self._inflight:
+                raise RuntimeError(
+                    "AdmissionController is in use on another event loop")
+            self._sem = asyncio.Semaphore(self.max_inflight)
+            self._sem_loop = loop
+        self._stats.offered += 1
+        snapshot = self._snapshot(deadline, waited)
+        for policy in self.policies:
+            reason = policy.on_arrival(snapshot)
+            if reason is not None:
+                return self._shed(reason)
+        t_enqueue = loop.time()
+        self._pending += 1
+        self._stats.queue_depth_max = max(self._stats.queue_depth_max,
+                                          self._pending)
+        try:
+            await self._sem.acquire()
+        finally:
+            self._pending -= 1
+        # Dispatch-time check: the queue wait itself may have eaten the
+        # deadline; shedding now still saves the execution slot.
+        snapshot = self._snapshot(deadline,
+                                  waited + (loop.time() - t_enqueue))
+        for policy in self.policies:
+            reason = policy.on_dispatch(snapshot)
+            if reason is not None:
+                self._sem.release()
+                return self._shed(reason)
+        self._inflight += 1
+        self._stats.admitted += 1
+        self._stats.inflight_max = max(self._stats.inflight_max,
+                                       self._inflight)
+        return None
+
+    def release(self) -> None:
+        """Return one execution slot (after a successful ``acquire``)."""
+        if self._inflight < 1:
+            raise RuntimeError("release() without a matching acquire()")
+        self._inflight -= 1
+        assert self._sem is not None
+        self._sem.release()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def stats(self) -> AdmissionStats:
+        """Cumulative counters (live object view; copy if you mutate)."""
+        return self._stats
+
+    def reset_stats(self) -> None:
+        self._stats = AdmissionStats()
+
+    def reset_watermarks(self) -> None:
+        """Reset the high-water marks only (per-run reporting).
+
+        Counters are cumulative and delta-friendly; the queue-depth and
+        in-flight *maxima* are not, so a harness resets them at the
+        start of each run to report run-local peaks.
+        """
+        self._stats.queue_depth_max = self._pending
+        self._stats.inflight_max = self._inflight

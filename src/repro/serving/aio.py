@@ -1,0 +1,530 @@
+"""Async serving tier: one event loop holding thousands of requests.
+
+The thread-pool tier (PR 1/2) costs one blocked OS thread per in-flight
+request: ``ThreadPoolBackend`` tops out at ``max_concurrency`` threads,
+far short of the ROADMAP's "heavy traffic from millions of users".  This
+module rebuilds the serving path on an event loop:
+
+- :func:`aprocess_component` — the async mirror of Algorithm 1
+  (:func:`repro.core.processor.process_component`): identical control
+  flow, deadline checks, and reports, but the per-operation storage /
+  network stalls of an *async-native* adapter are awaited on the loop
+  instead of slept in a thread.  Refinement is cancellable mid-await;
+  a cancelled execution still finalizes the groups processed so far
+  (``report.cancelled``) — a best-so-far answer, never a dropped one.
+- :class:`AsyncStallAdapter` — the async-native twin of
+  :class:`~repro.serving.adapters.IOStallAdapter`: same stalls, same
+  results, but stalls are ``await asyncio.sleep`` for async execution
+  (the sync entry points still block, so the same adapter instance runs
+  on any backend — which is what the async benchmark compares).
+- :class:`AsyncExecutionBackend` — an :class:`~repro.serving.backends.
+  ExecutionBackend` over an event loop.  Async-native component work is
+  awaited directly; plain CPU work is offloaded to a thread pool via
+  ``run_in_executor``.  The sync ``run_tasks`` / ``submit_task``
+  contract is served by a lazily-started dedicated loop thread, so the
+  backend drops into every existing ``Servable`` unchanged; the async
+  ``arun_tasks`` path runs on the caller's loop.  ``cancel_grace``
+  wires per-task cancellation to the task's deadline budget.
+- :class:`AsyncServingHarness` — drives an open-loop trace with one
+  coroutine per request, optionally behind an
+  :class:`~repro.serving.admission.AdmissionController`, and reports
+  the same :class:`~repro.serving.harness.ServingRunStats` shape as the
+  thread harness (plus shed / queue-depth / in-flight counters).
+
+Where the thread tier's hedged routing can only ``Future.cancel`` a
+*queued* losing copy, the async tier cancels a *running* one: the
+loser's next ``await`` raises ``CancelledError`` and its stalls stop
+occupying anything (see ``ShardedService.aprocess``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.clock import ClockFactory, DeadlineClock, WallClock, \
+    wall_clock_factory
+from repro.core.processor import ProcessingReport, effective_i_max
+from repro.serving.adapters import IOStallAdapter
+from repro.serving.admission import AdmissionController
+from repro.serving.backends import ComponentOutcome, ComponentTask, \
+    ExecutionBackend, run_component_task
+from repro.serving.harness import ServingRunStats, apply_hedge_delta, \
+    collect_hedge_counters
+from repro.serving.loadgen import OpenLoopLoad
+
+__all__ = [
+    "is_async_adapter",
+    "AsyncStallAdapter",
+    "aprocess_component",
+    "arun_component_task",
+    "arun_tasks",
+    "AsyncExecutionBackend",
+    "AsyncServingHarness",
+]
+
+
+def is_async_adapter(adapter) -> bool:
+    """Whether ``adapter`` exposes the async online hooks.
+
+    An async-native adapter provides awaitable twins of the two online
+    operations — ``ainitial_result`` and ``arefine`` — whose *results*
+    must match the sync versions (only the waiting differs).
+    """
+    return hasattr(adapter, "ainitial_result") and hasattr(adapter, "arefine")
+
+
+class AsyncStallAdapter(IOStallAdapter):
+    """``IOStallAdapter`` whose stalls can be awaited on an event loop.
+
+    The sync entry points (inherited) still ``time.sleep``, so one
+    instance serves every backend: a thread backend blocks a worker per
+    stall, the async backend parks a coroutine — identical answers,
+    wildly different concurrency ceilings.
+    """
+
+    async def ainitial_result(self, synopsis, request):
+        if self.synopsis_stall:
+            await asyncio.sleep(self.synopsis_stall)
+        return self.inner.initial_result(synopsis, request)
+
+    async def arefine(self, partition, synopsis, group_id: int, request,
+                      state):
+        if self.group_stall:
+            await asyncio.sleep(self.group_stall)
+        return self.inner.refine(partition, synopsis, group_id, request,
+                                 state)
+
+
+# ---------------------------------------------------------------------------
+# Async Algorithm 1
+# ---------------------------------------------------------------------------
+
+
+async def aprocess_component(adapter, partition, synopsis, request,
+                             deadline: float,
+                             clock: DeadlineClock | None = None,
+                             i_max: int | None = None,
+                             i_max_fraction: float | None = None,
+                             start_time: float | None = None,
+                             hard_deadline: float | None = None,
+                             ) -> tuple[Any, ProcessingReport]:
+    """Async mirror of :func:`repro.core.processor.process_component`.
+
+    Control flow, deadline accounting, and the returned report are
+    identical to the sync processor — with a simulated clock the two
+    produce bit-identical results.  The adapter must be async-native
+    (:func:`is_async_adapter`); its stalls are awaited on the loop.
+
+    Cancellation semantics:
+
+    - Stage 1 (synopsis) always completes — the component must produce
+      *some* result (paper §2.3), so external cancellation is only
+      delivered at refinement awaits.
+    - ``hard_deadline`` (wall seconds from execution start) arms a
+      watchdog that cancels refinement mid-await once the budget is
+      spent; the execution then finalizes from the groups refined so
+      far, with ``report.cancelled`` and ``report.hit_deadline`` set.
+      This is what bounds a wall-clock deadline for real: the sync path
+      can only *check* the clock between stalls, the async path
+      interrupts the stall itself.
+    - External cancellation (e.g. a hedged loser) propagates as normal
+      ``CancelledError`` after the in-flight refinement is reaped.
+    """
+    if deadline < 0:
+        raise ValueError("deadline must be non-negative")
+    clock = clock if clock is not None else WallClock()
+    t_submit = clock.now() if start_time is None else float(start_time)
+
+    report = ProcessingReport(deadline=deadline)
+    t_begin = clock.now()
+    t_wall0 = time.monotonic()
+
+    # Stage 1: initial result + correlations from the synopsis.
+    syn_work = adapter.synopsis_work(synopsis)
+    state, correlations = await adapter.ainitial_result(synopsis, request)
+    clock.charge(syn_work)
+    report.work_units += syn_work
+    report.synopsis_elapsed = clock.now() - t_begin
+
+    # Stage 2: rank groups by correlation, refine best-first.
+    order = np.argsort(-np.asarray(correlations), kind="stable")
+    report.groups_ranked = [int(g) for g in order]
+    cap = effective_i_max(synopsis.n_aggregated, i_max, i_max_fraction)
+    i = 0
+
+    async def refine_loop() -> None:
+        nonlocal state, i
+        while True:
+            if i >= len(report.groups_ranked):
+                report.exhausted = True
+                return
+            if i >= cap:
+                report.hit_imax = True
+                return
+            if clock.now() - t_submit >= deadline:
+                report.hit_deadline = True
+                return
+            g = report.groups_ranked[i]
+            work = adapter.group_work(synopsis, g)
+            # ``state`` only advances once a refinement *completes*:
+            # cancellation mid-await leaves the last consistent state.
+            state = await adapter.arefine(partition, synopsis, g, request,
+                                          state)
+            clock.charge(work)
+            report.work_units += work
+            i += 1
+
+    if hard_deadline is None:
+        await refine_loop()
+    else:
+        inner = asyncio.ensure_future(refine_loop())
+        remaining = hard_deadline - (time.monotonic() - t_wall0)
+        try:
+            done, _ = await asyncio.wait({inner},
+                                         timeout=max(0.0, remaining))
+        except asyncio.CancelledError:
+            inner.cancel()
+            await asyncio.gather(inner, return_exceptions=True)
+            raise
+        if not done:
+            inner.cancel()
+            await asyncio.gather(inner, return_exceptions=True)
+            report.cancelled = True
+            report.hit_deadline = True
+        else:
+            inner.result()  # propagate refinement exceptions
+
+    report.groups_processed = i
+    report.total_elapsed = clock.now() - t_begin
+    result = adapter.finalize(state, request)
+    return result, report
+
+
+async def arun_component_task(task: ComponentTask,
+                              hard_deadline: float | None = None,
+                              ) -> ComponentOutcome:
+    """Execute one :class:`ComponentTask` natively on the event loop."""
+    result, report = await aprocess_component(
+        task.adapter, task.partition, task.synopsis, task.request,
+        task.deadline, clock=task.clock,
+        i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+        start_time=task.start_time, hard_deadline=hard_deadline)
+    return ComponentOutcome(component=task.component, result=result,
+                            report=report)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class AsyncExecutionBackend(ExecutionBackend):
+    """Event-loop execution backend.
+
+    Async-native adapters run as coroutines on the loop (stalls awaited,
+    never a blocked thread); plain adapters are offloaded to a bounded
+    CPU thread pool via ``run_in_executor``.  Both entry styles of the
+    :class:`ExecutionBackend` contract are served:
+
+    - the **async** path (:meth:`arun_task` / :meth:`arun_tasks`) runs
+      on the *caller's* loop — this is what ``Servable.aprocess`` and
+      the :class:`AsyncServingHarness` use;
+    - the **sync** path (:meth:`run_tasks` / :meth:`submit_task`)
+      bridges onto a lazily-started dedicated loop thread, so the
+      backend also drops into the thread harness, the sync router, and
+      plain ``service.process`` calls unchanged.  The futures
+      :meth:`submit_task` returns cancel the underlying coroutine —
+      unlike a thread future, cancellation lands even after the task
+      started running (at its next await).
+
+    Parameters
+    ----------
+    max_workers:
+        CPU-offload pool size for non-async-native tasks.
+    cancel_grace:
+        When set, arms per-task deadline cancellation for async-native
+        tasks: a task is cancelled mid-await once ``deadline *
+        cancel_grace`` wall seconds elapse, finalizing its best-so-far
+        result (see :func:`aprocess_component`).  ``None`` (default)
+        disables the watchdog — deadline checks then happen between
+        awaits, exactly like the sync tier.
+    """
+
+    name = "async"
+
+    def __init__(self, max_workers: int | None = None,
+                 cancel_grace: float | None = None):
+        if cancel_grace is not None and cancel_grace <= 0:
+            raise ValueError("cancel_grace must be positive")
+        self.max_workers = max_workers
+        self.cancel_grace = cancel_grace
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._cpu_pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.tasks_cancelled = 0
+
+    # -- async contract -------------------------------------------------
+
+    async def arun_task(self, task: ComponentTask) -> ComponentOutcome:
+        """Execute one task on the current loop."""
+        if is_async_adapter(task.adapter):
+            hard = (None if self.cancel_grace is None
+                    else task.deadline * self.cancel_grace)
+            outcome = await arun_component_task(task, hard_deadline=hard)
+            if outcome.report.cancelled:
+                with self._lock:
+                    self.tasks_cancelled += 1
+            return outcome
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure_cpu_pool(),
+                                          run_component_task, task)
+
+    async def arun_tasks(self, tasks: Sequence[ComponentTask],
+                         ) -> list[ComponentOutcome]:
+        """Execute ``tasks`` concurrently on the current loop, in order."""
+        return list(await asyncio.gather(
+            *(self.arun_task(t) for t in tasks)))
+
+    # -- sync contract (bridged through an owned loop thread) -----------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lock:
+            if self._loop is None:
+                self._loop = asyncio.new_event_loop()
+                self._thread = threading.Thread(
+                    target=self._loop.run_forever,
+                    name="repro-aio-loop", daemon=True)
+                self._thread.start()
+            return self._loop
+
+    def _ensure_cpu_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._cpu_pool is None:
+                self._cpu_pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-aio-cpu")
+            return self._cpu_pool
+
+    def run_tasks(self, tasks: Sequence[ComponentTask],
+                  ) -> list[ComponentOutcome]:
+        return asyncio.run_coroutine_threadsafe(
+            self.arun_tasks(list(tasks)), self._ensure_loop()).result()
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        return asyncio.run_coroutine_threadsafe(self.arun_task(task),
+                                                self._ensure_loop())
+
+    def close(self) -> None:
+        with self._lock:
+            loop, thread = self._loop, self._thread
+            pool = self._cpu_pool
+            self._loop = self._thread = self._cpu_pool = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join()
+            loop.close()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+async def arun_tasks(backend, tasks: Sequence[ComponentTask],
+                     ) -> list[ComponentOutcome]:
+    """Await ``tasks`` on any :class:`ExecutionBackend`.
+
+    The bridge every ``aprocess`` implementation uses: an
+    :class:`AsyncExecutionBackend` runs the tasks natively on the
+    caller's loop; any other backend executes its blocking ``run_tasks``
+    in an executor so the loop never stalls (at the cost of exactly the
+    blocked thread the async tier exists to avoid).
+    """
+    if isinstance(backend, AsyncExecutionBackend):
+        return await backend.arun_tasks(tasks)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, backend.run_tasks, list(tasks))
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+class AsyncServingHarness:
+    """Serve an open-loop trace as one coroutine per request.
+
+    Mirrors :class:`~repro.serving.harness.ServingHarness` for the async
+    path: the same loads, the same deadline/clock-factory knobs, the
+    same :class:`ServingRunStats` out — but in-flight requests are
+    coroutines, so thousands ride one loop where the thread harness is
+    capped at ``max_concurrency`` workers.  An optional
+    :class:`~repro.serving.admission.AdmissionController` bounds what
+    the loop accepts; shed requests get ``None`` answers, and the shed /
+    queue-depth / in-flight counters land in the stats.
+
+    Parameters
+    ----------
+    service:
+        Any :class:`~repro.core.servable.Servable` (its ``aprocess`` is
+        driven).
+    deadline, backend, clock_factory, time_scale:
+        As in :class:`~repro.serving.harness.ServingHarness`.
+    admission:
+        Optional admission controller; without one the loop accepts the
+        entire trace concurrently.
+    """
+
+    def __init__(self, service, deadline: float,
+                 backend: ExecutionBackend | None = None,
+                 clock_factory: ClockFactory | None = None,
+                 admission: AdmissionController | None = None,
+                 time_scale: float = 1.0):
+        from repro.serving.backends import resolve_backend
+
+        if deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.service = service
+        self.deadline = float(deadline)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = (resolve_backend(backend)
+                        if backend is not None else None)
+        self.clock_factory = (clock_factory if clock_factory is not None
+                              else wall_clock_factory())
+        self.admission = admission
+        self.time_scale = float(time_scale)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.backend is not None and self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "AsyncServingHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _clocks(self) -> list:
+        n = self.service.n_components
+        return [self.clock_factory(c) for c in range(n)]
+
+    # ------------------------------------------------------------------
+
+    def run_open_loop(self, load: OpenLoopLoad,
+                      updates: Sequence[tuple[float, Callable]] | None = None,
+                      ) -> ServingRunStats:
+        """Sync entry point: runs :meth:`arun_open_loop` on a fresh loop."""
+        return asyncio.run(self.arun_open_loop(load, updates))
+
+    async def arun_open_loop(
+            self, load: OpenLoopLoad,
+            updates: Sequence[tuple[float, Callable]] | None = None,
+    ) -> ServingRunStats:
+        """Serve an open-loop stream; one self-pacing coroutine per request.
+
+        ``updates`` follows the thread harness's schedule contract:
+        each ``(at_seconds, fn)`` runs ``fn(service)`` once ``at``
+        seconds of (scaled) stream time elapse — in an executor, since
+        synopsis rebuilds block — with results (or exceptions) recorded
+        in ``update_log``.
+        """
+        loop = asyncio.get_running_loop()
+        n = load.n_requests
+        answers: list[Any] = [None] * n
+        reports: list[Any] = [None] * n
+        latencies = np.full(n, np.nan)
+        served = np.zeros(n, dtype=bool)
+        update_log: list[tuple[float, Any]] = []
+        inflight = 0
+        inflight_max = 0
+        hedge0 = collect_hedge_counters(self.service)
+        adm = self.admission
+        if adm is not None:
+            adm.reset_watermarks()  # report run-local peaks, not lifetime
+            shed0 = (adm.stats().shed, dict(adm.stats().shed_reasons))
+        t0 = loop.time()
+
+        async def apply_updates() -> None:
+            for at, fn in sorted(updates or [], key=lambda p: p[0]):
+                delay = t0 + at * self.time_scale - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    update_log.append(
+                        (at, await loop.run_in_executor(None, fn,
+                                                        self.service)))
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    update_log.append((at, exc))
+
+        async def serve(i: int) -> None:
+            nonlocal inflight, inflight_max
+            scheduled = t0 + float(load.arrivals[i]) * self.time_scale
+            delay = scheduled - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if adm is not None:
+                waited = max(0.0, loop.time() - scheduled)
+                reason = await adm.acquire(self.deadline, waited=waited)
+                if reason is not None:
+                    return  # shed: no slot held, answer stays None
+            inflight += 1
+            inflight_max = max(inflight_max, inflight)
+            try:
+                answer, reps = await self.service.aprocess(
+                    load.requests[i], self.deadline,
+                    clocks=self._clocks(), backend=self.backend)
+            finally:
+                inflight -= 1
+                if adm is not None:
+                    adm.release()
+            answers[i] = answer
+            reports[i] = reps
+            latencies[i] = loop.time() - scheduled
+            served[i] = True
+
+        updater = (asyncio.ensure_future(apply_updates())
+                   if updates else None)
+        try:
+            await asyncio.gather(*(serve(i) for i in range(n)))
+        finally:
+            if updater is not None:
+                updater.cancel()
+                await asyncio.gather(updater, return_exceptions=True)
+
+        duration = loop.time() - t0
+        subs = np.array([rep.total_elapsed
+                         for i in range(n) if served[i]
+                         for rep in reports[i]], dtype=float)
+        # answers/reports keep one aligned slot per *offered* request
+        # (None where shed), like the thread harness; request_latencies
+        # is compacted to served requests so percentiles stay finite.
+        stats = ServingRunStats(
+            sub_latencies=subs,
+            request_latencies=latencies[served],
+            n_requests=int(served.sum()),
+            n_components=self.service.n_components,
+            duration=float(duration),
+            answers=list(answers),
+            reports=list(reports),
+            update_log=list(update_log),
+            offered=n,
+            inflight_max=inflight_max,
+        )
+        if adm is not None:
+            a = adm.stats()
+            stats.shed = a.shed - shed0[0]
+            stats.shed_reasons = {
+                k: v - shed0[1].get(k, 0)
+                for k, v in a.shed_reasons.items()
+                if v - shed0[1].get(k, 0) > 0}
+            stats.queue_depth_max = a.queue_depth_max
+        return apply_hedge_delta(stats, self.service, hedge0)

@@ -235,16 +235,23 @@ def resolve_backend(backend) -> ExecutionBackend:
     """Coerce ``backend`` (instance, name, or ``None``) to a backend.
 
     ``None`` means :class:`SequentialBackend`; strings name one of
-    ``"sequential"``, ``"thread"``, ``"process"``.
+    ``"sequential"``, ``"thread"``, ``"process"``, or ``"async"`` (the
+    event-loop backend from :mod:`repro.serving.aio`).
     """
     if backend is None:
         return SequentialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
     if isinstance(backend, str):
+        if backend == "async":
+            # Imported lazily: aio builds on this module.
+            from repro.serving.aio import AsyncExecutionBackend
+
+            return AsyncExecutionBackend()
         cls = _BACKENDS.get(backend)
         if cls is None:
             raise ValueError(
-                f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}")
+                f"unknown backend {backend!r}; expected one of "
+                f"{sorted([*_BACKENDS, 'async'])}")
         return cls()
     raise TypeError(f"cannot interpret {backend!r} as an execution backend")

@@ -31,7 +31,35 @@ from repro.serving.backends import ExecutionBackend, resolve_backend
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 from repro.util.stats import percentile
 
-__all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness"]
+__all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness",
+           "collect_hedge_counters", "apply_hedge_delta"]
+
+
+def collect_hedge_counters(service) -> dict | None:
+    """Snapshot a service's hedge counters, if it keeps any.
+
+    Duck-typed on ``hedge_counters()`` (today:
+    :class:`~repro.serving.router.ShardedService`), so harnesses can
+    report per-run hedge rates without knowing the service's type.
+    """
+    counters = getattr(service, "hedge_counters", None)
+    return counters() if callable(counters) else None
+
+
+def apply_hedge_delta(stats: "ServingRunStats", service,
+                      before: dict | None) -> "ServingRunStats":
+    """Fill ``stats``' hedge fields with this run's counter deltas.
+
+    Shared by the thread and async harnesses: ``before`` is the
+    :func:`collect_hedge_counters` snapshot taken at run start.
+    """
+    after = collect_hedge_counters(service)
+    if before is not None and after is not None:
+        stats.shard_calls = after["shard_calls"] - before["shard_calls"]
+        stats.hedges_issued = (after["hedges_issued"]
+                               - before["hedges_issued"])
+        stats.hedge_wins = after["hedge_wins"] - before["hedge_wins"]
+    return stats
 
 
 @dataclass
@@ -60,6 +88,18 @@ class ServingRunStats:
         Per-request lists of :class:`~repro.core.processor.ProcessingReport`.
     update_log:
         ``(at_seconds, report)`` for every concurrent update applied.
+    shard_calls / hedges_issued / hedge_wins:
+        Router hedging counters for this run (deltas, collected via
+        :func:`collect_hedge_counters`); zero for unrouted services.
+        :meth:`hedge_rate` is the realized re-issue fraction — compare
+        it to the router's configured ``hedge_budget``.
+    offered / shed / shed_reasons / queue_depth_max / inflight_max:
+        Admission-control accounting (async tier).  ``offered`` is the
+        full trace length including shed requests (``None`` when no
+        admission layer ran); ``n_requests`` counts *served* requests
+        only.  ``answers`` and ``reports`` stay aligned with one slot
+        per offered request (``None`` where shed); ``request_latencies``
+        holds served requests only, so percentiles stay finite.
     """
 
     sub_latencies: np.ndarray
@@ -70,6 +110,14 @@ class ServingRunStats:
     answers: list = field(default_factory=list, repr=False)
     reports: list = field(default_factory=list, repr=False)
     update_log: list = field(default_factory=list, repr=False)
+    shard_calls: int = 0
+    hedges_issued: int = 0
+    hedge_wins: int = 0
+    offered: int | None = None
+    shed: int = 0
+    shed_reasons: dict = field(default_factory=dict)
+    queue_depth_max: int = 0
+    inflight_max: int = 0
 
     # -- FanoutRunStats-compatible accessors ----------------------------
 
@@ -108,6 +156,16 @@ class ServingRunStats:
         if self.n_requests == 0:
             return 0.0
         return float(np.mean(self.request_latencies > deadline))
+
+    def hedge_rate(self) -> float:
+        """Realized re-issue fraction: hedges issued per shard call."""
+        return self.hedges_issued / max(self.shard_calls, 1)
+
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed by admission control."""
+        if not self.offered:
+            return 0.0
+        return self.shed / self.offered
 
 
 @dataclass
@@ -196,6 +254,10 @@ class ServingHarness:
                                     clocks=self._clocks(),
                                     backend=self.backend)
 
+    def _apply_hedge_delta(self, stats: ServingRunStats,
+                           before: dict | None) -> ServingRunStats:
+        return apply_hedge_delta(stats, self.service, before)
+
     @staticmethod
     def _stats_from(answers, reports, latencies, duration, n_components,
                     update_log) -> ServingRunStats:
@@ -233,6 +295,7 @@ class ServingHarness:
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
         update_log: list[tuple[float, Any]] = []
+        hedge_before = collect_hedge_counters(self.service)
         t0 = time.monotonic()
 
         stop_updates = threading.Event()
@@ -255,8 +318,20 @@ class ServingHarness:
                                               daemon=True)
             updater_thread.start()
 
+        inflight = 0
+        inflight_max = 0
+        inflight_lock = threading.Lock()
+
         def serve(i: int, scheduled: float) -> None:
-            answer, reps = self._process(load.requests[i])
+            nonlocal inflight, inflight_max
+            with inflight_lock:
+                inflight += 1
+                inflight_max = max(inflight_max, inflight)
+            try:
+                answer, reps = self._process(load.requests[i])
+            finally:
+                with inflight_lock:
+                    inflight -= 1
             done = time.monotonic()
             answers[i] = answer
             reports[i] = reps
@@ -281,8 +356,10 @@ class ServingHarness:
                 updater_thread.join()
 
         duration = time.monotonic() - t0
-        return self._stats_from(answers, reports, latencies, duration,
-                                self.service.n_components, update_log)
+        stats = self._stats_from(answers, reports, latencies, duration,
+                                 self.service.n_components, update_log)
+        stats.inflight_max = inflight_max
+        return self._apply_hedge_delta(stats, hedge_before)
 
     # ------------------------------------------------------------------
 
@@ -298,18 +375,28 @@ class ServingHarness:
         latencies = np.zeros(n, dtype=float)
         next_index = 0
         claim_lock = threading.Lock()
+        hedge_before = collect_hedge_counters(self.service)
         t0 = time.monotonic()
 
+        inflight = 0
+        inflight_max = 0
+
         def client() -> None:
-            nonlocal next_index
+            nonlocal next_index, inflight, inflight_max
             while True:
                 with claim_lock:
                     i = next_index
                     if i >= n:
                         return
                     next_index += 1
+                    inflight += 1
+                    inflight_max = max(inflight_max, inflight)
                 issued = time.monotonic()
-                answer, reps = self._process(load.requests[i])
+                try:
+                    answer, reps = self._process(load.requests[i])
+                finally:
+                    with claim_lock:
+                        inflight -= 1
                 done = time.monotonic()
                 answers[i] = answer
                 reports[i] = reps
@@ -326,8 +413,10 @@ class ServingHarness:
             t.join()
 
         duration = time.monotonic() - t0
-        return self._stats_from(answers, reports, latencies, duration,
-                                self.service.n_components, [])
+        stats = self._stats_from(answers, reports, latencies, duration,
+                                 self.service.n_components, [])
+        stats.inflight_max = inflight_max
+        return self._apply_hedge_delta(stats, hedge_before)
 
     # ------------------------------------------------------------------
 

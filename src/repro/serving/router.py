@@ -27,17 +27,32 @@ router mirrors :class:`~repro.cluster.hedged.HedgedFanoutSimulator`
 semantics on the live path (Dean & Barroso's tied requests, paper §4.1):
 
 - a shard call outstanding longer than the strategy's adaptive p95
-  threshold is re-issued once on a sibling replica;
-- the first copy to complete wins; the loser is cancelled *best-effort*
-  — a queued copy is dropped (``Future.cancel``), a copy already
-  executing runs to completion and its answer is discarded;
+  threshold is re-issued once on a sibling replica — chosen by the
+  group's placement strategy (fixed next-in-ring, or power-of-two-
+  choices over observed per-replica latency);
+- re-issues are bounded by a **hedge budget** (Dean & Barroso's ~5%
+  rule, ``hedge_budget``): the realized re-issue fraction never exceeds
+  the configured cap, so a systemic slowdown — where every call looks
+  like a straggler — cannot double cluster load;
+- the first copy to complete wins.  On the sync path the loser is
+  cancelled *best-effort* — a queued copy is dropped
+  (``Future.cancel``), a copy already executing runs to completion and
+  its answer is discarded.  On the async path (``aprocess``) the loser
+  is *really* cancelled: its next await raises ``CancelledError`` and
+  its remaining stalls never run;
 - every shard call's effective latency (first copy to finish) feeds the
   strategy's threshold estimator, so measured and simulated hedging are
   directly comparable.
+
+Updates route through an optional component
+:class:`~repro.workloads.partitioning.ShardMap`: ``add_points`` /
+``change_points`` take *global* record ids and resolve the owning shard
+and component themselves (see the update section below).
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -67,21 +82,45 @@ class ReplicaGroup:
     replicas:
         Pre-built :class:`~repro.core.service.AccuracyTraderService`
         instances (use :meth:`build` to construct identical ones).
+    hedge_placement:
+        How a straggling call picks its hedge sibling: ``"ring"`` (the
+        fixed next replica, the original behaviour) or ``"p2c"``
+        (power-of-two-choices: sample two candidate siblings, hedge to
+        the one with the lower observed latency — unobserved replicas
+        are preferred, so every replica gets explored).  With two
+        replicas the strategies coincide.
+    placement_seed:
+        Seed for the ``"p2c"`` candidate sampling.
     """
 
-    def __init__(self, replicas: Sequence[AccuracyTraderService]):
+    _PLACEMENTS = ("ring", "p2c")
+    _EWMA_ALPHA = 0.3
+
+    def __init__(self, replicas: Sequence[AccuracyTraderService],
+                 hedge_placement: str = "ring", placement_seed: int = 0):
         replicas = list(replicas)
         if not replicas:
             raise ValueError("need at least one replica")
         n0 = replicas[0].n_components
         if any(r.n_components != n0 for r in replicas):
             raise ValueError("replicas must have the same component count")
+        if hedge_placement not in self._PLACEMENTS:
+            raise ValueError(
+                f"unknown hedge placement {hedge_placement!r}; "
+                f"expected one of {self._PLACEMENTS}")
         self.replicas = replicas
+        self.hedge_placement = hedge_placement
         self._next = 0
         self._pick_lock = threading.Lock()
+        self._latency: list[float | None] = [None] * len(replicas)
+        self._latency_lock = threading.Lock()
+        from repro.util.rng import make_rng
+
+        self._placement_rng = make_rng(placement_seed, "hedge-placement")
 
     @classmethod
     def build(cls, adapter, partitions, n_replicas: int,
+              hedge_placement: str = "ring", placement_seed: int = 0,
               **service_kwargs) -> "ReplicaGroup":
         """Construct ``n_replicas`` identical services over ``partitions``."""
         if n_replicas < 1:
@@ -89,7 +128,9 @@ class ReplicaGroup:
         partitions = list(partitions)
         return cls([AccuracyTraderService(adapter, partitions,
                                           **service_kwargs)
-                    for _ in range(n_replicas)])
+                    for _ in range(n_replicas)],
+                   hedge_placement=hedge_placement,
+                   placement_seed=placement_seed)
 
     # ------------------------------------------------------------------
 
@@ -113,8 +154,48 @@ class ReplicaGroup:
             return i
 
     def sibling_of(self, replica: int) -> int:
-        """The replica a straggling call on ``replica`` is hedged to."""
+        """The fixed next-in-ring sibling of ``replica``."""
         return (replica + 1) % self.n_replicas
+
+    def observe_latency(self, replica: int, latency: float) -> None:
+        """Record one observed shard-call latency on ``replica`` (EWMA)."""
+        with self._latency_lock:
+            prev = self._latency[replica]
+            self._latency[replica] = (
+                float(latency) if prev is None
+                else (1.0 - self._EWMA_ALPHA) * prev
+                + self._EWMA_ALPHA * float(latency))
+
+    def replica_latency(self, replica: int) -> float | None:
+        """Current latency estimate for ``replica`` (``None``: unobserved)."""
+        with self._latency_lock:
+            return self._latency[replica]
+
+    def hedge_sibling(self, primary: int) -> int:
+        """The replica a straggling call on ``primary`` is hedged to.
+
+        ``"ring"`` placement returns the fixed next replica.  ``"p2c"``
+        samples two distinct candidate siblings and hedges to the one
+        with the lower observed-latency estimate — the classic
+        power-of-two-choices load-aware pick, with unobserved replicas
+        preferred so estimates exist for every replica eventually.
+        """
+        n = self.n_replicas
+        if n < 2:
+            raise ValueError("a single-replica group has no hedge sibling")
+        if self.hedge_placement == "ring" or n == 2:
+            return self.sibling_of(primary)
+        candidates = [r for r in range(n) if r != primary]
+        with self._pick_lock:
+            picks = self._placement_rng.choice(len(candidates), size=2,
+                                               replace=False)
+        a, b = candidates[int(picks[0])], candidates[int(picks[1])]
+
+        def estimate(replica: int) -> float:
+            lat = self.replica_latency(replica)
+            return float("-inf") if lat is None else lat
+
+        return min(a, b, key=lambda r: (estimate(r), r))
 
     # -- Servable ------------------------------------------------------
 
@@ -124,6 +205,13 @@ class ReplicaGroup:
         replica = self.replicas[self.next_replica()]
         return replica.process(request, deadline, clocks=clocks,
                                backend=backend)
+
+    async def aprocess(self, request, deadline: float, clocks=None,
+                       backend=None) -> tuple[Any, list[ProcessingReport]]:
+        """Async :meth:`process` on the next replica in round-robin order."""
+        replica = self.replicas[self.next_replica()]
+        return await replica.aprocess(request, deadline, clocks=clocks,
+                                      backend=backend)
 
     def exact_components(self, request) -> list:
         return self.replicas[0].exact_components(request)
@@ -183,13 +271,28 @@ class ShardedService:
     hedge:
         Optional :class:`~repro.strategies.reissue.ReissueStrategy`
         enabling live hedged re-issue (see module docstring).  Requires a
-        backend with real queues (thread/process) to have any effect and
-        at least one shard with two replicas.
+        backend with real queues (thread/process/async) to have any
+        effect and at least one shard with two replicas.
+    hedge_budget:
+        Cap on the fraction of shard calls that may be re-issued (Dean &
+        Barroso's ~5% rule, the default): a hedge is only issued while
+        ``hedges_issued + 1 <= hedge_budget * shard_calls``, so a
+        *systemic* slowdown — where every call looks like a straggler —
+        cannot double cluster load.  ``None`` disables the cap.  The
+        realized rate is :attr:`hedge_rate` and is surfaced per run in
+        :class:`~repro.serving.harness.ServingRunStats`.
     clock_factory:
         Supplies fresh per-component deadline clocks for *hedged* copies
         (primary copies use the ``clocks`` passed to :meth:`process`).
         Defaults to wall clocks — the live-serving setting where hedging
         is meaningful.
+    component_map:
+        Optional :class:`~repro.workloads.partitioning.ShardMap`
+        assigning global record ids to *global components* (its
+        ``n_shards`` must equal this cluster's ``n_components``).  With
+        a map attached, :meth:`add_points` / :meth:`change_points`
+        accept global record ids and route to the owning shard and
+        component themselves — the caller never addresses a shard index.
     """
 
     def __init__(self, shards: Sequence,
@@ -197,7 +300,9 @@ class ShardedService:
                  deadline_budgets: Sequence[float] | None = None,
                  backend: ExecutionBackend | str | None = None,
                  hedge: ReissueStrategy | None = None,
-                 clock_factory: ClockFactory | None = None):
+                 hedge_budget: float | None = 0.05,
+                 clock_factory: ClockFactory | None = None,
+                 component_map=None):
         groups = []
         for shard in shards:
             if isinstance(shard, ReplicaGroup):
@@ -230,11 +335,21 @@ class ShardedService:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
         self.hedge = hedge
+        if hedge_budget is not None and not (0.0 < hedge_budget <= 1.0):
+            raise ValueError("hedge_budget must be in (0, 1] or None")
+        self.hedge_budget = hedge_budget
         self._clock_factory = (clock_factory if clock_factory is not None
                                else wall_clock_factory())
         self._hedge_lock = threading.Lock()
         self.hedges_issued = 0
         self.hedge_wins = 0
+        self.shard_calls = 0
+        if component_map is not None and \
+                component_map.n_shards != self._total_components:
+            raise ValueError(
+                f"component map routes records to {component_map.n_shards} "
+                f"components but the cluster has {self._total_components}")
+        self.component_map = component_map
 
     # ------------------------------------------------------------------
 
@@ -249,6 +364,31 @@ class ShardedService:
     @property
     def deadline_budgets(self) -> list[float]:
         return list(self._budgets)
+
+    @property
+    def hedge_rate(self) -> float:
+        """Realized re-issue fraction over this service's lifetime."""
+        with self._hedge_lock:
+            return self.hedges_issued / max(self.shard_calls, 1)
+
+    def hedge_counters(self) -> dict:
+        """Snapshot of the cumulative hedging counters (thread-safe)."""
+        with self._hedge_lock:
+            return {"shard_calls": self.shard_calls,
+                    "hedges_issued": self.hedges_issued,
+                    "hedge_wins": self.hedge_wins}
+
+    def _budget_allows_locked(self) -> bool:
+        """Whether one more hedge fits the budget (``_hedge_lock`` held).
+
+        The invariant ``hedges_issued <= hedge_budget * shard_calls``
+        holds at every instant, so the realized :attr:`hedge_rate` never
+        exceeds the configured fraction — the cost is that no hedge can
+        fire until ``1 / hedge_budget`` shard calls have been issued.
+        """
+        if self.hedge_budget is None:
+            return True
+        return self.hedges_issued + 1 <= self.hedge_budget * self.shard_calls
 
     def _shard_clocks(self, clocks, shard: int):
         if clocks is None:
@@ -270,6 +410,8 @@ class ShardedService:
             raise ValueError("need one clock per component")
         exec_backend = self.backend if backend is None else backend
         picks = [g.next_replica() for g in self.shards]
+        with self._hedge_lock:
+            self.shard_calls += self.n_shards
         if self.hedge is None:
             outcomes = self._run_unhedged(request, deadline, clocks,
                                           exec_backend, picks)
@@ -279,6 +421,128 @@ class ShardedService:
         results = [o.result for o in outcomes]
         reports = [o.report for o in outcomes]
         return self.merge(results, request), reports
+
+    async def aprocess(self, request, deadline: float, clocks=None,
+                       backend=None) -> tuple[Any, list[ProcessingReport]]:
+        """Async :meth:`process`: shard fan-out as concurrent coroutines.
+
+        The hedged variant is the event-loop version of the tied-request
+        protocol: each shard call is an awaitable copy raced with
+        ``asyncio.wait(FIRST_COMPLETED)``, and the losing copy is
+        *really* cancelled — its next await raises ``CancelledError``
+        and its remaining stalls never run, where the thread tier can
+        only drop a still-queued future.  Budget, placement, and
+        counters are shared with the sync path.
+        """
+        if clocks is not None and len(clocks) != self.n_components:
+            raise ValueError("need one clock per component")
+        exec_backend = self.backend if backend is None else backend
+        picks = [g.next_replica() for g in self.shards]
+        with self._hedge_lock:
+            self.shard_calls += self.n_shards
+        if self.hedge is None:
+            per_shard = await asyncio.gather(
+                *(self._arun_shard_copy(request, deadline, clocks, s,
+                                        picks[s], exec_backend)
+                  for s in range(self.n_shards)))
+        else:
+            per_shard = await asyncio.gather(
+                *(self._arun_hedged_shard(request, deadline, clocks, s,
+                                          picks[s], exec_backend)
+                  for s in range(self.n_shards)))
+        outcomes = [o for shard in per_shard for o in shard]
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
+        return self.merge(results, request), reports
+
+    async def _arun_shard_copy(self, request, deadline, clocks, shard: int,
+                               replica: int, exec_backend) -> list:
+        """Await one copy of one shard call on ``replica``."""
+        from repro.serving.aio import arun_tasks
+
+        group = self.shards[shard]
+        t0 = time.monotonic()
+        outcomes = await arun_tasks(
+            exec_backend,
+            group.replicas[replica].build_tasks(
+                request, deadline * self._budgets[shard],
+                self._shard_clocks(clocks, shard)))
+        group.observe_latency(replica, time.monotonic() - t0)
+        return outcomes
+
+    async def _arun_hedged_shard(self, request, deadline, clocks,
+                                 shard: int, replica: int,
+                                 exec_backend) -> list:
+        """One shard call with live hedged re-issue, async edition."""
+        from repro.serving.aio import arun_tasks
+
+        group = self.shards[shard]
+        t0 = time.monotonic()
+
+        async def run_copy(rep: int, fresh_clocks) -> list:
+            tasks = group.replicas[rep].build_tasks(
+                request, deadline * self._budgets[shard], fresh_clocks)
+            return await arun_tasks(exec_backend, tasks)
+
+        primary = asyncio.ensure_future(
+            run_copy(replica, self._shard_clocks(clocks, shard)))
+        hedge_task = None
+        hedge_replica = None
+        hedge_t0 = None
+        try:
+            if group.n_replicas > 1:
+                # Race the primary against the adaptive-p95 threshold.
+                timeout = max(0.0, self.hedge.threshold
+                              - (time.monotonic() - t0))
+                done, _ = await asyncio.wait({primary}, timeout=timeout)
+                if not done:
+                    with self._hedge_lock:
+                        allowed = self._budget_allows_locked()
+                        if allowed:
+                            self.hedges_issued += 1
+                    if allowed:
+                        hedge_replica = group.hedge_sibling(replica)
+                        off = self._offsets[shard]
+                        fresh = [self._clock_factory(off + c)
+                                 for c in range(group.n_components)]
+                        hedge_t0 = time.monotonic()
+                        hedge_task = asyncio.ensure_future(
+                            run_copy(hedge_replica, fresh))
+            if hedge_task is None:
+                outcomes = await primary
+                winner_replica, copy_t0 = replica, t0
+            else:
+                done, _ = await asyncio.wait({primary, hedge_task},
+                                             return_when=FIRST_COMPLETED)
+                if primary in done:
+                    winner, loser = primary, hedge_task
+                    winner_replica, copy_t0 = replica, t0
+                else:
+                    winner, loser = hedge_task, primary
+                    winner_replica, copy_t0 = hedge_replica, hedge_t0
+                    with self._hedge_lock:
+                        self.hedge_wins += 1
+                # Real tied-request cancellation: the losing copy's next
+                # await raises CancelledError; reap it before returning.
+                loser.cancel()
+                await asyncio.gather(loser, return_exceptions=True)
+                outcomes = winner.result()
+        except asyncio.CancelledError:
+            for copy in (primary, hedge_task):
+                if copy is not None:
+                    copy.cancel()
+            await asyncio.gather(
+                *(c for c in (primary, hedge_task) if c is not None),
+                return_exceptions=True)
+            raise
+        now = time.monotonic()
+        with self._hedge_lock:
+            # Effective shard-call latency (from submission) feeds the
+            # threshold estimator; the winning copy's own service time
+            # feeds the placement EWMA (see the sync path).
+            self.hedge.observe(now - t0)
+        group.observe_latency(winner_replica, now - copy_t0)
+        return outcomes
 
     def exact_components(self, request) -> list:
         return [r for g in self.shards for r in g.exact_components(request)]
@@ -312,8 +576,11 @@ class ShardedService:
             tasks = self._build_tasks(request, deadline, clocks, s, picks[s])
             primary.append([exec_backend.submit_task(t) for t in tasks])
         hedges: list[list | None] = [None] * self.n_shards
+        hedge_replicas: list[int | None] = [None] * self.n_shards
+        hedge_issued_at: list[float | None] = [None] * self.n_shards
         winners: list[list | None] = [None] * self.n_shards
         unfinished = set(range(self.n_shards))
+        denied: set[int] = set()  # budget refused; single-shot per request
 
         while unfinished:
             # Completion first: first copy whose components all finished
@@ -321,16 +588,28 @@ class ShardedService:
             for s in list(unfinished):
                 if all(f.done() for f in primary[s]):
                     winners[s], loser = primary[s], hedges[s]
+                    winner_replica, copy_t0 = picks[s], t0
                 elif hedges[s] is not None and \
                         all(f.done() for f in hedges[s]):
                     winners[s], loser = hedges[s], primary[s]
+                    winner_replica, copy_t0 = \
+                        hedge_replicas[s], hedge_issued_at[s]
                     with self._hedge_lock:
                         self.hedge_wins += 1
                 else:
                     continue
                 unfinished.discard(s)
+                now = time.monotonic()
                 with self._hedge_lock:
-                    self.hedge.observe(time.monotonic() - t0)
+                    # The strategy estimates *effective* shard-call
+                    # latency: first copy to finish, measured from
+                    # submission (hedge wait included).
+                    self.hedge.observe(now - t0)
+                # The placement EWMA instead wants the winning copy's
+                # *own* service time, or a hedge target would be
+                # charged the trigger wait it never caused.
+                self.shards[s].observe_latency(winner_replica,
+                                               now - copy_t0)
                 if loser:
                     # Best-effort tied-request cancellation: only queued
                     # copies can be cancelled; running ones complete and
@@ -341,13 +620,24 @@ class ShardedService:
                 break
             now = time.monotonic()
             threshold = self.hedge.threshold
-            # Trigger: shard call outstanding beyond the adaptive p95.
+            # Trigger: shard call outstanding beyond the adaptive p95 —
+            # and within the hedge budget (a denied shard stays denied
+            # for this request; re-checking would busy-spin).
             issued_now = False
             for s in list(unfinished):
                 group = self.shards[s]
-                if (hedges[s] is None and group.n_replicas > 1
-                        and now - t0 >= threshold):
-                    sibling = group.sibling_of(picks[s])
+                if (hedges[s] is None and s not in denied
+                        and group.n_replicas > 1 and now - t0 >= threshold):
+                    with self._hedge_lock:
+                        allowed = self._budget_allows_locked()
+                        if allowed:
+                            self.hedges_issued += 1
+                    if not allowed:
+                        denied.add(s)
+                        continue
+                    sibling = group.hedge_sibling(picks[s])
+                    hedge_replicas[s] = sibling
+                    hedge_issued_at[s] = time.monotonic()
                     off = self._offsets[s]
                     fresh = [self._clock_factory(off + c)
                              for c in range(group.n_components)]
@@ -355,8 +645,6 @@ class ShardedService:
                         request, deadline * self._budgets[s], fresh)
                     hedges[s] = [exec_backend.submit_task(t) for t in tasks]
                     issued_now = True
-                    with self._hedge_lock:
-                        self.hedges_issued += 1
             if issued_now:
                 # A hedge copy may already have completed while it was
                 # being issued; re-run the completion check before
@@ -368,7 +656,8 @@ class ShardedService:
                 if not f.done()
             ]
             can_hedge_more = any(
-                hedges[s] is None and self.shards[s].n_replicas > 1
+                hedges[s] is None and s not in denied
+                and self.shards[s].n_replicas > 1
                 for s in unfinished)
             timeout = (max(0.0, threshold - (time.monotonic() - t0))
                        if can_hedge_more else None)
@@ -378,19 +667,116 @@ class ShardedService:
         return [f.result() for s in range(self.n_shards)
                 for f in winners[s]]
 
-    # -- updates: routed by shard, fanned out by the group -------------
+    # -- updates: routed by the component map, fanned out by the group --
 
-    def add_points(self, shard: int, component: int, partition,
-                   new_record_ids) -> list:
-        """Add-points on one shard's component, on every replica."""
-        return self.shards[shard].add_points(component, partition,
-                                             new_record_ids)
+    def locate_component(self, component: int) -> tuple[int, int]:
+        """Map a *global* component index to ``(shard, local component)``."""
+        if not (0 <= component < self._total_components):
+            raise IndexError(
+                f"component {component} out of range "
+                f"[0, {self._total_components})")
+        shard = 0
+        for s in range(self.n_shards):
+            if component >= self._offsets[s]:
+                shard = s
+        return shard, component - self._offsets[shard]
 
-    def change_points(self, shard: int, component: int, partition,
-                      changed_record_ids) -> list:
-        """Change-points on one shard's component, on every replica."""
-        return self.shards[shard].change_points(component, partition,
-                                                changed_record_ids)
+    def locate_record(self, record_id: int) -> tuple[int, int, int]:
+        """``(shard, local component, local record id)`` of a global id."""
+        if self.component_map is None:
+            raise ValueError("record routing requires a component_map")
+        component = self.component_map.shard_of(record_id)
+        shard, local_component = self.locate_component(component)
+        return shard, local_component, self.component_map.local_id(record_id)
+
+    def _route_update(self, record_ids, grow: bool):
+        """Resolve global ``record_ids`` to one component's local ids.
+
+        ``grow`` extends the component map over previously-unseen ids
+        (add-points); change-points of an unknown id is an error.  All
+        ids must land on the same component — per-component synopsis
+        updates are atomic units, so a multi-component batch must be
+        split by the caller (use :meth:`locate_record` to group them).
+
+        Returns ``(shard, local_component, local_ids, grown_map)``; the
+        caller commits ``grown_map`` to :attr:`component_map` only once
+        the update succeeded, so a rejected or failed update never
+        leaves the map claiming records no component holds.
+        """
+        if self.component_map is None:
+            raise ValueError(
+                "shard-map update routing requires a component_map; "
+                "pass component= to address a component explicitly")
+        ids = [int(r) for r in record_ids]
+        if not ids:
+            raise ValueError("need at least one record id")
+        top = max(ids)
+        grown = self.component_map
+        if top >= grown.n_records:
+            if not grow:
+                raise IndexError(
+                    f"record {top} is beyond the component map "
+                    f"({grown.n_records} records)")
+            # Growth must be gap-free: every id the map would newly
+            # cover has to be in this batch, or the map would claim
+            # records no component ever received.
+            missing = sorted(set(range(grown.n_records, top + 1))
+                             - set(ids))
+            if missing:
+                raise ValueError(
+                    f"new record ids skip {missing[:5]}"
+                    f"{'...' if len(missing) > 5 else ''}; the id space "
+                    "grows contiguously from "
+                    f"{grown.n_records}")
+            grown = grown.with_records_added(top + 1 - grown.n_records)
+        components = {grown.shard_of(r) for r in ids}
+        if len(components) != 1:
+            raise ValueError(
+                f"record ids span components {sorted(components)}; split "
+                "the update per component (see locate_record)")
+        component = components.pop()
+        shard, local_component = self.locate_component(component)
+        return shard, local_component, \
+            [grown.local_id(r) for r in ids], grown
+
+    def add_points(self, partition, new_record_ids,
+                   component: int | None = None) -> list:
+        """Add-points on the owning component, on every replica.
+
+        With ``component`` given (a *global* component index),
+        ``new_record_ids`` are that component's local record ids — the
+        explicit addressing mode.  Otherwise the update routes through
+        the component map: ``new_record_ids`` are global record ids (the
+        map grows over new ids), and the owning shard and component are
+        resolved here.  ``partition`` is the component's new partition
+        in both modes.
+        """
+        if component is not None:
+            shard, local_component = self.locate_component(component)
+            return self.shards[shard].add_points(local_component, partition,
+                                                 new_record_ids)
+        shard, local_component, local_ids, grown = \
+            self._route_update(new_record_ids, grow=True)
+        reports = self.shards[shard].add_points(local_component, partition,
+                                                local_ids)
+        self.component_map = grown
+        return reports
+
+    def change_points(self, partition, changed_record_ids,
+                      component: int | None = None) -> list:
+        """Change-points on the owning component, on every replica.
+
+        Addressing modes as in :meth:`add_points`; changed ids must
+        already be covered by the component map.
+        """
+        if component is not None:
+            shard, local_component = self.locate_component(component)
+            return self.shards[shard].change_points(
+                local_component, partition, changed_record_ids)
+        shard, local_component, local_ids, _ = \
+            self._route_update(changed_record_ids, grow=False)
+        return self.shards[shard].change_points(local_component, partition,
+                                                local_ids)
 
     # -- lifecycle -----------------------------------------------------
 

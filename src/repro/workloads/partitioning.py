@@ -67,6 +67,7 @@ class ShardMap:
     strategy: str
     assignments: np.ndarray = field(repr=False)
     local_ids: np.ndarray = field(repr=False)
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -95,6 +96,34 @@ class ShardMap:
             raise IndexError(f"shard {shard} out of range")
         return np.flatnonzero(self.assignments == shard)
 
+    def with_records_added(self, n_new: int) -> "ShardMap":
+        """A map covering ``n_new`` additional records (ids continue on).
+
+        Existing assignments and local ids never move: ``round_robin``
+        and ``hash`` placement are stable under id-space growth by
+        construction, and ``locality`` growth appends the new contiguous
+        id range to the last shard (online rebalancing is a separate,
+        explicit operation — growth must not silently relocate data).
+        """
+        if n_new < 0:
+            raise ValueError("n_new must be non-negative")
+        if n_new == 0:
+            return self
+        if self.strategy in ("round_robin", "hash"):
+            return make_shard_map(self.n_records + n_new, self.n_shards,
+                                  self.strategy, seed=self.seed)
+        # locality: the new ids are one contiguous range at the end of
+        # the id space, so they extend the last shard's range.
+        last = self.n_shards - 1
+        start = int(np.sum(self.assignments == last))
+        assignments = np.concatenate([
+            self.assignments, np.full(n_new, last, dtype=np.int64)])
+        local = np.concatenate([
+            self.local_ids,
+            np.arange(start, start + n_new, dtype=np.int64)])
+        return ShardMap(self.n_shards, self.n_records + n_new,
+                        self.strategy, assignments, local, seed=self.seed)
+
 
 def make_shard_map(n_records: int, n_shards: int,
                    strategy: str = "round_robin", seed: int = 0) -> ShardMap:
@@ -112,7 +141,8 @@ def make_shard_map(n_records: int, n_shards: int,
     if strategy == "round_robin":
         assignments = (ids % n_shards).astype(np.int64)
         local = ids // n_shards
-        return ShardMap(n_shards, n_records, strategy, assignments, local)
+        return ShardMap(n_shards, n_records, strategy, assignments, local,
+                        seed=seed)
     if strategy == "hash":
         seed_mix = _splitmix64(np.array([seed], dtype=np.uint64))[0]
         mixed = _splitmix64(ids.astype(np.uint64) ^ seed_mix)
@@ -132,7 +162,8 @@ def make_shard_map(n_records: int, n_shards: int,
     local = np.empty(n_records, dtype=np.int64)
     local[order] = np.arange(n_records, dtype=np.int64) - \
         np.repeat(starts, counts)
-    return ShardMap(n_shards, n_records, strategy, assignments, local)
+    return ShardMap(n_shards, n_records, strategy, assignments, local,
+                    seed=seed)
 
 
 # ---------------------------------------------------------------------------

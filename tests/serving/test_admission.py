@@ -1,0 +1,196 @@
+"""Admission control: bounded queue, shed policies, harness integration."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving.admission import (
+    AdmissionController,
+    DeadlineAwareDrop,
+    RejectOnFull,
+)
+from repro.serving.aio import (
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+)
+from repro.serving.loadgen import LoadGenerator
+from repro.workloads.partitioning import split_ratings
+
+from tests.serving.test_harness import cf_request_factory
+
+CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            DeadlineAwareDrop(max_wait_fraction=0.0)
+        with pytest.raises(RuntimeError):
+            AdmissionController().release()
+
+    def test_admit_and_release(self):
+        async def go():
+            ctl = AdmissionController(max_pending=4, max_inflight=2)
+            assert await ctl.acquire(deadline=1.0) is None
+            assert await ctl.acquire(deadline=1.0) is None
+            assert ctl.inflight == 2
+            ctl.release()
+            ctl.release()
+            assert ctl.inflight == 0
+            stats = ctl.stats()
+            assert stats.offered == 2 and stats.admitted == 2
+            assert stats.shed == 0 and stats.inflight_max == 2
+        asyncio.run(go())
+
+    def test_reject_on_full_sheds_arrivals(self):
+        async def go():
+            ctl = AdmissionController(max_pending=2, max_inflight=1,
+                                      policies=[RejectOnFull()])
+            assert await ctl.acquire(deadline=1.0) is None  # holds the slot
+            waiters = [asyncio.ensure_future(ctl.acquire(deadline=1.0))
+                       for _ in range(2)]
+            await asyncio.sleep(0)  # let both enter the pending queue
+            assert ctl.pending == 2
+            # Queue full: the next arrival is shed immediately.
+            assert await ctl.acquire(deadline=1.0) == "queue_full"
+            ctl.release()
+            assert await waiters[0] is None
+            ctl.release()
+            assert await waiters[1] is None
+            ctl.release()
+            stats = ctl.stats()
+            assert stats.offered == 4 and stats.admitted == 3
+            assert stats.shed == 1
+            assert stats.shed_reasons == {"queue_full": 1}
+            assert stats.queue_depth_max == 2
+        asyncio.run(go())
+
+    def test_zero_pending_limits_queueing_not_service(self):
+        async def go():
+            # max_pending=0 means "no queueing, concurrency limit only":
+            # idle slots still serve; only a would-be waiter is shed.
+            ctl = AdmissionController(max_pending=0, max_inflight=2,
+                                      policies=[RejectOnFull()])
+            assert await ctl.acquire(deadline=1.0) is None
+            assert await ctl.acquire(deadline=1.0) is None
+            assert await ctl.acquire(deadline=1.0) == "queue_full"
+            ctl.release()
+            assert await ctl.acquire(deadline=1.0) is None
+            ctl.release()
+            ctl.release()
+        asyncio.run(go())
+
+    def test_deadline_aware_drop_on_arrival(self):
+        async def go():
+            ctl = AdmissionController(
+                max_pending=8, max_inflight=2,
+                policies=[DeadlineAwareDrop(max_wait_fraction=0.5)])
+            # Already waited past half its deadline: shed without queueing.
+            assert await ctl.acquire(deadline=0.1,
+                                     waited=0.06) == "deadline_expired"
+            assert await ctl.acquire(deadline=0.1, waited=0.01) is None
+            ctl.release()
+            assert ctl.stats().shed_reasons == {"deadline_expired": 1}
+        asyncio.run(go())
+
+    def test_deadline_aware_drop_at_dispatch(self):
+        async def go():
+            ctl = AdmissionController(
+                max_pending=8, max_inflight=1,
+                policies=[DeadlineAwareDrop(max_wait_fraction=1.0)])
+            assert await ctl.acquire(deadline=10.0) is None
+            # Second request queues behind a slow slot; by the time the
+            # slot frees its 50 ms deadline is long gone.
+            waiter = asyncio.ensure_future(ctl.acquire(deadline=0.05))
+            await asyncio.sleep(0.1)
+            ctl.release()
+            assert await waiter == "deadline_expired"
+            # The shed request released the slot it briefly acquired.
+            assert ctl.inflight == 0
+            assert await ctl.acquire(deadline=10.0) is None
+            ctl.release()
+        asyncio.run(go())
+
+
+class TestHarnessWithAdmission:
+    """Overload shedding end to end through the async harness."""
+
+    @pytest.fixture()
+    def stalled_service(self, cf_adapter, small_ratings):
+        parts = split_ratings(small_ratings.matrix, 1)
+        stall = AsyncStallAdapter(cf_adapter, synopsis_stall=0.05,
+                                  group_stall=0.0)
+        return AccuracyTraderService(stall, parts, config=CF_CONFIG,
+                                     i_max=0)
+
+    def test_burst_is_shed_to_capacity(self, stalled_service, small_ratings):
+        # 30 simultaneous arrivals against 1 execution slot + 5 queue
+        # places: exactly 6 requests are served, 24 shed on arrival.
+        loadgen = LoadGenerator(cf_request_factory(small_ratings.matrix),
+                                seed=5)
+        load = loadgen.fixed(np.zeros(30))
+        admission = AdmissionController(max_pending=5, max_inflight=1,
+                                        policies=[RejectOnFull()])
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(stalled_service, deadline=10.0,
+                                          backend=backend,
+                                          admission=admission)
+            stats = harness.run_open_loop(load)
+        assert stats.offered == 30
+        assert stats.n_requests == 6
+        assert stats.shed == 24
+        assert stats.shed_reasons == {"queue_full": 24}
+        assert stats.shed_rate() == pytest.approx(24 / 30)
+        assert stats.queue_depth_max == 5
+        assert stats.inflight_max == 1
+        # Shed requests keep None answers; served ones are real.
+        assert sum(a is not None for a in stats.answers) == 6
+        assert stats.request_latencies.size == 6
+        stalled_service.close()
+
+    def test_controller_reusable_across_runs(self, stalled_service,
+                                             small_ratings):
+        # Each run_open_loop spins a fresh event loop (asyncio.run); the
+        # controller's semaphore must rebind, and the reported queue
+        # depth / shed counts must be per-run, not lifetime.
+        loadgen = LoadGenerator(cf_request_factory(small_ratings.matrix),
+                                seed=5)
+        admission = AdmissionController(max_pending=5, max_inflight=1,
+                                        policies=[RejectOnFull()])
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(stalled_service, deadline=10.0,
+                                          backend=backend,
+                                          admission=admission)
+            first = harness.run_open_loop(loadgen.fixed(np.zeros(30)))
+            second = harness.run_open_loop(loadgen.fixed(np.zeros(3)))
+        assert first.n_requests == 6 and first.shed == 24
+        # Run 2 never fills the queue: its own peak is 2, its shed 0 —
+        # not run 1's lifetime values.
+        assert second.n_requests == 3
+        assert second.shed == 0 and second.shed_reasons == {}
+        assert second.queue_depth_max == 2
+        stalled_service.close()
+
+    def test_no_admission_serves_everything(self, stalled_service,
+                                            small_ratings):
+        loadgen = LoadGenerator(cf_request_factory(small_ratings.matrix),
+                                seed=5)
+        load = loadgen.fixed(np.zeros(20))
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(stalled_service, deadline=10.0,
+                                          backend=backend)
+            stats = harness.run_open_loop(load)
+        assert stats.n_requests == 20 and stats.shed == 0
+        assert stats.offered == 20
+        assert all(a is not None for a in stats.answers)
+        stalled_service.close()

@@ -1,0 +1,337 @@
+"""Async serving tier: backend parity, cancellation, hedging, harness.
+
+The acceptance contract pinned here:
+
+- the async backend (both its sync ``run_tasks`` contract and the
+  ``aprocess`` path) is bit-identical to ``SequentialBackend`` on both
+  paper workloads (CF + search);
+- per-task deadline cancellation interrupts a stalled refinement
+  *mid-await* and still returns a valid best-so-far answer;
+- async hedged routing is first-answer-wins with the losing copy really
+  cancelled (its remaining refinements never run);
+- the ``AsyncServingHarness`` is deterministic under a seeded trace and
+  holds far more requests in flight than a thread pool has workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import WallClock, simulated_clock_factory
+from repro.core.service import AccuracyTraderService
+from repro.serving.aio import (
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+    is_async_adapter,
+)
+from repro.serving.backends import SequentialBackend, resolve_backend
+from repro.serving.loadgen import LoadGenerator
+from repro.serving.router import ReplicaGroup, ShardedService
+from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+from tests.serving.test_harness import cf_request_factory
+
+CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+SEARCH_CONFIG = SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def cf_parts(small_ratings):
+    return split_ratings(small_ratings.matrix, 4)
+
+
+@pytest.fixture(scope="module")
+def cf_service(cf_adapter, cf_parts):
+    return AccuracyTraderService(cf_adapter, cf_parts, config=CF_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def cf_loadgen(small_ratings):
+    return LoadGenerator(cf_request_factory(small_ratings.matrix), seed=31)
+
+
+def sim_factory(speed=400.0):
+    return simulated_clock_factory(speed)
+
+
+def sim_clocks(n, speed=400.0):
+    return [simulated_clock_factory(speed)(c) for c in range(n)]
+
+
+class CountingStallAdapter(AsyncStallAdapter):
+    """Async stall adapter counting refinement entries (for cancellation)."""
+
+    def __init__(self, inner, **kwargs):
+        super().__init__(inner, **kwargs)
+        self.refines_started = 0
+
+    async def arefine(self, partition, synopsis, group_id, request, state):
+        self.refines_started += 1
+        return await super().arefine(partition, synopsis, group_id,
+                                     request, state)
+
+
+class TestAsyncBackendParity:
+    """Async execution == SequentialBackend, bit for bit."""
+
+    def test_cf_sync_contract_bit_identical(self, cf_service, cf_loadgen):
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        base, base_reps = cf_service.process(request, 0.05,
+                                             clocks=sim_clocks(4),
+                                             backend=SequentialBackend())
+        with AsyncExecutionBackend() as backend:
+            ans, reps = cf_service.process(request, 0.05,
+                                           clocks=sim_clocks(4),
+                                           backend=backend)
+        assert ans.numer == base.numer and ans.denom == base.denom
+        assert [r.groups_processed for r in reps] == \
+            [r.groups_processed for r in base_reps]
+        assert [r.groups_ranked for r in reps] == \
+            [r.groups_ranked for r in base_reps]
+
+    def test_cf_aprocess_bit_identical(self, cf_service, cf_loadgen):
+        for i in range(3):
+            request = cf_loadgen.request_factory(i, np.random.default_rng(i))
+            base, base_reps = cf_service.process(
+                request, 0.05, clocks=sim_clocks(4),
+                backend=SequentialBackend())
+            with AsyncExecutionBackend() as backend:
+                ans, reps = asyncio.run(cf_service.aprocess(
+                    request, 0.05, clocks=sim_clocks(4), backend=backend))
+            assert ans.numer == base.numer and ans.denom == base.denom
+            assert [r.groups_processed for r in reps] == \
+                [r.groups_processed for r in base_reps]
+
+    def test_search_aprocess_bit_identical(self, small_corpus,
+                                           search_adapter, search_query):
+        parts = split_corpus(small_corpus.partition, 4)
+        svc = AccuracyTraderService(search_adapter, parts,
+                                    config=SEARCH_CONFIG,
+                                    i_max_fraction=0.4)
+        base, _ = svc.process(search_query, 0.05, clocks=sim_clocks(4),
+                              backend=SequentialBackend())
+        with AsyncExecutionBackend() as backend:
+            ans, _ = asyncio.run(svc.aprocess(search_query, 0.05,
+                                              clocks=sim_clocks(4),
+                                              backend=backend))
+        assert [(h.doc_id, h.score) for h in ans] == \
+            [(h.doc_id, h.score) for h in base]
+
+    def test_async_native_adapter_matches_plain(self, cf_adapter, cf_parts,
+                                                cf_loadgen):
+        # Stalls wait, never compute: the async-native path must return
+        # the plain adapter's exact answers.
+        stall = AsyncStallAdapter(cf_adapter, synopsis_stall=0.002,
+                                  group_stall=0.001)
+        assert is_async_adapter(stall) and not is_async_adapter(cf_adapter)
+        plain = AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                      config=CF_CONFIG)
+        stalled = AccuracyTraderService(stall, cf_parts[0:2],
+                                        config=CF_CONFIG)
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        base, base_reps = plain.process(request, 0.05, clocks=sim_clocks(2))
+        with AsyncExecutionBackend() as backend:
+            ans, reps = asyncio.run(stalled.aprocess(
+                request, 0.05, clocks=sim_clocks(2), backend=backend))
+        assert ans.numer == base.numer and ans.denom == base.denom
+        assert [r.groups_processed for r in reps] == \
+            [r.groups_processed for r in base_reps]
+
+    def test_resolve_and_lifecycle(self):
+        backend = resolve_backend("async")
+        assert isinstance(backend, AsyncExecutionBackend)
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(ValueError):
+            resolve_backend("not-a-backend")
+        with pytest.raises(ValueError):
+            AsyncExecutionBackend(cancel_grace=0.0)
+
+
+class TestDeadlineCancellation:
+    """cancel_grace interrupts a stalled refinement mid-await."""
+
+    def test_watchdog_cancels_mid_stall(self, cf_adapter, cf_parts,
+                                        cf_loadgen):
+        stall = CountingStallAdapter(cf_adapter, synopsis_stall=0.01,
+                                     group_stall=0.5)
+        svc = AccuracyTraderService(stall, cf_parts[0:1], config=CF_CONFIG)
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        tasks = svc.build_tasks(request, 0.1, clocks=[WallClock()])
+
+        with AsyncExecutionBackend(cancel_grace=1.0) as backend:
+            t0 = time.monotonic()
+            outcomes = asyncio.run(backend.arun_tasks(tasks))
+            elapsed = time.monotonic() - t0
+            assert backend.tasks_cancelled == 1
+        [outcome] = outcomes
+        # Without the watchdog the in-flight 0.5 s refinement stall would
+        # run to completion; with it the task ends at the ~0.1 s budget.
+        assert elapsed < 0.4
+        assert outcome.report.cancelled and outcome.report.hit_deadline
+        assert outcome.report.groups_processed == 0
+        # Best-so-far, not dropped: stage 1 produced a valid answer.
+        assert outcome.result is not None
+        svc.close()
+
+    def test_no_watchdog_checks_between_stalls(self, cf_adapter, cf_parts,
+                                               cf_loadgen):
+        # Same service, watchdog off: the deadline is only observed after
+        # the in-flight stall finishes (sync-tier semantics).
+        stall = CountingStallAdapter(cf_adapter, synopsis_stall=0.01,
+                                     group_stall=0.2)
+        svc = AccuracyTraderService(stall, cf_parts[0:1], config=CF_CONFIG)
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        tasks = svc.build_tasks(request, 0.05, clocks=[WallClock()])
+        with AsyncExecutionBackend() as backend:
+            [outcome] = asyncio.run(backend.arun_tasks(tasks))
+            assert backend.tasks_cancelled == 0
+        assert outcome.report.groups_processed == 1
+        assert outcome.report.hit_deadline and not outcome.report.cancelled
+        svc.close()
+
+
+class TestAsyncHedgedRouting:
+    """Event-loop tied requests: first answer wins, loser truly cancelled."""
+
+    def build_cluster(self, cf_adapter, cf_parts):
+        straggler = CountingStallAdapter(cf_adapter, synopsis_stall=0.08,
+                                         group_stall=0.08)
+        fast = AsyncStallAdapter(cf_adapter, synopsis_stall=0.002,
+                                 group_stall=0.002)
+        group = ReplicaGroup([
+            AccuracyTraderService(straggler, cf_parts[0:2], config=CF_CONFIG),
+            AccuracyTraderService(fast, cf_parts[0:2], config=CF_CONFIG),
+        ])
+        svc = ShardedService(
+            [group],
+            hedge=ReissueStrategy(100.0, initial_expected_latency=0.02),
+            hedge_budget=None)
+        return svc, straggler, group
+
+    def test_first_answer_wins_and_loser_cancelled(self, cf_adapter,
+                                                   cf_parts, cf_loadgen):
+        svc, straggler, group = self.build_cluster(cf_adapter, cf_parts)
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        n_groups = sum(s.n_aggregated
+                       for s in group.replicas[0].synopses)
+
+        async def go():
+            with AsyncExecutionBackend() as backend:
+                return await svc.aprocess(request, 10.0, backend=backend)
+
+        answer, reports = asyncio.run(go())
+        assert svc.hedges_issued == 1 and svc.hedge_wins == 1
+        assert answer is not None and len(reports) == 2
+        # Real cancellation: the straggling primary was interrupted
+        # mid-stall, so it never started all of its refinements.
+        assert straggler.refines_started < n_groups
+        svc.close()
+
+    def test_hedged_answer_matches_unhedged(self, cf_adapter, cf_parts,
+                                            cf_loadgen):
+        svc, _, _ = self.build_cluster(cf_adapter, cf_parts)
+        base_svc = AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                        config=CF_CONFIG)
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        base = base_svc.process(request, 10.0)[0]
+
+        async def go():
+            with AsyncExecutionBackend() as backend:
+                return await svc.aprocess(request, 10.0, backend=backend)
+
+        answer, _ = asyncio.run(go())
+        assert answer.numer == base.numer and answer.denom == base.denom
+        svc.close()
+        base_svc.close()
+
+    def test_sharded_aprocess_bit_identical_unhedged(self, cf_adapter,
+                                                     cf_parts, cf_loadgen):
+        routed = ShardedService([
+            ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
+                               config=CF_CONFIG),
+            ReplicaGroup.build(cf_adapter, cf_parts[2:4], 2,
+                               config=CF_CONFIG),
+        ])
+        base = AccuracyTraderService(cf_adapter, cf_parts, config=CF_CONFIG)
+        request = cf_loadgen.request_factory(1, np.random.default_rng(1))
+        expect, expect_reps = base.process(request, 0.05,
+                                           clocks=sim_clocks(4))
+
+        async def go():
+            with AsyncExecutionBackend() as backend:
+                return await routed.aprocess(request, 0.05,
+                                             clocks=sim_clocks(4),
+                                             backend=backend)
+
+        ans, reps = asyncio.run(go())
+        assert ans.numer == expect.numer and ans.denom == expect.denom
+        assert [r.groups_processed for r in reps] == \
+            [r.groups_processed for r in expect_reps]
+        routed.close()
+        base.close()
+
+
+class TestAsyncHarness:
+    def test_deterministic_under_seeded_trace(self, cf_service, cf_loadgen):
+        load = cf_loadgen.poisson(rate=200.0, duration=0.1)
+        assert load.n_requests > 0
+
+        def run():
+            with AsyncExecutionBackend() as backend:
+                harness = AsyncServingHarness(
+                    cf_service, deadline=0.05, backend=backend,
+                    clock_factory=sim_factory())
+                return harness.run_open_loop(load)
+
+        a, b = run(), run()
+        assert a.n_requests == b.n_requests == load.n_requests
+        assert a.offered == load.n_requests
+        for x, y in zip(a.answers, b.answers):
+            assert x.numer == y.numer and x.denom == y.denom
+        np.testing.assert_array_equal(a.sub_latencies, b.sub_latencies)
+
+    def test_holds_many_requests_in_flight(self, cf_adapter, cf_parts,
+                                           cf_loadgen):
+        # 150 requests arriving at once, each stalling ~30 ms on its one
+        # component: an event loop overlaps them all; a thread pool would
+        # need 150 workers to do the same.
+        stall = AsyncStallAdapter(cf_adapter, synopsis_stall=0.03,
+                                  group_stall=0.0)
+        svc = AccuracyTraderService(stall, cf_parts[0:1], config=CF_CONFIG,
+                                    i_max=0)
+        load = cf_loadgen.fixed(np.zeros(150))
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(svc, deadline=10.0,
+                                          backend=backend)
+            stats = harness.run_open_loop(load)
+        assert stats.n_requests == 150
+        assert stats.inflight_max >= 100
+        # Overlapped stalls: total duration is a small multiple of one
+        # stall, nowhere near the 4.5 s of serial sleeping.
+        assert stats.duration < 1.5
+        svc.close()
+
+    def test_updates_schedule_applied(self, cf_adapter, cf_parts,
+                                      cf_loadgen):
+        svc = AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                    config=CF_CONFIG)
+        load = cf_loadgen.fixed([0.0, 0.01])
+
+        def touch(service):
+            return service.n_components
+
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(svc, deadline=0.05,
+                                          backend=backend,
+                                          clock_factory=sim_factory())
+            stats = harness.run_open_loop(load, updates=[(0.0, touch)])
+        assert stats.update_log == [(0.0, 2)]
+        svc.close()

@@ -255,9 +255,11 @@ class TestHedgedRouting:
         # later hedge copies of workers.
         load = loadgen.closed_loop(n_clients=1, n_requests=8)
         with ThreadPoolBackend(max_workers=16) as backend:
+            # hedge_budget=None: these tests need every straggler hedged
+            # regardless of the realized rate (the cap has its own tests).
             svc = ShardedService(
                 [ReplicaGroup(shard0), ReplicaGroup(shard1)],
-                backend=backend, hedge=hedge)
+                backend=backend, hedge=hedge, hedge_budget=None)
             harness = ServingHarness(svc, deadline=10.0)
             stats = harness.run_closed_loop(load)
         return svc, stats
@@ -306,11 +308,216 @@ class TestHedgedRouting:
             [ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
                                 config=CF_CONFIG)],
             backend=SequentialBackend(),
-            hedge=ReissueStrategy(100.0, initial_expected_latency=0.0001))
+            hedge=ReissueStrategy(100.0, initial_expected_latency=0.0001),
+            hedge_budget=None)
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
         answer, reports = svc.process(request, 10.0)
         assert answer is not None and len(reports) == 2
         assert svc.hedges_issued == 0
+
+
+class TestHedgeBudget:
+    """Dean & Barroso's ~5% cap: re-issues bounded by the call volume."""
+
+    def test_default_budget_suppresses_hedges_at_small_volume(
+            self, cf_adapter, cf_parts, cf_loadgen):
+        # 8 requests x 2 shards = 16 shard calls: the default 5% budget
+        # admits a hedge only once 20 calls have been issued, so none
+        # fire — a systemic slowdown cannot double cluster load.
+        straggler = IOStallAdapter(cf_adapter, synopsis_stall=0.03,
+                                   group_stall=0.03)
+        shard0 = ReplicaGroup([
+            AccuracyTraderService(straggler, cf_parts[0:2],
+                                  config=CF_CONFIG, i_max=3),
+            AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                  config=CF_CONFIG, i_max=3)])
+        shard1 = ReplicaGroup.build(cf_adapter, cf_parts[2:4], 2,
+                                    config=CF_CONFIG)
+        load = cf_loadgen.closed_loop(n_clients=1, n_requests=8)
+        with ThreadPoolBackend(max_workers=16) as backend:
+            svc = ShardedService(
+                [shard0, shard1], backend=backend,
+                hedge=ReissueStrategy(100.0,
+                                      initial_expected_latency=0.02))
+            stats = ServingHarness(svc, deadline=10.0).run_closed_loop(load)
+        assert svc.hedges_issued == 0
+        assert stats.shard_calls == 16 and stats.hedges_issued == 0
+        assert all(a is not None for a in stats.answers)
+
+    def test_budget_bounds_realized_hedge_rate(self, cf_adapter, cf_parts,
+                                               cf_loadgen):
+        budget = 0.25
+        straggler = IOStallAdapter(cf_adapter, synopsis_stall=0.03,
+                                   group_stall=0.03)
+        shard0 = ReplicaGroup([
+            AccuracyTraderService(straggler, cf_parts[0:2],
+                                  config=CF_CONFIG, i_max=3),
+            AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                  config=CF_CONFIG, i_max=3)])
+        shard1 = ReplicaGroup.build(cf_adapter, cf_parts[2:4], 2,
+                                    config=CF_CONFIG)
+        load = cf_loadgen.closed_loop(n_clients=1, n_requests=8)
+        with ThreadPoolBackend(max_workers=16) as backend:
+            svc = ShardedService(
+                [shard0, shard1], backend=backend,
+                hedge=ReissueStrategy(100.0,
+                                      initial_expected_latency=0.02),
+                hedge_budget=budget)
+            stats = ServingHarness(svc, deadline=10.0).run_closed_loop(load)
+        # The straggler shard would hedge on every one of its 4 hits
+        # uncapped; the budget bounds the realized rate at every instant.
+        assert svc.hedges_issued > 0
+        assert svc.hedge_rate <= budget
+        assert stats.hedge_rate() <= budget
+        assert stats.hedges_issued == svc.hedges_issued
+
+    def test_budget_validation(self, cf_adapter, cf_parts):
+        shard = AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                      config=CF_CONFIG)
+        with pytest.raises(ValueError):
+            ShardedService([shard], hedge_budget=0.0)
+        with pytest.raises(ValueError):
+            ShardedService([shard], hedge_budget=1.5)
+
+
+class TestHedgePlacement:
+    def test_ring_is_default(self, cf_adapter, cf_parts):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 3,
+                                   config=CF_CONFIG)
+        assert group.hedge_sibling(0) == group.sibling_of(0) == 1
+        assert group.hedge_sibling(2) == 0
+
+    def test_p2c_prefers_observed_faster_replica(self, cf_adapter,
+                                                 cf_parts):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 3,
+                                   hedge_placement="p2c", config=CF_CONFIG)
+        # Replica 1 is slow, replica 2 fast; with only two candidates
+        # besides the primary, p2c always compares exactly those two.
+        for _ in range(5):
+            group.observe_latency(1, 0.5)
+            group.observe_latency(2, 0.01)
+        assert all(group.hedge_sibling(0) == 2 for _ in range(8))
+        # EWMA adapts: replica 1 becomes fast, 2 degrades.
+        for _ in range(30):
+            group.observe_latency(1, 0.001)
+            group.observe_latency(2, 0.8)
+        assert all(group.hedge_sibling(0) == 1 for _ in range(8))
+
+    def test_p2c_explores_unobserved_replicas_first(self, cf_adapter,
+                                                    cf_parts):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 3,
+                                   hedge_placement="p2c", config=CF_CONFIG)
+        group.observe_latency(1, 0.001)  # replica 2 never observed
+        assert group.hedge_sibling(0) == 2
+
+    def test_two_replicas_collapse_to_ring(self, cf_adapter, cf_parts):
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
+                                   hedge_placement="p2c", config=CF_CONFIG)
+        group.observe_latency(1, 10.0)
+        assert group.hedge_sibling(0) == 1  # only one candidate exists
+
+    def test_placement_validation(self, cf_adapter, cf_parts):
+        with pytest.raises(ValueError):
+            ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
+                               hedge_placement="nope", config=CF_CONFIG)
+        group = ReplicaGroup.build(cf_adapter, cf_parts[0:2], 1,
+                                   config=CF_CONFIG)
+        with pytest.raises(ValueError):
+            group.hedge_sibling(0)
+
+
+class TestRoutedUpdates:
+    """Global record ids route through the component map."""
+
+    @pytest.fixture()
+    def routed_cluster(self, cf_adapter, small_ratings):
+        from repro.workloads.partitioning import make_shard_map, \
+            shard_ratings
+
+        cmap = make_shard_map(small_ratings.matrix.n_users, 4)
+        parts = shard_ratings(small_ratings.matrix, cmap)
+        svc = ShardedService([
+            ReplicaGroup.build(cf_adapter, parts[0:2], 2, config=CF_CONFIG),
+            ReplicaGroup.build(cf_adapter, parts[2:4], 2, config=CF_CONFIG),
+        ], component_map=cmap)
+        base = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        return svc, base, parts
+
+    def test_add_points_routes_new_global_id(self, routed_cluster,
+                                             cf_loadgen):
+        svc, base, parts = routed_cluster
+        n_users = svc.component_map.n_records
+        new_global = n_users  # round robin: lands on component n_users % 4
+        component = new_global % 4
+        old_part = parts[component]
+        new_part = old_part.with_rows_appended(
+            np.zeros(3, dtype=np.int64), np.array([0, 1, 2]),
+            np.array([4.0, 3.5, 5.0]))
+
+        reports = svc.add_points(new_part, [new_global])
+        assert len(reports) == 2  # fanned out to both replicas
+        assert svc.component_map.n_records == n_users + 1
+        assert svc.locate_record(new_global) == \
+            (component // 2, component % 2, old_part.n_users)
+
+        # Mirror the update on the unsharded service: answers stay
+        # bit-identical, so the router put the data where it belongs.
+        base.add_points(component, new_part, [old_part.n_users])
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        routed_ans, _ = svc.process(request, 10.0)
+        base_ans, _ = base.process(request, 10.0)
+        assert routed_ans.numer == base_ans.numer
+        assert routed_ans.denom == base_ans.denom
+
+    def test_change_points_routes_existing_global_id(self, routed_cluster,
+                                                     cf_loadgen):
+        svc, base, parts = routed_cluster
+        changed_global = 6  # component 2, its local record 1
+        shard, local_component, local_id = svc.locate_record(changed_global)
+        assert (shard, local_component, local_id) == (1, 0, 1)
+        part = parts[2]
+        reports = svc.change_points(part, [changed_global])
+        assert len(reports) == 2
+        base.change_points(2, part, [local_id])
+        request = cf_loadgen.request_factory(1, np.random.default_rng(1))
+        routed_ans, _ = svc.process(request, 10.0)
+        base_ans, _ = base.process(request, 10.0)
+        assert routed_ans.numer == base_ans.numer
+
+    def test_routing_errors(self, routed_cluster, cf_adapter, cf_parts):
+        svc, _, parts = routed_cluster
+        n_before = svc.component_map.n_records
+        with pytest.raises(ValueError):
+            svc.add_points(parts[0], [])  # no ids
+        with pytest.raises(ValueError):
+            svc.add_points(parts[0], [0, 1])  # spans components 0 and 1
+        with pytest.raises(ValueError):
+            # New ids spanning components: rejected, and the map must
+            # not keep the speculative growth of a failed update.
+            svc.add_points(parts[0], [n_before, n_before + 1])
+        assert svc.component_map.n_records == n_before
+        with pytest.raises(IndexError):
+            svc.change_points(parts[0], [10 ** 6])  # beyond the map
+        unmapped = ShardedService([
+            AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                  config=CF_CONFIG)])
+        with pytest.raises(ValueError):
+            unmapped.add_points(cf_parts[0], [0])
+        # Explicit component addressing works without a map.
+        part = cf_parts[0]
+        new = part.with_rows_appended(
+            np.zeros(1, dtype=np.int64), np.array([0]), np.array([4.0]))
+        reports = unmapped.add_points(new, [part.n_users], component=0)
+        assert len(reports) == 1
+
+    def test_component_map_size_validated(self, cf_adapter, cf_parts):
+        from repro.workloads.partitioning import make_shard_map
+
+        with pytest.raises(ValueError):
+            ShardedService(
+                [AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                       config=CF_CONFIG)],
+                component_map=make_shard_map(100, 3))
 
 
 class TestRouterLifecycle:

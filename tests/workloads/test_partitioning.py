@@ -74,6 +74,39 @@ class TestShardMap:
                      np.zeros(4, dtype=np.int64))
 
 
+class TestShardMapGrowth:
+    @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
+    def test_existing_records_never_move(self, strategy):
+        base = make_shard_map(60, 4, strategy=strategy, seed=3)
+        grown = base.with_records_added(17)
+        assert grown.n_records == 77
+        assert grown.strategy == strategy and grown.seed == base.seed
+        np.testing.assert_array_equal(grown.assignments[:60],
+                                      base.assignments)
+        np.testing.assert_array_equal(grown.local_ids[:60], base.local_ids)
+
+    @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
+    def test_grown_local_ids_stay_dense(self, strategy):
+        grown = make_shard_map(60, 4, strategy=strategy,
+                               seed=3).with_records_added(17)
+        for s in range(4):
+            members = grown.members_of(s)
+            np.testing.assert_array_equal(
+                grown.local_ids[members], np.arange(members.size))
+
+    def test_locality_growth_extends_last_shard(self):
+        grown = make_shard_map(60, 4,
+                               strategy="locality").with_records_added(5)
+        np.testing.assert_array_equal(grown.assignments[60:],
+                                      np.full(5, 3))
+
+    def test_zero_growth_is_identity(self):
+        base = make_shard_map(60, 4)
+        assert base.with_records_added(0) is base
+        with pytest.raises(ValueError):
+            base.with_records_added(-1)
+
+
 class TestShardRatings:
     @pytest.mark.parametrize("strategy", ["round_robin", "hash", "locality"])
     def test_every_rating_lands_once(self, small_ratings, strategy):
