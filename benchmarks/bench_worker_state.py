@@ -1,0 +1,308 @@
+"""State distribution: persistent workers vs per-task snapshot pickling.
+
+The paper's serving trick keeps each component answering from a small
+``(partition, synopsis)`` snapshot — but the vanilla process pool
+re-pickles that snapshot into **every task**, so state-distribution cost
+scales with request rate.  The epoch-versioned state plane fixes the
+scaling: ``PersistentProcessBackend`` ships each snapshot to its workers
+once per **update epoch** and per task sends only a detached
+``(store, component, epoch)`` ref.
+
+Two measurements, emitted as machine-readable ``BENCH_worker.json``:
+
+- **backends × update rate** — the same open-loop burst with a steady
+  stream of concurrent ``change_points`` updates, served by the vanilla
+  ``process`` backend and by ``persistent``.  Payload accounting comes
+  from ``ServingRunStats`` (``task_bytes`` / ``state_bytes`` /
+  ``bytes_per_request``): vanilla ships state O(requests); persistent
+  ships it O(updates) — orders of magnitude fewer bytes per request.
+- **live rebalance bit-identity** — a sharded CF cluster and a sharded
+  search cluster each move records between live shards via
+  ``ShardedService.rebalance()``:  (a) requests dispatched *before* the
+  move drain *after* it with answers bit-identical to pre-move answers
+  (epoch pinning), and (b) the post-move cluster answers bit-identically
+  to one built cold over the new map (no state drift).
+
+Run:  PYTHONPATH=src python benchmarks/bench_worker_state.py [--toy]
+          [--out BENCH_worker.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, \
+    SearchQuery
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    LoadGenerator,
+    PersistentProcessBackend,
+    ProcessPoolBackend,
+    SequentialBackend,
+    ServingHarness,
+    ShardedService,
+)
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import make_shard_map, shard_corpus, \
+    shard_ratings, split_ratings
+
+N_COMPONENTS = 2
+DEADLINE_S = 10.0
+I_MAX = 4                 # cap refinement: the bench measures state
+#                           distribution, not component compute
+CONFIG = SynopsisConfig(n_iters=20, target_ratio=12.0, seed=19)
+SEARCH_CONFIG = SynopsisConfig(n_iters=20, target_ratio=18.0, seed=19)
+
+
+@dataclass
+class Scale:
+    n_users: int
+    n_items: int
+    n_requests: int
+    stream_s: float           # open-loop arrival spread (wall seconds)
+    update_rates: tuple       # concurrent change_points per stream
+    n_docs: int               # rebalance section: search corpus size
+
+
+FULL = Scale(n_users=1200, n_items=100, n_requests=360, stream_s=1.8,
+             update_rates=(1, 4), n_docs=240)
+TOY = Scale(n_users=320, n_items=60, n_requests=80, stream_s=0.8,
+            update_rates=(2,), n_docs=120)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def update_schedule(scale: Scale, n_updates: int, parts):
+    """``change_points`` on alternating components, evenly spread."""
+    def make_update(component):
+        def apply(service):
+            report = service.change_points(component, parts[component],
+                                           [0, 1])
+            return report.n_points
+        return apply
+
+    times = (np.arange(1, n_updates + 1) / (n_updates + 1)) * scale.stream_s
+    return [(float(t), make_update(i % N_COMPONENTS))
+            for i, t in enumerate(times)]
+
+
+def run_backends(scale: Scale, matrix) -> list[dict]:
+    """The same updated burst through the vanilla and persistent pools."""
+    loadgen = make_loadgen(matrix)
+    rows = []
+    for n_updates in scale.update_rates:
+        for name, backend_cls in (("process", ProcessPoolBackend),
+                                  ("persistent", PersistentProcessBackend)):
+            svc = AccuracyTraderService(
+                CFAdapter(), split_ratings(matrix, N_COMPONENTS),
+                config=CONFIG, i_max=I_MAX)
+            load = loadgen.fixed(
+                np.linspace(0.0, scale.stream_s, scale.n_requests))
+            with svc, backend_cls() as backend:
+                harness = ServingHarness(svc, deadline=DEADLINE_S,
+                                         backend=backend)
+                stats = harness.run_open_loop(
+                    load, updates=update_schedule(scale, n_updates,
+                                                  svc.partitions))
+            rows.append({
+                "backend": name,
+                "n_updates": n_updates,
+                "n_requests": stats.n_requests,
+                "tasks_shipped": stats.tasks_shipped,
+                "state_publishes": stats.state_publishes,
+                "task_bytes": stats.task_bytes,
+                "state_bytes": stats.state_bytes,
+                "bytes_per_request": stats.bytes_per_request(),
+                "throughput_rps": stats.throughput(),
+                "p50_s": stats.p50(),
+                "p95_s": stats.p95(),
+                "p99_s": stats.p99(),
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Rebalance bit-identity
+# ---------------------------------------------------------------------------
+
+
+def sim_clocks(n):
+    return [SimulatedClock(speed=1e12) for _ in range(n)]
+
+
+def build_cf_cluster(matrix, component_map) -> ShardedService:
+    parts = shard_ratings(matrix, component_map)
+    return ShardedService(
+        [AccuracyTraderService(CFAdapter(), [p], config=CONFIG)
+         for p in parts],
+        component_map=component_map)
+
+
+def build_search_cluster(corpus_partition, component_map) -> ShardedService:
+    parts = shard_corpus(corpus_partition, component_map)
+    return ShardedService(
+        [AccuracyTraderService(SearchAdapter(), [p], config=SEARCH_CONFIG,
+                               i_max_fraction=0.4) for p in parts],
+        component_map=component_map)
+
+
+def check_rebalance_cf(matrix) -> dict:
+    cmap = make_shard_map(matrix.n_users, 4)
+    svc = build_cf_cluster(matrix, cmap)
+    loadgen = make_loadgen(matrix)
+    request = loadgen.request_factory(0, np.random.default_rng(0))
+    with svc:
+        before, _ = svc.process(request, DEADLINE_S, clocks=sim_clocks(4))
+        # In-flight across the move: dispatch-time tasks drained after.
+        pinned = [t for s in range(4)
+                  for t in svc.shards[s].replicas[0].build_tasks(
+                      request, DEADLINE_S, sim_clocks(1))]
+        report = svc.rebalance({0: 1, 5: 2, 9: 0})
+        outcomes = SequentialBackend().run_tasks(pinned)
+        drained = svc.merge([o.result for o in outcomes], request)
+        pinned_ok = (drained.numer == before.numer
+                     and drained.denom == before.denom)
+        with build_cf_cluster(matrix, svc.component_map) as cold:
+            live, _ = svc.process(request, DEADLINE_S, clocks=sim_clocks(4))
+            coldans, _ = cold.process(request, DEADLINE_S,
+                                      clocks=sim_clocks(4))
+        rebuild_ok = (live.numer == coldans.numer
+                      and live.denom == coldans.denom)
+    return {"workload": "cf", "n_moved": report.n_moved,
+            "affected_components": report.affected_components,
+            "pinned_bit_identical": bool(pinned_ok),
+            "rebuild_bit_identical": bool(rebuild_ok)}
+
+
+def check_rebalance_search(scale: Scale) -> dict:
+    corpus = generate_corpus(CorpusConfig(
+        n_docs=scale.n_docs, n_topics=8, vocab_size=1600, seed=13))
+    cmap = make_shard_map(corpus.partition.n_docs, 3)
+    svc = build_search_cluster(corpus.partition, cmap)
+    query = SearchQuery(terms=corpus.partition.tokens_of(0)[:3], k=10)
+
+    def hits(answer):
+        return [(h.doc_id, h.score) for h in answer]
+
+    with svc:
+        before, _ = svc.process(query, DEADLINE_S, clocks=sim_clocks(3))
+        pinned = [t for s in range(3)
+                  for t in svc.shards[s].replicas[0].build_tasks(
+                      query, DEADLINE_S, sim_clocks(1))]
+        report = svc.rebalance({0: 1, 7: 2})
+        outcomes = SequentialBackend().run_tasks(pinned)
+        drained = svc.merge([o.result for o in outcomes], query)
+        pinned_ok = hits(drained) == hits(before)
+        with build_search_cluster(corpus.partition,
+                                  svc.component_map) as cold:
+            live, _ = svc.process(query, DEADLINE_S, clocks=sim_clocks(3))
+            coldans, _ = cold.process(query, DEADLINE_S,
+                                      clocks=sim_clocks(3))
+        rebuild_ok = hits(live) == hits(coldans)
+    return {"workload": "search", "n_moved": report.n_moved,
+            "affected_components": report.affected_components,
+            "pinned_bit_identical": bool(pinned_ok),
+            "rebuild_bit_identical": bool(rebuild_ok)}
+
+
+def run(scale: Scale) -> dict:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.2,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=19))
+    return {
+        "bench": "worker_state",
+        "workload": "cf+search",
+        "scale": {"n_users": scale.n_users, "n_items": scale.n_items,
+                  "n_requests": scale.n_requests,
+                  "update_rates": list(scale.update_rates),
+                  "n_components": N_COMPONENTS},
+        "backends": run_backends(scale, ratings.matrix),
+        "rebalance": [check_rebalance_cf(ratings.matrix),
+                      check_rebalance_search(scale)],
+    }
+
+
+def print_table(result: dict) -> None:
+    print("state distribution — open-loop burst with concurrent updates")
+    print(f"{'backend':>11}{'updates':>9}{'reqs':>6}{'ships':>7}"
+          f"{'KB/req':>9}{'task KB':>9}{'state KB':>10}{'p95 ms':>8}")
+    for row in result["backends"]:
+        ships = (row["state_publishes"] if row["backend"] == "persistent"
+                 else row["tasks_shipped"])
+        print(f"{row['backend']:>11}{row['n_updates']:>9}"
+              f"{row['n_requests']:>6}{ships:>7}"
+              f"{row['bytes_per_request'] / 1e3:>9.1f}"
+              f"{row['task_bytes'] / 1e3:>9.0f}"
+              f"{row['state_bytes'] / 1e3:>10.0f}"
+              f"{1e3 * row['p95_s']:>8.0f}")
+    for rate in {r["n_updates"] for r in result["backends"]}:
+        pair = {r["backend"]: r for r in result["backends"]
+                if r["n_updates"] == rate}
+        ratio = (pair["process"]["bytes_per_request"]
+                 / max(pair["persistent"]["bytes_per_request"], 1.0))
+        print(f"  update rate {rate}: persistent ships "
+              f"{ratio:.0f}x fewer bytes per request")
+    for check in result["rebalance"]:
+        print(f"rebalance [{check['workload']}]: moved {check['n_moved']} "
+              f"records across components {check['affected_components']}; "
+              f"pinned bit-identical={check['pinned_bit_identical']}, "
+              f"cold-rebuild bit-identical={check['rebuild_bit_identical']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_worker.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    for rate in {r["n_updates"] for r in result["backends"]}:
+        pair = {r["backend"]: r for r in result["backends"]
+                if r["n_updates"] == rate}
+        ratio = (pair["process"]["bytes_per_request"]
+                 / max(pair["persistent"]["bytes_per_request"], 1.0))
+        if ratio < 10.0:
+            failures.append(
+                f"update rate {rate}: persistent only {ratio:.1f}x fewer "
+                "bytes per request (want >= 10x)")
+        persistent = pair["persistent"]
+        if persistent["state_publishes"] > N_COMPONENTS + rate:
+            failures.append(
+                f"persistent published {persistent['state_publishes']} "
+                f"snapshots for {rate} updates: not O(updates)")
+    for check in result["rebalance"]:
+        if not (check["pinned_bit_identical"]
+                and check["rebuild_bit_identical"]):
+            failures.append(f"rebalance bit-identity broken: {check}")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

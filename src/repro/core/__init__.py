@@ -13,7 +13,11 @@ This package is the paper's contribution proper:
   pipeline to the CF recommender and the web search engine;
 - :mod:`repro.core.clock` — real and simulated deadline clocks, so the
   same Algorithm 1 code runs under wall-clock deadlines (examples) and
-  simulated time (tail-latency experiments).
+  simulated time (tail-latency experiments);
+- :mod:`repro.core.state` — the epoch-versioned state plane: the
+  :class:`StateStore` publishes immutable per-component snapshots under
+  monotonically increasing epochs, and :class:`StateRef` handles pin
+  in-flight requests to their dispatch-time state.
 
 Executing per-component work in parallel (thread/process backends, load
 generation, live serving) lives in :mod:`repro.serving`;
@@ -28,7 +32,14 @@ from repro.core.clock import DeadlineClock, SimulatedClock, WallClock
 from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, SearchQuery
 from repro.core.multires import MultiResolutionSynopsis, build_multires
 from repro.core.servable import Servable, default_merge, unwrap_adapter
-from repro.core.service import AccuracyTraderService, ComponentState
+from repro.core.state import (
+    ComponentState,
+    StaleEpochError,
+    StateEpoch,
+    StateRef,
+    StateStore,
+)
+from repro.core.service import AccuracyTraderService
 
 __all__ = [
     "IndexFile",
@@ -50,6 +61,10 @@ __all__ = [
     "build_multires",
     "AccuracyTraderService",
     "ComponentState",
+    "StateEpoch",
+    "StateRef",
+    "StateStore",
+    "StaleEpochError",
     "Servable",
     "default_merge",
     "unwrap_adapter",

@@ -108,6 +108,9 @@ class ProcessingReport:
     cancelled: bool = False         # refinement interrupted by cancellation
     #   (async tier only: the execution was cancelled mid-refinement and
     #   finalized from the groups processed so far — see repro.serving.aio)
+    state_epoch: int | None = None  # which published state snapshot the
+    #   execution ran against (None for tasks with inline state); the
+    #   epoch-pinning tests assert dispatch-time epochs through here
 
 
 class AccuracyAwareProcessor:

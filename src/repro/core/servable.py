@@ -13,6 +13,21 @@ The merge helpers also live here: combining per-component results into
 one service answer is part of the serving *contract* (the router merges
 across shards with the very same functions a single service uses across
 its components), not an implementation detail of one class.
+
+State-plane contract: every implementation serves requests from
+immutable, epoch-versioned component snapshots
+(:mod:`repro.core.state`).  A request is pinned at dispatch to each
+component's then-current epoch, so a concurrent update can never tear
+an in-flight answer: each component's state is always internally
+consistent, and a request dispatched before a multi-component
+operation (e.g. a shard rebalance) drains entirely against pre-move
+epochs.  The one deliberately weaker case: a request dispatched *while*
+a rebalance is publishing its affected components may pin a mix of
+pre- and post-move epochs — each component still torn-free, but the
+cross-component cut not atomic (see the rebalance docstring and the
+ROADMAP's atomic-cut follow-on).  The dispatched epoch is reported
+back per component via
+:attr:`~repro.core.processor.ProcessingReport.state_epoch`.
 """
 
 from __future__ import annotations
@@ -49,6 +64,8 @@ class Servable(Protocol):
         default :class:`~repro.serving.backends.ExecutionBackend` for
         this call.  Returns the merged answer and one
         :class:`~repro.core.processor.ProcessingReport` per component.
+        Execution is pinned to each component's dispatch-time state
+        epoch (see the module docstring's state-plane contract).
         """
         ...
 

@@ -14,25 +14,28 @@ thread- or process-pool for real fan-out parallelism).  The fan-out
 predicting latency, not producing answers; driving live request streams
 belongs to :mod:`repro.serving`.
 
-Concurrency model (copy-on-swap)
---------------------------------
+Concurrency model (epoch-versioned copy-on-swap)
+------------------------------------------------
 
-Each component's mutable state is published as one immutable
-:class:`ComponentState` snapshot — a ``(partition, synopsis)`` pair that
-is never mutated after publication.  ``process`` reads each component's
-current snapshot exactly once and hands it to the backend as part of a
-self-contained task, so an in-flight request keeps computing against a
-consistent pair even while ``add_points`` / ``change_points`` rebuild the
-synopsis.  Updates run under a per-component lock (serialising writers)
-and finish by swapping in a *new* snapshot — a single atomic reference
-assignment — so concurrent readers observe either the old state or the
-new one, never a torn mix.
+Each component's mutable state is published through a
+:class:`~repro.core.state.StateStore` as one immutable
+:class:`~repro.core.state.ComponentState` snapshot — a ``(partition,
+synopsis)`` pair, never mutated after publication, tagged with a
+monotonically increasing :data:`~repro.core.state.StateEpoch` id.
+``process`` captures one pinned :class:`~repro.core.state.StateRef` per
+component at dispatch and hands the backend tasks that reference state
+by ``(component, epoch)``, so an in-flight request keeps computing
+against its dispatch-time snapshot even while ``add_points`` /
+``change_points`` / ``replace_partition`` publish new epochs.  Updates
+run under a per-component lock (serialising writers) and finish by
+publishing a *new* snapshot — a single swap under the store lock — so
+concurrent readers observe either the old epoch or the new one, never a
+torn mix.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.adapters import ServiceAdapter
@@ -40,22 +43,11 @@ from repro.core.builder import SynopsisBuilder, SynopsisConfig
 from repro.core.clock import DeadlineClock, SimulatedClock
 from repro.core.processor import ProcessingReport
 from repro.core.servable import default_merge
+from repro.core.state import ComponentState, StateEpoch, StateStore
 from repro.core.synopsis import Synopsis
 from repro.core.updater import SynopsisUpdater
 
 __all__ = ["ComponentState", "AccuracyTraderService"]
-
-
-@dataclass(frozen=True)
-class ComponentState:
-    """Immutable published state of one component.
-
-    Requests capture one reference to this pair; updates replace the
-    whole object rather than mutating it (copy-on-swap).
-    """
-
-    partition: Any
-    synopsis: Synopsis
 
 
 class AccuracyTraderService:
@@ -105,16 +97,16 @@ class AccuracyTraderService:
         self.config = config if config is not None else SynopsisConfig()
         self._i_max = i_max
         self._i_max_fraction = i_max_fraction
-        builder = SynopsisBuilder(adapter, self.config)
+        self._builder = SynopsisBuilder(adapter, self.config)
+        self.store = StateStore()
         self.updaters: list[SynopsisUpdater] = []
-        self._states: list[ComponentState] = []
-        for part in partitions:
-            synopsis, artifacts = builder.build(part)
+        for c, part in enumerate(partitions):
+            synopsis, artifacts = self._builder.build(part)
             self.updaters.append(SynopsisUpdater(adapter, self.config, part,
                                                  synopsis, artifacts))
-            self._states.append(ComponentState(partition=part,
-                                               synopsis=synopsis))
-        self._update_locks = [threading.Lock() for _ in self._states]
+            self.store.publish(c, ComponentState(partition=part,
+                                                 synopsis=synopsis))
+        self._update_locks = [threading.Lock() for _ in partitions]
         self._merge = merge if merge is not None else default_merge(adapter)
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
@@ -139,7 +131,7 @@ class AccuracyTraderService:
 
     @property
     def n_components(self) -> int:
-        return len(self._states)
+        return len(self.updaters)
 
     @property
     def merge(self) -> Callable:
@@ -149,16 +141,22 @@ class AccuracyTraderService:
     @property
     def partitions(self) -> list:
         """Current per-component partitions (snapshot view)."""
-        return [s.partition for s in self._states]
+        return [self.store.current_state(c).partition
+                for c in range(self.n_components)]
 
     @property
     def synopses(self) -> list[Synopsis]:
         """Current per-component synopses (snapshot view)."""
-        return [s.synopsis for s in self._states]
+        return [self.store.current_state(c).synopsis
+                for c in range(self.n_components)]
 
     def component_state(self, component: int) -> ComponentState:
         """The component's current published snapshot."""
-        return self._states[component]
+        return self.store.current_state(component)
+
+    def component_epoch(self, component: int) -> StateEpoch:
+        """The component's current state epoch."""
+        return self.store.current_epoch(component)
 
     # ------------------------------------------------------------------
 
@@ -166,32 +164,34 @@ class AccuracyTraderService:
                     clocks: list[DeadlineClock] | None = None) -> list:
         """Self-contained per-component tasks for one request.
 
-        Each task captures the component's current published snapshot, so
-        the list is safe to execute on any backend, at any later time,
-        concurrently with updates.  The router tier uses this to dispatch
-        (and hedge) a service's components without going through
-        :meth:`process`.
+        Each task references the component's current published snapshot
+        by a pinned ``(component, epoch)`` :class:`~repro.core.state.
+        StateRef`, so the list is safe to execute on any backend, at any
+        later time, concurrently with updates — execution always
+        resolves the dispatch-time epoch.  The router tier uses this to
+        dispatch (and hedge) a service's components without going
+        through :meth:`process`.
         """
         from repro.serving.backends import ComponentTask
 
         if clocks is None:
-            clocks = [SimulatedClock(speed=1e12) for _ in self._states]
+            clocks = [SimulatedClock(speed=1e12)
+                      for _ in range(self.n_components)]
         if len(clocks) != self.n_components:
             raise ValueError("need one clock per component")
-        states = list(self._states)  # one snapshot ref per component
+        refs = [self.store.ref(c) for c in range(self.n_components)]
         return [
             ComponentTask(
                 component=c,
                 adapter=self.adapter,
-                partition=state.partition,
-                synopsis=state.synopsis,
                 request=request,
                 deadline=deadline,
+                state_ref=ref,
                 clock=clock,
                 i_max=self._i_max,
                 i_max_fraction=self._i_max_fraction,
             )
-            for c, (state, clock) in enumerate(zip(states, clocks))
+            for c, (ref, clock) in enumerate(zip(refs, clocks))
         ]
 
     def process(self, request, deadline: float,
@@ -240,8 +240,7 @@ class AccuracyTraderService:
 
     def exact_components(self, request) -> list:
         """Unmerged exact per-component results (for cross-shard merging)."""
-        return [self.adapter.exact(s.partition, request)
-                for s in self._states]
+        return [self.adapter.exact(p, request) for p in self.partitions]
 
     def exact(self, request) -> Any:
         """Full exact computation across all partitions (ground truth)."""
@@ -254,14 +253,15 @@ class AccuracyTraderService:
 
         Thread-safe with respect to concurrent :meth:`process` calls and
         updates to other components; updates to the *same* component are
-        serialised by a per-component lock.
+        serialised by a per-component lock.  Publishes a new state epoch;
+        in-flight requests keep their dispatch-time epoch.
         """
         with self._update_locks[component]:
             report = self.updaters[component].add_points(partition,
                                                          new_record_ids)
-            self._states[component] = ComponentState(
+            self.store.publish(component, ComponentState(
                 partition=partition,
-                synopsis=self.updaters[component].synopsis)
+                synopsis=self.updaters[component].synopsis))
         return report
 
     def change_points(self, component: int, partition, changed_record_ids):
@@ -272,7 +272,28 @@ class AccuracyTraderService:
         with self._update_locks[component]:
             report = self.updaters[component].change_points(
                 partition, changed_record_ids)
-            self._states[component] = ComponentState(
+            self.store.publish(component, ComponentState(
                 partition=partition,
-                synopsis=self.updaters[component].synopsis)
+                synopsis=self.updaters[component].synopsis))
         return report
+
+    def replace_partition(self, component: int, partition) -> StateEpoch:
+        """Replace one component's partition wholesale (shard rebalancing).
+
+        Rebuilds the component's synopsis from scratch with the service's
+        own deterministic builder — so a replaced component is
+        bit-identical to one built cold over the same partition — and
+        publishes the result as a new state epoch.  Requests in flight
+        keep draining against their dispatch-time snapshots.  Returns
+        the new epoch id.
+        """
+        if len(self.adapter.record_ids(partition)) == 0:
+            raise ValueError(
+                f"replacement partition for component {component} has no "
+                "records; a rebalance must not empty a component")
+        with self._update_locks[component]:
+            synopsis, artifacts = self._builder.build(partition)
+            self.updaters[component] = SynopsisUpdater(
+                self.adapter, self.config, partition, synopsis, artifacts)
+            return self.store.publish(component, ComponentState(
+                partition=partition, synopsis=synopsis))

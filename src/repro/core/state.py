@@ -1,0 +1,222 @@
+"""The epoch-versioned state plane: where component snapshots live.
+
+Serving separates two planes.  The *request plane* moves small, cheap
+objects — requests, deadlines, clocks — once per request.  The *state
+plane* moves big, expensive objects — each component's ``(partition,
+synopsis)`` pair — and should move them once per **update**, not once
+per request.  This module is the state plane's home:
+
+- :class:`ComponentState` — one component's immutable published
+  snapshot, a ``(partition, synopsis)`` pair never mutated after
+  publication (copy-on-swap).
+- :class:`StateStore` — publishes snapshots tagged with monotonically
+  increasing :data:`StateEpoch` ids.  ``publish`` is the only write;
+  readers see either the previous epoch or the new one, never a torn
+  mix.  A bounded per-component history keeps recently superseded
+  epochs resolvable for requests still draining against them.
+- :class:`StateRef` — a by-reference handle ``(store, component,
+  epoch)`` that execution backends resolve at run time.  Refs *pin*
+  their snapshot: a ref taken at dispatch always resolves to exactly
+  the dispatch-time state, even if the store has since evicted that
+  epoch from its history — so an in-flight request can never observe a
+  newer (or torn) state than the one it was dispatched against.
+
+Execution backends consume refs differently:
+
+- in-process backends (sequential / thread / async) resolve a ref to
+  its pinned published snapshot — a pointer indirection, no copies, no
+  locks on the per-task hot path;
+- the vanilla process-pool backend materialises the snapshot into each
+  pickled task (state cost scales with *request* rate);
+- :class:`~repro.serving.backends.PersistentProcessBackend` ships a
+  snapshot to its workers at most once per epoch and sends only the
+  small detached ref per task (state cost scales with *update* rate).
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.synopsis import Synopsis
+
+__all__ = ["StateEpoch", "ComponentState", "StateRef", "StateStore",
+           "StaleEpochError"]
+
+# Epoch ids are plain ints: one per-store counter, strictly increasing
+# across *all* components, so epoch order is publication order.
+StateEpoch = int
+
+
+class StaleEpochError(KeyError):
+    """The requested epoch has been evicted from the store's history."""
+
+
+@dataclass(frozen=True)
+class ComponentState:
+    """Immutable published state of one component.
+
+    Requests capture one reference to this pair; updates replace the
+    whole object rather than mutating it (copy-on-swap).
+    """
+
+    partition: Any
+    synopsis: Synopsis
+
+
+@dataclass(frozen=True)
+class StateRef:
+    """A by-reference handle to one published component snapshot.
+
+    ``store`` is the in-process handle used for resolution; ``pinned``
+    is the snapshot current when the ref was taken, kept so resolution
+    never fails for a ref outliving the store's bounded history.  A
+    *detached* ref (``store is None``, ``pinned is None``) carries only
+    the identity triple and pickles to a few dozen bytes — the form the
+    persistent process backend ships per task, resolved worker-side
+    from a per-epoch cache.
+    """
+
+    store_id: str
+    component: int
+    epoch: StateEpoch
+    store: "StateStore | None" = field(default=None, repr=False,
+                                       compare=False)
+    pinned: ComponentState | None = field(default=None, repr=False,
+                                          compare=False)
+
+    @property
+    def key(self) -> tuple[str, int, StateEpoch]:
+        """Globally unique identity of the referenced snapshot."""
+        return (self.store_id, self.component, self.epoch)
+
+    def detached(self) -> "StateRef":
+        """The identity-only form of this ref (picklable, tiny)."""
+        return StateRef(store_id=self.store_id, component=self.component,
+                        epoch=self.epoch)
+
+    def resolve(self) -> ComponentState:
+        """The referenced snapshot — always the dispatch-time state.
+
+        The pinned snapshot *is* the published one (``StateStore.ref``
+        captures ``(epoch, state)`` atomically and snapshots are
+        immutable), so resolution is lock-free on the per-task hot
+        path; pinless refs go through the store's history.  Detached
+        refs cannot self-resolve — the owning backend resolves them
+        against its worker-side cache.
+        """
+        if self.pinned is not None:
+            return self.pinned
+        if self.store is not None:
+            return self.store.get(self.component, self.epoch)
+        raise StaleEpochError(
+            f"detached ref {self.key} cannot resolve in-process; "
+            "persistent workers resolve it from their epoch cache")
+
+
+class StateStore:
+    """Publishes immutable per-component snapshots under epoch ids.
+
+    One store backs one service deployment: ``publish`` swaps in a new
+    :class:`ComponentState` for a component and returns its fresh
+    :data:`StateEpoch`; ``ref`` hands out pinned references for
+    dispatch.  All operations are thread-safe, and a publish is a
+    single swap under the store lock — concurrent readers observe the
+    old epoch or the new one, never a mix.
+
+    Parameters
+    ----------
+    retain:
+        Superseded epochs kept resolvable per component (beyond the
+        current one).  Bounds store memory under sustained updates;
+        refs pinned to older epochs still resolve via their own pin,
+        so eviction can never break an in-flight request.
+    """
+
+    def __init__(self, retain: int = 8):
+        if retain < 0:
+            raise ValueError("retain must be non-negative")
+        self.store_id = uuid.uuid4().hex
+        self.retain = int(retain)
+        self._lock = threading.Lock()
+        self._epoch_counter = 0
+        # component -> epoch -> state, oldest epoch first.
+        self._history: dict[int, OrderedDict[StateEpoch, ComponentState]] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_components(self) -> int:
+        return len(self._history)
+
+    def components(self) -> list[int]:
+        with self._lock:
+            return sorted(self._history)
+
+    def publish(self, component: int, state: ComponentState) -> StateEpoch:
+        """Swap in ``state`` as ``component``'s current snapshot.
+
+        Returns the new snapshot's epoch id.  Epochs increase strictly
+        across all components of this store, so they double as a total
+        order on updates.
+        """
+        if not isinstance(state, ComponentState):
+            raise TypeError(f"expected a ComponentState, got {state!r}")
+        with self._lock:
+            self._epoch_counter += 1
+            epoch = self._epoch_counter
+            history = self._history.setdefault(int(component), OrderedDict())
+            history[epoch] = state
+            while len(history) > self.retain + 1:
+                history.popitem(last=False)
+            return epoch
+
+    def current(self, component: int) -> tuple[StateEpoch, ComponentState]:
+        """``component``'s current ``(epoch, state)`` pair."""
+        with self._lock:
+            history = self._require(component)
+            epoch = next(reversed(history))
+            return epoch, history[epoch]
+
+    def current_epoch(self, component: int) -> StateEpoch:
+        return self.current(component)[0]
+
+    def current_state(self, component: int) -> ComponentState:
+        return self.current(component)[1]
+
+    def get(self, component: int, epoch: StateEpoch) -> ComponentState:
+        """The snapshot ``component`` published as ``epoch``.
+
+        Raises :class:`StaleEpochError` if the epoch has been evicted
+        from the bounded history (or never existed).
+        """
+        with self._lock:
+            history = self._require(component)
+            state = history.get(epoch)
+        if state is None:
+            raise StaleEpochError(
+                f"component {component} epoch {epoch} is not in the "
+                f"store's history (retain={self.retain})")
+        return state
+
+    def ref(self, component: int) -> StateRef:
+        """A pinned reference to ``component``'s current snapshot."""
+        epoch, state = self.current(component)
+        return StateRef(store_id=self.store_id, component=int(component),
+                        epoch=epoch, store=self, pinned=state)
+
+    def epochs(self, component: int) -> list[StateEpoch]:
+        """Epochs currently resolvable for ``component``, oldest first."""
+        with self._lock:
+            return list(self._require(component))
+
+    # ------------------------------------------------------------------
+
+    def _require(self, component: int) -> OrderedDict:
+        history = self._history.get(int(component))
+        if not history:
+            raise KeyError(f"component {component} has no published state")
+        return history

@@ -30,9 +30,14 @@ Pieces
 ------
 
 - :mod:`repro.serving.backends` — :class:`ExecutionBackend` and its
-  sequential / thread-pool / process-pool implementations; per-component
-  work travels as self-contained, picklable :class:`ComponentTask`
-  snapshots, which is what makes execution placement a plug-in.
+  sequential / thread-pool / process-pool / persistent-worker
+  implementations; per-component work travels as picklable
+  :class:`ComponentTask` values referencing state by ``(component,
+  epoch)`` into the service's :class:`~repro.core.state.StateStore`,
+  which is what makes execution placement a plug-in — and what lets
+  :class:`PersistentProcessBackend` ship state once per update epoch
+  instead of once per task (payload bytes measured per run in
+  :class:`ServingRunStats`).
 - :mod:`repro.serving.loadgen` — deterministic open-loop (Poisson,
   bursty) and closed-loop request-stream generation.
 - :mod:`repro.serving.harness` — :class:`ServingHarness` drives a stream
@@ -45,10 +50,11 @@ Pieces
 - :mod:`repro.serving.router` — the scale-out tier: :class:`ReplicaGroup`
   (replicated services, updates fanned out, pluggable ring/p2c hedge
   placement) and :class:`ShardedService` (sharded routing with per-shard
-  deadline budgets, shard-map-routed updates, and live hedged re-issue
-  across replicas under a Dean & Barroso-style hedge budget).  Both are
-  :class:`~repro.core.servable.Servable`, so the harness drives a routed
-  cluster through the same API as a single service.
+  deadline budgets, shard-map-routed updates, live hedged re-issue
+  across replicas under a Dean & Barroso-style hedge budget, and online
+  shard rebalancing — live record moves published as new state epochs).
+  Both are :class:`~repro.core.servable.Servable`, so the harness drives
+  a routed cluster through the same API as a single service.
 - :mod:`repro.serving.aio` — the async tier: an event-loop
   :class:`~repro.serving.aio.AsyncExecutionBackend`, the async
   ``aprocess`` path through every ``Servable`` (hedged fan-out with real
@@ -62,10 +68,12 @@ Pieces
   with counters surfaced in :class:`ServingRunStats`.
 
 Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
-publishes each component's ``(partition, synopsis)`` as an immutable
-snapshot swapped atomically on update (copy-on-swap); request execution
-reads one snapshot and never a half-updated pair.  See the service's
-docstring for details.
+publishes each component's ``(partition, synopsis)`` through a
+:class:`~repro.core.state.StateStore` as an immutable snapshot tagged
+with a monotonically increasing epoch id (copy-on-swap); request
+execution is pinned at dispatch to the then-current epoch and never
+observes a half-updated pair — across synopsis updates *and* live shard
+rebalances.  See :mod:`repro.core.state` for details.
 """
 
 from repro.serving.adapters import IOStallAdapter
@@ -85,6 +93,7 @@ from repro.serving.backends import (
     ComponentOutcome,
     ComponentTask,
     ExecutionBackend,
+    PersistentProcessBackend,
     ProcessPoolBackend,
     SequentialBackend,
     ThreadPoolBackend,
@@ -92,7 +101,7 @@ from repro.serving.backends import (
 )
 from repro.serving.harness import AccuracyPoint, ServingHarness, ServingRunStats
 from repro.serving.loadgen import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
-from repro.serving.router import ReplicaGroup, ShardedService
+from repro.serving.router import RebalanceReport, ReplicaGroup, ShardedService
 
 __all__ = [
     "ComponentOutcome",
@@ -101,6 +110,7 @@ __all__ = [
     "SequentialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "PersistentProcessBackend",
     "resolve_backend",
     "IOStallAdapter",
     "LoadGenerator",
@@ -111,6 +121,7 @@ __all__ = [
     "AccuracyPoint",
     "ReplicaGroup",
     "ShardedService",
+    "RebalanceReport",
     "AsyncExecutionBackend",
     "AsyncServingHarness",
     "AsyncStallAdapter",

@@ -55,8 +55,9 @@ from repro.serving.admission import AdmissionController
 from repro.serving.backends import ComponentOutcome, ComponentTask, \
     ExecutionBackend, run_component_task
 from repro.serving.harness import ServingRunStats, apply_hedge_delta, \
-    collect_hedge_counters
-from repro.serving.loadgen import OpenLoopLoad
+    apply_payload_delta, collect_hedge_counters, collect_payload_counters, \
+    payload_backend_of
+from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 
 __all__ = [
     "is_async_adapter",
@@ -209,12 +210,19 @@ async def aprocess_component(adapter, partition, synopsis, request,
 async def arun_component_task(task: ComponentTask,
                               hard_deadline: float | None = None,
                               ) -> ComponentOutcome:
-    """Execute one :class:`ComponentTask` natively on the event loop."""
+    """Execute one :class:`ComponentTask` natively on the event loop.
+
+    Epoch references resolve exactly as on the sync path: the task's
+    pinned dispatch-time snapshot, never a newer or torn state.
+    """
+    partition, synopsis = task.resolve_state()
     result, report = await aprocess_component(
-        task.adapter, task.partition, task.synopsis, task.request,
+        task.adapter, partition, synopsis, task.request,
         task.deadline, clock=task.clock,
         i_max=task.i_max, i_max_fraction=task.i_max_fraction,
         start_time=task.start_time, hard_deadline=hard_deadline)
+    if task.state_ref is not None:
+        report.state_epoch = task.state_ref.epoch
     return ComponentOutcome(component=task.component, result=result,
                             report=report)
 
@@ -357,13 +365,14 @@ async def arun_tasks(backend, tasks: Sequence[ComponentTask],
 
 
 class AsyncServingHarness:
-    """Serve an open-loop trace as one coroutine per request.
+    """Serve request streams as coroutines — one per in-flight request.
 
     Mirrors :class:`~repro.serving.harness.ServingHarness` for the async
-    path: the same loads, the same deadline/clock-factory knobs, the
-    same :class:`ServingRunStats` out — but in-flight requests are
-    coroutines, so thousands ride one loop where the thread harness is
-    capped at ``max_concurrency`` workers.  An optional
+    path: the same open- and closed-loop loads, the same deadline /
+    clock-factory knobs, the same :class:`ServingRunStats` out — but
+    in-flight requests are coroutines, so thousands ride one loop where
+    the thread harness is capped at ``max_concurrency`` workers (open
+    loop) or at one OS thread per client (closed loop).  An optional
     :class:`~repro.serving.admission.AdmissionController` bounds what
     the loop accepts; shed requests get ``None`` answers, and the shed /
     queue-depth / in-flight counters land in the stats.
@@ -417,6 +426,9 @@ class AsyncServingHarness:
         n = self.service.n_components
         return [self.clock_factory(c) for c in range(n)]
 
+    def _payload_backend(self):
+        return payload_backend_of(self.backend, self.service)
+
     # ------------------------------------------------------------------
 
     def run_open_loop(self, load: OpenLoopLoad,
@@ -447,6 +459,7 @@ class AsyncServingHarness:
         inflight = 0
         inflight_max = 0
         hedge0 = collect_hedge_counters(self.service)
+        payload0 = collect_payload_counters(self._payload_backend())
         adm = self.admission
         if adm is not None:
             adm.reset_watermarks()  # report run-local peaks, not lifetime
@@ -527,4 +540,80 @@ class AsyncServingHarness:
                 for k, v in a.shed_reasons.items()
                 if v - shed0[1].get(k, 0) > 0}
             stats.queue_depth_max = a.queue_depth_max
+        apply_payload_delta(stats, self._payload_backend(), payload0)
+        return apply_hedge_delta(stats, self.service, hedge0)
+
+    # ------------------------------------------------------------------
+
+    def run_closed_loop(self, load: ClosedLoopLoad) -> ServingRunStats:
+        """Sync entry point: runs :meth:`arun_closed_loop` on a fresh loop."""
+        return asyncio.run(self.arun_closed_loop(load))
+
+    async def arun_closed_loop(self, load: ClosedLoopLoad) -> ServingRunStats:
+        """Serve a closed-loop population of ``load.n_clients`` coroutines.
+
+        The async mirror of :meth:`~repro.serving.harness.ServingHarness.
+        run_closed_loop`: each client coroutine repeatedly claims the
+        next request in index order, awaits its answer, records
+        issue-to-completion latency, then thinks (``asyncio.sleep``) —
+        but a client in think or await costs a parked coroutine, not a
+        blocked thread, so populations of thousands ride one loop.
+        Admission control does not apply: a closed loop is
+        self-limiting at ``n_clients`` in-flight requests by
+        construction.
+        """
+        loop = asyncio.get_running_loop()
+        n = load.n_requests
+        answers: list[Any] = [None] * n
+        reports: list[Any] = [None] * n
+        latencies = np.zeros(n, dtype=float)
+        next_index = 0
+        inflight = 0
+        inflight_max = 0
+        hedge0 = collect_hedge_counters(self.service)
+        payload0 = collect_payload_counters(self._payload_backend())
+        t0 = loop.time()
+
+        async def client() -> None:
+            nonlocal next_index, inflight, inflight_max
+            while True:
+                # Single-threaded loop: claim + counters need no lock
+                # (no await between read and write).
+                i = next_index
+                if i >= n:
+                    return
+                next_index += 1
+                inflight += 1
+                inflight_max = max(inflight_max, inflight)
+                issued = loop.time()
+                try:
+                    answer, reps = await self.service.aprocess(
+                        load.requests[i], self.deadline,
+                        clocks=self._clocks(), backend=self.backend)
+                finally:
+                    inflight -= 1
+                answers[i] = answer
+                reports[i] = reps
+                latencies[i] = loop.time() - issued
+                think = float(load.think_times[i]) * self.time_scale
+                if think > 0:
+                    await asyncio.sleep(think)
+
+        await asyncio.gather(*(client()
+                               for _ in range(min(load.n_clients, n) or 1)))
+
+        duration = loop.time() - t0
+        subs = np.array([rep.total_elapsed for reps in reports
+                         for rep in reps], dtype=float)
+        stats = ServingRunStats(
+            sub_latencies=subs,
+            request_latencies=latencies,
+            n_requests=n,
+            n_components=self.service.n_components,
+            duration=float(duration),
+            answers=list(answers),
+            reports=list(reports),
+            inflight_max=inflight_max,
+        )
+        apply_payload_delta(stats, self._payload_backend(), payload0)
         return apply_hedge_delta(stats, self.service, hedge0)

@@ -13,28 +13,43 @@ sub-operations run:
   live service whose components do I/O.
 - :class:`ProcessPoolBackend` — a shared :class:`~concurrent.futures.
   ProcessPoolExecutor`.  True CPU parallelism for pure-Python component
-  work, at the cost of pickling each task; worth it when per-request
-  component work is large relative to its state.
+  work, at the cost of pickling each task — *including its state
+  snapshot*, so state distribution cost scales with request rate.
+- :class:`PersistentProcessBackend` — long-lived worker processes with a
+  per-epoch snapshot cache.  Each worker fetches a component's
+  ``(partition, synopsis)`` snapshot at most once per state epoch and
+  caches it; per task only a tiny detached
+  :class:`~repro.core.state.StateRef` travels, so state distribution
+  cost scales with *update* rate (amortised distribution).
 
-All backends consume :class:`ComponentTask` values — self-contained,
-picklable descriptions of one component's work built from a consistent
-snapshot of that component's ``(partition, synopsis)`` state — and return
-:class:`ComponentOutcome` values in task order.  Because tasks carry their
-state explicitly, a backend never reads mutable service attributes, which
-is what makes concurrent synopsis updates safe (copy-on-swap in
-:class:`~repro.core.service.AccuracyTraderService`).
+All backends consume :class:`ComponentTask` values and return
+:class:`ComponentOutcome` values in task order.  A task references its
+component's state by a pinned ``(component, epoch)``
+:class:`~repro.core.state.StateRef` into the service's
+:class:`~repro.core.state.StateStore` (inline ``partition`` /
+``synopsis`` fields remain supported for hand-built tasks).  In-process
+backends resolve the ref at execution time — the dispatch-time epoch,
+never a torn or newer state — which is what makes concurrent synopsis
+updates safe; process backends decide *how* the referenced state
+crosses the process boundary (per task vs per epoch), which is what
+:meth:`ExecutionBackend.payload_counters` measures.
 """
 
 from __future__ import annotations
 
 import abc
+import os
+import pickle
+import shutil
+import tempfile
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
 from repro.core.clock import DeadlineClock
 from repro.core.processor import ProcessingReport, process_component
+from repro.core.state import ComponentState, StaleEpochError, StateRef
 
 __all__ = [
     "ComponentTask",
@@ -43,6 +58,7 @@ __all__ = [
     "SequentialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "PersistentProcessBackend",
     "resolve_backend",
     "run_component_task",
 ]
@@ -50,23 +66,62 @@ __all__ = [
 
 @dataclass
 class ComponentTask:
-    """One component's share of one request, with all state inlined.
+    """One component's share of one request.
 
-    The task owns immutable *references*: the partition and synopsis are
-    never mutated by execution (updates replace them wholesale), so tasks
-    can be executed concurrently with updates and with each other.
+    State travels by reference: ``state_ref`` names an immutable
+    published snapshot by ``(store, component, epoch)`` and pins it, so
+    executing the task at any later time — on any backend, concurrently
+    with updates — always computes against the dispatch-time state.
+    Hand-built tasks may instead inline ``partition`` / ``synopsis``
+    directly; both are immutable references, never mutated by execution.
+
+    Pickling materialises a live ref into the payload (the vanilla
+    process-pool behaviour: state cost per *task*); the persistent
+    backend detaches the ref first so only its identity triple travels
+    (state cost per *epoch*).
     """
 
     component: int
     adapter: Any
-    partition: Any
-    synopsis: Any
     request: Any
     deadline: float
+    partition: Any = None
+    synopsis: Any = None
+    state_ref: StateRef | None = None
     clock: DeadlineClock | None = None
     i_max: int | None = None
     i_max_fraction: float | None = None
     start_time: float | None = None
+
+    def resolve_state(self) -> tuple[Any, Any]:
+        """The ``(partition, synopsis)`` this task must execute against.
+
+        Inline state wins when present (a materialised task keeps its
+        detached ref purely as epoch identity); otherwise the ref
+        resolves through the store — the dispatch-time epoch.
+        """
+        if self.partition is not None or self.synopsis is not None:
+            return self.partition, self.synopsis
+        if self.state_ref is not None:
+            state = self.state_ref.resolve()
+            return state.partition, state.synopsis
+        return self.partition, self.synopsis
+
+    def __getstate__(self):
+        # Crossing a process boundary with a *live* ref embeds the
+        # snapshot in the payload — per-task state shipping, the vanilla
+        # process-pool cost model — keeping the detached ref as epoch
+        # identity.  An already-detached ref passes through as its tiny
+        # identity triple (the persistent backend's cost model).
+        state = dict(self.__dict__)
+        ref = state.get("state_ref")
+        if ref is not None and (ref.store is not None
+                                or ref.pinned is not None):
+            snapshot = ref.resolve()
+            state["partition"] = snapshot.partition
+            state["synopsis"] = snapshot.synopsis
+            state["state_ref"] = ref.detached()
+        return state
 
 
 @dataclass
@@ -80,12 +135,15 @@ class ComponentOutcome:
 
 def run_component_task(task: ComponentTask) -> ComponentOutcome:
     """Execute one task (module-level so process pools can pickle it)."""
+    partition, synopsis = task.resolve_state()
     result, report = process_component(
-        task.adapter, task.partition, task.synopsis, task.request,
+        task.adapter, partition, synopsis, task.request,
         task.deadline, clock=task.clock,
         i_max=task.i_max, i_max_fraction=task.i_max_fraction,
         start_time=task.start_time,
     )
+    if task.state_ref is not None:
+        report.state_epoch = task.state_ref.epoch
     return ComponentOutcome(component=task.component, result=result,
                             report=report)
 
@@ -119,6 +177,22 @@ class ExecutionBackend(abc.ABC):
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 future.set_exception(exc)
         return future
+
+    def payload_counters(self) -> dict:
+        """Cumulative serialized-payload accounting (thread-safe snapshot).
+
+        - ``task_bytes`` — serialized task payloads shipped to workers
+          (for the vanilla process pool this *includes* the embedded
+          state snapshot, which is the cost this counter exists to make
+          visible);
+        - ``state_bytes`` — state snapshots shipped separately from
+          tasks (the persistent backend's once-per-epoch publications);
+        - ``tasks_shipped`` / ``state_publishes`` — the matching counts.
+
+        In-process backends move references, not bytes: all zeros.
+        """
+        return {"task_bytes": 0, "state_bytes": 0,
+                "tasks_shipped": 0, "state_publishes": 0}
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -174,18 +248,42 @@ class ThreadPoolBackend(ExecutionBackend):
             self._pool = None
 
 
-class ProcessPoolBackend(ExecutionBackend):
-    """Run components on a shared process pool.
+def _preferred_mp_context(start_method: str | None):
+    """A multiprocessing context preferring ``forkserver``.
 
-    Each task (adapter, partition, synopsis, request, clock) is pickled to
-    a worker and the (result, report) pickled back; mutations the worker
-    makes to its copies — clock charges, adapter caches — do not propagate,
-    which is exactly the isolation that makes the outcome a pure function
-    of the task.  Prefers the ``forkserver`` start method where available:
-    the pool may be created lazily from a harness worker thread, and
+    Pools may be created lazily from a harness worker thread, and
     forking an already-multithreaded process can inherit held locks
     (deprecated in Python 3.12+); forkserver forks from a clean helper
     process instead.
+    """
+    import multiprocessing as mp
+
+    method = start_method
+    if method is None:
+        available = mp.get_all_start_methods()
+        method = "forkserver" if "forkserver" in available else None
+    return mp.get_context(method) if method is not None else None
+
+
+def _run_pickled_task(blob: bytes) -> ComponentOutcome:
+    """Worker entry: unpickle a pre-serialized task and run it."""
+    return run_component_task(pickle.loads(blob))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run components on a shared process pool — state shipped per task.
+
+    Each task is pickled to a worker with its state snapshot embedded
+    (see :meth:`ComponentTask.__getstate__`) and the (result, report)
+    pickled back; mutations the worker makes to its copies — clock
+    charges, adapter caches — do not propagate, which is exactly the
+    isolation that makes the outcome a pure function of the task.
+
+    Tasks are serialized *here*, not inside the executor, so the
+    per-task payload cost is measured exactly once and surfaced via
+    :meth:`payload_counters` — the number that motivates
+    :class:`PersistentProcessBackend`, which ships state once per epoch
+    instead.
     """
 
     name = "process"
@@ -196,27 +294,32 @@ class ProcessPoolBackend(ExecutionBackend):
         self.start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._task_bytes = 0
+        self._tasks_shipped = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
             if self._pool is None:
-                import multiprocessing as mp
-
-                method = self.start_method
-                if method is None:
-                    available = mp.get_all_start_methods()
-                    method = ("forkserver" if "forkserver" in available
-                              else None)
-                ctx = mp.get_context(method) if method is not None else None
-                self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
-                                                 mp_context=ctx)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=_preferred_mp_context(self.start_method))
             return self._pool
 
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
-        return list(self._ensure_pool().map(run_component_task, tasks))
+        return [f.result() for f in [self.submit_task(t) for t in tasks]]
 
     def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
-        return self._ensure_pool().submit(run_component_task, task)
+        blob = pickle.dumps(task)
+        with self._lock:
+            self._task_bytes += len(blob)
+            self._tasks_shipped += 1
+        return self._ensure_pool().submit(_run_pickled_task, blob)
+
+    def payload_counters(self) -> dict:
+        with self._lock:
+            return {"task_bytes": self._task_bytes, "state_bytes": 0,
+                    "tasks_shipped": self._tasks_shipped,
+                    "state_publishes": 0}
 
     def close(self) -> None:
         if self._pool is not None:
@@ -224,10 +327,272 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = None
 
 
+# ---------------------------------------------------------------------------
+# Persistent workers: state shipped once per epoch
+# ---------------------------------------------------------------------------
+
+
+# Worker-side snapshot cache: (store_id, component, epoch) -> ComponentState.
+# Module-level so it survives across tasks in one long-lived worker; a
+# worker holds at most one epoch per (store, component) — inserting a
+# newer epoch evicts the superseded ones (copy-on-swap mirrored
+# worker-side).
+_WORKER_STATE_CACHE: dict[tuple, ComponentState] = {}
+
+
+def _channel_path(channel_dir: str, key: tuple) -> str:
+    store_id, component, epoch = key
+    return os.path.join(channel_dir, f"{store_id}-{component}-{epoch}.state")
+
+
+def _worker_cached_state(key: tuple, channel_dir: str) -> ComponentState:
+    """Resolve a snapshot in a worker: cache hit, or one channel fetch.
+
+    Only the newest seen epoch per (store, component) is cached — a
+    straggler task pinned to an older epoch is served from a one-off
+    fetch without displacing (or joining) the newer cached snapshot.
+    """
+    state = _WORKER_STATE_CACHE.get(key)
+    if state is not None:
+        return state
+    with open(_channel_path(channel_dir, key), "rb") as fh:
+        state = pickle.load(fh)
+    store_id, component, epoch = key
+    group = [k for k in _WORKER_STATE_CACHE
+             if k[0] == store_id and k[1] == component]
+    if any(k[2] > epoch for k in group):
+        return state
+    for stale in group:
+        del _WORKER_STATE_CACHE[stale]
+    _WORKER_STATE_CACHE[key] = state
+    return state
+
+
+def _run_persistent_task(blob: bytes, channel_dir: str) -> ComponentOutcome:
+    """Worker entry: resolve the detached ref from the cache, then run.
+
+    Inline state wins over the ref, mirroring
+    :meth:`ComponentTask.resolve_state` — a task that was materialised
+    by an earlier pickling carries its snapshot inline plus a detached
+    ref that was never published to this backend's channel.
+    """
+    task: ComponentTask = pickle.loads(blob)
+    ref = task.state_ref
+    if ref is not None and task.partition is None and task.synopsis is None:
+        state = _worker_cached_state(ref.key, channel_dir)
+        task = replace(task, partition=state.partition,
+                       synopsis=state.synopsis, state_ref=None)
+        outcome = run_component_task(task)
+        outcome.report.state_epoch = ref.epoch
+        return outcome
+    return run_component_task(task)
+
+
+def _probe_worker_cache() -> list[tuple]:
+    """Worker entry: this worker's cached snapshot keys (test/debug)."""
+    return sorted(_WORKER_STATE_CACHE)
+
+
+class PersistentProcessBackend(ExecutionBackend):
+    """Long-lived worker processes with per-epoch snapshot caching.
+
+    The vanilla process pool re-pickles each component's ``(partition,
+    synopsis)`` snapshot into every task, so state-distribution cost
+    scales with *request* rate.  This backend inverts that: state moves
+    through a shared distribution channel (a spill directory holding one
+    pickled snapshot per ``(store, component, epoch)``), published
+    **once per epoch** on first use; per task only the task's
+    request-plane fields plus a detached
+    :class:`~repro.core.state.StateRef` travel.  Workers cache fetched
+    snapshots by epoch — at most one channel read per epoch per worker —
+    and evict superseded epochs on insert, mirroring copy-on-swap
+    worker-side.
+
+    Parent-side, a published epoch stays in the channel while tasks
+    referencing it are outstanding (refcounted) and is removed once it
+    is both superseded and drained, so in-flight requests stay pinned to
+    their dispatch-time epoch across concurrent updates while the
+    channel stays bounded.
+
+    :meth:`payload_counters` separates the two flows: ``task_bytes``
+    (per request, small) vs ``state_bytes`` (per epoch, large) — the
+    O(updates)-not-O(requests) claim, measured.
+    """
+
+    name = "persistent"
+
+    def __init__(self, max_workers: int | None = None,
+                 start_method: str | None = None):
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._channel_dir: str | None = None
+        self._lock = threading.Lock()
+        # (store_id, component) -> {epoch currently in the channel}.
+        self._published: dict[tuple, set[int]] = {}
+        self._outstanding: dict[tuple, int] = {}   # key -> in-flight tasks
+        self._superseded: set[tuple] = set()
+        self._task_bytes = 0
+        self._tasks_shipped = 0
+        self._state_bytes = 0
+        self._state_publishes = 0
+
+    # -- channel management (parent side) -------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._channel_dir = tempfile.mkdtemp(
+                    prefix="repro-state-plane-")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=_preferred_mp_context(self.start_method))
+            return self._pool
+
+    def _ensure_published_locked(self, ref: StateRef) -> None:
+        """Publish ``ref``'s snapshot to the channel (at most once/epoch).
+
+        A straggler ref may *re*-publish an epoch older than the
+        newest already in the channel (its file was evicted after
+        draining); supersession is therefore computed against the
+        newest published epoch, in both directions, so every non-newest
+        epoch is evicted again the moment it drains.
+        """
+        group = (ref.store_id, ref.component)
+        epochs = self._published.setdefault(group, set())
+        if ref.epoch not in epochs:
+            blob = pickle.dumps(ref.resolve())
+            with open(_channel_path(self._channel_dir, ref.key), "wb") as fh:
+                fh.write(blob)
+            self._state_bytes += len(blob)
+            self._state_publishes += 1
+            epochs.add(ref.epoch)
+        newest = max(epochs)
+        for epoch in list(epochs):
+            if epoch < newest:
+                self._mark_superseded_locked((ref.store_id, ref.component,
+                                              epoch))
+
+    def _mark_superseded_locked(self, key: tuple) -> None:
+        self._superseded.add(key)
+        self._maybe_evict_locked(key)
+
+    def _maybe_evict_locked(self, key: tuple) -> None:
+        """Drop a superseded, drained epoch from the channel."""
+        if key in self._superseded and self._outstanding.get(key, 0) == 0:
+            self._superseded.discard(key)
+            self._published.get((key[0], key[1]), set()).discard(key[2])
+            try:
+                os.unlink(_channel_path(self._channel_dir, key))
+            except OSError:
+                pass
+
+    def _task_done(self, key: tuple):
+        def callback(_future) -> None:
+            with self._lock:
+                self._outstanding[key] = self._outstanding.get(key, 1) - 1
+                if self._outstanding[key] <= 0:
+                    del self._outstanding[key]
+                self._maybe_evict_locked(key)
+
+        return callback
+
+    def published_epochs(self, store_id: str, component: int) -> list[int]:
+        """Epochs currently in the distribution channel (test/debug)."""
+        with self._lock:
+            return sorted(self._published.get((store_id, component), set()))
+
+    def probe_worker_cache(self) -> list[tuple]:
+        """One worker's cached snapshot keys (test/debug helper).
+
+        With ``max_workers=1`` this observes *the* worker's cache;
+        with more workers it samples whichever worker takes the probe.
+        """
+        return self._ensure_pool().submit(_probe_worker_cache).result()
+
+    # -- ExecutionBackend ------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        return [f.result() for f in [self.submit_task(t) for t in tasks]]
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        pool = self._ensure_pool()
+        ref = task.state_ref
+        if ref is not None and (ref.store is not None
+                                or ref.pinned is not None):
+            with self._lock:
+                # Outstanding first: publishing may immediately mark
+                # this very epoch superseded (straggler re-publish),
+                # and eviction must wait for this task to drain.
+                self._outstanding[ref.key] = \
+                    self._outstanding.get(ref.key, 0) + 1
+                self._ensure_published_locked(ref)
+            blob = pickle.dumps(replace(task, state_ref=ref.detached()))
+            with self._lock:
+                self._task_bytes += len(blob)
+                self._tasks_shipped += 1
+            future = pool.submit(_run_persistent_task, blob,
+                                 self._channel_dir)
+            future.add_done_callback(self._task_done(ref.key))
+            return future
+        if ref is not None and task.partition is None \
+                and task.synopsis is None:
+            # A detached ref without inline state only resolves if its
+            # epoch is (still) in the channel; reject an unpublished one
+            # here with the in-process backends' descriptive error
+            # rather than a raw FileNotFoundError inside a worker.
+            with self._lock:
+                published = ref.epoch in self._published.get(
+                    (ref.store_id, ref.component), set())
+                if published:
+                    self._outstanding[ref.key] = \
+                        self._outstanding.get(ref.key, 0) + 1
+            if not published:
+                raise StaleEpochError(
+                    f"detached ref {ref.key} references an epoch not in "
+                    "this backend's channel; submit the task with its "
+                    "live (pinned) ref instead")
+            blob = pickle.dumps(task)
+            with self._lock:
+                self._task_bytes += len(blob)
+                self._tasks_shipped += 1
+            future = pool.submit(_run_persistent_task, blob,
+                                 self._channel_dir)
+            future.add_done_callback(self._task_done(ref.key))
+            return future
+        # Inline-state task: ship it whole, like the vanilla pool —
+        # there is no unshipped state to amortise.
+        blob = pickle.dumps(task)
+        with self._lock:
+            self._task_bytes += len(blob)
+            self._tasks_shipped += 1
+        return pool.submit(_run_persistent_task, blob, self._channel_dir)
+
+    def payload_counters(self) -> dict:
+        with self._lock:
+            return {"task_bytes": self._task_bytes,
+                    "state_bytes": self._state_bytes,
+                    "tasks_shipped": self._tasks_shipped,
+                    "state_publishes": self._state_publishes}
+
+    def close(self) -> None:
+        with self._lock:
+            pool, channel = self._pool, self._channel_dir
+            self._pool = self._channel_dir = None
+            self._published.clear()
+            self._outstanding.clear()
+            self._superseded.clear()
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if channel is not None:
+            shutil.rmtree(channel, ignore_errors=True)
+
+
 _BACKENDS = {
     "sequential": SequentialBackend,
     "thread": ThreadPoolBackend,
     "process": ProcessPoolBackend,
+    "persistent": PersistentProcessBackend,
 }
 
 
@@ -235,8 +600,8 @@ def resolve_backend(backend) -> ExecutionBackend:
     """Coerce ``backend`` (instance, name, or ``None``) to a backend.
 
     ``None`` means :class:`SequentialBackend`; strings name one of
-    ``"sequential"``, ``"thread"``, ``"process"``, or ``"async"`` (the
-    event-loop backend from :mod:`repro.serving.aio`).
+    ``"sequential"``, ``"thread"``, ``"process"``, ``"persistent"``, or
+    ``"async"`` (the event-loop backend from :mod:`repro.serving.aio`).
     """
     if backend is None:
         return SequentialBackend()

@@ -32,7 +32,9 @@ from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 from repro.util.stats import percentile
 
 __all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness",
-           "collect_hedge_counters", "apply_hedge_delta"]
+           "collect_hedge_counters", "apply_hedge_delta",
+           "collect_payload_counters", "apply_payload_delta",
+           "payload_backend_of"]
 
 
 def collect_hedge_counters(service) -> dict | None:
@@ -59,6 +61,49 @@ def apply_hedge_delta(stats: "ServingRunStats", service,
         stats.hedges_issued = (after["hedges_issued"]
                                - before["hedges_issued"])
         stats.hedge_wins = after["hedge_wins"] - before["hedge_wins"]
+    return stats
+
+
+def payload_backend_of(harness_backend, service):
+    """The backend whose payload counters describe a harness run.
+
+    A harness-level backend override wins; otherwise the service's own
+    default backend carries the counters.  Shared by the thread and
+    async harnesses.
+    """
+    if harness_backend is not None:
+        return harness_backend
+    return getattr(service, "backend", None)
+
+
+def collect_payload_counters(backend) -> dict | None:
+    """Snapshot a backend's serialized-payload counters, if it keeps any.
+
+    Duck-typed on ``payload_counters()`` (every
+    :class:`~repro.serving.backends.ExecutionBackend`; in-process
+    backends report zeros).  ``None`` for no backend at all.
+    """
+    counters = getattr(backend, "payload_counters", None)
+    return counters() if callable(counters) else None
+
+
+def apply_payload_delta(stats: "ServingRunStats", backend,
+                        before: dict | None) -> "ServingRunStats":
+    """Fill ``stats``' payload-bytes fields with this run's deltas.
+
+    Shared by the thread and async harnesses: ``before`` is the
+    :func:`collect_payload_counters` snapshot taken at run start.  This
+    is what makes the process pool's per-task state pickling *visible*:
+    ``task_bytes`` grows with request rate on the vanilla process
+    backend but stays near-flat on the persistent backend, whose
+    ``state_bytes`` grows with update (epoch) rate instead.
+    """
+    after = collect_payload_counters(backend)
+    if before is not None and after is not None:
+        for field_name in ("task_bytes", "state_bytes", "tasks_shipped",
+                           "state_publishes"):
+            setattr(stats, field_name,
+                    after[field_name] - before[field_name])
     return stats
 
 
@@ -100,6 +145,17 @@ class ServingRunStats:
         only.  ``answers`` and ``reports`` stay aligned with one slot
         per offered request (``None`` where shed); ``request_latencies``
         holds served requests only, so percentiles stay finite.
+    task_bytes / state_bytes / tasks_shipped / state_publishes:
+        Serialized-payload accounting for this run (deltas from the
+        harness's backend, collected via
+        :func:`collect_payload_counters`; zero for in-process backends,
+        which move references, not bytes).  ``task_bytes`` is what
+        crossed the process boundary *per task* — on the vanilla
+        process pool this embeds each task's state snapshot, the
+        O(requests) distribution cost; ``state_bytes`` counts
+        snapshots shipped separately once per epoch — the persistent
+        backend's O(updates) cost.  :meth:`bytes_per_request` combines
+        them for before/after comparisons.
     """
 
     sub_latencies: np.ndarray
@@ -118,6 +174,10 @@ class ServingRunStats:
     shed_reasons: dict = field(default_factory=dict)
     queue_depth_max: int = 0
     inflight_max: int = 0
+    task_bytes: int = 0
+    state_bytes: int = 0
+    tasks_shipped: int = 0
+    state_publishes: int = 0
 
     # -- FanoutRunStats-compatible accessors ----------------------------
 
@@ -166,6 +226,18 @@ class ServingRunStats:
         if not self.offered:
             return 0.0
         return self.shed / self.offered
+
+    def bytes_per_request(self) -> float:
+        """Serialized payload bytes shipped per served request.
+
+        Task payloads plus separately-shipped state, averaged over the
+        run — the headline state-distribution number: O(state size) per
+        request on the vanilla process pool vs O(ref size) plus the
+        amortised per-epoch state cost on the persistent backend.
+        """
+        if self.n_requests == 0:
+            return 0.0
+        return (self.task_bytes + self.state_bytes) / self.n_requests
 
 
 @dataclass
@@ -258,6 +330,9 @@ class ServingHarness:
                            before: dict | None) -> ServingRunStats:
         return apply_hedge_delta(stats, self.service, before)
 
+    def _payload_backend(self):
+        return payload_backend_of(self.backend, self.service)
+
     @staticmethod
     def _stats_from(answers, reports, latencies, duration, n_components,
                     update_log) -> ServingRunStats:
@@ -296,6 +371,7 @@ class ServingHarness:
         latencies = np.zeros(n, dtype=float)
         update_log: list[tuple[float, Any]] = []
         hedge_before = collect_hedge_counters(self.service)
+        payload_before = collect_payload_counters(self._payload_backend())
         t0 = time.monotonic()
 
         stop_updates = threading.Event()
@@ -359,6 +435,7 @@ class ServingHarness:
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, update_log)
         stats.inflight_max = inflight_max
+        apply_payload_delta(stats, self._payload_backend(), payload_before)
         return self._apply_hedge_delta(stats, hedge_before)
 
     # ------------------------------------------------------------------
@@ -376,6 +453,7 @@ class ServingHarness:
         next_index = 0
         claim_lock = threading.Lock()
         hedge_before = collect_hedge_counters(self.service)
+        payload_before = collect_payload_counters(self._payload_backend())
         t0 = time.monotonic()
 
         inflight = 0
@@ -416,6 +494,7 @@ class ServingHarness:
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, [])
         stats.inflight_max = inflight_max
+        apply_payload_delta(stats, self._payload_backend(), payload_before)
         return self._apply_hedge_delta(stats, hedge_before)
 
     # ------------------------------------------------------------------

@@ -48,6 +48,13 @@ Updates route through an optional component
 :class:`~repro.workloads.partitioning.ShardMap`: ``add_points`` /
 ``change_points`` take *global* record ids and resolve the owning shard
 and component themselves (see the update section below).
+
+Online shard rebalancing (:meth:`ShardedService.rebalance`) moves
+records between live shards: the minimal set of affected components is
+rebuilt bit-identically to a cold build over the new map and published
+as fresh state epochs on every replica, while in-flight requests keep
+draining against their dispatch-time snapshots (epoch pinning — see
+:mod:`repro.core.state`).
 """
 
 from __future__ import annotations
@@ -56,15 +63,33 @@ import asyncio
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.core.clock import ClockFactory, wall_clock_factory
 from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
 from repro.serving.backends import ExecutionBackend, resolve_backend
 from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.partitioning import reshard_partitions
 
-__all__ = ["ReplicaGroup", "ShardedService"]
+__all__ = ["ReplicaGroup", "ShardedService", "RebalanceReport"]
+
+
+@dataclass
+class RebalanceReport:
+    """What one :meth:`ShardedService.rebalance` call did.
+
+    ``epochs`` maps each affected *global* component to the state epochs
+    its replicas published (one per replica); untouched components keep
+    serving their existing epochs throughout.
+    """
+
+    n_moved: int
+    affected_components: list[int]
+    epochs: dict[int, list] = field(default_factory=dict, repr=False)
 
 
 class ReplicaGroup:
@@ -232,6 +257,17 @@ class ReplicaGroup:
         return [r.change_points(component, partition, changed_record_ids)
                 for r in self.replicas]
 
+    def replace_partition(self, component: int, partition) -> list:
+        """Replace one component's partition on *every* replica.
+
+        The shard-rebalancing primitive: each replica rebuilds the
+        component's synopsis deterministically and publishes it as a new
+        state epoch (see :meth:`~repro.core.service.AccuracyTraderService.
+        replace_partition`).  Returns the new epoch per replica.
+        """
+        return [r.replace_partition(component, partition)
+                for r in self.replicas]
+
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
@@ -350,6 +386,12 @@ class ShardedService:
                 f"component map routes records to {component_map.n_shards} "
                 f"components but the cluster has {self._total_components}")
         self.component_map = component_map
+        # Serialises updates against rebalancing: an update that routed
+        # under the old map must publish before a rebalance captures the
+        # live partitions (or after it commits the new map), or the
+        # rebuild would silently discard it.  Requests never take this
+        # lock — they drain against pinned snapshots.
+        self._state_write_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -749,34 +791,116 @@ class ShardedService:
         the component map: ``new_record_ids`` are global record ids (the
         map grows over new ids), and the owning shard and component are
         resolved here.  ``partition`` is the component's new partition
-        in both modes.
+        in both modes.  Serialised against :meth:`rebalance` (an update
+        routed under a map must land before a move recaptures state).
         """
-        if component is not None:
-            shard, local_component = self.locate_component(component)
-            return self.shards[shard].add_points(local_component, partition,
-                                                 new_record_ids)
-        shard, local_component, local_ids, grown = \
-            self._route_update(new_record_ids, grow=True)
-        reports = self.shards[shard].add_points(local_component, partition,
-                                                local_ids)
-        self.component_map = grown
-        return reports
+        with self._state_write_lock:
+            if component is not None:
+                shard, local_component = self.locate_component(component)
+                return self.shards[shard].add_points(
+                    local_component, partition, new_record_ids)
+            shard, local_component, local_ids, grown = \
+                self._route_update(new_record_ids, grow=True)
+            reports = self.shards[shard].add_points(local_component,
+                                                    partition, local_ids)
+            self.component_map = grown
+            return reports
 
     def change_points(self, partition, changed_record_ids,
                       component: int | None = None) -> list:
         """Change-points on the owning component, on every replica.
 
         Addressing modes as in :meth:`add_points`; changed ids must
-        already be covered by the component map.
+        already be covered by the component map.  Serialised against
+        :meth:`rebalance`.
         """
-        if component is not None:
-            shard, local_component = self.locate_component(component)
-            return self.shards[shard].change_points(
-                local_component, partition, changed_record_ids)
-        shard, local_component, local_ids, _ = \
-            self._route_update(changed_record_ids, grow=False)
-        return self.shards[shard].change_points(local_component, partition,
-                                                local_ids)
+        with self._state_write_lock:
+            if component is not None:
+                shard, local_component = self.locate_component(component)
+                return self.shards[shard].change_points(
+                    local_component, partition, changed_record_ids)
+            shard, local_component, local_ids, _ = \
+                self._route_update(changed_record_ids, grow=False)
+            return self.shards[shard].change_points(local_component,
+                                                    partition, local_ids)
+
+    # -- online rebalancing: move records between live shards ----------
+
+    def rebalance(self, moves) -> RebalanceReport:
+        """Move records between live shards; requests keep serving.
+
+        ``moves`` maps global record ids to destination *global
+        components* (dict or ``(record_id, component)`` pairs — the
+        component map's granularity, so a destination addresses both a
+        shard and a component within it).  The operation:
+
+        1. derives the new component map and the minimal set of
+           affected components (:meth:`~repro.workloads.partitioning.
+           ShardMap.rebalance`);
+        2. rebuilds exactly those components' partitions from the live
+           ones (:func:`~repro.workloads.partitioning.
+           reshard_partitions` — bit-identical to a cold build over the
+           new map);
+        3. publishes each rebuilt partition as a **new state epoch** on
+           every replica of the owning shards, while in-flight requests
+           keep draining against their dispatch-time epochs — no torn
+           component reads, no pause.  (Requests dispatched *during*
+           this publication loop may pin a mix of pre- and post-move
+           components — each internally consistent; an atomic
+           cross-component cut is a ROADMAP follow-on);
+        4. commits the new component map, so subsequent updates route
+           to the records' new homes.
+
+        Bit-identity guarantees: requests dispatched before the move
+        complete with their pre-move answers (epoch pinning), and the
+        post-move cluster state is bit-identical to one built cold over
+        the new map — rebalancing never introduces state drift.  All
+        validation happens before step 3, so a rejected move (unknown
+        record, emptied component) leaves the cluster untouched.
+
+        Serialised against :meth:`add_points` / :meth:`change_points`
+        (``_state_write_lock``): an update that routed under the old
+        map publishes before this move captures the live partitions, or
+        waits for the new map — it is never silently discarded by the
+        rebuild.  Requests are unaffected: they never take the lock.
+        """
+        if self.component_map is None:
+            raise ValueError("rebalancing requires a component_map")
+        with self._state_write_lock:
+            new_map, affected = self.component_map.rebalance(moves)
+            if not affected:
+                return RebalanceReport(n_moved=0, affected_components=[])
+            counts = new_map.counts()
+            empty = [c for c in affected if int(counts[c]) == 0]
+            if empty:
+                raise ValueError(
+                    f"rebalance would empty component(s) {empty}; every "
+                    "component must keep at least one record")
+            old_map = self.component_map
+            n_moved = int(np.count_nonzero(
+                new_map.assignments != old_map.assignments))
+            parts = [self._component_partition(c)
+                     for c in range(self.n_components)]
+            rebuilt = reshard_partitions(parts, old_map, new_map, affected)
+            epochs: dict[int, list] = {}
+            for c in affected:
+                shard, local_component = self.locate_component(c)
+                epochs[c] = self.shards[shard].replace_partition(
+                    local_component, rebuilt[c])
+            self.component_map = new_map
+            return RebalanceReport(n_moved=n_moved,
+                                   affected_components=list(affected),
+                                   epochs=epochs)
+
+    def _component_partition(self, component: int):
+        """The live partition of a global component (replica 0's view).
+
+        Replicas hold bit-identical logical state, so replica 0 stands
+        for the group.
+        """
+        shard, local_component = self.locate_component(component)
+        group = self.shards[shard]
+        return group.replicas[0].component_state(local_component).partition
 
     # -- lifecycle -----------------------------------------------------
 

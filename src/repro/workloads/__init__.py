@@ -19,6 +19,9 @@ from repro.workloads.arrival import bursty_arrivals, poisson_arrivals, nhpp_arri
 from repro.workloads.partitioning import (
     ShardMap,
     make_shard_map,
+    reshard_corpus,
+    reshard_partitions,
+    reshard_ratings,
     shard_corpus,
     shard_ratings,
     split_corpus,
@@ -45,6 +48,9 @@ __all__ = [
     "make_shard_map",
     "shard_ratings",
     "shard_corpus",
+    "reshard_ratings",
+    "reshard_corpus",
+    "reshard_partitions",
     "MovieLensConfig",
     "SyntheticRatings",
     "generate_ratings",

@@ -21,6 +21,14 @@ original round-robin conveniences, now thin wrappers over the same code
 path.  Uneven counts are handled: shard p of a round-robin map over N
 records gets ``ceil((N - p) / n_shards)`` records, always with dense
 local ids.
+
+Online rebalancing: :meth:`ShardMap.rebalance` moves named records to
+new shards, returning a fourth-strategy (``"custom"``) map plus the
+*minimal* set of affected shards — only shards that gained or lost a
+record change at all; every other shard's assignments and local ids are
+untouched.  :func:`reshard_ratings` / :func:`reshard_corpus` rebuild
+exactly the affected shards' datasets, bit-identical to a cold
+:func:`shard_ratings` / :func:`shard_corpus` build over the new map.
 """
 
 from __future__ import annotations
@@ -33,9 +41,13 @@ from repro.recommender.matrix import RatingMatrix
 from repro.search.partition import SearchPartition
 
 __all__ = ["ShardMap", "make_shard_map", "shard_ratings", "shard_corpus",
-           "split_ratings", "split_corpus"]
+           "split_ratings", "split_corpus", "reshard_ratings",
+           "reshard_corpus", "reshard_partitions"]
 
-_STRATEGIES = ("round_robin", "hash", "locality")
+# "custom" marks a map whose assignment vector is the source of truth
+# (the result of explicit rebalancing moves) rather than a generating
+# rule; make_shard_map never produces it.
+_STRATEGIES = ("round_robin", "hash", "locality", "custom")
 
 
 def _splitmix64(x: np.ndarray) -> np.ndarray:
@@ -101,8 +113,10 @@ class ShardMap:
 
         Existing assignments and local ids never move: ``round_robin``
         and ``hash`` placement are stable under id-space growth by
-        construction, and ``locality`` growth appends the new contiguous
-        id range to the last shard (online rebalancing is a separate,
+        construction; ``locality`` growth appends the new contiguous
+        id range to the last shard; ``custom`` (rebalanced) growth
+        spreads new ids round-robin, with local ids continuing after
+        each shard's current block (online rebalancing is a separate,
         explicit operation — growth must not silently relocate data).
         """
         if n_new < 0:
@@ -112,6 +126,21 @@ class ShardMap:
         if self.strategy in ("round_robin", "hash"):
             return make_shard_map(self.n_records + n_new, self.n_shards,
                                   self.strategy, seed=self.seed)
+        if self.strategy == "custom":
+            # New ids are larger than every existing id, so appending at
+            # the end of each shard's block keeps local ids dense *and*
+            # ascending with the global id.
+            new_shards = (np.arange(n_new, dtype=np.int64) % self.n_shards)
+            counts = self.counts()
+            local_new = np.empty(n_new, dtype=np.int64)
+            for s in range(self.n_shards):
+                mine = np.flatnonzero(new_shards == s)
+                local_new[mine] = counts[s] + np.arange(mine.size)
+            return ShardMap(
+                self.n_shards, self.n_records + n_new, self.strategy,
+                np.concatenate([self.assignments, new_shards]),
+                np.concatenate([self.local_ids, local_new]),
+                seed=self.seed)
         # locality: the new ids are one contiguous range at the end of
         # the id space, so they extend the last shard's range.
         last = self.n_shards - 1
@@ -123,6 +152,53 @@ class ShardMap:
             np.arange(start, start + n_new, dtype=np.int64)])
         return ShardMap(self.n_shards, self.n_records + n_new,
                         self.strategy, assignments, local, seed=self.seed)
+
+    def rebalance(self, moves) -> tuple["ShardMap", list[int]]:
+        """Move named records to new shards; the explicit online operation.
+
+        ``moves`` maps global record ids to destination shards (a dict
+        or an iterable of ``(record_id, dest_shard)`` pairs).  Returns
+        ``(new_map, affected_shards)`` where ``affected_shards`` is the
+        *minimal* set touched by the moves — every shard that gained or
+        lost at least one record, in ascending order.  Unaffected shards
+        keep their assignments and local ids bit-identically; affected
+        shards get fresh dense local ids in ascending global-id order,
+        so the new map equals what :func:`make_shard_map` would produce
+        from the new assignment vector.  Moves that name a record's
+        current shard are no-ops; an all-no-op request returns ``self``
+        unchanged.
+
+        The result carries strategy ``"custom"``: its assignment vector,
+        not a generating rule, is now the source of truth (see
+        :meth:`with_records_added` for how a custom map grows).
+        """
+        pairs = moves.items() if hasattr(moves, "items") else moves
+        assignments = self.assignments.copy()
+        affected: set[int] = set()
+        for record_id, dest in pairs:
+            record_id, dest = int(record_id), int(dest)
+            if not (0 <= record_id < self.n_records):
+                raise IndexError(
+                    f"record {record_id} out of range [0, {self.n_records})")
+            if not (0 <= dest < self.n_shards):
+                raise IndexError(
+                    f"destination shard {dest} out of range "
+                    f"[0, {self.n_shards})")
+            src = int(assignments[record_id])
+            if src == dest:
+                continue
+            assignments[record_id] = dest
+            affected.add(src)
+            affected.add(dest)
+        if not affected:
+            return self, []
+        local = self.local_ids.copy()
+        for s in affected:
+            members = np.flatnonzero(assignments == s)
+            local[members] = np.arange(members.size, dtype=np.int64)
+        return (ShardMap(self.n_shards, self.n_records, "custom",
+                         assignments, local, seed=self.seed),
+                sorted(affected))
 
 
 def make_shard_map(n_records: int, n_shards: int,
@@ -152,8 +228,11 @@ def make_shard_map(n_records: int, n_shards: int,
         assignments = (ids * n_shards // max(n_records, 1)).astype(np.int64)
         assignments = np.minimum(assignments, n_shards - 1)
     else:
-        raise ValueError(f"unknown strategy {strategy!r}; "
-                         f"expected one of {_STRATEGIES}")
+        # "custom" has no generating rule — it only arises from
+        # ShardMap.rebalance — so it cannot be made from scratch here.
+        generable = tuple(s for s in _STRATEGIES if s != "custom")
+        raise ValueError(f"cannot generate strategy {strategy!r}; "
+                         f"expected one of {generable}")
     # Dense local ids in ascending global-id order within each shard:
     # one stable sort instead of a per-shard scan of the whole vector.
     counts = np.bincount(assignments, minlength=n_shards)
@@ -205,6 +284,101 @@ def shard_corpus(partition: SearchPartition,
     for doc_id in range(partition.n_docs):
         parts[shard_map.shard_of(doc_id)].add_page(partition.tokens_of(doc_id))
     return parts
+
+
+# ---------------------------------------------------------------------------
+# Rebuilding the affected shards after a rebalance
+# ---------------------------------------------------------------------------
+
+
+def _check_reshard_args(parts, old_map: ShardMap, new_map: ShardMap,
+                        shards) -> list[int]:
+    if old_map.n_shards != new_map.n_shards or len(parts) != old_map.n_shards:
+        raise ValueError(
+            f"need one partition per shard: {len(parts)} partitions, "
+            f"{old_map.n_shards} -> {new_map.n_shards} shards")
+    if old_map.n_records != new_map.n_records:
+        raise ValueError(
+            f"rebalancing moves records, it cannot add or drop them: "
+            f"{old_map.n_records} -> {new_map.n_records}")
+    shards = sorted(int(s) for s in shards)
+    for s in shards:
+        if not (0 <= s < old_map.n_shards):
+            raise IndexError(f"shard {s} out of range")
+    return shards
+
+
+def reshard_ratings(parts, old_map: ShardMap, new_map: ShardMap,
+                    shards) -> dict[int, RatingMatrix]:
+    """Rebuild the rating matrices of ``shards`` under ``new_map``.
+
+    ``parts`` are the *current* per-shard matrices under ``old_map``;
+    only the listed (affected) shards are read and rebuilt — a record
+    can only enter an affected shard by leaving another affected shard,
+    so the rest of the cluster is never touched.  Each rebuilt matrix is
+    bit-identical to :func:`shard_ratings` applied cold to ``new_map``
+    (CSR construction canonicalises triple order).
+    """
+    shards = _check_reshard_args(parts, old_map, new_map, shards)
+    users_l, items_l, vals_l = [], [], []
+    for s in shards:
+        members = old_map.members_of(s)  # local id -> global id
+        u, i, v = parts[s].to_triples()
+        users_l.append(members[u])
+        items_l.append(i)
+        vals_l.append(v)
+    users = np.concatenate(users_l) if users_l else np.empty(0, np.int64)
+    items = np.concatenate(items_l) if items_l else np.empty(0, np.int64)
+    vals = np.concatenate(vals_l) if vals_l else np.empty(0, float)
+    counts = new_map.counts()
+    # The item space is global (all shards share it so predictions
+    # merge); an unaffected shard may carry the widest one.
+    n_items = max((p.n_items for p in parts), default=0)
+    rebuilt = {}
+    for s in shards:
+        mask = new_map.assignments[users] == s
+        rebuilt[s] = RatingMatrix(new_map.local_ids[users[mask]],
+                                  items[mask], vals[mask],
+                                  n_users=int(counts[s]), n_items=n_items)
+    return rebuilt
+
+
+def reshard_corpus(parts, old_map: ShardMap, new_map: ShardMap,
+                   shards) -> dict[int, SearchPartition]:
+    """Rebuild the search partitions of ``shards`` under ``new_map``.
+
+    Same contract as :func:`reshard_ratings`: pages are gathered from
+    the affected shards only and re-appended in ascending global-id
+    order, so each rebuilt partition is bit-identical to
+    :func:`shard_corpus` applied cold to ``new_map``.
+    """
+    shards = _check_reshard_args(parts, old_map, new_map, shards)
+    tokens: dict[int, list] = {}
+    for s in shards:
+        for local, global_id in enumerate(old_map.members_of(s)):
+            tokens[int(global_id)] = parts[s].tokens_of(local)
+    rebuilt = {}
+    for s in shards:
+        part = SearchPartition()
+        for global_id in new_map.members_of(s):
+            part.add_page(tokens[int(global_id)])
+        rebuilt[s] = part
+    return rebuilt
+
+
+def reshard_partitions(parts, old_map: ShardMap, new_map: ShardMap,
+                       shards) -> dict:
+    """Type-dispatching reshard: ratings or corpus, by partition type."""
+    parts = list(parts)
+    if not parts:
+        raise ValueError("need at least one partition")
+    if isinstance(parts[0], RatingMatrix):
+        return reshard_ratings(parts, old_map, new_map, shards)
+    if isinstance(parts[0], SearchPartition):
+        return reshard_corpus(parts, old_map, new_map, shards)
+    raise TypeError(
+        f"cannot reshard partitions of type {type(parts[0]).__name__}; "
+        "expected RatingMatrix or SearchPartition")
 
 
 def split_ratings(matrix: RatingMatrix, n_parts: int) -> list[RatingMatrix]:

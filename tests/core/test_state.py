@@ -1,0 +1,115 @@
+"""The epoch-versioned state plane: StateStore / StateRef semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.state import (
+    ComponentState,
+    StaleEpochError,
+    StateRef,
+    StateStore,
+)
+
+
+def make_state(tag: object) -> ComponentState:
+    """A distinguishable snapshot; the store never inspects contents."""
+    return ComponentState(partition=("partition", tag),
+                          synopsis=("synopsis", tag))
+
+
+class TestStateStore:
+    def test_epochs_monotonic_across_components(self):
+        store = StateStore()
+        epochs = [store.publish(c, make_state((c, i)))
+                  for i in range(3) for c in range(2)]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == len(epochs)
+
+    def test_current_tracks_latest_publish(self):
+        store = StateStore()
+        store.publish(0, make_state("old"))
+        e2 = store.publish(0, make_state("new"))
+        epoch, state = store.current(0)
+        assert epoch == e2
+        assert state.partition == ("partition", "new")
+        assert store.current_epoch(0) == e2
+        assert store.current_state(0) is state
+
+    def test_history_keeps_superseded_epochs(self):
+        store = StateStore(retain=4)
+        e1 = store.publish(0, make_state("a"))
+        e2 = store.publish(0, make_state("b"))
+        assert store.get(0, e1).partition == ("partition", "a")
+        assert store.get(0, e2).partition == ("partition", "b")
+        assert store.epochs(0) == [e1, e2]
+
+    def test_retention_evicts_oldest(self):
+        store = StateStore(retain=2)
+        epochs = [store.publish(0, make_state(i)) for i in range(5)]
+        # current + 2 retained.
+        assert store.epochs(0) == epochs[-3:]
+        with pytest.raises(StaleEpochError):
+            store.get(0, epochs[0])
+
+    def test_unknown_component_and_epoch(self):
+        store = StateStore()
+        with pytest.raises(KeyError):
+            store.current(0)
+        store.publish(0, make_state("x"))
+        with pytest.raises(StaleEpochError):
+            store.get(0, 999)
+
+    def test_publish_rejects_non_state(self):
+        with pytest.raises(TypeError):
+            StateStore().publish(0, ("partition", "synopsis"))
+
+    def test_store_ids_unique(self):
+        assert StateStore().store_id != StateStore().store_id
+
+
+class TestStateRef:
+    def test_ref_resolves_current_snapshot(self):
+        store = StateStore()
+        epoch = store.publish(1, make_state("a"))
+        ref = store.ref(1)
+        assert ref.key == (store.store_id, 1, epoch)
+        assert ref.resolve() is store.get(1, epoch)
+
+    def test_ref_pins_dispatch_time_state_across_updates(self):
+        store = StateStore()
+        store.publish(0, make_state("old"))
+        ref = store.ref(0)
+        store.publish(0, make_state("new"))
+        # The ref keeps resolving the state current when it was taken.
+        assert ref.resolve().partition == ("partition", "old")
+
+    def test_ref_survives_history_eviction_via_pin(self):
+        store = StateStore(retain=0)
+        store.publish(0, make_state("old"))
+        ref = store.ref(0)
+        store.publish(0, make_state("new"))
+        with pytest.raises(StaleEpochError):
+            store.get(0, ref.epoch)   # evicted from the bounded history
+        assert ref.resolve().partition == ("partition", "old")  # pinned
+
+    def test_detached_ref_is_tiny_and_cannot_self_resolve(self):
+        store = StateStore()
+        store.publish(0, make_state("big" * 1000))
+        ref = store.ref(0)
+        detached = ref.detached()
+        assert detached.key == ref.key
+        assert detached.store is None and detached.pinned is None
+        assert len(pickle.dumps(detached)) < 200
+        with pytest.raises(StaleEpochError):
+            detached.resolve()
+
+    def test_ref_equality_is_identity_triple(self):
+        store = StateStore()
+        store.publish(0, make_state("x"))
+        ref = store.ref(0)
+        assert ref == ref.detached()  # store/pinned excluded from compare
+        other = StateRef(store_id="elsewhere", component=0, epoch=ref.epoch)
+        assert ref != other

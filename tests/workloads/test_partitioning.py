@@ -188,3 +188,130 @@ class TestSplitCorpus:
         for doc_id in range(corpus.n_docs):
             part = parts[doc_id % n_parts]
             assert part.tokens_of(doc_id // n_parts) == corpus.tokens_of(doc_id)
+
+
+class TestShardMapRebalance:
+    def test_moves_apply_and_affected_is_minimal(self):
+        smap = make_shard_map(12, 4)
+        new, affected = smap.rebalance({0: 1, 4: 1})   # both from shard 0
+        assert affected == [0, 1]
+        assert new.shard_of(0) == 1 and new.shard_of(4) == 1
+        assert new.strategy == "custom"
+        assert new.n_records == smap.n_records
+
+    def test_unaffected_shards_bit_identical(self):
+        smap = make_shard_map(20, 4, strategy="hash", seed=3)
+        new, affected = smap.rebalance({0: (smap.shard_of(0) + 1) % 4})
+        for s in range(4):
+            if s in affected:
+                continue
+            np.testing.assert_array_equal(new.members_of(s),
+                                          smap.members_of(s))
+            members = smap.members_of(s)
+            np.testing.assert_array_equal(new.local_ids[members],
+                                          smap.local_ids[members])
+
+    def test_local_ids_dense_ascending_after_move(self):
+        smap = make_shard_map(17, 3)
+        new, _ = smap.rebalance({0: 2, 7: 1, 12: 0})
+        assert new.counts().sum() == 17
+        for s in range(3):
+            members = new.members_of(s)
+            np.testing.assert_array_equal(new.local_ids[members],
+                                          np.arange(members.size))
+
+    def test_noop_moves_return_self(self):
+        smap = make_shard_map(10, 2)
+        new, affected = smap.rebalance({0: smap.shard_of(0)})
+        assert new is smap and affected == []
+
+    def test_pairs_accepted_and_validated(self):
+        smap = make_shard_map(10, 2)
+        new, affected = smap.rebalance([(0, 1), (2, 1)])
+        assert new.shard_of(0) == 1 and new.shard_of(2) == 1
+        with pytest.raises(IndexError):
+            smap.rebalance({99: 0})
+        with pytest.raises(IndexError):
+            smap.rebalance({0: 5})
+
+    def test_custom_map_growth_never_moves_existing(self):
+        smap, _ = make_shard_map(10, 2).rebalance({0: 1})
+        grown = smap.with_records_added(4)
+        assert grown.strategy == "custom"
+        np.testing.assert_array_equal(grown.assignments[:10],
+                                      smap.assignments)
+        np.testing.assert_array_equal(grown.local_ids[:10], smap.local_ids)
+        for s in range(2):
+            members = grown.members_of(s)
+            np.testing.assert_array_equal(grown.local_ids[members],
+                                          np.arange(members.size))
+
+    def test_custom_cannot_be_generated_from_scratch(self):
+        with pytest.raises(ValueError, match="custom"):
+            make_shard_map(10, 2, strategy="custom")
+
+
+class TestReshard:
+    def test_reshard_ratings_matches_cold_build(self, small_ratings):
+        from repro.workloads.partitioning import reshard_ratings
+
+        matrix = small_ratings.matrix
+        old = make_shard_map(matrix.n_users, 4)
+        parts = shard_ratings(matrix, old)
+        new, affected = old.rebalance({0: 1, 5: 2})
+        rebuilt = reshard_ratings(parts, old, new, affected)
+        cold = shard_ratings(matrix, new)
+        assert sorted(rebuilt) == affected
+        for s in affected:
+            got, want = rebuilt[s], cold[s]
+            assert got.n_users == want.n_users
+            np.testing.assert_array_equal(got.indptr, want.indptr)
+            np.testing.assert_array_equal(got.item_ids, want.item_ids)
+            np.testing.assert_array_equal(got.values, want.values)
+
+    def test_reshard_corpus_matches_cold_build(self, small_corpus):
+        from repro.workloads.partitioning import reshard_corpus
+
+        corpus = small_corpus.partition
+        old = make_shard_map(corpus.n_docs, 3)
+        parts = shard_corpus(corpus, old)
+        new, affected = old.rebalance({0: 1, 10: 2})
+        rebuilt = reshard_corpus(parts, old, new, affected)
+        cold = shard_corpus(corpus, new)
+        for s in affected:
+            assert rebuilt[s].n_docs == cold[s].n_docs
+            for d in range(rebuilt[s].n_docs):
+                assert rebuilt[s].tokens_of(d) == cold[s].tokens_of(d)
+
+    def test_reshard_keeps_global_item_space(self, small_ratings):
+        # The widest item space may live on an *unaffected* shard (e.g.
+        # after add_points grew one component with new items); rebuilt
+        # shards must keep the global space so predictions still merge.
+        from repro.recommender.matrix import RatingMatrix
+        from repro.workloads.partitioning import reshard_ratings
+
+        matrix = small_ratings.matrix
+        old = make_shard_map(matrix.n_users, 3)
+        parts = shard_ratings(matrix, old)
+        wide = parts[2]
+        parts[2] = RatingMatrix(*wide.to_triples(), n_users=wide.n_users,
+                                n_items=wide.n_items + 7)
+        new, affected = old.rebalance({0: 1})   # shard 2 untouched
+        assert 2 not in affected
+        rebuilt = reshard_ratings(parts, old, new, affected)
+        assert all(m.n_items == wide.n_items + 7 for m in rebuilt.values())
+
+    def test_reshard_partitions_dispatches_and_validates(self, small_ratings):
+        from repro.workloads.partitioning import reshard_partitions
+
+        matrix = small_ratings.matrix
+        old = make_shard_map(matrix.n_users, 2)
+        parts = shard_ratings(matrix, old)
+        new, affected = old.rebalance({0: 1})
+        rebuilt = reshard_partitions(parts, old, new, affected)
+        assert sorted(rebuilt) == affected
+        with pytest.raises(TypeError):
+            reshard_partitions([object(), object()], old, new, affected)
+        mismatched = make_shard_map(matrix.n_users + 1, 2)
+        with pytest.raises(ValueError):
+            reshard_partitions(parts, old, mismatched, affected)
