@@ -1,0 +1,220 @@
+"""Priority-aware shedding: accuracy-critical p99 protected under overload.
+
+One stall-dominated CF service (capacity ``max_inflight / stall`` rps)
+is offered a **2x-overload** open-loop stream whose requests carry typed
+:class:`~repro.serving.envelope.ServingRequest` envelopes, one third per
+class (accuracy-critical / latency-critical / best-effort).  The same
+stream runs behind two admission controllers:
+
+- **fifo** — classless ``RejectOnFull``: the queue sits pinned at
+  capacity, every admitted request (whatever its class) eats the full
+  standing queue delay, and shedding is blind to class;
+- **priority** — :class:`~repro.serving.admission.PriorityShedPolicy`:
+  best-effort traffic is shed early (keeping the standing queue short),
+  latency-critical next, and accuracy-critical only when the queue is
+  truly full — which, with accuracy+latency traffic alone inside
+  capacity, never happens.
+
+The acceptance contract measured here (and smoke-checked in CI from the
+emitted ``BENCH_priority.json``):
+
+- under the priority policy **no accuracy-critical request is shed**
+  while best-effort requests are being shed (and served);
+- accuracy-critical p99 under the priority policy beats the classless
+  baseline — the short queue is the protection, not just the shedding.
+
+Run:  PYTHONPATH=src python benchmarks/bench_priority_shedding.py [--toy]
+          [--out BENCH_priority.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import CFAdapter
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    AdmissionController,
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+    LoadGenerator,
+    PriorityShedPolicy,
+    RejectOnFull,
+    RequestClass,
+    ServingRequest,
+)
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_ratings
+
+STALL_S = 0.05          # per-request storage stall (dominates service time)
+MAX_INFLIGHT = 4        # execution slots -> capacity = 4 / 0.05 = 80 rps
+MAX_PENDING = 32
+OVERLOAD = 2.0          # offered rate = OVERLOAD * capacity
+DEADLINE_S = 10.0
+# Aggressive low-class thresholds keep the standing queue short, which is
+# what protects accuracy-critical latency (not just its shed count).
+PRIORITY_THRESHOLDS = {RequestClass.BEST_EFFORT: 0.15,
+                       RequestClass.LATENCY_CRITICAL: 0.30}
+
+CLASSES = [RequestClass.ACCURACY_CRITICAL, RequestClass.LATENCY_CRITICAL,
+           RequestClass.BEST_EFFORT]
+
+CONFIG = SynopsisConfig(n_iters=25, target_ratio=12.0, seed=37)
+
+
+@dataclass
+class Scale:
+    duration_s: float
+    n_users: int
+    n_items: int
+
+
+FULL = Scale(duration_s=4.0, n_users=240, n_items=40)
+TOY = Scale(duration_s=1.5, n_users=96, n_items=30)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    """Mixed-class envelope stream: classes cycle AC / LC / BE."""
+    from repro.core.adapters import CFRequest
+
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        payload = CFRequest(active_items=ids, active_vals=vals,
+                            target_items=[0, 1, 2])
+        return ServingRequest(payload=payload,
+                              request_class=CLASSES[i % len(CLASSES)])
+
+    return LoadGenerator(factory, seed=53)
+
+
+def run_policy(policy_name: str, scale: Scale, matrix) -> dict:
+    capacity_rps = MAX_INFLIGHT / STALL_S
+    rate = OVERLOAD * capacity_rps
+    n = int(rate * scale.duration_s)
+    load = make_loadgen(matrix).fixed(np.arange(n) / rate)
+
+    if policy_name == "fifo":
+        policies = [RejectOnFull()]
+    else:
+        policies = [PriorityShedPolicy(thresholds=PRIORITY_THRESHOLDS)]
+    admission = AdmissionController(max_pending=MAX_PENDING,
+                                    max_inflight=MAX_INFLIGHT,
+                                    policies=policies)
+    stall = AsyncStallAdapter(CFAdapter(), synopsis_stall=STALL_S,
+                              group_stall=0.0)
+    svc = AccuracyTraderService(stall, split_ratings(matrix, 1),
+                                config=CONFIG, i_max=0)
+    with svc, AsyncExecutionBackend() as backend:
+        harness = AsyncServingHarness(svc, deadline=DEADLINE_S,
+                                      backend=backend, admission=admission)
+        stats = harness.run_open_loop(load)
+
+    breakdown = stats.class_breakdown()
+    return {
+        "policy": policy_name,
+        "offered": stats.offered,
+        "served": stats.n_requests,
+        "shed": stats.shed,
+        "shed_rate": stats.shed_rate(),
+        "shed_reasons": stats.shed_reasons,
+        "queue_depth_max": stats.queue_depth_max,
+        "classes": breakdown,
+    }
+
+
+def run(scale: Scale) -> dict:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.25,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=37))
+    capacity_rps = MAX_INFLIGHT / STALL_S
+    rows = [run_policy(name, scale, ratings.matrix)
+            for name in ("fifo", "priority")]
+    return {
+        "bench": "priority_shedding",
+        "workload": "cf",
+        "scale": {"duration_s": scale.duration_s,
+                  "n_users": scale.n_users, "n_items": scale.n_items},
+        "capacity_rps": capacity_rps,
+        "offered_rps": OVERLOAD * capacity_rps,
+        "overload": OVERLOAD,
+        "max_inflight": MAX_INFLIGHT,
+        "max_pending": MAX_PENDING,
+        "policies": rows,
+    }
+
+
+def class_row(result: dict, policy: str, cls: str) -> dict:
+    row = next(r for r in result["policies"] if r["policy"] == policy)
+    return row["classes"].get(cls, {"served": 0, "shed": 0,
+                                    "p50_s": float("nan"),
+                                    "p99_s": float("nan")})
+
+
+def print_table(result: dict) -> None:
+    print(f"priority shedding — {result['overload']:.0f}x overload "
+          f"({result['offered_rps']:.0f} rps offered vs "
+          f"{result['capacity_rps']:.0f} rps capacity), "
+          "one third of traffic per class")
+    print(f"{'policy':>9}{'class':>20}{'served':>8}{'shed':>7}"
+          f"{'p50 ms':>9}{'p99 ms':>9}")
+    for row in result["policies"]:
+        for cls in ("accuracy_critical", "latency_critical", "best_effort"):
+            c = row["classes"].get(cls, {})
+            print(f"{row['policy']:>9}{cls:>20}"
+                  f"{c.get('served', 0):>8}{c.get('shed', 0):>7}"
+                  f"{1e3 * c.get('p50_s', float('nan')):>9.0f}"
+                  f"{1e3 * c.get('p99_s', float('nan')):>9.0f}")
+    fifo_ac = class_row(result, "fifo", "accuracy_critical")
+    prio_ac = class_row(result, "priority", "accuracy_critical")
+    print(f"accuracy-critical p99: fifo {1e3 * fifo_ac['p99_s']:.0f} ms -> "
+          f"priority {1e3 * prio_ac['p99_s']:.0f} ms; "
+          f"priority sheds {class_row(result, 'priority', 'best_effort')['shed']}"
+          " best-effort, 0 accuracy-critical")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_priority.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    prio_ac = class_row(result, "priority", "accuracy_critical")
+    prio_be = class_row(result, "priority", "best_effort")
+    fifo_ac = class_row(result, "fifo", "accuracy_critical")
+    if prio_ac["shed"] != 0:
+        failures.append(
+            f"{prio_ac['shed']} accuracy-critical requests were shed "
+            "under the priority policy")
+    if prio_be["shed"] < 1:
+        failures.append("the run never shed best-effort traffic — "
+                        "it was not overloaded")
+    if prio_be["served"] < 1:
+        failures.append("no best-effort request was admitted at all")
+    if not prio_ac["p99_s"] < fifo_ac["p99_s"]:
+        failures.append(
+            f"accuracy-critical p99 not protected: priority "
+            f"{prio_ac['p99_s']:.3f}s vs fifo {fifo_ac['p99_s']:.3f}s")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

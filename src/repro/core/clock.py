@@ -23,6 +23,7 @@ __all__ = [
     "WallClock",
     "SimulatedClock",
     "ClockFactory",
+    "fresh_like",
     "wall_clock_factory",
     "simulated_clock_factory",
 ]
@@ -70,6 +71,7 @@ class SimulatedClock:
     def __init__(self, start: float = 0.0, speed: float = 1.0):
         if speed <= 0:
             raise ValueError("speed must be positive")
+        self.start = float(start)
         self._now = float(start)
         self.speed = float(speed)
         self.work_charged = 0.0
@@ -88,6 +90,35 @@ class SimulatedClock:
         if seconds < 0:
             raise ValueError("cannot advance backwards")
         self._now += seconds
+
+
+def fresh_like(clock: DeadlineClock) -> DeadlineClock:
+    """A new, uncharged clock equivalent to ``clock``.
+
+    Hedged re-issue needs a *fresh* clock per copy (clocks are stateful:
+    a simulated clock accumulates charged work), but it must stay in the
+    caller's time world — a request served under simulated clocks whose
+    hedge copy silently ran on wall clocks would report incomparable
+    elapsed times.  A ``fresh()`` hook, when the clock offers one, is
+    authoritative (so subclasses are never downgraded to their base
+    class); otherwise the two built-in clock types clone exactly —
+    simulated with their original start and current speed, wall as wall.
+    Anything else is a loud ``TypeError``: silently substituting a wall
+    clock would reintroduce exactly the mismatch this function exists
+    to prevent.
+    """
+    fresh = getattr(clock, "fresh", None)
+    if callable(fresh):
+        return fresh()
+    if type(clock) is SimulatedClock:
+        return SimulatedClock(start=clock.start, speed=clock.speed)
+    if type(clock) is WallClock:
+        return WallClock()
+    raise TypeError(
+        f"cannot clone {type(clock).__name__} for a hedged copy: clock "
+        "types other than SimulatedClock/WallClock (subclasses included) "
+        "must provide a fresh() method returning a new, uncharged clock "
+        "in the same time world")
 
 
 # ---------------------------------------------------------------------------

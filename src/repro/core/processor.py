@@ -111,6 +111,13 @@ class ProcessingReport:
     state_epoch: int | None = None  # which published state snapshot the
     #   execution ran against (None for tasks with inline state); the
     #   epoch-pinning tests assert dispatch-time epochs through here
+    request_id: int | None = None   # envelope identity: which
+    #   ServingRequest this execution served (None for bare-payload
+    #   tasks built outside the envelope path)
+    request_class: str | None = None  # the envelope's RequestClass value
+    #   string ("accuracy_critical" / "latency_critical" /
+    #   "best_effort"); kept as a string so reports stay plainly
+    #   picklable across process backends
 
 
 class AccuracyAwareProcessor:

@@ -14,6 +14,19 @@ one service answer is part of the serving *contract* (the router merges
 across shards with the very same functions a single service uses across
 its components), not an implementation detail of one class.
 
+Request-envelope contract: the native request path is typed.  A request
+travels as one immutable :class:`~repro.serving.envelope.ServingRequest`
+(payload, deadline, request class, priority, per-request overrides,
+monotonic id, arrival timestamp) through :meth:`Servable.serve` /
+:meth:`Servable.aserve`, and the reply is a
+:class:`~repro.serving.envelope.ServingResponse` (answer, per-component
+reports, state epochs, queue/service timing).  The positional
+``process(request, deadline, ...)`` / ``aprocess(...)`` members are the
+**legacy shims** over that path: they wrap the bare payload in a
+default-class envelope (:func:`~repro.serving.envelope.as_envelope`)
+and unpack the response to the old ``(answer, reports)`` tuple,
+bit-identically — kept for migration, intended for deprecation.
+
 State-plane contract: every implementation serves requests from
 immutable, epoch-versioned component snapshots
 (:mod:`repro.core.state`).  A request is pinned at dispatch to each
@@ -55,30 +68,52 @@ class Servable(Protocol):
         """Total partition-processing components behind this service."""
         ...
 
-    def process(self, request, deadline: float, clocks=None, backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Answer ``request`` under per-component ``deadline`` seconds.
+    def serve(self, request: "ServingRequest", clocks=None, backend=None,
+              ) -> "ServingResponse":
+        """Answer one typed request envelope — the native entry point.
 
-        ``clocks`` optionally supplies one :class:`~repro.core.clock.
-        DeadlineClock` per component; ``backend`` overrides the service's
-        default :class:`~repro.serving.backends.ExecutionBackend` for
-        this call.  Returns the merged answer and one
-        :class:`~repro.core.processor.ProcessingReport` per component.
-        Execution is pinned to each component's dispatch-time state
-        epoch (see the module docstring's state-plane contract).
+        ``request`` is a :class:`~repro.serving.envelope.ServingRequest`
+        with its deadline resolved (harnesses fill defaults before
+        dispatch).  ``clocks`` optionally supplies one
+        :class:`~repro.core.clock.DeadlineClock` per component;
+        ``backend`` overrides the service's default
+        :class:`~repro.serving.backends.ExecutionBackend` for this call.
+        Returns a :class:`~repro.serving.envelope.ServingResponse`;
+        execution is pinned to each component's dispatch-time state
+        epoch (see the module docstring's state-plane contract), and
+        every per-component report carries the envelope's
+        ``request_id`` / ``request_class``.
         """
         ...
 
-    async def aprocess(self, request, deadline: float, clocks=None,
-                       backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Async :meth:`process`: same contract, awaitable execution.
+    async def aserve(self, request: "ServingRequest", clocks=None,
+                     backend=None) -> "ServingResponse":
+        """Async :meth:`serve`: same contract, awaitable execution.
 
         On an :class:`~repro.serving.aio.AsyncExecutionBackend` the
         per-component work is awaited natively (one event loop holds
         thousands of in-flight requests); any other backend is bridged
         through an executor so the caller's loop never blocks.  Results
-        are bit-identical to :meth:`process` over the same state.
+        are bit-identical to :meth:`serve` over the same state.
         """
+        ...
+
+    def process(self, request, deadline: float, clocks=None, backend=None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Legacy positional shim over :meth:`serve`.
+
+        Wraps the bare ``request`` payload in a default-class envelope
+        and unpacks the response to the historical ``(answer, reports)``
+        tuple — bit-identical to :meth:`serve` over the same state and
+        clocks.  Kept for migration; new callers should build a
+        :class:`~repro.serving.envelope.ServingRequest` and call
+        :meth:`serve`.
+        """
+        ...
+
+    async def aprocess(self, request, deadline: float, clocks=None,
+                       backend=None) -> tuple[Any, list[ProcessingReport]]:
+        """Legacy positional shim over :meth:`aserve` (see :meth:`process`)."""
         ...
 
     def exact(self, request) -> Any:

@@ -36,6 +36,7 @@ torn mix.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable
 
 from repro.core.adapters import ServiceAdapter
@@ -160,9 +161,17 @@ class AccuracyTraderService:
 
     # ------------------------------------------------------------------
 
-    def build_tasks(self, request, deadline: float,
+    def build_tasks(self, request, deadline: float | None = None,
                     clocks: list[DeadlineClock] | None = None) -> list:
         """Self-contained per-component tasks for one request.
+
+        ``request`` is either a :class:`~repro.serving.envelope.
+        ServingRequest` envelope (its payload is dispatched; its
+        detached, payload-free copy rides each task so reports carry the
+        request's id and class) or a bare payload.  ``deadline``, when
+        given, wins over the envelope's own (the router passes per-shard
+        budget-scaled deadlines this way); with an envelope it may be
+        omitted.
 
         Each task references the component's current published snapshot
         by a pinned ``(component, epoch)`` :class:`~repro.core.state.
@@ -170,10 +179,22 @@ class AccuracyTraderService:
         later time, concurrently with updates — execution always
         resolves the dispatch-time epoch.  The router tier uses this to
         dispatch (and hedge) a service's components without going
-        through :meth:`process`.
+        through :meth:`serve`.
         """
         from repro.serving.backends import ComponentTask
+        from repro.serving.envelope import ServingRequest
 
+        envelope = None
+        payload = request
+        if isinstance(request, ServingRequest):
+            envelope = request.detached()
+            payload = request.payload
+            if deadline is None:
+                deadline = request.deadline
+        if deadline is None:
+            raise ValueError(
+                "a deadline is required: set it on the envelope or pass "
+                "deadline= explicitly")
         if clocks is None:
             clocks = [SimulatedClock(speed=1e12)
                       for _ in range(self.n_components)]
@@ -184,67 +205,114 @@ class AccuracyTraderService:
             ComponentTask(
                 component=c,
                 adapter=self.adapter,
-                request=request,
+                request=payload,
                 deadline=deadline,
                 state_ref=ref,
                 clock=clock,
                 i_max=self._i_max,
                 i_max_fraction=self._i_max_fraction,
+                envelope=envelope,
             )
             for c, (ref, clock) in enumerate(zip(refs, clocks))
         ]
+
+    # -- the native envelope path --------------------------------------
+
+    def serve(self, request, clocks: list[DeadlineClock] | None = None,
+              backend=None):
+        """Answer one :class:`~repro.serving.envelope.ServingRequest`.
+
+        The native typed entry point: the envelope's deadline applies
+        per component, ``clocks`` supplies one deadline clock per
+        component (default: fresh effectively-infinite simulated
+        clocks), and ``backend`` overrides the service's default
+        execution backend for this call.  Returns a
+        :class:`~repro.serving.envelope.ServingResponse` whose reports
+        carry the envelope's id/class and the answering state epochs.
+
+        Safe to call from many threads concurrently, including while
+        updates are being applied: each component's work runs against
+        the consistent snapshot current at dispatch.
+        """
+        from repro.serving.envelope import ServingResponse
+
+        t_dispatch = time.monotonic()
+        tasks = self.build_tasks(request, clocks=clocks)
+        exec_backend = self.backend if backend is None else backend
+        outcomes = exec_backend.run_tasks(tasks)
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
+        return ServingResponse(
+            answer=self._merge(results, request.payload), reports=reports,
+            request=request, service_time=time.monotonic() - t_dispatch)
+
+    async def aserve(self, request,
+                     clocks: list[DeadlineClock] | None = None,
+                     backend=None):
+        """Async :meth:`serve` — same contract, awaitable execution.
+
+        On an :class:`~repro.serving.aio.AsyncExecutionBackend` the
+        component tasks run natively on the calling event loop; any
+        other backend is bridged through an executor so the loop never
+        blocks.  Bit-identical to :meth:`serve` over the same snapshots
+        and clocks.
+        """
+        from repro.serving.aio import arun_tasks
+        from repro.serving.envelope import ServingResponse
+
+        t_dispatch = time.monotonic()
+        tasks = self.build_tasks(request, clocks=clocks)
+        exec_backend = self.backend if backend is None else backend
+        outcomes = await arun_tasks(exec_backend, tasks)
+        results = [o.result for o in outcomes]
+        reports = [o.report for o in outcomes]
+        return ServingResponse(
+            answer=self._merge(results, request.payload), reports=reports,
+            request=request, service_time=time.monotonic() - t_dispatch)
+
+    # -- legacy positional shims ---------------------------------------
 
     def process(self, request, deadline: float,
                 clocks: list[DeadlineClock] | None = None,
                 backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
-        """Answer ``request`` with per-component deadline ``deadline``.
+        """Legacy positional shim over :meth:`serve` (bit-identical).
 
-        ``clocks`` supplies one deadline clock per component (e.g.
-        :class:`SimulatedClock` with per-component speeds); by default each
-        component gets a fresh simulated clock at unit speed — pass real
-        speeds to study latency/accuracy trade-offs.  ``backend``
-        overrides the service's default execution backend for this call.
-
-        Safe to call from many threads concurrently, including while
-        updates are being applied: each component's work runs against the
-        consistent snapshot current at dispatch.
+        Wraps ``request`` in a default-class envelope and unpacks the
+        response to the historical ``(answer, reports)`` tuple.  Kept
+        for migration; new callers should build a
+        :class:`~repro.serving.envelope.ServingRequest` and call
+        :meth:`serve`.
         """
-        tasks = self.build_tasks(request, deadline, clocks)
-        exec_backend = self.backend if backend is None else backend
-        outcomes = exec_backend.run_tasks(tasks)
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
-        return self._merge(results, request), reports
+        from repro.serving.envelope import as_envelope
+
+        return self.serve(as_envelope(request, deadline), clocks=clocks,
+                          backend=backend).as_tuple()
 
     async def aprocess(self, request, deadline: float,
                        clocks: list[DeadlineClock] | None = None,
                        backend=None,
                        ) -> tuple[Any, list[ProcessingReport]]:
-        """Async :meth:`process` — same contract, awaitable execution.
+        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        from repro.serving.envelope import as_envelope
 
-        On an :class:`~repro.serving.aio.AsyncExecutionBackend` the
-        component tasks run natively on the calling event loop; any
-        other backend is bridged through an executor so the loop never
-        blocks.  Bit-identical to :meth:`process` over the same
-        snapshots and clocks.
-        """
-        from repro.serving.aio import arun_tasks
-
-        tasks = self.build_tasks(request, deadline, clocks)
-        exec_backend = self.backend if backend is None else backend
-        outcomes = await arun_tasks(exec_backend, tasks)
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
-        return self._merge(results, request), reports
+        resp = await self.aserve(as_envelope(request, deadline),
+                                 clocks=clocks, backend=backend)
+        return resp.as_tuple()
 
     def exact_components(self, request) -> list:
         """Unmerged exact per-component results (for cross-shard merging)."""
-        return [self.adapter.exact(p, request) for p in self.partitions]
+        from repro.serving.envelope import payload_of
+
+        payload = payload_of(request)
+        return [self.adapter.exact(p, payload) for p in self.partitions]
 
     def exact(self, request) -> Any:
         """Full exact computation across all partitions (ground truth)."""
-        return self._merge(self.exact_components(request), request)
+        from repro.serving.envelope import payload_of
+
+        payload = payload_of(request)
+        return self._merge(self.exact_components(payload), payload)
 
     # ------------------------------------------------------------------
 

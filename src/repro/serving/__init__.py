@@ -29,6 +29,14 @@ measurements are directly comparable.
 Pieces
 ------
 
+- :mod:`repro.serving.envelope` — the typed request envelope:
+  :class:`ServingRequest` (payload, deadline, request class —
+  accuracy-critical / latency-critical / best-effort — priority,
+  per-request hedging override, monotonic id, arrival timestamp) and
+  :class:`ServingResponse` (answer, reports, state epochs,
+  queue/service timing).  Every ``Servable`` serves envelopes natively
+  via ``serve`` / ``aserve``; the positional ``process`` / ``aprocess``
+  remain as bit-identical legacy shims.
 - :mod:`repro.serving.backends` — :class:`ExecutionBackend` and its
   sequential / thread-pool / process-pool / persistent-worker
   implementations; per-component work travels as picklable
@@ -64,8 +72,11 @@ Pieces
   ``max_concurrency``.
 - :mod:`repro.serving.admission` — admission control for the async
   tier: bounded pending queue, in-flight concurrency limit, and
-  pluggable shed policies (reject-on-full, deadline-aware early drop),
-  with counters surfaced in :class:`ServingRunStats`.
+  pluggable shed policies (reject-on-full, deadline-aware early drop,
+  class-aware :class:`PriorityShedPolicy` — best-effort shed first,
+  accuracy-critical last — and the CoDel-style
+  :class:`QueueDelayShed`), with counters and per-class breakdowns
+  surfaced in :class:`ServingRunStats`.
 
 Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
 publishes each component's ``(partition, synopsis)`` through a
@@ -81,8 +92,16 @@ from repro.serving.admission import (
     AdmissionController,
     AdmissionStats,
     DeadlineAwareDrop,
+    PriorityShedPolicy,
+    QueueDelayShed,
     RejectOnFull,
     ShedPolicy,
+)
+from repro.serving.envelope import (
+    RequestClass,
+    ServingRequest,
+    ServingResponse,
+    as_envelope,
 )
 from repro.serving.aio import (
     AsyncExecutionBackend,
@@ -130,4 +149,10 @@ __all__ = [
     "ShedPolicy",
     "RejectOnFull",
     "DeadlineAwareDrop",
+    "PriorityShedPolicy",
+    "QueueDelayShed",
+    "RequestClass",
+    "ServingRequest",
+    "ServingResponse",
+    "as_envelope",
 ]

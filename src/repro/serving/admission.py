@@ -20,7 +20,22 @@ layer for :class:`~repro.serving.aio.AsyncServingHarness`:
     with the pending queue at capacity is shed;
   - :class:`DeadlineAwareDrop` — early drop: a request that has already
     waited a configurable fraction of its deadline is shed — serving it
-    would burn a slot on an answer the client counts as missed anyway.
+    would burn a slot on an answer the client counts as missed anyway;
+  - :class:`PriorityShedPolicy` — class-aware shedding over the typed
+    request envelope (:mod:`repro.serving.envelope`): under overload,
+    ``BEST_EFFORT`` requests are shed first and ``ACCURACY_CRITICAL``
+    last — the paper's accuracy-critical traffic keeps its slots while
+    background traffic absorbs the overload;
+  - :class:`QueueDelayShed` — a CoDel-style controller on *standing*
+    queue delay: sustained sojourn time above a target sheds at
+    dispatch, with the classic inverse-sqrt drop cadence.
+
+Admission consults the request's :class:`~repro.serving.envelope.
+ServingRequest` when one is given (``acquire(request=...)``): the
+snapshot a policy sees then carries the request's class and priority.
+The positional ``acquire(deadline, waited)`` form remains for untyped
+callers — policies see ``request_class=None`` and treat it as the
+envelope default class.
 
 Everything here is single-loop asyncio: counters need no locks because
 they are only touched between awaits on one event loop.
@@ -30,7 +45,11 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import math
+import time
 from dataclasses import dataclass, field
+
+from repro.serving.envelope import RequestClass, ServingRequest
 
 __all__ = [
     "AdmissionSnapshot",
@@ -38,6 +57,8 @@ __all__ = [
     "ShedPolicy",
     "RejectOnFull",
     "DeadlineAwareDrop",
+    "PriorityShedPolicy",
+    "QueueDelayShed",
     "AdmissionController",
 ]
 
@@ -62,6 +83,11 @@ class AdmissionSnapshot:
         Seconds this request has already spent waiting — queueing delay
         inherited from the arrival process at arrival time, plus the
         pending-queue wait by dispatch time.
+    request_class / priority:
+        The request envelope's class and priority when admission was
+        given one (``acquire(request=...)``); ``None`` for untyped
+        legacy callers — class-aware policies then assume the envelope
+        default class.
     """
 
     pending: int
@@ -70,6 +96,8 @@ class AdmissionSnapshot:
     max_inflight: int
     deadline: float
     waited: float
+    request_class: RequestClass | None = None
+    priority: int | None = None
 
 
 @dataclass
@@ -147,6 +175,155 @@ class DeadlineAwareDrop(ShedPolicy):
     on_dispatch = _verdict
 
 
+class PriorityShedPolicy(ShedPolicy):
+    """Class-aware shedding: best-effort first, accuracy-critical last.
+
+    The first consumer of the typed request envelope: instead of FIFO
+    rejection, overload is absorbed by request *class*.  Each class gets
+    a pending-queue occupancy threshold beyond which its arrivals are
+    shed (only once every execution slot is busy — while slots are free,
+    nothing queues and nothing is shed):
+
+    - ``BEST_EFFORT`` sheds once the queue is half full (default 0.5);
+    - ``LATENCY_CRITICAL`` at 0.9;
+    - ``ACCURACY_CRITICAL`` only when the queue is actually full (1.0 —
+      exactly :class:`RejectOnFull`'s behaviour).
+
+    Thresholds are validated monotone in shed order
+    (:attr:`~repro.serving.envelope.RequestClass.shed_rank`), so the
+    structural invariant holds at every instant: *whenever an
+    accuracy-critical request is shed, a latency-critical or best-effort
+    request arriving at that moment would have been shed too* — the
+    class the paper protects is always the last one standing.
+
+    Parameters
+    ----------
+    thresholds:
+        Optional ``{RequestClass: occupancy}`` overrides (merged over
+        the defaults); each in ``(0, 1]`` and non-decreasing along
+        ``BEST_EFFORT <= LATENCY_CRITICAL <= ACCURACY_CRITICAL``.
+    default_class:
+        Class assumed for untyped requests (legacy ``acquire(deadline)``
+        callers); defaults to ``LATENCY_CRITICAL``, matching the
+        envelope default.
+    """
+
+    name = "priority"
+
+    DEFAULT_THRESHOLDS = {
+        RequestClass.BEST_EFFORT: 0.5,
+        RequestClass.LATENCY_CRITICAL: 0.9,
+        RequestClass.ACCURACY_CRITICAL: 1.0,
+    }
+
+    def __init__(self, thresholds: dict | None = None,
+                 default_class: RequestClass = RequestClass.LATENCY_CRITICAL):
+        merged = dict(self.DEFAULT_THRESHOLDS)
+        for cls, value in (thresholds or {}).items():
+            merged[RequestClass.coerce(cls)] = float(value)
+        for cls, value in merged.items():
+            if not (0.0 < value <= 1.0):
+                raise ValueError(
+                    f"threshold for {cls.value} must be in (0, 1], "
+                    f"got {value}")
+        by_rank = sorted(merged, key=lambda c: c.shed_rank)
+        for earlier, later in zip(by_rank, by_rank[1:]):
+            if merged[earlier] > merged[later]:
+                raise ValueError(
+                    f"thresholds must be non-decreasing in shed order: "
+                    f"{earlier.value} ({merged[earlier]}) must shed no "
+                    f"later than {later.value} ({merged[later]})")
+        self.thresholds = merged
+        self.default_class = RequestClass.coerce(default_class)
+
+    def _occupancy(self, snapshot: AdmissionSnapshot) -> float:
+        if snapshot.max_pending <= 0:
+            return 1.0
+        return snapshot.pending / snapshot.max_pending
+
+    def on_arrival(self, snapshot: AdmissionSnapshot) -> str | None:
+        if snapshot.inflight < snapshot.max_inflight:
+            return None  # a free slot: this request will not queue
+        cls = snapshot.request_class or self.default_class
+        if self._occupancy(snapshot) >= self.thresholds[cls]:
+            return f"class_{cls.value}"
+        return None
+
+
+class QueueDelayShed(ShedPolicy):
+    """CoDel-style shedding on *standing* queue delay (at dispatch).
+
+    Bounded queues shed on *length*; CoDel (Nichols & Jacobson, 2012)
+    sheds on sustained *sojourn time*, which is what clients actually
+    feel.  This is the serving-side variant: each dispatched request's
+    accumulated wait is the sojourn sample.  While every sample within
+    an ``interval`` stays above ``target``, the policy enters a dropping
+    state and sheds at the classic increasing cadence (the k-th
+    consecutive drop after ``interval / sqrt(k)``); one sample back
+    under the target exits the state and resets the cadence.  A
+    deliberately simplified CoDel — no re-entry memory of the previous
+    drop rate — because the pending queue here is a counter, not a
+    packet queue.
+
+    Parameters
+    ----------
+    target:
+        Acceptable standing queue delay in seconds (CoDel's 5 ms scaled
+        up to service-level waits: default 50 ms).
+    interval:
+        How long delay must stay above target before dropping starts
+        (default 500 ms), and the base of the drop cadence.
+    exempt:
+        Request classes never shed by this policy; defaults to
+        ``ACCURACY_CRITICAL`` so it composes with
+        :class:`PriorityShedPolicy` out of the box.
+    time_fn:
+        Clock used for interval tracking (injectable for tests).
+    """
+
+    name = "queue_delay"
+
+    def __init__(self, target: float = 0.050, interval: float = 0.500,
+                 exempt=(RequestClass.ACCURACY_CRITICAL,),
+                 time_fn=time.monotonic):
+        if target <= 0:
+            raise ValueError("target must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.target = float(target)
+        self.interval = float(interval)
+        self.exempt = frozenset(RequestClass.coerce(c) for c in exempt)
+        self._time = time_fn
+        self._first_above: float | None = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+
+    def on_dispatch(self, snapshot: AdmissionSnapshot) -> str | None:
+        now = self._time()
+        if snapshot.waited < self.target:
+            # One good sojourn sample ends the overload episode.
+            self._first_above = None
+            self._dropping = False
+            self._drop_count = 0
+            return None
+        if snapshot.request_class in self.exempt:
+            return None
+        if self._first_above is None:
+            self._first_above = now + self.interval
+        if not self._dropping:
+            if now < self._first_above:
+                return None  # above target, but not *standing* yet
+            self._dropping = True
+            self._drop_count = 0
+        if self._drop_count == 0 or now >= self._drop_next:
+            self._drop_count += 1
+            self._drop_next = now + self.interval / math.sqrt(
+                self._drop_count)
+            return "queue_delay"
+        return None
+
+
 class AdmissionController:
     """Bounded pending queue + concurrency limiter + shed policies.
 
@@ -191,11 +368,15 @@ class AdmissionController:
 
     # ------------------------------------------------------------------
 
-    def _snapshot(self, deadline: float, waited: float) -> AdmissionSnapshot:
+    def _snapshot(self, deadline: float, waited: float,
+                  request: ServingRequest | None) -> AdmissionSnapshot:
         return AdmissionSnapshot(
             pending=self._pending, max_pending=self.max_pending,
             inflight=self._inflight, max_inflight=self.max_inflight,
-            deadline=float(deadline), waited=float(waited))
+            deadline=float(deadline), waited=float(waited),
+            request_class=(request.request_class if request is not None
+                           else None),
+            priority=request.priority if request is not None else None)
 
     def _shed(self, reason: str) -> str:
         self._stats.shed += 1
@@ -203,8 +384,9 @@ class AdmissionController:
             self._stats.shed_reasons.get(reason, 0) + 1
         return reason
 
-    async def acquire(self, deadline: float, waited: float = 0.0,
-                      ) -> str | None:
+    async def acquire(self, deadline: float | None = None,
+                      waited: float = 0.0,
+                      request: ServingRequest | None = None) -> str | None:
         """Admit or shed one request.
 
         Returns ``None`` when the request was admitted and now holds an
@@ -212,7 +394,19 @@ class AdmissionController:
         reason string when it was dropped (no slot held).  ``waited`` is
         queueing delay the request accumulated before reaching admission
         (open-loop lateness), counted against deadline-aware policies.
+
+        ``request`` (a typed :class:`~repro.serving.envelope.
+        ServingRequest`) lets class-aware policies see the request's
+        class and priority; its deadline also fills in when ``deadline``
+        is not given.  The positional ``acquire(deadline, waited)`` form
+        keeps working for untyped callers.
         """
+        if deadline is None:
+            if request is None or request.deadline is None:
+                raise ValueError(
+                    "acquire() needs a deadline: pass deadline= or a "
+                    "request envelope with its deadline resolved")
+            deadline = request.deadline
         loop = asyncio.get_running_loop()
         if self._sem is None or self._sem_loop is not loop:
             # A fresh loop (e.g. each ``asyncio.run`` of a harness run):
@@ -225,7 +419,7 @@ class AdmissionController:
             self._sem = asyncio.Semaphore(self.max_inflight)
             self._sem_loop = loop
         self._stats.offered += 1
-        snapshot = self._snapshot(deadline, waited)
+        snapshot = self._snapshot(deadline, waited, request)
         for policy in self.policies:
             reason = policy.on_arrival(snapshot)
             if reason is not None:
@@ -241,7 +435,8 @@ class AdmissionController:
         # Dispatch-time check: the queue wait itself may have eaten the
         # deadline; shedding now still saves the execution slot.
         snapshot = self._snapshot(deadline,
-                                  waited + (loop.time() - t_enqueue))
+                                  waited + (loop.time() - t_enqueue),
+                                  request)
         for policy in self.policies:
             reason = policy.on_dispatch(snapshot)
             if reason is not None:

@@ -53,10 +53,11 @@ from repro.core.processor import ProcessingReport, effective_i_max
 from repro.serving.adapters import IOStallAdapter
 from repro.serving.admission import AdmissionController
 from repro.serving.backends import ComponentOutcome, ComponentTask, \
-    ExecutionBackend, run_component_task
-from repro.serving.harness import ServingRunStats, apply_hedge_delta, \
-    apply_payload_delta, collect_hedge_counters, collect_payload_counters, \
-    payload_backend_of
+    ExecutionBackend, run_component_task, stamp_envelope
+from repro.serving.envelope import aserve_via
+from repro.serving.harness import ServingRunStats, apply_class_breakdown, \
+    apply_hedge_delta, apply_payload_delta, collect_hedge_counters, \
+    collect_payload_counters, payload_backend_of, resolve_envelopes
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 
 __all__ = [
@@ -223,6 +224,7 @@ async def arun_component_task(task: ComponentTask,
         start_time=task.start_time, hard_deadline=hard_deadline)
     if task.state_ref is not None:
         report.state_epoch = task.state_ref.epoch
+    stamp_envelope(report, task)
     return ComponentOutcome(component=task.component, result=result,
                             report=report)
 
@@ -451,9 +453,11 @@ class AsyncServingHarness:
         """
         loop = asyncio.get_running_loop()
         n = load.n_requests
+        envelopes = resolve_envelopes(load.requests, self.deadline)
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.full(n, np.nan)
+        queue_delays = np.full(n, np.nan)
         served = np.zeros(n, dtype=bool)
         update_log: list[tuple[float, Any]] = []
         inflight = 0
@@ -480,28 +484,32 @@ class AsyncServingHarness:
 
         async def serve(i: int) -> None:
             nonlocal inflight, inflight_max
+            envelope = envelopes[i]
             scheduled = t0 + float(load.arrivals[i]) * self.time_scale
             delay = scheduled - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
             if adm is not None:
                 waited = max(0.0, loop.time() - scheduled)
-                reason = await adm.acquire(self.deadline, waited=waited)
+                reason = await adm.acquire(waited=waited, request=envelope)
                 if reason is not None:
                     return  # shed: no slot held, answer stays None
             inflight += 1
             inflight_max = max(inflight_max, inflight)
+            t_dispatch = loop.time()
             try:
-                answer, reps = await self.service.aprocess(
-                    load.requests[i], self.deadline,
-                    clocks=self._clocks(), backend=self.backend)
+                resp = await aserve_via(self.service, envelope,
+                                        clocks=self._clocks(),
+                                        backend=self.backend)
             finally:
                 inflight -= 1
                 if adm is not None:
                     adm.release()
-            answers[i] = answer
-            reports[i] = reps
+            resp.queue_delay = max(0.0, t_dispatch - scheduled)
+            answers[i] = resp.answer
+            reports[i] = resp.reports
             latencies[i] = loop.time() - scheduled
+            queue_delays[i] = resp.queue_delay
             served[i] = True
 
         updater = (asyncio.ensure_future(apply_updates())
@@ -531,6 +539,7 @@ class AsyncServingHarness:
             update_log=list(update_log),
             offered=n,
             inflight_max=inflight_max,
+            queue_delays=queue_delays[served],
         )
         if adm is not None:
             a = adm.stats()
@@ -540,6 +549,7 @@ class AsyncServingHarness:
                 for k, v in a.shed_reasons.items()
                 if v - shed0[1].get(k, 0) > 0}
             stats.queue_depth_max = a.queue_depth_max
+        apply_class_breakdown(stats, envelopes, latencies, served)
         apply_payload_delta(stats, self._payload_backend(), payload0)
         return apply_hedge_delta(stats, self.service, hedge0)
 
@@ -564,6 +574,7 @@ class AsyncServingHarness:
         """
         loop = asyncio.get_running_loop()
         n = load.n_requests
+        envelopes = resolve_envelopes(load.requests, self.deadline)
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
@@ -587,13 +598,13 @@ class AsyncServingHarness:
                 inflight_max = max(inflight_max, inflight)
                 issued = loop.time()
                 try:
-                    answer, reps = await self.service.aprocess(
-                        load.requests[i], self.deadline,
-                        clocks=self._clocks(), backend=self.backend)
+                    resp = await aserve_via(self.service, envelopes[i],
+                                            clocks=self._clocks(),
+                                            backend=self.backend)
                 finally:
                     inflight -= 1
-                answers[i] = answer
-                reports[i] = reps
+                answers[i] = resp.answer
+                reports[i] = resp.reports
                 latencies[i] = loop.time() - issued
                 think = float(load.think_times[i]) * self.time_scale
                 if think > 0:
@@ -615,5 +626,6 @@ class AsyncServingHarness:
             reports=list(reports),
             inflight_max=inflight_max,
         )
+        apply_class_breakdown(stats, envelopes, latencies)
         apply_payload_delta(stats, self._payload_backend(), payload0)
         return apply_hedge_delta(stats, self.service, hedge0)

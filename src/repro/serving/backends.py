@@ -61,6 +61,7 @@ __all__ = [
     "PersistentProcessBackend",
     "resolve_backend",
     "run_component_task",
+    "stamp_envelope",
 ]
 
 
@@ -74,6 +75,14 @@ class ComponentTask:
     with updates — always computes against the dispatch-time state.
     Hand-built tasks may instead inline ``partition`` / ``synopsis``
     directly; both are immutable references, never mutated by execution.
+
+    Envelope identity travels with the task: ``envelope`` is the
+    *detached* (payload-free) :class:`~repro.serving.envelope.
+    ServingRequest` the task belongs to — ``request`` already carries
+    the payload, so crossing a process boundary never serialises it
+    twice.  Every backend's execution path stamps the envelope's
+    ``request_id`` / ``request_class`` into the outcome's report
+    (``None`` envelope for bare-payload tasks).
 
     Pickling materialises a live ref into the payload (the vanilla
     process-pool behaviour: state cost per *task*); the persistent
@@ -92,6 +101,7 @@ class ComponentTask:
     i_max: int | None = None
     i_max_fraction: float | None = None
     start_time: float | None = None
+    envelope: Any = None
 
     def resolve_state(self) -> tuple[Any, Any]:
         """The ``(partition, synopsis)`` this task must execute against.
@@ -133,6 +143,13 @@ class ComponentOutcome:
     report: ProcessingReport
 
 
+def stamp_envelope(report: ProcessingReport, task: ComponentTask) -> None:
+    """Record the task's envelope identity (id, class) on its report."""
+    if task.envelope is not None:
+        report.request_id = task.envelope.request_id
+        report.request_class = task.envelope.request_class.value
+
+
 def run_component_task(task: ComponentTask) -> ComponentOutcome:
     """Execute one task (module-level so process pools can pickle it)."""
     partition, synopsis = task.resolve_state()
@@ -144,6 +161,7 @@ def run_component_task(task: ComponentTask) -> ComponentOutcome:
     )
     if task.state_ref is not None:
         report.state_epoch = task.state_ref.epoch
+    stamp_envelope(report, task)
     return ComponentOutcome(component=task.component, result=result,
                             report=report)
 

@@ -28,13 +28,27 @@ import numpy as np
 
 from repro.core.clock import ClockFactory, wall_clock_factory
 from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.serving.envelope import ServingRequest, as_envelope, serve_via
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 from repro.util.stats import percentile
 
 __all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness",
            "collect_hedge_counters", "apply_hedge_delta",
            "collect_payload_counters", "apply_payload_delta",
-           "payload_backend_of"]
+           "payload_backend_of", "apply_class_breakdown",
+           "resolve_envelopes"]
+
+
+def resolve_envelopes(requests, deadline: float) -> list[ServingRequest]:
+    """One resolved envelope per load request, in arrival order.
+
+    Shared by the thread and async harnesses.  A load whose requests
+    are already :class:`~repro.serving.envelope.ServingRequest`
+    envelopes keeps its classes, priorities and per-request deadline
+    overrides (``deadline`` only fills in where an envelope left it
+    unset); bare payloads are wrapped as default-class envelopes.
+    """
+    return [as_envelope(r).resolved(deadline) for r in requests]
 
 
 def collect_hedge_counters(service) -> dict | None:
@@ -107,6 +121,28 @@ def apply_payload_delta(stats: "ServingRunStats", backend,
     return stats
 
 
+def apply_class_breakdown(stats: "ServingRunStats", envelopes,
+                          latencies, served=None) -> "ServingRunStats":
+    """Fill ``stats``' per-class fields from one run's envelopes.
+
+    Shared by the thread and async harnesses.  ``latencies`` aligns
+    index-wise with ``envelopes``; ``served`` is an optional boolean
+    mask (``False`` = shed by admission — counted in ``class_shed``,
+    its latency slot ignored).
+    """
+    by_class: dict[str, list[float]] = {}
+    for i, env in enumerate(envelopes):
+        key = env.request_class.value
+        if served is None or served[i]:
+            stats.class_served[key] = stats.class_served.get(key, 0) + 1
+            by_class.setdefault(key, []).append(float(latencies[i]))
+        else:
+            stats.class_shed[key] = stats.class_shed.get(key, 0) + 1
+    stats.class_latencies = {k: np.asarray(v, dtype=float)
+                             for k, v in by_class.items()}
+    return stats
+
+
 @dataclass
 class ServingRunStats:
     """Measured outcome of one served request stream.
@@ -145,6 +181,22 @@ class ServingRunStats:
         only.  ``answers`` and ``reports`` stay aligned with one slot
         per offered request (``None`` where shed); ``request_latencies``
         holds served requests only, so percentiles stay finite.
+    class_served / class_shed / class_latencies:
+        Per-request-class breakdowns, keyed by the class's value string
+        (``"accuracy_critical"`` / ``"latency_critical"`` /
+        ``"best_effort"``).  ``class_served`` / ``class_shed`` count
+        this run's requests by envelope class; ``class_latencies`` holds
+        each class's served request latencies (use
+        :meth:`class_percentile` / :meth:`class_breakdown`).  Bare
+        payloads are classed as the envelope default
+        (``latency_critical``).
+    queue_delays:
+        Per served request, seconds between its scheduled arrival and
+        its dispatch (admission wait included) — the queue part of each
+        request's latency, matching
+        :attr:`~repro.serving.envelope.ServingResponse.queue_delay`.
+        Open-loop runs only (aligned with ``request_latencies``);
+        empty for closed loops, whose clients dispatch immediately.
     task_bytes / state_bytes / tasks_shipped / state_publishes:
         Serialized-payload accounting for this run (deltas from the
         harness's backend, collected via
@@ -174,6 +226,11 @@ class ServingRunStats:
     shed_reasons: dict = field(default_factory=dict)
     queue_depth_max: int = 0
     inflight_max: int = 0
+    class_served: dict = field(default_factory=dict)
+    class_shed: dict = field(default_factory=dict)
+    class_latencies: dict = field(default_factory=dict, repr=False)
+    queue_delays: np.ndarray = field(
+        default_factory=lambda: np.zeros(0), repr=False)
     task_bytes: int = 0
     state_bytes: int = 0
     tasks_shipped: int = 0
@@ -226,6 +283,34 @@ class ServingRunStats:
         if not self.offered:
             return 0.0
         return self.shed / self.offered
+
+    def class_percentile(self, request_class, q: float) -> float:
+        """q-th percentile served latency of one request class.
+
+        ``request_class`` is a :class:`~repro.serving.envelope.
+        RequestClass` or its value string; ``nan`` when the class served
+        nothing this run.
+        """
+        key = getattr(request_class, "value", request_class)
+        lats = self.class_latencies.get(key)
+        if lats is None or len(lats) == 0:
+            return float("nan")
+        return percentile(np.asarray(lats, dtype=float), q)
+
+    def class_breakdown(self) -> dict:
+        """Per-class summary rows: served/shed counts and p50/p95/p99."""
+        keys = sorted(set(self.class_served) | set(self.class_shed)
+                      | set(self.class_latencies))
+        return {
+            key: {
+                "served": int(self.class_served.get(key, 0)),
+                "shed": int(self.class_shed.get(key, 0)),
+                "p50_s": self.class_percentile(key, 50.0),
+                "p95_s": self.class_percentile(key, 95.0),
+                "p99_s": self.class_percentile(key, 99.0),
+            }
+            for key in keys
+        }
 
     def bytes_per_request(self) -> float:
         """Serialized payload bytes shipped per served request.
@@ -321,10 +406,9 @@ class ServingHarness:
         n = self.service.n_components
         return [self.clock_factory(c) for c in range(n)]
 
-    def _process(self, request):
-        return self.service.process(request, self.deadline,
-                                    clocks=self._clocks(),
-                                    backend=self.backend)
+    def _serve(self, envelope: ServingRequest):
+        return serve_via(self.service, envelope, clocks=self._clocks(),
+                         backend=self.backend)
 
     def _apply_hedge_delta(self, stats: ServingRunStats,
                            before: dict | None) -> ServingRunStats:
@@ -366,9 +450,11 @@ class ServingHarness:
         remaining schedule still runs.
         """
         n = load.n_requests
+        envelopes = resolve_envelopes(load.requests, self.deadline)
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
+        queue_delays = np.zeros(n, dtype=float)
         update_log: list[tuple[float, Any]] = []
         hedge_before = collect_hedge_counters(self.service)
         payload_before = collect_payload_counters(self._payload_backend())
@@ -403,15 +489,18 @@ class ServingHarness:
             with inflight_lock:
                 inflight += 1
                 inflight_max = max(inflight_max, inflight)
+            t_dispatch = time.monotonic()
             try:
-                answer, reps = self._process(load.requests[i])
+                resp = self._serve(envelopes[i])
             finally:
                 with inflight_lock:
                     inflight -= 1
             done = time.monotonic()
-            answers[i] = answer
-            reports[i] = reps
+            resp.queue_delay = max(0.0, t_dispatch - scheduled)
+            answers[i] = resp.answer
+            reports[i] = resp.reports
             latencies[i] = done - scheduled
+            queue_delays[i] = resp.queue_delay
 
         try:
             with ThreadPoolExecutor(
@@ -435,6 +524,8 @@ class ServingHarness:
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, update_log)
         stats.inflight_max = inflight_max
+        stats.queue_delays = queue_delays
+        apply_class_breakdown(stats, envelopes, latencies)
         apply_payload_delta(stats, self._payload_backend(), payload_before)
         return self._apply_hedge_delta(stats, hedge_before)
 
@@ -447,6 +538,7 @@ class ServingHarness:
         records issue-to-completion latency, then thinks.
         """
         n = load.n_requests
+        envelopes = resolve_envelopes(load.requests, self.deadline)
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
@@ -471,13 +563,13 @@ class ServingHarness:
                     inflight_max = max(inflight_max, inflight)
                 issued = time.monotonic()
                 try:
-                    answer, reps = self._process(load.requests[i])
+                    resp = self._serve(envelopes[i])
                 finally:
                     with claim_lock:
                         inflight -= 1
                 done = time.monotonic()
-                answers[i] = answer
-                reports[i] = reps
+                answers[i] = resp.answer
+                reports[i] = resp.reports
                 latencies[i] = done - issued
                 think = float(load.think_times[i]) * self.time_scale
                 if think > 0:
@@ -494,6 +586,7 @@ class ServingHarness:
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, [])
         stats.inflight_max = inflight_max
+        apply_class_breakdown(stats, envelopes, latencies)
         apply_payload_delta(stats, self._payload_backend(), payload_before)
         return self._apply_hedge_delta(stats, hedge_before)
 
@@ -518,9 +611,10 @@ class ServingHarness:
         for deadline in deadlines:
             accs, lats, depths = [], [], []
             for request, exact in zip(requests, exacts):
-                answer, reps = self.service.process(
-                    request, float(deadline), clocks=self._clocks(),
-                    backend=self.backend)
+                # The sweep deadline wins, but an envelope request keeps
+                # its class/priority/hedge metadata and identity.
+                resp = self._serve(as_envelope(request, float(deadline)))
+                answer, reps = resp.answer, resp.reports
                 accs.append(float(accuracy_fn(answer, exact, request)))
                 lats.append(max(rep.total_elapsed for rep in reps))
                 depths.append(np.mean([rep.groups_processed for rep in reps]))

@@ -19,6 +19,13 @@ a routed cluster completely unchanged:
   merge functions a single service uses — so a routed answer is
   bit-identical to the unsharded one over the same partitions.
 
+Both are envelope-native :class:`~repro.core.servable.Servable`
+implementations: requests travel as typed
+:class:`~repro.serving.envelope.ServingRequest` envelopes through
+``serve`` / ``aserve`` (the envelope's ``hedge`` field opts a single
+request out of re-issue), and the positional ``process`` / ``aprocess``
+members remain as bit-identical legacy shims.
+
 Live hedged re-issue
 --------------------
 
@@ -68,10 +75,12 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.core.clock import ClockFactory, wall_clock_factory
+from repro.core.clock import ClockFactory, fresh_like, wall_clock_factory
 from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
 from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.serving.envelope import ServingRequest, ServingResponse, \
+    as_envelope, payload_of
 from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.partitioning import reshard_partitions
 
@@ -224,19 +233,30 @@ class ReplicaGroup:
 
     # -- Servable ------------------------------------------------------
 
+    def serve(self, request: ServingRequest, clocks=None, backend=None,
+              ) -> ServingResponse:
+        """Answer one envelope on the next replica in round-robin order."""
+        replica = self.replicas[self.next_replica()]
+        return replica.serve(request, clocks=clocks, backend=backend)
+
+    async def aserve(self, request: ServingRequest, clocks=None,
+                     backend=None) -> ServingResponse:
+        """Async :meth:`serve` on the next replica in round-robin order."""
+        replica = self.replicas[self.next_replica()]
+        return await replica.aserve(request, clocks=clocks, backend=backend)
+
     def process(self, request, deadline: float, clocks=None, backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
-        """Answer on the next replica in round-robin order."""
-        replica = self.replicas[self.next_replica()]
-        return replica.process(request, deadline, clocks=clocks,
-                               backend=backend)
+        """Legacy positional shim over :meth:`serve` (bit-identical)."""
+        return self.serve(as_envelope(request, deadline), clocks=clocks,
+                          backend=backend).as_tuple()
 
     async def aprocess(self, request, deadline: float, clocks=None,
                        backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Async :meth:`process` on the next replica in round-robin order."""
-        replica = self.replicas[self.next_replica()]
-        return await replica.aprocess(request, deadline, clocks=clocks,
-                                      backend=backend)
+        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        resp = await self.aserve(as_envelope(request, deadline),
+                                 clocks=clocks, backend=backend)
+        return resp.as_tuple()
 
     def exact_components(self, request) -> list:
         return self.replicas[0].exact_components(request)
@@ -438,23 +458,67 @@ class ShardedService:
         off = self._offsets[shard]
         return list(clocks[off:off + self.shards[shard].n_components])
 
+    def _hedge_clocks(self, clocks, shard: int) -> list:
+        """Fresh per-component clocks for a hedged copy of one shard call.
+
+        A per-call ``clocks=`` override is threaded through the hedge
+        path: each hedge-copy clock is a fresh, uncharged clone of the
+        caller's clock for that component (:func:`~repro.core.clock.
+        fresh_like`), so a request served under simulated clocks never
+        silently hedges on wall clocks.  Without an override, the
+        service's ``clock_factory`` supplies the copies (wall clocks by
+        default — the live-serving setting).
+        """
+        shard_clocks = self._shard_clocks(clocks, shard)
+        if shard_clocks is not None:
+            return [fresh_like(c) for c in shard_clocks]
+        off = self._offsets[shard]
+        return [self._clock_factory(off + c)
+                for c in range(self.shards[shard].n_components)]
+
     # -- Servable ------------------------------------------------------
 
-    def process(self, request, deadline: float, clocks=None, backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Fan ``request`` out to every shard and merge the answers.
-
-        ``clocks`` (optional) supplies one clock per *global* component.
-        Thread-safe: concurrent calls round-robin replicas independently
-        and hedging state is lock-protected.
-        """
+    def _check_envelope(self, request, clocks) -> float:
+        """Validate one serve call; returns the resolved deadline."""
+        if not isinstance(request, ServingRequest):
+            raise TypeError(
+                "serve() takes a ServingRequest envelope; wrap bare "
+                "payloads with as_envelope() or call the legacy process()")
+        if request.deadline is None:
+            raise ValueError(
+                "serve() needs the envelope deadline resolved; use "
+                "request.resolved(default) or with_deadline()")
         if clocks is not None and len(clocks) != self.n_components:
             raise ValueError("need one clock per component")
+        return request.deadline
+
+    def _hedge_enabled(self, request: ServingRequest) -> bool:
+        """Whether this request may hedge (strategy + per-request override).
+
+        ``request.hedge=False`` opts one request out of hedged re-issue
+        entirely; ``True``/``None`` follow the service configuration (a
+        ``True`` without an attached strategy still cannot hedge — there
+        is no trigger threshold to race).
+        """
+        return self.hedge is not None and request.hedge is not False
+
+    def serve(self, request: ServingRequest, clocks=None, backend=None,
+              ) -> ServingResponse:
+        """Fan one envelope out to every shard and merge the answers.
+
+        ``clocks`` (optional) supplies one clock per *global* component.
+        The envelope's ``hedge`` field opts a single request out of (or
+        into) hedged re-issue; everything else follows the service
+        configuration.  Thread-safe: concurrent calls round-robin
+        replicas independently and hedging state is lock-protected.
+        """
+        deadline = self._check_envelope(request, clocks)
         exec_backend = self.backend if backend is None else backend
+        t_dispatch = time.monotonic()
         picks = [g.next_replica() for g in self.shards]
         with self._hedge_lock:
             self.shard_calls += self.n_shards
-        if self.hedge is None:
+        if not self._hedge_enabled(request):
             outcomes = self._run_unhedged(request, deadline, clocks,
                                           exec_backend, picks)
         else:
@@ -462,11 +526,13 @@ class ShardedService:
                                         exec_backend, picks)
         results = [o.result for o in outcomes]
         reports = [o.report for o in outcomes]
-        return self.merge(results, request), reports
+        return ServingResponse(
+            answer=self.merge(results, request.payload), reports=reports,
+            request=request, service_time=time.monotonic() - t_dispatch)
 
-    async def aprocess(self, request, deadline: float, clocks=None,
-                       backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Async :meth:`process`: shard fan-out as concurrent coroutines.
+    async def aserve(self, request: ServingRequest, clocks=None,
+                     backend=None) -> ServingResponse:
+        """Async :meth:`serve`: shard fan-out as concurrent coroutines.
 
         The hedged variant is the event-loop version of the tied-request
         protocol: each shard call is an awaitable copy raced with
@@ -476,13 +542,13 @@ class ShardedService:
         only drop a still-queued future.  Budget, placement, and
         counters are shared with the sync path.
         """
-        if clocks is not None and len(clocks) != self.n_components:
-            raise ValueError("need one clock per component")
+        deadline = self._check_envelope(request, clocks)
         exec_backend = self.backend if backend is None else backend
+        t_dispatch = time.monotonic()
         picks = [g.next_replica() for g in self.shards]
         with self._hedge_lock:
             self.shard_calls += self.n_shards
-        if self.hedge is None:
+        if not self._hedge_enabled(request):
             per_shard = await asyncio.gather(
                 *(self._arun_shard_copy(request, deadline, clocks, s,
                                         picks[s], exec_backend)
@@ -495,7 +561,22 @@ class ShardedService:
         outcomes = [o for shard in per_shard for o in shard]
         results = [o.result for o in outcomes]
         reports = [o.report for o in outcomes]
-        return self.merge(results, request), reports
+        return ServingResponse(
+            answer=self.merge(results, request.payload), reports=reports,
+            request=request, service_time=time.monotonic() - t_dispatch)
+
+    def process(self, request, deadline: float, clocks=None, backend=None,
+                ) -> tuple[Any, list[ProcessingReport]]:
+        """Legacy positional shim over :meth:`serve` (bit-identical)."""
+        return self.serve(as_envelope(request, deadline), clocks=clocks,
+                          backend=backend).as_tuple()
+
+    async def aprocess(self, request, deadline: float, clocks=None,
+                       backend=None) -> tuple[Any, list[ProcessingReport]]:
+        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        resp = await self.aserve(as_envelope(request, deadline),
+                                 clocks=clocks, backend=backend)
+        return resp.as_tuple()
 
     async def _arun_shard_copy(self, request, deadline, clocks, shard: int,
                                replica: int, exec_backend) -> list:
@@ -544,9 +625,7 @@ class ShardedService:
                             self.hedges_issued += 1
                     if allowed:
                         hedge_replica = group.hedge_sibling(replica)
-                        off = self._offsets[shard]
-                        fresh = [self._clock_factory(off + c)
-                                 for c in range(group.n_components)]
+                        fresh = self._hedge_clocks(clocks, shard)
                         hedge_t0 = time.monotonic()
                         hedge_task = asyncio.ensure_future(
                             run_copy(hedge_replica, fresh))
@@ -587,10 +666,12 @@ class ShardedService:
         return outcomes
 
     def exact_components(self, request) -> list:
-        return [r for g in self.shards for r in g.exact_components(request)]
+        payload = payload_of(request)
+        return [r for g in self.shards for r in g.exact_components(payload)]
 
     def exact(self, request) -> Any:
-        return self.merge(self.exact_components(request), request)
+        payload = payload_of(request)
+        return self.merge(self.exact_components(payload), payload)
 
     # -- dispatch ------------------------------------------------------
 
@@ -680,9 +761,7 @@ class ShardedService:
                     sibling = group.hedge_sibling(picks[s])
                     hedge_replicas[s] = sibling
                     hedge_issued_at[s] = time.monotonic()
-                    off = self._offsets[s]
-                    fresh = [self._clock_factory(off + c)
-                             for c in range(group.n_components)]
+                    fresh = self._hedge_clocks(clocks, s)
                     tasks = group.replicas[sibling].build_tasks(
                         request, deadline * self._budgets[s], fresh)
                     hedges[s] = [exec_backend.submit_task(t) for t in tasks]

@@ -55,3 +55,72 @@ class TestSimulatedClock:
 
     def test_satisfies_protocol(self):
         assert isinstance(SimulatedClock(), DeadlineClock)
+
+
+class TestFreshLike:
+    def test_simulated_clone_is_uncharged_same_world(self):
+        from repro.core.clock import SimulatedClock, fresh_like
+
+        clock = SimulatedClock(start=5.0, speed=200.0)
+        clock.charge(100.0)  # advances 0.5 s of virtual time
+        clone = fresh_like(clock)
+        assert isinstance(clone, SimulatedClock)
+        assert clone.now() == 5.0  # original start, charge not inherited
+        assert clone.speed == 200.0
+        assert clone.work_charged == 0.0
+
+    def test_wall_clone(self):
+        from repro.core.clock import WallClock, fresh_like
+
+        assert isinstance(fresh_like(WallClock()), WallClock)
+
+    def test_subclass_with_hook_is_not_downgraded(self):
+        from repro.core.clock import SimulatedClock, fresh_like
+
+        class JitterClock(SimulatedClock):
+            def fresh(self):
+                return JitterClock(start=self.start, speed=self.speed)
+
+        clone = fresh_like(JitterClock(speed=3.0))
+        assert type(clone) is JitterClock  # the hook wins over isinstance
+        assert clone.speed == 3.0
+
+    def test_subclass_without_hook_is_rejected(self):
+        import pytest
+
+        from repro.core.clock import SimulatedClock, fresh_like
+
+        class SilentSubclass(SimulatedClock):
+            pass
+
+        # Downgrading to the base class would silently drop subclass
+        # behavior; the clone must be explicit.
+        with pytest.raises(TypeError):
+            fresh_like(SilentSubclass(speed=3.0))
+
+    def test_custom_clock_needs_fresh_hook(self):
+        from repro.core.clock import SimulatedClock, fresh_like
+
+        class HookClock:
+            def now(self):
+                return 0.0
+
+            def charge(self, work):
+                pass
+
+            def fresh(self):
+                return SimulatedClock(speed=7.0)
+
+        assert fresh_like(HookClock()).speed == 7.0
+
+        class BareClock:
+            def now(self):
+                return 0.0
+
+            def charge(self, work):
+                pass
+
+        import pytest
+
+        with pytest.raises(TypeError):
+            fresh_like(BareClock())

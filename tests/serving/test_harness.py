@@ -291,3 +291,76 @@ class TestConcurrentUpdates:
         for counts in observed:
             for c, n in enumerate(counts):
                 assert n in valid_counts[c]
+
+
+class TestPerClassBreakdown:
+    """Per-request-class latency/served accounting in ServingRunStats."""
+
+    def mixed_loadgen(self, matrix):
+        from repro.serving.envelope import RequestClass, ServingRequest
+
+        base = cf_request_factory(matrix)
+        classes = [RequestClass.ACCURACY_CRITICAL,
+                   RequestClass.LATENCY_CRITICAL,
+                   RequestClass.BEST_EFFORT]
+
+        def factory(i, rng):
+            return ServingRequest(payload=base(i, rng),
+                                  request_class=classes[i % len(classes)])
+
+        return LoadGenerator(factory, seed=31)
+
+    def test_closed_loop_classes_accounted(self, cf_serving_service,
+                                           small_ratings):
+        load = self.mixed_loadgen(small_ratings.matrix).closed_loop(
+            n_clients=2, n_requests=9)
+        harness = ServingHarness(cf_serving_service, deadline=10.0,
+                                 backend=SequentialBackend())
+        stats = harness.run_closed_loop(load)
+        assert stats.class_served == {"accuracy_critical": 3,
+                                      "latency_critical": 3,
+                                      "best_effort": 3}
+        assert stats.class_shed == {}
+        for key, lats in stats.class_latencies.items():
+            assert len(lats) == 3
+            assert np.all(lats > 0)
+        assert np.isfinite(stats.class_percentile("best_effort", 99.0))
+        # Unknown class: nan, not a crash.
+        assert np.isnan(stats.class_percentile("no_such_class", 50.0))
+        # Reports carry the class end to end.
+        classes = [reps[0].request_class for reps in stats.reports]
+        assert classes[:3] == ["accuracy_critical", "latency_critical",
+                               "best_effort"]
+
+    def test_bare_payloads_get_default_class(self, cf_serving_service,
+                                             cf_loadgen):
+        load = cf_loadgen.closed_loop(n_clients=1, n_requests=4)
+        harness = ServingHarness(cf_serving_service, deadline=10.0,
+                                 backend=SequentialBackend())
+        stats = harness.run_closed_loop(load)
+        assert stats.class_served == {"latency_critical": 4}
+
+    def test_envelope_deadline_override_per_request(self, cf_serving_service,
+                                                    small_ratings):
+        from repro.serving.envelope import ServingRequest
+
+        base = cf_request_factory(small_ratings.matrix)
+
+        def factory(i, rng):
+            # Odd requests carry a tiny per-request deadline override.
+            deadline = 1e-9 if i % 2 else None
+            return ServingRequest(payload=base(i, rng), deadline=deadline)
+
+        load = LoadGenerator(factory, seed=33).closed_loop(
+            n_clients=1, n_requests=4)
+        harness = ServingHarness(
+            cf_serving_service, deadline=10.0,
+            backend=SequentialBackend(),
+            clock_factory=simulated_clock_factory(400.0))
+        stats = harness.run_closed_loop(load)
+        deadlines = [reps[0].deadline for reps in stats.reports]
+        assert deadlines == [10.0, 1e-9, 10.0, 1e-9]
+        # The overridden requests hit their (instant) deadline; the
+        # harness-default ones refine fully.
+        hit = [any(r.hit_deadline for r in reps) for reps in stats.reports]
+        assert hit == [False, True, False, True]

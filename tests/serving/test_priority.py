@@ -1,0 +1,307 @@
+"""Priority-aware shedding over the typed envelope, and CoDel-style delay shed.
+
+Pins the ISSUE's acceptance invariant at three levels:
+
+- policy unit tests over manufactured snapshots (the structural
+  threshold-monotonicity guarantee: whenever an accuracy-critical
+  request is shed, a best-effort one arriving at that instant is too);
+- controller integration on one event loop (typed envelopes through
+  ``acquire(request=...)``);
+- a live overloaded async-harness run with a mixed-class workload:
+  best-effort traffic absorbs the overload, accuracy-critical traffic
+  is never shed, and the per-class breakdown lands in
+  ``ServingRunStats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.adapters import CFAdapter
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionSnapshot,
+    PriorityShedPolicy,
+    QueueDelayShed,
+)
+from repro.serving.aio import (
+    AsyncExecutionBackend,
+    AsyncServingHarness,
+    AsyncStallAdapter,
+)
+from repro.serving.envelope import RequestClass, ServingRequest
+from repro.serving.loadgen import LoadGenerator
+from repro.workloads.partitioning import split_ratings
+
+from tests.serving.test_harness import cf_request_factory
+
+CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+
+AC = RequestClass.ACCURACY_CRITICAL
+LC = RequestClass.LATENCY_CRITICAL
+BE = RequestClass.BEST_EFFORT
+
+
+def snapshot(pending=0, max_pending=10, inflight=4, max_inflight=4,
+             deadline=1.0, waited=0.0, request_class=None, priority=None):
+    return AdmissionSnapshot(
+        pending=pending, max_pending=max_pending, inflight=inflight,
+        max_inflight=max_inflight, deadline=deadline, waited=waited,
+        request_class=request_class, priority=priority)
+
+
+class TestPriorityShedPolicy:
+    def test_free_slots_never_shed(self):
+        policy = PriorityShedPolicy()
+        snap = snapshot(pending=10, inflight=3, request_class=BE)
+        assert policy.on_arrival(snap) is None  # a slot is free: no queueing
+
+    def test_classes_shed_in_order(self):
+        policy = PriorityShedPolicy()
+        # Queue at 60%: only best-effort sheds.
+        assert policy.on_arrival(snapshot(pending=6, request_class=BE)) == \
+            "class_best_effort"
+        assert policy.on_arrival(snapshot(pending=6, request_class=LC)) \
+            is None
+        assert policy.on_arrival(snapshot(pending=6, request_class=AC)) \
+            is None
+        # Queue at 90%: latency-critical joins.
+        assert policy.on_arrival(snapshot(pending=9, request_class=LC)) == \
+            "class_latency_critical"
+        assert policy.on_arrival(snapshot(pending=9, request_class=AC)) \
+            is None
+        # Queue full: everything sheds, accuracy-critical last of all.
+        assert policy.on_arrival(snapshot(pending=10, request_class=AC)) == \
+            "class_accuracy_critical"
+
+    def test_untyped_requests_get_default_class(self):
+        policy = PriorityShedPolicy()
+        # request_class=None behaves as LATENCY_CRITICAL (envelope default).
+        assert policy.on_arrival(snapshot(pending=6)) is None
+        assert policy.on_arrival(snapshot(pending=9)) == \
+            "class_latency_critical"
+
+    def test_structural_invariant(self):
+        # Whenever accuracy-critical is shed, the lower classes would be
+        # shed at the same instant — for any valid thresholds and state.
+        policy = PriorityShedPolicy(
+            thresholds={BE: 0.3, "latency_critical": 0.6, AC: 0.8})
+        for pending in range(0, 11):
+            for inflight in (3, 4):
+                shed_ac = policy.on_arrival(snapshot(
+                    pending=pending, inflight=inflight, request_class=AC))
+                if shed_ac is not None:
+                    for cls in (LC, BE):
+                        assert policy.on_arrival(snapshot(
+                            pending=pending, inflight=inflight,
+                            request_class=cls)) is not None
+
+    def test_zero_capacity_queue(self):
+        policy = PriorityShedPolicy()
+        # max_pending=0: occupancy is saturated, every class sheds once
+        # the slots are busy.
+        assert policy.on_arrival(snapshot(pending=0, max_pending=0,
+                                          request_class=AC)) is not None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PriorityShedPolicy(thresholds={BE: 0.0})
+        with pytest.raises(ValueError):
+            PriorityShedPolicy(thresholds={BE: 1.5})
+        with pytest.raises(ValueError):
+            # Accuracy-critical must never shed before best-effort.
+            PriorityShedPolicy(thresholds={AC: 0.2, BE: 0.9})
+
+
+class TestQueueDelayShed:
+    def make(self, **kwargs):
+        self.now = 0.0
+        policy = QueueDelayShed(target=0.010, interval=0.100,
+                                time_fn=lambda: self.now, **kwargs)
+        return policy
+
+    def test_below_target_never_sheds(self):
+        policy = self.make()
+        for _ in range(100):
+            self.now += 0.01
+            assert policy.on_dispatch(snapshot(waited=0.005)) is None
+
+    def test_standing_delay_starts_dropping_after_interval(self):
+        policy = self.make(exempt=())
+        # Above target, but not yet *standing* for a full interval.
+        assert policy.on_dispatch(snapshot(waited=0.05)) is None
+        self.now = 0.05
+        assert policy.on_dispatch(snapshot(waited=0.05)) is None
+        # One interval after the first bad sample: dropping starts.
+        self.now = 0.11
+        assert policy.on_dispatch(snapshot(waited=0.05)) == "queue_delay"
+
+    def test_drop_cadence_tightens(self):
+        policy = self.make(exempt=())
+        policy.on_dispatch(snapshot(waited=0.05))
+        self.now = 0.11
+        assert policy.on_dispatch(snapshot(waited=0.05)) == "queue_delay"
+        # Next drop only after interval/sqrt(1) more...
+        self.now = 0.15
+        assert policy.on_dispatch(snapshot(waited=0.05)) is None
+        self.now = 0.22
+        assert policy.on_dispatch(snapshot(waited=0.05)) == "queue_delay"
+        # ...then interval/sqrt(2): the cadence tightens.
+        self.now = 0.22 + 0.100 / np.sqrt(2) + 1e-6
+        assert policy.on_dispatch(snapshot(waited=0.05)) == "queue_delay"
+
+    def test_good_sample_resets(self):
+        policy = self.make(exempt=())
+        policy.on_dispatch(snapshot(waited=0.05))
+        self.now = 0.11
+        assert policy.on_dispatch(snapshot(waited=0.05)) == "queue_delay"
+        # One sojourn back under the target ends the episode.
+        assert policy.on_dispatch(snapshot(waited=0.001)) is None
+        self.now = 0.12
+        assert policy.on_dispatch(snapshot(waited=0.05)) is None  # re-arming
+
+    def test_accuracy_critical_exempt_by_default(self):
+        policy = self.make()
+        policy.on_dispatch(snapshot(waited=0.05, request_class=BE))
+        self.now = 0.2
+        assert policy.on_dispatch(snapshot(waited=0.05,
+                                           request_class=BE)) is not None
+        assert policy.on_dispatch(snapshot(waited=0.05,
+                                           request_class=AC)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDelayShed(target=0.0)
+        with pytest.raises(ValueError):
+            QueueDelayShed(interval=-1.0)
+
+
+class TestControllerWithEnvelopes:
+    def test_acquire_needs_some_deadline(self):
+        async def go():
+            ctl = AdmissionController()
+            with pytest.raises(ValueError):
+                await ctl.acquire()
+            with pytest.raises(ValueError):
+                await ctl.acquire(request=ServingRequest(payload=None))
+        asyncio.run(go())
+
+    def test_envelope_deadline_fills_in(self):
+        async def go():
+            ctl = AdmissionController(max_pending=4, max_inflight=2)
+            env = ServingRequest(payload=None, deadline=0.5)
+            assert await ctl.acquire(request=env) is None
+            ctl.release()
+        asyncio.run(go())
+
+    def test_classes_shed_in_order_on_live_controller(self):
+        async def go():
+            ctl = AdmissionController(
+                max_pending=2, max_inflight=1,
+                policies=[PriorityShedPolicy()])
+
+            def env(cls):
+                return ServingRequest(payload=None, deadline=1.0,
+                                      request_class=cls)
+
+            # Fill the slot, then half the queue.
+            assert await ctl.acquire(request=env(AC)) is None
+            queued = asyncio.ensure_future(ctl.acquire(request=env(LC)))
+            await asyncio.sleep(0)
+            assert ctl.pending == 1  # occupancy 0.5
+            # Best-effort sheds at half-full; latency-critical still queues.
+            assert await ctl.acquire(request=env(BE)) == "class_best_effort"
+            queued2 = asyncio.ensure_future(ctl.acquire(request=env(LC)))
+            await asyncio.sleep(0)
+            assert ctl.pending == 2  # occupancy 1.0: queue full
+            # Now even accuracy-critical sheds — but only now.
+            assert await ctl.acquire(request=env(LC)) == \
+                "class_latency_critical"
+            assert await ctl.acquire(request=env(AC)) == \
+                "class_accuracy_critical"
+            reasons = ctl.stats().shed_reasons
+            assert reasons == {"class_best_effort": 1,
+                               "class_latency_critical": 1,
+                               "class_accuracy_critical": 1}
+            ctl.release()
+            assert await queued is None
+            ctl.release()
+            assert await queued2 is None
+            ctl.release()
+        asyncio.run(go())
+
+
+class TestMixedClassOverloadRun:
+    """The acceptance run: 2x overload, accuracy-critical protected."""
+
+    CLASSES = [AC, LC, BE]
+
+    def mixed_loadgen(self, matrix):
+        base = cf_request_factory(matrix)
+        classes = self.CLASSES
+
+        def factory(i, rng):
+            return ServingRequest(payload=base(i, rng),
+                                  request_class=classes[i % len(classes)])
+
+        return LoadGenerator(factory, seed=29)
+
+    def test_accuracy_critical_never_shed_under_overload(self,
+                                                         small_ratings):
+        # Service capacity: 2 slots / 100 ms stall = 20 rps; offered:
+        # 40 rps (2x overload), one third per class — accuracy traffic
+        # alone (13 rps) fits capacity.  Aggressive low-class
+        # thresholds park the standing queue around 0.3 * 32 ~ 10
+        # pending, so the accuracy-critical threshold (a truly full
+        # queue, 32) stays ~22 slots away: even a multi-hundred-ms
+        # scheduler stall bunching arrivals (this box has one core)
+        # cannot reach it.  The slow stall keeps every timing margin
+        # large relative to event-loop jitter.
+        stall = AsyncStallAdapter(CFAdapter(), synopsis_stall=0.1,
+                                  group_stall=0.0)
+        svc = AccuracyTraderService(
+            stall, split_ratings(small_ratings.matrix, 1),
+            config=CF_CONFIG, i_max=0)
+        loadgen = self.mixed_loadgen(small_ratings.matrix)
+        n = 96
+        load = loadgen.fixed(np.arange(n) / 40.0)  # 40 rps for 2.4 s
+        admission = AdmissionController(
+            max_pending=32, max_inflight=2,
+            policies=[PriorityShedPolicy(
+                thresholds={BE: 0.15, LC: 0.3})])
+        with svc, AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(svc, deadline=10.0,
+                                          backend=backend,
+                                          admission=admission)
+            stats = harness.run_open_loop(load)
+
+        assert stats.offered == n
+        assert stats.shed > 0, "the run must actually overload"
+        # The invariant: best-effort absorbs the overload; the paper's
+        # accuracy-critical traffic is never shed while best-effort is.
+        assert stats.class_shed.get("best_effort", 0) > 0
+        assert stats.class_shed.get("accuracy_critical", 0) == 0
+        assert stats.class_served["accuracy_critical"] == n // 3
+        # Shed reasons name the shed class.
+        assert all(reason.startswith("class_")
+                   for reason in stats.shed_reasons)
+        # Per-class latency percentiles exist for every served class.
+        breakdown = stats.class_breakdown()
+        assert breakdown["accuracy_critical"]["served"] == n // 3
+        assert np.isfinite(breakdown["accuracy_critical"]["p99_s"])
+        # Served/shed accounting ties out with the run totals.
+        assert sum(row["served"] for row in breakdown.values()) == \
+            stats.n_requests
+        assert sum(row["shed"] for row in breakdown.values()) == stats.shed
+        # The queue part of each served request's latency is surfaced:
+        # under overload, admitted requests really did wait.
+        assert stats.queue_delays.shape == stats.request_latencies.shape
+        assert np.all(np.isfinite(stats.queue_delays))
+        assert np.all(stats.queue_delays >= 0.0)
+        assert np.all(stats.queue_delays <= stats.request_latencies + 1e-9)
+        assert stats.queue_delays.max() > 0.0

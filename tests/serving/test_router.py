@@ -551,3 +551,125 @@ class TestRouterLifecycle:
             ShardedService(["not-a-shard"])
         with pytest.raises(ValueError):
             ShardedService([])
+
+
+class TestHedgeClockOverride:
+    """Regression: a per-call ``clocks=`` override reaches hedge copies.
+
+    ``ShardedService`` used to build hedged re-issue copies from its
+    ``clock_factory`` (wall clocks by default) even when the caller
+    passed explicit ``clocks=`` — so a request served under simulated
+    clocks silently hedged on wall time, and a winning hedge copy
+    reported wall-time elapsed/deadline accounting instead of the
+    simulated accounting every other copy used.  Now hedge copies get
+    fresh ``fresh_like`` clones of the caller's clocks.
+    """
+
+    THRESHOLD_S = 0.01
+    DEADLINE = 0.05
+    SPEED = 400.0
+
+    def hedged_cluster(self, cf_adapter, cf_parts, backend):
+        stall = IOStallAdapter(cf_adapter, synopsis_stall=0.03,
+                               group_stall=0.03)
+        group = ReplicaGroup([
+            AccuracyTraderService(stall, cf_parts[0:2], config=CF_CONFIG,
+                                  i_max=3),
+            AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                  config=CF_CONFIG, i_max=3),
+        ])
+        return ShardedService(
+            [group], backend=backend, hedge_budget=None,
+            hedge=ReissueStrategy(
+                100.0, initial_expected_latency=self.THRESHOLD_S))
+
+    def reference_reports(self, cf_adapter, cf_parts, request):
+        reference = AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                          config=CF_CONFIG, i_max=3)
+        with reference:
+            _, reports = reference.process(
+                request, self.DEADLINE,
+                clocks=sim_clocks(2, self.SPEED),
+                backend=SequentialBackend())
+        return reports
+
+    @staticmethod
+    def report_key(report):
+        return (report.groups_ranked, report.groups_processed,
+                report.work_units, report.synopsis_elapsed,
+                report.total_elapsed, report.deadline, report.hit_deadline,
+                report.hit_imax, report.exhausted)
+
+    def test_winning_hedge_copy_uses_caller_clocks(self, cf_adapter,
+                                                   cf_parts, cf_loadgen):
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        expected = [self.report_key(r)
+                    for r in self.reference_reports(cf_adapter, cf_parts,
+                                                    request)]
+        with ThreadPoolBackend(max_workers=8) as backend:
+            svc = self.hedged_cluster(cf_adapter, cf_parts, backend)
+            with svc:
+                # The straggler primary guarantees the hedge fires and
+                # the clean sibling wins; its reports must show the
+                # caller's *simulated* accounting, not wall time.
+                _, reports = svc.process(request, self.DEADLINE,
+                                         clocks=sim_clocks(2, self.SPEED))
+                assert svc.hedges_issued >= 1
+                assert svc.hedge_wins >= 1
+                assert [self.report_key(r) for r in reports] == expected
+
+    def test_winning_hedge_copy_uses_caller_clocks_async(self, cf_adapter,
+                                                         cf_parts,
+                                                         cf_loadgen):
+        import asyncio
+
+        from repro.serving.aio import AsyncExecutionBackend, \
+            AsyncStallAdapter
+
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        expected = [self.report_key(r)
+                    for r in self.reference_reports(cf_adapter, cf_parts,
+                                                    request)]
+        stall = AsyncStallAdapter(cf_adapter, synopsis_stall=0.03,
+                                  group_stall=0.03)
+        with AsyncExecutionBackend() as backend:
+            group = ReplicaGroup([
+                AccuracyTraderService(stall, cf_parts[0:2],
+                                      config=CF_CONFIG, i_max=3),
+                AccuracyTraderService(cf_adapter, cf_parts[0:2],
+                                      config=CF_CONFIG, i_max=3),
+            ])
+            svc = ShardedService(
+                [group], backend=backend, hedge_budget=None,
+                hedge=ReissueStrategy(
+                    100.0, initial_expected_latency=self.THRESHOLD_S))
+            with svc:
+                _, reports = asyncio.run(svc.aprocess(
+                    request, self.DEADLINE,
+                    clocks=sim_clocks(2, self.SPEED)))
+                assert svc.hedge_wins >= 1
+                assert [self.report_key(r) for r in reports] == expected
+
+    def test_request_hedge_false_opts_out(self, cf_adapter, cf_parts,
+                                          cf_loadgen):
+        from repro.serving.envelope import ServingRequest
+
+        request = cf_loadgen.request_factory(0, np.random.default_rng(0))
+        with ThreadPoolBackend(max_workers=8) as backend:
+            svc = self.hedged_cluster(cf_adapter, cf_parts, backend)
+            with svc:
+                # Two opt-out requests cycle both replicas (the first
+                # lands on the straggler primary, where hedging would
+                # normally fire): no hedge may be issued.
+                for _ in range(2):
+                    resp = svc.serve(
+                        ServingRequest(payload=request, deadline=10.0,
+                                       hedge=False),
+                        clocks=sim_clocks(2, self.SPEED))
+                    assert resp.answer is not None
+                assert svc.hedges_issued == 0
+                # The same request without the opt-out (straggler primary
+                # again) hedges as usual.
+                svc.serve(ServingRequest(payload=request, deadline=10.0),
+                          clocks=sim_clocks(2, self.SPEED))
+                assert svc.hedges_issued >= 1
