@@ -1,0 +1,378 @@
+"""Multi-host transport: socket cluster vs in-process router.
+
+The serving tier becomes multi-host in :mod:`repro.serving.transport`:
+shards run as real OS processes behind length-prefixed TCP framing
+(``RemoteServable``), and the state plane ships each update epoch to
+workers as a content-defined binary *delta* against the epoch the worker
+already holds (``RemoteBackend``).  This bench pins down the three
+claims that make that tier trustworthy, emitted as machine-readable
+``BENCH_transport.json``:
+
+- **bit-identity** — a localhost multi-process cluster (one spawned
+  service process per shard) answers CF and search requests
+  bit-identically to the in-process ``ShardedService`` it replaces,
+  before *and* after a synopsis update propagates over the wire.
+- **latency + bytes on wire** — the same open-loop burst served by the
+  in-process router and by the socket cluster: p50/p99 wall latency and
+  measured wire bytes per request (the cost of crossing hosts).
+- **delta scaling** — state traffic must scale with *update* size, not
+  synopsis size: growing ``change_points`` edits produce growing —
+  but always sub-snapshot — delta publications.
+
+Run:  PYTHONPATH=src python benchmarks/bench_transport.py [--toy]
+          [--out BENCH_transport.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, \
+    SearchQuery
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    LoadGenerator,
+    ReplicaGroup,
+    RemoteBackend,
+    RemoteServable,
+    ServingHarness,
+    ShardedService,
+)
+from repro.serving.envelope import as_envelope
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_corpus, split_ratings
+
+N_SHARDS = 2
+DEADLINE_S = 10.0
+I_MAX = 4                 # cap refinement: the bench measures transport,
+#                           not component compute
+CONFIG = SynopsisConfig(n_iters=20, target_ratio=12.0, seed=19)
+SEARCH_CONFIG = SynopsisConfig(n_iters=20, target_ratio=18.0, seed=19)
+
+
+@dataclass
+class Scale:
+    n_users: int
+    n_items: int
+    n_requests: int
+    stream_s: float           # open-loop arrival spread (wall seconds)
+    edit_sizes: tuple         # change_points sizes for the delta section
+    n_docs: int               # search bit-identity corpus size
+
+
+FULL = Scale(n_users=1200, n_items=100, n_requests=240, stream_s=1.5,
+             edit_sizes=(2, 8, 32, 128), n_docs=240)
+TOY = Scale(n_users=320, n_items=60, n_requests=48, stream_s=0.5,
+            edit_sizes=(2, 32), n_docs=120)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def sim_clocks(n):
+    return [SimulatedClock(speed=1e12) for _ in range(n)]
+
+
+def local_cluster(adapter, parts, config, **kwargs) -> ShardedService:
+    return ShardedService(
+        [ReplicaGroup([AccuracyTraderService(adapter, [p], config=config,
+                                             **kwargs)])
+         for p in parts])
+
+
+def remote_cluster(adapter, parts, config, **kwargs):
+    """One spawned service process per shard; returns (cluster, remotes)."""
+    remotes = [RemoteServable.spawn(AccuracyTraderService, adapter, [p],
+                                    config=config, **kwargs)
+               for p in parts]
+    return ShardedService([ReplicaGroup([r]) for r in remotes]), remotes
+
+
+def report_key(report):
+    return (tuple(report.groups_ranked), report.groups_processed,
+            report.work_units, report.hit_deadline, report.hit_imax,
+            report.exhausted, report.state_epoch)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: socket cluster vs in-process router
+# ---------------------------------------------------------------------------
+
+
+def check_identity_cf(matrix) -> dict:
+    parts = split_ratings(matrix, N_SHARDS)
+    local = local_cluster(CFAdapter(), parts, CONFIG)
+    cluster, remotes = remote_cluster(CFAdapter(), parts, CONFIG)
+    loadgen = make_loadgen(matrix)
+    rng = np.random.default_rng(0)
+    try:
+        checks = []
+        for i in range(4):
+            env = as_envelope(loadgen.request_factory(i, rng), DEADLINE_S)
+            a = local.serve(env, clocks=sim_clocks(N_SHARDS))
+            b = cluster.serve(env, clocks=sim_clocks(N_SHARDS))
+            checks.append(
+                a.answer.numer == b.answer.numer
+                and a.answer.denom == b.answer.denom
+                and [report_key(r) for r in a.reports]
+                == [report_key(r) for r in b.reports]
+                and a.state_epochs == b.state_epochs)
+        # An update must propagate over the wire and keep identity.
+        changed = np.asarray(CFAdapter().record_ids(parts[0])[:2])
+        local.shards[0].change_points(0, parts[0], changed)
+        cluster.shards[0].change_points(0, parts[0], changed)
+        env = as_envelope(loadgen.request_factory(9, rng), DEADLINE_S)
+        a = local.serve(env, clocks=sim_clocks(N_SHARDS))
+        b = cluster.serve(env, clocks=sim_clocks(N_SHARDS))
+        update_ok = (a.answer.numer == b.answer.numer
+                     and a.state_epochs == b.state_epochs)
+        return {"workload": "cf", "n_requests": len(checks),
+                "bit_identical": bool(all(checks)),
+                "update_bit_identical": bool(update_ok)}
+    finally:
+        for r in remotes:
+            r.close()
+
+
+def check_identity_search(scale: Scale) -> dict:
+    corpus = generate_corpus(CorpusConfig(
+        n_docs=scale.n_docs, n_topics=8, vocab_size=1600, seed=13))
+    parts = split_corpus(corpus.partition, N_SHARDS)
+    kwargs = {"i_max_fraction": 0.4}
+    local = local_cluster(SearchAdapter(), parts, SEARCH_CONFIG, **kwargs)
+    cluster, remotes = remote_cluster(SearchAdapter(), parts,
+                                      SEARCH_CONFIG, **kwargs)
+
+    def hits(answer):
+        return [(h.doc_id, h.score) for h in answer]
+
+    try:
+        checks = []
+        for doc in (0, 3, 7):
+            query = SearchQuery(terms=corpus.partition.tokens_of(doc)[:3],
+                                k=10)
+            env = as_envelope(query, DEADLINE_S)
+            a = local.serve(env, clocks=sim_clocks(N_SHARDS))
+            b = cluster.serve(env, clocks=sim_clocks(N_SHARDS))
+            checks.append(
+                hits(a.answer) == hits(b.answer)
+                and [report_key(r) for r in a.reports]
+                == [report_key(r) for r in b.reports])
+        return {"workload": "search", "n_requests": len(checks),
+                "bit_identical": bool(all(checks)),
+                "update_bit_identical": None}
+    finally:
+        for r in remotes:
+            r.close()
+
+
+# ---------------------------------------------------------------------------
+# Latency and bytes on wire: the cost of crossing hosts
+# ---------------------------------------------------------------------------
+
+
+def run_latency(scale: Scale, matrix) -> list[dict]:
+    parts = split_ratings(matrix, N_SHARDS)
+    loadgen = make_loadgen(matrix)
+    arrivals = np.linspace(0.0, scale.stream_s, scale.n_requests)
+    rows = []
+
+    def measure(tier, cluster, wire_bytes_fn):
+        before = wire_bytes_fn()
+        harness = ServingHarness(cluster, deadline=DEADLINE_S)
+        stats = harness.run_open_loop(loadgen.fixed(arrivals))
+        wire = wire_bytes_fn() - before
+        rows.append({
+            "tier": tier,
+            "n_requests": stats.n_requests,
+            "throughput_rps": stats.throughput(),
+            "p50_s": stats.p50(),
+            "p99_s": stats.p99(),
+            "wire_bytes": wire,
+            "wire_bytes_per_request": wire / max(stats.n_requests, 1),
+        })
+
+    local = local_cluster(CFAdapter(), parts, CONFIG, i_max=I_MAX)
+    measure("in_process", local, lambda: 0)
+
+    cluster, remotes = remote_cluster(CFAdapter(), parts, CONFIG,
+                                      i_max=I_MAX)
+
+    def remote_bytes():
+        return sum(c["bytes_sent"] + c["bytes_received"]
+                   for r in remotes for c in [r.transport_counters()])
+
+    try:
+        measure("socket", cluster, remote_bytes)
+    finally:
+        for r in remotes:
+            r.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Delta scaling: state traffic follows update size, not synopsis size
+# ---------------------------------------------------------------------------
+
+
+def run_delta_scaling(scale: Scale, matrix) -> dict:
+    parts = split_ratings(matrix, N_SHARDS)
+    svc = AccuracyTraderService(CFAdapter(), parts, config=CONFIG,
+                                i_max=I_MAX)
+    loadgen = make_loadgen(matrix)
+    env = as_envelope(loadgen.request_factory(0, np.random.default_rng(0)),
+                      DEADLINE_S)
+    record_ids = CFAdapter().record_ids(parts[0])
+    backend = RemoteBackend(n_workers=1)
+    try:
+        backend.run_tasks(svc.build_tasks(env, clocks=sim_clocks(N_SHARDS)))
+        base = backend.transport_counters()
+        full_per_component = base["state_full_bytes"] / N_SHARDS
+        prev = base
+        points = []
+        for k in scale.edit_sizes:
+            svc.change_points(0, parts[0],
+                              np.asarray(record_ids[:k]))
+            backend.run_tasks(svc.build_tasks(env,
+                                              clocks=sim_clocks(N_SHARDS)))
+            cur = backend.transport_counters()
+            points.append({
+                "edit_size": int(k),
+                "delta_publishes": cur["state_delta_publishes"]
+                - prev["state_delta_publishes"],
+                "delta_bytes": cur["state_delta_bytes"]
+                - prev["state_delta_bytes"],
+                "full_publishes": cur["state_full_publishes"]
+                - prev["state_full_publishes"],
+            })
+            prev = cur
+        return {"full_snapshot_bytes": full_per_component,
+                "points": points}
+    finally:
+        backend.close()
+        svc.close()
+
+
+def run(scale: Scale) -> dict:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.2,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=19))
+    return {
+        "bench": "transport",
+        "workload": "cf+search",
+        "scale": {"n_users": scale.n_users, "n_items": scale.n_items,
+                  "n_requests": scale.n_requests,
+                  "edit_sizes": list(scale.edit_sizes),
+                  "n_shards": N_SHARDS},
+        "identity": [check_identity_cf(ratings.matrix),
+                     check_identity_search(scale)],
+        "latency": run_latency(scale, ratings.matrix),
+        "delta_scaling": run_delta_scaling(scale, ratings.matrix),
+    }
+
+
+def print_table(result: dict) -> None:
+    for check in result["identity"]:
+        print(f"identity [{check['workload']}]: "
+              f"{check['n_requests']} requests bit-identical="
+              f"{check['bit_identical']}"
+              + ("" if check["update_bit_identical"] is None else
+                 f", after-update bit-identical="
+                 f"{check['update_bit_identical']}"))
+    print("\nlatency — the same open-loop burst, in-process vs socket")
+    print(f"{'tier':>11}{'reqs':>6}{'rps':>8}{'p50 ms':>8}{'p99 ms':>8}"
+          f"{'wire KB/req':>13}")
+    for row in result["latency"]:
+        print(f"{row['tier']:>11}{row['n_requests']:>6}"
+              f"{row['throughput_rps']:>8.0f}"
+              f"{1e3 * row['p50_s']:>8.1f}{1e3 * row['p99_s']:>8.1f}"
+              f"{row['wire_bytes_per_request'] / 1e3:>13.1f}")
+    delta = result["delta_scaling"]
+    full_kb = delta["full_snapshot_bytes"] / 1e3
+    print(f"\ndelta scaling — full snapshot {full_kb:.0f} KB/component")
+    for point in delta["points"]:
+        ratio = point["delta_bytes"] / delta["full_snapshot_bytes"]
+        print(f"  edit {point['edit_size']:>4} records -> "
+              f"{point['delta_bytes'] / 1e3:>7.1f} KB on the wire "
+              f"({ratio:.0%} of a full snapshot)")
+
+
+def check(result: dict) -> list[str]:
+    failures = []
+    for identity in result["identity"]:
+        if not identity["bit_identical"]:
+            failures.append(f"{identity['workload']}: socket cluster not "
+                            "bit-identical to in-process")
+        if identity["update_bit_identical"] is False:
+            failures.append(f"{identity['workload']}: update broke "
+                            "bit-identity over the wire")
+    tiers = {row["tier"]: row for row in result["latency"]}
+    if tiers["socket"]["wire_bytes"] <= 0:
+        failures.append("socket tier reported no bytes on the wire")
+    if tiers["in_process"]["n_requests"] != tiers["socket"]["n_requests"]:
+        failures.append("tiers served different request counts")
+    delta = result["delta_scaling"]
+    full = delta["full_snapshot_bytes"]
+    points = delta["points"]
+    for point in points:
+        if point["delta_publishes"] < 1:
+            failures.append(f"edit {point['edit_size']}: epoch did not "
+                            "travel as a delta")
+        if point["full_publishes"] > 0:
+            failures.append(f"edit {point['edit_size']}: fell back to a "
+                            "full snapshot")
+        if point["delta_bytes"] >= full:
+            failures.append(f"edit {point['edit_size']}: delta "
+                            f"({point['delta_bytes']}) not below the full "
+                            f"snapshot ({full:.0f})")
+    if len(points) > 1 and \
+            points[0]["delta_bytes"] >= points[-1]["delta_bytes"]:
+        failures.append("delta bytes do not grow with update size: "
+                        f"{[p['delta_bytes'] for p in points]}")
+    if points and points[0]["delta_bytes"] > 0.6 * full:
+        failures.append(f"smallest edit ships {points[0]['delta_bytes']} "
+                        f"bytes, not small vs the {full:.0f}-byte snapshot")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_transport.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    t0 = time.monotonic()
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    result["elapsed_s"] = time.monotonic() - t0
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    failures = check(result)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

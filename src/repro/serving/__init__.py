@@ -71,12 +71,23 @@ Pieces
   in-flight requests where the thread tier is capped at
   ``max_concurrency``.
 - :mod:`repro.serving.admission` — admission control for the async
-  tier: bounded pending queue, in-flight concurrency limit, and
-  pluggable shed policies (reject-on-full, deadline-aware early drop,
-  class-aware :class:`PriorityShedPolicy` — best-effort shed first,
-  accuracy-critical last — and the CoDel-style
+  tier: bounded pending queue (priority-ordered dequeue: urgent
+  classes first, FIFO within a class), in-flight concurrency limit,
+  and pluggable shed policies (reject-on-full, deadline-aware early
+  drop, class-aware :class:`PriorityShedPolicy` — best-effort shed
+  first, accuracy-critical last — and the CoDel-style
   :class:`QueueDelayShed`), with counters and per-class breakdowns
   surfaced in :class:`ServingRunStats`.
+- :mod:`repro.serving.transport` — the multi-host tier: length-prefixed
+  socket framing for requests and responses,
+  :class:`~repro.serving.transport.RemoteServable` (a service in
+  another process, pluggable into :class:`ReplicaGroup` /
+  :class:`ShardedService` unchanged), and
+  :class:`~repro.serving.transport.RemoteBackend` — the wire state
+  plane: workers over TCP, snapshots published once per epoch per
+  worker, epoch-to-epoch transitions shipped as content-defined binary
+  *deltas* (:mod:`repro.core.state`) so state traffic scales with
+  update size, not synopsis size.
 
 Concurrency model: :class:`~repro.core.service.AccuracyTraderService`
 publishes each component's ``(partition, synopsis)`` through a
@@ -121,6 +132,14 @@ from repro.serving.backends import (
 from repro.serving.harness import AccuracyPoint, ServingHarness, ServingRunStats
 from repro.serving.loadgen import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
 from repro.serving.router import RebalanceReport, ReplicaGroup, ShardedService
+from repro.serving.transport import (
+    RemoteBackend,
+    RemoteChannel,
+    RemoteError,
+    RemoteServable,
+    bind_with_retry,
+    connect_with_retry,
+)
 
 __all__ = [
     "ComponentOutcome",
@@ -155,4 +174,10 @@ __all__ = [
     "ServingRequest",
     "ServingResponse",
     "as_envelope",
+    "RemoteBackend",
+    "RemoteChannel",
+    "RemoteError",
+    "RemoteServable",
+    "bind_with_retry",
+    "connect_with_retry",
 ]

@@ -9,9 +9,13 @@ service does accept still meets its deadline.  This module provides that
 layer for :class:`~repro.serving.aio.AsyncServingHarness`:
 
 - :class:`AdmissionController` — a bounded pending queue plus an
-  in-flight concurrency limiter (an :class:`asyncio.Semaphore`), with
-  per-reason shed counters and high-water marks surfaced into
-  :class:`~repro.serving.harness.ServingRunStats`;
+  in-flight concurrency limiter, with per-reason shed counters and
+  high-water marks surfaced into
+  :class:`~repro.serving.harness.ServingRunStats`.  The pending queue
+  dequeues by the envelope's *priority* (urgent classes first, FIFO
+  within a class), so a freed slot goes to the queued
+  accuracy-critical request even when best-effort requests have waited
+  longer;
 - :class:`ShedPolicy` — pluggable shed decisions, consulted both when a
   request *arrives* (before it may queue) and when it is *dispatched*
   (after its queue wait, before it burns an execution slot):
@@ -45,6 +49,8 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import heapq
+import itertools
 import math
 import time
 from dataclasses import dataclass, field
@@ -348,6 +354,19 @@ class AdmissionController:
     policies:
         Shed policies consulted in order; the first reason wins.
         Defaults to ``[RejectOnFull()]``.
+
+    Dequeue order
+    -------------
+    Queued requests do not leave in arrival order: when a slot frees,
+    it is granted to the waiter with the lowest
+    :attr:`~repro.serving.envelope.ServingRequest.priority` number
+    (``ACCURACY_CRITICAL`` 0 < ``LATENCY_CRITICAL`` 1 <
+    ``BEST_EFFORT`` 2, unless the envelope overrides it), FIFO within
+    equal priorities.  Untyped ``acquire(deadline)`` callers queue at
+    the envelope default class's priority.  This is the counterpart of
+    :class:`PriorityShedPolicy`: shedding decides *whether* a request
+    gets in, dequeue order decides *who goes first* among those that
+    did.
     """
 
     def __init__(self, max_pending: int = 1024, max_inflight: int = 256,
@@ -362,8 +381,12 @@ class AdmissionController:
                          else [RejectOnFull()])
         self._pending = 0
         self._inflight = 0
-        self._sem: asyncio.Semaphore | None = None
-        self._sem_loop: asyncio.AbstractEventLoop | None = None
+        self._free = self.max_inflight
+        # (priority, arrival seq, future): a heap, so the lowest
+        # priority number leaves first and ties break FIFO by seq.
+        self._waiters: list[tuple[int, int, asyncio.Future]] = []
+        self._seq = itertools.count()
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._stats = AdmissionStats()
 
     # ------------------------------------------------------------------
@@ -408,28 +431,44 @@ class AdmissionController:
                     "request envelope with its deadline resolved")
             deadline = request.deadline
         loop = asyncio.get_running_loop()
-        if self._sem is None or self._sem_loop is not loop:
+        if self._loop is not loop:
             # A fresh loop (e.g. each ``asyncio.run`` of a harness run):
-            # an asyncio.Semaphore binds to the loop it first waits on,
-            # so it must be rebuilt — which is only sound while no slots
-            # or queue places are held on the old loop.
+            # waiter futures bind to the loop that created them, so the
+            # wait state must be rebuilt — which is only sound while no
+            # slots or queue places are held on the old loop.
             if self._pending or self._inflight:
                 raise RuntimeError(
                     "AdmissionController is in use on another event loop")
-            self._sem = asyncio.Semaphore(self.max_inflight)
-            self._sem_loop = loop
+            self._free = self.max_inflight
+            self._waiters = []
+            self._loop = loop
         self._stats.offered += 1
         snapshot = self._snapshot(deadline, waited, request)
         for policy in self.policies:
             reason = policy.on_arrival(snapshot)
             if reason is not None:
                 return self._shed(reason)
+        priority = (request.priority if request is not None
+                    else RequestClass.LATENCY_CRITICAL.default_priority)
         t_enqueue = loop.time()
         self._pending += 1
         self._stats.queue_depth_max = max(self._stats.queue_depth_max,
                                           self._pending)
         try:
-            await self._sem.acquire()
+            if self._free > 0 and not self._waiters:
+                self._free -= 1
+            else:
+                future = loop.create_future()
+                heapq.heappush(self._waiters,
+                               (int(priority), next(self._seq), future))
+                try:
+                    await future
+                except asyncio.CancelledError:
+                    # Granted concurrently with the cancellation: the
+                    # slot must not leak — hand it to the next waiter.
+                    if future.done() and not future.cancelled():
+                        self._release_slot()
+                    raise
         finally:
             self._pending -= 1
         # Dispatch-time check: the queue wait itself may have eaten the
@@ -440,7 +479,7 @@ class AdmissionController:
         for policy in self.policies:
             reason = policy.on_dispatch(snapshot)
             if reason is not None:
-                self._sem.release()
+                self._release_slot()
                 return self._shed(reason)
         self._inflight += 1
         self._stats.admitted += 1
@@ -448,13 +487,21 @@ class AdmissionController:
                                        self._inflight)
         return None
 
+    def _release_slot(self) -> None:
+        """Hand a freed slot to the most urgent live waiter, else bank it."""
+        while self._waiters:
+            _, _, future = heapq.heappop(self._waiters)
+            if not future.done():
+                future.set_result(True)
+                return
+        self._free += 1
+
     def release(self) -> None:
         """Return one execution slot (after a successful ``acquire``)."""
         if self._inflight < 1:
             raise RuntimeError("release() without a matching acquire()")
         self._inflight -= 1
-        assert self._sem is not None
-        self._sem.release()
+        self._release_slot()
 
     # ------------------------------------------------------------------
 

@@ -102,6 +102,13 @@ class ComponentTask:
     i_max_fraction: float | None = None
     start_time: float | None = None
     envelope: Any = None
+    # In-process execution override: when set, backends run the task by
+    # calling ``runner(task)`` instead of the default resolve-and-process
+    # path.  This is how a remote servable routes its per-component tasks
+    # over its own socket while still flowing through any local backend's
+    # scheduling (hedging futures included).  Runners are process-local —
+    # a runner task must not be pickled to another process.
+    runner: Any = None
 
     def resolve_state(self) -> tuple[Any, Any]:
         """The ``(partition, synopsis)`` this task must execute against.
@@ -152,6 +159,8 @@ def stamp_envelope(report: ProcessingReport, task: ComponentTask) -> None:
 
 def run_component_task(task: ComponentTask) -> ComponentOutcome:
     """Execute one task (module-level so process pools can pickle it)."""
+    if task.runner is not None:
+        return task.runner(task)
     partition, synopsis = task.resolve_state()
     result, report = process_component(
         task.adapter, partition, synopsis, task.request,
@@ -618,8 +627,10 @@ def resolve_backend(backend) -> ExecutionBackend:
     """Coerce ``backend`` (instance, name, or ``None``) to a backend.
 
     ``None`` means :class:`SequentialBackend`; strings name one of
-    ``"sequential"``, ``"thread"``, ``"process"``, ``"persistent"``, or
-    ``"async"`` (the event-loop backend from :mod:`repro.serving.aio`).
+    ``"sequential"``, ``"thread"``, ``"process"``, ``"persistent"``,
+    ``"async"`` (the event-loop backend from :mod:`repro.serving.aio`),
+    or ``"remote"`` (the socket backend from
+    :mod:`repro.serving.transport`).
     """
     if backend is None:
         return SequentialBackend()
@@ -631,10 +642,15 @@ def resolve_backend(backend) -> ExecutionBackend:
             from repro.serving.aio import AsyncExecutionBackend
 
             return AsyncExecutionBackend()
+        if backend == "remote":
+            # Imported lazily: transport builds on this module.
+            from repro.serving.transport import RemoteBackend
+
+            return RemoteBackend()
         cls = _BACKENDS.get(backend)
         if cls is None:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of "
-                f"{sorted([*_BACKENDS, 'async'])}")
+                f"{sorted([*_BACKENDS, 'async', 'remote'])}")
         return cls()
     raise TypeError(f"cannot interpret {backend!r} as an execution backend")

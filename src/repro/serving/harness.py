@@ -79,26 +79,62 @@ def apply_hedge_delta(stats: "ServingRunStats", service,
 
 
 def payload_backend_of(harness_backend, service):
-    """The backend whose payload counters describe a harness run.
+    """Every backend whose payload counters describe a harness run.
 
-    A harness-level backend override wins; otherwise the service's own
-    default backend carries the counters.  Shared by the thread and
-    async harnesses.
+    Returns a list (possibly empty).  A harness-level backend override
+    dispatches the work, but a *routed* service still owns one backend
+    per replica — a :class:`~repro.serving.router.ShardedService` of
+    :class:`~repro.serving.router.ReplicaGroup` shards fans tasks out
+    to each replica's own backend — so counting only ``service.
+    backend`` undercounts every byte those replica backends shipped.
+    This walks the service's routing structure (duck-typed, depth-wise:
+    service → shards → replicas) and returns all distinct backends the
+    run may have dispatched through.  Shared by the thread and async
+    harnesses; idle backends contribute zero deltas, so over-collecting
+    is harmless while under-collecting loses bytes.
     """
-    if harness_backend is not None:
-        return harness_backend
-    return getattr(service, "backend", None)
+    backends: list = []
+
+    def add(backend) -> None:
+        if backend is not None and \
+                not any(backend is seen for seen in backends):
+            backends.append(backend)
+
+    def walk(service) -> None:
+        add(getattr(service, "backend", None))
+        for shard in getattr(service, "shards", []) or []:
+            walk(shard)
+        for replica in getattr(service, "replicas", []) or []:
+            walk(replica)
+
+    add(harness_backend)
+    walk(service)
+    return backends
 
 
-def collect_payload_counters(backend) -> dict | None:
-    """Snapshot a backend's serialized-payload counters, if it keeps any.
+def collect_payload_counters(backends) -> dict | None:
+    """Snapshot serialized-payload counters, summed across backends.
 
-    Duck-typed on ``payload_counters()`` (every
-    :class:`~repro.serving.backends.ExecutionBackend`; in-process
-    backends report zeros).  ``None`` for no backend at all.
+    ``backends`` is one backend or a list of them (the
+    :func:`payload_backend_of` shape).  Duck-typed on
+    ``payload_counters()`` (every :class:`~repro.serving.backends.
+    ExecutionBackend`; in-process backends report zeros).  ``None``
+    when nothing keeps counters at all.
     """
-    counters = getattr(backend, "payload_counters", None)
-    return counters() if callable(counters) else None
+    if not isinstance(backends, (list, tuple)):
+        backends = [backends]
+    total: dict | None = None
+    for backend in backends:
+        counters = getattr(backend, "payload_counters", None)
+        if not callable(counters):
+            continue
+        snapshot = counters()
+        if total is None:
+            total = dict(snapshot)
+        else:
+            for key, value in snapshot.items():
+                total[key] = total.get(key, 0) + value
+    return total
 
 
 def apply_payload_delta(stats: "ServingRunStats", backend,
@@ -239,13 +275,22 @@ class ServingRunStats:
     # -- FanoutRunStats-compatible accessors ----------------------------
 
     def component_tail(self, q: float = 99.9) -> float:
-        """q-th percentile per-component processing latency."""
+        """q-th percentile per-component processing latency.
+
+        ``nan`` for an empty run (every request shed): an all-shed run
+        is a legitimate measurement, not an error.
+        """
+        if len(self.sub_latencies) == 0:
+            return float("nan")
         return percentile(self.sub_latencies, q)
 
     def tail_ms(self, q: float = 99.9) -> float:
         return 1000.0 * self.component_tail(q)
 
     def mean_latency(self) -> float:
+        """Mean per-component processing latency (``nan`` for empty runs)."""
+        if len(self.sub_latencies) == 0:
+            return float("nan")
         return float(self.sub_latencies.mean())
 
     # -- serving metrics -------------------------------------------------
@@ -257,6 +302,9 @@ class ServingRunStats:
         return self.n_requests / self.duration
 
     def request_percentile(self, q: float) -> float:
+        """q-th percentile served-request latency (``nan`` if none served)."""
+        if len(self.request_latencies) == 0:
+            return float("nan")
         return percentile(self.request_latencies, q)
 
     def p50(self) -> float:

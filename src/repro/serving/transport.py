@@ -1,0 +1,1107 @@
+"""Socket transport: remote components and a wire state plane.
+
+Everything below PR 5 runs in one process tree: shard replicas are
+objects, the state plane is a spill directory, and "shipping" a task
+means pickling it into a :mod:`concurrent.futures` pool.  This module
+moves both planes onto TCP sockets on localhost so replicas run as
+separate processes behind the same :class:`~repro.core.servable.
+Servable` protocol:
+
+- **Framing** — every message is one length-prefixed frame: a fixed
+  header (magic, wire version, kind, message id, payload length)
+  followed by a pickled payload.  :func:`encode_frame` /
+  :func:`decode_frame` are pure (unit-testable); :func:`write_frame` /
+  :func:`read_frame` move frames over sockets and count bytes.
+
+- **Request plane** — :class:`RemoteServable` spawns a service process
+  (or any :class:`~repro.core.servable.Servable` factory) and speaks
+  the request/response framing to it.  It exposes ``build_tasks`` /
+  ``serve`` / ``aserve`` / update methods, so it plugs into
+  :class:`~repro.serving.router.ReplicaGroup` (and, wrapped in one,
+  :class:`~repro.serving.router.ShardedService`) **unchanged**: its
+  tasks carry a ``runner`` that forwards execution over the socket
+  while the local backend keeps doing the scheduling.
+
+- **State plane** — :class:`RemoteBackend` is the socket analogue of
+  :class:`~repro.serving.backends.PersistentProcessBackend`: worker
+  processes connect back over TCP, state snapshots are published
+  **once per epoch per worker** as explicit frames, and per task only
+  a detached :class:`~repro.core.state.StateRef` travels.  On an
+  epoch-to-epoch transition the parent sends a *delta* frame (a
+  content-defined binary diff from :mod:`repro.core.state`) instead of
+  the full snapshot whenever the delta is smaller, so state traffic
+  scales with **update size**, not synopsis size.  Whole-blob
+  checksums on apply keep reconstruction bit-identical.
+
+Frames on one connection are strictly ordered and workers apply state
+frames in their reader thread *before* resolving any later task frame,
+so a task can never observe a half-applied or missing epoch that was
+published ahead of it.
+
+Hedging note: a remote task future is set running at submit, so
+:meth:`~concurrent.futures.Future.cancel` on the losing copy returns
+``False`` and the remote copy runs to completion — exactly Dean &
+Barroso's tied-request semantics for in-service copies.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import itertools
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, Sequence
+
+from repro.core.clock import DeadlineClock, SimulatedClock
+from repro.core.servable import default_merge
+from repro.core.state import (StaleEpochError, apply_delta, compute_delta)
+from repro.serving.backends import (ComponentOutcome, ComponentTask,
+                                    ExecutionBackend, _preferred_mp_context,
+                                    run_component_task)
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "KIND_STATE",
+    "KIND_TASK",
+    "KIND_OUTCOME",
+    "KIND_CONTROL",
+    "encode_frame",
+    "decode_frame",
+    "write_frame",
+    "read_frame",
+    "bind_with_retry",
+    "connect_with_retry",
+    "RemoteError",
+    "RemoteChannel",
+    "RemoteServable",
+    "RemoteBackend",
+]
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+MAGIC = b"RPRO"
+WIRE_VERSION = 1
+
+#: magic(4) | version(1) | kind(1) | msg_id(8) | payload length(8)
+_HEADER = struct.Struct(">4sBBQQ")
+
+KIND_REQUEST = 1   # ServingRequest-level RPC (client -> service process)
+KIND_RESPONSE = 2  # successful RPC reply
+KIND_ERROR = 3     # RPC reply carrying a remote exception
+KIND_STATE = 4     # state-plane publication (parent -> backend worker)
+KIND_TASK = 5      # ComponentTask shipment (parent -> backend worker)
+KIND_OUTCOME = 6   # ComponentOutcome reply (backend worker -> parent)
+KIND_CONTROL = 7   # connection control ("shutdown", ...)
+
+
+class RemoteError(RuntimeError):
+    """An exception raised on the far side of a transport connection.
+
+    ``remote_type`` is the remote exception's class name and
+    ``remote_traceback`` its formatted traceback, so the local failure
+    is debuggable without attaching to the worker process.
+    """
+
+    def __init__(self, remote_type: str, message: str,
+                 remote_traceback: str = ""):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+
+def encode_frame(kind: int, msg_id: int, obj: Any = None,
+                 payload: bytes | None = None) -> bytes:
+    """One wire frame: header + pickled payload.
+
+    Pass ``payload`` to ship pre-pickled bytes (the backend does this so
+    byte accounting sees exactly what travels); otherwise ``obj`` is
+    pickled here.
+    """
+    if payload is None:
+        payload = pickle.dumps(obj)
+    return _HEADER.pack(MAGIC, WIRE_VERSION, kind, msg_id,
+                        len(payload)) + payload
+
+
+def decode_frame(buf: bytes) -> tuple[int, int, Any, int]:
+    """Decode one frame from ``buf``: ``(kind, msg_id, obj, consumed)``.
+
+    Raises :class:`ValueError` on a bad magic/version or a truncated
+    buffer — this is the strict pure-function counterpart of
+    :func:`read_frame`, used by the framing tests.
+    """
+    if len(buf) < _HEADER.size:
+        raise ValueError("buffer shorter than a frame header")
+    magic, version, kind, msg_id, length = _HEADER.unpack_from(buf)
+    if magic != MAGIC:
+        raise ValueError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise ValueError(f"unsupported wire version {version}")
+    end = _HEADER.size + length
+    if len(buf) < end:
+        raise ValueError("buffer truncated mid-frame")
+    obj = pickle.loads(buf[_HEADER.size:end])
+    return kind, msg_id, obj, end
+
+
+def write_frame(sock: socket.socket, kind: int, msg_id: int,
+                obj: Any = None, payload: bytes | None = None) -> int:
+    """Send one frame; returns the number of bytes written."""
+    frame = encode_frame(kind, msg_id, obj, payload)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ConnectionError` on EOF mid-frame (a torn frame is a bug or
+    a crashed peer, never a clean shutdown).
+    """
+    buf = io.BytesIO()
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise ConnectionError("connection closed mid-frame")
+        buf.write(chunk)
+        got += len(chunk)
+    return buf.getvalue()
+
+
+def read_frame(sock: socket.socket) -> tuple[int, int, Any, int] | None:
+    """Read one frame: ``(kind, msg_id, obj, nbytes)``; ``None`` on EOF."""
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    magic, version, kind, msg_id, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ConnectionError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise ConnectionError(f"unsupported wire version {version}")
+    payload = _recv_exact(sock, length, at_boundary=False) if length else b""
+    return kind, msg_id, pickle.loads(payload), _HEADER.size + length
+
+
+# ---------------------------------------------------------------------------
+# Socket helpers
+# ---------------------------------------------------------------------------
+
+
+def bind_with_retry(host: str = "127.0.0.1", port: int = 0,
+                    retries: int = 5, backoff: float = 0.05,
+                    ) -> socket.socket:
+    """Bind and listen, retrying ``EADDRINUSE`` with linear backoff.
+
+    ``port=0`` (the default everywhere in this module) lets the kernel
+    pick a free port and never conflicts; the retry path exists for
+    callers that pin a port on shared CI runners, where a previous
+    run's socket may linger in ``TIME_WAIT``.
+    """
+    last: OSError | None = None
+    for attempt in range(retries):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.bind((host, port))
+            sock.listen(64)
+            return sock
+        except OSError as exc:
+            sock.close()
+            if exc.errno != errno.EADDRINUSE:
+                raise
+            last = exc
+            time.sleep(backoff * (attempt + 1))
+    raise OSError(errno.EADDRINUSE,
+                  f"could not bind {host}:{port} after {retries} attempts"
+                  ) from last
+
+
+def connect_with_retry(host: str, port: int, retries: int = 40,
+                       backoff: float = 0.05) -> socket.socket:
+    """Connect, retrying refusals while the listener is still starting."""
+    last: OSError | None = None
+    for attempt in range(retries):
+        try:
+            sock = socket.create_connection((host, port))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            time.sleep(backoff * min(attempt + 1, 10))
+    raise ConnectionError(
+        f"could not connect to {host}:{port} after {retries} attempts"
+    ) from last
+
+
+def _error_payload(exc: BaseException) -> tuple[str, str, str]:
+    return (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+def _raise_remote(payload: tuple[str, str, str]) -> Exception:
+    """Map a wire error payload back to a local exception instance."""
+    remote_type, message, tb = payload
+    if remote_type == "StaleEpochError":
+        return StaleEpochError(message)
+    return RemoteError(remote_type, message, tb)
+
+
+# ---------------------------------------------------------------------------
+# Request plane: RPC channel + remote servable
+# ---------------------------------------------------------------------------
+
+
+class RemoteChannel:
+    """One request/response connection with concurrent in-flight calls.
+
+    Writers serialise on a lock; a daemon reader thread matches replies
+    to pending futures by message id, so any number of threads can have
+    calls outstanding on the same socket.  Byte counters cover every
+    frame in both directions.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._wlock = threading.Lock()
+        self._plock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._reader = threading.Thread(target=self._read_loop, daemon=True,
+                                        name="repro-transport-reader")
+        self._reader.start()
+
+    def submit(self, obj: Any) -> Future:
+        """Send one RPC; the future completes when the reply arrives."""
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        msg_id = next(self._ids)
+        with self._plock:
+            if self._closed:
+                raise ConnectionError("channel is closed")
+            self._pending[msg_id] = future
+        with self._wlock:
+            self.bytes_sent += write_frame(self._sock, KIND_REQUEST,
+                                           msg_id, obj)
+        return future
+
+    def call(self, obj: Any, timeout: float | None = None) -> Any:
+        """Blocking RPC round-trip."""
+        return self.submit(obj).result(timeout=timeout)
+
+    def send_control(self, obj: Any) -> None:
+        """Fire-and-forget control frame (e.g. ``"shutdown"``)."""
+        with self._wlock:
+            self.bytes_sent += write_frame(self._sock, KIND_CONTROL, 0, obj)
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame(self._sock)
+                if frame is None:
+                    break
+                kind, msg_id, obj, nbytes = frame
+                self.bytes_received += nbytes
+                with self._plock:
+                    future = self._pending.pop(msg_id, None)
+                if future is None:
+                    continue
+                if kind == KIND_ERROR:
+                    future.set_exception(_raise_remote(obj))
+                else:
+                    future.set_result(obj)
+        except (ConnectionError, OSError) as exc:
+            self._fail_all(exc)
+        else:
+            self._fail_all(ConnectionError("connection closed by peer"))
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._plock:
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    def close(self) -> None:
+        with self._plock:
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def _run_remote_component(service, component: int, payload: Any,
+                          deadline: float, clock: DeadlineClock | None,
+                          envelope: Any) -> ComponentOutcome:
+    """Service-process side of one remote component task.
+
+    Builds the task against the service's *current* pinned epoch and
+    runs it through the one execution choke point, so the outcome —
+    state epoch, envelope stamping included — is bit-identical to the
+    in-process path over the same snapshots and clocks.
+    """
+    task = ComponentTask(
+        component=component, adapter=service.adapter, request=payload,
+        deadline=deadline, state_ref=service.store.ref(component),
+        clock=clock, i_max=service._i_max,
+        i_max_fraction=service._i_max_fraction, envelope=envelope)
+    return run_component_task(task)
+
+
+def _dispatch_rpc(service, obj: Any) -> Any:
+    """Service-process RPC dispatch table."""
+    op, args = obj[0], obj[1:]
+    if op == "component_task":
+        return _run_remote_component(service, *args)
+    if op == "serve":
+        request, clocks = args
+        return service.serve(request, clocks=clocks)
+    if op == "hello":
+        return {"n_components": service.n_components,
+                "adapter": service.adapter}
+    if op == "exact":
+        return service.exact(*args)
+    if op == "exact_components":
+        return service.exact_components(*args)
+    if op == "add_points":
+        return service.add_points(*args)
+    if op == "change_points":
+        return service.change_points(*args)
+    if op == "replace_partition":
+        return service.replace_partition(*args)
+    if op == "component_epoch":
+        return service.component_epoch(*args)
+    raise ValueError(f"unknown transport op {op!r}")
+
+
+def _service_worker_main(conn, spec) -> None:
+    """Entry point of a spawned service process.
+
+    Builds the service from ``spec = (factory, args, kwargs)``, binds a
+    listener on an OS-assigned port, reports ``("ok", port)`` (or
+    ``("error", traceback)``) over the bootstrap pipe, then serves RPCs
+    from a single accepted connection until a shutdown control frame or
+    EOF.  RPCs run on a small thread pool so slow components do not
+    serialise the connection.
+    """
+    try:
+        factory, args, kwargs = spec
+        service = factory(*args, **kwargs)
+        listener = bind_with_retry()
+        port = listener.getsockname()[1]
+        conn.send(("ok", port))
+    except BaseException:  # noqa: BLE001 - reported over the pipe
+        conn.send(("error", traceback.format_exc()))
+        return
+    finally:
+        conn.close()
+    listener.settimeout(60.0)
+    sock, _ = listener.accept()
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    listener.close()
+    wlock = threading.Lock()
+
+    def handle(msg_id: int, obj: Any) -> None:
+        try:
+            reply_kind, reply = KIND_RESPONSE, _dispatch_rpc(service, obj)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the client
+            reply_kind, reply = KIND_ERROR, _error_payload(exc)
+        with wlock:
+            try:
+                write_frame(sock, reply_kind, msg_id, reply)
+            except OSError:
+                pass
+
+    with ThreadPoolExecutor(max_workers=8,
+                            thread_name_prefix="repro-remote-rpc") as pool:
+        while True:
+            try:
+                frame = read_frame(sock)
+            except (ConnectionError, OSError):
+                break
+            if frame is None:
+                break
+            kind, msg_id, obj, _ = frame
+            if kind == KIND_CONTROL:
+                if obj == "shutdown":
+                    break
+                continue
+            pool.submit(handle, msg_id, obj)
+    sock.close()
+
+
+class RemoteServable:
+    """A servable living in another process, reached over one socket.
+
+    Satisfies the :class:`~repro.core.servable.Servable` protocol, so a
+    :class:`~repro.serving.router.ReplicaGroup` accepts it as a replica
+    (and, wrapped in a group, :class:`~repro.serving.router.
+    ShardedService` accepts it as a shard) with **no router changes**:
+
+    - :meth:`serve` / :meth:`aserve` forward the whole envelope as one
+      RPC and return the remote :class:`~repro.serving.envelope.
+      ServingResponse`.
+    - :meth:`build_tasks` returns local :class:`~repro.serving.backends.
+      ComponentTask` values whose ``runner`` forwards each component
+      over the socket — the local execution backend still schedules
+      (and hedges) them, while the state stays remote.
+    - update methods (:meth:`add_points` / :meth:`change_points` /
+      :meth:`replace_partition`) forward to the remote service, so the
+      router's update fan-out works unchanged.
+
+    Use :meth:`spawn` to launch the service in a fresh process from an
+    importable factory (e.g. :class:`~repro.core.service.
+    AccuracyTraderService` plus its constructor arguments — the factory
+    and arguments must be picklable, the built service need not be).
+    """
+
+    def __init__(self, channel: RemoteChannel, process=None,
+                 timeout: float = 60.0):
+        self._channel = channel
+        self._process = process
+        self._timeout = timeout
+        self._closed = False
+        hello = channel.call(("hello",), timeout=timeout)
+        self._n_components = hello["n_components"]
+        self._merge = default_merge(hello["adapter"])
+
+    @classmethod
+    def spawn(cls, factory: Callable, *args, start_method: str | None = None,
+              timeout: float = 60.0, **kwargs) -> "RemoteServable":
+        """Launch ``factory(*args, **kwargs)`` in a new process and attach.
+
+        The child binds an OS-assigned port (no conflicts) and reports
+        it over a bootstrap pipe; a build failure in the child surfaces
+        here as a :class:`RuntimeError` carrying the child traceback.
+        """
+        import multiprocessing as mp
+
+        ctx = _preferred_mp_context(start_method) or mp
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(target=_service_worker_main,
+                              args=(child_conn, (factory, args, kwargs)),
+                              daemon=True)
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(timeout):
+            process.terminate()
+            raise TimeoutError("remote service did not start in time")
+        status, value = parent_conn.recv()
+        parent_conn.close()
+        if status != "ok":
+            process.join(timeout=5.0)
+            raise RuntimeError(f"remote service failed to build:\n{value}")
+        sock = connect_with_retry("127.0.0.1", value)
+        return cls(RemoteChannel(sock), process=process, timeout=timeout)
+
+    # -- Servable protocol ----------------------------------------------
+
+    @property
+    def n_components(self) -> int:
+        return self._n_components
+
+    @property
+    def merge(self) -> Callable:
+        """The merge function (derived from the remote adapter)."""
+        return self._merge
+
+    def build_tasks(self, request, deadline: float | None = None,
+                    clocks: list[DeadlineClock] | None = None) -> list:
+        """Per-component tasks whose execution happens remotely.
+
+        Mirrors :meth:`AccuracyTraderService.build_tasks` envelope and
+        deadline handling exactly; the returned tasks carry no adapter
+        or state — their ``runner`` ships ``(component, payload,
+        deadline, clock, envelope)`` over the socket and the service
+        process pins its current epoch at execution.
+        """
+        from repro.serving.envelope import ServingRequest
+
+        envelope = None
+        payload = request
+        if isinstance(request, ServingRequest):
+            envelope = request.detached()
+            payload = request.payload
+            if deadline is None:
+                deadline = request.deadline
+        if deadline is None:
+            raise ValueError(
+                "a deadline is required: set it on the envelope or pass "
+                "deadline= explicitly")
+        if clocks is None:
+            clocks = [SimulatedClock(speed=1e12)
+                      for _ in range(self._n_components)]
+        if len(clocks) != self._n_components:
+            raise ValueError("need one clock per component")
+        return [
+            ComponentTask(
+                component=c, adapter=None, request=payload,
+                deadline=deadline, clock=clock, envelope=envelope,
+                runner=self._run_task)
+            for c, clock in enumerate(clocks)
+        ]
+
+    def _run_task(self, task: ComponentTask) -> ComponentOutcome:
+        return self._channel.call(
+            ("component_task", task.component, task.request, task.deadline,
+             task.clock, task.envelope), timeout=self._timeout)
+
+    def serve(self, request, clocks: list[DeadlineClock] | None = None,
+              backend=None):
+        """One envelope RPC; execution runs on the remote service.
+
+        ``backend`` is accepted for signature compatibility and
+        ignored — the remote process executes with its own backend.
+        """
+        return self._channel.call(("serve", request, clocks),
+                                  timeout=self._timeout)
+
+    async def aserve(self, request,
+                     clocks: list[DeadlineClock] | None = None,
+                     backend=None):
+        """Async :meth:`serve`: the RPC waits in an executor thread."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.serve(request, clocks=clocks))
+
+    def process(self, request, deadline: float,
+                clocks: list[DeadlineClock] | None = None, backend=None):
+        """Legacy positional shim over :meth:`serve` (bit-identical)."""
+        from repro.serving.envelope import as_envelope
+
+        return self.serve(as_envelope(request, deadline),
+                          clocks=clocks).as_tuple()
+
+    async def aprocess(self, request, deadline: float,
+                       clocks: list[DeadlineClock] | None = None,
+                       backend=None):
+        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        from repro.serving.envelope import as_envelope
+
+        resp = await self.aserve(as_envelope(request, deadline),
+                                 clocks=clocks)
+        return resp.as_tuple()
+
+    def exact(self, request) -> Any:
+        """Remote full exact computation (ground truth)."""
+        return self._channel.call(("exact", request), timeout=None)
+
+    def exact_components(self, request) -> list:
+        """Remote unmerged exact per-component results."""
+        return self._channel.call(("exact_components", request),
+                                  timeout=None)
+
+    # -- update fan-out --------------------------------------------------
+
+    def add_points(self, component: int, partition, new_record_ids):
+        return self._channel.call(
+            ("add_points", component, partition, new_record_ids),
+            timeout=None)
+
+    def change_points(self, component: int, partition, changed_record_ids):
+        return self._channel.call(
+            ("change_points", component, partition, changed_record_ids),
+            timeout=None)
+
+    def replace_partition(self, component: int, partition):
+        return self._channel.call(
+            ("replace_partition", component, partition), timeout=None)
+
+    def component_epoch(self, component: int) -> int:
+        """The remote component's current state epoch (test/debug)."""
+        return self._channel.call(("component_epoch", component),
+                                  timeout=self._timeout)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def transport_counters(self) -> dict:
+        """Bytes moved over this servable's connection, both directions."""
+        return {"bytes_sent": self._channel.bytes_sent,
+                "bytes_received": self._channel.bytes_received}
+
+    def close(self) -> None:
+        """Shut down the remote process and the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._channel.send_control("shutdown")
+        except OSError:
+            pass
+        self._channel.close()
+        if self._process is not None:
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+
+    def __enter__(self) -> "RemoteServable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# State plane: socket backend with delta epochs
+# ---------------------------------------------------------------------------
+
+
+def _backend_worker_main(host: str, port: int) -> None:
+    """Entry point of a :class:`RemoteBackend` worker process.
+
+    Connects back to the parent's listener and serves two frame kinds:
+
+    - ``KIND_STATE`` — applied synchronously in the reader thread, so
+      every task frame sent after a publication observes it.  A full
+      frame with ``cache=True`` replaces the newest cached snapshot for
+      its ``(store, component)``; ``cache=False`` goes to a small
+      one-off cache for straggler epochs; a delta frame reconstructs
+      the new blob from the cached base via :func:`~repro.core.state.
+      apply_delta` (checksum-verified, bit-identical).
+    - ``KIND_TASK`` — the detached ref is resolved against the caches
+      *in the reader thread* (eviction can never race execution), then
+      the materialised task runs on a small pool and its outcome (or
+      error) is framed back under a write lock.
+    """
+    sock = connect_with_retry(host, port)
+    wlock = threading.Lock()
+    # (store_id, component) -> (epoch, blob, state): the newest snapshot.
+    newest: dict[tuple, tuple[int, bytes, Any]] = {}
+    # Straggler epochs, bounded: (store_id, component, epoch) -> state.
+    oneoff: OrderedDict[tuple, Any] = OrderedDict()
+    # (store_id, component) -> message from a failed state apply.
+    failed: dict[tuple, str] = {}
+
+    def reply(msg_id: int, kind: int, obj: Any) -> None:
+        with wlock:
+            try:
+                write_frame(sock, kind, msg_id, obj)
+            except OSError:
+                pass
+
+    def run(msg_id: int, task: ComponentTask, epoch: int | None) -> None:
+        try:
+            outcome = run_component_task(task)
+            if epoch is not None:
+                outcome.report.state_epoch = epoch
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            reply(msg_id, KIND_ERROR, _error_payload(exc))
+            return
+        reply(msg_id, KIND_OUTCOME, outcome)
+
+    def apply_state(obj) -> None:
+        if obj[0] == "full":
+            _, store_id, component, epoch, cache, blob = obj
+            group = (store_id, component)
+            state = pickle.loads(blob)
+            if not cache:
+                oneoff[(store_id, component, epoch)] = state
+                while len(oneoff) > 16:
+                    oneoff.popitem(last=False)
+                return
+            current = newest.get(group)
+            if current is None or epoch >= current[0]:
+                newest[group] = (epoch, blob, state)
+            failed.pop(group, None)
+        else:  # ("delta", store_id, component, base_epoch, epoch, delta)
+            _, store_id, component, base_epoch, epoch, delta = obj
+            group = (store_id, component)
+            current = newest.get(group)
+            if current is None or current[0] != base_epoch:
+                failed[group] = (
+                    f"delta for epoch {epoch} arrived with base "
+                    f"{base_epoch} but worker holds "
+                    f"{current[0] if current else None}")
+                return
+            blob = apply_delta(current[1], delta)
+            newest[group] = (epoch, blob, pickle.loads(blob))
+            failed.pop(group, None)
+
+    with ThreadPoolExecutor(max_workers=4,
+                            thread_name_prefix="repro-remote-task") as pool:
+        while True:
+            try:
+                frame = read_frame(sock)
+            except (ConnectionError, OSError):
+                break
+            if frame is None:
+                break
+            kind, msg_id, obj, _ = frame
+            if kind == KIND_CONTROL:
+                if obj == "shutdown":
+                    break
+                continue
+            if kind == KIND_STATE:
+                try:
+                    apply_state(obj)
+                except BaseException as exc:  # noqa: BLE001
+                    group = (obj[1], obj[2])
+                    failed[group] = str(exc)
+                continue
+            # KIND_TASK: resolve state here, in the reader, so a later
+            # publication can never evict a snapshot out from under a
+            # queued task.
+            task: ComponentTask = obj
+            epoch = None
+            ref = task.state_ref
+            if ref is not None and task.partition is None \
+                    and task.synopsis is None:
+                group = (ref.store_id, ref.component)
+                entry = newest.get(group)
+                if entry is not None and entry[0] == ref.epoch:
+                    state = entry[2]
+                else:
+                    state = oneoff.get(ref.key)
+                if state is None:
+                    detail = failed.get(group, "no snapshot for this epoch "
+                                        "has been published to this worker")
+                    reply(msg_id, KIND_ERROR,
+                          ("StaleEpochError",
+                           f"cannot resolve {ref.key}: {detail}", ""))
+                    continue
+                task = replace(task, partition=state.partition,
+                               synopsis=state.synopsis, state_ref=None)
+                epoch = ref.epoch
+            pool.submit(run, msg_id, task, epoch)
+    sock.close()
+
+
+class _WorkerLink:
+    """Parent-side handle on one connected backend worker."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.plock = threading.Lock()
+        self.pending: dict[int, Future] = {}
+        self.ids = itertools.count(1)
+        # (store_id, component) -> newest epoch this worker caches.
+        self.held: dict[tuple, int] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.reader = threading.Thread(target=self._read_loop, daemon=True,
+                                       name="repro-backend-reader")
+        self.reader.start()
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = read_frame(self.sock)
+                if frame is None:
+                    break
+                kind, msg_id, obj, nbytes = frame
+                self.bytes_received += nbytes
+                with self.plock:
+                    future = self.pending.pop(msg_id, None)
+                if future is None:
+                    continue
+                if kind == KIND_ERROR:
+                    future.set_exception(_raise_remote(obj))
+                else:
+                    future.set_result(obj)
+        except (ConnectionError, OSError) as exc:
+            self._fail_all(exc)
+        else:
+            self._fail_all(ConnectionError("backend worker disconnected"))
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self.plock:
+            pending = list(self.pending.values())
+            self.pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class RemoteBackend(ExecutionBackend):
+    """Socket execution backend: workers over TCP, state as delta epochs.
+
+    The wire analogue of :class:`~repro.serving.backends.
+    PersistentProcessBackend`: worker processes connect back over
+    localhost TCP, each task travels as a small frame holding a
+    detached :class:`~repro.core.state.StateRef`, and snapshots are
+    published out-of-band at most once per epoch per worker.  The new
+    part is *how* an epoch travels: on an epoch-to-epoch transition the
+    parent diffs the two serialized snapshots (content-defined
+    chunking, :func:`~repro.core.state.compute_delta`) and ships
+    whichever encoding is smaller — for incremental updates
+    (``add_points`` / ``change_points``) that is the delta, so state
+    bytes-on-wire scale with the size of the *update*, not the
+    synopsis.  Checksums on apply make reconstruction bit-identical or
+    loudly failed, never silently wrong.
+
+    Straggler epochs (a task pinned to an epoch older than the newest a
+    worker holds) are served by a one-off full publication that does
+    not displace the worker's newest snapshot — sent per straggler
+    task, since the worker's one-off cache is small and bounded.
+
+    Tasks must carry a live (pinned) ref or inline state; a detached
+    ref cannot be materialised parent-side and is rejected with
+    :class:`~repro.core.state.StaleEpochError`.  Tasks carrying a
+    ``runner`` are executed inline (runners are process-local
+    callables that do their own remoting).
+
+    :meth:`payload_counters` keeps the standard four keys —
+    ``state_bytes`` / ``state_publishes`` cover full and delta frames
+    combined — and :meth:`transport_counters` breaks the state plane
+    down further (full vs delta counts and bytes, raw socket totals).
+    """
+
+    name = "remote"
+
+    def __init__(self, n_workers: int = 2, start_method: str | None = None,
+                 retain_blobs: int = 4):
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self.retain_blobs = retain_blobs
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._links: list[_WorkerLink] = []
+        self._procs: list = []
+        self._rr = 0
+        # (store_id, component) -> OrderedDict[epoch -> serialized blob],
+        # bounded by retain_blobs: the delta bases.
+        self._blobs: dict[tuple, OrderedDict[int, bytes]] = {}
+        self._task_bytes = 0
+        self._tasks_shipped = 0
+        self._state_full_bytes = 0
+        self._state_full_publishes = 0
+        self._state_delta_bytes = 0
+        self._state_delta_publishes = 0
+
+    # -- worker management ----------------------------------------------
+
+    def _ensure_links(self) -> list[_WorkerLink]:
+        with self._lock:
+            if self._links:
+                return self._links
+            listener = bind_with_retry()
+            listener.settimeout(60.0)
+            port = listener.getsockname()[1]
+            import multiprocessing as mp
+
+            ctx = _preferred_mp_context(self.start_method) or mp
+            procs = [ctx.Process(target=_backend_worker_main,
+                                 args=("127.0.0.1", port), daemon=True)
+                     for _ in range(self.n_workers)]
+            for proc in procs:
+                proc.start()
+            links = []
+            try:
+                for _ in range(self.n_workers):
+                    sock, _ = listener.accept()
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY,
+                                    1)
+                    links.append(_WorkerLink(sock))
+            except OSError:
+                for proc in procs:
+                    proc.terminate()
+                listener.close()
+                raise
+            self._listener = listener
+            self._procs = procs
+            self._links = links
+            return self._links
+
+    def _next_link(self, links: list[_WorkerLink]) -> _WorkerLink:
+        with self._lock:
+            link = links[self._rr % len(links)]
+            self._rr += 1
+            return link
+
+    # -- state plane -----------------------------------------------------
+
+    def _epoch_blob(self, ref) -> bytes:
+        """The serialized snapshot for ``ref``'s epoch (memoised)."""
+        group = (ref.store_id, ref.component)
+        with self._lock:
+            cache = self._blobs.setdefault(group, OrderedDict())
+            blob = cache.get(ref.epoch)
+        if blob is None:
+            blob = pickle.dumps(ref.resolve())
+            with self._lock:
+                cache[ref.epoch] = blob
+                while len(cache) > self.retain_blobs:
+                    cache.popitem(last=False)
+        return blob
+
+    def _cached_blob(self, store_id: str, component: int,
+                     epoch: int) -> bytes | None:
+        with self._lock:
+            return self._blobs.get((store_id, component), {}).get(epoch)
+
+    def _state_frames_locked(self, link: _WorkerLink, ref) -> list[bytes]:
+        """Frames that must precede a task pinned to ``ref`` (wlock held).
+
+        Chooses, per worker, between nothing (epoch already held), a
+        delta from the worker's held epoch (preferred when smaller), a
+        cached full publication, or a one-off straggler publication.
+        ``link.held`` is only read and written under the link's write
+        lock, so the decision and the frames it produces are atomic
+        with respect to other submitters.
+        """
+        group = (ref.store_id, ref.component)
+        held = link.held.get(group)
+        if held == ref.epoch:
+            return []
+        blob = self._epoch_blob(ref)
+        if held is not None and ref.epoch < held:
+            # Straggler: one-off, does not displace the newest snapshot.
+            frame = encode_frame(KIND_STATE, 0, (
+                "full", ref.store_id, ref.component, ref.epoch, False,
+                blob))
+            with self._lock:
+                self._state_full_bytes += len(frame)
+                self._state_full_publishes += 1
+            return [frame]
+        full = encode_frame(KIND_STATE, 0, (
+            "full", ref.store_id, ref.component, ref.epoch, True, blob))
+        if held is not None:
+            base = self._cached_blob(ref.store_id, ref.component, held)
+            if base is not None:
+                delta = compute_delta(base, blob)
+                delta_frame = encode_frame(KIND_STATE, 0, (
+                    "delta", ref.store_id, ref.component, held, ref.epoch,
+                    delta))
+                if len(delta_frame) < len(full):
+                    link.held[group] = ref.epoch
+                    with self._lock:
+                        self._state_delta_bytes += len(delta_frame)
+                        self._state_delta_publishes += 1
+                    return [delta_frame]
+        link.held[group] = ref.epoch
+        with self._lock:
+            self._state_full_bytes += len(full)
+            self._state_full_publishes += 1
+        return [full]
+
+    # -- ExecutionBackend ------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        return [f.result() for f in [self.submit_task(t) for t in tasks]]
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        if task.runner is not None:
+            # Runners are process-local; run inline (base-class path).
+            return super().submit_task(task)
+        ref = task.state_ref
+        live = ref is not None and (ref.store is not None
+                                    or ref.pinned is not None)
+        if ref is not None and not live and task.partition is None \
+                and task.synopsis is None:
+            raise StaleEpochError(
+                f"detached ref {ref.key} cannot be materialised for the "
+                "wire; submit the task with its live (pinned) ref instead")
+        links = self._ensure_links()
+        link = self._next_link(links)
+        if live:
+            wire_task = replace(task, state_ref=ref.detached())
+            state_frames = None
+        else:
+            wire_task = task  # inline state ships whole
+            state_frames = []
+        task_payload = pickle.dumps(wire_task)
+        with self._lock:
+            self._task_bytes += len(task_payload)
+            self._tasks_shipped += 1
+        future: Future = Future()
+        future.set_running_or_notify_cancel()  # tied-request semantics
+        msg_id = next(link.ids)
+        with link.plock:
+            link.pending[msg_id] = future
+        try:
+            with link.wlock:
+                if state_frames is None:
+                    state_frames = self._state_frames_locked(link, ref)
+                for frame in state_frames:
+                    link.sock.sendall(frame)
+                    link.bytes_sent += len(frame)
+                link.bytes_sent += write_frame(link.sock, KIND_TASK, msg_id,
+                                               payload=task_payload)
+        except OSError as exc:
+            with link.plock:
+                link.pending.pop(msg_id, None)
+            future.set_exception(ConnectionError(
+                f"backend worker connection failed: {exc}"))
+        return future
+
+    def payload_counters(self) -> dict:
+        with self._lock:
+            return {
+                "task_bytes": self._task_bytes,
+                "state_bytes": self._state_full_bytes
+                + self._state_delta_bytes,
+                "tasks_shipped": self._tasks_shipped,
+                "state_publishes": self._state_full_publishes
+                + self._state_delta_publishes,
+            }
+
+    def transport_counters(self) -> dict:
+        """State-plane breakdown plus raw socket byte totals."""
+        with self._lock:
+            counters = {
+                "state_full_publishes": self._state_full_publishes,
+                "state_delta_publishes": self._state_delta_publishes,
+                "state_full_bytes": self._state_full_bytes,
+                "state_delta_bytes": self._state_delta_bytes,
+            }
+        counters["bytes_sent"] = sum(l.bytes_sent for l in self._links)
+        counters["bytes_received"] = sum(l.bytes_received
+                                         for l in self._links)
+        return counters
+
+    def close(self) -> None:
+        with self._lock:
+            links, procs, listener = self._links, self._procs, self._listener
+            self._links, self._procs, self._listener = [], [], None
+            self._blobs.clear()
+            self._rr = 0
+        for link in links:
+            try:
+                with link.wlock:
+                    write_frame(link.sock, KIND_CONTROL, 0, "shutdown")
+            except OSError:
+                pass
+        for link in links:
+            link.close()
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        if listener is not None:
+            listener.close()

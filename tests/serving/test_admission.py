@@ -19,6 +19,7 @@ from repro.serving.aio import (
     AsyncServingHarness,
     AsyncStallAdapter,
 )
+from repro.serving.envelope import RequestClass, ServingRequest
 from repro.serving.loadgen import LoadGenerator
 from repro.workloads.partitioning import split_ratings
 
@@ -101,6 +102,80 @@ class TestController:
             assert await ctl.acquire(deadline=0.1, waited=0.01) is None
             ctl.release()
             assert ctl.stats().shed_reasons == {"deadline_expired": 1}
+        asyncio.run(go())
+
+    def test_priority_dequeue_overtakes_best_effort(self):
+        """An accuracy-critical arrival jumps the best-effort queue.
+
+        Regression: the controller used to hand freed slots out in plain
+        FIFO arrival order, so request classes only mattered for
+        *shedding*, never for who ran next.
+        """
+        def req(cls):
+            return ServingRequest(payload=None, deadline=1.0,
+                                  request_class=cls)
+
+        async def go():
+            ctl = AdmissionController(max_pending=10, max_inflight=1)
+            assert await ctl.acquire(deadline=1.0) is None  # occupy the slot
+            order = []
+
+            async def admit(name, cls):
+                assert await ctl.acquire(request=req(cls)) is None
+                order.append(name)
+                ctl.release()
+
+            tasks = []
+            for name, cls in [("be1", RequestClass.BEST_EFFORT),
+                              ("be2", RequestClass.BEST_EFFORT),
+                              ("ac", RequestClass.ACCURACY_CRITICAL)]:
+                tasks.append(asyncio.ensure_future(admit(name, cls)))
+                await asyncio.sleep(0)  # pin arrival order in the queue
+            ctl.release()  # free the slot: dequeue order takes over
+            await asyncio.gather(*tasks)
+            # Urgent class first, FIFO within a class.
+            assert order == ["ac", "be1", "be2"]
+            assert ctl.inflight == 0
+        asyncio.run(go())
+
+    def test_priority_dequeue_stable_within_class(self):
+        async def go():
+            ctl = AdmissionController(max_pending=16, max_inflight=1)
+            assert await ctl.acquire(deadline=1.0) is None
+            order = []
+
+            async def admit(i):
+                assert await ctl.acquire(
+                    request=ServingRequest(payload=None, deadline=1.0)
+                ) is None
+                order.append(i)
+                ctl.release()
+
+            tasks = []
+            for i in range(5):
+                tasks.append(asyncio.ensure_future(admit(i)))
+                await asyncio.sleep(0)
+            ctl.release()
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2, 3, 4]
+        asyncio.run(go())
+
+    def test_cancelled_waiter_does_not_leak_slot(self):
+        async def go():
+            ctl = AdmissionController(max_pending=8, max_inflight=1)
+            assert await ctl.acquire(deadline=1.0) is None
+            doomed = asyncio.ensure_future(ctl.acquire(deadline=1.0))
+            live = asyncio.ensure_future(ctl.acquire(deadline=1.0))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            ctl.release()  # the freed slot must skip the cancelled waiter
+            assert await live is None
+            ctl.release()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            assert ctl.inflight == 0
+            assert await ctl.acquire(deadline=1.0) is None
+            ctl.release()
         asyncio.run(go())
 
     def test_deadline_aware_drop_at_dispatch(self):

@@ -364,3 +364,136 @@ class TestPerClassBreakdown:
         # harness-default ones refine fully.
         hit = [any(r.hit_deadline for r in reps) for reps in stats.reports]
         assert hit == [False, True, False, True]
+
+
+class CountingBackend(SequentialBackend):
+    """Sequential execution that keeps real payload counters.
+
+    Stands in for a remote backend in routing tests: every task is
+    pickled (as the wire would) and counted, so a run whose counters
+    stay at zero provably never dispatched through this backend.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._task_bytes = 0
+        self._tasks_shipped = 0
+
+    def run_tasks(self, tasks):
+        import pickle
+
+        tasks = list(tasks)
+        for task in tasks:
+            self._task_bytes += len(pickle.dumps(task))
+            self._tasks_shipped += 1
+        return super().run_tasks(tasks)
+
+    def payload_counters(self):
+        return {"task_bytes": self._task_bytes, "state_bytes": 0,
+                "tasks_shipped": self._tasks_shipped, "state_publishes": 0}
+
+
+class TestRoutedPayloadCounters:
+    """Payload accounting must follow the routing structure.
+
+    Regression: the harness used to read counters from ``service.
+    backend`` only.  A :class:`ReplicaGroup` has no ``backend``
+    attribute — its *replicas* do — so a harness run over a routed
+    service reported zero payload bytes while every replica backend was
+    busily shipping tasks.
+    """
+
+    def build_group(self, cf_adapter, small_ratings, n_replicas=2):
+        from repro.serving.router import ReplicaGroup
+
+        parts = split_ratings(small_ratings.matrix, 2)
+        config = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+        replicas = [AccuracyTraderService(cf_adapter, parts, config=config,
+                                          backend=CountingBackend())
+                    for _ in range(n_replicas)]
+        return ReplicaGroup(replicas)
+
+    def test_replica_backends_are_counted(self, cf_adapter, small_ratings,
+                                          cf_loadgen):
+        group = self.build_group(cf_adapter, small_ratings)
+        load = cf_loadgen.fixed([0.0, 0.01, 0.02, 0.03])
+        harness = ServingHarness(
+            group, deadline=0.05, backend=None,
+            clock_factory=simulated_clock_factory(500.0))
+        stats = harness.run_open_loop(load)
+        # 4 requests x 2 components, split round-robin over 2 replicas.
+        assert stats.tasks_shipped == load.n_requests * group.n_components
+        assert stats.task_bytes > 0
+        assert stats.bytes_per_request() > 0
+
+    def test_backend_walk_covers_a_2x2_cluster(self, cf_adapter,
+                                               small_ratings):
+        from repro.serving.harness import payload_backend_of
+        from repro.serving.router import ShardedService
+
+        cluster = ShardedService(
+            [self.build_group(cf_adapter, small_ratings)
+             for _ in range(2)],
+            backend=CountingBackend())
+        found = payload_backend_of(None, cluster)
+        # The cluster's own backend plus all four replicas', each once.
+        assert len(found) == 5
+        assert len({id(b) for b in found}) == 5
+        # A harness-level override joins the walk, deduplicated.
+        assert len(payload_backend_of(cluster.backend, cluster)) == 5
+        extra = SequentialBackend()
+        assert len(payload_backend_of(extra, cluster)) == 6
+
+
+class TestEmptyRunStats:
+    """All-shed and zero-arrival runs must report, not crash.
+
+    Regression: percentile helpers indexed into empty latency arrays,
+    so a run in which admission shed everything (a legitimate overload
+    outcome) raised ``IndexError`` instead of producing stats.
+    """
+
+    def test_thread_harness_empty_load(self, cf_serving_service):
+        import math
+
+        from repro.serving.loadgen import OpenLoopLoad
+
+        load = OpenLoopLoad(arrivals=np.zeros(0), requests=[])
+        harness = ServingHarness(cf_serving_service, deadline=0.05,
+                                 backend=SequentialBackend(),
+                                 clock_factory=simulated_clock_factory(500.0))
+        stats = harness.run_open_loop(load)
+        assert stats.n_requests == 0
+        for value in (stats.p50(), stats.p95(), stats.p99(),
+                      stats.mean_latency(), stats.component_tail(),
+                      stats.request_percentile(10.0)):
+            assert math.isnan(value)
+        assert stats.class_breakdown() == {}
+
+    def test_async_harness_all_shed(self, cf_serving_service, cf_loadgen):
+        import math
+
+        from repro.serving.admission import AdmissionController, ShedPolicy
+        from repro.serving.aio import AsyncServingHarness
+
+        class ShedEverything(ShedPolicy):
+            name = "shed_everything"
+
+            def on_arrival(self, snapshot):
+                return "overload_drill"
+
+        load = cf_loadgen.fixed([0.0, 0.005, 0.01])
+        harness = AsyncServingHarness(
+            cf_serving_service, deadline=0.05,
+            admission=AdmissionController(policies=[ShedEverything()]))
+        stats = harness.run_open_loop(load)
+        assert stats.n_requests == 0
+        assert stats.shed == 3
+        assert stats.shed_reasons == {"overload_drill": 3}
+        for value in (stats.p50(), stats.p99(), stats.mean_latency(),
+                      stats.component_tail()):
+            assert math.isnan(value)
+        breakdown = stats.class_breakdown()
+        assert breakdown["latency_critical"]["shed"] == 3
+        assert breakdown["latency_critical"]["served"] == 0
+        assert math.isnan(breakdown["latency_critical"]["p99_s"])

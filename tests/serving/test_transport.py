@@ -1,0 +1,446 @@
+"""The socket transport: framing, delta epochs, remote cluster serving.
+
+Four layers of pinning:
+
+- the wire framing itself (header layout, strictness, byte-exact
+  round-trips of :class:`ServingRequest` / :class:`ServingResponse` /
+  :class:`ProcessingReport` — sharing ``report_key`` with the envelope
+  suite so "survives the wire" means the same thing as "survives a
+  process boundary" there);
+- the content-defined delta layer (identity, small-edit deltas much
+  smaller than the full blob, checksum-verified application);
+- :class:`RemoteBackend` — bit-identical outcomes vs the in-process
+  reference, delta publications on epoch transitions, straggler
+  epochs, and the live-ref requirement;
+- :class:`RemoteServable` — a multi-process localhost cluster serving
+  CF and search bit-identically to the in-process
+  :class:`ShardedService`, updates propagating over the wire.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.builder import SynopsisConfig
+from repro.core.clock import SimulatedClock
+from repro.core.processor import ProcessingReport
+from repro.core.service import AccuracyTraderService
+from repro.core.state import (
+    DeltaMismatchError,
+    StaleEpochError,
+    apply_delta,
+    blob_digest,
+    chunk_blob,
+    compute_delta,
+)
+from repro.serving.backends import SequentialBackend
+from repro.serving.envelope import (
+    RequestClass,
+    ServingRequest,
+    ServingResponse,
+    as_envelope,
+)
+from repro.serving.router import ReplicaGroup, ShardedService
+from repro.serving.transport import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    RemoteBackend,
+    RemoteServable,
+    bind_with_retry,
+    connect_with_retry,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.workloads.partitioning import split_corpus, split_ratings
+from tests.serving.test_envelope import DEADLINE, report_key, sim_clocks
+
+CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
+SEARCH_CONFIG = SynopsisConfig(n_iters=20, target_ratio=20.0, seed=7)
+
+
+def request_key(env: ServingRequest) -> tuple:
+    """Every envelope field except the payload (compared separately)."""
+    return (env.deadline, env.request_class, env.priority, env.hedge,
+            env.request_id, env.arrival_time)
+
+
+def roundtrip(obj, kind=KIND_REQUEST, msg_id=7):
+    buf = encode_frame(kind, msg_id, obj)
+    got_kind, got_id, got, consumed = decode_frame(buf)
+    assert got_kind == kind and got_id == msg_id and consumed == len(buf)
+    return got
+
+
+class TestFraming:
+    def test_header_strictness(self):
+        frame = encode_frame(KIND_REQUEST, 1, "x")
+        with pytest.raises(ValueError):
+            decode_frame(frame[:4])                    # shorter than header
+        with pytest.raises(ValueError):
+            decode_frame(frame[:-1])                   # truncated mid-frame
+        with pytest.raises(ValueError):
+            decode_frame(b"XXXX" + frame[4:])          # bad magic
+        bad_version = frame[:4] + bytes([99]) + frame[5:]
+        with pytest.raises(ValueError):
+            decode_frame(bad_version)
+
+    def test_request_roundtrip_grid(self, cf_request, search_query):
+        """Envelopes survive the wire bit-identically across the option grid."""
+        for payload in (cf_request, search_query):
+            for cls in RequestClass:
+                for hedge in (None, False, True):
+                    for priority in (None, 0, 5):
+                        env = ServingRequest(
+                            payload=payload, deadline=DEADLINE,
+                            request_class=cls, priority=priority,
+                            hedge=hedge)
+                        got = roundtrip(env)
+                        assert request_key(got) == request_key(env)
+                        assert type(got.payload) is type(env.payload)
+
+    def test_cf_payload_bit_identical(self, cf_request):
+        env = as_envelope(cf_request, DEADLINE)
+        got = roundtrip(env)
+        assert np.array_equal(got.payload.active_items,
+                              env.payload.active_items)
+        assert np.array_equal(got.payload.active_vals,
+                              env.payload.active_vals)
+        assert list(got.payload.target_items) == \
+            list(env.payload.target_items)
+
+    def test_report_roundtrip(self):
+        report = ProcessingReport(
+            groups_ranked=[3, 1, 2], groups_processed=2, work_units=17.5,
+            synopsis_elapsed=0.003, total_elapsed=0.017, deadline=DEADLINE,
+            hit_deadline=True, state_epoch=4, request_id=99,
+            request_class="best_effort")
+        got = roundtrip(report, kind=KIND_RESPONSE)
+        assert report_key(got) == report_key(report)
+        assert (got.request_id, got.request_class) == (99, "best_effort")
+
+    def test_response_roundtrip(self, cf_serving_service, cf_request):
+        env = as_envelope(cf_request, DEADLINE)
+        resp = cf_serving_service.serve(env, clocks=sim_clocks(2))
+        got: ServingResponse = roundtrip(resp, kind=KIND_RESPONSE)
+        assert [report_key(r) for r in got.reports] == \
+            [report_key(r) for r in resp.reports]
+        assert got.state_epochs == resp.state_epochs
+        assert got.request.request_id == env.request_id
+        assert got.answer.numer == resp.answer.numer
+        assert got.answer.denom == resp.answer.denom
+
+    def test_socket_read_write(self):
+        listener = bind_with_retry()
+        port = listener.getsockname()[1]
+        client = connect_with_retry("127.0.0.1", port)
+        server, _ = listener.accept()
+        sent = write_frame(client, KIND_REQUEST, 42, {"q": [1, 2, 3]})
+        kind, msg_id, obj, nbytes = read_frame(server)
+        assert (kind, msg_id, obj) == (KIND_REQUEST, 42, {"q": [1, 2, 3]})
+        assert nbytes == sent
+        client.close()
+        assert read_frame(server) is None  # clean EOF at a boundary
+        for sock in (server, listener):
+            sock.close()
+
+
+class TestBindRetry:
+    def test_port_zero_never_conflicts(self):
+        socks = [bind_with_retry() for _ in range(4)]
+        assert len({s.getsockname()[1] for s in socks}) == 4
+        for s in socks:
+            s.close()
+
+    def test_retries_until_port_frees(self):
+        holder = bind_with_retry()
+        port = holder.getsockname()[1]
+
+        def release():
+            time.sleep(0.15)
+            holder.close()
+
+        threading.Thread(target=release, daemon=True).start()
+        sock = bind_with_retry(port=port, retries=20, backoff=0.05)
+        assert sock.getsockname()[1] == port
+        sock.close()
+
+    def test_gives_up_with_address_in_use(self):
+        holder = bind_with_retry()
+        port = holder.getsockname()[1]
+        with pytest.raises(OSError):
+            bind_with_retry(port=port, retries=2, backoff=0.01)
+        holder.close()
+
+
+class TestStateDelta:
+    def blob(self, seed, n=60_000):
+        return np.random.default_rng(seed).integers(
+            0, 256, size=n, dtype=np.uint8).tobytes()
+
+    def test_chunks_cover_blob(self):
+        blob = self.blob(0)
+        chunks = chunk_blob(blob)
+        assert b"".join(c for _, c in chunks) == blob
+        assert all(d == blob_digest(c) for d, c in chunks)
+
+    def test_identity_delta_ships_no_literals(self):
+        blob = self.blob(1)
+        delta = compute_delta(blob, blob)
+        assert delta.literal_bytes == 0
+        assert apply_delta(blob, delta) == blob
+
+    def test_small_edit_small_delta(self):
+        base = self.blob(2)
+        edited = bytearray(base)
+        edited[30_000:30_200] = self.blob(3, 200)
+        target = bytes(edited)
+        delta = compute_delta(base, target)
+        assert apply_delta(base, delta) == target
+        # The whole point: an O(edit)-sized delta, not an O(blob) one.
+        assert delta.literal_bytes < len(target) // 4
+        assert delta.wire_cost() < len(target) // 2
+
+    def test_wrong_base_raises(self):
+        base, other = self.blob(4), self.blob(5)
+        delta = compute_delta(base, other)
+        with pytest.raises(DeltaMismatchError):
+            apply_delta(other, delta)
+
+    def test_empty_and_tiny_blobs(self):
+        for target in (b"", b"x", b"y" * 300):
+            delta = compute_delta(b"", target)
+            assert apply_delta(b"", delta) == target
+
+
+@pytest.fixture(scope="module")
+def remote_backend():
+    backend = RemoteBackend(n_workers=2)
+    yield backend
+    backend.close()
+
+
+class TestRemoteBackend:
+    def test_bit_identical_to_sequential(self, cf_serving_service,
+                                         cf_request, remote_backend):
+        env = as_envelope(cf_request, DEADLINE)
+        ref_outcomes = SequentialBackend().run_tasks(
+            cf_serving_service.build_tasks(env, clocks=sim_clocks(2)))
+        got_outcomes = remote_backend.run_tasks(
+            cf_serving_service.build_tasks(env, clocks=sim_clocks(2)))
+        for ref, got in zip(ref_outcomes, got_outcomes):
+            assert got.component == ref.component
+            assert report_key(got.report) == report_key(ref.report)
+            assert got.result.numer == ref.result.numer
+            assert got.result.denom == ref.result.denom
+
+    def test_state_published_once_per_epoch_per_worker(self, small_ratings,
+                                                       cf_adapter,
+                                                       cf_request):
+        service = AccuracyTraderService(
+            cf_adapter, split_ratings(small_ratings.matrix, 2),
+            config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env = as_envelope(cf_request, DEADLINE)
+            for _ in range(3):
+                backend.run_tasks(service.build_tasks(
+                    env, clocks=sim_clocks(2)))
+            counters = backend.payload_counters()
+            # One worker, two components, three requests: exactly two
+            # full publications — state cost is per epoch, not per task.
+            assert counters["state_publishes"] == 2
+            assert counters["tasks_shipped"] == 6
+            assert counters["task_bytes"] < counters["state_bytes"]
+        finally:
+            backend.close()
+
+    def test_delta_epoch_on_update(self, small_ratings, cf_adapter,
+                                   cf_request):
+        parts = split_ratings(small_ratings.matrix, 2)
+        service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env = as_envelope(cf_request, DEADLINE)
+            backend.run_tasks(service.build_tasks(env, clocks=sim_clocks(2)))
+            before = backend.transport_counters()
+            assert before["state_delta_publishes"] == 0
+            service.change_points(0, parts[0], np.array([0, 1]))
+            outcomes = backend.run_tasks(
+                service.build_tasks(env, clocks=sim_clocks(2)))
+            after = backend.transport_counters()
+            # The epoch transition travelled as a delta, cheaper than
+            # the full snapshot it replaced, and answers match the
+            # in-process reference over the new epoch.
+            assert after["state_delta_publishes"] == 1
+            assert after["state_full_publishes"] == \
+                before["state_full_publishes"]
+            assert 0 < after["state_delta_bytes"] < \
+                before["state_full_bytes"] / 2
+            ref = SequentialBackend().run_tasks(
+                service.build_tasks(env, clocks=sim_clocks(2)))
+            for got, want in zip(outcomes, ref):
+                assert report_key(got.report) == report_key(want.report)
+        finally:
+            backend.close()
+
+    def test_straggler_epoch_one_off(self, small_ratings, cf_adapter,
+                                     cf_request):
+        parts = split_ratings(small_ratings.matrix, 2)
+        service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env = as_envelope(cf_request, DEADLINE)
+            old_tasks = service.build_tasks(env, clocks=sim_clocks(2))
+            service.change_points(0, parts[0], np.array([0, 1]))
+            new_tasks = service.build_tasks(env, clocks=sim_clocks(2))
+            new_out = backend.run_tasks(new_tasks)
+            old_out = backend.run_tasks(old_tasks)  # pinned to old epoch
+            assert old_out[0].report.state_epoch == \
+                old_tasks[0].state_ref.epoch
+            assert new_out[0].report.state_epoch == \
+                new_tasks[0].state_ref.epoch
+            assert new_out[0].report.state_epoch > \
+                old_out[0].report.state_epoch
+        finally:
+            backend.close()
+
+    def test_detached_ref_rejected(self, cf_serving_service, cf_request,
+                                   remote_backend):
+        env = as_envelope(cf_request, DEADLINE)
+        task = cf_serving_service.build_tasks(env, clocks=sim_clocks(2))[0]
+        detached = pickle.loads(pickle.dumps(task))
+        detached.partition = None
+        detached.synopsis = None
+        with pytest.raises(StaleEpochError):
+            remote_backend.submit_task(detached)
+
+    def test_runner_tasks_run_inline(self, remote_backend):
+        ran = []
+
+        def runner(task):
+            ran.append(task.component)
+            return "local"
+
+        from repro.serving.backends import ComponentTask
+
+        task = ComponentTask(component=3, adapter=None, request=None,
+                             deadline=1.0, runner=runner)
+        assert remote_backend.submit_task(task).result() == "local"
+        assert ran == [3]
+
+    def test_resolve_backend_knows_remote(self):
+        from repro.serving.backends import resolve_backend
+
+        backend = resolve_backend("remote")
+        assert isinstance(backend, RemoteBackend)
+        backend.close()
+
+
+@pytest.fixture(scope="module")
+def cf_parts(small_ratings):
+    return split_ratings(small_ratings.matrix, 2)
+
+
+@pytest.fixture(scope="module")
+def cf_remote_cluster(cf_adapter, cf_parts):
+    """Two shards, each a service in its own OS process."""
+    remotes = [RemoteServable.spawn(AccuracyTraderService, cf_adapter,
+                                    [part], config=CF_CONFIG)
+               for part in cf_parts]
+    cluster = ShardedService([ReplicaGroup([r]) for r in remotes])
+    yield cluster
+    for remote in remotes:
+        remote.close()
+
+
+@pytest.fixture(scope="module")
+def cf_local_cluster(cf_adapter, cf_parts):
+    return ShardedService([
+        ReplicaGroup([AccuracyTraderService(cf_adapter, [part],
+                                            config=CF_CONFIG)])
+        for part in cf_parts])
+
+
+class TestRemoteCluster:
+    def test_cf_bit_identical_to_in_process(self, cf_local_cluster,
+                                            cf_remote_cluster, cf_request):
+        env = as_envelope(cf_request, DEADLINE)
+        local = cf_local_cluster.serve(env, clocks=sim_clocks(2))
+        remote = cf_remote_cluster.serve(env, clocks=sim_clocks(2))
+        assert remote.answer.numer == local.answer.numer
+        assert remote.answer.denom == local.answer.denom
+        assert remote.answer.active_mean == local.answer.active_mean
+        assert [report_key(r) for r in remote.reports] == \
+            [report_key(r) for r in local.reports]
+        assert remote.state_epochs == local.state_epochs
+
+    def test_cf_exact_matches(self, cf_local_cluster, cf_remote_cluster,
+                              cf_request):
+        local = cf_local_cluster.exact(cf_request)
+        remote = cf_remote_cluster.exact(cf_request)
+        assert remote.numer == local.numer
+        assert remote.denom == local.denom
+
+    def test_search_bit_identical_to_in_process(self, small_corpus,
+                                                search_adapter,
+                                                search_query):
+        parts = split_corpus(small_corpus.partition, 2)
+        local = ShardedService([
+            ReplicaGroup([AccuracyTraderService(
+                search_adapter, [part], config=SEARCH_CONFIG,
+                i_max_fraction=0.4)])
+            for part in parts])
+        remotes = [RemoteServable.spawn(
+            AccuracyTraderService, search_adapter, [part],
+            config=SEARCH_CONFIG, i_max_fraction=0.4) for part in parts]
+        try:
+            remote = ShardedService([ReplicaGroup([r]) for r in remotes])
+            env = as_envelope(search_query, DEADLINE)
+            base = local.serve(env, clocks=sim_clocks(2))
+            got = remote.serve(env, clocks=sim_clocks(2))
+            assert [(h.doc_id, h.score) for h in got.answer] == \
+                [(h.doc_id, h.score) for h in base.answer]
+            assert [report_key(r) for r in got.reports] == \
+                [report_key(r) for r in base.reports]
+        finally:
+            for r in remotes:
+                r.close()
+
+    def test_update_propagates_over_the_wire(self, cf_local_cluster,
+                                             cf_remote_cluster, cf_parts,
+                                             cf_request):
+        changed = np.array([0, 1])
+        local_epochs = cf_local_cluster.shards[0].change_points(
+            0, cf_parts[0], changed)
+        cf_remote_cluster.shards[0].change_points(0, cf_parts[0], changed)
+        remote_epoch = \
+            cf_remote_cluster.shards[0].replicas[0].component_epoch(0)
+        assert remote_epoch == \
+            cf_local_cluster.shards[0].replicas[0].component_epoch(0)
+        env = as_envelope(cf_request, DEADLINE)
+        local = cf_local_cluster.serve(env, clocks=sim_clocks(2))
+        remote = cf_remote_cluster.serve(env, clocks=sim_clocks(2))
+        assert remote.answer.numer == local.answer.numer
+        assert remote.state_epochs == local.state_epochs
+        assert local_epochs is not None
+
+    def test_remote_spawn_failure_surfaces_traceback(self, cf_adapter):
+        with pytest.raises(RuntimeError, match="failed to build"):
+            RemoteServable.spawn(AccuracyTraderService, cf_adapter, [])
+
+    def test_transport_counters_grow(self, cf_remote_cluster, cf_request):
+        replica = cf_remote_cluster.shards[0].replicas[0]
+        before = replica.transport_counters()
+        cf_remote_cluster.serve(as_envelope(cf_request, DEADLINE),
+                                clocks=sim_clocks(2))
+        after = replica.transport_counters()
+        assert after["bytes_sent"] > before["bytes_sent"]
+        assert after["bytes_received"] > before["bytes_received"]
