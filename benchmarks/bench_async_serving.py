@@ -46,6 +46,7 @@ from repro.serving import (
     SequentialBackend,
     ServingHarness,
     ShardedService,
+    as_envelope,
 )
 from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.corpus import CorpusConfig, generate_corpus
@@ -148,12 +149,13 @@ def check_bit_identical(scale: Scale, matrix) -> dict:
     with cf_svc, AsyncExecutionBackend() as backend:
         for i in range(4):
             request = loadgen.request_factory(i, np.random.default_rng(i))
-            base, _ = cf_svc.process(request, 0.05,
-                                     clocks=[clocks(c) for c in range(4)],
-                                     backend=SequentialBackend())
-            ans, _ = asyncio.run(cf_svc.aprocess(
-                request, 0.05, clocks=[clocks(c) for c in range(4)],
-                backend=backend))
+            base = cf_svc.serve(as_envelope(request, 0.05),
+                                clocks=[clocks(c) for c in range(4)],
+                                backend=SequentialBackend()).answer
+            ans = asyncio.run(cf_svc.aserve(
+                as_envelope(request, 0.05),
+                clocks=[clocks(c) for c in range(4)],
+                backend=backend)).answer
             ok &= (ans.numer == base.numer and ans.denom == base.denom)
     outcome["cf"] = bool(ok)
 
@@ -168,12 +170,13 @@ def check_bit_identical(scale: Scale, matrix) -> dict:
     query = SearchQuery(terms=corpus.partition.tokens_of(0)[:2], k=10)
     ok = True
     with search_svc, AsyncExecutionBackend() as backend:
-        base, _ = search_svc.process(query, 0.05,
-                                     clocks=[clocks(c) for c in range(4)],
-                                     backend=SequentialBackend())
-        ans, _ = asyncio.run(search_svc.aprocess(
-            query, 0.05, clocks=[clocks(c) for c in range(4)],
-            backend=backend))
+        base = search_svc.serve(as_envelope(query, 0.05),
+                                clocks=[clocks(c) for c in range(4)],
+                                backend=SequentialBackend()).answer
+        ans = asyncio.run(search_svc.aserve(
+            as_envelope(query, 0.05),
+            clocks=[clocks(c) for c in range(4)],
+            backend=backend)).answer
         ok &= ([(h.doc_id, h.score) for h in ans]
                == [(h.doc_id, h.score) for h in base])
     outcome["search"] = bool(ok)

@@ -48,6 +48,7 @@ from repro.serving import (
     SequentialBackend,
     ServingHarness,
     ShardedService,
+    as_envelope,
 )
 from repro.workloads.corpus import CorpusConfig, generate_corpus
 from repro.workloads.movielens import MovieLensConfig, generate_ratings
@@ -168,7 +169,8 @@ def check_rebalance_cf(matrix) -> dict:
     loadgen = make_loadgen(matrix)
     request = loadgen.request_factory(0, np.random.default_rng(0))
     with svc:
-        before, _ = svc.process(request, DEADLINE_S, clocks=sim_clocks(4))
+        before = svc.serve(as_envelope(request, DEADLINE_S),
+                           clocks=sim_clocks(4)).answer
         # In-flight across the move: dispatch-time tasks drained after.
         pinned = [t for s in range(4)
                   for t in svc.shards[s].replicas[0].build_tasks(
@@ -179,9 +181,10 @@ def check_rebalance_cf(matrix) -> dict:
         pinned_ok = (drained.numer == before.numer
                      and drained.denom == before.denom)
         with build_cf_cluster(matrix, svc.component_map) as cold:
-            live, _ = svc.process(request, DEADLINE_S, clocks=sim_clocks(4))
-            coldans, _ = cold.process(request, DEADLINE_S,
-                                      clocks=sim_clocks(4))
+            live = svc.serve(as_envelope(request, DEADLINE_S),
+                             clocks=sim_clocks(4)).answer
+            coldans = cold.serve(as_envelope(request, DEADLINE_S),
+                                 clocks=sim_clocks(4)).answer
         rebuild_ok = (live.numer == coldans.numer
                       and live.denom == coldans.denom)
     return {"workload": "cf", "n_moved": report.n_moved,
@@ -201,7 +204,8 @@ def check_rebalance_search(scale: Scale) -> dict:
         return [(h.doc_id, h.score) for h in answer]
 
     with svc:
-        before, _ = svc.process(query, DEADLINE_S, clocks=sim_clocks(3))
+        before = svc.serve(as_envelope(query, DEADLINE_S),
+                           clocks=sim_clocks(3)).answer
         pinned = [t for s in range(3)
                   for t in svc.shards[s].replicas[0].build_tasks(
                       query, DEADLINE_S, sim_clocks(1))]
@@ -211,9 +215,10 @@ def check_rebalance_search(scale: Scale) -> dict:
         pinned_ok = hits(drained) == hits(before)
         with build_search_cluster(corpus.partition,
                                   svc.component_map) as cold:
-            live, _ = svc.process(query, DEADLINE_S, clocks=sim_clocks(3))
-            coldans, _ = cold.process(query, DEADLINE_S,
-                                      clocks=sim_clocks(3))
+            live = svc.serve(as_envelope(query, DEADLINE_S),
+                             clocks=sim_clocks(3)).answer
+            coldans = cold.serve(as_envelope(query, DEADLINE_S),
+                                 clocks=sim_clocks(3)).answer
         rebuild_ok = hits(live) == hits(coldans)
     return {"workload": "search", "n_moved": report.n_moved,
             "affected_components": report.affected_components,

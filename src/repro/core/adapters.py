@@ -36,6 +36,8 @@ from repro.search.partition import SearchPartition
 
 __all__ = ["ServiceAdapter", "CFAdapter", "CFRequest", "SearchAdapter", "SearchQuery"]
 
+_NO_MEMBERS = np.empty(0, dtype=np.int64)  # shared empty-group sentinel
+
 
 class _ComponentMemo:
     """Small LRU of built service components, keyed by partition identity.
@@ -112,6 +114,17 @@ class ServiceAdapter(abc.ABC):
     def initial_result(self, synopsis, request) -> tuple[Any, np.ndarray]:
         """Process the synopsis: (result state, per-group correlations)."""
 
+    def initial_result_batch(self, synopsis, requests) -> list[tuple[Any, np.ndarray]]:
+        """Stage 1 for a whole batch of requests against one synopsis.
+
+        Adapters override this when they can answer a coalesced dispatch
+        batch in one vectorized pass; results must be bit-identical to
+        per-request :meth:`initial_result` calls, with fully independent
+        state objects per request.  Default: the per-request loop.
+        """
+        return [self.initial_result(synopsis, request)
+                for request in requests]
+
     @abc.abstractmethod
     def refine(self, partition, synopsis, group_id: int, request, state) -> Any:
         """Improve the result state with group ``group_id``'s originals."""
@@ -167,6 +180,94 @@ class CFRequest:
         self.active_vals = self.active_vals[order]
         self.target_items = [int(i) for i in self.target_items]
         self.active_mean = float(self.active_vals.mean()) if self.active_vals.size else 0.0
+
+
+@dataclass
+class CFStage1State:
+    """Vectorized Algorithm 1 state for one CF request on one component.
+
+    The per-group synopsis contributions live in dense ``(m, T)`` arrays
+    (groups x unique target items) instead of one ``CFPrediction`` dict
+    per group; refined groups are recorded as sparse ``overrides`` whose
+    exact partial sums replace their synopsis row at :meth:`merge` time.
+    Bit-identical to the dict-of-predictions representation (which the
+    scalar oracle still produces): scatter fills the same single-product
+    cells, and the merge accumulates each item's column with ``bincount``
+    in the same ascending group order ``finalize``'s absorb loop used.
+
+    Supports enough of the mapping protocol (iteration over group ids,
+    ``state[g]`` materialising that group's ``CFPrediction``) to stay
+    introspectable.
+    """
+
+    active_mean: float
+    targets: np.ndarray   # sorted unique target items, shape (T,)
+    numer: np.ndarray     # (m, T) synopsis partial numerators
+    denom: np.ndarray     # (m, T) synopsis partial denominators
+    present: np.ndarray   # (m, T) bool: group contributed to the item
+    overrides: dict[int, CFPrediction] = field(default_factory=dict)
+
+    @staticmethod
+    def zeros(active_mean: float, targets: np.ndarray,
+              m: int) -> "CFStage1State":
+        t = targets.size
+        return CFStage1State(
+            active_mean=active_mean, targets=targets,
+            numer=np.zeros((m, t)), denom=np.zeros((m, t)),
+            present=np.zeros((m, t), dtype=bool))
+
+    def __len__(self) -> int:
+        return self.numer.shape[0]
+
+    def __iter__(self):
+        return iter(range(self.numer.shape[0]))
+
+    def __getitem__(self, group_id: int) -> CFPrediction:
+        pred = self.overrides.get(group_id)
+        if pred is not None:
+            return pred
+        pred = CFPrediction(active_mean=self.active_mean)
+        for t in np.flatnonzero(self.present[group_id]).tolist():
+            item = int(self.targets[t])
+            pred.numer[item] = float(self.numer[group_id, t])
+            pred.denom[item] = float(self.denom[group_id, t])
+        return pred
+
+    def merge(self) -> CFPrediction:
+        """All groups' contributions merged, refined rows overriding.
+
+        Each item's column is accumulated with ``bincount`` over
+        group-major keys — strictly ascending group order, exactly the
+        order the sequential absorb loop adds contributions in, so the
+        sums are bit-identical.
+        """
+        merged = CFPrediction(active_mean=self.active_mean)
+        m, t = self.numer.shape
+        if m == 0 or t == 0:
+            return merged
+        numer, denom, present = self.numer, self.denom, self.present
+        if self.overrides:
+            numer, denom = numer.copy(), denom.copy()
+            present = present.copy()
+            slot = {int(item): k for k, item in
+                    enumerate(self.targets.tolist())}
+            for g, pred in self.overrides.items():
+                numer[g] = 0.0
+                denom[g] = 0.0
+                present[g] = False
+                for item, nv in pred.numer.items():
+                    k = slot[item]
+                    numer[g, k] = nv
+                    denom[g, k] = pred.denom[item]
+                    present[g, k] = True
+        keys = np.tile(np.arange(t), m)
+        tot_n = np.bincount(keys, weights=numer.ravel(), minlength=t)
+        tot_d = np.bincount(keys, weights=denom.ravel(), minlength=t)
+        for k in np.flatnonzero(present.any(axis=0)).tolist():
+            item = int(self.targets[k])
+            merged.numer[item] = float(tot_n[k])
+            merged.denom[item] = float(tot_d[k])
+        return merged
 
 
 class CFAdapter(ServiceAdapter):
@@ -255,6 +356,60 @@ class CFAdapter(ServiceAdapter):
 
     def initial_result(self, synopsis, request: CFRequest):
         payload: CFComponent = synopsis.payload
+        weights = payload.weights_for(request.active_items, request.active_vals,
+                                      np.arange(payload.n_users))
+        return self._stage1_state(payload, weights, request), np.abs(weights)
+
+    def initial_result_batch(self, synopsis, requests):
+        """Vectorized stage 1 for a whole batch: one Pearson sweep of the
+        aggregated matrix answers every request (bit-identical to
+        per-request :meth:`initial_result`)."""
+        from repro.recommender import similarity
+
+        payload: CFComponent = synopsis.payload
+        weights = similarity.pearson_weights_batch(
+            payload.matrix,
+            [(r.active_items, r.active_vals) for r in requests])
+        return [(self._stage1_state(payload, weights[k], request),
+                 np.abs(weights[k]))
+                for k, request in enumerate(requests)]
+
+    @staticmethod
+    def _stage1_state(payload: CFComponent, weights: np.ndarray,
+                      request: CFRequest) -> CFStage1State:
+        """Per-group synopsis contributions on the target items.
+
+        Each aggregated user rates an item at most once, so every
+        (group, target) cell is a single product — one gather over the
+        aggregated matrix scatters all groups' partial sums straight
+        into the dense :class:`CFStage1State` arrays.
+        """
+        matrix = payload.matrix
+        m = payload.n_users
+        targets = (np.unique(np.asarray(request.target_items, dtype=np.int64))
+                   if request.target_items else np.empty(0, dtype=np.int64))
+        state = CFStage1State.zeros(request.active_mean, targets, m)
+        if targets.size == 0 or matrix.nnz == 0:
+            return state
+        items = matrix.item_ids
+        pos = np.searchsorted(targets, items)
+        hit = targets[np.minimum(pos, targets.size - 1)] == items
+        if not np.any(hit):
+            return state
+        gh = np.repeat(np.arange(m), np.diff(matrix.indptr))[hit]
+        keep = weights[gh] != 0.0
+        gh = gh[keep]
+        wh = weights[gh]
+        th = pos[hit][keep]
+        state.numer[gh, th] = wh * (matrix.values[hit][keep]
+                                    - payload.user_means[gh])
+        state.denom[gh, th] = np.abs(wh)
+        state.present[gh, th] = True
+        return state
+
+    def initial_result_scalar(self, synopsis, request: CFRequest):
+        """Per-group reference loop for :meth:`initial_result` (oracle)."""
+        payload: CFComponent = synopsis.payload
         m = payload.n_users
         weights = payload.weights_for(request.active_items, request.active_vals,
                                       np.arange(m))
@@ -278,13 +433,19 @@ class CFAdapter(ServiceAdapter):
                request: CFRequest, state):
         comp = self._component(partition)
         members = synopsis.index.members(group_id)
-        state[group_id] = comp.partial_prediction(
+        pred = comp.partial_prediction(
             request.active_items, request.active_vals, request.target_items,
             request.active_mean, user_ids=members,
         )
+        if isinstance(state, CFStage1State):
+            state.overrides[group_id] = pred
+        else:  # the scalar oracle's dict-of-predictions representation
+            state[group_id] = pred
         return state
 
     def finalize(self, state, request: CFRequest) -> CFPrediction:
+        if isinstance(state, CFStage1State):
+            return state.merge()
         merged = CFPrediction(active_mean=request.active_mean)
         for contrib in state.values():
             merged.absorb(contrib)
@@ -384,17 +545,39 @@ class SearchAdapter(ServiceAdapter):
     def initial_result(self, synopsis, request: SearchQuery):
         payload: SearchComponent = synopsis.payload
         hits = payload.search(request.terms)
+        return self._stage1_from_hits(synopsis, hits)
+
+    def initial_result_batch(self, synopsis, requests):
+        """Vectorized stage 1 for a batch: one scoring pass over the
+        synopsis index answers every query (bit-identical to per-request
+        :meth:`initial_result`)."""
+        from repro.search.scoring import score_queries
+
+        payload: SearchComponent = synopsis.payload
+        score_maps = score_queries(payload.index,
+                                   [r.terms for r in requests])
+        out = []
+        for scores in score_maps:
+            hits = [SearchHit.make(d, s) for d, s in scores.items()]
+            hits.sort()
+            out.append(self._stage1_from_hits(synopsis, hits))
+        return out
+
+    @staticmethod
+    def _stage1_from_hits(synopsis, hits: list[SearchHit]):
         m = synopsis.n_aggregated
         correlations = np.zeros(m)
+        # Initial approximate result: members of matching groups inherit
+        # their group's score (the synopsis cannot distinguish members
+        # yet).  Stored as one ``(members, score)`` pair per group — all
+        # members share the group score, so per-member hit objects are
+        # deferred to the few pad slots :meth:`finalize` actually fills.
+        estimates: dict[int, tuple[np.ndarray, float]] = {
+            g: (_NO_MEMBERS, 0.0) for g in range(m)}
         for h in hits:
             correlations[h.doc_id] = h.score
-        # Initial approximate result: members of matching groups inherit
-        # their group's score (the synopsis cannot distinguish members yet).
-        estimates: dict[int, list[SearchHit]] = {g: [] for g in range(m)}
-        for h in hits:
-            members = synopsis.index.members(h.doc_id)
-            estimates[h.doc_id] = [SearchHit.make(int(d), h.score)
-                                   for d in members]
+            estimates[h.doc_id] = (synopsis.index.members(h.doc_id),
+                                   h.score)
         state = {"refined": {}, "estimated": estimates}
         return state, correlations
 
@@ -421,8 +604,22 @@ class SearchAdapter(ServiceAdapter):
         refined = merge_topk(state["refined"].values(), request.k)
         if len(refined) >= request.k:
             return refined
-        pad = merge_topk(state["estimated"].values(),
-                         request.k - len(refined))
+        need = request.k - len(refined)
+        # Expand the lazy (members, score) estimates only for the top
+        # `need` pad slots: every member of a group shares the group's
+        # score and a doc belongs to exactly one group, so one lexsort
+        # over (neg score, doc id) is the same total order merge_topk
+        # would produce over fully materialised member hits.
+        groups = [(members, score) for members, score
+                  in state["estimated"].values() if members.size]
+        pad: list[SearchHit] = []
+        if need > 0 and groups:
+            ids = np.concatenate([members for members, _ in groups])
+            neg = np.concatenate([np.full(members.size, -float(score))
+                                  for members, score in groups])
+            top = np.lexsort((ids, neg))[:need]
+            pad = [SearchHit(neg_score=float(neg[i]), doc_id=int(ids[i]))
+                   for i in top.tolist()]
         seen = {h.doc_id for h in refined}
         return refined + [h for h in pad if h.doc_id not in seen]
 

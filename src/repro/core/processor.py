@@ -25,7 +25,7 @@ from repro.core.clock import DeadlineClock, WallClock
 from repro.core.synopsis import Synopsis
 
 __all__ = ["ProcessingReport", "AccuracyAwareProcessor", "refine_to_depth",
-           "process_component", "effective_i_max"]
+           "process_component", "process_component_batch", "effective_i_max"]
 
 
 def effective_i_max(n_groups: int, i_max: int | None,
@@ -70,6 +70,46 @@ def process_component(adapter: ServiceAdapter, partition, synopsis: Synopsis,
     proc = AccuracyAwareProcessor(adapter, partition, synopsis,
                                   i_max=i_max, i_max_fraction=i_max_fraction)
     return proc.process(request, deadline, clock=clock, start_time=start_time)
+
+
+def process_component_batch(adapter: ServiceAdapter, partition,
+                            synopsis: Synopsis, requests, deadlines,
+                            clocks=None,
+                            i_max: int | None = None,
+                            i_max_fraction: float | None = None,
+                            start_times=None) -> list:
+    """Run Algorithm 1 for several requests against one state snapshot.
+
+    The batched counterpart of :func:`process_component`: stage 1 runs
+    once for the whole batch through the adapter's vectorized
+    ``initial_result_batch`` (per-request loop for adapters without
+    one), then stage-2 refinement proceeds per request with its own
+    clock, deadline and report.  Results and reports are bit-identical
+    to per-request :func:`process_component` calls under deterministic
+    clocks — this is what lets a coalesced dispatch batch stand in for
+    unbatched execution.
+
+    Returns one ``(result, report)`` pair per request, in order.
+    """
+    requests = list(requests)
+    n = len(requests)
+    deadlines = list(deadlines)
+    clocks = list(clocks) if clocks is not None else [None] * n
+    start_times = (list(start_times) if start_times is not None
+                   else [None] * n)
+    if not (len(deadlines) == len(clocks) == len(start_times) == n):
+        raise ValueError("requests/deadlines/clocks/start_times length mismatch")
+    initials = (adapter.initial_result_batch(synopsis, requests)
+                if n > 1 else None)
+    out = []
+    for k, request in enumerate(requests):
+        proc = AccuracyAwareProcessor(adapter, partition, synopsis,
+                                      i_max=i_max,
+                                      i_max_fraction=i_max_fraction)
+        out.append(proc.process(request, deadlines[k], clock=clocks[k],
+                                start_time=start_times[k],
+                                initial=initials[k] if initials else None))
+    return out
 
 
 def refine_to_depth(adapter: ServiceAdapter, partition, synopsis: Synopsis,
@@ -164,7 +204,8 @@ class AccuracyAwareProcessor:
 
     def process(self, request, deadline: float,
                 clock: DeadlineClock | None = None,
-                start_time: float | None = None) -> tuple[Any, ProcessingReport]:
+                start_time: float | None = None,
+                initial: tuple[Any, Any] | None = None) -> tuple[Any, ProcessingReport]:
         """Produce this component's (approximate) result for ``request``.
 
         Parameters
@@ -181,6 +222,14 @@ class AccuracyAwareProcessor:
             — but in the queueing experiments the caller passes the arrival
             time so queueing delay counts against the deadline, as in the
             paper's latency definition.
+        initial:
+            Optional precomputed ``(state, correlations)`` stage-1 pair,
+            as produced by the adapter's ``initial_result`` /
+            ``initial_result_batch`` for this request.  Stage-1 work is
+            still charged to the clock; this is how
+            :func:`process_component_batch` shares one vectorized
+            synopsis pass across a batch without changing per-request
+            semantics.
 
         Returns
         -------
@@ -204,7 +253,11 @@ class AccuracyAwareProcessor:
 
         # Stage 1: initial result + correlations from the synopsis.
         syn_work = self.adapter.synopsis_work(self.synopsis)
-        state, correlations = self.adapter.initial_result(self.synopsis, request)
+        if initial is None:
+            state, correlations = self.adapter.initial_result(self.synopsis,
+                                                              request)
+        else:
+            state, correlations = initial
         clock.charge(syn_work)
         report.work_units += syn_work
         report.synopsis_elapsed = clock.now() - t_begin

@@ -284,8 +284,9 @@ class AccuracyTraderService:
         :class:`~repro.serving.envelope.ServingRequest` and call
         :meth:`serve`.
         """
-        from repro.serving.envelope import as_envelope
+        from repro.serving.envelope import as_envelope, warn_positional_shim
 
+        warn_positional_shim("process")
         return self.serve(as_envelope(request, deadline), clocks=clocks,
                           backend=backend).as_tuple()
 
@@ -294,8 +295,9 @@ class AccuracyTraderService:
                        backend=None,
                        ) -> tuple[Any, list[ProcessingReport]]:
         """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope
+        from repro.serving.envelope import as_envelope, warn_positional_shim
 
+        warn_positional_shim("aprocess")
         resp = await self.aserve(as_envelope(request, deadline),
                                  clocks=clocks, backend=backend)
         return resp.as_tuple()

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.recommender.matrix import RatingMatrix
 
-__all__ = ["build_aggregated_users", "aggregate_group"]
+__all__ = ["build_aggregated_users", "aggregate_group", "aggregate_groups"]
 
 
 def aggregate_group(matrix: RatingMatrix, user_ids) -> tuple[np.ndarray, np.ndarray]:
@@ -46,6 +46,47 @@ def aggregate_group(matrix: RatingMatrix, user_ids) -> tuple[np.ndarray, np.ndar
     return uniq, sums / cnts
 
 
+def aggregate_groups(matrix: RatingMatrix, groups) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Batched :func:`aggregate_group`: one gather answers every group.
+
+    Returns one ``(item_ids, mean_ratings)`` pair per group, each
+    bit-identical to the corresponding single-group call: the per-group
+    member rows are concatenated in the same order, and ``bincount``
+    accumulates each (group, item) sum in that same input order.
+    """
+    groups = [np.asarray(g, dtype=np.int64) for g in groups]
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=float))
+    if not groups:
+        return []
+    users = np.concatenate(groups)
+    if users.size == 0 or matrix.nnz == 0:
+        return [empty for _ in groups]
+    g_lens = np.array([g.size for g in groups], dtype=np.int64)
+    g_of_user = np.repeat(np.arange(len(groups)), g_lens)
+    starts = matrix.indptr[users]
+    lens = matrix.indptr[users + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return [empty for _ in groups]
+    seg_end = np.cumsum(lens)
+    idx = np.repeat(starts - (seg_end - lens), lens) + np.arange(total)
+    items = matrix.item_ids[idx]
+    vals = matrix.values[idx]
+    # Fold (group, item) into one key axis; unique keys come out sorted
+    # group-major, so each group's slice is items-ascending like the
+    # single-group unique.
+    key = np.repeat(g_of_user, lens) * matrix.n_items + items
+    uniq, inverse = np.unique(key, return_inverse=True)
+    sums = np.bincount(inverse, weights=vals, minlength=uniq.size)
+    cnts = np.bincount(inverse, minlength=uniq.size)
+    means = sums / cnts
+    u_items = uniq % matrix.n_items
+    bounds = np.searchsorted(uniq // matrix.n_items,
+                             np.arange(len(groups) + 1))
+    return [(u_items[bounds[g]:bounds[g + 1]], means[bounds[g]:bounds[g + 1]])
+            for g in range(len(groups))]
+
+
 def build_aggregated_users(matrix: RatingMatrix, groups) -> RatingMatrix:
     """Aggregate each group of users into one synthetic user.
 
@@ -65,8 +106,7 @@ def build_aggregated_users(matrix: RatingMatrix, groups) -> RatingMatrix:
     """
     groups = list(groups)
     users_l, items_l, vals_l = [], [], []
-    for g, user_ids in enumerate(groups):
-        ids, means = aggregate_group(matrix, user_ids)
+    for g, (ids, means) in enumerate(aggregate_groups(matrix, groups)):
         users_l.append(np.full(ids.size, g, dtype=np.int64))
         items_l.append(ids)
         vals_l.append(means)

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.recommender import similarity
 from repro.recommender.matrix import RatingMatrix
-from repro.recommender.similarity import pearson
 
 __all__ = ["CFPrediction", "CFComponent", "merge_predictions"]
 
@@ -80,14 +80,14 @@ class CFComponent:
     # ------------------------------------------------------------------
 
     def weights_for(self, active_items, active_vals, user_ids) -> np.ndarray:
-        """Pearson weight of the active user vs each user in ``user_ids``."""
-        active_items = np.asarray(active_items, dtype=np.int64)
-        active_vals = np.asarray(active_vals, dtype=float)
-        out = np.empty(len(user_ids))
-        for k, v in enumerate(user_ids):
-            ids, vals = self.matrix.user_ratings(int(v))
-            out[k] = pearson(ids, vals, active_items, active_vals)
-        return out
+        """Pearson weight of the active user vs each user in ``user_ids``.
+
+        Delegates to the vectorized single-pass
+        :func:`repro.recommender.similarity.pearson_weights` (resolved
+        through the module so benchmarks can swap in the scalar oracle).
+        """
+        return similarity.pearson_weights(self.matrix, active_items,
+                                          active_vals, user_ids)
 
     def partial_prediction(self, active_items, active_vals, target_items,
                            active_mean: float,
@@ -98,6 +98,11 @@ class CFComponent:
         item's sums; weight computation is still paid for every scanned
         user, which is what makes exact processing expensive — and is the
         work the synopsis avoids.
+
+        Vectorized: one CSR gather of the contributing users' rows, one
+        ``searchsorted`` against the (unique, sorted) target items, and
+        ``bincount`` partial sums whose in-order accumulation makes the
+        result bit-identical to :meth:`partial_prediction_scalar`.
         """
         if user_ids is None:
             user_ids = np.arange(self.matrix.n_users)
@@ -107,6 +112,53 @@ class CFComponent:
         if user_ids.size == 0:
             return pred
         weights = self.weights_for(active_items, active_vals, user_ids)
+        nz = weights != 0.0
+        users_nz = user_ids[nz]
+        w_nz = weights[nz]
+        targets = (np.unique(np.asarray(target_items, dtype=np.int64))
+                   if target_items else np.empty(0, dtype=np.int64))
+        if users_nz.size == 0 or targets.size == 0:
+            return pred
+        starts = self.matrix.indptr[users_nz]
+        lens = self.matrix.indptr[users_nz + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return pred
+        seg_end = np.cumsum(lens)
+        idx = np.repeat(starts - (seg_end - lens), lens) + np.arange(total)
+        items = self.matrix.item_ids[idx]
+        pos = np.searchsorted(targets, items)
+        pos_c = np.minimum(pos, targets.size - 1)
+        hit = targets[pos_c] == items
+        if not np.any(hit):
+            return pred
+        seg_h = np.repeat(np.arange(users_nz.size), lens)[hit]
+        contrib = w_nz[seg_h] * (self.matrix.values[idx][hit]
+                                 - self.user_means[users_nz][seg_h])
+        t_pos = pos[hit]
+        numer = np.bincount(t_pos, weights=contrib, minlength=targets.size)
+        denom = np.bincount(t_pos, weights=np.abs(w_nz)[seg_h],
+                            minlength=targets.size)
+        touched = np.bincount(t_pos, minlength=targets.size) > 0
+        for t in np.flatnonzero(touched).tolist():
+            item = int(targets[t])
+            pred.numer[item] = float(numer[t])
+            pred.denom[item] = float(denom[t])
+        return pred
+
+    def partial_prediction_scalar(self, active_items, active_vals,
+                                  target_items, active_mean: float,
+                                  user_ids=None) -> CFPrediction:
+        """Per-user reference loop for :meth:`partial_prediction` (oracle)."""
+        if user_ids is None:
+            user_ids = np.arange(self.matrix.n_users)
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        target_items = [int(i) for i in target_items]
+        pred = CFPrediction(active_mean=active_mean)
+        if user_ids.size == 0:
+            return pred
+        weights = similarity.pearson_weights_scalar(
+            self.matrix, active_items, active_vals, user_ids)
         target_set = set(target_items)
         for v, w in zip(user_ids, weights):
             if w == 0.0:

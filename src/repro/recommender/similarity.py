@@ -4,17 +4,71 @@ Pearson's correlation coefficient over co-rated items is the paper's CF
 weight measure (§3.2) *and* its correlation-to-result-accuracy estimate
 for aggregated users (§2.3): processing an aggregated user's Pearson
 weight predicts how much its member users will improve the prediction.
+
+Bit-identity contract
+=====================
+
+Every entry point here — scalar :func:`pearson`, the per-user-loop
+:func:`pearson_weights_scalar`, the vectorized :func:`pearson_weights`
+and the multi-request :func:`pearson_weights_batch` — computes r from
+the same five sufficient sums ``(Σa, Σb, Σa², Σb², Σab)`` over the
+co-rated overlap, accumulated *strictly sequentially in overlap order*
+via ``np.bincount`` and finished by the shared elementwise
+:func:`_pearson_from_sums`.  Because both the accumulation order and the
+finishing arithmetic are identical, the vectorized paths return
+bit-identical floats to the scalar loop — which is what lets the serving
+layer treat batched and unbatched execution as interchangeable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pearson", "pearson_weights"]
+__all__ = [
+    "pearson",
+    "pearson_weights",
+    "pearson_weights_scalar",
+    "pearson_weights_batch",
+]
 
 # Below this many co-rated items a Pearson estimate is statistically
 # meaningless; standard CF practice treats such pairs as uncorrelated.
 MIN_OVERLAP = 2
+
+def _sequential_sums(seg_ids, n_segments: int, *columns):
+    """Per-segment sums of each column, accumulated in input order.
+
+    ``np.bincount`` adds ``weights[i]`` into its bin one element at a
+    time, front to back — the accumulation order is the *input* order,
+    not a pairwise tree.  Both the scalar and the vectorized Pearson
+    paths funnel through here so their partial sums round identically.
+    """
+    return tuple(
+        np.bincount(seg_ids, weights=col, minlength=n_segments)
+        for col in columns
+    )
+
+
+def _pearson_from_sums(n, sa, sb, saa, sbb, sab):
+    """Pearson r from overlap-count + five sufficient sums (elementwise).
+
+    ``r = (Σab - ΣaΣb/n) / sqrt((Σa² - (Σa)²/n)(Σb² - (Σb)²/n))``,
+    clamped to [-1, 1]; 0.0 when the overlap is below
+    :data:`MIN_OVERLAP` or either side is (numerically) constant on the
+    overlap.  Works on scalars and arrays alike; every caller uses this
+    one implementation so the finishing arithmetic is shared.
+    """
+    n = np.asarray(n, dtype=float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        num = sab - sa * sb / n
+        var_a = saa - sa * sa / n
+        var_b = sbb - sb * sb / n
+        denom = np.sqrt(var_a * var_b)
+        ok = denom > 0.0
+        r = np.where(ok, num / np.where(ok, denom, 1.0), 0.0)
+    # Clamp float noise so downstream |w|<=1 assumptions hold exactly.
+    r = np.minimum(1.0, np.maximum(-1.0, r))
+    return np.where(n >= MIN_OVERLAP, r, 0.0)
 
 
 def pearson(items_a, vals_a, items_b, vals_b) -> float:
@@ -30,23 +84,66 @@ def pearson(items_a, vals_a, items_b, vals_b) -> float:
     ia = np.searchsorted(items_a, items_b)
     mask = (ia < items_a.size)
     mask[mask] &= items_a[ia[mask]] == items_b[mask]
-    if np.count_nonzero(mask) < MIN_OVERLAP:
+    n = int(np.count_nonzero(mask))
+    if n < MIN_OVERLAP:
         return 0.0
     xa = np.asarray(vals_a, dtype=float)[ia[mask]]
     xb = np.asarray(vals_b, dtype=float)[mask]
-    xa = xa - xa.mean()
-    xb = xb - xb.mean()
-    denom = np.sqrt((xa @ xa) * (xb @ xb))
-    if denom == 0.0:
-        return 0.0
-    r = float((xa @ xb) / denom)
-    # Clamp float noise so downstream |w|<=1 assumptions hold exactly.
-    return max(-1.0, min(1.0, r))
+    zeros = np.zeros(n, dtype=np.intp)
+    sa, sb, saa, sbb, sab = _sequential_sums(
+        zeros, 1, xa, xb, xa * xa, xb * xb, xa * xb)
+    return float(_pearson_from_sums(n, sa[0], sb[0], saa[0], sbb[0], sab[0]))
+
+
+def _materialize_users(matrix, user_ids) -> np.ndarray:
+    """User ids as an int64 array, consuming iterators exactly once."""
+    if user_ids is None:
+        return np.arange(matrix.n_users, dtype=np.int64)
+    if not hasattr(user_ids, "__len__"):
+        user_ids = list(user_ids)
+    return np.asarray(user_ids, dtype=np.int64)
+
+
+def _sorted_active(active_items, active_vals):
+    active_items = np.asarray(active_items, dtype=np.int64)
+    active_vals = np.asarray(active_vals, dtype=float)
+    if active_items.size > 1 and np.any(np.diff(active_items) < 0):
+        order = np.argsort(active_items, kind="stable")
+        active_items, active_vals = active_items[order], active_vals[order]
+    return active_items, active_vals
+
+
+def _has_duplicate_items(active_items) -> bool:
+    return active_items.size > 1 and bool(
+        np.any(active_items[1:] == active_items[:-1]))
+
+
+def pearson_weights_scalar(matrix, active_items, active_vals,
+                           user_ids=None) -> np.ndarray:
+    """Per-user Python-loop reference for :func:`pearson_weights`.
+
+    Kept as the oracle the vectorized path is tested against (and as the
+    fallback for inputs the vectorized intersection does not model, e.g.
+    duplicate active item ids).
+    """
+    users = _materialize_users(matrix, user_ids)
+    active_items, active_vals = _sorted_active(active_items, active_vals)
+    out = np.empty(users.size)
+    for k, u in enumerate(users.tolist()):
+        ids, vals = matrix.user_ratings(int(u))
+        out[k] = pearson(ids, vals, active_items, active_vals)
+    return out
 
 
 def pearson_weights(matrix, active_items, active_vals,
                     user_ids=None) -> np.ndarray:
     """Pearson weight of the active user against each user of ``matrix``.
+
+    Single vectorized pass over the CSR layout: gather the requested
+    users' rating rows, intersect item ids with the active user's via one
+    ``searchsorted``, reduce the five sufficient sums per user with
+    ``bincount``, and finish elementwise — no per-user Python loop.
+    Bit-identical to :func:`pearson_weights_scalar`.
 
     Parameters
     ----------
@@ -56,22 +153,87 @@ def pearson_weights(matrix, active_items, active_vals,
         The active user's (sorted) rated item ids and ratings.
     user_ids:
         Optional subset of matrix users to score (default: all users).
+        Iterators/generators are materialized exactly once.
 
     Returns
     -------
     numpy.ndarray
         Weight per requested user, in ``user_ids`` order.
     """
-    if user_ids is None:
-        user_ids = range(matrix.n_users)
-    active_items = np.asarray(active_items, dtype=np.int64)
-    active_vals = np.asarray(active_vals, dtype=float)
-    if active_items.size > 1 and np.any(np.diff(active_items) < 0):
-        order = np.argsort(active_items)
-        active_items, active_vals = active_items[order], active_vals[order]
-    out = np.empty(len(list(user_ids)) if not hasattr(user_ids, "__len__") else len(user_ids))
-    user_list = list(user_ids)
-    for k, u in enumerate(user_list):
-        ids, vals = matrix.user_ratings(int(u))
-        out[k] = pearson(ids, vals, active_items, active_vals)
+    users = _materialize_users(matrix, user_ids)
+    active_items, active_vals = _sorted_active(active_items, active_vals)
+    if _has_duplicate_items(active_items):
+        # Duplicate active ids make the overlap direction ambiguous; the
+        # scalar loop defines the semantics, so defer to it.
+        return pearson_weights_scalar(matrix, active_items, active_vals, users)
+    if users.size == 0 or active_items.size < MIN_OVERLAP:
+        return np.zeros(users.size)
+    starts = matrix.indptr[users]
+    lens = matrix.indptr[users + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(users.size)
+    seg_end = np.cumsum(lens)
+    idx = np.repeat(starts - (seg_end - lens), lens) + np.arange(total)
+    items = matrix.item_ids[idx]
+    vals = matrix.values[idx]
+    seg = np.repeat(np.arange(users.size), lens)
+    pos = np.searchsorted(active_items, items)
+    pos_c = np.minimum(pos, active_items.size - 1)
+    hit = active_items[pos_c] == items
+    xa = vals[hit]
+    xb = active_vals[pos_c[hit]]
+    seg_h = seg[hit]
+    n = np.bincount(seg_h, minlength=users.size)
+    sa, sb, saa, sbb, sab = _sequential_sums(
+        seg_h, users.size, xa, xb, xa * xa, xb * xb, xa * xb)
+    return _pearson_from_sums(n, sa, sb, saa, sbb, sab)
+
+
+def pearson_weights_batch(matrix, actives) -> np.ndarray:
+    """Weights of several active users against *every* user of ``matrix``.
+
+    ``actives`` is a sequence of ``(active_items, active_vals)`` pairs.
+    Returns an array of shape ``(len(actives), matrix.n_users)`` whose
+    row *r* is bit-identical to ``pearson_weights(matrix, *actives[r])``.
+    Every request intersects against the *same* rating entries, so the
+    batch shares one CSR expansion (``entry_user``) and a reusable dense
+    item->slot table; each request then costs one O(nnz) gather + mask
+    and a set of ``bincount`` reductions — no per-request CSR walk, no
+    batch-sized temporaries.
+    """
+    n_users = matrix.n_users
+    out = np.zeros((len(actives), n_users))
+    clean: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for r, (a_items, a_vals) in enumerate(actives):
+        a_items, a_vals = _sorted_active(a_items, a_vals)
+        if _has_duplicate_items(a_items):
+            out[r] = pearson_weights(matrix, a_items, a_vals)
+            continue
+        if a_items.size < MIN_OVERLAP:
+            continue  # row stays all-zero, as in the single-request path
+        clean.append((r, a_items, a_vals))
+    if not clean or matrix.nnz == 0 or n_users == 0:
+        return out
+    items = matrix.item_ids
+    vals = matrix.values
+    entry_user = np.repeat(np.arange(n_users), np.diff(matrix.indptr))
+    # Dense item -> active-slot table, reset between requests by undoing
+    # only the slots each request touched (active sets are tiny next to
+    # the item vocabulary).
+    lookup = np.full(matrix.n_items, -1, dtype=np.int64)
+    for r, a_items, a_vals in clean:
+        in_range = np.flatnonzero(
+            (a_items >= 0) & (a_items < lookup.size))
+        lookup[a_items[in_range]] = in_range
+        slot = lookup[items]
+        hit = slot >= 0
+        xa = vals[hit]
+        xb = a_vals[slot[hit]]
+        seg_h = entry_user[hit]
+        n = np.bincount(seg_h, minlength=n_users)
+        sa, sb, saa, sbb, sab = _sequential_sums(
+            seg_h, n_users, xa, xb, xa * xa, xb * xb, xa * xb)
+        out[r] = _pearson_from_sums(n, sa, sb, saa, sbb, sab)
+        lookup[a_items[in_range]] = -1
     return out

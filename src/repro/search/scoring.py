@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["tf_weight", "idf_weight", "score_query"]
+__all__ = ["tf_weight", "idf_weight", "score_query", "score_query_scalar",
+           "score_queries"]
 
 
 def tf_weight(term_freq) -> np.ndarray:
@@ -56,6 +57,27 @@ def score_query(index, query_terms, doc_ids=None) -> dict[int, float]:
         doc id -> similarity score; only docs matching at least one query
         term (and inside ``doc_ids`` if given) appear.
     """
+    parts = _term_contributions(index, query_terms)
+    if not parts:
+        return {}
+    docs = np.concatenate([d for d, _ in parts])
+    contrib = np.concatenate([c for _, c in parts])
+    docs, contrib = _restrict_postings(docs, contrib, doc_ids)
+    if docs.size == 0:
+        return {}
+    uniq, inverse = np.unique(docs, return_inverse=True)
+    totals = np.bincount(inverse, weights=contrib, minlength=uniq.size)
+    totals = _length_normalize(index, uniq, totals)
+    return {int(d): float(s) for d, s in zip(uniq.tolist(), totals.tolist())}
+
+
+def score_query_scalar(index, query_terms, doc_ids=None) -> dict[int, float]:
+    """Per-posting Python-loop reference for :func:`score_query` (oracle).
+
+    Accumulates each doc's score with sequential dict additions in term
+    order — exactly the order ``bincount`` uses per doc in the vectorized
+    path, so both return bit-identical scores.
+    """
     n = index.n_docs
     restrict = None if doc_ids is None else set(int(d) for d in doc_ids)
     scores: dict[int, float] = {}
@@ -80,3 +102,85 @@ def score_query(index, query_terms, doc_ids=None) -> dict[int, float]:
         if ln > 0:
             scores[d] /= float(np.sqrt(ln))
     return scores
+
+
+def score_queries(index, queries, doc_ids=None) -> list[dict[int, float]]:
+    """Batched :func:`score_query`: score several queries in one pass.
+
+    Per-query results are bit-identical to individual ``score_query``
+    calls: contributions are concatenated query-major in term order, and
+    ``bincount`` over folded (query, doc) keys accumulates each doc's
+    score in that same order.  ``doc_ids`` (if given) restricts every
+    query alike.
+    """
+    results: list[dict[int, float]] = [{} for _ in queries]
+    doc_l, contrib_l, q_l = [], [], []
+    for q, terms in enumerate(queries):
+        for docs, contrib in _term_contributions(index, terms):
+            doc_l.append(docs)
+            contrib_l.append(contrib)
+            q_l.append(np.full(docs.size, q, dtype=np.int64))
+    if not doc_l:
+        return results
+    docs = np.concatenate(doc_l)
+    contrib = np.concatenate(contrib_l)
+    qs = np.concatenate(q_l)
+    keep_docs, contrib, qs = _restrict_postings(docs, contrib, doc_ids, qs)
+    if keep_docs.size == 0:
+        return results
+    # Fold (query, doc) into one key axis; doc ids may be arbitrary
+    # non-negative ints, so span by the observed range.
+    dmin = int(keep_docs.min())
+    span = int(keep_docs.max()) - dmin + 1
+    key = qs * span + (keep_docs - dmin)
+    uniq, inverse = np.unique(key, return_inverse=True)
+    totals = np.bincount(inverse, weights=contrib, minlength=uniq.size)
+    u_docs = uniq % span + dmin
+    totals = _length_normalize(index, u_docs, totals)
+    for q, d, s in zip((uniq // span).tolist(), u_docs.tolist(),
+                       totals.tolist()):
+        results[q][int(d)] = float(s)
+    return results
+
+
+def _term_contributions(index, query_terms):
+    """Per-term (docs, contribution) arrays, in first-seen term order."""
+    n = index.n_docs
+    term_counts: dict[str, int] = {}
+    for t in query_terms:
+        term_counts[t] = term_counts.get(t, 0) + 1
+    parts = []
+    for term, q_tf in term_counts.items():
+        docs, tfs = index.postings(term)
+        if docs.size == 0:
+            continue
+        idf = idf_weight(n, docs.size)
+        if idf == 0.0:
+            continue
+        parts.append((docs, q_tf * tf_weight(tfs) * (idf * idf)))
+    return parts
+
+
+def _restrict_postings(docs, contrib, doc_ids, qs=None):
+    """Drop postings outside ``doc_ids`` (None means keep everything)."""
+    if doc_ids is not None:
+        allowed = np.unique(np.fromiter((int(d) for d in doc_ids),
+                                        dtype=np.int64))
+        if allowed.size == 0:
+            keep = np.zeros(docs.size, dtype=bool)
+        else:
+            pos = np.minimum(np.searchsorted(allowed, docs),
+                             allowed.size - 1)
+            keep = allowed[pos] == docs
+        docs, contrib = docs[keep], contrib[keep]
+        if qs is not None:
+            qs = qs[keep]
+    return (docs, contrib) if qs is None else (docs, contrib, qs)
+
+
+def _length_normalize(index, doc_ids_arr, totals):
+    """Divide each matched doc's total by sqrt(doc length), once."""
+    lens = np.fromiter((index.doc_length(int(d)) for d in doc_ids_arr),
+                       dtype=float, count=doc_ids_arr.size)
+    pos = lens > 0
+    return np.where(pos, totals / np.where(pos, np.sqrt(lens), 1.0), totals)

@@ -120,6 +120,7 @@ from repro.serving.aio import (
     AsyncStallAdapter,
 )
 from repro.serving.backends import (
+    BatchingBackend,
     ComponentOutcome,
     ComponentTask,
     ExecutionBackend,
@@ -149,6 +150,7 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "PersistentProcessBackend",
+    "BatchingBackend",
     "resolve_backend",
     "IOStallAdapter",
     "LoadGenerator",

@@ -389,14 +389,22 @@ class AsyncServingHarness:
     admission:
         Optional admission controller; without one the loop accepts the
         entire trace concurrently.
+    batch_window, batch_max:
+        As in :class:`~repro.serving.harness.ServingHarness`: a non-None
+        ``batch_window`` wraps the backend in a
+        :class:`~repro.serving.backends.BatchingBackend` so concurrent
+        requests' same-``(component, epoch)`` tasks coalesce into one
+        batched submission.
     """
 
     def __init__(self, service, deadline: float,
                  backend: ExecutionBackend | None = None,
                  clock_factory: ClockFactory | None = None,
                  admission: AdmissionController | None = None,
-                 time_scale: float = 1.0):
-        from repro.serving.backends import resolve_backend
+                 time_scale: float = 1.0,
+                 batch_window: float | None = None,
+                 batch_max: int = 32):
+        from repro.serving.backends import BatchingBackend, resolve_backend
 
         if deadline < 0:
             raise ValueError("deadline must be non-negative")
@@ -407,6 +415,13 @@ class AsyncServingHarness:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = (resolve_backend(backend)
                         if backend is not None else None)
+        if batch_window is not None:
+            inner = (self.backend if self.backend is not None
+                     else resolve_backend(None))
+            self.backend = BatchingBackend(inner, window=batch_window,
+                                           max_batch=batch_max,
+                                           close_inner=self._owns_backend)
+            self._owns_backend = True
         self.clock_factory = (clock_factory if clock_factory is not None
                               else wall_clock_factory())
         self.admission = admission

@@ -43,12 +43,14 @@ import pickle
 import shutil
 import tempfile
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.core.clock import DeadlineClock
-from repro.core.processor import ProcessingReport, process_component
+from repro.core.processor import (ProcessingReport, process_component,
+                                  process_component_batch)
 from repro.core.state import ComponentState, StaleEpochError, StateRef
 
 __all__ = [
@@ -59,8 +61,10 @@ __all__ = [
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "PersistentProcessBackend",
+    "BatchingBackend",
     "resolve_backend",
     "run_component_task",
+    "run_component_batch",
     "stamp_envelope",
 ]
 
@@ -175,6 +179,76 @@ def run_component_task(task: ComponentTask) -> ComponentOutcome:
                             report=report)
 
 
+def run_component_batch(tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+    """Execute several tasks, micro-batching same-state groups.
+
+    Tasks sharing an ``(adapter, partition, synopsis, i_max)`` identity
+    run through :func:`repro.core.processor.process_component_batch` —
+    one vectorized stage-1 pass for the group — while runner tasks and
+    singletons take their usual paths.  Outcomes come back in task
+    order, bit-identical to per-task :func:`run_component_task` calls
+    under deterministic clocks.
+
+    Module-level so process pools can pickle it; grouping keys on object
+    identity, which holds worker-side because one pickled batch
+    deduplicates its shared snapshot (pickle memoization) and the
+    persistent worker cache hands every same-epoch task the same
+    resolved snapshot object.
+    """
+    outcomes: list[ComponentOutcome | None] = [None] * len(tasks)
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for i, task in enumerate(tasks):
+        if task.runner is not None:
+            outcomes[i] = task.runner(task)
+            continue
+        partition, synopsis = task.resolve_state()
+        key = (id(task.adapter), id(partition), id(synopsis),
+               task.i_max, task.i_max_fraction)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((i, task, partition, synopsis))
+    for key in order:
+        entries = groups[key]
+        _, first, partition, synopsis = entries[0]
+        pairs = process_component_batch(
+            first.adapter, partition, synopsis,
+            [t.request for _, t, _, _ in entries],
+            [t.deadline for _, t, _, _ in entries],
+            clocks=[t.clock for _, t, _, _ in entries],
+            i_max=first.i_max, i_max_fraction=first.i_max_fraction,
+            start_times=[t.start_time for _, t, _, _ in entries],
+        )
+        for (i, task, _, _), (result, report) in zip(entries, pairs):
+            if task.state_ref is not None:
+                report.state_epoch = task.state_ref.epoch
+            stamp_envelope(report, task)
+            outcomes[i] = ComponentOutcome(component=task.component,
+                                           result=result, report=report)
+    return outcomes  # type: ignore[return-value]
+
+
+def _scatter_batch_future(batch_future: Future, count: int) -> list[Future]:
+    """Fan one batch future out into per-task outcome futures."""
+    futures = [Future() for _ in range(count)]
+    for f in futures:
+        f.set_running_or_notify_cancel()
+
+    def _done(bf: Future) -> None:
+        try:
+            outcomes = bf.result()
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            for f in futures:
+                f.set_exception(exc)
+        else:
+            for f, outcome in zip(futures, outcomes):
+                f.set_result(outcome)
+
+    batch_future.add_done_callback(_done)
+    return futures
+
+
 class ExecutionBackend(abc.ABC):
     """Strategy for executing a request's per-component tasks."""
 
@@ -204,6 +278,17 @@ class ExecutionBackend(abc.ABC):
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 future.set_exception(exc)
         return future
+
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        """Submit a coalesced batch, returning one future per task.
+
+        Backends that can amortise a submission hop across the batch —
+        one pool submit, one pickle of the whole list — override this;
+        the base implementation degrades to per-task submission, so a
+        batch is never *worse* than unbatched dispatch.  Outcomes are
+        bit-identical to per-task submission either way.
+        """
+        return [self.submit_task(task) for task in tasks]
 
     def payload_counters(self) -> dict:
         """Cumulative serialized-payload accounting (thread-safe snapshot).
@@ -239,6 +324,22 @@ class SequentialBackend(ExecutionBackend):
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
         return [run_component_task(t) for t in tasks]
 
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        tasks = list(tasks)
+        futures = [Future() for _ in tasks]
+        live = [f.set_running_or_notify_cancel() for f in futures]
+        try:
+            outcomes = run_component_batch(tasks)
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            for f, ok in zip(futures, live):
+                if ok:
+                    f.set_exception(exc)
+            return futures
+        for f, ok, outcome in zip(futures, live, outcomes):
+            if ok:
+                f.set_result(outcome)
+        return futures
+
 
 class ThreadPoolBackend(ExecutionBackend):
     """Run components on a shared thread pool.
@@ -269,6 +370,13 @@ class ThreadPoolBackend(ExecutionBackend):
     def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
         return self._ensure_pool().submit(run_component_task, task)
 
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [self.submit_task(t) for t in tasks]
+        batch = self._ensure_pool().submit(run_component_batch, tasks)
+        return _scatter_batch_future(batch, len(tasks))
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -295,6 +403,17 @@ def _preferred_mp_context(start_method: str | None):
 def _run_pickled_task(blob: bytes) -> ComponentOutcome:
     """Worker entry: unpickle a pre-serialized task and run it."""
     return run_component_task(pickle.loads(blob))
+
+
+def _run_pickled_batch(blob: bytes) -> list[ComponentOutcome]:
+    """Worker entry: unpickle a pre-serialized task *list* and run it.
+
+    The list was pickled in one ``dumps`` call, so a state snapshot
+    shared by every task crossed the boundary exactly once (pickle
+    memoization) and unpickles to one shared object — which is also what
+    lets :func:`run_component_batch` group the batch by state identity.
+    """
+    return run_component_batch(pickle.loads(blob))
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -341,6 +460,20 @@ class ProcessPoolBackend(ExecutionBackend):
             self._task_bytes += len(blob)
             self._tasks_shipped += 1
         return self._ensure_pool().submit(_run_pickled_task, blob)
+
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [self.submit_task(t) for t in tasks]
+        # One dumps for the whole batch: a shared snapshot serialises
+        # once instead of once per task — the pickle hop this backend
+        # pays per request collapses to per batch.
+        blob = pickle.dumps(tasks)
+        with self._lock:
+            self._task_bytes += len(blob)
+            self._tasks_shipped += len(tasks)
+        batch = self._ensure_pool().submit(_run_pickled_batch, blob)
+        return _scatter_batch_future(batch, len(tasks))
 
     def payload_counters(self) -> dict:
         with self._lock:
@@ -413,6 +546,29 @@ def _run_persistent_task(blob: bytes, channel_dir: str) -> ComponentOutcome:
         outcome.report.state_epoch = ref.epoch
         return outcome
     return run_component_task(task)
+
+
+def _run_persistent_batch(blob: bytes, channel_dir: str) -> list[ComponentOutcome]:
+    """Worker entry: resolve each detached ref once, run as one batch.
+
+    Every task in a coalesced batch shares one ``(store, component,
+    epoch)`` key, so the cache lookup returns the same snapshot object
+    for all of them — :func:`run_component_batch` then groups the whole
+    batch into a single vectorized stage-1 pass.  The detached ref stays
+    on the task so the batch runner stamps ``state_epoch``.
+    """
+    tasks: list[ComponentTask] = pickle.loads(blob)
+    resolved = []
+    for task in tasks:
+        ref = task.state_ref
+        if ref is not None and task.partition is None \
+                and task.synopsis is None:
+            state = _worker_cached_state(ref.key, channel_dir)
+            resolved.append(replace(task, partition=state.partition,
+                                    synopsis=state.synopsis))
+        else:
+            resolved.append(task)
+    return run_component_batch(resolved)
 
 
 def _probe_worker_cache() -> list[tuple]:
@@ -514,10 +670,11 @@ class PersistentProcessBackend(ExecutionBackend):
             except OSError:
                 pass
 
-    def _task_done(self, key: tuple):
+    def _task_done(self, key: tuple, count: int = 1):
         def callback(_future) -> None:
             with self._lock:
-                self._outstanding[key] = self._outstanding.get(key, 1) - 1
+                self._outstanding[key] = \
+                    self._outstanding.get(key, count) - count
                 if self._outstanding[key] <= 0:
                     del self._outstanding[key]
                 self._maybe_evict_locked(key)
@@ -595,6 +752,36 @@ class PersistentProcessBackend(ExecutionBackend):
             self._tasks_shipped += 1
         return pool.submit(_run_persistent_task, blob, self._channel_dir)
 
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [self.submit_task(t) for t in tasks]
+        refs = [t.state_ref for t in tasks]
+        live_same_key = (
+            all(r is not None and (r.store is not None
+                                   or r.pinned is not None) for r in refs)
+            and len({r.key for r in refs}) == 1)
+        if not live_same_key:
+            # Mixed epochs / inline state: no shared snapshot to
+            # amortise as one unit — degrade to per-task submission.
+            return [self.submit_task(t) for t in tasks]
+        ref = refs[0]
+        pool = self._ensure_pool()
+        with self._lock:
+            # Outstanding first, as in submit_task: eviction of this
+            # epoch must wait for the whole batch to drain.
+            self._outstanding[ref.key] = \
+                self._outstanding.get(ref.key, 0) + len(tasks)
+            self._ensure_published_locked(ref)
+        blob = pickle.dumps([replace(t, state_ref=t.state_ref.detached())
+                             for t in tasks])
+        with self._lock:
+            self._task_bytes += len(blob)
+            self._tasks_shipped += len(tasks)
+        batch = pool.submit(_run_persistent_batch, blob, self._channel_dir)
+        batch.add_done_callback(self._task_done(ref.key, len(tasks)))
+        return _scatter_batch_future(batch, len(tasks))
+
     def payload_counters(self) -> dict:
         with self._lock:
             return {"task_bytes": self._task_bytes,
@@ -613,6 +800,201 @@ class PersistentProcessBackend(ExecutionBackend):
             pool.shutdown(wait=True)
         if channel is not None:
             shutil.rmtree(channel, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch coalescing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Bucket:
+    """Tasks awaiting one coalesced submission."""
+
+    deadline: float
+    entries: list = field(default_factory=list)
+
+
+class BatchingBackend(ExecutionBackend):
+    """Coalesce same-``(component, epoch)`` tasks into batched submissions.
+
+    Wraps any :class:`ExecutionBackend`.  Tasks submitted within
+    ``window`` seconds that share a batch key — same adapter and same
+    pinned ``(store, component, epoch)`` state (or same inline state
+    objects) — are buffered and handed to the inner backend as **one**
+    :meth:`~ExecutionBackend.submit_batch` call: one pickle/queue hop
+    and one vectorized stage-1 pass per batch instead of per request.
+    Mixed epochs never coalesce (the epoch is part of the key), so a
+    batch can never observe torn state across an update.
+
+    Per-request separability is preserved end to end: every task keeps
+    its own future, clock, deadline and :class:`~repro.core.processor.
+    ProcessingReport` (stamped with the envelope's ``request_id``), and
+    outcomes are bit-identical to unbatched dispatch under
+    deterministic clocks.
+
+    Future semantics match the router tier's hedging needs: a task's
+    future can be cancelled until its bucket flushes (the queued-only
+    window); at flush each future transitions to running and the batch
+    is in service.  Runner tasks (remote execution) bypass coalescing
+    straight to the inner backend.
+
+    Parameters
+    ----------
+    inner:
+        Backend (instance or name) that executes the batches.
+    window:
+        Seconds to hold an open bucket for more arrivals.  ``0.0``
+        still coalesces whatever is pending when the flusher runs —
+        the right choice when callers submit bursts synchronously.
+    max_batch:
+        Flush a bucket immediately when it reaches this many tasks.
+    close_inner:
+        Whether :meth:`close` also closes the inner backend (the
+        wrapper owns it).
+    """
+
+    name = "batching"
+
+    def __init__(self, inner, window: float = 0.002, max_batch: int = 32,
+                 close_inner: bool = False):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.inner = resolve_backend(inner)
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._close_inner = bool(close_inner)
+        self._cond = threading.Condition(threading.Lock())
+        self._buckets: dict[tuple, _Bucket] = {}
+        self._flusher: threading.Thread | None = None
+        self._closed = False
+        self._batches_submitted = 0
+        self._tasks_coalesced = 0
+
+    # -- batching mechanics ---------------------------------------------
+
+    @staticmethod
+    def _batch_key(task: ComponentTask) -> tuple | None:
+        """Coalescing identity, or None for tasks that must not batch."""
+        if task.runner is not None:
+            return None
+        ref = task.state_ref
+        if ref is not None:
+            return ("ref", id(task.adapter), ref.store_id, ref.component,
+                    ref.epoch)
+        return ("inline", id(task.adapter), task.component,
+                id(task.partition), id(task.synopsis))
+
+    def _ensure_flusher_locked(self) -> None:
+        if self._flusher is None or not self._flusher.is_alive():
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="repro-batching-flush",
+                daemon=True)
+            self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._buckets and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._buckets:
+                    return
+                now = time.monotonic()
+                due_keys = [k for k, b in self._buckets.items()
+                            if self._closed or b.deadline <= now]
+                due = [self._buckets.pop(k) for k in due_keys]
+                if not due:
+                    horizon = min(b.deadline
+                                  for b in self._buckets.values())
+                    self._cond.wait(max(0.0, horizon - now))
+                    continue
+            for bucket in due:
+                self._flush(bucket.entries)
+
+    def _flush(self, entries: list) -> None:
+        live = [(t, f) for t, f in entries
+                if f.set_running_or_notify_cancel()]
+        if not live:
+            return
+        tasks = [t for t, _ in live]
+        with self._cond:
+            self._batches_submitted += 1
+            self._tasks_coalesced += len(tasks)
+        try:
+            inner_futures = self.inner.submit_batch(tasks)
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            for _, f in live:
+                f.set_exception(exc)
+            return
+        for (_, outer), inner in zip(live, inner_futures):
+            self._chain(inner, outer)
+
+    @staticmethod
+    def _chain(src: Future, dst: Future) -> None:
+        def _done(fut: Future) -> None:
+            if dst.done():
+                return
+            try:
+                dst.set_result(fut.result())
+            except BaseException as exc:  # noqa: BLE001
+                dst.set_exception(exc)
+
+        src.add_done_callback(_done)
+
+    # -- ExecutionBackend ------------------------------------------------
+
+    def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
+        key = self._batch_key(task)
+        if key is None:
+            return self.inner.submit_task(task)
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("BatchingBackend is closed")
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = _Bucket(deadline=time.monotonic() + self.window)
+                self._buckets[key] = bucket
+                self._ensure_flusher_locked()
+            bucket.entries.append((task, future))
+            full = len(bucket.entries) >= self.max_batch
+            if full:
+                del self._buckets[key]
+            self._cond.notify_all()
+        if full:
+            self._flush(bucket.entries)
+        return future
+
+    def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
+        futures = [self.submit_task(t) for t in tasks]
+        return [f.result() for f in futures]
+
+    def payload_counters(self) -> dict:
+        return self.inner.payload_counters()
+
+    def batch_stats(self) -> dict:
+        """Coalescing effectiveness: batches flushed vs tasks batched."""
+        with self._cond:
+            return {"batches_submitted": self._batches_submitted,
+                    "tasks_coalesced": self._tasks_coalesced}
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            flusher = self._flusher
+            self._cond.notify_all()
+        if flusher is not None:
+            flusher.join(timeout=5.0)
+        # Belt and braces: drain anything a dead flusher left behind.
+        with self._cond:
+            leftover = [b.entries for b in self._buckets.values()]
+            self._buckets.clear()
+        for entries in leftover:
+            self._flush(entries)
+        if self._close_inner:
+            self.inner.close()
 
 
 _BACKENDS = {

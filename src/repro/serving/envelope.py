@@ -39,6 +39,7 @@ from __future__ import annotations
 import enum
 import itertools
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -52,7 +53,21 @@ __all__ = [
     "payload_of",
     "serve_via",
     "aserve_via",
+    "warn_positional_shim",
 ]
+
+
+def warn_positional_shim(name: str) -> None:
+    """Emit the migration warning for one legacy positional shim call.
+
+    Every ``process`` / ``aprocess`` shim funnels through here so the
+    deprecation reads identically everywhere and points at the caller
+    (``stacklevel=3``: helper → shim → call site).
+    """
+    warnings.warn(
+        f"{name}() is a legacy positional shim; wrap the payload with "
+        "as_envelope() and call serve()/aserve() instead",
+        DeprecationWarning, stacklevel=3)
 
 
 class RequestClass(enum.Enum):

@@ -27,7 +27,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.clock import ClockFactory, wall_clock_factory
-from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.serving.backends import (BatchingBackend, ExecutionBackend,
+                                    resolve_backend)
 from repro.serving.envelope import ServingRequest, as_envelope, serve_via
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
 from repro.util.stats import percentile
@@ -413,13 +414,24 @@ class ServingHarness:
         Multiplier applied to arrival gaps at dispatch time (< 1
         compresses a long trace into a short wall-clock run).  Latencies
         are always reported in real wall seconds.
+    batch_window:
+        When set, wrap the execution backend in a
+        :class:`~repro.serving.backends.BatchingBackend` holding each
+        coalescing bucket open this many seconds, so concurrent
+        requests' same-``(component, epoch)`` tasks dispatch as one
+        batched submission.  ``None`` (default) dispatches per task.
+    batch_max:
+        Bucket size that forces an immediate flush (only meaningful
+        with ``batch_window``).
     """
 
     def __init__(self, service, deadline: float,
                  backend: ExecutionBackend | str | None = None,
                  clock_factory: ClockFactory | None = None,
                  max_concurrency: int = 64,
-                 time_scale: float = 1.0):
+                 time_scale: float = 1.0,
+                 batch_window: float | None = None,
+                 batch_max: int = 32):
         if deadline < 0:
             raise ValueError("deadline must be non-negative")
         if max_concurrency < 1:
@@ -431,6 +443,13 @@ class ServingHarness:
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = (resolve_backend(backend)
                         if backend is not None else None)
+        if batch_window is not None:
+            inner = (self.backend if self.backend is not None
+                     else resolve_backend(None))
+            self.backend = BatchingBackend(inner, window=batch_window,
+                                           max_batch=batch_max,
+                                           close_inner=self._owns_backend)
+            self._owns_backend = True
         self.clock_factory = (clock_factory if clock_factory is not None
                               else wall_clock_factory())
         self.max_concurrency = int(max_concurrency)

@@ -78,9 +78,10 @@ import numpy as np
 from repro.core.clock import ClockFactory, fresh_like, wall_clock_factory
 from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
-from repro.serving.backends import ExecutionBackend, resolve_backend
+from repro.serving.backends import (BatchingBackend, ExecutionBackend,
+                                    resolve_backend)
 from repro.serving.envelope import ServingRequest, ServingResponse, \
-    as_envelope, payload_of
+    as_envelope, payload_of, warn_positional_shim
 from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.partitioning import reshard_partitions
 
@@ -248,12 +249,14 @@ class ReplicaGroup:
     def process(self, request, deadline: float, clocks=None, backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
         """Legacy positional shim over :meth:`serve` (bit-identical)."""
+        warn_positional_shim("process")
         return self.serve(as_envelope(request, deadline), clocks=clocks,
                           backend=backend).as_tuple()
 
     async def aprocess(self, request, deadline: float, clocks=None,
                        backend=None) -> tuple[Any, list[ProcessingReport]]:
         """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        warn_positional_shim("aprocess")
         resp = await self.aserve(as_envelope(request, deadline),
                                  clocks=clocks, backend=backend)
         return resp.as_tuple()
@@ -349,6 +352,14 @@ class ShardedService:
         a map attached, :meth:`add_points` / :meth:`change_points`
         accept global record ids and route to the owning shard and
         component themselves — the caller never addresses a shard index.
+    batch_window, batch_max:
+        A non-None ``batch_window`` wraps the default backend in a
+        :class:`~repro.serving.backends.BatchingBackend`, coalescing
+        concurrent requests' same-``(component, epoch)`` tasks — across
+        shards and requests alike — into batched submissions held open
+        ``batch_window`` seconds (flushed early at ``batch_max``).
+        Hedged copies still queue per task, so tied-request
+        cancellation keeps working.
     """
 
     def __init__(self, shards: Sequence,
@@ -358,7 +369,9 @@ class ShardedService:
                  hedge: ReissueStrategy | None = None,
                  hedge_budget: float | None = 0.05,
                  clock_factory: ClockFactory | None = None,
-                 component_map=None):
+                 component_map=None,
+                 batch_window: float | None = None,
+                 batch_max: int = 32):
         groups = []
         for shard in shards:
             if isinstance(shard, ReplicaGroup):
@@ -390,6 +403,12 @@ class ShardedService:
         self.merge = merge if merge is not None else groups[0].merge
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
+        if batch_window is not None:
+            self.backend = BatchingBackend(self.backend,
+                                           window=batch_window,
+                                           max_batch=batch_max,
+                                           close_inner=self._owns_backend)
+            self._owns_backend = True
         self.hedge = hedge
         if hedge_budget is not None and not (0.0 < hedge_budget <= 1.0):
             raise ValueError("hedge_budget must be in (0, 1] or None")
@@ -568,12 +587,14 @@ class ShardedService:
     def process(self, request, deadline: float, clocks=None, backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
         """Legacy positional shim over :meth:`serve` (bit-identical)."""
+        warn_positional_shim("process")
         return self.serve(as_envelope(request, deadline), clocks=clocks,
                           backend=backend).as_tuple()
 
     async def aprocess(self, request, deadline: float, clocks=None,
                        backend=None) -> tuple[Any, list[ProcessingReport]]:
         """Legacy positional shim over :meth:`aserve` (bit-identical)."""
+        warn_positional_shim("aprocess")
         resp = await self.aserve(as_envelope(request, deadline),
                                  clocks=clocks, backend=backend)
         return resp.as_tuple()

@@ -593,8 +593,9 @@ class RemoteServable:
     def process(self, request, deadline: float,
                 clocks: list[DeadlineClock] | None = None, backend=None):
         """Legacy positional shim over :meth:`serve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope
+        from repro.serving.envelope import as_envelope, warn_positional_shim
 
+        warn_positional_shim("process")
         return self.serve(as_envelope(request, deadline),
                           clocks=clocks).as_tuple()
 
@@ -602,8 +603,9 @@ class RemoteServable:
                        clocks: list[DeadlineClock] | None = None,
                        backend=None):
         """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope
+        from repro.serving.envelope import as_envelope, warn_positional_shim
 
+        warn_positional_shim("aprocess")
         resp = await self.aserve(as_envelope(request, deadline),
                                  clocks=clocks)
         return resp.as_tuple()

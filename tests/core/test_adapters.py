@@ -114,10 +114,10 @@ class TestSearchAdapterOnline:
         synopsis, _ = search_synopsis
         state, corr = search_adapter.initial_result(synopsis, search_query)
         g = int(np.argmax(corr))
-        member_hits = state["estimated"][g]
-        assert {h.doc_id for h in member_hits} == \
+        members, score = state["estimated"][g]
+        assert set(members.tolist()) == \
             set(synopsis.index.members(g).tolist())
-        assert all(h.score == pytest.approx(corr[g]) for h in member_hits)
+        assert score == pytest.approx(corr[g])
         assert state["refined"] == {}
 
     def test_refine_moves_group_to_exact(self, small_corpus, search_adapter,

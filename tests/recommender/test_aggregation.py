@@ -65,3 +65,32 @@ class TestBuildAggregatedUsers:
         comp = CFComponent(agg)
         pred = comp.partial_prediction([0, 1], [3.0, 5.0], [2], 4.0)
         assert isinstance(pred.predict(2), float)
+
+
+class TestAggregateGroups:
+    """Batched aggregation vs the single-group oracle, bit for bit."""
+
+    def test_matches_single_group_calls(self):
+        rng = np.random.default_rng(5)
+        mask = rng.random((30, 20)) < 0.35
+        users, items = np.nonzero(mask)
+        vals = rng.integers(1, 6, size=users.size).astype(float)
+        m = RatingMatrix(users, items, vals, n_users=30, n_items=20)
+        groups = [rng.choice(30, size=int(rng.integers(1, 8)),
+                             replace=False) for _ in range(9)]
+        groups.insert(3, [])  # empty group mid-list
+        from repro.recommender.aggregation import aggregate_groups
+
+        batched = aggregate_groups(m, groups)
+        assert len(batched) == len(groups)
+        for g, (ids, means) in enumerate(batched):
+            ref_ids, ref_means = aggregate_group(m, groups[g])
+            assert np.array_equal(ids, ref_ids)
+            assert np.array_equal(means, ref_means)
+
+    def test_empty_inputs(self):
+        from repro.recommender.aggregation import aggregate_groups
+
+        assert aggregate_groups(matrix(), []) == []
+        out = aggregate_groups(matrix(), [[], []])
+        assert all(ids.size == 0 and means.size == 0 for ids, means in out)

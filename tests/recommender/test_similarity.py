@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.recommender.matrix import RatingMatrix
-from repro.recommender.similarity import pearson, pearson_weights
+from repro.recommender.similarity import pearson, pearson_weights, \
+    pearson_weights_batch, pearson_weights_scalar
 
 
 def as_user(d: dict):
@@ -99,3 +100,104 @@ class TestPearsonWeights:
         m = RatingMatrix([0, 0, 0], [0, 1, 2], [1.0, 2.0, 3.0])
         w = pearson_weights(m, [2, 0, 1], [3.0, 1.0, 2.0])
         assert w[0] == pytest.approx(1.0)
+
+
+def random_matrix(rng, n_users=40, n_items=25, density=0.4) -> RatingMatrix:
+    mask = rng.random((n_users, n_items)) < density
+    users, items = np.nonzero(mask)
+    vals = rng.integers(1, 6, size=users.size).astype(float)
+    return RatingMatrix(users, items, vals,
+                        n_users=n_users, n_items=n_items)
+
+
+def random_active(rng, n_items=25):
+    n = int(rng.integers(2, 9))
+    items = np.sort(rng.choice(n_items, size=n, replace=False))
+    return items, rng.integers(1, 6, size=n).astype(float)
+
+
+class TestVectorizedOracle:
+    """The CSR-vectorized hot path vs the per-user scalar loop, bit for bit.
+
+    Both paths accumulate the Pearson sufficient sums with the same
+    sequential ``bincount`` reduction, so equality is exact equality —
+    ``np.array_equal``, not ``allclose``.
+    """
+
+    def test_matches_scalar_oracle_fuzz(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            m = random_matrix(rng)
+            items, vals = random_active(rng)
+            assert np.array_equal(pearson_weights(m, items, vals),
+                                  pearson_weights_scalar(m, items, vals))
+
+    def test_matches_scalar_on_user_subsets(self):
+        rng = np.random.default_rng(8)
+        m = random_matrix(rng)
+        items, vals = random_active(rng)
+        for _ in range(10):
+            users = rng.choice(m.n_users, size=int(rng.integers(1, 15)),
+                               replace=False)
+            assert np.array_equal(
+                pearson_weights(m, items, vals, user_ids=users),
+                pearson_weights_scalar(m, items, vals, user_ids=users))
+
+    def test_duplicate_active_items_fall_back_to_scalar(self):
+        rng = np.random.default_rng(9)
+        m = random_matrix(rng)
+        items = np.array([0, 3, 3, 7], dtype=np.int64)
+        vals = np.array([1.0, 2.0, 4.0, 3.0])
+        assert np.array_equal(pearson_weights(m, items, vals),
+                              pearson_weights_scalar(m, items, vals))
+
+    def test_generator_user_ids(self):
+        # Regression: a generator used to be exhausted by the first
+        # internal pass, silently scoring zero users afterwards.
+        rng = np.random.default_rng(10)
+        m = random_matrix(rng)
+        items, vals = random_active(rng)
+        users = [3, 11, 0, 7]
+        from_gen = pearson_weights(m, items, vals,
+                                   user_ids=(u for u in users))
+        from_list = pearson_weights(m, items, vals, user_ids=users)
+        assert np.array_equal(from_gen, from_list)
+        assert from_gen.shape == (len(users),)
+
+    def test_empty_and_tiny_active_sets(self):
+        rng = np.random.default_rng(11)
+        m = random_matrix(rng)
+        assert np.array_equal(pearson_weights(m, [], []),
+                              np.zeros(m.n_users))
+        # A single active item can never reach MIN_OVERLAP.
+        assert np.array_equal(pearson_weights(m, [2], [3.0]),
+                              np.zeros(m.n_users))
+
+
+class TestPearsonWeightsBatch:
+    def test_matches_single_request_rows(self):
+        rng = np.random.default_rng(12)
+        m = random_matrix(rng)
+        actives = [random_active(rng) for _ in range(7)]
+        batch = pearson_weights_batch(m, actives)
+        assert batch.shape == (7, m.n_users)
+        for k, (items, vals) in enumerate(actives):
+            assert np.array_equal(batch[k], pearson_weights(m, items, vals))
+
+    def test_mixed_clean_and_degenerate_requests(self):
+        rng = np.random.default_rng(13)
+        m = random_matrix(rng)
+        actives = [
+            random_active(rng),
+            (np.array([4, 4], dtype=np.int64), np.array([1.0, 5.0])),  # dup
+            (np.empty(0, dtype=np.int64), np.empty(0)),                # empty
+            random_active(rng),
+        ]
+        batch = pearson_weights_batch(m, actives)
+        for k, (items, vals) in enumerate(actives):
+            assert np.array_equal(batch[k], pearson_weights(m, items, vals))
+
+    def test_empty_batch(self):
+        rng = np.random.default_rng(14)
+        m = random_matrix(rng)
+        assert pearson_weights_batch(m, []).shape == (0, m.n_users)

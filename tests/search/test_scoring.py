@@ -79,3 +79,67 @@ class TestScoreQuery:
 
     def test_empty_query(self):
         assert score_query(self.make(), []) == {}
+
+
+class TestScalarOracle:
+    """Vectorized score_query vs the per-posting loop, bit for bit."""
+
+    def make(self, seed=3, n_docs=40, vocab=30):
+        rng = np.random.default_rng(seed)
+        words = [f"w{t}" for t in range(vocab)]
+        idx = InvertedIndex()
+        for d in range(n_docs):
+            n = int(rng.integers(3, 25))
+            idx.add_document(d * 3,  # non-contiguous doc ids
+                             [words[i] for i in rng.integers(0, vocab, n)])
+        return idx, words, rng
+
+    def test_matches_scalar_fuzz(self):
+        from repro.search.scoring import score_query_scalar
+
+        idx, words, rng = self.make()
+        for _ in range(12):
+            terms = [words[i]
+                     for i in rng.integers(0, len(words),
+                                           int(rng.integers(1, 6)))]
+            assert score_query(idx, terms) == score_query_scalar(idx, terms)
+
+    def test_matches_scalar_with_doc_restriction(self):
+        from repro.search.scoring import score_query_scalar
+
+        idx, words, rng = self.make(seed=4)
+        terms = [words[0], words[1], words[0]]
+        docs = [0, 6, 9, 33]
+        assert score_query(idx, terms, doc_ids=docs) == \
+            score_query_scalar(idx, terms, doc_ids=docs)
+
+
+class TestScoreQueries:
+    def test_matches_single_query_calls(self):
+        from repro.search.scoring import score_queries
+
+        oracle = TestScalarOracle()
+        idx, words, rng = oracle.make(seed=5)
+        queries = [[words[i] for i in rng.integers(0, len(words),
+                                                   int(rng.integers(1, 5)))]
+                   for _ in range(8)]
+        queries.append([])              # empty query mid-batch
+        queries.append(["unseen-term"])
+        batched = score_queries(idx, queries)
+        assert batched == [score_query(idx, q) for q in queries]
+
+    def test_doc_restriction_applies_to_every_query(self):
+        from repro.search.scoring import score_queries
+
+        oracle = TestScalarOracle()
+        idx, words, rng = oracle.make(seed=6)
+        queries = [[words[0]], [words[1], words[2]]]
+        docs = [0, 3, 12]
+        assert score_queries(idx, queries, doc_ids=docs) == \
+            [score_query(idx, q, doc_ids=docs) for q in queries]
+
+    def test_empty_batch(self):
+        from repro.search.scoring import score_queries
+
+        idx = InvertedIndex()
+        assert score_queries(idx, []) == []
