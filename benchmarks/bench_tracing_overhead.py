@@ -1,0 +1,181 @@
+"""Tracing overhead: traced vs untraced serving throughput.
+
+The telemetry plane (:mod:`repro.serving.telemetry`) is on by default —
+every envelope roots a trace and every hop records spans — so its cost
+must stay in the noise.  This bench serves an identical closed-loop CF
+request stream through the same service twice per round, once with the
+global tracer enabled (sample rate 1.0: every request fully traced) and
+once with tracing disabled, alternating the order within each round so
+thermal / scheduling drift cancels.  Throughput medians across rounds
+give the overhead percentage CI gates at <= 5%.
+
+Emits machine-readable ``BENCH_tracing.json`` (per-round throughput,
+medians, overhead, spans per request) so CI can smoke-run it at toy
+scale and downstream tooling can diff runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_tracing_overhead.py [--toy]
+          [--out BENCH_tracing.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from dataclasses import dataclass
+
+from repro.core.adapters import CFAdapter, CFRequest
+from repro.core.builder import SynopsisConfig
+from repro.core.service import AccuracyTraderService
+from repro.serving import (
+    IOStallAdapter,
+    LoadGenerator,
+    ServingHarness,
+    ThreadPoolBackend,
+    Tracer,
+    use_tracer,
+)
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_ratings
+
+N_COMPONENTS = 2
+STALL_S = 1e-3          # per synopsis/group fetch: fast storage access
+DEADLINE_S = 10.0       # generous: identical refinement in both modes
+
+
+@dataclass
+class Scale:
+    n_users: int
+    n_items: int
+    n_requests: int
+    n_rounds: int
+
+
+FULL = Scale(n_users=400, n_items=60, n_requests=64, n_rounds=9)
+TOY = Scale(n_users=96, n_items=30, n_requests=40, n_rounds=7)
+
+
+def make_loadgen(matrix) -> LoadGenerator:
+    def factory(i, rng):
+        ids, vals = matrix.user_ratings(i % matrix.n_users)
+        targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+        return CFRequest(active_items=ids, active_vals=vals,
+                         target_items=targets)
+
+    return LoadGenerator(factory, seed=42)
+
+
+def build_service(scale: Scale) -> AccuracyTraderService:
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=scale.n_users, n_items=scale.n_items, density=0.25,
+        n_clusters=5, cluster_spread=0.3, noise=0.3, seed=31))
+    parts = split_ratings(ratings.matrix, N_COMPONENTS)
+    adapter = IOStallAdapter(CFAdapter(), synopsis_stall=STALL_S,
+                             group_stall=STALL_S)
+    return AccuracyTraderService(
+        adapter, parts,
+        config=SynopsisConfig(n_iters=25, target_ratio=12.0, seed=31))
+
+
+def measure(harness: ServingHarness, load, traced: bool,
+            keep_tracer: list | None = None) -> float:
+    """Closed-loop throughput (req/s) with tracing on or off."""
+    tracer = Tracer(enabled=traced)
+    with use_tracer(tracer):
+        stats = harness.run_closed_loop(load)
+    if keep_tracer is not None:
+        keep_tracer.append(tracer)
+    return stats.throughput()
+
+
+def run(scale: Scale) -> dict:
+    service = build_service(scale)
+    loadgen = make_loadgen(service.partitions[0])
+    # One client: requests serialize, so each round's wall time is a
+    # sum of per-request latencies — far less scheduler noise than
+    # concurrent clients, which matters for a <= 5% CI gate.
+    load = loadgen.closed_loop(n_clients=1, n_requests=scale.n_requests)
+
+    with ThreadPoolBackend(max_workers=2 * N_COMPONENTS) as backend:
+        harness = ServingHarness(service, deadline=DEADLINE_S,
+                                 backend=backend)
+        # Warm both paths (JIT-free, but caches/allocators settle).
+        measure(harness, load, traced=True)
+        measure(harness, load, traced=False)
+
+        traced_rps, untraced_rps = [], []
+        tracers: list = []
+        for rnd in range(scale.n_rounds):
+            # Alternate order each round so drift cancels.
+            if rnd % 2 == 0:
+                traced_rps.append(measure(harness, load, True, tracers))
+                untraced_rps.append(measure(harness, load, False))
+            else:
+                untraced_rps.append(measure(harness, load, False))
+                traced_rps.append(measure(harness, load, True, tracers))
+
+    traced_med = statistics.median(traced_rps)
+    untraced_med = statistics.median(untraced_rps)
+    # Overhead from the median of *paired* per-round ratios: each
+    # round's traced and untraced runs are adjacent in time, so the
+    # ratio cancels machine drift a cross-round median would not.
+    ratios = [t / u for t, u in zip(traced_rps, untraced_rps)]
+    overhead_pct = 100.0 * (1.0 - statistics.median(ratios))
+
+    last = tracers[-1]
+    trace_ids = last.trace_ids()
+    span_counts = [len(last.spans_of(t)) for t in trace_ids]
+    return {
+        "bench": "tracing_overhead",
+        "workload": "cf",
+        "scale": {"n_users": scale.n_users, "n_items": scale.n_items,
+                  "n_requests": scale.n_requests,
+                  "n_rounds": scale.n_rounds},
+        "traced_rps": traced_rps,
+        "untraced_rps": untraced_rps,
+        "traced_rps_median": traced_med,
+        "untraced_rps_median": untraced_med,
+        "overhead_pct": overhead_pct,
+        "n_traces": len(trace_ids),
+        "spans_per_request": (sum(span_counts) / len(span_counts)
+                              if span_counts else 0.0),
+    }
+
+
+def print_table(result: dict) -> None:
+    print("tracing overhead — CF closed loop, sample rate 1.0 vs off")
+    print(f"{'round':>6}{'traced req/s':>14}{'untraced req/s':>16}")
+    for i, (t, u) in enumerate(zip(result["traced_rps"],
+                                   result["untraced_rps"])):
+        print(f"{i:>6}{t:>14.1f}{u:>16.1f}")
+    print(f"median: traced {result['traced_rps_median']:.1f} req/s, "
+          f"untraced {result['untraced_rps_median']:.1f} req/s -> "
+          f"{result['overhead_pct']:+.2f}% overhead")
+    print(f"{result['n_traces']} traces, "
+          f"{result['spans_per_request']:.1f} spans/request")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--toy", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_tracing.json",
+                        help="path of the machine-readable result")
+    args = parser.parse_args(argv)
+
+    result = run(TOY if args.toy else FULL)
+    result["scale_name"] = "toy" if args.toy else "full"
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+    print_table(result)
+    print(f"\nwrote {args.out}")
+
+    if result["n_traces"] == 0 or result["spans_per_request"] <= 0:
+        print("error: traced runs recorded no spans", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

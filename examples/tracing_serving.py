@@ -1,0 +1,155 @@
+"""Distributed tracing: one hedged, sharded, remote request, end to end.
+
+One CF request is served through the full serving stack — harness ->
+``ShardedService`` router (with a live hedged re-issue against an
+injected straggler replica) -> ``ReplicaGroup`` -> a shard living in
+its own OS process (``RemoteServable``) — with the telemetry plane on.
+The request's envelope roots a trace; every hop records spans
+(routing, hedge primary/sibling, wire RPCs with byte counts, remote
+state fetch + kernel execution), and the worker-side spans ride the
+outcomes back across the process boundary to stitch into one timeline.
+
+The script renders that timeline as ASCII and writes a Chrome
+``trace_event`` file loadable in chrome://tracing or
+https://ui.perfetto.dev.
+
+Run:  PYTHONPATH=src python examples/tracing_serving.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import AccuracyTraderService, CFAdapter, CFRequest, \
+    SynopsisConfig
+from repro.serving import (
+    IOStallAdapter,
+    RemoteServable,
+    ReplicaGroup,
+    ShardedService,
+    ThreadPoolBackend,
+    Tracer,
+    as_envelope,
+    use_tracer,
+)
+from repro.strategies.reissue import ReissueStrategy
+from repro.workloads.movielens import MovieLensConfig, generate_ratings
+from repro.workloads.partitioning import split_ratings
+
+CONFIG = SynopsisConfig(n_iters=25, target_ratio=12.0, seed=19)
+DEADLINE_S = 10.0
+STALL_S = 0.03           # straggler replica: per synopsis/group fetch
+HEDGE_TRIGGER_S = 0.02   # re-issue once the primary looks slow
+TIMELINE_WIDTH = 56
+
+
+def request_for(matrix, user):
+    ids, vals = matrix.user_ratings(user % matrix.n_users)
+    targets = [t for t in range(5) if t not in set(ids.tolist())] or [0]
+    return CFRequest(active_items=ids, active_vals=vals,
+                     target_items=targets)
+
+
+def build_cluster(parts, backend):
+    """Shard 0: straggler + clean replica (hedging bait); shard 1: remote."""
+    straggler = IOStallAdapter(CFAdapter(), synopsis_stall=STALL_S,
+                               group_stall=STALL_S)
+    shard0 = ReplicaGroup([
+        AccuracyTraderService(straggler, [parts[0]], config=CONFIG,
+                              i_max=3),
+        AccuracyTraderService(CFAdapter(), [parts[0]], config=CONFIG,
+                              i_max=3),
+    ])
+    remote = RemoteServable.spawn(AccuracyTraderService, CFAdapter(),
+                                  [parts[1]], config=CONFIG)
+    shard1 = ReplicaGroup([remote])
+    svc = ShardedService(
+        [shard0, shard1], backend=backend,
+        hedge=ReissueStrategy(100.0,
+                              initial_expected_latency=HEDGE_TRIGGER_S),
+        hedge_budget=None)
+    return svc, remote
+
+
+def render_timeline(spans):
+    """ASCII swimlane: one row per span, indented by tree depth."""
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    total = max(t1 - t0, 1e-9)
+    depth = {}
+    by_id = {s.span_id: s for s in spans}
+
+    def depth_of(span):
+        d, parent = 0, span.parent_id
+        while parent in by_id:
+            d += 1
+            parent = by_id[parent].parent_id
+        return d
+
+    for s in spans:
+        depth[s.span_id] = depth_of(s)
+
+    this_pid = os.getpid()
+    print(f"  {'span':<32}{'pid':>7}{'ms':>9}  timeline")
+    for s in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        lo = int(TIMELINE_WIDTH * (s.start - t0) / total)
+        hi = max(lo + 1, int(TIMELINE_WIDTH * (s.end - t0) / total))
+        bar = " " * lo + "#" * (hi - lo)
+        label = "  " * depth[s.span_id] + s.name
+        extra = ""
+        if "winner" in s.tags:
+            extra = " *win*" if s.tags["winner"] else " (lost)"
+        pid = "local" if s.pid == this_pid else str(s.pid)
+        print(f"  {label + extra:<32}{pid:>7}{1e3 * s.duration:>9.1f}"
+              f"  |{bar:<{TIMELINE_WIDTH}}|")
+
+
+def main():
+    ratings = generate_ratings(MovieLensConfig(
+        n_users=200, n_items=50, density=0.25, n_clusters=5,
+        cluster_spread=0.3, noise=0.3, seed=19))
+    parts = split_ratings(ratings.matrix, 2)
+    tracer = Tracer()
+
+    with ThreadPoolBackend(max_workers=12) as backend:
+        svc, remote = build_cluster(parts, backend)
+        try:
+            with use_tracer(tracer):
+                # A few requests so round-robin lands one on the
+                # straggler and the hedge fires.
+                responses = [
+                    svc.serve(as_envelope(request_for(ratings.matrix, u),
+                                          DEADLINE_S))
+                    for u in range(4)]
+        finally:
+            remote.close()
+
+    print("=== one hedged, sharded, remote request ===")
+    hedged = [
+        tid for tid in tracer.trace_ids()
+        if any(s.name == "shard.hedge" for s in tracer.spans_of(tid))]
+    trace_id = hedged[0] if hedged else tracer.trace_ids()[0]
+    spans = tracer.spans_of(trace_id)
+    print(f"trace {trace_id}: {len(spans)} spans, "
+          f"{len({s.pid for s in spans})} processes, "
+          f"hedge {'fired' if hedged else 'did not fire'}\n")
+    render_timeline(spans)
+
+    wire = [s for s in spans if s.name.startswith("wire.")]
+    if wire:
+        sent = sum(s.tags.get("bytes_sent", 0) for s in wire)
+        received = sum(s.tags.get("bytes_received", 0) for s in wire)
+        print(f"\nwire spans: {len(wire)} "
+              f"({sent} B out, {received} B back)")
+
+    out = "TRACE_serving.json"
+    tracer.chrome_trace(out)
+    n_events = len(tracer.chrome_trace()["traceEvents"])
+    print(f"answers served: {sum(r.answer is not None for r in responses)}"
+          f"/{len(responses)}")
+    print(f"wrote {out} ({n_events} events) — open in chrome://tracing "
+          "or ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

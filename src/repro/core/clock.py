@@ -24,9 +24,24 @@ __all__ = [
     "SimulatedClock",
     "ClockFactory",
     "fresh_like",
+    "monotonic",
     "wall_clock_factory",
     "simulated_clock_factory",
 ]
+
+
+def monotonic() -> float:
+    """The process-wide wall reference used by the serving plane.
+
+    Every wall timestamp the serving layer takes — dispatch times,
+    harness pacing, span boundaries — flows through this one seam
+    instead of calling ``time.monotonic()`` directly, so tests (and the
+    telemetry layer) have a single point to reason about, and CI can
+    lint ``repro.serving`` for stray direct clock reads.  On Linux,
+    ``CLOCK_MONOTONIC`` is shared across processes of one boot, which
+    is what lets worker-side trace spans align with parent-side ones.
+    """
+    return time.monotonic()
 
 
 @runtime_checkable
@@ -46,7 +61,7 @@ class WallClock:
     """Real wall-clock time; ``charge`` is a no-op (real work takes real time)."""
 
     def now(self) -> float:
-        return time.monotonic()
+        return monotonic()
 
     def charge(self, work_units: float) -> None:
         # Real computation already consumed wall time.

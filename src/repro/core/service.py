@@ -36,12 +36,11 @@ torn mix.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any, Callable
 
 from repro.core.adapters import ServiceAdapter
 from repro.core.builder import SynopsisBuilder, SynopsisConfig
-from repro.core.clock import DeadlineClock, SimulatedClock
+from repro.core.clock import DeadlineClock, SimulatedClock, monotonic
 from repro.core.processor import ProcessingReport
 from repro.core.servable import default_merge
 from repro.core.state import ComponentState, StateEpoch, StateStore
@@ -233,18 +232,33 @@ class AccuracyTraderService:
         Safe to call from many threads concurrently, including while
         updates are being applied: each component's work runs against
         the consistent snapshot current at dispatch.
+
+        Tracing: the request is rooted in a trace here if nothing
+        upstream (harness, router) already did, a ``serve`` span covers
+        dispatch-to-merge, and worker-side spans piggybacked on the
+        outcomes are stitched into the live tracer.
         """
         from repro.serving.envelope import ServingResponse
+        from repro.serving.telemetry import (attach_context, get_tracer,
+                                             trace_context_of)
 
-        t_dispatch = time.monotonic()
-        tasks = self.build_tasks(request, clocks=clocks)
-        exec_backend = self.backend if backend is None else backend
-        outcomes = exec_backend.run_tasks(tasks)
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
+        tracer = get_tracer()
+        request = tracer.trace(request)
+        ctx = trace_context_of(request)
+        t_dispatch = monotonic()
+        with tracer.span("serve", ctx, components=self.n_components) as sp:
+            task_request = request if sp.ctx is ctx \
+                else attach_context(request, sp.ctx)
+            tasks = self.build_tasks(task_request, clocks=clocks)
+            exec_backend = self.backend if backend is None else backend
+            outcomes = exec_backend.run_tasks(tasks)
+            tracer.ingest_outcomes(outcomes)
+            results = [o.result for o in outcomes]
+            reports = [o.report for o in outcomes]
+            answer = self._merge(results, request.payload)
         return ServingResponse(
-            answer=self._merge(results, request.payload), reports=reports,
-            request=request, service_time=time.monotonic() - t_dispatch)
+            answer=answer, reports=reports,
+            request=request, service_time=monotonic() - t_dispatch)
 
     async def aserve(self, request,
                      clocks: list[DeadlineClock] | None = None,
@@ -259,16 +273,26 @@ class AccuracyTraderService:
         """
         from repro.serving.aio import arun_tasks
         from repro.serving.envelope import ServingResponse
+        from repro.serving.telemetry import (attach_context, get_tracer,
+                                             trace_context_of)
 
-        t_dispatch = time.monotonic()
-        tasks = self.build_tasks(request, clocks=clocks)
-        exec_backend = self.backend if backend is None else backend
-        outcomes = await arun_tasks(exec_backend, tasks)
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
+        tracer = get_tracer()
+        request = tracer.trace(request)
+        ctx = trace_context_of(request)
+        t_dispatch = monotonic()
+        with tracer.span("serve", ctx, components=self.n_components) as sp:
+            task_request = request if sp.ctx is ctx \
+                else attach_context(request, sp.ctx)
+            tasks = self.build_tasks(task_request, clocks=clocks)
+            exec_backend = self.backend if backend is None else backend
+            outcomes = await arun_tasks(exec_backend, tasks)
+            tracer.ingest_outcomes(outcomes)
+            results = [o.result for o in outcomes]
+            reports = [o.report for o in outcomes]
+            answer = self._merge(results, request.payload)
         return ServingResponse(
-            answer=self._merge(results, request.payload), reports=reports,
-            request=request, service_time=time.monotonic() - t_dispatch)
+            answer=answer, reports=reports,
+            request=request, service_time=monotonic() - t_dispatch)
 
     # -- legacy positional shims ---------------------------------------
 

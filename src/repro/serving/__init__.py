@@ -78,6 +78,15 @@ Pieces
   first, accuracy-critical last — and the CoDel-style
   :class:`QueueDelayShed`), with counters and per-class breakdowns
   surfaced in :class:`ServingRunStats`.
+- :mod:`repro.serving.telemetry` — the observability plane:
+  per-request distributed tracing (:class:`Tracer` roots a trace at
+  every envelope, spans cover admission / routing / hedging / batching
+  / wire / worker execution, and worker-side spans ride
+  :class:`ComponentOutcome` back across process boundaries) plus the
+  unified :class:`MetricsRegistry` (counters, gauges, fixed-bucket
+  histograms) that backs every legacy counter dict bit-identically.
+  Traces export as JSON or Chrome ``trace_event`` files; per-class
+  head sampling is deterministic.
 - :mod:`repro.serving.transport` — the multi-host tier: length-prefixed
   socket framing for requests and responses,
   :class:`~repro.serving.transport.RemoteServable` (a service in
@@ -133,6 +142,21 @@ from repro.serving.backends import (
 from repro.serving.harness import AccuracyPoint, ServingHarness, ServingRunStats
 from repro.serving.loadgen import ClosedLoopLoad, LoadGenerator, OpenLoopLoad
 from repro.serving.router import RebalanceReport, ReplicaGroup, ShardedService
+from repro.serving.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    Tracer,
+    attach_context,
+    get_tracer,
+    set_tracer,
+    trace_context_of,
+    use_tracer,
+)
 from repro.serving.transport import (
     RemoteBackend,
     RemoteChannel,
@@ -182,4 +206,17 @@ __all__ = [
     "RemoteServable",
     "bind_with_retry",
     "connect_with_retry",
+    "Tracer",
+    "TraceContext",
+    "Span",
+    "SpanRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "attach_context",
+    "trace_context_of",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
 ]

@@ -52,10 +52,12 @@ import asyncio
 import heapq
 import itertools
 import math
-import time
 from dataclasses import dataclass, field
 
+from repro.core.clock import monotonic
 from repro.serving.envelope import RequestClass, ServingRequest
+from repro.serving.telemetry import MetricsRegistry, get_tracer, \
+    trace_context_of
 
 __all__ = [
     "AdmissionSnapshot",
@@ -291,7 +293,7 @@ class QueueDelayShed(ShedPolicy):
 
     def __init__(self, target: float = 0.050, interval: float = 0.500,
                  exempt=(RequestClass.ACCURACY_CRITICAL,),
-                 time_fn=time.monotonic):
+                 time_fn=monotonic):
         if target <= 0:
             raise ValueError("target must be positive")
         if interval <= 0:
@@ -379,32 +381,39 @@ class AdmissionController:
         self.max_inflight = int(max_inflight)
         self.policies = (list(policies) if policies is not None
                          else [RejectOnFull()])
-        self._pending = 0
-        self._inflight = 0
         self._free = self.max_inflight
         # (priority, arrival seq, future): a heap, so the lowest
         # priority number leaves first and ties break FIFO by seq.
         self._waiters: list[tuple[int, int, asyncio.Future]] = []
         self._seq = itertools.count()
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._stats = AdmissionStats()
+        # All counters and occupancy gauges live in the unified metrics
+        # registry; :meth:`stats` renders the legacy
+        # :class:`AdmissionStats` shape from the same values, so both
+        # views agree bit-for-bit.  Gauges track their own high-water
+        # marks, replacing the hand-rolled ``*_max`` bookkeeping.
+        self.metrics = MetricsRegistry()
+        self._offered = self.metrics.counter("offered")
+        self._admitted = self.metrics.counter("admitted")
+        self._shed_total = self.metrics.counter("shed")
+        self._pending_g = self.metrics.gauge("queue_depth")
+        self._inflight_g = self.metrics.gauge("inflight")
 
     # ------------------------------------------------------------------
 
     def _snapshot(self, deadline: float, waited: float,
                   request: ServingRequest | None) -> AdmissionSnapshot:
         return AdmissionSnapshot(
-            pending=self._pending, max_pending=self.max_pending,
-            inflight=self._inflight, max_inflight=self.max_inflight,
+            pending=self._pending_g.value, max_pending=self.max_pending,
+            inflight=self._inflight_g.value, max_inflight=self.max_inflight,
             deadline=float(deadline), waited=float(waited),
             request_class=(request.request_class if request is not None
                            else None),
             priority=request.priority if request is not None else None)
 
     def _shed(self, reason: str) -> str:
-        self._stats.shed += 1
-        self._stats.shed_reasons[reason] = \
-            self._stats.shed_reasons.get(reason, 0) + 1
+        self._shed_total.inc()
+        self.metrics.counter("shed", reason=reason).inc()
         return reason
 
     async def acquire(self, deadline: float | None = None,
@@ -436,55 +445,59 @@ class AdmissionController:
             # waiter futures bind to the loop that created them, so the
             # wait state must be rebuilt — which is only sound while no
             # slots or queue places are held on the old loop.
-            if self._pending or self._inflight:
+            if self._pending_g.value or self._inflight_g.value:
                 raise RuntimeError(
                     "AdmissionController is in use on another event loop")
             self._free = self.max_inflight
             self._waiters = []
             self._loop = loop
-        self._stats.offered += 1
-        snapshot = self._snapshot(deadline, waited, request)
-        for policy in self.policies:
-            reason = policy.on_arrival(snapshot)
-            if reason is not None:
-                return self._shed(reason)
-        priority = (request.priority if request is not None
-                    else RequestClass.LATENCY_CRITICAL.default_priority)
-        t_enqueue = loop.time()
-        self._pending += 1
-        self._stats.queue_depth_max = max(self._stats.queue_depth_max,
-                                          self._pending)
-        try:
-            if self._free > 0 and not self._waiters:
-                self._free -= 1
-            else:
-                future = loop.create_future()
-                heapq.heappush(self._waiters,
-                               (int(priority), next(self._seq), future))
-                try:
-                    await future
-                except asyncio.CancelledError:
-                    # Granted concurrently with the cancellation: the
-                    # slot must not leak — hand it to the next waiter.
-                    if future.done() and not future.cancelled():
-                        self._release_slot()
-                    raise
-        finally:
-            self._pending -= 1
-        # Dispatch-time check: the queue wait itself may have eaten the
-        # deadline; shedding now still saves the execution slot.
-        snapshot = self._snapshot(deadline,
-                                  waited + (loop.time() - t_enqueue),
-                                  request)
-        for policy in self.policies:
-            reason = policy.on_dispatch(snapshot)
-            if reason is not None:
-                self._release_slot()
-                return self._shed(reason)
-        self._inflight += 1
-        self._stats.admitted += 1
-        self._stats.inflight_max = max(self._stats.inflight_max,
-                                       self._inflight)
+        self._offered.inc()
+        ctx = trace_context_of(request) if request is not None else None
+        with get_tracer().span("admission.queue", ctx,
+                               pending=self._pending_g.value,
+                               inflight=self._inflight_g.value) as sp:
+            snapshot = self._snapshot(deadline, waited, request)
+            for policy in self.policies:
+                reason = policy.on_arrival(snapshot)
+                if reason is not None:
+                    sp.tag(outcome=f"shed:{reason}")
+                    return self._shed(reason)
+            priority = (request.priority if request is not None
+                        else RequestClass.LATENCY_CRITICAL.default_priority)
+            t_enqueue = loop.time()
+            self._pending_g.inc()
+            try:
+                if self._free > 0 and not self._waiters:
+                    self._free -= 1
+                else:
+                    future = loop.create_future()
+                    heapq.heappush(self._waiters,
+                                   (int(priority), next(self._seq), future))
+                    try:
+                        await future
+                    except asyncio.CancelledError:
+                        # Granted concurrently with the cancellation: the
+                        # slot must not leak — hand it to the next waiter.
+                        if future.done() and not future.cancelled():
+                            self._release_slot()
+                        raise
+            finally:
+                self._pending_g.dec()
+            # Dispatch-time check: the queue wait itself may have eaten
+            # the deadline; shedding now still saves the execution slot.
+            queue_wait = loop.time() - t_enqueue
+            sp.tag(queue_wait=queue_wait)
+            snapshot = self._snapshot(deadline, waited + queue_wait,
+                                      request)
+            for policy in self.policies:
+                reason = policy.on_dispatch(snapshot)
+                if reason is not None:
+                    self._release_slot()
+                    sp.tag(outcome=f"shed:{reason}")
+                    return self._shed(reason)
+            self._inflight_g.inc()
+            self._admitted.inc()
+            sp.tag(outcome="admitted")
         return None
 
     def _release_slot(self) -> None:
@@ -498,27 +511,36 @@ class AdmissionController:
 
     def release(self) -> None:
         """Return one execution slot (after a successful ``acquire``)."""
-        if self._inflight < 1:
+        if self._inflight_g.value < 1:
             raise RuntimeError("release() without a matching acquire()")
-        self._inflight -= 1
+        self._inflight_g.dec()
         self._release_slot()
 
     # ------------------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        return self._pending
+        return self._pending_g.value
 
     @property
     def inflight(self) -> int:
-        return self._inflight
+        return self._inflight_g.value
 
     def stats(self) -> AdmissionStats:
-        """Cumulative counters (live object view; copy if you mutate)."""
-        return self._stats
+        """Cumulative counters, rendered from the metrics registry."""
+        reasons = {
+            dict(labels)["reason"]: value
+            for labels, value in self.metrics.counters_named("shed").items()
+            if labels and value > 0
+        }
+        return AdmissionStats(
+            offered=self._offered.value, admitted=self._admitted.value,
+            shed=self._shed_total.value, shed_reasons=reasons,
+            queue_depth_max=self._pending_g.max,
+            inflight_max=self._inflight_g.max)
 
     def reset_stats(self) -> None:
-        self._stats = AdmissionStats()
+        self.metrics.reset()
 
     def reset_watermarks(self) -> None:
         """Reset the high-water marks only (per-run reporting).
@@ -527,5 +549,5 @@ class AdmissionController:
         in-flight *maxima* are not, so a harness resets them at the
         start of each run to report run-local peaks.
         """
-        self._stats.queue_depth_max = self._pending
-        self._stats.inflight_max = self._inflight
+        self._pending_g.reset_max()
+        self._inflight_g.reset_max()

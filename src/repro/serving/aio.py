@@ -41,24 +41,25 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.core.clock import ClockFactory, DeadlineClock, WallClock, \
-    wall_clock_factory
+    monotonic, wall_clock_factory
 from repro.core.processor import ProcessingReport, effective_i_max
 from repro.serving.adapters import IOStallAdapter
 from repro.serving.admission import AdmissionController
 from repro.serving.backends import ComponentOutcome, ComponentTask, \
-    ExecutionBackend, run_component_task, stamp_envelope
+    ExecutionBackend, _task_recorder, run_component_task, stamp_envelope
 from repro.serving.envelope import aserve_via
 from repro.serving.harness import ServingRunStats, apply_class_breakdown, \
     apply_hedge_delta, apply_payload_delta, collect_hedge_counters, \
     collect_payload_counters, payload_backend_of, resolve_envelopes
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
+from repro.serving.telemetry import attach_context, get_tracer, \
+    trace_context_of
 
 __all__ = [
     "is_async_adapter",
@@ -145,7 +146,7 @@ async def aprocess_component(adapter, partition, synopsis, request,
 
     report = ProcessingReport(deadline=deadline)
     t_begin = clock.now()
-    t_wall0 = time.monotonic()
+    t_wall0 = monotonic()
 
     # Stage 1: initial result + correlations from the synopsis.
     syn_work = adapter.synopsis_work(synopsis)
@@ -186,7 +187,7 @@ async def aprocess_component(adapter, partition, synopsis, request,
         await refine_loop()
     else:
         inner = asyncio.ensure_future(refine_loop())
-        remaining = hard_deadline - (time.monotonic() - t_wall0)
+        remaining = hard_deadline - (monotonic() - t_wall0)
         try:
             done, _ = await asyncio.wait({inner},
                                          timeout=max(0.0, remaining))
@@ -215,18 +216,38 @@ async def arun_component_task(task: ComponentTask,
 
     Epoch references resolve exactly as on the sync path: the task's
     pinned dispatch-time snapshot, never a newer or torn state.
+    Sampled tasks record the same ``state.fetch`` / ``kernel`` spans as
+    :func:`~repro.serving.backends.run_component_task`, piggybacked on
+    the outcome.
     """
-    partition, synopsis = task.resolve_state()
-    result, report = await aprocess_component(
-        task.adapter, partition, synopsis, task.request,
-        task.deadline, clock=task.clock,
-        i_max=task.i_max, i_max_fraction=task.i_max_fraction,
-        start_time=task.start_time, hard_deadline=hard_deadline)
+    rec = _task_recorder(task)
+    if rec is None:
+        partition, synopsis = task.resolve_state()
+        result, report = await aprocess_component(
+            task.adapter, partition, synopsis, task.request,
+            task.deadline, clock=task.clock,
+            i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+            start_time=task.start_time, hard_deadline=hard_deadline)
+        spans = None
+    else:
+        with rec.span("state.fetch", component=task.component) as fetch:
+            partition, synopsis = task.resolve_state()
+            if task.state_ref is not None:
+                fetch.tag(epoch=task.state_ref.epoch)
+        with rec.span("kernel", component=task.component) as kernel:
+            result, report = await aprocess_component(
+                task.adapter, partition, synopsis, task.request,
+                task.deadline, clock=task.clock,
+                i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+                start_time=task.start_time, hard_deadline=hard_deadline)
+            kernel.tag(groups_processed=report.groups_processed,
+                       work_units=report.work_units)
+        spans = tuple(rec.spans)
     if task.state_ref is not None:
         report.state_epoch = task.state_ref.epoch
     stamp_envelope(report, task)
     return ComponentOutcome(component=task.component, result=result,
-                            report=report)
+                            report=report, spans=spans)
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +305,8 @@ class AsyncExecutionBackend(ExecutionBackend):
 
     async def arun_task(self, task: ComponentTask) -> ComponentOutcome:
         """Execute one task on the current loop."""
+        ctx = trace_context_of(getattr(task, "envelope", None))
+        t0 = monotonic() if ctx is not None and ctx.sampled else 0.0
         if is_async_adapter(task.adapter):
             hard = (None if self.cancel_grace is None
                     else task.deadline * self.cancel_grace)
@@ -291,16 +314,25 @@ class AsyncExecutionBackend(ExecutionBackend):
             if outcome.report.cancelled:
                 with self._lock:
                     self.tasks_cancelled += 1
-            return outcome
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._ensure_cpu_pool(),
-                                          run_component_task, task)
+            native = True
+        else:
+            loop = asyncio.get_running_loop()
+            outcome = await loop.run_in_executor(self._ensure_cpu_pool(),
+                                                 run_component_task, task)
+            native = False
+        if ctx is not None and ctx.sampled:
+            get_tracer().record("async.dispatch", ctx, t0, monotonic(),
+                                component=task.component,
+                                async_native=native)
+        return outcome
 
     async def arun_tasks(self, tasks: Sequence[ComponentTask],
                          ) -> list[ComponentOutcome]:
         """Execute ``tasks`` concurrently on the current loop, in order."""
-        return list(await asyncio.gather(
+        outcomes = list(await asyncio.gather(
             *(self.arun_task(t) for t in tasks)))
+        get_tracer().ingest_outcomes(outcomes)
+        return outcomes
 
     # -- sync contract (bridged through an owned loop thread) -----------
 
@@ -358,7 +390,10 @@ async def arun_tasks(backend, tasks: Sequence[ComponentTask],
     if isinstance(backend, AsyncExecutionBackend):
         return await backend.arun_tasks(tasks)
     loop = asyncio.get_running_loop()
-    return await loop.run_in_executor(None, backend.run_tasks, list(tasks))
+    outcomes = await loop.run_in_executor(None, backend.run_tasks,
+                                          list(tasks))
+    get_tracer().ingest_outcomes(outcomes)
+    return outcomes
 
 
 # ---------------------------------------------------------------------------
@@ -499,27 +534,37 @@ class AsyncServingHarness:
 
         async def serve(i: int) -> None:
             nonlocal inflight, inflight_max
-            envelope = envelopes[i]
+            tracer = get_tracer()
+            envelope = tracer.trace(envelopes[i])
+            ctx = trace_context_of(envelope)
             scheduled = t0 + float(load.arrivals[i]) * self.time_scale
             delay = scheduled - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            if adm is not None:
-                waited = max(0.0, loop.time() - scheduled)
-                reason = await adm.acquire(waited=waited, request=envelope)
-                if reason is not None:
-                    return  # shed: no slot held, answer stays None
-            inflight += 1
-            inflight_max = max(inflight_max, inflight)
-            t_dispatch = loop.time()
-            try:
-                resp = await aserve_via(self.service, envelope,
-                                        clocks=self._clocks(),
-                                        backend=self.backend)
-            finally:
-                inflight -= 1
+            # The "request" span is the trace root's first child and
+            # covers admission queueing and the service call alike.
+            with tracer.span("request", ctx,
+                             request_class=envelope.request_class.value,
+                             ) as sp:
+                env = (envelope if sp.ctx is ctx
+                       else attach_context(envelope, sp.ctx))
                 if adm is not None:
-                    adm.release()
+                    waited = max(0.0, loop.time() - scheduled)
+                    reason = await adm.acquire(waited=waited, request=env)
+                    if reason is not None:
+                        sp.tag(outcome=f"shed:{reason}")
+                        return  # shed: no slot held, answer stays None
+                inflight += 1
+                inflight_max = max(inflight_max, inflight)
+                t_dispatch = loop.time()
+                try:
+                    resp = await aserve_via(self.service, env,
+                                            clocks=self._clocks(),
+                                            backend=self.backend)
+                finally:
+                    inflight -= 1
+                    if adm is not None:
+                        adm.release()
             resp.queue_delay = max(0.0, t_dispatch - scheduled)
             answers[i] = resp.answer
             reports[i] = resp.reports
@@ -593,6 +638,7 @@ class AsyncServingHarness:
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
+        queue_delays = np.zeros(n, dtype=float)
         next_index = 0
         inflight = 0
         inflight_max = 0
@@ -602,6 +648,7 @@ class AsyncServingHarness:
 
         async def client() -> None:
             nonlocal next_index, inflight, inflight_max
+            tracer = get_tracer()
             while True:
                 # Single-threaded loop: claim + counters need no lock
                 # (no await between read and write).
@@ -612,15 +659,30 @@ class AsyncServingHarness:
                 inflight += 1
                 inflight_max = max(inflight_max, inflight)
                 issued = loop.time()
+                envelope = tracer.trace(envelopes[i])
+                ctx = trace_context_of(envelope)
                 try:
-                    resp = await aserve_via(self.service, envelopes[i],
-                                            clocks=self._clocks(),
-                                            backend=self.backend)
+                    with tracer.span(
+                            "request", ctx,
+                            request_class=envelope.request_class.value,
+                            ) as sp:
+                        env = (envelope if sp.ctx is ctx
+                               else attach_context(envelope, sp.ctx))
+                        resp = await aserve_via(self.service, env,
+                                                clocks=self._clocks(),
+                                                backend=self.backend)
                 finally:
                     inflight -= 1
+                done = loop.time()
+                # Closed-loop clients dispatch immediately: the queue
+                # part of the latency is what the stack spent outside
+                # the service call proper (backend queueing).
+                resp.queue_delay = max(0.0,
+                                       (done - issued) - resp.service_time)
                 answers[i] = resp.answer
                 reports[i] = resp.reports
-                latencies[i] = loop.time() - issued
+                latencies[i] = done - issued
+                queue_delays[i] = resp.queue_delay
                 think = float(load.think_times[i]) * self.time_scale
                 if think > 0:
                     await asyncio.sleep(think)
@@ -640,6 +702,7 @@ class AsyncServingHarness:
             answers=list(answers),
             reports=list(reports),
             inflight_max=inflight_max,
+            queue_delays=queue_delays,
         )
         apply_class_breakdown(stats, envelopes, latencies)
         apply_payload_delta(stats, self._payload_backend(), payload0)

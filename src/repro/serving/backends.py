@@ -43,15 +43,16 @@ import pickle
 import shutil
 import tempfile
 import threading
-import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
-from repro.core.clock import DeadlineClock
+from repro.core.clock import DeadlineClock, monotonic
 from repro.core.processor import (ProcessingReport, process_component,
                                   process_component_batch)
 from repro.core.state import ComponentState, StaleEpochError, StateRef
+from repro.serving.telemetry import (MetricsRegistry, SpanRecorder,
+                                     get_tracer, trace_context_of)
 
 __all__ = [
     "ComponentTask",
@@ -147,11 +148,19 @@ class ComponentTask:
 
 @dataclass
 class ComponentOutcome:
-    """Result of executing one :class:`ComponentTask`."""
+    """Result of executing one :class:`ComponentTask`.
+
+    ``spans`` piggybacks the executing side's trace spans (epoch fetch,
+    kernel time) back to the dispatching process — the return leg of
+    cross-process trace stitching.  ``None`` for unsampled requests, so
+    the untraced outcome pickles exactly as small as before.  Excluded
+    from equality: observability never changes what an outcome *is*.
+    """
 
     component: int
     result: Any
     report: ProcessingReport
+    spans: tuple = field(default=None, compare=False, repr=False)
 
 
 def stamp_envelope(report: ProcessingReport, task: ComponentTask) -> None:
@@ -161,22 +170,55 @@ def stamp_envelope(report: ProcessingReport, task: ComponentTask) -> None:
         report.request_class = task.envelope.request_class.value
 
 
+def _task_recorder(task: ComponentTask) -> SpanRecorder | None:
+    """A span recorder for the task's trace, or ``None`` when unsampled.
+
+    The trace context rides the detached envelope, so this works
+    identically in the dispatching process and in any worker process
+    the task was pickled into.
+    """
+    if task.envelope is None:
+        return None
+    ctx = trace_context_of(task.envelope)
+    if ctx is None or not ctx.sampled:
+        return None
+    return SpanRecorder(ctx)
+
+
 def run_component_task(task: ComponentTask) -> ComponentOutcome:
     """Execute one task (module-level so process pools can pickle it)."""
     if task.runner is not None:
         return task.runner(task)
-    partition, synopsis = task.resolve_state()
-    result, report = process_component(
-        task.adapter, partition, synopsis, task.request,
-        task.deadline, clock=task.clock,
-        i_max=task.i_max, i_max_fraction=task.i_max_fraction,
-        start_time=task.start_time,
-    )
+    rec = _task_recorder(task)
+    if rec is None:
+        partition, synopsis = task.resolve_state()
+        result, report = process_component(
+            task.adapter, partition, synopsis, task.request,
+            task.deadline, clock=task.clock,
+            i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+            start_time=task.start_time,
+        )
+        spans = None
+    else:
+        with rec.span("state.fetch", component=task.component) as fetch:
+            partition, synopsis = task.resolve_state()
+        if task.state_ref is not None:
+            fetch.tag(epoch=task.state_ref.epoch)
+        with rec.span("kernel", component=task.component) as kernel:
+            result, report = process_component(
+                task.adapter, partition, synopsis, task.request,
+                task.deadline, clock=task.clock,
+                i_max=task.i_max, i_max_fraction=task.i_max_fraction,
+                start_time=task.start_time,
+            )
+        kernel.tag(groups_processed=report.groups_processed,
+                   work_units=report.work_units)
+        spans = tuple(rec.spans)
     if task.state_ref is not None:
         report.state_epoch = task.state_ref.epoch
     stamp_envelope(report, task)
     return ComponentOutcome(component=task.component, result=result,
-                            report=report)
+                            report=report, spans=spans)
 
 
 def run_component_batch(tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
@@ -202,30 +244,51 @@ def run_component_batch(tasks: Sequence[ComponentTask]) -> list[ComponentOutcome
         if task.runner is not None:
             outcomes[i] = task.runner(task)
             continue
-        partition, synopsis = task.resolve_state()
+        rec = _task_recorder(task)
+        if rec is None:
+            partition, synopsis = task.resolve_state()
+        else:
+            with rec.span("state.fetch", component=task.component) as fetch:
+                partition, synopsis = task.resolve_state()
+            if task.state_ref is not None:
+                fetch.tag(epoch=task.state_ref.epoch)
         key = (id(task.adapter), id(partition), id(synopsis),
                task.i_max, task.i_max_fraction)
         if key not in groups:
             groups[key] = []
             order.append(key)
-        groups[key].append((i, task, partition, synopsis))
+        groups[key].append((i, task, partition, synopsis, rec))
     for key in order:
         entries = groups[key]
-        _, first, partition, synopsis = entries[0]
+        _, first, partition, synopsis, _ = entries[0]
+        t_batch0 = monotonic()
         pairs = process_component_batch(
             first.adapter, partition, synopsis,
-            [t.request for _, t, _, _ in entries],
-            [t.deadline for _, t, _, _ in entries],
-            clocks=[t.clock for _, t, _, _ in entries],
+            [t.request for _, t, _, _, _ in entries],
+            [t.deadline for _, t, _, _, _ in entries],
+            clocks=[t.clock for _, t, _, _, _ in entries],
             i_max=first.i_max, i_max_fraction=first.i_max_fraction,
-            start_times=[t.start_time for _, t, _, _ in entries],
+            start_times=[t.start_time for _, t, _, _, _ in entries],
         )
-        for (i, task, _, _), (result, report) in zip(entries, pairs):
+        t_batch1 = monotonic()
+        for (i, task, _, _, rec), (result, report) in zip(entries, pairs):
             if task.state_ref is not None:
                 report.state_epoch = task.state_ref.epoch
             stamp_envelope(report, task)
+            spans = None
+            if rec is not None:
+                # One vectorized pass served the whole group; every
+                # member's kernel span covers it, tagged with the share.
+                kernel = rec.span("kernel", component=task.component,
+                                  batch_size=len(entries),
+                                  groups_processed=report.groups_processed,
+                                  work_units=report.work_units)
+                kernel.span.start = t_batch0
+                kernel.finish(end=t_batch1)
+                spans = tuple(rec.spans)
             outcomes[i] = ComponentOutcome(component=task.component,
-                                           result=result, report=report)
+                                           result=result, report=report,
+                                           spans=spans)
     return outcomes  # type: ignore[return-value]
 
 
@@ -253,6 +316,21 @@ class ExecutionBackend(abc.ABC):
     """Strategy for executing a request's per-component tasks."""
 
     name: str = "abstract"
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This backend's metrics registry (created lazily).
+
+        The payload accounting counters live here;
+        :meth:`payload_counters` is a registry read with the historical
+        dict shape, so the registry is the single source of truth while
+        every existing consumer keeps seeing bit-identical values.
+        """
+        registry = self.__dict__.get("_metrics_registry")
+        if registry is None:
+            registry = self.__dict__.setdefault("_metrics_registry",
+                                                MetricsRegistry())
+        return registry
 
     @abc.abstractmethod
     def run_tasks(self, tasks: Sequence[ComponentTask]) -> list[ComponentOutcome]:
@@ -303,8 +381,11 @@ class ExecutionBackend(abc.ABC):
 
         In-process backends move references, not bytes: all zeros.
         """
-        return {"task_bytes": 0, "state_bytes": 0,
-                "tasks_shipped": 0, "state_publishes": 0}
+        m = self.metrics
+        return {"task_bytes": m.counter("task_bytes").value,
+                "state_bytes": m.counter("state_bytes").value,
+                "tasks_shipped": m.counter("tasks_shipped").value,
+                "state_publishes": m.counter("state_publishes").value}
 
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
@@ -440,8 +521,8 @@ class ProcessPoolBackend(ExecutionBackend):
         self.start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
-        self._task_bytes = 0
-        self._tasks_shipped = 0
+        self._task_bytes = self.metrics.counter("task_bytes")
+        self._tasks_shipped = self.metrics.counter("tasks_shipped")
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -456,9 +537,8 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def submit_task(self, task: ComponentTask) -> "Future[ComponentOutcome]":
         blob = pickle.dumps(task)
-        with self._lock:
-            self._task_bytes += len(blob)
-            self._tasks_shipped += 1
+        self._task_bytes.inc(len(blob))
+        self._tasks_shipped.inc()
         return self._ensure_pool().submit(_run_pickled_task, blob)
 
     def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
@@ -469,17 +549,10 @@ class ProcessPoolBackend(ExecutionBackend):
         # once instead of once per task — the pickle hop this backend
         # pays per request collapses to per batch.
         blob = pickle.dumps(tasks)
-        with self._lock:
-            self._task_bytes += len(blob)
-            self._tasks_shipped += len(tasks)
+        self._task_bytes.inc(len(blob))
+        self._tasks_shipped.inc(len(tasks))
         batch = self._ensure_pool().submit(_run_pickled_batch, blob)
         return _scatter_batch_future(batch, len(tasks))
-
-    def payload_counters(self) -> dict:
-        with self._lock:
-            return {"task_bytes": self._task_bytes, "state_bytes": 0,
-                    "tasks_shipped": self._tasks_shipped,
-                    "state_publishes": 0}
 
     def close(self) -> None:
         if self._pool is not None:
@@ -539,11 +612,20 @@ def _run_persistent_task(blob: bytes, channel_dir: str) -> ComponentOutcome:
     task: ComponentTask = pickle.loads(blob)
     ref = task.state_ref
     if ref is not None and task.partition is None and task.synopsis is None:
-        state = _worker_cached_state(ref.key, channel_dir)
+        rec = _task_recorder(task)
+        if rec is None:
+            state = _worker_cached_state(ref.key, channel_dir)
+        else:
+            with rec.span("state.fetch", component=task.component,
+                          epoch=ref.epoch, channel="persistent",
+                          cached=ref.key in _WORKER_STATE_CACHE):
+                state = _worker_cached_state(ref.key, channel_dir)
         task = replace(task, partition=state.partition,
                        synopsis=state.synopsis, state_ref=None)
         outcome = run_component_task(task)
         outcome.report.state_epoch = ref.epoch
+        if rec is not None:
+            outcome.spans = tuple(rec.spans) + tuple(outcome.spans or ())
         return outcome
     return run_component_task(task)
 
@@ -615,10 +697,10 @@ class PersistentProcessBackend(ExecutionBackend):
         self._published: dict[tuple, set[int]] = {}
         self._outstanding: dict[tuple, int] = {}   # key -> in-flight tasks
         self._superseded: set[tuple] = set()
-        self._task_bytes = 0
-        self._tasks_shipped = 0
-        self._state_bytes = 0
-        self._state_publishes = 0
+        self._task_bytes = self.metrics.counter("task_bytes")
+        self._tasks_shipped = self.metrics.counter("tasks_shipped")
+        self._state_bytes = self.metrics.counter("state_bytes")
+        self._state_publishes = self.metrics.counter("state_publishes")
 
     # -- channel management (parent side) -------------------------------
 
@@ -647,8 +729,8 @@ class PersistentProcessBackend(ExecutionBackend):
             blob = pickle.dumps(ref.resolve())
             with open(_channel_path(self._channel_dir, ref.key), "wb") as fh:
                 fh.write(blob)
-            self._state_bytes += len(blob)
-            self._state_publishes += 1
+            self._state_bytes.inc(len(blob))
+            self._state_publishes.inc()
             epochs.add(ref.epoch)
         newest = max(epochs)
         for epoch in list(epochs):
@@ -712,9 +794,8 @@ class PersistentProcessBackend(ExecutionBackend):
                     self._outstanding.get(ref.key, 0) + 1
                 self._ensure_published_locked(ref)
             blob = pickle.dumps(replace(task, state_ref=ref.detached()))
-            with self._lock:
-                self._task_bytes += len(blob)
-                self._tasks_shipped += 1
+            self._task_bytes.inc(len(blob))
+            self._tasks_shipped.inc()
             future = pool.submit(_run_persistent_task, blob,
                                  self._channel_dir)
             future.add_done_callback(self._task_done(ref.key))
@@ -737,9 +818,8 @@ class PersistentProcessBackend(ExecutionBackend):
                     "this backend's channel; submit the task with its "
                     "live (pinned) ref instead")
             blob = pickle.dumps(task)
-            with self._lock:
-                self._task_bytes += len(blob)
-                self._tasks_shipped += 1
+            self._task_bytes.inc(len(blob))
+            self._tasks_shipped.inc()
             future = pool.submit(_run_persistent_task, blob,
                                  self._channel_dir)
             future.add_done_callback(self._task_done(ref.key))
@@ -747,9 +827,8 @@ class PersistentProcessBackend(ExecutionBackend):
         # Inline-state task: ship it whole, like the vanilla pool —
         # there is no unshipped state to amortise.
         blob = pickle.dumps(task)
-        with self._lock:
-            self._task_bytes += len(blob)
-            self._tasks_shipped += 1
+        self._task_bytes.inc(len(blob))
+        self._tasks_shipped.inc()
         return pool.submit(_run_persistent_task, blob, self._channel_dir)
 
     def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
@@ -775,19 +854,11 @@ class PersistentProcessBackend(ExecutionBackend):
             self._ensure_published_locked(ref)
         blob = pickle.dumps([replace(t, state_ref=t.state_ref.detached())
                              for t in tasks])
-        with self._lock:
-            self._task_bytes += len(blob)
-            self._tasks_shipped += len(tasks)
+        self._task_bytes.inc(len(blob))
+        self._tasks_shipped.inc(len(tasks))
         batch = pool.submit(_run_persistent_batch, blob, self._channel_dir)
         batch.add_done_callback(self._task_done(ref.key, len(tasks)))
         return _scatter_batch_future(batch, len(tasks))
-
-    def payload_counters(self) -> dict:
-        with self._lock:
-            return {"task_bytes": self._task_bytes,
-                    "state_bytes": self._state_bytes,
-                    "tasks_shipped": self._tasks_shipped,
-                    "state_publishes": self._state_publishes}
 
     def close(self) -> None:
         with self._lock:
@@ -870,8 +941,8 @@ class BatchingBackend(ExecutionBackend):
         self._buckets: dict[tuple, _Bucket] = {}
         self._flusher: threading.Thread | None = None
         self._closed = False
-        self._batches_submitted = 0
-        self._tasks_coalesced = 0
+        self._batches_submitted = self.metrics.counter("batches_submitted")
+        self._tasks_coalesced = self.metrics.counter("tasks_coalesced")
 
     # -- batching mechanics ---------------------------------------------
 
@@ -901,7 +972,7 @@ class BatchingBackend(ExecutionBackend):
                     self._cond.wait()
                 if self._closed and not self._buckets:
                     return
-                now = time.monotonic()
+                now = monotonic()
                 due_keys = [k for k, b in self._buckets.items()
                             if self._closed or b.deadline <= now]
                 due = [self._buckets.pop(k) for k in due_keys]
@@ -914,21 +985,31 @@ class BatchingBackend(ExecutionBackend):
                 self._flush(bucket.entries)
 
     def _flush(self, entries: list) -> None:
-        live = [(t, f) for t, f in entries
+        live = [(t, f, t_enq) for t, f, t_enq in entries
                 if f.set_running_or_notify_cancel()]
         if not live:
             return
-        tasks = [t for t, _ in live]
-        with self._cond:
-            self._batches_submitted += 1
-            self._tasks_coalesced += len(tasks)
+        tasks = [t for t, _, _ in live]
+        self._batches_submitted.inc()
+        self._tasks_coalesced.inc(len(tasks))
+        t_flush = monotonic()
+        tracer = get_tracer()
+        for task, _, t_enq in live:
+            # The coalescing wait is queue time this wrapper added on
+            # purpose; make it attributable per request.
+            ctx = trace_context_of(task.envelope) \
+                if task.envelope is not None else None
+            if ctx is not None and ctx.sampled:
+                tracer.record("batch.coalesce", ctx, t_enq, t_flush,
+                              component=task.component,
+                              batch_size=len(tasks))
         try:
             inner_futures = self.inner.submit_batch(tasks)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
-            for _, f in live:
+            for _, f, _ in live:
                 f.set_exception(exc)
             return
-        for (_, outer), inner in zip(live, inner_futures):
+        for (_, outer, _), inner in zip(live, inner_futures):
             self._chain(inner, outer)
 
     @staticmethod
@@ -950,15 +1031,16 @@ class BatchingBackend(ExecutionBackend):
         if key is None:
             return self.inner.submit_task(task)
         future: Future = Future()
+        now = monotonic()
         with self._cond:
             if self._closed:
                 raise RuntimeError("BatchingBackend is closed")
             bucket = self._buckets.get(key)
             if bucket is None:
-                bucket = _Bucket(deadline=time.monotonic() + self.window)
+                bucket = _Bucket(deadline=now + self.window)
                 self._buckets[key] = bucket
                 self._ensure_flusher_locked()
-            bucket.entries.append((task, future))
+            bucket.entries.append((task, future, now))
             full = len(bucket.entries) >= self.max_batch
             if full:
                 del self._buckets[key]
@@ -976,9 +1058,8 @@ class BatchingBackend(ExecutionBackend):
 
     def batch_stats(self) -> dict:
         """Coalescing effectiveness: batches flushed vs tasks batched."""
-        with self._cond:
-            return {"batches_submitted": self._batches_submitted,
-                    "tasks_coalesced": self._tasks_coalesced}
+        return {"batches_submitted": self._batches_submitted.value,
+                "tasks_coalesced": self._tasks_coalesced.value}
 
     def close(self) -> None:
         with self._cond:

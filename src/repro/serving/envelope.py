@@ -38,11 +38,11 @@ from __future__ import annotations
 
 import enum
 import itertools
-import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.core.clock import monotonic
 from repro.core.processor import ProcessingReport
 
 __all__ = [
@@ -168,8 +168,15 @@ class ServingRequest:
         envelope *creation*); stamped into every per-component
         :class:`~repro.core.processor.ProcessingReport`.
     arrival_time:
-        ``time.monotonic()`` at envelope creation; admission control
-        counts waiting from here unless told otherwise.
+        The monotonic wall reading at envelope creation; admission
+        control counts waiting from here unless told otherwise.
+    trace:
+        Propagated span context (a :class:`~repro.serving.telemetry.
+        TraceContext`, treated as opaque data here), or ``None`` when
+        the request has not (yet) been rooted in a trace.  Rides the
+        detached envelope across every process boundary, which is what
+        stitches worker-side spans into the parent trace.  Excluded
+        from equality — tracing never changes request identity.
     """
 
     payload: Any
@@ -178,7 +185,8 @@ class ServingRequest:
     priority: int | None = None
     hedge: bool | None = None
     request_id: int = field(default_factory=_next_request_id)
-    arrival_time: float = field(default_factory=time.monotonic)
+    arrival_time: float = field(default_factory=monotonic)
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "request_class",

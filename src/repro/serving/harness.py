@@ -26,11 +26,13 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.core.clock import ClockFactory, wall_clock_factory
+from repro.core.clock import ClockFactory, monotonic, wall_clock_factory
 from repro.serving.backends import (BatchingBackend, ExecutionBackend,
                                     resolve_backend)
 from repro.serving.envelope import ServingRequest, as_envelope, serve_via
 from repro.serving.loadgen import ClosedLoopLoad, OpenLoopLoad
+from repro.serving.telemetry import attach_context, get_tracer, \
+    trace_context_of
 from repro.util.stats import percentile
 
 __all__ = ["ServingRunStats", "AccuracyPoint", "ServingHarness",
@@ -228,12 +230,14 @@ class ServingRunStats:
         payloads are classed as the envelope default
         (``latency_critical``).
     queue_delays:
-        Per served request, seconds between its scheduled arrival and
-        its dispatch (admission wait included) — the queue part of each
-        request's latency, matching
-        :attr:`~repro.serving.envelope.ServingResponse.queue_delay`.
-        Open-loop runs only (aligned with ``request_latencies``);
-        empty for closed loops, whose clients dispatch immediately.
+        Per served request, the queue part of its latency, matching
+        :attr:`~repro.serving.envelope.ServingResponse.queue_delay` and
+        aligned with ``request_latencies``.  Open loop: seconds between
+        the request's scheduled arrival and its dispatch (admission
+        wait included).  Closed loop: the client-observed latency minus
+        the service's own ``service_time`` — dispatch overhead such as
+        backend queueing (zero when the servable reports no service
+        time).
     task_bytes / state_bytes / tasks_shipped / state_publishes:
         Serialized-payload accounting for this run (deltas from the
         harness's backend, collected via
@@ -474,8 +478,18 @@ class ServingHarness:
         return [self.clock_factory(c) for c in range(n)]
 
     def _serve(self, envelope: ServingRequest):
-        return serve_via(self.service, envelope, clocks=self._clocks(),
-                         backend=self.backend)
+        # The harness is the outermost instrumented layer, so it wins
+        # the trace root; the "request" span covers the whole
+        # client-observed service call.
+        tracer = get_tracer()
+        envelope = tracer.trace(envelope)
+        ctx = trace_context_of(envelope)
+        with tracer.span("request", ctx,
+                         request_class=envelope.request_class.value) as sp:
+            env = (envelope if sp.ctx is ctx
+                   else attach_context(envelope, sp.ctx))
+            return serve_via(self.service, env, clocks=self._clocks(),
+                             backend=self.backend)
 
     def _apply_hedge_delta(self, stats: ServingRunStats,
                            before: dict | None) -> ServingRunStats:
@@ -525,13 +539,13 @@ class ServingHarness:
         update_log: list[tuple[float, Any]] = []
         hedge_before = collect_hedge_counters(self.service)
         payload_before = collect_payload_counters(self._payload_backend())
-        t0 = time.monotonic()
+        t0 = monotonic()
 
         stop_updates = threading.Event()
 
         def apply_updates() -> None:
             for at, fn in sorted(updates, key=lambda p: p[0]):
-                delay = t0 + at * self.time_scale - time.monotonic()
+                delay = t0 + at * self.time_scale - monotonic()
                 if delay > 0 and stop_updates.wait(delay):
                     return
                 # A failing update must not silently kill the schedule:
@@ -556,13 +570,13 @@ class ServingHarness:
             with inflight_lock:
                 inflight += 1
                 inflight_max = max(inflight_max, inflight)
-            t_dispatch = time.monotonic()
+            t_dispatch = monotonic()
             try:
                 resp = self._serve(envelopes[i])
             finally:
                 with inflight_lock:
                     inflight -= 1
-            done = time.monotonic()
+            done = monotonic()
             resp.queue_delay = max(0.0, t_dispatch - scheduled)
             answers[i] = resp.answer
             reports[i] = resp.reports
@@ -576,7 +590,7 @@ class ServingHarness:
                 futures = []
                 for i in range(n):
                     scheduled = t0 + float(load.arrivals[i]) * self.time_scale
-                    delay = scheduled - time.monotonic()
+                    delay = scheduled - monotonic()
                     if delay > 0:
                         time.sleep(delay)
                     futures.append(pool.submit(serve, i, scheduled))
@@ -587,7 +601,7 @@ class ServingHarness:
             if updater_thread is not None:
                 updater_thread.join()
 
-        duration = time.monotonic() - t0
+        duration = monotonic() - t0
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, update_log)
         stats.inflight_max = inflight_max
@@ -609,11 +623,12 @@ class ServingHarness:
         answers: list[Any] = [None] * n
         reports: list[Any] = [None] * n
         latencies = np.zeros(n, dtype=float)
+        queue_delays = np.zeros(n, dtype=float)
         next_index = 0
         claim_lock = threading.Lock()
         hedge_before = collect_hedge_counters(self.service)
         payload_before = collect_payload_counters(self._payload_backend())
-        t0 = time.monotonic()
+        t0 = monotonic()
 
         inflight = 0
         inflight_max = 0
@@ -628,16 +643,22 @@ class ServingHarness:
                     next_index += 1
                     inflight += 1
                     inflight_max = max(inflight_max, inflight)
-                issued = time.monotonic()
+                issued = monotonic()
                 try:
                     resp = self._serve(envelopes[i])
                 finally:
                     with claim_lock:
                         inflight -= 1
-                done = time.monotonic()
+                done = monotonic()
+                # A closed-loop client dispatches immediately, so the
+                # queue part of its latency is whatever the stack spent
+                # outside the service call proper (backend queueing).
+                resp.queue_delay = max(0.0,
+                                       (done - issued) - resp.service_time)
                 answers[i] = resp.answer
                 reports[i] = resp.reports
                 latencies[i] = done - issued
+                queue_delays[i] = resp.queue_delay
                 think = float(load.think_times[i]) * self.time_scale
                 if think > 0:
                     time.sleep(think)
@@ -649,10 +670,11 @@ class ServingHarness:
         for t in threads:
             t.join()
 
-        duration = time.monotonic() - t0
+        duration = monotonic() - t0
         stats = self._stats_from(answers, reports, latencies, duration,
                                  self.service.n_components, [])
         stats.inflight_max = inflight_max
+        stats.queue_delays = queue_delays
         apply_class_breakdown(stats, envelopes, latencies)
         apply_payload_delta(stats, self._payload_backend(), payload_before)
         return self._apply_hedge_delta(stats, hedge_before)

@@ -68,20 +68,22 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.core.clock import ClockFactory, fresh_like, wall_clock_factory
+from repro.core.clock import ClockFactory, fresh_like, monotonic, \
+    wall_clock_factory
 from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
 from repro.serving.backends import (BatchingBackend, ExecutionBackend,
                                     resolve_backend)
 from repro.serving.envelope import ServingRequest, ServingResponse, \
     as_envelope, payload_of, warn_positional_shim
+from repro.serving.telemetry import MetricsRegistry, attach_context, \
+    get_tracer, trace_context_of
 from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.partitioning import reshard_partitions
 
@@ -416,9 +418,16 @@ class ShardedService:
         self._clock_factory = (clock_factory if clock_factory is not None
                                else wall_clock_factory())
         self._hedge_lock = threading.Lock()
-        self.hedges_issued = 0
-        self.hedge_wins = 0
-        self.shard_calls = 0
+        # The hedging counters live in the unified metrics registry; the
+        # public int attributes below are read-through properties and
+        # ``hedge_counters()`` snapshots the same registry values, so
+        # both views are bit-identical by construction.  Mutations still
+        # happen under ``_hedge_lock`` — the budget invariant needs
+        # ``shard_calls``/``hedges_issued`` to move consistently.
+        self.metrics = MetricsRegistry()
+        self._shard_calls = self.metrics.counter("shard_calls")
+        self._hedges_issued = self.metrics.counter("hedges_issued")
+        self._hedge_wins = self.metrics.counter("hedge_wins")
         if component_map is not None and \
                 component_map.n_shards != self._total_components:
             raise ValueError(
@@ -447,17 +456,32 @@ class ShardedService:
         return list(self._budgets)
 
     @property
+    def shard_calls(self) -> int:
+        """Cumulative shard calls issued (registry-backed)."""
+        return self._shard_calls.value
+
+    @property
+    def hedges_issued(self) -> int:
+        """Cumulative hedge copies issued (registry-backed)."""
+        return self._hedges_issued.value
+
+    @property
+    def hedge_wins(self) -> int:
+        """Cumulative shard calls won by the hedge copy (registry-backed)."""
+        return self._hedge_wins.value
+
+    @property
     def hedge_rate(self) -> float:
         """Realized re-issue fraction over this service's lifetime."""
         with self._hedge_lock:
-            return self.hedges_issued / max(self.shard_calls, 1)
+            return self._hedges_issued.value / max(self._shard_calls.value, 1)
 
     def hedge_counters(self) -> dict:
         """Snapshot of the cumulative hedging counters (thread-safe)."""
         with self._hedge_lock:
-            return {"shard_calls": self.shard_calls,
-                    "hedges_issued": self.hedges_issued,
-                    "hedge_wins": self.hedge_wins}
+            return {"shard_calls": self._shard_calls.value,
+                    "hedges_issued": self._hedges_issued.value,
+                    "hedge_wins": self._hedge_wins.value}
 
     def _budget_allows_locked(self) -> bool:
         """Whether one more hedge fits the budget (``_hedge_lock`` held).
@@ -469,7 +493,8 @@ class ShardedService:
         """
         if self.hedge_budget is None:
             return True
-        return self.hedges_issued + 1 <= self.hedge_budget * self.shard_calls
+        return (self._hedges_issued.value + 1
+                <= self.hedge_budget * self._shard_calls.value)
 
     def _shard_clocks(self, clocks, shard: int):
         if clocks is None:
@@ -533,21 +558,30 @@ class ShardedService:
         """
         deadline = self._check_envelope(request, clocks)
         exec_backend = self.backend if backend is None else backend
-        t_dispatch = time.monotonic()
+        tracer = get_tracer()
+        request = tracer.trace(request)
+        ctx = trace_context_of(request)
+        t_dispatch = monotonic()
         picks = [g.next_replica() for g in self.shards]
         with self._hedge_lock:
-            self.shard_calls += self.n_shards
-        if not self._hedge_enabled(request):
-            outcomes = self._run_unhedged(request, deadline, clocks,
-                                          exec_backend, picks)
-        else:
-            outcomes = self._run_hedged(request, deadline, clocks,
-                                        exec_backend, picks)
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
+            self._shard_calls.inc(self.n_shards)
+        with tracer.span("router.serve", ctx, shards=self.n_shards,
+                         hedged=self._hedge_enabled(request)) as sp:
+            task_request = (request if sp.ctx is ctx
+                            else attach_context(request, sp.ctx))
+            if not self._hedge_enabled(request):
+                outcomes = self._run_unhedged(task_request, deadline, clocks,
+                                              exec_backend, picks)
+            else:
+                outcomes = self._run_hedged(task_request, deadline, clocks,
+                                            exec_backend, picks)
+            tracer.ingest_outcomes(outcomes)
+            results = [o.result for o in outcomes]
+            reports = [o.report for o in outcomes]
+            answer = self.merge(results, request.payload)
         return ServingResponse(
-            answer=self.merge(results, request.payload), reports=reports,
-            request=request, service_time=time.monotonic() - t_dispatch)
+            answer=answer, reports=reports,
+            request=request, service_time=monotonic() - t_dispatch)
 
     async def aserve(self, request: ServingRequest, clocks=None,
                      backend=None) -> ServingResponse:
@@ -563,26 +597,35 @@ class ShardedService:
         """
         deadline = self._check_envelope(request, clocks)
         exec_backend = self.backend if backend is None else backend
-        t_dispatch = time.monotonic()
+        tracer = get_tracer()
+        request = tracer.trace(request)
+        ctx = trace_context_of(request)
+        t_dispatch = monotonic()
         picks = [g.next_replica() for g in self.shards]
         with self._hedge_lock:
-            self.shard_calls += self.n_shards
-        if not self._hedge_enabled(request):
-            per_shard = await asyncio.gather(
-                *(self._arun_shard_copy(request, deadline, clocks, s,
-                                        picks[s], exec_backend)
-                  for s in range(self.n_shards)))
-        else:
-            per_shard = await asyncio.gather(
-                *(self._arun_hedged_shard(request, deadline, clocks, s,
-                                          picks[s], exec_backend)
-                  for s in range(self.n_shards)))
-        outcomes = [o for shard in per_shard for o in shard]
-        results = [o.result for o in outcomes]
-        reports = [o.report for o in outcomes]
+            self._shard_calls.inc(self.n_shards)
+        with tracer.span("router.serve", ctx, shards=self.n_shards,
+                         hedged=self._hedge_enabled(request)) as sp:
+            task_request = (request if sp.ctx is ctx
+                            else attach_context(request, sp.ctx))
+            if not self._hedge_enabled(request):
+                per_shard = await asyncio.gather(
+                    *(self._arun_shard_copy(task_request, deadline, clocks,
+                                            s, picks[s], exec_backend)
+                      for s in range(self.n_shards)))
+            else:
+                per_shard = await asyncio.gather(
+                    *(self._arun_hedged_shard(task_request, deadline, clocks,
+                                              s, picks[s], exec_backend)
+                      for s in range(self.n_shards)))
+            outcomes = [o for shard in per_shard for o in shard]
+            tracer.ingest_outcomes(outcomes)
+            results = [o.result for o in outcomes]
+            reports = [o.report for o in outcomes]
+            answer = self.merge(results, request.payload)
         return ServingResponse(
-            answer=self.merge(results, request.payload), reports=reports,
-            request=request, service_time=time.monotonic() - t_dispatch)
+            answer=answer, reports=reports,
+            request=request, service_time=monotonic() - t_dispatch)
 
     def process(self, request, deadline: float, clocks=None, backend=None,
                 ) -> tuple[Any, list[ProcessingReport]]:
@@ -605,13 +648,16 @@ class ShardedService:
         from repro.serving.aio import arun_tasks
 
         group = self.shards[shard]
-        t0 = time.monotonic()
+        t0 = monotonic()
         outcomes = await arun_tasks(
             exec_backend,
             group.replicas[replica].build_tasks(
                 request, deadline * self._budgets[shard],
                 self._shard_clocks(clocks, shard)))
-        group.observe_latency(replica, time.monotonic() - t0)
+        now = monotonic()
+        group.observe_latency(replica, now - t0)
+        get_tracer().record("shard.call", trace_context_of(request), t0, now,
+                            shard=shard, replica=replica)
         return outcomes
 
     async def _arun_hedged_shard(self, request, deadline, clocks,
@@ -621,7 +667,7 @@ class ShardedService:
         from repro.serving.aio import arun_tasks
 
         group = self.shards[shard]
-        t0 = time.monotonic()
+        t0 = monotonic()
 
         async def run_copy(rep: int, fresh_clocks) -> list:
             tasks = group.replicas[rep].build_tasks(
@@ -637,33 +683,36 @@ class ShardedService:
             if group.n_replicas > 1:
                 # Race the primary against the adaptive-p95 threshold.
                 timeout = max(0.0, self.hedge.threshold
-                              - (time.monotonic() - t0))
+                              - (monotonic() - t0))
                 done, _ = await asyncio.wait({primary}, timeout=timeout)
                 if not done:
                     with self._hedge_lock:
                         allowed = self._budget_allows_locked()
                         if allowed:
-                            self.hedges_issued += 1
+                            self._hedges_issued.inc()
                     if allowed:
                         hedge_replica = group.hedge_sibling(replica)
                         fresh = self._hedge_clocks(clocks, shard)
-                        hedge_t0 = time.monotonic()
+                        hedge_t0 = monotonic()
                         hedge_task = asyncio.ensure_future(
                             run_copy(hedge_replica, fresh))
             if hedge_task is None:
                 outcomes = await primary
                 winner_replica, copy_t0 = replica, t0
+                hedge_won = False
             else:
                 done, _ = await asyncio.wait({primary, hedge_task},
                                              return_when=FIRST_COMPLETED)
                 if primary in done:
                     winner, loser = primary, hedge_task
                     winner_replica, copy_t0 = replica, t0
+                    hedge_won = False
                 else:
                     winner, loser = hedge_task, primary
                     winner_replica, copy_t0 = hedge_replica, hedge_t0
+                    hedge_won = True
                     with self._hedge_lock:
-                        self.hedge_wins += 1
+                        self._hedge_wins.inc()
                 # Real tied-request cancellation: the losing copy's next
                 # await raises CancelledError; reap it before returning.
                 loser.cancel()
@@ -677,13 +726,23 @@ class ShardedService:
                 *(c for c in (primary, hedge_task) if c is not None),
                 return_exceptions=True)
             raise
-        now = time.monotonic()
+        now = monotonic()
         with self._hedge_lock:
             # Effective shard-call latency (from submission) feeds the
             # threshold estimator; the winning copy's own service time
             # feeds the placement EWMA (see the sync path).
             self.hedge.observe(now - t0)
         group.observe_latency(winner_replica, now - copy_t0)
+        ctx = trace_context_of(request)
+        if ctx is not None and ctx.sampled:
+            tracer = get_tracer()
+            tracer.record("shard.primary", ctx, t0, now, shard=shard,
+                          replica=replica, winner=not hedge_won,
+                          cancelled=hedge_won)
+            if hedge_task is not None:
+                tracer.record("shard.hedge", ctx, hedge_t0, now, shard=shard,
+                              replica=hedge_replica, winner=hedge_won,
+                              cancelled=not hedge_won)
         return outcomes
 
     def exact_components(self, request) -> list:
@@ -714,7 +773,9 @@ class ShardedService:
 
     def _run_hedged(self, request, deadline, clocks, exec_backend,
                     picks) -> list:
-        t0 = time.monotonic()
+        t0 = monotonic()
+        ctx = trace_context_of(request)
+        tracer = get_tracer()
         primary = []
         for s in range(self.n_shards):
             tasks = self._build_tasks(request, deadline, clocks, s, picks[s])
@@ -733,17 +794,19 @@ class ShardedService:
                 if all(f.done() for f in primary[s]):
                     winners[s], loser = primary[s], hedges[s]
                     winner_replica, copy_t0 = picks[s], t0
+                    hedge_won = False
                 elif hedges[s] is not None and \
                         all(f.done() for f in hedges[s]):
                     winners[s], loser = hedges[s], primary[s]
                     winner_replica, copy_t0 = \
                         hedge_replicas[s], hedge_issued_at[s]
+                    hedge_won = True
                     with self._hedge_lock:
-                        self.hedge_wins += 1
+                        self._hedge_wins.inc()
                 else:
                     continue
                 unfinished.discard(s)
-                now = time.monotonic()
+                now = monotonic()
                 with self._hedge_lock:
                     # The strategy estimates *effective* shard-call
                     # latency: first copy to finish, measured from
@@ -754,6 +817,18 @@ class ShardedService:
                 # charged the trigger wait it never caused.
                 self.shards[s].observe_latency(winner_replica,
                                                now - copy_t0)
+                if ctx is not None and ctx.sampled:
+                    # Sibling spans: both copies of the shard call, the
+                    # winner marked, the loser marked cancelled.
+                    tracer.record("shard.primary", ctx, t0, now, shard=s,
+                                  replica=picks[s], winner=not hedge_won,
+                                  cancelled=hedge_won)
+                    if hedges[s] is not None:
+                        tracer.record("shard.hedge", ctx,
+                                      hedge_issued_at[s], now, shard=s,
+                                      replica=hedge_replicas[s],
+                                      winner=hedge_won,
+                                      cancelled=not hedge_won)
                 if loser:
                     # Best-effort tied-request cancellation: only queued
                     # copies can be cancelled; running ones complete and
@@ -762,7 +837,7 @@ class ShardedService:
                         f.cancel()
             if not unfinished:
                 break
-            now = time.monotonic()
+            now = monotonic()
             threshold = self.hedge.threshold
             # Trigger: shard call outstanding beyond the adaptive p95 —
             # and within the hedge budget (a denied shard stays denied
@@ -775,13 +850,13 @@ class ShardedService:
                     with self._hedge_lock:
                         allowed = self._budget_allows_locked()
                         if allowed:
-                            self.hedges_issued += 1
+                            self._hedges_issued.inc()
                     if not allowed:
                         denied.add(s)
                         continue
                     sibling = group.hedge_sibling(picks[s])
                     hedge_replicas[s] = sibling
-                    hedge_issued_at[s] = time.monotonic()
+                    hedge_issued_at[s] = monotonic()
                     fresh = self._hedge_clocks(clocks, s)
                     tasks = group.replicas[sibling].build_tasks(
                         request, deadline * self._budgets[s], fresh)
@@ -801,7 +876,7 @@ class ShardedService:
                 hedges[s] is None and s not in denied
                 and self.shards[s].n_replicas > 1
                 for s in unfinished)
-            timeout = (max(0.0, threshold - (time.monotonic() - t0))
+            timeout = (max(0.0, threshold - (monotonic() - t0))
                        if can_hedge_more else None)
             if outstanding:
                 wait(outstanding, timeout=timeout,

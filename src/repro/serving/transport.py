@@ -60,12 +60,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Callable, Sequence
 
-from repro.core.clock import DeadlineClock, SimulatedClock
+from repro.core.clock import DeadlineClock, SimulatedClock, monotonic
 from repro.core.servable import default_merge
 from repro.core.state import (StaleEpochError, apply_delta, compute_delta)
 from repro.serving.backends import (ComponentOutcome, ComponentTask,
                                     ExecutionBackend, _preferred_mp_context,
                                     run_component_task)
+from repro.serving.telemetry import get_tracer, trace_context_of
 
 __all__ = [
     "MAGIC",
@@ -566,9 +567,24 @@ class RemoteServable:
         ]
 
     def _run_task(self, task: ComponentTask) -> ComponentOutcome:
-        return self._channel.call(
+        ctx = trace_context_of(task.envelope)
+        if ctx is None or not ctx.sampled:
+            return self._channel.call(
+                ("component_task", task.component, task.request,
+                 task.deadline, task.clock, task.envelope),
+                timeout=self._timeout)
+        channel = self._channel
+        sent0 = channel.bytes_sent
+        received0 = channel.bytes_received
+        t0 = monotonic()
+        outcome = channel.call(
             ("component_task", task.component, task.request, task.deadline,
              task.clock, task.envelope), timeout=self._timeout)
+        get_tracer().record(
+            "wire.rpc", ctx, t0, monotonic(), component=task.component,
+            bytes_sent=channel.bytes_sent - sent0,
+            bytes_received=channel.bytes_received - received0)
+        return outcome
 
     def serve(self, request, clocks: list[DeadlineClock] | None = None,
               backend=None):
@@ -898,12 +914,16 @@ class RemoteBackend(ExecutionBackend):
         # (store_id, component) -> OrderedDict[epoch -> serialized blob],
         # bounded by retain_blobs: the delta bases.
         self._blobs: dict[tuple, OrderedDict[int, bytes]] = {}
-        self._task_bytes = 0
-        self._tasks_shipped = 0
-        self._state_full_bytes = 0
-        self._state_full_publishes = 0
-        self._state_delta_bytes = 0
-        self._state_delta_publishes = 0
+        # Payload accounting lives in the registry; the historical
+        # counter dicts below read through to these.
+        self._task_bytes = self.metrics.counter("task_bytes")
+        self._tasks_shipped = self.metrics.counter("tasks_shipped")
+        self._state_full_bytes = self.metrics.counter("state_full_bytes")
+        self._state_full_publishes = self.metrics.counter(
+            "state_full_publishes")
+        self._state_delta_bytes = self.metrics.counter("state_delta_bytes")
+        self._state_delta_publishes = self.metrics.counter(
+            "state_delta_publishes")
 
     # -- worker management ----------------------------------------------
 
@@ -986,9 +1006,8 @@ class RemoteBackend(ExecutionBackend):
             frame = encode_frame(KIND_STATE, 0, (
                 "full", ref.store_id, ref.component, ref.epoch, False,
                 blob))
-            with self._lock:
-                self._state_full_bytes += len(frame)
-                self._state_full_publishes += 1
+            self._state_full_bytes.inc(len(frame))
+            self._state_full_publishes.inc()
             return [frame]
         full = encode_frame(KIND_STATE, 0, (
             "full", ref.store_id, ref.component, ref.epoch, True, blob))
@@ -1001,14 +1020,12 @@ class RemoteBackend(ExecutionBackend):
                     delta))
                 if len(delta_frame) < len(full):
                     link.held[group] = ref.epoch
-                    with self._lock:
-                        self._state_delta_bytes += len(delta_frame)
-                        self._state_delta_publishes += 1
+                    self._state_delta_bytes.inc(len(delta_frame))
+                    self._state_delta_publishes.inc()
                     return [delta_frame]
         link.held[group] = ref.epoch
-        with self._lock:
-            self._state_full_bytes += len(full)
-            self._state_full_publishes += 1
+        self._state_full_bytes.inc(len(full))
+        self._state_full_publishes.inc()
         return [full]
 
     # -- ExecutionBackend ------------------------------------------------
@@ -1036,10 +1053,11 @@ class RemoteBackend(ExecutionBackend):
         else:
             wire_task = task  # inline state ships whole
             state_frames = []
+        ctx = trace_context_of(task.envelope)
+        t_send = monotonic() if ctx is not None and ctx.sampled else 0.0
         task_payload = pickle.dumps(wire_task)
-        with self._lock:
-            self._task_bytes += len(task_payload)
-            self._tasks_shipped += 1
+        self._task_bytes.inc(len(task_payload))
+        self._tasks_shipped.inc()
         future: Future = Future()
         future.set_running_or_notify_cancel()  # tied-request semantics
         msg_id = next(link.ids)
@@ -1059,28 +1077,32 @@ class RemoteBackend(ExecutionBackend):
                 link.pending.pop(msg_id, None)
             future.set_exception(ConnectionError(
                 f"backend worker connection failed: {exc}"))
+            return future
+        if ctx is not None and ctx.sampled:
+            get_tracer().record(
+                "wire.send", ctx, t_send, monotonic(),
+                component=task.component, task_bytes=len(task_payload),
+                state_bytes=sum(len(f) for f in state_frames))
         return future
 
     def payload_counters(self) -> dict:
-        with self._lock:
-            return {
-                "task_bytes": self._task_bytes,
-                "state_bytes": self._state_full_bytes
-                + self._state_delta_bytes,
-                "tasks_shipped": self._tasks_shipped,
-                "state_publishes": self._state_full_publishes
-                + self._state_delta_publishes,
-            }
+        return {
+            "task_bytes": self._task_bytes.value,
+            "state_bytes": self._state_full_bytes.value
+            + self._state_delta_bytes.value,
+            "tasks_shipped": self._tasks_shipped.value,
+            "state_publishes": self._state_full_publishes.value
+            + self._state_delta_publishes.value,
+        }
 
     def transport_counters(self) -> dict:
         """State-plane breakdown plus raw socket byte totals."""
-        with self._lock:
-            counters = {
-                "state_full_publishes": self._state_full_publishes,
-                "state_delta_publishes": self._state_delta_publishes,
-                "state_full_bytes": self._state_full_bytes,
-                "state_delta_bytes": self._state_delta_bytes,
-            }
+        counters = {
+            "state_full_publishes": self._state_full_publishes.value,
+            "state_delta_publishes": self._state_delta_publishes.value,
+            "state_full_bytes": self._state_full_bytes.value,
+            "state_delta_bytes": self._state_delta_bytes.value,
+        }
         counters["bytes_sent"] = sum(l.bytes_sent for l in self._links)
         counters["bytes_received"] = sum(l.bytes_received
                                          for l in self._links)

@@ -352,6 +352,21 @@ class TestAsyncClosedLoop:
         assert np.all(stats.request_latencies >= 0.0)
         assert stats.offered is None   # no admission layer in closed loop
 
+    def test_closed_loop_populates_queue_delays(self, cf_service,
+                                                cf_loadgen):
+        # Dispatch overhead (client latency minus service time) lands in
+        # queue_delays, one entry per request.
+        load = cf_loadgen.closed_loop(n_clients=2, n_requests=8)
+        with AsyncExecutionBackend() as backend:
+            harness = AsyncServingHarness(cf_service, deadline=0.05,
+                                          backend=backend,
+                                          clock_factory=sim_factory())
+            stats = harness.run_closed_loop(load)
+        assert stats.queue_delays.shape == (8,)
+        assert np.all(stats.queue_delays >= 0.0)
+        assert np.all(np.isfinite(stats.queue_delays))
+        assert np.all(stats.queue_delays <= stats.request_latencies + 1e-9)
+
     def test_answers_bit_identical_to_sync_closed_loop(self, cf_service,
                                                        cf_loadgen):
         from repro.serving.harness import ServingHarness

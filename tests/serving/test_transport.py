@@ -436,6 +436,33 @@ class TestRemoteCluster:
         with pytest.raises(RuntimeError, match="failed to build"):
             RemoteServable.spawn(AccuracyTraderService, cf_adapter, [])
 
+    def test_envelope_identity_survives_backend_wire(self,
+                                                     cf_serving_service,
+                                                     cf_request,
+                                                     remote_backend):
+        # Regression: the detached envelope rides the pickled task, so
+        # worker processes stamp request_id / request_class into every
+        # ProcessingReport exactly as the in-process path does.
+        env = as_envelope(cf_request, DEADLINE)
+        outcomes = remote_backend.run_tasks(
+            cf_serving_service.build_tasks(env, clocks=sim_clocks(2)))
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert outcome.report.request_id == env.request_id
+            assert outcome.report.request_class == env.request_class.value
+
+    def test_envelope_identity_survives_cluster_wire(self,
+                                                     cf_remote_cluster,
+                                                     cf_request):
+        # Same contract end to end: router -> 2 shards, each a service
+        # in its own OS process.
+        env = as_envelope(cf_request, DEADLINE)
+        resp = cf_remote_cluster.serve(env, clocks=sim_clocks(2))
+        assert len(resp.reports) == 2
+        for report in resp.reports:
+            assert report.request_id == env.request_id
+            assert report.request_class == env.request_class.value
+
     def test_transport_counters_grow(self, cf_remote_cluster, cf_request):
         replica = cf_remote_cluster.shards[0].replicas[0]
         before = replica.transport_counters()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Lint: the serving plane must read wall-clock time through the seam.
+
+Every latency measurement in ``src/repro/serving/`` must go through
+:func:`repro.core.clock.monotonic` (or an injected clock) so that the
+telemetry layer can align spans across processes and tests can
+substitute deterministic clocks.  Direct ``time.time()`` /
+``time.monotonic()`` reads bypass the seam and are rejected here;
+``time.sleep`` and friends are fine.
+
+Exempt: ``telemetry.py`` (defines the default clock plumbing) — the
+clock seam itself lives in ``repro.core.clock``, outside the scanned
+tree.
+
+Usage::
+
+    python tools/check_injectable_clocks.py [root]
+
+Exits non-zero listing each offending ``file:line`` if any direct
+clock read is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+FORBIDDEN_ATTRS = {"time", "monotonic", "monotonic_ns", "time_ns",
+                   "perf_counter", "perf_counter_ns"}
+EXEMPT = {"telemetry.py"}
+
+
+def clock_reads(path: Path) -> list[tuple[int, str]]:
+    """``(line, expression)`` for each direct stdlib clock read."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in FORBIDDEN_ATTRS):
+            hits.append((node.lineno, f"time.{node.attr}"))
+    return hits
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent / "src/repro/serving"
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in EXEMPT:
+            continue
+        for line, expr in clock_reads(path):
+            failures.append(f"{path}:{line}: direct {expr}() read; "
+                            "use repro.core.clock.monotonic")
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} direct clock read(s) in the serving "
+              "plane; route them through repro.core.clock so telemetry "
+              "and tests can inject clocks.")
+        return 1
+    print(f"ok: no direct stdlib clock reads under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
