@@ -2,11 +2,13 @@
 
 The serving tier becomes multi-host in :mod:`repro.serving.transport`:
 shards run as real OS processes behind length-prefixed TCP framing
-(``RemoteServable``), and the state plane ships each update epoch to
-workers as a content-defined binary *delta* against the epoch the worker
-already holds (``RemoteBackend``).  This bench pins down the three
-claims that make that tier trustworthy, emitted as machine-readable
-``BENCH_transport.json``:
+(``RemoteServable``), links are *multiplexed* (many in-flight
+msg_id-correlated RPCs per socket), coalesced batches cross as one
+``KIND_BATCH`` frame, and the state plane ships each update epoch as
+the smallest of a **semantic** delta (only the re-aggregated groups),
+a content-defined **CDC** byte delta, or the full snapshot
+(``RemoteBackend``).  This bench pins down the claims that make that
+tier trustworthy, emitted as machine-readable ``BENCH_transport.json``:
 
 - **bit-identity** — a localhost multi-process cluster (one spawned
   service process per shard) answers CF and search requests
@@ -15,9 +17,17 @@ claims that make that tier trustworthy, emitted as machine-readable
 - **latency + bytes on wire** — the same open-loop burst served by the
   in-process router and by the socket cluster: p50/p99 wall latency and
   measured wire bytes per request (the cost of crossing hosts).
+- **concurrency** — the same concurrent closed-loop load on three
+  tiers: in-process, a *serialized* socket cluster (one outstanding
+  RPC per link) and the *multiplexed* one.  Multiplexing must at least
+  match serialized throughput, and at full scale it must close the
+  socket-vs-in-process p99 gap by >= 2x.
+- **batch framing** — shipping component batches as one frame must at
+  least match pipelined per-task dispatch on throughput.
 - **delta scaling** — state traffic must scale with *update* size, not
   synopsis size: growing ``change_points`` edits produce growing —
-  but always sub-snapshot — delta publications.
+  but always sub-snapshot — delta publications, and for small hinted
+  edits the semantic encoding beats the CDC byte delta it displaced.
 
 Run:  PYTHONPATH=src python benchmarks/bench_transport.py [--toy]
           [--out BENCH_transport.json]
@@ -26,8 +36,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_transport.py [--toy]
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
+import pickle
 import sys
+import threading
 import time
 from dataclasses import dataclass
 
@@ -38,7 +51,9 @@ from repro.core.adapters import CFAdapter, CFRequest, SearchAdapter, \
 from repro.core.builder import SynopsisConfig
 from repro.core.clock import SimulatedClock
 from repro.core.service import AccuracyTraderService
+from repro.core.state import PICKLE_PROTOCOL, compute_delta
 from repro.serving import (
+    IOStallAdapter,
     LoadGenerator,
     ReplicaGroup,
     RemoteBackend,
@@ -47,6 +62,7 @@ from repro.serving import (
     ShardedService,
 )
 from repro.serving.envelope import as_envelope
+from repro.serving.transport import KIND_STATE, encode_frame
 from repro.workloads.corpus import CorpusConfig, generate_corpus
 from repro.workloads.movielens import MovieLensConfig, generate_ratings
 from repro.workloads.partitioning import split_corpus, split_ratings
@@ -55,6 +71,9 @@ N_SHARDS = 2
 DEADLINE_S = 10.0
 I_MAX = 4                 # cap refinement: the bench measures transport,
 #                           not component compute
+N_CLIENTS = 8             # concurrent closed-loop clients
+STALL_S = 2e-3            # per-component storage stall (concurrency leg)
+BATCH_SIZE = 8            # tasks per KIND_BATCH frame
 CONFIG = SynopsisConfig(n_iters=20, target_ratio=12.0, seed=19)
 SEARCH_CONFIG = SynopsisConfig(n_iters=20, target_ratio=18.0, seed=19)
 
@@ -227,6 +246,150 @@ def run_latency(scale: Scale, matrix) -> list[dict]:
 
 
 # ---------------------------------------------------------------------------
+# Concurrency: serialized vs multiplexed links under concurrent load
+# ---------------------------------------------------------------------------
+
+
+def drive_concurrent(service, requests, n_total: int) -> dict:
+    """``N_CLIENTS`` closed-loop threads sharing ``n_total`` requests."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    counter = itertools.count()
+
+    def client():
+        mine = []
+        while True:
+            i = next(counter)
+            if i >= n_total:
+                break
+            env = as_envelope(requests[i % len(requests)], DEADLINE_S)
+            t0 = time.perf_counter()
+            service.serve(env, clocks=sim_clocks(N_SHARDS))
+            mine.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(mine)
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client) for _ in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    lat = np.asarray(latencies)
+    return {
+        "n_clients": N_CLIENTS,
+        "n_requests": len(latencies),
+        "throughput_rps": len(latencies) / elapsed,
+        "p50_s": float(np.percentile(lat, 50)),
+        "p99_s": float(np.percentile(lat, 99)),
+    }
+
+
+def run_concurrency(scale: Scale, matrix) -> list[dict]:
+    """The same concurrent load on in-process vs serialized vs muxed.
+
+    Components pay an ``IOStallAdapter`` storage stall (the serving
+    layer's model of a real fetch), so a worker process genuinely
+    overlaps concurrent requests.  That is the regime multiplexing is
+    for: a serialized link admits one RPC at a time and the stall
+    serializes the whole cluster; pipelined links keep the worker's
+    pool full.
+    """
+    parts = split_ratings(matrix, N_SHARDS)
+    loadgen = make_loadgen(matrix)
+    rng = np.random.default_rng(5)
+    requests = [loadgen.request_factory(i, rng) for i in range(16)]
+    warm = as_envelope(requests[0], DEADLINE_S)
+
+    def stalled_adapter():
+        return IOStallAdapter(CFAdapter(), synopsis_stall=STALL_S,
+                              group_stall=STALL_S / 10)
+
+    rows = []
+    local = local_cluster(stalled_adapter(), parts, CONFIG, i_max=I_MAX)
+    local.serve(warm, clocks=sim_clocks(N_SHARDS))
+    rows.append({"tier": "in_process",
+                 **drive_concurrent(local, requests, scale.n_requests)})
+
+    for tier, kwargs in (
+            # One outstanding RPC per link: the pre-multiplexing wire.
+            ("socket_serialized", {"max_in_flight": 1}),
+            # Pipelined links, two per worker process.
+            ("socket_multiplexed", {"n_links": 2})):
+        cluster, remotes = remote_cluster(stalled_adapter(), parts, CONFIG,
+                                          i_max=I_MAX, **kwargs)
+        try:
+            cluster.serve(warm, clocks=sim_clocks(N_SHARDS))  # publish state
+            rows.append({"tier": tier, **drive_concurrent(
+                cluster, requests, scale.n_requests)})
+        finally:
+            for r in remotes:
+                r.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Batch framing: one KIND_BATCH frame vs pipelined per-task dispatch
+# ---------------------------------------------------------------------------
+
+
+def run_batching(scale: Scale, matrix) -> dict:
+    parts = split_ratings(matrix, N_SHARDS)
+    svc = AccuracyTraderService(CFAdapter(), parts, config=CONFIG,
+                                i_max=I_MAX)
+    loadgen = make_loadgen(matrix)
+    rng = np.random.default_rng(3)
+    n_requests = max(scale.n_requests // 2, 16)
+    backend = RemoteBackend(n_workers=2)
+
+    def build_all():
+        tasks = []
+        for i in range(n_requests):
+            env = as_envelope(loadgen.request_factory(i, rng), DEADLINE_S)
+            tasks.extend(svc.build_tasks(env, clocks=sim_clocks(N_SHARDS)))
+        return tasks
+
+    try:
+        warm = as_envelope(loadgen.request_factory(0, rng), DEADLINE_S)
+        backend.run_tasks(svc.build_tasks(warm, clocks=sim_clocks(N_SHARDS)))
+
+        tasks = build_all()
+        t0 = time.perf_counter()
+        futures = [backend.submit_task(t) for t in tasks]
+        for future in futures:
+            future.result()
+        per_task_s = time.perf_counter() - t0
+
+        tasks = build_all()
+        by_component: dict[int, list] = {}
+        for task in tasks:
+            by_component.setdefault(task.component, []).append(task)
+        before = backend.transport_counters()["batches_shipped"]
+        t0 = time.perf_counter()
+        futures = []
+        for bucket in by_component.values():
+            for i in range(0, len(bucket), BATCH_SIZE):
+                futures.extend(
+                    backend.submit_batch(bucket[i:i + BATCH_SIZE]))
+        for future in futures:
+            future.result()
+        batched_s = time.perf_counter() - t0
+        shipped = backend.transport_counters()["batches_shipped"] - before
+        n = len(tasks)
+        return {
+            "n_tasks": n,
+            "batch_size": BATCH_SIZE,
+            "batches_shipped": shipped,
+            "per_task_rps": n / per_task_s,
+            "batched_rps": n / batched_s,
+        }
+    finally:
+        backend.close()
+        svc.close()
+
+
+# ---------------------------------------------------------------------------
 # Delta scaling: state traffic follows update size, not synopsis size
 # ---------------------------------------------------------------------------
 
@@ -240,28 +403,49 @@ def run_delta_scaling(scale: Scale, matrix) -> dict:
                       DEADLINE_S)
     record_ids = CFAdapter().record_ids(parts[0])
     backend = RemoteBackend(n_workers=1)
+
+    def component0_ref(tasks):
+        return next(t.state_ref for t in tasks if t.component == 0)
+
     try:
-        backend.run_tasks(svc.build_tasks(env, clocks=sim_clocks(N_SHARDS)))
+        tasks = svc.build_tasks(env, clocks=sim_clocks(N_SHARDS))
+        backend.run_tasks(tasks)
         base = backend.transport_counters()
         full_per_component = base["state_full_bytes"] / N_SHARDS
         prev = base
+        prev_ref = component0_ref(tasks)
+        prev_blob = pickle.dumps(prev_ref.resolve(), PICKLE_PROTOCOL)
         points = []
         for k in scale.edit_sizes:
             svc.change_points(0, parts[0],
                               np.asarray(record_ids[:k]))
-            backend.run_tasks(svc.build_tasks(env,
-                                              clocks=sim_clocks(N_SHARDS)))
+            tasks = svc.build_tasks(env, clocks=sim_clocks(N_SHARDS))
+            backend.run_tasks(tasks)
             cur = backend.transport_counters()
+            # What a CDC-only wire would have shipped for the same
+            # transition (the byte delta between the parent's own
+            # serialized snapshots, framed exactly as the wire frames
+            # it) — the baseline the semantic encoding displaces.
+            ref = component0_ref(tasks)
+            blob = pickle.dumps(ref.resolve(), PICKLE_PROTOCOL)
+            cdc = compute_delta(prev_blob, blob)
+            cdc_bytes = len(encode_frame(KIND_STATE, 0, (
+                "delta", ref.store_id, 0, prev_ref.epoch, ref.epoch, cdc)))
             points.append({
                 "edit_size": int(k),
+                "semantic_publishes": cur["state_semantic_publishes"]
+                - prev["state_semantic_publishes"],
+                "semantic_bytes": cur["state_semantic_bytes"]
+                - prev["state_semantic_bytes"],
                 "delta_publishes": cur["state_delta_publishes"]
                 - prev["state_delta_publishes"],
                 "delta_bytes": cur["state_delta_bytes"]
                 - prev["state_delta_bytes"],
                 "full_publishes": cur["state_full_publishes"]
                 - prev["state_full_publishes"],
+                "cdc_alternative_bytes": cdc_bytes,
             })
-            prev = cur
+            prev, prev_ref, prev_blob = cur, ref, blob
         return {"full_snapshot_bytes": full_per_component,
                 "points": points}
     finally:
@@ -283,6 +467,8 @@ def run(scale: Scale) -> dict:
         "identity": [check_identity_cf(ratings.matrix),
                      check_identity_search(scale)],
         "latency": run_latency(scale, ratings.matrix),
+        "concurrency": run_concurrency(scale, ratings.matrix),
+        "batching": run_batching(scale, ratings.matrix),
         "delta_scaling": run_delta_scaling(scale, ratings.matrix),
     }
 
@@ -303,14 +489,30 @@ def print_table(result: dict) -> None:
               f"{row['throughput_rps']:>8.0f}"
               f"{1e3 * row['p50_s']:>8.1f}{1e3 * row['p99_s']:>8.1f}"
               f"{row['wire_bytes_per_request'] / 1e3:>13.1f}")
+    print("\nconcurrency — "
+          f"{result['concurrency'][0]['n_clients']} closed-loop clients")
+    print(f"{'tier':>20}{'reqs':>6}{'rps':>8}{'p50 ms':>8}{'p99 ms':>8}")
+    for row in result["concurrency"]:
+        print(f"{row['tier']:>20}{row['n_requests']:>6}"
+              f"{row['throughput_rps']:>8.0f}"
+              f"{1e3 * row['p50_s']:>8.2f}{1e3 * row['p99_s']:>8.2f}")
+    batching = result["batching"]
+    print(f"\nbatch framing — {batching['n_tasks']} tasks, "
+          f"batch size {batching['batch_size']} "
+          f"({batching['batches_shipped']} frames)")
+    print(f"  per-task {batching['per_task_rps']:>8.0f} tasks/s   "
+          f"batched {batching['batched_rps']:>8.0f} tasks/s")
     delta = result["delta_scaling"]
     full_kb = delta["full_snapshot_bytes"] / 1e3
     print(f"\ndelta scaling — full snapshot {full_kb:.0f} KB/component")
     for point in delta["points"]:
-        ratio = point["delta_bytes"] / delta["full_snapshot_bytes"]
+        shipped = point["semantic_bytes"] + point["delta_bytes"]
+        kind = "semantic" if point["semantic_publishes"] else "cdc"
+        ratio = shipped / delta["full_snapshot_bytes"]
         print(f"  edit {point['edit_size']:>4} records -> "
-              f"{point['delta_bytes'] / 1e3:>7.1f} KB on the wire "
-              f"({ratio:.0%} of a full snapshot)")
+              f"{shipped / 1e3:>7.1f} KB on the wire as {kind:<8} "
+              f"({ratio:.0%} of a full snapshot; cdc alternative "
+              f"{point['cdc_alternative_bytes'] / 1e3:.1f} KB)")
 
 
 def check(result: dict) -> list[str]:
@@ -327,26 +529,67 @@ def check(result: dict) -> list[str]:
         failures.append("socket tier reported no bytes on the wire")
     if tiers["in_process"]["n_requests"] != tiers["socket"]["n_requests"]:
         failures.append("tiers served different request counts")
+    conc = {row["tier"]: row for row in result["concurrency"]}
+    if conc["socket_multiplexed"]["throughput_rps"] < \
+            conc["socket_serialized"]["throughput_rps"]:
+        failures.append(
+            "multiplexed links slower than serialized under concurrent "
+            f"load ({conc['socket_multiplexed']['throughput_rps']:.0f} vs "
+            f"{conc['socket_serialized']['throughput_rps']:.0f} rps)")
+    if result.get("scale_name") == "full":
+        # The tentpole claim: pipelining closes the socket-vs-in-process
+        # p99 gap by at least 2x vs one-RPC-at-a-time links.
+        gap_serial = conc["socket_serialized"]["p99_s"] - \
+            conc["in_process"]["p99_s"]
+        gap_mux = max(conc["socket_multiplexed"]["p99_s"]
+                      - conc["in_process"]["p99_s"], 0.0)
+        if gap_serial < 2 * gap_mux:
+            failures.append(
+                "multiplexing narrowed the socket p99 gap by "
+                f"{gap_serial / gap_mux if gap_mux else float('inf'):.1f}x "
+                "(< 2x required)")
+    batching = result["batching"]
+    if batching["batched_rps"] < batching["per_task_rps"]:
+        failures.append(
+            f"batched dispatch slower than per-task "
+            f"({batching['batched_rps']:.0f} vs "
+            f"{batching['per_task_rps']:.0f} tasks/s)")
+    if batching["batches_shipped"] < 1:
+        failures.append("no KIND_BATCH frames were shipped")
     delta = result["delta_scaling"]
     full = delta["full_snapshot_bytes"]
     points = delta["points"]
     for point in points:
-        if point["delta_publishes"] < 1:
+        shipped = point["semantic_bytes"] + point["delta_bytes"]
+        if point["semantic_publishes"] + point["delta_publishes"] < 1:
             failures.append(f"edit {point['edit_size']}: epoch did not "
                             "travel as a delta")
         if point["full_publishes"] > 0:
             failures.append(f"edit {point['edit_size']}: fell back to a "
                             "full snapshot")
-        if point["delta_bytes"] >= full:
+        if shipped >= full:
             failures.append(f"edit {point['edit_size']}: delta "
-                            f"({point['delta_bytes']}) not below the full "
+                            f"({shipped}) not below the full "
                             f"snapshot ({full:.0f})")
+    if points and points[0]["semantic_publishes"] < 1:
+        failures.append("smallest edit did not travel semantically")
+    for point in points:
+        if point["semantic_publishes"] and \
+                point["semantic_bytes"] >= point["cdc_alternative_bytes"]:
+            failures.append(
+                f"edit {point['edit_size']}: semantic delta "
+                f"({point['semantic_bytes']}) not below the CDC "
+                f"alternative ({point['cdc_alternative_bytes']})")
+
+    def shipped_bytes(p):
+        return p["semantic_bytes"] + p["delta_bytes"]
+
     if len(points) > 1 and \
-            points[0]["delta_bytes"] >= points[-1]["delta_bytes"]:
+            shipped_bytes(points[0]) >= shipped_bytes(points[-1]):
         failures.append("delta bytes do not grow with update size: "
-                        f"{[p['delta_bytes'] for p in points]}")
-    if points and points[0]["delta_bytes"] > 0.6 * full:
-        failures.append(f"smallest edit ships {points[0]['delta_bytes']} "
+                        f"{[shipped_bytes(p) for p in points]}")
+    if points and shipped_bytes(points[0]) > 0.6 * full:
+        failures.append(f"smallest edit ships {shipped_bytes(points[0])} "
                         f"bytes, not small vs the {full:.0f}-byte snapshot")
     return failures
 

@@ -11,12 +11,13 @@ Three short acts on one CF workload:
 2. **Updates travel as deltas** — the wire state plane
    (``RemoteBackend``): each worker receives a component's snapshot once
    per epoch, and when ``change_points`` publishes a new epoch the
-   transition ships as a content-defined binary delta against the epoch
-   the worker already holds — bytes scale with the edit, not the
-   synopsis.
-3. **The counters to watch** — per-link bytes sent/received and
-   full-vs-delta publication counts, the numbers a deployment would
-   alert on.
+   transition ships as the smallest of a *semantic* delta (just the
+   re-aggregated groups the update's hint names), a content-defined
+   CDC byte delta, or the full snapshot — bytes scale with the edit,
+   not the synopsis.
+3. **The counters to watch** — per-link bytes sent/received and the
+   full/CDC/semantic publication breakdown, the numbers a deployment
+   would alert on.
 
 Run:  PYTHONPATH=src python examples/multihost_serving.py
 """
@@ -99,11 +100,15 @@ def act_2_delta_state_plane(matrix, parts):
             backend.run_tasks(service.build_tasks(
                 env, clocks=sim_clocks(len(parts))))
             cur = backend.transport_counters()
-            delta_kb = (cur["state_delta_bytes"]
-                        - prev["state_delta_bytes"]) / 1e3
+            semantic_kb = (cur["state_semantic_bytes"]
+                           - prev["state_semantic_bytes"]) / 1e3
+            cdc_kb = (cur["state_delta_bytes"]
+                      - prev["state_delta_bytes"]) / 1e3
+            kind = "semantic" if semantic_kb else "CDC"
+            shipped_kb = semantic_kb or cdc_kb
             print(f"  change_points({edit} records): epoch travelled as a "
-                  f"{delta_kb:.0f} KB delta "
-                  f"({delta_kb / full_kb:.0%} of a snapshot)")
+                  f"{shipped_kb:.0f} KB {kind} delta "
+                  f"({shipped_kb / full_kb:.0%} of a snapshot)")
             prev = cur
         print("=== 3. the counters to watch ===")
         for key, value in sorted(backend.transport_counters().items()):

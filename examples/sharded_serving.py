@@ -34,6 +34,7 @@ from repro.serving import (
     ServingHarness,
     ShardedService,
     ThreadPoolBackend,
+    as_envelope,
 )
 from repro.strategies.reissue import ReissueStrategy
 from repro.workloads import MovieLensConfig, generate_ratings, split_ratings
@@ -79,8 +80,10 @@ def main() -> None:
     routed = ShardedService(build_cluster(parts, with_straggler=False))
     request = factory(0, __import__("numpy").random.default_rng(0))
     clocks = lambda: [SimulatedClock(speed=500.0) for _ in range(4)]  # noqa: E731
-    mono_answer, _ = mono.process(request, 0.05, clocks=clocks())
-    routed_answer, _ = routed.process(request, 0.05, clocks=clocks())
+    mono_answer = mono.serve(as_envelope(request, 0.05),
+                             clocks=clocks()).answer
+    routed_answer = routed.serve(as_envelope(request, 0.05),
+                                 clocks=clocks()).answer
     assert routed_answer.numer == mono_answer.numer
     assert routed_answer.denom == mono_answer.denom
     print("2 shards x 2 replicas == monolithic 4-component service: "
@@ -128,7 +131,8 @@ def main() -> None:
         component_map=component_map)
     sim = lambda n: [_Clock(speed=1e12) for _ in range(n)]  # noqa: E731
     with routed:
-        before, reports = routed.process(request, 10.0, clocks=sim(4))
+        resp = routed.serve(as_envelope(request, 10.0), clocks=sim(4))
+        before, reports = resp.answer, resp.reports
         print("pre-move epochs per component:",
               [r.state_epoch for r in reports])
         # A request dispatched *before* the move...

@@ -108,6 +108,21 @@ class ServiceAdapter(abc.ABC):
     def assemble_payload(self, partition, group_vectors: list) -> Any:
         """Combine per-group vectors into the query-able synopsis payload."""
 
+    def payload_group_vector(self, payload, group_id: int) -> Any:
+        """Recover group ``group_id``'s step-3 vector from a payload.
+
+        The exact inverse of :meth:`assemble_payload` for one slot:
+        feeding the recovered vectors back through ``assemble_payload``
+        must reproduce the payload bit-identically (under pickling).
+        Semantic state deltas use this to rebuild unchanged groups from
+        the receiver's base snapshot instead of shipping them.  Adapters
+        that cannot invert their payload simply leave this unimplemented
+        — callers fall back to byte-level deltas.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot recover group vectors "
+            "from its payload")
+
     # -- online: Algorithm 1 -------------------------------------------
 
     @abc.abstractmethod
@@ -352,6 +367,12 @@ class CFAdapter(ServiceAdapter):
                            n_users=len(group_vectors), n_items=partition.n_items)
         return CFComponent(agg)
 
+    def payload_group_vector(self, payload: "CFComponent", group_id: int):
+        # aggregate_group returns (sorted item ids, means); the CSR rows
+        # of the aggregated matrix store exactly those pairs per group.
+        ids, means = payload.matrix.user_ratings(int(group_id))
+        return np.asarray(ids, dtype=np.int64), np.asarray(means, dtype=float)
+
     # -- online ----------------------------------------------------------
 
     def initial_result(self, synopsis, request: CFRequest):
@@ -539,6 +560,12 @@ class SearchAdapter(ServiceAdapter):
         for g, counts in enumerate(group_vectors):
             synopsis_index.add_document_counts(g, counts)
         return SearchComponent(synopsis_index)
+
+    def payload_group_vector(self, payload: "SearchComponent", group_id: int):
+        # aggregate_group returns a term-count bag; the synopsis index
+        # stores each group's bag verbatim (add_document_counts keeps
+        # insertion order and drops nothing for positive counts).
+        return payload.index.document_counts(int(group_id))
 
     # -- online ----------------------------------------------------------
 

@@ -20,12 +20,11 @@ travels as one immutable :class:`~repro.serving.envelope.ServingRequest`
 monotonic id, arrival timestamp) through :meth:`Servable.serve` /
 :meth:`Servable.aserve`, and the reply is a
 :class:`~repro.serving.envelope.ServingResponse` (answer, per-component
-reports, state epochs, queue/service timing).  The positional
-``process(request, deadline, ...)`` / ``aprocess(...)`` members are the
-**legacy shims** over that path: they wrap the bare payload in a
-default-class envelope (:func:`~repro.serving.envelope.as_envelope`)
-and unpack the response to the old ``(answer, reports)`` tuple,
-bit-identically — kept for migration, intended for deprecation.
+reports, state epochs, queue/service timing).  Bare payloads are
+wrapped with :func:`~repro.serving.envelope.as_envelope` before
+dispatch.  (The positional ``process`` / ``aprocess`` shims that once
+bridged the pre-envelope API were removed after their deprecation
+cycle.)
 
 State-plane contract: every implementation serves requests from
 immutable, epoch-versioned component snapshots
@@ -48,7 +47,6 @@ from __future__ import annotations
 from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.core.adapters import CFAdapter, SearchAdapter
-from repro.core.processor import ProcessingReport
 
 __all__ = ["Servable", "unwrap_adapter", "default_merge"]
 
@@ -96,24 +94,6 @@ class Servable(Protocol):
         through an executor so the caller's loop never blocks.  Results
         are bit-identical to :meth:`serve` over the same state.
         """
-        ...
-
-    def process(self, request, deadline: float, clocks=None, backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`serve`.
-
-        Wraps the bare ``request`` payload in a default-class envelope
-        and unpacks the response to the historical ``(answer, reports)``
-        tuple — bit-identical to :meth:`serve` over the same state and
-        clocks.  Kept for migration; new callers should build a
-        :class:`~repro.serving.envelope.ServingRequest` and call
-        :meth:`serve`.
-        """
-        ...
-
-    async def aprocess(self, request, deadline: float, clocks=None,
-                       backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`aserve` (see :meth:`process`)."""
         ...
 
     def exact(self, request) -> Any:

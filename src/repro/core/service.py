@@ -5,7 +5,7 @@ creation, per-component processors, result merging — behind the smallest
 API a downstream user needs:
 
     service = AccuracyTraderService(adapter, partitions)
-    answer, reports = service.process(request, deadline=0.1)
+    response = service.serve(as_envelope(request, deadline=0.1))
 
 Per-component execution is delegated to a pluggable
 :class:`~repro.serving.backends.ExecutionBackend` (sequential by default;
@@ -22,7 +22,7 @@ Each component's mutable state is published through a
 :class:`~repro.core.state.ComponentState` snapshot — a ``(partition,
 synopsis)`` pair, never mutated after publication, tagged with a
 monotonically increasing :data:`~repro.core.state.StateEpoch` id.
-``process`` captures one pinned :class:`~repro.core.state.StateRef` per
+``serve`` captures one pinned :class:`~repro.core.state.StateRef` per
 component at dispatch and hands the backend tasks that reference state
 by ``(component, epoch)``, so an in-flight request keeps computing
 against its dispatch-time snapshot even while ``add_points`` /
@@ -41,9 +41,9 @@ from typing import Any, Callable
 from repro.core.adapters import ServiceAdapter
 from repro.core.builder import SynopsisBuilder, SynopsisConfig
 from repro.core.clock import DeadlineClock, SimulatedClock, monotonic
-from repro.core.processor import ProcessingReport
 from repro.core.servable import default_merge
-from repro.core.state import ComponentState, StateEpoch, StateStore
+from repro.core.state import (ComponentState, StateEpoch, StateStore,
+                              UpdateHint)
 from repro.core.synopsis import Synopsis
 from repro.core.updater import SynopsisUpdater
 
@@ -294,38 +294,6 @@ class AccuracyTraderService:
             answer=answer, reports=reports,
             request=request, service_time=monotonic() - t_dispatch)
 
-    # -- legacy positional shims ---------------------------------------
-
-    def process(self, request, deadline: float,
-                clocks: list[DeadlineClock] | None = None,
-                backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`serve` (bit-identical).
-
-        Wraps ``request`` in a default-class envelope and unpacks the
-        response to the historical ``(answer, reports)`` tuple.  Kept
-        for migration; new callers should build a
-        :class:`~repro.serving.envelope.ServingRequest` and call
-        :meth:`serve`.
-        """
-        from repro.serving.envelope import as_envelope, warn_positional_shim
-
-        warn_positional_shim("process")
-        return self.serve(as_envelope(request, deadline), clocks=clocks,
-                          backend=backend).as_tuple()
-
-    async def aprocess(self, request, deadline: float,
-                       clocks: list[DeadlineClock] | None = None,
-                       backend=None,
-                       ) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope, warn_positional_shim
-
-        warn_positional_shim("aprocess")
-        resp = await self.aserve(as_envelope(request, deadline),
-                                 clocks=clocks, backend=backend)
-        return resp.as_tuple()
-
     def exact_components(self, request) -> list:
         """Unmerged exact per-component results (for cross-shard merging)."""
         from repro.serving.envelope import payload_of
@@ -353,9 +321,12 @@ class AccuracyTraderService:
         with self._update_locks[component]:
             report = self.updaters[component].add_points(partition,
                                                          new_record_ids)
-            self.store.publish(component, ComponentState(
-                partition=partition,
-                synopsis=self.updaters[component].synopsis))
+            self.store.publish(
+                component,
+                ComponentState(partition=partition,
+                               synopsis=self.updaters[component].synopsis),
+                hint=UpdateHint(reaggregated=report.reaggregated_slots,
+                                index_changed=report.index_changed))
         return report
 
     def change_points(self, component: int, partition, changed_record_ids):
@@ -366,9 +337,12 @@ class AccuracyTraderService:
         with self._update_locks[component]:
             report = self.updaters[component].change_points(
                 partition, changed_record_ids)
-            self.store.publish(component, ComponentState(
-                partition=partition,
-                synopsis=self.updaters[component].synopsis))
+            self.store.publish(
+                component,
+                ComponentState(partition=partition,
+                               synopsis=self.updaters[component].synopsis),
+                hint=UpdateHint(reaggregated=report.reaggregated_slots,
+                                index_changed=report.index_changed))
         return report
 
     def replace_partition(self, component: int, partition) -> StateEpoch:

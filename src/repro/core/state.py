@@ -55,11 +55,28 @@ touches only changed group vectors, which is exactly the locality CDC
 recovers from the pickled bytes.  :func:`apply_delta` verifies chunk
 digests and a whole-blob checksum, so a reconstructed snapshot is
 **bit-identical** to the published one or the transfer fails loudly.
+
+Semantic deltas
+---------------
+
+CDC is content-agnostic: it rediscovers an update's locality from the
+pickled bytes.  But the synopsis updater already *knows* which group
+slots it re-aggregated — :class:`~repro.core.updater.UpdateReport`
+carries them — so when a publish attaches an :class:`UpdateHint`, the
+wire tier can build a :func:`compute_semantic_delta` instead: ship only
+the changed group vectors (plus a partition diff) and let the receiver
+re-assemble the synopsis from its base copy.  Semantic deltas are
+verified end-to-end twice — the sender replays
+:func:`apply_semantic_delta` against the base blob and falls back to
+CDC unless the reconstruction is byte-equal to the target, and the
+receiver checks the whole-blob digest — so they are an optimisation,
+never a correctness risk.
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 import uuid
 from collections import OrderedDict
@@ -68,11 +85,20 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.synopsis import Synopsis
+from repro.core.synopsis import IndexFile, Synopsis
 
 __all__ = ["StateEpoch", "ComponentState", "StateRef", "StateStore",
            "StaleEpochError", "StateDelta", "DeltaMismatchError",
-           "blob_digest", "chunk_blob", "compute_delta", "apply_delta"]
+           "blob_digest", "chunk_blob", "compute_delta", "apply_delta",
+           "PICKLE_PROTOCOL", "UpdateHint", "SemanticDelta",
+           "compute_semantic_delta", "apply_semantic_delta"]
+
+# Every serialized snapshot (and every wire frame) is pickled with this
+# pinned protocol so sender- and receiver-side re-serialisations of the
+# same object graph produce the same bytes — the property semantic-delta
+# digest verification relies on.  Pinned rather than "whatever the
+# interpreter defaults to" so mixed-version deployments agree.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 # Epoch ids are plain ints: one per-store counter, strictly increasing
 # across *all* components, so epoch order is publication order.
@@ -145,6 +171,24 @@ class StateRef:
             "persistent workers resolve it from their epoch cache")
 
 
+@dataclass(frozen=True)
+class UpdateHint:
+    """What an epoch transition changed, in synopsis terms.
+
+    Attached to :meth:`StateStore.publish` by the service layer when the
+    new snapshot came out of the incremental updater.  ``reaggregated``
+    lists the group slots (indices into the *new* synopsis's group
+    order) whose aggregates were recomputed; ``index_changed`` says the
+    group membership layout differs from the previous epoch.  The wire
+    state plane uses the hint to build semantic deltas; publishes
+    without a hint (e.g. ``replace_partition``) simply fall back to
+    content-defined byte deltas.
+    """
+
+    reaggregated: tuple = ()
+    index_changed: bool = False
+
+
 class StateStore:
     """Publishes immutable per-component snapshots under epoch ids.
 
@@ -173,6 +217,12 @@ class StateStore:
         self._epoch_counter = 0
         # component -> epoch -> state, oldest epoch first.
         self._history: dict[int, OrderedDict[StateEpoch, ComponentState]] = {}
+        # component -> epoch -> (previous epoch | None, UpdateHint | None),
+        # bounded alongside the history; lets transition_hint() recover
+        # the semantic chain between two resolvable epochs.
+        self._transitions: dict[
+            int, OrderedDict[StateEpoch,
+                             tuple[StateEpoch | None, UpdateHint | None]]] = {}
 
     # ------------------------------------------------------------------
 
@@ -184,12 +234,15 @@ class StateStore:
         with self._lock:
             return sorted(self._history)
 
-    def publish(self, component: int, state: ComponentState) -> StateEpoch:
+    def publish(self, component: int, state: ComponentState,
+                hint: "UpdateHint | None" = None) -> StateEpoch:
         """Swap in ``state`` as ``component``'s current snapshot.
 
         Returns the new snapshot's epoch id.  Epochs increase strictly
         across all components of this store, so they double as a total
-        order on updates.
+        order on updates.  ``hint``, when given, describes what this
+        transition changed semantically (see :class:`UpdateHint`);
+        backends query it back via :meth:`transition_hint`.
         """
         if not isinstance(state, ComponentState):
             raise TypeError(f"expected a ComponentState, got {state!r}")
@@ -197,9 +250,15 @@ class StateStore:
             self._epoch_counter += 1
             epoch = self._epoch_counter
             history = self._history.setdefault(int(component), OrderedDict())
+            prev = next(reversed(history)) if history else None
             history[epoch] = state
             while len(history) > self.retain + 1:
                 history.popitem(last=False)
+            transitions = self._transitions.setdefault(int(component),
+                                                       OrderedDict())
+            transitions[epoch] = (prev, hint)
+            while len(transitions) > self.retain + 1:
+                transitions.popitem(last=False)
             return epoch
 
     def current(self, component: int) -> tuple[StateEpoch, ComponentState]:
@@ -240,6 +299,51 @@ class StateStore:
         """Epochs currently resolvable for ``component``, oldest first."""
         with self._lock:
             return list(self._require(component))
+
+    def transition_hint(self, component: int, base_epoch: StateEpoch,
+                        target_epoch: StateEpoch) -> "UpdateHint | None":
+        """The composed semantic hint for ``base_epoch → target_epoch``.
+
+        Walks the recorded transition chain backwards from the target.
+        A single hinted step returns its hint verbatim (slot indices
+        refer to the target's group order, so ``index_changed`` steps
+        are still usable).  Multiple steps compose only when *no* step
+        changed the membership layout — otherwise intermediate slot
+        numbering is meaningless for the target order — by unioning the
+        re-aggregated slots.  Returns ``None`` whenever the chain is
+        broken, un-hinted, or not safely composable; callers then fall
+        back to content-defined byte deltas.
+        """
+        with self._lock:
+            transitions = self._transitions.get(int(component))
+            if not transitions:
+                return None
+            hints: list[UpdateHint] = []
+            epoch = target_epoch
+            for _ in range(len(transitions) + 1):
+                if epoch == base_epoch:
+                    break
+                entry = transitions.get(epoch)
+                if entry is None:
+                    return None
+                prev, hint = entry
+                if prev is None or hint is None:
+                    return None
+                hints.append(hint)
+                epoch = prev
+            else:
+                return None
+        if not hints:
+            return None  # base == target: nothing to ship
+        if len(hints) == 1:
+            return hints[0]
+        if any(h.index_changed for h in hints):
+            return None
+        slots: set[int] = set()
+        for h in hints:
+            slots.update(int(s) for s in h.reaggregated)
+        return UpdateHint(reaggregated=tuple(sorted(slots)),
+                          index_changed=False)
 
     # ------------------------------------------------------------------
 
@@ -401,3 +505,197 @@ def apply_delta(base: bytes, delta: StateDelta) -> bytes:
         raise DeltaMismatchError(
             "delta reconstruction does not match the target checksum")
     return result
+
+
+# ---------------------------------------------------------------------------
+# Semantic deltas: ship only the group vectors an update actually changed
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SemanticDelta:
+    """A structured diff between two serialized :class:`ComponentState`\\ s.
+
+    Instead of replaying target *bytes* (CDC), the receiver re-assembles
+    the target *object*: reconstruct the partition (``partition`` op),
+    recover unchanged group vectors from its base copy of the payload
+    via :meth:`~repro.core.adapters.ServiceAdapter.payload_group_vector`,
+    take the ``changed`` vectors off the wire, and run the adapter's
+    ``assemble_payload``.  For a small edit this costs a few group
+    vectors plus a small partition diff, well below a CDC delta (which
+    must carry every pickled byte the edit perturbed, pickle framing
+    included).
+
+    Verification is two-layered.  The *sender* replays the
+    reconstruction itself (:func:`compute_semantic_delta`) and checks
+    the result **value-equal** to the published target — index file,
+    every recovered group vector (order included), and a byte-pinned
+    partition — falling back to CDC on any disagreement.  The
+    ``target_digest`` then pins the sender's replay output, so the
+    *receiver*'s reconstruction either matches the sender's replay
+    byte-for-byte or :func:`apply_semantic_delta` raises.  The applied
+    blob (identical on both sides) becomes the base for subsequent
+    deltas.  It is not byte-identical to the sender's own pickled
+    snapshot — pickle memoisation makes that unattainable — but it
+    deserialises to a value-equal state, which is what bit-identical
+    *serving results* require.
+    """
+
+    adapter: Any                 # stateless ServiceAdapter; pickles tiny
+    n_groups: int                # target synopsis group count
+    changed: dict                # slot -> target group vector
+    groups: tuple | None         # target memberships; None = same as base
+    partition: tuple             # ("same", None) | ("delta", StateDelta)
+    #                            | ("full", bytes)
+    level: int                   # target synopsis level
+    n_original: int              # target synopsis n_original
+    meta: dict                   # target synopsis meta
+    base_digest: bytes
+    target_digest: bytes         # digest of the sender's replay output
+    target_size: int
+
+
+def _group_vectors_equal(a, b) -> bool:
+    """Value equality for opaque group vectors, iteration order included.
+
+    Order matters: ``assemble_payload`` consumes vectors by iteration,
+    so two bags with equal contents but different order can build
+    payloads whose float accumulation order differs downstream.
+    """
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return (len(a) == len(b)
+                and all(np.array_equal(np.asarray(x), np.asarray(y))
+                        for x, y in zip(a, b)))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return list(a.items()) == list(b.items())
+    return bool(a == b)
+
+
+def _assemble_semantic(base_blob: bytes, delta: SemanticDelta) -> bytes:
+    """The reconstruction both sides run; no final digest check."""
+    base_state: ComponentState = pickle.loads(base_blob)
+    adapter = delta.adapter
+    kind, arg = delta.partition
+    if kind == "same":
+        partition = base_state.partition
+    elif kind == "delta":
+        p_base = pickle.dumps(base_state.partition, PICKLE_PROTOCOL)
+        partition = pickle.loads(apply_delta(p_base, arg))
+    elif kind == "full":
+        partition = pickle.loads(arg)
+    else:
+        raise DeltaMismatchError(f"unknown partition op {kind!r}")
+    if delta.groups is not None:
+        groups = list(delta.groups)
+    else:
+        groups = base_state.synopsis.index.groups()
+        if len(groups) != delta.n_groups:
+            raise DeltaMismatchError(
+                "semantic delta group count disagrees with the base index")
+    base_payload = base_state.synopsis.payload
+    vectors = [delta.changed[i] if i in delta.changed
+               else adapter.payload_group_vector(base_payload, i)
+               for i in range(delta.n_groups)]
+    synopsis = Synopsis(index=IndexFile(groups),
+                        payload=adapter.assemble_payload(partition, vectors),
+                        level=delta.level, n_original=delta.n_original,
+                        meta=dict(delta.meta))
+    return pickle.dumps(ComponentState(partition=partition, synopsis=synopsis),
+                        PICKLE_PROTOCOL)
+
+
+def compute_semantic_delta(adapter, base_blob: bytes,
+                           target_state: ComponentState,
+                           hint: UpdateHint) -> tuple[SemanticDelta, bytes] | None:
+    """Build a verified ``(delta, applied_blob)`` pair, or ``None``.
+
+    ``base_blob`` is the serialized snapshot the receiver holds.
+    ``hint.reaggregated`` marks slots whose vectors were recomputed with
+    unchanged membership; membership-changed slots are found here by
+    comparing the two index files directly.  The candidate delta is
+    replayed against ``base_blob`` and kept only if the reconstruction
+    is value-equal to ``target_state`` (see :class:`SemanticDelta`);
+    ``applied_blob`` is that replay output — exactly the bytes the
+    receiver will end up holding.  Any surprise (un-invertible payload,
+    recovered-vector mismatch, broken adapter) returns ``None`` so
+    callers fall back to CDC byte deltas.
+    """
+    try:
+        base_state: ComponentState = pickle.loads(base_blob)
+        base_syn, target_syn = base_state.synopsis, target_state.synopsis
+        base_groups = base_syn.index.groups()
+        target_groups = target_syn.index.groups()
+        n_groups = len(target_groups)
+        changed_slots = {int(s) for s in hint.reaggregated
+                         if 0 <= int(s) < n_groups}
+        membership_changed = len(base_groups) != n_groups
+        for i, tg in enumerate(target_groups):
+            if i >= len(base_groups) or not np.array_equal(base_groups[i], tg):
+                changed_slots.add(i)
+                membership_changed = True
+        changed = {i: adapter.payload_group_vector(target_syn.payload, i)
+                   for i in sorted(changed_slots)}
+        p_base = pickle.dumps(base_state.partition, PICKLE_PROTOCOL)
+        p_target = pickle.dumps(target_state.partition, PICKLE_PROTOCOL)
+        if p_base == p_target:
+            partition_op: tuple = ("same", None)
+        else:
+            pd = compute_delta(p_base, p_target)
+            partition_op = (("delta", pd) if pd.wire_cost() < len(p_target)
+                            else ("full", p_target))
+        draft = SemanticDelta(
+            adapter=adapter, n_groups=n_groups, changed=changed,
+            groups=tuple(target_groups) if membership_changed else None,
+            partition=partition_op, level=target_syn.level,
+            n_original=target_syn.n_original, meta=dict(target_syn.meta),
+            base_digest=blob_digest(base_blob), target_digest=b"",
+            target_size=0)
+        applied = _assemble_semantic(base_blob, draft)
+        out_state: ComponentState = pickle.loads(applied)
+        out_syn = out_state.synopsis
+        if out_syn.index != target_syn.index:
+            return None
+        if (out_syn.level != target_syn.level
+                or out_syn.n_original != target_syn.n_original
+                or out_syn.meta != target_syn.meta):
+            return None
+        for i in range(n_groups):
+            if not _group_vectors_equal(
+                    adapter.payload_group_vector(out_syn.payload, i),
+                    adapter.payload_group_vector(target_syn.payload, i)):
+                return None
+        delta = SemanticDelta(
+            adapter=draft.adapter, n_groups=draft.n_groups,
+            changed=draft.changed, groups=draft.groups,
+            partition=draft.partition, level=draft.level,
+            n_original=draft.n_original, meta=draft.meta,
+            base_digest=draft.base_digest,
+            target_digest=blob_digest(applied), target_size=len(applied))
+        return delta, applied
+    except Exception:
+        return None
+
+
+def apply_semantic_delta(base_blob: bytes, delta: SemanticDelta) -> bytes:
+    """Re-assemble the target snapshot blob from ``base_blob`` + ``delta``.
+
+    Raises :class:`DeltaMismatchError` unless the base digest matches
+    and the reconstruction matches the digest and size of the sender's
+    verified replay — so sender and receiver provably hold the same
+    bytes afterwards.
+    """
+    if blob_digest(base_blob) != delta.base_digest:
+        raise DeltaMismatchError(
+            "semantic delta applied against the wrong base blob")
+    try:
+        blob = _assemble_semantic(base_blob, delta)
+    except DeltaMismatchError:
+        raise
+    except Exception as exc:
+        raise DeltaMismatchError(
+            f"semantic reconstruction failed: {exc!r}") from exc
+    if len(blob) != delta.target_size or \
+            blob_digest(blob) != delta.target_digest:
+        raise DeltaMismatchError(
+            "semantic reconstruction does not match the sender's replay")
+    return blob

@@ -33,7 +33,15 @@ __all__ = ["UpdateReport", "SynopsisUpdater"]
 
 @dataclass
 class UpdateReport:
-    """What one update did and what it cost."""
+    """What one update did and what it cost.
+
+    ``reaggregated_slots`` lists the group slots (indices into the new
+    synopsis's group order) whose step-3 aggregates were recomputed, and
+    ``index_changed`` says whether the group *membership* layout (the
+    :class:`~repro.core.synopsis.IndexFile`) differs from the previous
+    synopsis.  Together they form the semantic hint the wire state plane
+    uses to ship only changed groups on an epoch transition.
+    """
 
     kind: str                 # "add" or "change"
     n_points: int             # points added/changed
@@ -41,6 +49,8 @@ class UpdateReport:
     n_groups_after: int
     n_groups_reaggregated: int
     seconds: float
+    reaggregated_slots: tuple = ()
+    index_changed: bool = False
 
 
 class SynopsisUpdater:
@@ -69,7 +79,8 @@ class SynopsisUpdater:
         t0 = time.perf_counter()
         new_ids = np.asarray(sorted(int(r) for r in new_record_ids), dtype=np.int64)
         if new_ids.size == 0:
-            return self._finish("add", 0, self.synopsis.n_aggregated, t0)
+            return self._finish("add", 0, self.synopsis.n_aggregated, t0,
+                                (), False)
         expected_start = self.artifacts.svd.n_rows
         if new_ids[0] != expected_start or not np.array_equal(
                 new_ids, np.arange(new_ids[0], new_ids[0] + new_ids.size)):
@@ -85,8 +96,9 @@ class SynopsisUpdater:
             self.artifacts.tree.insert_point(rid, vec)
 
         n_before = self.synopsis.n_aggregated
-        n_re = self._rebuild_groups()
-        return self._finish("add", new_ids.size, n_before, t0, n_re)
+        slots, index_changed = self._rebuild_groups()
+        return self._finish("add", new_ids.size, n_before, t0, slots,
+                            index_changed)
 
     def change_points(self, partition, changed_record_ids) -> UpdateReport:
         """Situation 2: existing points' attributes/contents changed.
@@ -97,7 +109,8 @@ class SynopsisUpdater:
         t0 = time.perf_counter()
         changed = np.asarray(sorted(int(r) for r in changed_record_ids), dtype=np.int64)
         if changed.size == 0:
-            return self._finish("change", 0, self.synopsis.n_aggregated, t0)
+            return self._finish("change", 0, self.synopsis.n_aggregated, t0,
+                                (), False)
         if changed.min() < 0 or changed.max() >= self.artifacts.svd.n_rows:
             raise ValueError("changed record id outside partition")
 
@@ -118,16 +131,21 @@ class SynopsisUpdater:
             del self._cache[sig]
 
         n_before = self.synopsis.n_aggregated
-        n_re = self._rebuild_groups()
-        return self._finish("change", changed.size, n_before, t0, n_re)
+        slots, index_changed = self._rebuild_groups()
+        return self._finish("change", changed.size, n_before, t0, slots,
+                            index_changed)
 
     # ------------------------------------------------------------------
 
-    def _rebuild_groups(self) -> int:
+    def _rebuild_groups(self) -> tuple[tuple, bool]:
         """Recompute groups at the stored level; re-aggregate changed ones.
 
-        Returns the number of groups actually re-aggregated.
+        Returns ``(reaggregated_slots, index_changed)``: the slot indices
+        (positions in the new group order) that were re-aggregated, and
+        whether the group membership layout differs from the previous
+        synopsis.
         """
+        old_sigs = [tuple(g.tolist()) for g in self.synopsis.index.groups()]
         tree = self.artifacts.tree
         level = min(self.artifacts.level, tree.root.level)
         nodes = tree.nodes_at_level(level)
@@ -135,16 +153,19 @@ class SynopsisUpdater:
                   for nd in nodes]
         new_cache: dict[tuple, object] = {}
         vectors = []
-        n_re = 0
-        for g in groups:
+        slots: list[int] = []
+        sigs: list[tuple] = []
+        for i, g in enumerate(groups):
             sig = tuple(g.tolist())
             vec = self._cache.get(sig)
             if vec is None:
                 vec = self.adapter.aggregate_group(self.partition, g)
-                n_re += 1
+                slots.append(i)
             new_cache[sig] = vec
             vectors.append(vec)
+            sigs.append(sig)
         self._cache = new_cache
+        index_changed = sigs != old_sigs
         index = IndexFile(groups)
         index.validate(expected_records=self.adapter.record_ids(self.partition))
         payload = self.adapter.assemble_payload(self.partition, vectors)
@@ -154,15 +175,17 @@ class SynopsisUpdater:
         )
         self.artifacts.level = level
         self.artifacts.group_vectors = vectors
-        return n_re
+        return tuple(slots), index_changed
 
     def _finish(self, kind: str, n_points: int, n_before: int, t0: float,
-                n_re: int = 0) -> UpdateReport:
+                slots: tuple = (), index_changed: bool = False) -> UpdateReport:
         return UpdateReport(
             kind=kind,
             n_points=n_points,
             n_groups_before=n_before,
             n_groups_after=self.synopsis.n_aggregated,
-            n_groups_reaggregated=n_re,
+            n_groups_reaggregated=len(slots),
             seconds=time.perf_counter() - t0,
+            reaggregated_slots=tuple(slots),
+            index_changed=index_changed,
         )

@@ -51,6 +51,17 @@ class InvertedIndex:
     def term_frequency(self, term: str, doc_id: int) -> int:
         return self._doc_terms.get(doc_id, {}).get(term, 0)
 
+    def document_counts(self, doc_id: int) -> dict[str, int]:
+        """``doc_id``'s term -> count bag, in stored (insertion) order.
+
+        The exact dict :meth:`add_document_counts` indexed — re-indexing
+        it into a fresh index reproduces this document bit-identically.
+        """
+        counts = self._doc_terms.get(int(doc_id))
+        if counts is None:
+            raise KeyError(f"document {doc_id} not indexed")
+        return dict(counts)
+
     # ------------------------------------------------------------------
 
     def add_document(self, doc_id: int, terms) -> None:

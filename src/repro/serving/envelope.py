@@ -23,11 +23,10 @@ first-class, typed property of every request:
   breakdown.
 
 Every :class:`~repro.core.servable.Servable` implementation serves
-envelopes natively via ``serve`` / ``aserve``; the legacy positional
-``process(request, deadline, ...)`` / ``aprocess(...)`` entry points
-remain as thin shims over the envelope path (see :func:`as_envelope`)
-and answer bit-identically — they are kept for migration and are
-intended to be deprecated once downstream callers move over.
+envelopes natively via ``serve`` / ``aserve``; bare payloads are
+wrapped with :func:`as_envelope` before dispatch.  (The positional
+``process`` / ``aprocess`` shims that once bridged the pre-envelope
+API were removed after their deprecation cycle.)
 
 This module deliberately imports nothing from the rest of
 :mod:`repro.serving`, so the core service classes can reach it lazily
@@ -38,7 +37,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -53,21 +51,7 @@ __all__ = [
     "payload_of",
     "serve_via",
     "aserve_via",
-    "warn_positional_shim",
 ]
-
-
-def warn_positional_shim(name: str) -> None:
-    """Emit the migration warning for one legacy positional shim call.
-
-    Every ``process`` / ``aprocess`` shim funnels through here so the
-    deprecation reads identically everywhere and points at the caller
-    (``stacklevel=3``: helper → shim → call site).
-    """
-    warnings.warn(
-        f"{name}() is a legacy positional shim; wrap the payload with "
-        "as_envelope() and call serve()/aserve() instead",
-        DeprecationWarning, stacklevel=3)
 
 
 class RequestClass(enum.Enum):
@@ -278,9 +262,8 @@ def as_envelope(request, deadline: float | None = None, **kwargs,
     specific instruction — the same precedence ``build_tasks`` applies),
     and only fills in when omitted.  Anything else becomes the payload
     of a fresh default-class envelope.  This is the entire back-compat
-    shim: the legacy positional ``process(request, deadline, ...)`` call
-    sites funnel through here and then down the one envelope-native
-    path.
+    shim: callers holding a bare ``(payload, deadline)`` pair funnel
+    through here and then down the one envelope-native path.
     """
     if isinstance(request, ServingRequest):
         if deadline is None or request.deadline == deadline:

@@ -23,8 +23,7 @@ Both are envelope-native :class:`~repro.core.servable.Servable`
 implementations: requests travel as typed
 :class:`~repro.serving.envelope.ServingRequest` envelopes through
 ``serve`` / ``aserve`` (the envelope's ``hedge`` field opts a single
-request out of re-issue), and the positional ``process`` / ``aprocess``
-members remain as bit-identical legacy shims.
+request out of re-issue).
 
 Live hedged re-issue
 --------------------
@@ -44,7 +43,7 @@ semantics on the live path (Dean & Barroso's tied requests, paper §4.1):
 - the first copy to complete wins.  On the sync path the loser is
   cancelled *best-effort* — a queued copy is dropped
   (``Future.cancel``), a copy already executing runs to completion and
-  its answer is discarded.  On the async path (``aprocess``) the loser
+  its answer is discarded.  On the async path (``aserve``) the loser
   is *really* cancelled: its next await raises ``CancelledError`` and
   its remaining stalls never run;
 - every shard call's effective latency (first copy to finish) feeds the
@@ -76,12 +75,11 @@ import numpy as np
 
 from repro.core.clock import ClockFactory, fresh_like, monotonic, \
     wall_clock_factory
-from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
 from repro.serving.backends import (BatchingBackend, ExecutionBackend,
                                     resolve_backend)
 from repro.serving.envelope import ServingRequest, ServingResponse, \
-    as_envelope, payload_of, warn_positional_shim
+    payload_of
 from repro.serving.telemetry import MetricsRegistry, attach_context, \
     get_tracer, trace_context_of
 from repro.strategies.reissue import ReissueStrategy
@@ -247,21 +245,6 @@ class ReplicaGroup:
         """Async :meth:`serve` on the next replica in round-robin order."""
         replica = self.replicas[self.next_replica()]
         return await replica.aserve(request, clocks=clocks, backend=backend)
-
-    def process(self, request, deadline: float, clocks=None, backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`serve` (bit-identical)."""
-        warn_positional_shim("process")
-        return self.serve(as_envelope(request, deadline), clocks=clocks,
-                          backend=backend).as_tuple()
-
-    async def aprocess(self, request, deadline: float, clocks=None,
-                       backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        warn_positional_shim("aprocess")
-        resp = await self.aserve(as_envelope(request, deadline),
-                                 clocks=clocks, backend=backend)
-        return resp.as_tuple()
 
     def exact_components(self, request) -> list:
         return self.replicas[0].exact_components(request)
@@ -527,7 +510,7 @@ class ShardedService:
         if not isinstance(request, ServingRequest):
             raise TypeError(
                 "serve() takes a ServingRequest envelope; wrap bare "
-                "payloads with as_envelope() or call the legacy process()")
+                "payloads with as_envelope()")
         if request.deadline is None:
             raise ValueError(
                 "serve() needs the envelope deadline resolved; use "
@@ -626,21 +609,6 @@ class ShardedService:
         return ServingResponse(
             answer=answer, reports=reports,
             request=request, service_time=monotonic() - t_dispatch)
-
-    def process(self, request, deadline: float, clocks=None, backend=None,
-                ) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`serve` (bit-identical)."""
-        warn_positional_shim("process")
-        return self.serve(as_envelope(request, deadline), clocks=clocks,
-                          backend=backend).as_tuple()
-
-    async def aprocess(self, request, deadline: float, clocks=None,
-                       backend=None) -> tuple[Any, list[ProcessingReport]]:
-        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        warn_positional_shim("aprocess")
-        resp = await self.aserve(as_envelope(request, deadline),
-                                 clocks=clocks, backend=backend)
-        return resp.as_tuple()
 
     async def _arun_shard_copy(self, request, deadline, clocks, shard: int,
                                replica: int, exec_backend) -> list:

@@ -27,21 +27,41 @@ Servable` protocol:
   processes connect back over TCP, state snapshots are published
   **once per epoch per worker** as explicit frames, and per task only
   a detached :class:`~repro.core.state.StateRef` travels.  On an
-  epoch-to-epoch transition the parent sends a *delta* frame (a
-  content-defined binary diff from :mod:`repro.core.state`) instead of
-  the full snapshot whenever the delta is smaller, so state traffic
-  scales with **update size**, not synopsis size.  Whole-blob
-  checksums on apply keep reconstruction bit-identical.
+  epoch-to-epoch transition the parent ships the smallest of three
+  encodings: a *semantic* delta (only the groups the updater
+  re-aggregated, via :func:`~repro.core.state.compute_semantic_delta`
+  when the store recorded an :class:`~repro.core.state.UpdateHint`), a
+  content-defined *CDC* byte delta (:func:`~repro.core.state.
+  compute_delta`), or the full snapshot — so state traffic scales
+  with **update size**, not synopsis size.  Whole-blob checksums on
+  apply keep reconstruction bit-identical or loudly failed.
+
+- **Multiplexing** — both planes pipeline: any number of RPCs can be
+  in flight per socket, correlated by the header's ``msg_id``, with a
+  reader thread matching out-of-order replies to pending futures.
+  :class:`RemoteServable` can hold N parallel links to one service
+  process (``spawn(..., n_links=N)``) and picks the least-loaded link
+  per call; :class:`RemoteChannel` supports an optional per-link
+  in-flight cap.
+
+- **Batch framing** — :meth:`RemoteBackend.submit_batch` ships a whole
+  coalesced batch (e.g. from :class:`~repro.serving.backends.
+  BatchingBackend`) as **one** ``KIND_BATCH`` frame and the worker
+  runs it through :func:`~repro.serving.backends.run_component_batch`,
+  so vectorized same-state kernels survive the process boundary.
 
 Frames on one connection are strictly ordered and workers apply state
 frames in their reader thread *before* resolving any later task frame,
 so a task can never observe a half-applied or missing epoch that was
 published ahead of it.
 
-Hedging note: a remote task future is set running at submit, so
-:meth:`~concurrent.futures.Future.cancel` on the losing copy returns
-``False`` and the remote copy runs to completion — exactly Dean &
-Barroso's tied-request semantics for in-service copies.
+Hedging note: a :class:`RemoteBackend` task future is set running at
+submit, so :meth:`~concurrent.futures.Future.cancel` on the losing
+copy returns ``False`` and the remote copy runs to completion —
+exactly Dean & Barroso's tied-request semantics for in-service copies.
+:class:`RemoteChannel` futures stay cancellable until their reply
+arrives: cancelling one in-flight RPC leaves its siblings on the same
+socket untouched (the reader simply drops the late reply).
 """
 
 from __future__ import annotations
@@ -62,10 +82,13 @@ from typing import Any, Callable, Sequence
 
 from repro.core.clock import DeadlineClock, SimulatedClock, monotonic
 from repro.core.servable import default_merge
-from repro.core.state import (StaleEpochError, apply_delta, compute_delta)
+from repro.core.state import (PICKLE_PROTOCOL, StaleEpochError, apply_delta,
+                              apply_semantic_delta, blob_digest,
+                              compute_delta, compute_semantic_delta)
 from repro.serving.backends import (ComponentOutcome, ComponentTask,
                                     ExecutionBackend, _preferred_mp_context,
-                                    run_component_task)
+                                    _scatter_batch_future,
+                                    run_component_batch, run_component_task)
 from repro.serving.telemetry import get_tracer, trace_context_of
 
 __all__ = [
@@ -78,6 +101,7 @@ __all__ = [
     "KIND_TASK",
     "KIND_OUTCOME",
     "KIND_CONTROL",
+    "KIND_BATCH",
     "encode_frame",
     "decode_frame",
     "write_frame",
@@ -96,7 +120,11 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 MAGIC = b"RPRO"
-WIRE_VERSION = 1
+#: Version 2: payloads pickled with :data:`~repro.core.state.
+#: PICKLE_PROTOCOL` (``pickle.HIGHEST_PROTOCOL``) instead of the
+#: interpreter default, plus the ``KIND_BATCH`` frame kind.  Decoding
+#: is strict — a version-1 peer is refused, never silently mis-read.
+WIRE_VERSION = 2
 
 #: magic(4) | version(1) | kind(1) | msg_id(8) | payload length(8)
 _HEADER = struct.Struct(">4sBBQQ")
@@ -108,6 +136,7 @@ KIND_STATE = 4     # state-plane publication (parent -> backend worker)
 KIND_TASK = 5      # ComponentTask shipment (parent -> backend worker)
 KIND_OUTCOME = 6   # ComponentOutcome reply (backend worker -> parent)
 KIND_CONTROL = 7   # connection control ("shutdown", ...)
+KIND_BATCH = 8     # coalesced ComponentTask batch (parent -> worker)
 
 
 class RemoteError(RuntimeError):
@@ -131,10 +160,12 @@ def encode_frame(kind: int, msg_id: int, obj: Any = None,
 
     Pass ``payload`` to ship pre-pickled bytes (the backend does this so
     byte accounting sees exactly what travels); otherwise ``obj`` is
-    pickled here.
+    pickled here with :data:`~repro.core.state.PICKLE_PROTOCOL` —
+    pinned, so both ends of a connection frame identically regardless
+    of interpreter defaults.
     """
     if payload is None:
-        payload = pickle.dumps(obj)
+        payload = pickle.dumps(obj, PICKLE_PROTOCOL)
     return _HEADER.pack(MAGIC, WIRE_VERSION, kind, msg_id,
                         len(payload)) + payload
 
@@ -275,35 +306,66 @@ class RemoteChannel:
 
     Writers serialise on a lock; a daemon reader thread matches replies
     to pending futures by message id, so any number of threads can have
-    calls outstanding on the same socket.  Byte counters cover every
-    frame in both directions.
+    calls outstanding on the same socket and replies may arrive in any
+    order.  Byte counters cover every frame in both directions.
+
+    Futures stay *cancellable* until their reply arrives: cancelling
+    one in-flight RPC abandons only that call (the reader drops its
+    late reply) and leaves sibling RPCs on the socket untouched.
+
+    ``max_in_flight`` optionally caps concurrent outstanding RPCs on
+    this link; :meth:`submit` blocks until a slot frees.  ``None`` (the
+    default) means unbounded pipelining.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket,
+                 max_in_flight: int | None = None):
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
         self._sock = sock
         self._wlock = threading.Lock()
         self._plock = threading.Lock()
         self._pending: dict[int, Future] = {}
         self._ids = itertools.count(1)
         self._closed = False
+        self._slots = (threading.BoundedSemaphore(max_in_flight)
+                       if max_in_flight is not None else None)
+        self.max_in_flight = max_in_flight
         self.bytes_sent = 0
         self.bytes_received = 0
         self._reader = threading.Thread(target=self._read_loop, daemon=True,
                                         name="repro-transport-reader")
         self._reader.start()
 
+    @property
+    def in_flight(self) -> int:
+        """RPCs currently awaiting a reply on this link."""
+        with self._plock:
+            return len(self._pending)
+
     def submit(self, obj: Any) -> Future:
         """Send one RPC; the future completes when the reply arrives."""
         future: Future = Future()
-        future.set_running_or_notify_cancel()
+        if self._slots is not None:
+            self._slots.acquire()
+            future.add_done_callback(lambda _f: self._slots.release())
         msg_id = next(self._ids)
         with self._plock:
             if self._closed:
+                future.cancel()
                 raise ConnectionError("channel is closed")
             self._pending[msg_id] = future
-        with self._wlock:
-            self.bytes_sent += write_frame(self._sock, KIND_REQUEST,
-                                           msg_id, obj)
+        try:
+            with self._wlock:
+                self.bytes_sent += write_frame(self._sock, KIND_REQUEST,
+                                               msg_id, obj)
+        except OSError as exc:
+            with self._plock:
+                self._pending.pop(msg_id, None)
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"channel write failed: {exc}"))
+            raise
         return future
 
     def call(self, obj: Any, timeout: float | None = None) -> Any:
@@ -325,8 +387,8 @@ class RemoteChannel:
                 self.bytes_received += nbytes
                 with self._plock:
                     future = self._pending.pop(msg_id, None)
-                if future is None:
-                    continue
+                if future is None or not future.set_running_or_notify_cancel():
+                    continue  # unknown id or locally-cancelled RPC
                 if kind == KIND_ERROR:
                     future.set_exception(_raise_remote(obj))
                 else:
@@ -342,7 +404,7 @@ class RemoteChannel:
             pending = list(self._pending.values())
             self._pending.clear()
         for future in pending:
-            if not future.done():
+            if future.set_running_or_notify_cancel():
                 future.set_exception(exc)
 
     def close(self) -> None:
@@ -405,9 +467,12 @@ def _service_worker_main(conn, spec) -> None:
     Builds the service from ``spec = (factory, args, kwargs)``, binds a
     listener on an OS-assigned port, reports ``("ok", port)`` (or
     ``("error", traceback)``) over the bootstrap pipe, then serves RPCs
-    from a single accepted connection until a shutdown control frame or
-    EOF.  RPCs run on a small thread pool so slow components do not
-    serialise the connection.
+    from **any number of accepted connections** — one
+    :class:`RemoteServable` may open N parallel links — all sharing one
+    service instance and one RPC thread pool.  Each connection gets its
+    own reader thread and per-connection write lock.  The process exits
+    on a shutdown control frame (from any link) or once every accepted
+    connection has reached EOF.
     """
     try:
         factory, args, kwargs = spec
@@ -420,43 +485,81 @@ def _service_worker_main(conn, spec) -> None:
         return
     finally:
         conn.close()
-    listener.settimeout(60.0)
-    sock, _ = listener.accept()
-    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    listener.close()
-    wlock = threading.Lock()
 
-    def handle(msg_id: int, obj: Any) -> None:
-        try:
-            reply_kind, reply = KIND_RESPONSE, _dispatch_rpc(service, obj)
-        except BaseException as exc:  # noqa: BLE001 - shipped to the client
-            reply_kind, reply = KIND_ERROR, _error_payload(exc)
-        with wlock:
+    stop = threading.Event()
+    conns_lock = threading.Lock()
+    live_conns = 0
+    accepted_any = threading.Event()
+
+    def serve_conn(sock: socket.socket, pool: ThreadPoolExecutor) -> None:
+        nonlocal live_conns
+        wlock = threading.Lock()
+
+        def handle(msg_id: int, obj: Any) -> None:
             try:
-                write_frame(sock, reply_kind, msg_id, reply)
-            except OSError:
-                pass
+                reply_kind, reply = KIND_RESPONSE, _dispatch_rpc(service, obj)
+            except BaseException as exc:  # noqa: BLE001 - to the client
+                reply_kind, reply = KIND_ERROR, _error_payload(exc)
+            with wlock:
+                try:
+                    write_frame(sock, reply_kind, msg_id, reply)
+                except OSError:
+                    pass
+
+        try:
+            while not stop.is_set():
+                try:
+                    frame = read_frame(sock)
+                except (ConnectionError, OSError):
+                    break
+                if frame is None:
+                    break
+                kind, msg_id, obj, _ = frame
+                if kind == KIND_CONTROL:
+                    if obj == "shutdown":
+                        stop.set()
+                        break
+                    continue
+                pool.submit(handle, msg_id, obj)
+        finally:
+            sock.close()
+            with conns_lock:
+                live_conns -= 1
+                if live_conns == 0 and accepted_any.is_set():
+                    stop.set()
 
     with ThreadPoolExecutor(max_workers=8,
                             thread_name_prefix="repro-remote-rpc") as pool:
-        while True:
-            try:
-                frame = read_frame(sock)
-            except (ConnectionError, OSError):
-                break
-            if frame is None:
-                break
-            kind, msg_id, obj, _ = frame
-            if kind == KIND_CONTROL:
-                if obj == "shutdown":
+        listener.settimeout(0.2)
+        deadline = monotonic() + 60.0
+        readers: list[threading.Thread] = []
+        try:
+            while not stop.is_set():
+                if not accepted_any.is_set() and monotonic() > deadline:
+                    break  # nobody ever connected
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
                     break
-                continue
-            pool.submit(handle, msg_id, obj)
-    sock.close()
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                with conns_lock:
+                    live_conns += 1
+                accepted_any.set()
+                reader = threading.Thread(target=serve_conn,
+                                          args=(sock, pool), daemon=True,
+                                          name="repro-remote-conn")
+                reader.start()
+                readers.append(reader)
+        finally:
+            listener.close()
+        for reader in readers:
+            reader.join(timeout=5.0)
 
 
 class RemoteServable:
-    """A servable living in another process, reached over one socket.
+    """A servable living in another process, reached over pipelined links.
 
     Satisfies the :class:`~repro.core.servable.Servable` protocol, so a
     :class:`~repro.serving.router.ReplicaGroup` accepts it as a replica
@@ -478,29 +581,44 @@ class RemoteServable:
     importable factory (e.g. :class:`~repro.core.service.
     AccuracyTraderService` plus its constructor arguments — the factory
     and arguments must be picklable, the built service need not be).
+    ``spawn(..., n_links=N)`` opens N parallel sockets to the one
+    process; each call then rides the least-loaded link, so concurrent
+    requests spread across connections instead of serialising.
     """
 
-    def __init__(self, channel: RemoteChannel, process=None,
-                 timeout: float = 60.0):
-        self._channel = channel
+    def __init__(self, channel, process=None, timeout: float = 60.0):
+        """``channel`` is one :class:`RemoteChannel` or a list of them."""
+        channels = (list(channel) if isinstance(channel, (list, tuple))
+                    else [channel])
+        if not channels:
+            raise ValueError("need at least one channel")
+        self._channels: list[RemoteChannel] = channels
+        self._rr = itertools.count()
         self._process = process
         self._timeout = timeout
         self._closed = False
-        hello = channel.call(("hello",), timeout=timeout)
+        hello = channels[0].call(("hello",), timeout=timeout)
         self._n_components = hello["n_components"]
         self._merge = default_merge(hello["adapter"])
 
     @classmethod
     def spawn(cls, factory: Callable, *args, start_method: str | None = None,
-              timeout: float = 60.0, **kwargs) -> "RemoteServable":
+              timeout: float = 60.0, n_links: int = 1,
+              max_in_flight: int | None = None,
+              **kwargs) -> "RemoteServable":
         """Launch ``factory(*args, **kwargs)`` in a new process and attach.
 
         The child binds an OS-assigned port (no conflicts) and reports
         it over a bootstrap pipe; a build failure in the child surfaces
         here as a :class:`RuntimeError` carrying the child traceback.
+        ``n_links`` opens that many parallel connections to the child;
+        ``max_in_flight`` caps outstanding RPCs per link (see
+        :class:`RemoteChannel`).
         """
         import multiprocessing as mp
 
+        if n_links < 1:
+            raise ValueError("n_links must be positive")
         ctx = _preferred_mp_context(start_method) or mp
         parent_conn, child_conn = ctx.Pipe()
         process = ctx.Process(target=_service_worker_main,
@@ -516,8 +634,10 @@ class RemoteServable:
         if status != "ok":
             process.join(timeout=5.0)
             raise RuntimeError(f"remote service failed to build:\n{value}")
-        sock = connect_with_retry("127.0.0.1", value)
-        return cls(RemoteChannel(sock), process=process, timeout=timeout)
+        channels = [RemoteChannel(connect_with_retry("127.0.0.1", value),
+                                  max_in_flight=max_in_flight)
+                    for _ in range(n_links)]
+        return cls(channels, process=process, timeout=timeout)
 
     # -- Servable protocol ----------------------------------------------
 
@@ -529,6 +649,27 @@ class RemoteServable:
     def merge(self) -> Callable:
         """The merge function (derived from the remote adapter)."""
         return self._merge
+
+    @property
+    def n_links(self) -> int:
+        """Parallel connections to the remote process."""
+        return len(self._channels)
+
+    def _pick_channel(self) -> RemoteChannel:
+        """The least-loaded link (fewest in-flight RPCs; round-robin tie)."""
+        if len(self._channels) == 1:
+            return self._channels[0]
+        start = next(self._rr) % len(self._channels)
+        best = None
+        best_depth = -1
+        for i in range(len(self._channels)):
+            channel = self._channels[(start + i) % len(self._channels)]
+            depth = channel.in_flight
+            if best is None or depth < best_depth:
+                best, best_depth = channel, depth
+                if depth == 0:
+                    break
+        return best
 
     def build_tasks(self, request, deadline: float | None = None,
                     clocks: list[DeadlineClock] | None = None) -> list:
@@ -568,20 +709,24 @@ class RemoteServable:
 
     def _run_task(self, task: ComponentTask) -> ComponentOutcome:
         ctx = trace_context_of(task.envelope)
+        channel = self._pick_channel()
         if ctx is None or not ctx.sampled:
-            return self._channel.call(
+            return channel.call(
                 ("component_task", task.component, task.request,
                  task.deadline, task.clock, task.envelope),
                 timeout=self._timeout)
-        channel = self._channel
         sent0 = channel.bytes_sent
         received0 = channel.bytes_received
+        # Depth *before* this RPC joins the link: 0 means it had the
+        # socket to itself, >0 means it pipelined behind siblings.
+        depth = channel.in_flight
         t0 = monotonic()
         outcome = channel.call(
             ("component_task", task.component, task.request, task.deadline,
              task.clock, task.envelope), timeout=self._timeout)
         get_tracer().record(
             "wire.rpc", ctx, t0, monotonic(), component=task.component,
+            in_flight=depth,
             bytes_sent=channel.bytes_sent - sent0,
             bytes_received=channel.bytes_received - received0)
         return outcome
@@ -593,8 +738,8 @@ class RemoteServable:
         ``backend`` is accepted for signature compatibility and
         ignored — the remote process executes with its own backend.
         """
-        return self._channel.call(("serve", request, clocks),
-                                  timeout=self._timeout)
+        return self._pick_channel().call(("serve", request, clocks),
+                                         timeout=self._timeout)
 
     async def aserve(self, request,
                      clocks: list[DeadlineClock] | None = None,
@@ -606,73 +751,55 @@ class RemoteServable:
         return await loop.run_in_executor(
             None, lambda: self.serve(request, clocks=clocks))
 
-    def process(self, request, deadline: float,
-                clocks: list[DeadlineClock] | None = None, backend=None):
-        """Legacy positional shim over :meth:`serve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope, warn_positional_shim
-
-        warn_positional_shim("process")
-        return self.serve(as_envelope(request, deadline),
-                          clocks=clocks).as_tuple()
-
-    async def aprocess(self, request, deadline: float,
-                       clocks: list[DeadlineClock] | None = None,
-                       backend=None):
-        """Legacy positional shim over :meth:`aserve` (bit-identical)."""
-        from repro.serving.envelope import as_envelope, warn_positional_shim
-
-        warn_positional_shim("aprocess")
-        resp = await self.aserve(as_envelope(request, deadline),
-                                 clocks=clocks)
-        return resp.as_tuple()
-
     def exact(self, request) -> Any:
         """Remote full exact computation (ground truth)."""
-        return self._channel.call(("exact", request), timeout=None)
+        return self._pick_channel().call(("exact", request), timeout=None)
 
     def exact_components(self, request) -> list:
         """Remote unmerged exact per-component results."""
-        return self._channel.call(("exact_components", request),
-                                  timeout=None)
+        return self._pick_channel().call(("exact_components", request),
+                                         timeout=None)
 
     # -- update fan-out --------------------------------------------------
 
     def add_points(self, component: int, partition, new_record_ids):
-        return self._channel.call(
+        return self._pick_channel().call(
             ("add_points", component, partition, new_record_ids),
             timeout=None)
 
     def change_points(self, component: int, partition, changed_record_ids):
-        return self._channel.call(
+        return self._pick_channel().call(
             ("change_points", component, partition, changed_record_ids),
             timeout=None)
 
     def replace_partition(self, component: int, partition):
-        return self._channel.call(
+        return self._pick_channel().call(
             ("replace_partition", component, partition), timeout=None)
 
     def component_epoch(self, component: int) -> int:
         """The remote component's current state epoch (test/debug)."""
-        return self._channel.call(("component_epoch", component),
-                                  timeout=self._timeout)
+        return self._pick_channel().call(("component_epoch", component),
+                                         timeout=self._timeout)
 
     # -- lifecycle -------------------------------------------------------
 
     def transport_counters(self) -> dict:
-        """Bytes moved over this servable's connection, both directions."""
-        return {"bytes_sent": self._channel.bytes_sent,
-                "bytes_received": self._channel.bytes_received}
+        """Bytes moved over this servable's links, both directions."""
+        return {"bytes_sent": sum(c.bytes_sent for c in self._channels),
+                "bytes_received": sum(c.bytes_received
+                                      for c in self._channels)}
 
     def close(self) -> None:
-        """Shut down the remote process and the connection (idempotent)."""
+        """Shut down the remote process and every link (idempotent)."""
         if self._closed:
             return
         self._closed = True
         try:
-            self._channel.send_control("shutdown")
+            self._channels[0].send_control("shutdown")
         except OSError:
             pass
-        self._channel.close()
+        for channel in self._channels:
+            channel.close()
         if self._process is not None:
             self._process.join(timeout=10.0)
             if self._process.is_alive():
@@ -700,13 +827,19 @@ def _backend_worker_main(host: str, port: int) -> None:
       every task frame sent after a publication observes it.  A full
       frame with ``cache=True`` replaces the newest cached snapshot for
       its ``(store, component)``; ``cache=False`` goes to a small
-      one-off cache for straggler epochs; a delta frame reconstructs
-      the new blob from the cached base via :func:`~repro.core.state.
-      apply_delta` (checksum-verified, bit-identical).
+      one-off cache for straggler epochs; a ``delta`` frame
+      reconstructs the new blob from the cached base via
+      :func:`~repro.core.state.apply_delta` and a ``semantic`` frame
+      via :func:`~repro.core.state.apply_semantic_delta` (both
+      checksum-verified against the sender's bytes).
     - ``KIND_TASK`` — the detached ref is resolved against the caches
       *in the reader thread* (eviction can never race execution), then
       the materialised task runs on a small pool and its outcome (or
       error) is framed back under a write lock.
+    - ``KIND_BATCH`` — a list of tasks sharing one ref; resolved once
+      in the reader, run through :func:`~repro.serving.backends.
+      run_component_batch` on the pool (vectorized same-state kernels),
+      and answered as one list-of-outcomes frame.
     """
     sock = connect_with_retry(host, port)
     wlock = threading.Lock()
@@ -734,6 +867,17 @@ def _backend_worker_main(host: str, port: int) -> None:
             return
         reply(msg_id, KIND_OUTCOME, outcome)
 
+    def run_batch(msg_id: int, tasks: list, epoch: int | None) -> None:
+        try:
+            outcomes = run_component_batch(tasks)
+            if epoch is not None:
+                for outcome in outcomes:
+                    outcome.report.state_epoch = epoch
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            reply(msg_id, KIND_ERROR, _error_payload(exc))
+            return
+        reply(msg_id, KIND_OUTCOME, outcomes)
+
     def apply_state(obj) -> None:
         if obj[0] == "full":
             _, store_id, component, epoch, cache, blob = obj
@@ -748,17 +892,20 @@ def _backend_worker_main(host: str, port: int) -> None:
             if current is None or epoch >= current[0]:
                 newest[group] = (epoch, blob, state)
             failed.pop(group, None)
-        else:  # ("delta", store_id, component, base_epoch, epoch, delta)
-            _, store_id, component, base_epoch, epoch, delta = obj
+        else:  # ("delta"|"semantic", store_id, comp, base_epoch, epoch, d)
+            op, store_id, component, base_epoch, epoch, delta = obj
             group = (store_id, component)
             current = newest.get(group)
             if current is None or current[0] != base_epoch:
                 failed[group] = (
-                    f"delta for epoch {epoch} arrived with base "
+                    f"{op} delta for epoch {epoch} arrived with base "
                     f"{base_epoch} but worker holds "
                     f"{current[0] if current else None}")
                 return
-            blob = apply_delta(current[1], delta)
+            if op == "semantic":
+                blob = apply_semantic_delta(current[1], delta)
+            else:
+                blob = apply_delta(current[1], delta)
             newest[group] = (epoch, blob, pickle.loads(blob))
             failed.pop(group, None)
 
@@ -783,14 +930,15 @@ def _backend_worker_main(host: str, port: int) -> None:
                     group = (obj[1], obj[2])
                     failed[group] = str(exc)
                 continue
-            # KIND_TASK: resolve state here, in the reader, so a later
-            # publication can never evict a snapshot out from under a
-            # queued task.
-            task: ComponentTask = obj
-            epoch = None
-            ref = task.state_ref
-            if ref is not None and task.partition is None \
-                    and task.synopsis is None:
+            # KIND_TASK / KIND_BATCH: resolve state here, in the
+            # reader, so a later publication can never evict a snapshot
+            # out from under a queued task.
+            def resolve(task: ComponentTask):
+                """(task, epoch) with inline state, or an error string."""
+                ref = task.state_ref
+                if ref is None or task.partition is not None \
+                        or task.synopsis is not None:
+                    return task, None
                 group = (ref.store_id, ref.component)
                 entry = newest.get(group)
                 if entry is not None and entry[0] == ref.epoch:
@@ -800,13 +948,26 @@ def _backend_worker_main(host: str, port: int) -> None:
                 if state is None:
                     detail = failed.get(group, "no snapshot for this epoch "
                                         "has been published to this worker")
-                    reply(msg_id, KIND_ERROR,
-                          ("StaleEpochError",
-                           f"cannot resolve {ref.key}: {detail}", ""))
+                    return None, f"cannot resolve {ref.key}: {detail}"
+                return replace(task, partition=state.partition,
+                               synopsis=state.synopsis,
+                               state_ref=None), ref.epoch
+
+            if kind == KIND_BATCH:
+                resolved = [resolve(t) for t in obj]
+                bad = next((err for t, err in resolved if t is None), None)
+                if bad is not None:
+                    reply(msg_id, KIND_ERROR, ("StaleEpochError", bad, ""))
                     continue
-                task = replace(task, partition=state.partition,
-                               synopsis=state.synopsis, state_ref=None)
-                epoch = ref.epoch
+                epochs = {e for _, e in resolved}
+                epoch = epochs.pop() if len(epochs) == 1 else None
+                pool.submit(run_batch, msg_id,
+                            [t for t, _ in resolved], epoch)
+                continue
+            task, epoch = resolve(obj)
+            if task is None:
+                reply(msg_id, KIND_ERROR, ("StaleEpochError", epoch, ""))
+                continue
             pool.submit(run, msg_id, task, epoch)
     sock.close()
 
@@ -820,13 +981,20 @@ class _WorkerLink:
         self.plock = threading.Lock()
         self.pending: dict[int, Future] = {}
         self.ids = itertools.count(1)
-        # (store_id, component) -> newest epoch this worker caches.
-        self.held: dict[tuple, int] = {}
+        # (store_id, component) -> (epoch, blob): the newest snapshot
+        # this worker caches, mirrored byte-for-byte parent-side so
+        # delta bases always match what the worker actually holds.
+        self.held: dict[tuple, tuple[int, bytes]] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         self.reader = threading.Thread(target=self._read_loop, daemon=True,
                                        name="repro-backend-reader")
         self.reader.start()
+
+    @property
+    def in_flight(self) -> int:
+        with self.plock:
+            return len(self.pending)
 
     def _read_loop(self) -> None:
         try:
@@ -865,6 +1033,11 @@ class _WorkerLink:
         self.sock.close()
 
 
+#: Cache-miss sentinel: the semantic cache stores ``None`` for "tried,
+#: no semantic encoding exists", which is distinct from "never tried".
+_SEMANTIC_MISS = object()
+
+
 class RemoteBackend(ExecutionBackend):
     """Socket execution backend: workers over TCP, state as delta epochs.
 
@@ -874,13 +1047,22 @@ class RemoteBackend(ExecutionBackend):
     detached :class:`~repro.core.state.StateRef`, and snapshots are
     published out-of-band at most once per epoch per worker.  The new
     part is *how* an epoch travels: on an epoch-to-epoch transition the
-    parent diffs the two serialized snapshots (content-defined
-    chunking, :func:`~repro.core.state.compute_delta`) and ships
-    whichever encoding is smaller — for incremental updates
-    (``add_points`` / ``change_points``) that is the delta, so state
-    bytes-on-wire scale with the size of the *update*, not the
-    synopsis.  Checksums on apply make reconstruction bit-identical or
-    loudly failed, never silently wrong.
+    parent picks the smallest of three encodings — a **semantic**
+    delta carrying only the re-aggregated group vectors (when the
+    store recorded an :class:`~repro.core.state.UpdateHint` for the
+    transition), a content-defined **CDC** byte delta
+    (:func:`~repro.core.state.compute_delta`), or the **full**
+    snapshot — so for incremental updates (``add_points`` /
+    ``change_points``) state bytes-on-wire scale with the size of the
+    *update*, not the synopsis.  Checksums on apply make
+    reconstruction bit-identical (to the sender's bytes) or loudly
+    failed, never silently wrong.
+
+    Links are multiplexed: every worker connection can carry many
+    in-flight tasks (``msg_id``-correlated), and :meth:`submit_task`
+    picks the least-loaded link.  :meth:`submit_batch` ships a whole
+    coalesced batch as one ``KIND_BATCH`` frame that the worker runs
+    through :func:`~repro.serving.backends.run_component_batch`.
 
     Straggler epochs (a task pinned to an epoch older than the newest a
     worker holds) are served by a one-off full publication that does
@@ -924,6 +1106,15 @@ class RemoteBackend(ExecutionBackend):
         self._state_delta_bytes = self.metrics.counter("state_delta_bytes")
         self._state_delta_publishes = self.metrics.counter(
             "state_delta_publishes")
+        self._state_semantic_bytes = self.metrics.counter(
+            "state_semantic_bytes")
+        self._state_semantic_publishes = self.metrics.counter(
+            "state_semantic_publishes")
+        self._batches_shipped = self.metrics.counter("batches_shipped")
+        # (store_id, component, base_epoch, target_epoch) ->
+        #   (SemanticDelta, as-applied blob) | None (None: tried, no
+        #   semantic encoding exists for this transition).
+        self._semantic_cache: OrderedDict[tuple, Any] = OrderedDict()
 
     # -- worker management ----------------------------------------------
 
@@ -960,10 +1151,20 @@ class RemoteBackend(ExecutionBackend):
             return self._links
 
     def _next_link(self, links: list[_WorkerLink]) -> _WorkerLink:
+        """Least-loaded link (fewest in-flight tasks; round-robin tie)."""
         with self._lock:
-            link = links[self._rr % len(links)]
+            start = self._rr % len(links)
             self._rr += 1
-            return link
+        best = links[start]
+        best_depth = best.in_flight
+        for i in range(1, len(links)):
+            if best_depth == 0:
+                break
+            link = links[(start + i) % len(links)]
+            depth = link.in_flight
+            if depth < best_depth:
+                best, best_depth = link, depth
+        return best
 
     # -- state plane -----------------------------------------------------
 
@@ -974,34 +1175,63 @@ class RemoteBackend(ExecutionBackend):
             cache = self._blobs.setdefault(group, OrderedDict())
             blob = cache.get(ref.epoch)
         if blob is None:
-            blob = pickle.dumps(ref.resolve())
+            blob = pickle.dumps(ref.resolve(), PICKLE_PROTOCOL)
             with self._lock:
                 cache[ref.epoch] = blob
                 while len(cache) > self.retain_blobs:
                     cache.popitem(last=False)
         return blob
 
-    def _cached_blob(self, store_id: str, component: int,
-                     epoch: int) -> bytes | None:
-        with self._lock:
-            return self._blobs.get((store_id, component), {}).get(epoch)
+    def _semantic_delta_for(self, ref, adapter, held_epoch: int,
+                            held_blob: bytes):
+        """``(SemanticDelta, as-applied blob)`` for the transition, or None.
 
-    def _state_frames_locked(self, link: _WorkerLink, ref) -> list[bytes]:
+        Semantic encoding needs a live store (for the recorded
+        :class:`~repro.core.state.UpdateHint` chain) and the adapter
+        (to recover per-group vectors).  Results are memoised per
+        ``(group, base, target, base-digest)`` — the digest is part of
+        the key because different links can hold *different bytes* for
+        the same base epoch (a full publication vs an earlier delta's
+        as-applied blob).
+        """
+        if adapter is None or ref.store is None:
+            return None
+        hint = ref.store.transition_hint(ref.component, held_epoch,
+                                         ref.epoch)
+        if hint is None:
+            return None
+        key = (ref.store_id, ref.component, held_epoch, ref.epoch,
+               blob_digest(held_blob))
+        with self._lock:
+            cached = self._semantic_cache.get(key, _SEMANTIC_MISS)
+            if cached is not _SEMANTIC_MISS:
+                self._semantic_cache.move_to_end(key)
+                return cached
+        result = compute_semantic_delta(adapter, held_blob, ref.resolve(),
+                                        hint)
+        with self._lock:
+            self._semantic_cache[key] = result
+            while len(self._semantic_cache) > 32:
+                self._semantic_cache.popitem(last=False)
+        return result
+
+    def _state_frames_locked(self, link: _WorkerLink, ref,
+                             adapter=None) -> list[bytes]:
         """Frames that must precede a task pinned to ``ref`` (wlock held).
 
-        Chooses, per worker, between nothing (epoch already held), a
-        delta from the worker's held epoch (preferred when smaller), a
-        cached full publication, or a one-off straggler publication.
-        ``link.held`` is only read and written under the link's write
-        lock, so the decision and the frames it produces are atomic
-        with respect to other submitters.
+        Chooses, per worker, between nothing (epoch already held), the
+        smallest of a semantic delta / CDC delta / full publication
+        from the worker's held bytes, or a one-off straggler
+        publication.  ``link.held`` is only read and written under the
+        link's write lock, so the decision and the frames it produces
+        are atomic with respect to other submitters.
         """
         group = (ref.store_id, ref.component)
         held = link.held.get(group)
-        if held == ref.epoch:
+        if held is not None and held[0] == ref.epoch:
             return []
         blob = self._epoch_blob(ref)
-        if held is not None and ref.epoch < held:
+        if held is not None and ref.epoch < held[0]:
             # Straggler: one-off, does not displace the newest snapshot.
             frame = encode_frame(KIND_STATE, 0, (
                 "full", ref.store_id, ref.component, ref.epoch, False,
@@ -1011,22 +1241,37 @@ class RemoteBackend(ExecutionBackend):
             return [frame]
         full = encode_frame(KIND_STATE, 0, (
             "full", ref.store_id, ref.component, ref.epoch, True, blob))
+        # (encoding, frame, bytes the worker will hold after applying).
+        best = ("full", full, blob)
         if held is not None:
-            base = self._cached_blob(ref.store_id, ref.component, held)
-            if base is not None:
-                delta = compute_delta(base, blob)
-                delta_frame = encode_frame(KIND_STATE, 0, (
-                    "delta", ref.store_id, ref.component, held, ref.epoch,
-                    delta))
-                if len(delta_frame) < len(full):
-                    link.held[group] = ref.epoch
-                    self._state_delta_bytes.inc(len(delta_frame))
-                    self._state_delta_publishes.inc()
-                    return [delta_frame]
-        link.held[group] = ref.epoch
-        self._state_full_bytes.inc(len(full))
-        self._state_full_publishes.inc()
-        return [full]
+            held_epoch, held_blob = held
+            delta = compute_delta(held_blob, blob)
+            delta_frame = encode_frame(KIND_STATE, 0, (
+                "delta", ref.store_id, ref.component, held_epoch,
+                ref.epoch, delta))
+            if len(delta_frame) < len(best[1]):
+                best = ("delta", delta_frame, blob)
+            semantic = self._semantic_delta_for(ref, adapter, held_epoch,
+                                                held_blob)
+            if semantic is not None:
+                sdelta, applied = semantic
+                semantic_frame = encode_frame(KIND_STATE, 0, (
+                    "semantic", ref.store_id, ref.component, held_epoch,
+                    ref.epoch, sdelta))
+                if len(semantic_frame) < len(best[1]):
+                    best = ("semantic", semantic_frame, applied)
+        encoding, frame, held_after = best
+        link.held[group] = (ref.epoch, held_after)
+        if encoding == "semantic":
+            self._state_semantic_bytes.inc(len(frame))
+            self._state_semantic_publishes.inc()
+        elif encoding == "delta":
+            self._state_delta_bytes.inc(len(frame))
+            self._state_delta_publishes.inc()
+        else:
+            self._state_full_bytes.inc(len(frame))
+            self._state_full_publishes.inc()
+        return [frame]
 
     # -- ExecutionBackend ------------------------------------------------
 
@@ -1055,7 +1300,8 @@ class RemoteBackend(ExecutionBackend):
             state_frames = []
         ctx = trace_context_of(task.envelope)
         t_send = monotonic() if ctx is not None and ctx.sampled else 0.0
-        task_payload = pickle.dumps(wire_task)
+        depth = link.in_flight
+        task_payload = pickle.dumps(wire_task, PICKLE_PROTOCOL)
         self._task_bytes.inc(len(task_payload))
         self._tasks_shipped.inc()
         future: Future = Future()
@@ -1066,7 +1312,8 @@ class RemoteBackend(ExecutionBackend):
         try:
             with link.wlock:
                 if state_frames is None:
-                    state_frames = self._state_frames_locked(link, ref)
+                    state_frames = self._state_frames_locked(
+                        link, ref, task.adapter)
                 for frame in state_frames:
                     link.sock.sendall(frame)
                     link.bytes_sent += len(frame)
@@ -1082,17 +1329,85 @@ class RemoteBackend(ExecutionBackend):
             get_tracer().record(
                 "wire.send", ctx, t_send, monotonic(),
                 component=task.component, task_bytes=len(task_payload),
+                in_flight=depth, batch_size=1,
                 state_bytes=sum(len(f) for f in state_frames))
         return future
+
+    def submit_batch(self, tasks: Sequence[ComponentTask]) -> list[Future]:
+        """Ship a coalesced batch as **one** ``KIND_BATCH`` frame.
+
+        All tasks must be runner-less and share one live ref key (the
+        invariant :class:`~repro.serving.backends.BatchingBackend`
+        guarantees per bucket); anything else degrades to per-task
+        submission, so a batch is never worse than unbatched dispatch.
+        The worker resolves the shared snapshot once and runs the batch
+        through :func:`~repro.serving.backends.run_component_batch` —
+        one pickle, one frame, one vectorized stage-1 pass.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [self.submit_task(t) for t in tasks]
+        refs = [t.state_ref for t in tasks]
+        batchable = (
+            all(t.runner is None for t in tasks)
+            and all(r is not None and (r.store is not None
+                                       or r.pinned is not None)
+                    for r in refs)
+            and len({r.key for r in refs}) == 1)
+        if not batchable:
+            return [self.submit_task(t) for t in tasks]
+        ref = refs[0]
+        links = self._ensure_links()
+        link = self._next_link(links)
+        ctx = next((c for c in (trace_context_of(t.envelope)
+                                for t in tasks)
+                    if c is not None and c.sampled), None)
+        t_send = monotonic() if ctx is not None else 0.0
+        depth = link.in_flight
+        payload = pickle.dumps(
+            [replace(t, state_ref=t.state_ref.detached()) for t in tasks],
+            PICKLE_PROTOCOL)
+        self._task_bytes.inc(len(payload))
+        self._tasks_shipped.inc(len(tasks))
+        self._batches_shipped.inc()
+        batch_future: Future = Future()
+        batch_future.set_running_or_notify_cancel()
+        msg_id = next(link.ids)
+        with link.plock:
+            link.pending[msg_id] = batch_future
+        try:
+            with link.wlock:
+                state_frames = self._state_frames_locked(
+                    link, ref, tasks[0].adapter)
+                for frame in state_frames:
+                    link.sock.sendall(frame)
+                    link.bytes_sent += len(frame)
+                link.bytes_sent += write_frame(link.sock, KIND_BATCH,
+                                               msg_id, payload=payload)
+        except OSError as exc:
+            with link.plock:
+                link.pending.pop(msg_id, None)
+            batch_future.set_exception(ConnectionError(
+                f"backend worker connection failed: {exc}"))
+            return _scatter_batch_future(batch_future, len(tasks))
+        if ctx is not None:
+            get_tracer().record(
+                "wire.send", ctx, t_send, monotonic(),
+                component=tasks[0].component, task_bytes=len(payload),
+                in_flight=depth, batch_size=len(tasks),
+                state_bytes=sum(len(f) for f in state_frames))
+        return _scatter_batch_future(batch_future, len(tasks))
 
     def payload_counters(self) -> dict:
         return {
             "task_bytes": self._task_bytes.value,
             "state_bytes": self._state_full_bytes.value
-            + self._state_delta_bytes.value,
+            + self._state_delta_bytes.value
+            + self._state_semantic_bytes.value,
             "tasks_shipped": self._tasks_shipped.value,
             "state_publishes": self._state_full_publishes.value
-            + self._state_delta_publishes.value,
+            + self._state_delta_publishes.value
+            + self._state_semantic_publishes.value,
         }
 
     def transport_counters(self) -> dict:
@@ -1100,8 +1415,12 @@ class RemoteBackend(ExecutionBackend):
         counters = {
             "state_full_publishes": self._state_full_publishes.value,
             "state_delta_publishes": self._state_delta_publishes.value,
+            "state_semantic_publishes":
+                self._state_semantic_publishes.value,
             "state_full_bytes": self._state_full_bytes.value,
             "state_delta_bytes": self._state_delta_bytes.value,
+            "state_semantic_bytes": self._state_semantic_bytes.value,
+            "batches_shipped": self._batches_shipped.value,
         }
         counters["bytes_sent"] = sum(l.bytes_sent for l in self._links)
         counters["bytes_received"] = sum(l.bytes_received
@@ -1113,6 +1432,7 @@ class RemoteBackend(ExecutionBackend):
             links, procs, listener = self._links, self._procs, self._listener
             self._links, self._procs, self._listener = [], [], None
             self._blobs.clear()
+            self._semantic_cache.clear()
             self._rr = 0
         for link in links:
             try:

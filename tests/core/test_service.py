@@ -7,6 +7,7 @@ from repro.core.builder import SynopsisConfig
 from repro.core.clock import SimulatedClock
 from repro.core.service import AccuracyTraderService
 from repro.recommender.matrix import RatingMatrix
+from tests.helpers import process
 
 
 @pytest.fixture(scope="module")
@@ -27,7 +28,7 @@ class TestProcess:
     def test_generous_deadline_matches_exact(self, cf_service_facade,
                                              cf_request):
         svc = cf_service_facade
-        answer, reports = svc.process(cf_request, deadline=10.0)
+        answer, reports = process(svc, cf_request, deadline=10.0)
         exact = svc.exact(cf_request)
         assert len(reports) == svc.n_components
         for item in cf_request.target_items:
@@ -37,12 +38,12 @@ class TestProcess:
         svc = cf_service_facade
         # One fast, one starved component.
         clocks = [SimulatedClock(speed=1e12), SimulatedClock(speed=1.0)]
-        _, reports = svc.process(cf_request, deadline=0.01, clocks=clocks)
+        _, reports = process(svc, cf_request, deadline=0.01, clocks=clocks)
         assert reports[0].groups_processed > reports[1].groups_processed
 
     def test_clock_count_validated(self, cf_service_facade, cf_request):
         with pytest.raises(ValueError):
-            cf_service_facade.process(cf_request, deadline=1.0,
+            process(cf_service_facade, cf_request, deadline=1.0,
                                       clocks=[SimulatedClock()])
 
     def test_empty_partitions_rejected(self, cf_adapter):
@@ -85,7 +86,7 @@ class TestBackendLifecycle:
                 cf_adapter, split_ratings(small_ratings.matrix, 2),
                 config=SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7),
                 backend="thread") as svc:
-            svc.process(cf_request, deadline=10.0)
+            process(svc, cf_request, deadline=10.0)
             assert svc.backend._pool is not None
         # Context exit shut the owned pool down; no threads leak.
         assert svc.backend._pool is None
@@ -102,7 +103,7 @@ class TestBackendLifecycle:
                     config=SynopsisConfig(n_iters=20, target_ratio=15.0,
                                           seed=7),
                     backend=backend) as svc:
-                svc.process(cf_request, deadline=10.0)
+                process(svc, cf_request, deadline=10.0)
             # The caller's pool survives the service's close.
             assert backend._pool is not None
 
@@ -123,7 +124,7 @@ class TestUpdates:
             np.array([5.0, 4.0, 3.0]))
         report = svc.add_points(0, new, [n])
         assert report.n_points == 1
-        answer, _ = svc.process(cf_request, deadline=10.0)
+        answer, _ = process(svc, cf_request, deadline=10.0)
         exact = svc.exact(cf_request)
         for item in cf_request.target_items:
             assert answer.predict(item) == pytest.approx(exact.predict(item))

@@ -37,6 +37,7 @@ from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.partitioning import split_corpus, split_ratings
 
 from tests.serving.test_harness import cf_request_factory
+from tests.helpers import aprocess, process
 
 CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
 SEARCH_CONFIG = SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7)
@@ -83,11 +84,11 @@ class TestAsyncBackendParity:
 
     def test_cf_sync_contract_bit_identical(self, cf_service, cf_loadgen):
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        base, base_reps = cf_service.process(request, 0.05,
+        base, base_reps = process(cf_service, request, 0.05,
                                              clocks=sim_clocks(4),
                                              backend=SequentialBackend())
         with AsyncExecutionBackend() as backend:
-            ans, reps = cf_service.process(request, 0.05,
+            ans, reps = process(cf_service, request, 0.05,
                                            clocks=sim_clocks(4),
                                            backend=backend)
         assert ans.numer == base.numer and ans.denom == base.denom
@@ -99,11 +100,11 @@ class TestAsyncBackendParity:
     def test_cf_aprocess_bit_identical(self, cf_service, cf_loadgen):
         for i in range(3):
             request = cf_loadgen.request_factory(i, np.random.default_rng(i))
-            base, base_reps = cf_service.process(
+            base, base_reps = process(cf_service, 
                 request, 0.05, clocks=sim_clocks(4),
                 backend=SequentialBackend())
             with AsyncExecutionBackend() as backend:
-                ans, reps = asyncio.run(cf_service.aprocess(
+                ans, reps = asyncio.run(aprocess(cf_service, 
                     request, 0.05, clocks=sim_clocks(4), backend=backend))
             assert ans.numer == base.numer and ans.denom == base.denom
             assert [r.groups_processed for r in reps] == \
@@ -115,10 +116,10 @@ class TestAsyncBackendParity:
         svc = AccuracyTraderService(search_adapter, parts,
                                     config=SEARCH_CONFIG,
                                     i_max_fraction=0.4)
-        base, _ = svc.process(search_query, 0.05, clocks=sim_clocks(4),
+        base, _ = process(svc, search_query, 0.05, clocks=sim_clocks(4),
                               backend=SequentialBackend())
         with AsyncExecutionBackend() as backend:
-            ans, _ = asyncio.run(svc.aprocess(search_query, 0.05,
+            ans, _ = asyncio.run(aprocess(svc, search_query, 0.05,
                                               clocks=sim_clocks(4),
                                               backend=backend))
         assert [(h.doc_id, h.score) for h in ans] == \
@@ -136,9 +137,9 @@ class TestAsyncBackendParity:
         stalled = AccuracyTraderService(stall, cf_parts[0:2],
                                         config=CF_CONFIG)
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        base, base_reps = plain.process(request, 0.05, clocks=sim_clocks(2))
+        base, base_reps = process(plain, request, 0.05, clocks=sim_clocks(2))
         with AsyncExecutionBackend() as backend:
-            ans, reps = asyncio.run(stalled.aprocess(
+            ans, reps = asyncio.run(aprocess(stalled, 
                 request, 0.05, clocks=sim_clocks(2), backend=backend))
         assert ans.numer == base.numer and ans.denom == base.denom
         assert [r.groups_processed for r in reps] == \
@@ -225,7 +226,7 @@ class TestAsyncHedgedRouting:
 
         async def go():
             with AsyncExecutionBackend() as backend:
-                return await svc.aprocess(request, 10.0, backend=backend)
+                return await aprocess(svc, request, 10.0, backend=backend)
 
         answer, reports = asyncio.run(go())
         assert svc.hedges_issued == 1 and svc.hedge_wins == 1
@@ -241,11 +242,11 @@ class TestAsyncHedgedRouting:
         base_svc = AccuracyTraderService(cf_adapter, cf_parts[0:2],
                                         config=CF_CONFIG)
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        base = base_svc.process(request, 10.0)[0]
+        base = process(base_svc, request, 10.0)[0]
 
         async def go():
             with AsyncExecutionBackend() as backend:
-                return await svc.aprocess(request, 10.0, backend=backend)
+                return await aprocess(svc, request, 10.0, backend=backend)
 
         answer, _ = asyncio.run(go())
         assert answer.numer == base.numer and answer.denom == base.denom
@@ -262,12 +263,12 @@ class TestAsyncHedgedRouting:
         ])
         base = AccuracyTraderService(cf_adapter, cf_parts, config=CF_CONFIG)
         request = cf_loadgen.request_factory(1, np.random.default_rng(1))
-        expect, expect_reps = base.process(request, 0.05,
+        expect, expect_reps = process(base, request, 0.05,
                                            clocks=sim_clocks(4))
 
         async def go():
             with AsyncExecutionBackend() as backend:
-                return await routed.aprocess(request, 0.05,
+                return await aprocess(routed, request, 0.05,
                                              clocks=sim_clocks(4),
                                              backend=backend)
 

@@ -21,6 +21,7 @@ from repro.serving.backends import (
     resolve_backend,
     run_component_task,
 )
+from tests.helpers import process
 
 DEADLINE = 0.05
 SPEED = 400.0  # work units / s: tight enough that the deadline bites
@@ -29,7 +30,7 @@ SPEED = 400.0  # work units / s: tight enough that the deadline bites
 def run_service(service, request, backend):
     clocks = [SimulatedClock(speed=SPEED)
               for _ in range(service.n_components)]
-    return service.process(request, DEADLINE, clocks=clocks, backend=backend)
+    return process(service, request, DEADLINE, clocks=clocks, backend=backend)
 
 
 def report_key(report):
@@ -211,7 +212,7 @@ class TestBackendMechanics:
             config=SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7),
             backend="thread")
         try:
-            answer, reports = svc.process(cf_request, deadline=10.0)
+            answer, reports = process(svc, cf_request, deadline=10.0)
             assert len(reports) == 2
             exact = svc.exact(cf_request)
             for item in cf_request.target_items:

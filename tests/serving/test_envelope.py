@@ -1,15 +1,15 @@
-"""The typed request envelope and its back-compat contract.
+"""The typed request envelope and its serving contract.
 
 Two layers of pinning:
 
 - the envelope types themselves (monotonic ids, class coercion,
   priority defaults, immutability, deadline resolution);
-- the migration guarantee: every ``Servable`` implementation answers
-  **bit-identically** whether driven through the legacy positional
-  ``process(request, deadline, ...)`` API or a ``ServingRequest``
-  envelope via ``serve`` — across all five execution backends — and
-  reports carry the envelope's identity end to end (including across a
-  process boundary).
+- the serving guarantee: every ``Servable`` implementation answers
+  **bit-identically** through the envelope path across all five
+  execution backends, and reports carry the envelope's identity end to
+  end (including across a process boundary).  The legacy positional
+  ``process`` / ``aprocess`` shims finished their deprecation cycle
+  and are pinned *absent*.
 """
 
 from __future__ import annotations
@@ -176,8 +176,8 @@ class TestServingResponse:
 
 
 # ---------------------------------------------------------------------------
-# The migration guarantee: legacy calls are bit-identical to envelopes,
-# on every backend.
+# The serving guarantee: the envelope path is bit-identical on every
+# backend (sequential is the reference).
 # ---------------------------------------------------------------------------
 
 
@@ -207,58 +207,51 @@ def answers_equal(a, b) -> bool:
         a.denom == b.denom
 
 
-class TestLegacyShimBitIdentity:
-    """Legacy positional API vs envelope API, all five backends."""
+class TestEnvelopeBackendIdentity:
+    """The envelope path answers bit-identically on all five backends."""
 
     def test_single_service(self, cf_serving_service, cf_request,
                             any_backend):
-        legacy, legacy_reports = cf_serving_service.process(
-            cf_request, DEADLINE, clocks=sim_clocks(2), backend=any_backend)
+        base = cf_serving_service.serve(
+            ServingRequest(payload=cf_request, deadline=DEADLINE),
+            clocks=sim_clocks(2))
         resp = cf_serving_service.serve(
             ServingRequest(payload=cf_request, deadline=DEADLINE),
             clocks=sim_clocks(2), backend=any_backend)
-        assert answers_equal(resp.answer, legacy)
+        assert answers_equal(resp.answer, base.answer)
         assert [report_key(r) for r in resp.reports] == \
-            [report_key(r) for r in legacy_reports]
+            [report_key(r) for r in base.reports]
 
     def test_single_service_async(self, cf_serving_service, cf_request,
                                   any_backend):
-        legacy, legacy_reports = asyncio.run(cf_serving_service.aprocess(
-            cf_request, DEADLINE, clocks=sim_clocks(2), backend=any_backend))
+        base = cf_serving_service.serve(
+            ServingRequest(payload=cf_request, deadline=DEADLINE),
+            clocks=sim_clocks(2))
         resp = asyncio.run(cf_serving_service.aserve(
             ServingRequest(payload=cf_request, deadline=DEADLINE),
             clocks=sim_clocks(2), backend=any_backend))
-        assert answers_equal(resp.answer, legacy)
+        assert answers_equal(resp.answer, base.answer)
         assert [report_key(r) for r in resp.reports] == \
-            [report_key(r) for r in legacy_reports]
+            [report_key(r) for r in base.reports]
 
     def test_search_service(self, search_serving_service, search_query,
                             any_backend):
-        legacy, legacy_reports = search_serving_service.process(
-            search_query, DEADLINE, clocks=sim_clocks(2),
-            backend=any_backend)
+        base = search_serving_service.serve(
+            ServingRequest(payload=search_query, deadline=DEADLINE),
+            clocks=sim_clocks(2))
         resp = search_serving_service.serve(
             ServingRequest(payload=search_query, deadline=DEADLINE),
             clocks=sim_clocks(2), backend=any_backend)
         assert [(h.doc_id, h.score) for h in resp.answer] == \
-            [(h.doc_id, h.score) for h in legacy]
+            [(h.doc_id, h.score) for h in base.answer]
         assert [report_key(r) for r in resp.reports] == \
-            [report_key(r) for r in legacy_reports]
+            [report_key(r) for r in base.reports]
 
-    def test_shim_positional_deadline_wins(self, cf_serving_service,
-                                           cf_request):
-        # A legacy call handed an envelope still obeys its positional
-        # deadline (build_tasks precedence) — metadata is kept, the
-        # deadline is overridden, consistently on sync and async paths.
-        env = ServingRequest(payload=cf_request, deadline=5.0,
-                             request_class="accuracy_critical")
-        _, reports = cf_serving_service.process(env, DEADLINE,
-                                                clocks=sim_clocks(2))
-        assert all(r.deadline == DEADLINE for r in reports)
-        assert all(r.request_class == "accuracy_critical" for r in reports)
-        _, areports = asyncio.run(cf_serving_service.aprocess(
-            env, DEADLINE, clocks=sim_clocks(2)))
-        assert all(r.deadline == DEADLINE for r in areports)
+    def test_positional_shims_removed(self, cf_serving_service):
+        # The DeprecationWarning cycle is over: the shims must be gone,
+        # not silently reintroduced.
+        assert not hasattr(cf_serving_service, "process")
+        assert not hasattr(cf_serving_service, "aprocess")
 
     def test_deadline_truncation_covered(self, cf_serving_service,
                                          cf_request):
@@ -286,37 +279,33 @@ class TestRouterEnvelopePath:
         yield svc
         svc.close()
 
-    def test_sharded_serve_matches_process(self, routed, cf_request):
-        legacy, legacy_reports = routed.process(
-            cf_request, DEADLINE, clocks=sim_clocks(routed.n_components))
-        resp = routed.serve(
+    def test_sharded_aserve_matches_serve(self, routed, cf_request):
+        base = routed.serve(
             ServingRequest(payload=cf_request, deadline=DEADLINE),
             clocks=sim_clocks(routed.n_components))
-        assert answers_equal(resp.answer, legacy)
-        assert [report_key(r) for r in resp.reports] == \
-            [report_key(r) for r in legacy_reports]
-
-    def test_sharded_aserve_matches_aprocess(self, routed, cf_request):
-        legacy, legacy_reports = asyncio.run(routed.aprocess(
-            cf_request, DEADLINE, clocks=sim_clocks(routed.n_components)))
         resp = asyncio.run(routed.aserve(
             ServingRequest(payload=cf_request, deadline=DEADLINE),
             clocks=sim_clocks(routed.n_components)))
-        assert answers_equal(resp.answer, legacy)
+        assert answers_equal(resp.answer, base.answer)
         assert [report_key(r) for r in resp.reports] == \
-            [report_key(r) for r in legacy_reports]
+            [report_key(r) for r in base.reports]
+
+    def test_sharded_shims_removed(self, routed):
+        assert not hasattr(routed, "process")
+        assert not hasattr(routed, "aprocess")
 
     def test_replica_group_serve(self, cf_adapter, cf_parts, cf_request):
         with ReplicaGroup.build(cf_adapter, cf_parts[0:2], 2,
                                 config=CF_CONFIG) as group:
-            legacy, _ = group.process(cf_request, DEADLINE,
-                                      clocks=sim_clocks(2))
+            first = group.serve(
+                ServingRequest(payload=cf_request, deadline=DEADLINE),
+                clocks=sim_clocks(2))
             resp = group.serve(
                 ServingRequest(payload=cf_request, deadline=DEADLINE),
                 clocks=sim_clocks(2))
             # Round-robin advanced one replica between the calls, but the
             # replicas hold bit-identical state.
-            assert answers_equal(resp.answer, legacy)
+            assert answers_equal(resp.answer, first.answer)
             for report in resp.reports:
                 assert report.request_id == resp.request.request_id
 

@@ -14,6 +14,7 @@ from repro.serving.backends import SequentialBackend, ThreadPoolBackend
 from repro.serving.harness import ServingHarness
 from repro.serving.loadgen import LoadGenerator
 from repro.workloads.partitioning import split_ratings
+from tests.helpers import process
 
 
 def cf_request_factory(matrix):
@@ -262,7 +263,7 @@ class TestConcurrentUpdates:
                 k = 0
                 while not stop.is_set():
                     try:
-                        _, reps = mutable_service.process(
+                        _, reps = process(mutable_service, 
                             requests[k % len(requests)], 10.0,
                             backend=backend)
                         observed.append(tuple(len(r.groups_ranked)

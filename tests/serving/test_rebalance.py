@@ -35,6 +35,7 @@ from repro.workloads.partitioning import (
 )
 
 from tests.serving.test_harness import cf_request_factory
+from tests.helpers import process
 
 CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=12.0, seed=5)
 SEARCH_CONFIG = SynopsisConfig(n_iters=20, target_ratio=18.0, seed=7)
@@ -111,7 +112,7 @@ class TestShardedRebalance:
 
     def test_inflight_requests_bit_identical_across_move(self, cf_cluster,
                                                          cf_req):
-        before, _ = cf_cluster.process(cf_req, DEADLINE, clocks=clocks(4))
+        before, _ = process(cf_cluster, cf_req, DEADLINE, clocks=clocks(4))
         # Dispatch-time tasks (what process() builds internally), then
         # the move, then the drain.
         pinned = [t for s in range(4)
@@ -128,9 +129,9 @@ class TestShardedRebalance:
         cold = build_cf_cluster(small_ratings.matrix,
                                 cf_cluster.component_map)
         with cold:
-            live_ans, _ = cf_cluster.process(cf_req, DEADLINE,
+            live_ans, _ = process(cf_cluster, cf_req, DEADLINE,
                                              clocks=clocks(4))
-            cold_ans, _ = cold.process(cf_req, DEADLINE, clocks=clocks(4))
+            cold_ans, _ = process(cold, cf_req, DEADLINE, clocks=clocks(4))
             assert_cf_equal(live_ans, cold_ans)
             assert_cf_equal(cf_cluster.exact(cf_req), cold.exact(cf_req))
 
@@ -143,19 +144,19 @@ class TestShardedRebalance:
             cold = build_search_cluster(small_corpus.partition,
                                         svc.component_map)
             with cold:
-                live_ans, _ = svc.process(query, DEADLINE, clocks=clocks(3))
-                cold_ans, _ = cold.process(query, DEADLINE,
+                live_ans, _ = process(svc, query, DEADLINE, clocks=clocks(3))
+                cold_ans, _ = process(cold, query, DEADLINE,
                                            clocks=clocks(3))
                 assert_search_equal(live_ans, cold_ans)
 
     def test_answers_identical_across_all_backends_after_move(
             self, cf_cluster, cf_req):
         cf_cluster.rebalance({0: 1})
-        base, _ = cf_cluster.process(cf_req, DEADLINE, clocks=clocks(4),
+        base, _ = process(cf_cluster, cf_req, DEADLINE, clocks=clocks(4),
                                      backend=SequentialBackend())
         for name in ("thread", "process", "persistent", "async"):
             with resolve_backend(name) as backend:
-                ans, _ = cf_cluster.process(cf_req, DEADLINE,
+                ans, _ = process(cf_cluster, cf_req, DEADLINE,
                                             clocks=clocks(4),
                                             backend=backend)
                 assert_cf_equal(ans, base)
@@ -179,7 +180,7 @@ class TestShardedRebalance:
         with svc:
             report = svc.rebalance({0: 1})
             assert all(len(epochs) == 2 for epochs in report.epochs.values())
-            answers = [r.process(cf_req, DEADLINE, clocks=clocks(1))[0]
+            answers = [process(r, cf_req, DEADLINE, clocks=clocks(1))[0]
                        for r in svc.shards[0].replicas]
             assert_cf_equal(answers[0], answers[1])
 

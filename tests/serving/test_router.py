@@ -29,6 +29,7 @@ from repro.strategies.reissue import ReissueStrategy
 from repro.workloads.partitioning import split_corpus, split_ratings
 
 from tests.serving.test_harness import cf_request_factory
+from tests.helpers import aprocess, process
 
 CF_CONFIG = SynopsisConfig(n_iters=20, target_ratio=15.0, seed=7)
 SEARCH_CONFIG = SynopsisConfig(n_iters=25, target_ratio=20.0, seed=7)
@@ -83,9 +84,9 @@ class TestBitIdenticalRouting:
         for i in range(4):
             request = cf_loadgen.request_factory(
                 i, np.random.default_rng(i))
-            base, base_reports = cf_unsharded.process(
+            base, base_reports = process(cf_unsharded, 
                 request, 0.05, clocks=sim_clocks(4))
-            routed, routed_reports = cf_routed.process(
+            routed, routed_reports = process(cf_routed, 
                 request, 0.05, clocks=sim_clocks(4))
             assert routed.active_mean == base.active_mean
             assert routed.numer == base.numer
@@ -114,8 +115,8 @@ class TestBitIdenticalRouting:
             ReplicaGroup.build(search_adapter, parts[2:4], 2,
                                config=SEARCH_CONFIG, i_max_fraction=0.4),
         ])
-        base, _ = base_svc.process(search_query, 0.05, clocks=sim_clocks(4))
-        routed, _ = routed_svc.process(search_query, 0.05,
+        base, _ = process(base_svc, search_query, 0.05, clocks=sim_clocks(4))
+        routed, _ = process(routed_svc, search_query, 0.05,
                                        clocks=sim_clocks(4))
         assert [(h.doc_id, h.score) for h in routed] == \
             [(h.doc_id, h.score) for h in base]
@@ -183,7 +184,7 @@ class TestReplicaGroup:
         counts = {r.synopses[0].n_aggregated for r in group.replicas}
         assert len(counts) == 1
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        answers = [r.process(request, 10.0)[0] for r in group.replicas]
+        answers = [process(r, request, 10.0)[0] for r in group.replicas]
         assert answers[0].numer == answers[1].numer
         assert answers[0].denom == answers[1].denom
 
@@ -208,7 +209,7 @@ class TestDeadlineBudgets:
                  AccuracyTraderService(cf_adapter, cf_parts[2:4],
                                        config=CF_CONFIG)],
                 deadline_budgets=budgets)
-            _, reports = svc.process(request, 10.0,
+            _, reports = process(svc, request, 10.0,
                                      clocks=sim_clocks(4, speed=400.0))
             return [r.groups_processed for r in reports]
 
@@ -311,7 +312,7 @@ class TestHedgedRouting:
             hedge=ReissueStrategy(100.0, initial_expected_latency=0.0001),
             hedge_budget=None)
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        answer, reports = svc.process(request, 10.0)
+        answer, reports = process(svc, request, 10.0)
         assert answer is not None and len(reports) == 2
         assert svc.hedges_issued == 0
 
@@ -464,8 +465,8 @@ class TestRoutedUpdates:
         # bit-identical, so the router put the data where it belongs.
         base.add_points(component, new_part, [old_part.n_users])
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
-        routed_ans, _ = svc.process(request, 10.0)
-        base_ans, _ = base.process(request, 10.0)
+        routed_ans, _ = process(svc, request, 10.0)
+        base_ans, _ = process(base, request, 10.0)
         assert routed_ans.numer == base_ans.numer
         assert routed_ans.denom == base_ans.denom
 
@@ -480,8 +481,8 @@ class TestRoutedUpdates:
         assert len(reports) == 2
         base.change_points(2, part, [local_id])
         request = cf_loadgen.request_factory(1, np.random.default_rng(1))
-        routed_ans, _ = svc.process(request, 10.0)
-        base_ans, _ = base.process(request, 10.0)
+        routed_ans, _ = process(svc, request, 10.0)
+        base_ans, _ = process(base, request, 10.0)
         assert routed_ans.numer == base_ans.numer
 
     def test_routing_errors(self, routed_cluster, cf_adapter, cf_parts):
@@ -529,7 +530,7 @@ class TestRouterLifecycle:
             backend="thread")
         request = cf_loadgen.request_factory(0, np.random.default_rng(0))
         with svc:
-            svc.process(request, 10.0)
+            process(svc, request, 10.0)
             assert svc.backend._pool is not None
         assert svc.backend._pool is None
 
@@ -541,7 +542,7 @@ class TestRouterLifecycle:
                     [AccuracyTraderService(cf_adapter, cf_parts[0:2],
                                            config=CF_CONFIG)],
                     backend=backend) as svc:
-                svc.process(request, 10.0)
+                process(svc, request, 10.0)
             # Router exit must not have shut the caller's pool down.
             assert backend._pool is not None
             backend.run_tasks([])
@@ -587,7 +588,7 @@ class TestHedgeClockOverride:
         reference = AccuracyTraderService(cf_adapter, cf_parts[0:2],
                                           config=CF_CONFIG, i_max=3)
         with reference:
-            _, reports = reference.process(
+            _, reports = process(reference, 
                 request, self.DEADLINE,
                 clocks=sim_clocks(2, self.SPEED),
                 backend=SequentialBackend())
@@ -612,7 +613,7 @@ class TestHedgeClockOverride:
                 # The straggler primary guarantees the hedge fires and
                 # the clean sibling wins; its reports must show the
                 # caller's *simulated* accounting, not wall time.
-                _, reports = svc.process(request, self.DEADLINE,
+                _, reports = process(svc, request, self.DEADLINE,
                                          clocks=sim_clocks(2, self.SPEED))
                 assert svc.hedges_issued >= 1
                 assert svc.hedge_wins >= 1
@@ -644,7 +645,7 @@ class TestHedgeClockOverride:
                 hedge=ReissueStrategy(
                     100.0, initial_expected_latency=self.THRESHOLD_S))
             with svc:
-                _, reports = asyncio.run(svc.aprocess(
+                _, reports = asyncio.run(aprocess(svc, 
                     request, self.DEADLINE,
                     clocks=sim_clocks(2, self.SPEED)))
                 assert svc.hedge_wins >= 1

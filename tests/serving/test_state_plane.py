@@ -30,6 +30,7 @@ from repro.serving.backends import (
     resolve_backend,
 )
 from repro.workloads.partitioning import split_ratings
+from tests.helpers import process
 
 CONFIG = SynopsisConfig(n_iters=20, target_ratio=12.0, seed=5)
 DEADLINE = 10.0
@@ -64,7 +65,7 @@ class TestEpochPinning:
 
     def test_inflight_tasks_pinned_across_change_points(self, cf_service,
                                                         cf_request):
-        before, reps = cf_service.process(cf_request, DEADLINE,
+        before, reps = process(cf_service, cf_request, DEADLINE,
                                           clocks=clocks(2))
         # Dispatch (build tasks), then update, then execute: the tasks
         # must compute against their dispatch-time epoch.
@@ -78,13 +79,13 @@ class TestEpochPinning:
         assert_cf_equal(drained, before)
         assert [o.report.state_epoch for o in outcomes] == old_epochs
         # A fresh dispatch sees the new epoch.
-        _, new_reps = cf_service.process(cf_request, DEADLINE,
+        _, new_reps = process(cf_service, cf_request, DEADLINE,
                                          clocks=clocks(2))
         assert new_reps[0].state_epoch > old_epochs[0]
         assert new_reps[1].state_epoch == old_epochs[1]
 
     def test_reports_carry_state_epochs(self, cf_service, cf_request):
-        _, reps = cf_service.process(cf_request, DEADLINE, clocks=clocks(2))
+        _, reps = process(cf_service, cf_request, DEADLINE, clocks=clocks(2))
         assert [r.state_epoch for r in reps] == \
             [cf_service.component_epoch(c) for c in range(2)]
 
@@ -93,11 +94,11 @@ class TestBackendParityAcrossEpochs:
     def test_all_five_backends_bit_identical(self, cf_service, cf_request):
         # An update first, so resolution happens against epoch > 1.
         cf_service.change_points(0, cf_service.partitions[0], [0])
-        base, _ = cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+        base, _ = process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                      backend=SequentialBackend())
         for name in ("thread", "process", "persistent", "async"):
             with resolve_backend(name) as backend:
-                ans, reps = cf_service.process(cf_request, DEADLINE,
+                ans, reps = process(cf_service, cf_request, DEADLINE,
                                                clocks=clocks(2),
                                                backend=backend)
                 assert_cf_equal(ans, base)
@@ -110,7 +111,7 @@ class TestPersistentBackend:
                                                      cf_request):
         with PersistentProcessBackend(max_workers=1) as backend:
             for _ in range(4):
-                cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+                process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                    backend=backend)
             counters = backend.payload_counters()
             assert counters["tasks_shipped"] == 8
@@ -119,7 +120,7 @@ class TestPersistentBackend:
             # An update publishes exactly one more snapshot...
             cf_service.change_points(0, cf_service.partitions[0], [0])
             for _ in range(3):
-                cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+                process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                    backend=backend)
             counters = backend.payload_counters()
             assert counters["state_publishes"] == 3
@@ -128,9 +129,9 @@ class TestPersistentBackend:
     def test_task_payload_excludes_state(self, cf_service, cf_request):
         with ProcessPoolBackend(max_workers=1) as vanilla, \
                 PersistentProcessBackend(max_workers=1) as persistent:
-            base, _ = cf_service.process(cf_request, DEADLINE,
+            base, _ = process(cf_service, cf_request, DEADLINE,
                                          clocks=clocks(2), backend=vanilla)
-            ans, _ = cf_service.process(cf_request, DEADLINE,
+            ans, _ = process(cf_service, cf_request, DEADLINE,
                                         clocks=clocks(2), backend=persistent)
             assert_cf_equal(ans, base)
             per_task_vanilla = (vanilla.payload_counters()["task_bytes"]
@@ -144,12 +145,12 @@ class TestPersistentBackend:
     def test_worker_cache_evicts_superseded_epochs(self, cf_service,
                                                    cf_request):
         with PersistentProcessBackend(max_workers=1) as backend:
-            cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+            process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                backend=backend)
             e_old = cf_service.component_epoch(0)
             cf_service.change_points(0, cf_service.partitions[0], [0])
             e_new = cf_service.component_epoch(0)
-            cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+            process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                backend=backend)
             cached = backend.probe_worker_cache()
             epochs_comp0 = [k[2] for k in cached if k[1] == 0]
@@ -159,13 +160,13 @@ class TestPersistentBackend:
     def test_channel_drops_superseded_drained_epochs(self, cf_service,
                                                      cf_request):
         with PersistentProcessBackend(max_workers=1) as backend:
-            cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+            process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                backend=backend)
             store_id = cf_service.store.store_id
             e_old = cf_service.component_epoch(0)
             assert backend.published_epochs(store_id, 0) == [e_old]
             cf_service.change_points(0, cf_service.partitions[0], [0])
-            cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+            process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                backend=backend)
             # The old epoch is superseded and drained: evicted.
             assert backend.published_epochs(store_id, 0) == \
@@ -184,7 +185,7 @@ class TestPersistentBackend:
             e_old = straggler[0].state_ref.epoch
             cf_service.change_points(0, cf_service.partitions[0], [0])
             e_new = cf_service.component_epoch(0)
-            cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+            process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                backend=backend)
             assert backend.published_epochs(store_id, 0) == [e_new]
             outcomes = backend.run_tasks(straggler)
@@ -240,12 +241,12 @@ class TestPersistentBackend:
 
     def test_close_idempotent_and_restartable(self, cf_service, cf_request):
         backend = PersistentProcessBackend(max_workers=1)
-        ans1, _ = cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+        ans1, _ = process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                      backend=backend)
         backend.close()
         backend.close()
         # A fresh pool + channel spins up lazily after close.
-        ans2, _ = cf_service.process(cf_request, DEADLINE, clocks=clocks(2),
+        ans2, _ = process(cf_service, cf_request, DEADLINE, clocks=clocks(2),
                                      backend=backend)
         assert_cf_equal(ans1, ans2)
         backend.close()

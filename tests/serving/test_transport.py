@@ -9,12 +9,17 @@ Four layers of pinning:
   process boundary" there);
 - the content-defined delta layer (identity, small-edit deltas much
   smaller than the full blob, checksum-verified application);
+- :class:`RemoteChannel` — multiplexed RPC: out-of-order reply
+  correlation, interleaved concurrent calls, cancellation of one
+  in-flight RPC leaving siblings intact, EOF failing all pending,
+  and the per-link in-flight cap;
 - :class:`RemoteBackend` — bit-identical outcomes vs the in-process
-  reference, delta publications on epoch transitions, straggler
-  epochs, and the live-ref requirement;
+  reference, semantic/CDC delta publications on epoch transitions,
+  batch framing, straggler epochs, and the live-ref requirement;
 - :class:`RemoteServable` — a multi-process localhost cluster serving
   CF and search bit-identically to the in-process
-  :class:`ShardedService`, updates propagating over the wire.
+  :class:`ShardedService`, updates propagating over the wire, and
+  multi-link (``n_links``) spawns.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.core.clock import SimulatedClock
 from repro.core.processor import ProcessingReport
 from repro.core.service import AccuracyTraderService
 from repro.core.state import (
+    PICKLE_PROTOCOL,
     DeltaMismatchError,
     StaleEpochError,
     apply_delta,
@@ -48,9 +54,12 @@ from repro.serving.envelope import (
 )
 from repro.serving.router import ReplicaGroup, ShardedService
 from repro.serving.transport import (
+    KIND_BATCH,
     KIND_REQUEST,
     KIND_RESPONSE,
+    WIRE_VERSION,
     RemoteBackend,
+    RemoteChannel,
     RemoteServable,
     bind_with_retry,
     connect_with_retry,
@@ -137,6 +146,33 @@ class TestFraming:
         assert got.answer.numer == resp.answer.numer
         assert got.answer.denom == resp.answer.denom
 
+    def test_wire_version_is_two_and_strict(self):
+        """The protocol bump: v2 frames only; a v1 frame is refused.
+
+        Decoding is *strict* on version — an old peer speaking wire
+        version 1 fails loudly at the first frame instead of
+        misinterpreting pickles, so mixed-version deployments cannot
+        silently corrupt each other.
+        """
+        frame = encode_frame(KIND_REQUEST, 1, "x")
+        assert WIRE_VERSION == 2
+        assert frame[4] == WIRE_VERSION
+        v1_frame = frame[:4] + bytes([1]) + frame[5:]
+        with pytest.raises(ValueError):
+            decode_frame(v1_frame)
+
+    def test_payload_pickle_protocol_pinned(self):
+        """Frames pickle at PICKLE_PROTOCOL, not the interpreter default."""
+        frame = encode_frame(KIND_REQUEST, 1, {"q": [1, 2, 3]})
+        header = len(encode_frame(KIND_REQUEST, 1, None)) - \
+            len(pickle.dumps(None, PICKLE_PROTOCOL))
+        # A protocol-N pickle opens with the PROTO opcode \x80 N.
+        assert frame[header:header + 2] == bytes([0x80, PICKLE_PROTOCOL])
+
+    def test_batch_kind_roundtrip(self):
+        got = roundtrip([{"i": 1}, {"i": 2}], kind=KIND_BATCH)
+        assert got == [{"i": 1}, {"i": 2}]
+
     def test_socket_read_write(self):
         listener = bind_with_retry()
         port = listener.getsockname()[1]
@@ -178,6 +214,132 @@ class TestBindRetry:
         with pytest.raises(OSError):
             bind_with_retry(port=port, retries=2, backoff=0.01)
         holder.close()
+
+
+@pytest.fixture()
+def channel_pair():
+    """A RemoteChannel client talking to a raw test-controlled socket."""
+    listener = bind_with_retry()
+    port = listener.getsockname()[1]
+    client = connect_with_retry("127.0.0.1", port)
+    server, _ = listener.accept()
+    channel = RemoteChannel(client)
+    yield channel, server
+    channel.close()
+    server.close()
+    listener.close()
+
+
+class TestMultiplexedChannel:
+    """The tentpole: many in-flight msg_id-correlated RPCs per socket."""
+
+    def test_out_of_order_replies_correlate(self, channel_pair):
+        channel, server = channel_pair
+        futures = [channel.submit({"i": i}) for i in range(4)]
+        assert channel.in_flight == 4
+        frames = [read_frame(server) for _ in range(4)]
+        # Reply in reverse order: correlation is by msg_id, not arrival.
+        for _kind, msg_id, obj, _n in reversed(frames):
+            write_frame(server, KIND_RESPONSE, msg_id, obj["i"] * 10)
+        assert [f.result(timeout=5) for f in futures] == [0, 10, 20, 30]
+        assert channel.in_flight == 0
+
+    def test_interleaved_concurrent_rpcs(self, channel_pair):
+        channel, server = channel_pair
+        n = 32
+
+        def serve():
+            backlog = []
+            for _ in range(n):
+                backlog.append(read_frame(server))
+                if len(backlog) >= 3:      # drain in shuffled chunks
+                    backlog.reverse()
+                    for _k, msg_id, obj, _b in backlog:
+                        write_frame(server, KIND_RESPONSE, msg_id, obj * 2)
+                    backlog = []
+            for _k, msg_id, obj, _b in backlog:
+                write_frame(server, KIND_RESPONSE, msg_id, obj * 2)
+
+        server_thread = threading.Thread(target=serve, daemon=True)
+        server_thread.start()
+        results = [None] * n
+
+        def rpc(i):
+            results[i] = channel.call(i, timeout=10)
+
+        threads = [threading.Thread(target=rpc, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        server_thread.join(timeout=10)
+        assert results == [i * 2 for i in range(n)]
+
+    def test_cancel_one_leaves_siblings(self, channel_pair):
+        channel, server = channel_pair
+        f_dead = channel.submit("a")
+        f_live = channel.submit("b")
+        frames = [read_frame(server) for _ in range(2)]
+        assert f_dead.cancel()
+        for _kind, msg_id, obj, _n in frames:
+            write_frame(server, KIND_RESPONSE, msg_id, obj.upper())
+        assert f_live.result(timeout=5) == "B"
+        assert f_dead.cancelled()
+        # The dropped late reply didn't poison the link: it still serves.
+        f_next = channel.submit("c")
+        _kind, msg_id, obj, _n = read_frame(server)
+        write_frame(server, KIND_RESPONSE, msg_id, obj.upper())
+        assert f_next.result(timeout=5) == "C"
+
+    def test_eof_fails_all_pending(self, channel_pair):
+        channel, server = channel_pair
+        futures = [channel.submit(i) for i in range(3)]
+        for _ in range(3):
+            read_frame(server)
+        server.close()
+        for future in futures:
+            with pytest.raises(ConnectionError):
+                future.result(timeout=5)
+        with pytest.raises(ConnectionError):
+            channel.submit("after-eof")
+
+    def test_in_flight_cap_blocks_submit(self):
+        listener = bind_with_retry()
+        port = listener.getsockname()[1]
+        client = connect_with_retry("127.0.0.1", port)
+        server, _ = listener.accept()
+        channel = RemoteChannel(client, max_in_flight=1)
+        try:
+            first = channel.submit("one")
+            submitted = threading.Event()
+
+            def second():
+                future = channel.submit("two")
+                submitted.set()
+                return future
+
+            blocked = threading.Thread(target=second, daemon=True)
+            blocked.start()
+            assert not submitted.wait(timeout=0.2)  # cap holds it back
+            _k, msg_id, obj, _b = read_frame(server)
+            write_frame(server, KIND_RESPONSE, msg_id, obj)
+            assert first.result(timeout=5) == "one"
+            assert submitted.wait(timeout=5)        # slot freed, it sailed
+            _k, msg_id, obj, _b = read_frame(server)
+            write_frame(server, KIND_RESPONSE, msg_id, obj)
+            blocked.join(timeout=5)
+        finally:
+            channel.close()
+            server.close()
+            listener.close()
+
+    def test_max_in_flight_validated(self, channel_pair):
+        channel, _server = channel_pair
+        # Validation fires before any channel state is touched, so the
+        # borrowed socket is left untouched.
+        with pytest.raises(ValueError):
+            RemoteChannel(channel._sock, max_in_flight=0)
 
 
 class TestStateDelta:
@@ -262,8 +424,8 @@ class TestRemoteBackend:
         finally:
             backend.close()
 
-    def test_delta_epoch_on_update(self, small_ratings, cf_adapter,
-                                   cf_request):
+    def test_semantic_delta_on_hinted_update(self, small_ratings,
+                                             cf_adapter, cf_request):
         parts = split_ratings(small_ratings.matrix, 2)
         service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
         backend = RemoteBackend(n_workers=1)
@@ -271,23 +433,57 @@ class TestRemoteBackend:
             env = as_envelope(cf_request, DEADLINE)
             backend.run_tasks(service.build_tasks(env, clocks=sim_clocks(2)))
             before = backend.transport_counters()
+            assert before["state_semantic_publishes"] == 0
             assert before["state_delta_publishes"] == 0
             service.change_points(0, parts[0], np.array([0, 1]))
             outcomes = backend.run_tasks(
                 service.build_tasks(env, clocks=sim_clocks(2)))
             after = backend.transport_counters()
-            # The epoch transition travelled as a delta, cheaper than
-            # the full snapshot it replaced, and answers match the
-            # in-process reference over the new epoch.
-            assert after["state_delta_publishes"] == 1
+            # change_points records an UpdateHint, so the epoch
+            # transition travels as a *semantic* delta — only the
+            # re-aggregated groups — far cheaper than the full snapshot
+            # it replaced, and answers match the in-process reference
+            # over the new epoch.
+            assert after["state_semantic_publishes"] == 1
+            assert after["state_delta_publishes"] == 0
             assert after["state_full_publishes"] == \
                 before["state_full_publishes"]
-            assert 0 < after["state_delta_bytes"] < \
+            assert 0 < after["state_semantic_bytes"] < \
                 before["state_full_bytes"] / 2
             ref = SequentialBackend().run_tasks(
                 service.build_tasks(env, clocks=sim_clocks(2)))
             for got, want in zip(outcomes, ref):
                 assert report_key(got.report) == report_key(want.report)
+        finally:
+            backend.close()
+
+    def test_cdc_fallback_without_hint(self, small_ratings, cf_adapter,
+                                       cf_request):
+        """An un-hinted epoch transition falls back to the CDC delta."""
+        parts = split_ratings(small_ratings.matrix, 2)
+        service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env = as_envelope(cf_request, DEADLINE)
+            tasks = service.build_tasks(env, clocks=sim_clocks(2))
+            backend.run_tasks(tasks)
+            before = backend.transport_counters()
+            # Re-publish component 0's state with no hint: the store
+            # has no semantic transition for this epoch pair, so the
+            # wire drops to the content-defined byte delta (tiny here —
+            # the bytes barely change).
+            state = tasks[0].state_ref.resolve()
+            service.store.publish(0, state)
+            backend.run_tasks(service.build_tasks(env, clocks=sim_clocks(2)))
+            after = backend.transport_counters()
+            assert after["state_semantic_publishes"] == \
+                before["state_semantic_publishes"]
+            assert after["state_delta_publishes"] == \
+                before["state_delta_publishes"] + 1
+            assert after["state_full_publishes"] == \
+                before["state_full_publishes"]
+            assert after["state_delta_bytes"] < \
+                before["state_full_bytes"] / 2
         finally:
             backend.close()
 
@@ -309,6 +505,54 @@ class TestRemoteBackend:
                 new_tasks[0].state_ref.epoch
             assert new_out[0].report.state_epoch > \
                 old_out[0].report.state_epoch
+        finally:
+            backend.close()
+
+    def test_batch_frame_bit_identical(self, small_ratings, cf_adapter,
+                                       cf_request):
+        """One KIND_BATCH frame == per-task results, bit for bit."""
+        parts = split_ratings(small_ratings.matrix, 2)
+        service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env_a = as_envelope(cf_request, DEADLINE)
+            env_b = as_envelope(cf_request, DEADLINE)
+            tasks_a = service.build_tasks(env_a, clocks=sim_clocks(2))
+            tasks_b = service.build_tasks(env_b, clocks=sim_clocks(2))
+            # Two requests against the same component share one ref key
+            # — the exact bucket shape BatchingBackend flushes.
+            batch = [tasks_a[0], tasks_b[0]]
+            futures = backend.submit_batch(batch)
+            outcomes = [f.result(timeout=60) for f in futures]
+            ref = SequentialBackend().run_tasks(batch)
+            for got, want in zip(outcomes, ref):
+                assert got.component == want.component
+                assert report_key(got.report) == report_key(want.report)
+                assert got.report.request_id == want.report.request_id
+                assert got.result.numer == want.result.numer
+                assert got.result.denom == want.result.denom
+            counters = backend.transport_counters()
+            assert counters["batches_shipped"] == 1
+            assert backend.payload_counters()["tasks_shipped"] == 2
+        finally:
+            backend.close()
+
+    def test_mixed_batch_degrades_per_task(self, small_ratings, cf_adapter,
+                                           cf_request):
+        """Tasks spanning components can't share a frame; ship per-task."""
+        parts = split_ratings(small_ratings.matrix, 2)
+        service = AccuracyTraderService(cf_adapter, parts, config=CF_CONFIG)
+        backend = RemoteBackend(n_workers=1)
+        try:
+            env = as_envelope(cf_request, DEADLINE)
+            tasks = service.build_tasks(env, clocks=sim_clocks(2))
+            futures = backend.submit_batch(tasks)  # components 0 and 1
+            outcomes = [f.result(timeout=60) for f in futures]
+            ref = SequentialBackend().run_tasks(
+                service.build_tasks(env, clocks=sim_clocks(2)))
+            for got, want in zip(outcomes, ref):
+                assert report_key(got.report) == report_key(want.report)
+            assert backend.transport_counters()["batches_shipped"] == 0
         finally:
             backend.close()
 
@@ -471,3 +715,45 @@ class TestRemoteCluster:
         after = replica.transport_counters()
         assert after["bytes_sent"] > before["bytes_sent"]
         assert after["bytes_received"] > before["bytes_received"]
+
+
+class TestMultiLinkServable:
+    def test_n_links_validated(self, cf_adapter, cf_parts):
+        with pytest.raises(ValueError):
+            RemoteServable.spawn(AccuracyTraderService, cf_adapter,
+                                 [cf_parts[0]], config=CF_CONFIG, n_links=0)
+
+    def test_multi_link_concurrent_serving(self, cf_adapter, cf_parts,
+                                           cf_request):
+        """N pipelined links to one process, answers bit-identical."""
+        remote = RemoteServable.spawn(
+            AccuracyTraderService, cf_adapter, cf_parts, config=CF_CONFIG,
+            n_links=2, max_in_flight=8)
+        try:
+            assert remote.n_links == 2
+            local = AccuracyTraderService(cf_adapter, cf_parts,
+                                          config=CF_CONFIG)
+            env = as_envelope(cf_request, DEADLINE)
+            base = local.serve(env, clocks=sim_clocks(2))
+            results = [None] * 8
+
+            def hit(i):
+                results[i] = remote.serve(env, clocks=sim_clocks(2))
+
+            threads = [threading.Thread(target=hit, args=(i,))
+                       for i in range(len(results))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            for resp in results:
+                assert resp is not None
+                assert resp.answer.numer == base.answer.numer
+                assert resp.answer.denom == base.answer.denom
+                assert [report_key(r) for r in resp.reports] == \
+                    [report_key(r) for r in base.reports]
+            counters = remote.transport_counters()
+            assert counters["bytes_sent"] > 0
+            assert counters["bytes_received"] > 0
+        finally:
+            remote.close()
